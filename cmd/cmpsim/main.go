@@ -1,0 +1,78 @@
+// Command cmpsim runs one simulation of the 64-tile consolidated CMP
+// and reports performance, power and miss statistics.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/proto"
+)
+
+func main() {
+	cfg := core.DefaultConfig()
+	protocol := flag.String("protocol", cfg.Protocol, "coherence protocol: directory | dico | providers | arin")
+	workload := flag.String("workload", cfg.Workload, "Table IV workload (e.g. apache4x16p, jbb4x16p, mixed-sci)")
+	refs := flag.Int("refs", cfg.RefsPerCore, "measured references per core")
+	warmup := flag.Int("warmup", 40000, "warmup references per core (discarded)")
+	tiles := flag.Int("tiles", cfg.Tiles, "number of tiles")
+	areas := flag.Int("areas", cfg.Areas, "number of static areas")
+	alt := flag.Bool("alt", false, "use the Figure 6 alternative VM placement")
+	nodedup := flag.Bool("nodedup", false, "disable memory deduplication")
+	unicastBcast := flag.Bool("unicast-broadcast", false, "emulate a chip without hardware broadcast")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	cfg.Protocol = *protocol
+	cfg.Workload = *workload
+	cfg.RefsPerCore = *refs
+	cfg.WarmupRefs = *warmup
+	cfg.Tiles = *tiles
+	cfg.Areas = *areas
+	cfg.AltPlacement = *alt
+	cfg.Dedup = !*nodedup
+	cfg.Proto.BroadcastUnicast = *unicastBcast
+	cfg.Seed = *seed
+
+	res, err := core.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cmpsim:", err)
+		os.Exit(1)
+	}
+	pr := res.Profile
+	misses := pr.TotalMisses()
+	fmt.Printf("protocol         %s\n", cfg.Protocol)
+	fmt.Printf("workload         %s (alt=%v dedup=%v)\n", cfg.Workload, cfg.AltPlacement, cfg.Dedup)
+	fmt.Printf("cycles           %d\n", res.Cycles)
+	fmt.Printf("references       %d (%.2f per cycle)\n", res.Refs, res.Performance())
+	fmt.Printf("L1 miss rate     %.4f\n", float64(misses)/float64(misses+pr.Hits))
+	fmt.Printf("memory fetches   %d (%.1f%% of misses)\n", res.MemReads, res.L2MissRatio()*100)
+	fmt.Printf("dedup savings    %.1f%%\n", res.DedupSavings*100)
+	fmt.Printf("dynamic power    %.4g pJ/cycle (cache %.4g, network %.4g)\n",
+		res.PowerPerCycle(), res.CachePowerPerCycle(), res.NetworkPowerPerCycle())
+	fmt.Printf("network          %d msgs, %d flit-links, %d router traversals\n",
+		res.Net.Messages, res.Net.FlitLinkCrossing, res.Net.RouterTraversals)
+	fmt.Println("miss breakdown:")
+	for c := 0; c < int(proto.NumMissClasses); c++ {
+		if pr.Count[c] == 0 {
+			continue
+		}
+		fmt.Printf("  %-16s %8d (%.1f%%)  %.1f links avg\n",
+			proto.MissClassNames[c], pr.Count[c],
+			float64(pr.Count[c])/float64(misses)*100,
+			pr.MeanLinks(proto.MissClass(c)))
+	}
+	fmt.Println("power events:")
+	for _, name := range []string{
+		power.EvL1TagRead, power.EvL1DataRead, power.EvL1DataWrite,
+		power.EvL2TagRead, power.EvL2DataRead, power.EvL2DataWrite,
+		power.EvDirRead, power.EvL1CAccess, power.EvL2CAccess,
+	} {
+		if v := res.Counters.Value(name); v > 0 {
+			fmt.Printf("  %-16s %d\n", name, v)
+		}
+	}
+}

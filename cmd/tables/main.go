@@ -1,0 +1,40 @@
+// Command tables prints the analytic tables of the paper: Table V
+// (per-tile coherence storage), Table VI (leakage power) and Table VII
+// (storage overhead versus cores and areas).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to print: 5, 6, 7 or all")
+	flag.Parse()
+	switch *table {
+	case "5":
+		fmt.Print(exp.Table5())
+	case "6":
+		fmt.Print(exp.Table6())
+	case "7":
+		for _, t := range exp.Table7() {
+			fmt.Print(t)
+			fmt.Println()
+		}
+	case "all":
+		fmt.Print(exp.Table5())
+		fmt.Println()
+		fmt.Print(exp.Table6())
+		fmt.Println()
+		for _, t := range exp.Table7() {
+			fmt.Print(t)
+			fmt.Println()
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown table %q (want 5, 6, 7 or all)\n", *table)
+		os.Exit(2)
+	}
+}

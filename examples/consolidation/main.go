@@ -1,0 +1,59 @@
+// Consolidation: compare the four coherence protocols on a
+// consolidated server (4 VMs, memory deduplication on), reproducing
+// the flavour of the paper's Figures 7 and 9a on one workload.
+//
+//	go run ./examples/consolidation [workload]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+func main() {
+	wl := "apache4x16p"
+	if len(os.Args) > 1 {
+		wl = os.Args[1]
+	}
+	fmt.Printf("workload %s, 64 tiles, 4 areas, 4 VMs, dedup on\n\n", wl)
+	var base *core.Result
+	for _, p := range core.ProtocolNames {
+		cfg := core.DefaultConfig()
+		cfg.Protocol = p
+		cfg.Workload = wl
+		cfg.WarmupRefs = 20000
+		cfg.RefsPerCore = 8000
+		res, err := core.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == nil {
+			base = res
+		}
+		pr := res.Profile
+		provHits := pr.Count[proto.MissPredProvider] + pr.Count[proto.MissUnpredProvider]
+		fmt.Printf("%-10s perf %.3f | dyn power %.3f | provider-served misses %5.1f%% | mean links/miss %.1f\n",
+			p,
+			res.Performance()/base.Performance(),
+			res.PowerPerCycle()/base.PowerPerCycle(),
+			100*float64(provHits)/float64(pr.TotalMisses()),
+			meanLinks(pr))
+	}
+	fmt.Println("\n(performance and power normalized to the flat directory)")
+}
+
+func meanLinks(pr proto.MissProfile) float64 {
+	var links, cnt uint64
+	for c := 0; c < int(proto.NumMissClasses); c++ {
+		links += pr.Links[c]
+		cnt += pr.Count[c]
+	}
+	if cnt == 0 {
+		return 0
+	}
+	return float64(links) / float64(cnt)
+}

@@ -1,0 +1,32 @@
+// Quickstart: simulate one consolidated workload under one coherence
+// protocol and print the headline numbers.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	cfg := core.DefaultConfig()  // 64 tiles, 4 areas, 4 VMs, dedup on
+	cfg.Protocol = "providers"   // DiCo-Providers
+	cfg.Workload = "apache4x16p" // 4 Apache VMs of 16 cores each
+	cfg.WarmupRefs = 10000       // discarded warmup
+	cfg.RefsPerCore = 5000       // measured references per core
+
+	res, err := core.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	miss := res.Profile.TotalMisses()
+	fmt.Printf("simulated %d references in %d cycles (%.3f refs/cycle)\n",
+		res.Refs, res.Cycles, res.Performance())
+	fmt.Printf("L1 miss rate:  %.2f%%\n", 100*float64(miss)/float64(miss+res.Profile.Hits))
+	fmt.Printf("dedup savings: %.1f%% of memory\n", 100*res.DedupSavings)
+	fmt.Printf("dynamic power: %.4g pJ/cycle (%.0f%% network)\n",
+		res.PowerPerCycle(), 100*res.NetworkPowerPerCycle()/res.PowerPerCycle())
+}

@@ -1,0 +1,237 @@
+// Package cache provides the storage structures of a tile: generic
+// set-associative arrays with protocol metadata (L1, L2, and the
+// NCID-style directory cache), MSHRs, and the pointer caches (L1C$,
+// L2C$) that Direct Coherence protocols add.
+package cache
+
+import "fmt"
+
+// Addr is a block-aligned physical address: the 40-bit physical address
+// of the paper shifted right by 6 (64-byte blocks).
+type Addr uint64
+
+// State is a protocol-defined line state. Zero is always Invalid.
+type State uint8
+
+// Invalid marks an unused line; all protocols share it.
+const Invalid State = 0
+
+// Line is one cache entry. The metadata fields are interpreted by the
+// owning protocol:
+//
+//   - Sharers: a full-map bit vector (flat directory, DiCo) or an
+//     area-local bit vector (DiCo-Providers, DiCo-Arin).
+//   - Owner: a GenPo — the tile currently holding ownership (-1 none).
+//   - ProPos: one provider pointer per area (index within the area,
+//     -1 none); only the provider-based protocols use it.
+//   - AreaTag: for DiCo-Arin's home entries, the area the sharer vector
+//     refers to (-1 when the block is shared between areas).
+type Line struct {
+	Addr    Addr
+	State   State
+	Dirty   bool
+	Sharers uint64
+	Owner   int16
+	ProPos  [MaxSimAreas]int8
+	AreaTag int8
+}
+
+// MaxSimAreas bounds the number of areas the cycle simulator supports
+// per chip (the analytic storage model in internal/storage has no such
+// bound).
+const MaxSimAreas = 8
+
+// ResetMeta clears the protocol metadata, leaving Addr/State alone.
+func (l *Line) ResetMeta() {
+	l.Dirty = false
+	l.Sharers = 0
+	l.Owner = -1
+	for i := range l.ProPos {
+		l.ProPos[i] = -1
+	}
+	l.AreaTag = -1
+}
+
+// Valid reports whether the line holds a block.
+func (l *Line) Valid() bool { return l.State != Invalid }
+
+// Cache is a set-associative array with true-LRU replacement.
+type Cache struct {
+	name  string
+	sets  int
+	ways  int
+	shift uint
+	lines []Line
+	lru   []uint64
+	stamp uint64
+
+	// Accesses counts lookups; the power model charges tag energy per
+	// lookup and data energy separately (callers report data accesses
+	// through their own event counters).
+	Accesses uint64
+	Misses   uint64
+}
+
+// New returns a cache with numSets sets of ways ways. numSets must be a
+// power of two so the index can be masked from the address.
+func New(name string, numSets, ways int) *Cache {
+	if numSets <= 0 || numSets&(numSets-1) != 0 {
+		panic(fmt.Sprintf("cache %s: numSets %d not a power of two", name, numSets))
+	}
+	if ways <= 0 {
+		panic(fmt.Sprintf("cache %s: ways must be positive", name))
+	}
+	c := &Cache{
+		name:  name,
+		sets:  numSets,
+		ways:  ways,
+		lines: make([]Line, numSets*ways),
+		lru:   make([]uint64, numSets*ways),
+	}
+	for i := range c.lines {
+		c.lines[i].Owner = -1
+		c.lines[i].AreaTag = -1
+		for j := range c.lines[i].ProPos {
+			c.lines[i].ProPos[j] = -1
+		}
+	}
+	return c
+}
+
+// Name returns the cache's configured name.
+func (c *Cache) Name() string { return c.name }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Capacity returns the number of lines.
+func (c *Cache) Capacity() int { return c.sets * c.ways }
+
+func (c *Cache) setOf(a Addr) int { return int((uint64(a) >> c.shift) & uint64(c.sets-1)) }
+
+// SetIndexShift makes the set index use address bits above the given
+// shift. Structures private to one home bank must skip the bank-select
+// bits: those are constant within the bank, and indexing with them
+// would leave all but 1/2^shift of the sets unused.
+func (c *Cache) SetIndexShift(shift uint) { c.shift = shift }
+
+// Lookup returns the line holding a, or nil. It counts an access and
+// refreshes LRU on hit.
+func (c *Cache) Lookup(a Addr) *Line {
+	c.Accesses++
+	base := c.setOf(a) * c.ways
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+w]
+		if l.Valid() && l.Addr == a {
+			c.stamp++
+			c.lru[base+w] = c.stamp
+			return l
+		}
+	}
+	c.Misses++
+	return nil
+}
+
+// Peek is Lookup without access accounting or LRU update; for
+// invariant checks and statistics.
+func (c *Cache) Peek(a Addr) *Line {
+	base := c.setOf(a) * c.ways
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+w]
+		if l.Valid() && l.Addr == a {
+			return l
+		}
+	}
+	return nil
+}
+
+// Victim returns the line that would be replaced to make room for a:
+// an invalid way if one exists, else the LRU way. The returned line
+// still holds its old contents; the caller handles the eviction
+// protocol before calling Fill.
+func (c *Cache) Victim(a Addr) *Line {
+	base := c.setOf(a) * c.ways
+	var victim *Line
+	var victimStamp uint64 = ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+w]
+		if !l.Valid() {
+			return l
+		}
+		if c.lru[base+w] < victimStamp {
+			victimStamp = c.lru[base+w]
+			victim = l
+		}
+	}
+	return victim
+}
+
+// Fill installs block a into line l (previously obtained from Victim)
+// with the given state, resetting metadata and refreshing LRU.
+func (c *Cache) Fill(l *Line, a Addr, s State) {
+	l.Addr = a
+	l.State = s
+	l.ResetMeta()
+	c.touchLine(l)
+}
+
+// Touch refreshes the LRU position of l.
+func (c *Cache) Touch(l *Line) { c.touchLine(l) }
+
+func (c *Cache) touchLine(l *Line) {
+	idx := c.indexOf(l)
+	c.stamp++
+	c.lru[idx] = c.stamp
+}
+
+func (c *Cache) indexOf(l *Line) int {
+	// The line's set follows from its (already installed) address, so
+	// only that set's ways need scanning.
+	base := c.setOf(l.Addr) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if &c.lines[base+w] == l {
+			return base + w
+		}
+	}
+	panic("cache: Touch on foreign line")
+}
+
+// Invalidate removes block a if present, returning the prior line
+// contents and whether it was present.
+func (c *Cache) Invalidate(a Addr) (Line, bool) {
+	base := c.setOf(a) * c.ways
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+w]
+		if l.Valid() && l.Addr == a {
+			old := *l
+			l.State = Invalid
+			l.ResetMeta()
+			return old, true
+		}
+	}
+	return Line{}, false
+}
+
+// CountValid returns the number of valid lines (for occupancy stats).
+func (c *Cache) CountValid() int {
+	n := 0
+	for i := range c.lines {
+		if c.lines[i].Valid() {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEachValid calls fn for every valid line. fn must not insert or
+// invalidate lines.
+func (c *Cache) ForEachValid(fn func(*Line)) {
+	for i := range c.lines {
+		if c.lines[i].Valid() {
+			fn(&c.lines[i])
+		}
+	}
+}

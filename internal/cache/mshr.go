@@ -1,0 +1,90 @@
+package cache
+
+// MSHR tracks the outstanding misses of one L1 controller. Each entry
+// carries the two acknowledgement counters DiCo-Providers requires
+// (Section IV-A: one for provider acks, one for sharer acks) — the
+// other protocols simply leave ProviderAcks at zero.
+type MSHR struct {
+	capacity int
+	entries  map[Addr]*MSHREntry
+
+	Allocations uint64
+	FullStalls  uint64
+}
+
+// MSHREntry is one in-flight miss.
+type MSHREntry struct {
+	Addr         Addr
+	Write        bool
+	IssuedAt     uint64 // kernel time at allocation, for latency stats
+	SharerAcks   int    // pending acknowledgements from sharers
+	ProviderAcks int    // pending acknowledgements from providers
+	DataReceived bool
+	HomeAck      bool // Change_Owner acknowledgement pending (false = received/not needed)
+
+	// Deferred work to run when the miss completes.
+	OnComplete func()
+
+	// Tag describes how the miss was routed, for the Figure 9b
+	// breakdown; the protocol sets it.
+	Tag int
+	// Links accumulates the mesh links traversed by the miss's
+	// messages (request legs + data response), for Section V-D's
+	// shortened-miss analysis.
+	Links int
+	// NeedsData distinguishes a full miss from an ownership upgrade.
+	NeedsData bool
+	// InvalidatedWhilePending is set when an invalidation for this
+	// block arrives while the miss is in flight; the fill then
+	// completes the access but immediately drops the line (the racing
+	// write serialized after this access).
+	InvalidatedWhilePending bool
+}
+
+// NewMSHR returns an MSHR with the given capacity (0 = unlimited).
+func NewMSHR(capacity int) *MSHR {
+	return &MSHR{capacity: capacity, entries: make(map[Addr]*MSHREntry)}
+}
+
+// Lookup returns the entry for a, if any.
+func (m *MSHR) Lookup(a Addr) (*MSHREntry, bool) {
+	e, ok := m.entries[a]
+	return e, ok
+}
+
+// Full reports whether a new allocation would exceed capacity.
+func (m *MSHR) Full() bool {
+	return m.capacity > 0 && len(m.entries) >= m.capacity
+}
+
+// Allocate creates an entry for a. It panics if a is already in flight
+// (the controller must merge or stall first) or if the MSHR is full.
+func (m *MSHR) Allocate(a Addr, write bool, now uint64) *MSHREntry {
+	if _, ok := m.entries[a]; ok {
+		panic("cache: MSHR double allocation")
+	}
+	if m.Full() {
+		panic("cache: MSHR overflow; caller must check Full")
+	}
+	e := &MSHREntry{Addr: a, Write: write, IssuedAt: now}
+	m.entries[a] = e
+	m.Allocations++
+	return e
+}
+
+// Release removes the entry for a. It panics if absent.
+func (m *MSHR) Release(a Addr) {
+	if _, ok := m.entries[a]; !ok {
+		panic("cache: MSHR release of absent entry")
+	}
+	delete(m.entries, a)
+}
+
+// Outstanding returns the number of in-flight misses.
+func (m *MSHR) Outstanding() int { return len(m.entries) }
+
+// Done reports whether the entry's completion conditions are all met:
+// data arrived and no acknowledgement of any kind is pending.
+func (e *MSHREntry) Done() bool {
+	return e.DataReceived && e.SharerAcks == 0 && e.ProviderAcks == 0 && !e.HomeAck
+}

@@ -1,0 +1,318 @@
+// Package core assembles the full chip-multiprocessor simulation: the
+// tiled chip (cores, caches, coherence engine), the mesh network, the
+// memory system with deduplication, the workload generators, and the
+// power models — and runs consolidated-server experiments end to end.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/memctrl"
+	"repro/internal/mesh"
+	"repro/internal/power"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// ProtocolNames lists the four engines in the paper's order.
+var ProtocolNames = []string{"directory", "dico", "providers", "arin"}
+
+// Config selects one simulation run.
+type Config struct {
+	Tiles        int
+	Areas        int
+	Protocol     string // directory | dico | providers | arin
+	Workload     string // a workload.Names entry
+	AltPlacement bool   // Figure 6's "-alt" configuration
+	Dedup        bool   // memory deduplication on (paper default)
+	RefsPerCore  int    // references each core retires (measured)
+	WarmupRefs   int    // references per core before measurement starts
+	Seed         uint64
+	Proto        proto.Config
+	Net          mesh.Config
+}
+
+// DefaultConfig is the paper's evaluated system: 64 tiles, 4 areas,
+// deduplication on, matched VM placement.
+func DefaultConfig() Config {
+	return Config{
+		Tiles:       64,
+		Areas:       4,
+		Protocol:    "directory",
+		Workload:    "apache4x16p",
+		Dedup:       true,
+		RefsPerCore: 20000,
+		Seed:        1,
+		Proto:       proto.DefaultConfig(),
+		Net:         mesh.DefaultConfig(),
+	}
+}
+
+// Result carries everything the evaluation figures need from one run.
+type Result struct {
+	Config       Config
+	Cycles       sim.Time
+	Refs         uint64
+	Counters     *stats.Set
+	Net          mesh.Stats
+	Profile      proto.MissProfile
+	MemReads     uint64
+	DedupSavings float64
+
+	Energies  power.TileEnergies
+	Breakdown power.DynamicBreakdown
+}
+
+// Performance returns the work rate (references per cycle), the
+// quantity Figure 9a normalizes: for the server benchmarks it is
+// proportional to transactions per 500M cycles, for the scientific
+// ones to the inverse of execution time.
+func (r *Result) Performance() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Refs) / float64(r.Cycles)
+}
+
+// PowerPerCycle returns the dynamic energy spent per cycle (the height
+// of a Figure 7 bar before normalization).
+func (r *Result) PowerPerCycle() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return r.Breakdown.Total() / float64(r.Cycles)
+}
+
+// CachePowerPerCycle returns the cache share of dynamic power.
+func (r *Result) CachePowerPerCycle() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return r.Breakdown.CacheTotal() / float64(r.Cycles)
+}
+
+// NetworkPowerPerCycle returns the network share of dynamic power.
+func (r *Result) NetworkPowerPerCycle() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return r.Breakdown.NetworkTotal() / float64(r.Cycles)
+}
+
+// L2MissRatio approximates the L2 miss rate as the fraction of L1
+// misses that had to go to memory.
+func (r *Result) L2MissRatio() float64 {
+	m := r.Profile.TotalMisses()
+	if m == 0 {
+		return 0
+	}
+	return float64(r.MemReads) / float64(m)
+}
+
+// storageProtocol maps an engine name to the analytic model's enum.
+func storageProtocol(name string) (storage.Protocol, error) {
+	switch name {
+	case "directory":
+		return storage.Directory, nil
+	case "dico":
+		return storage.DiCo, nil
+	case "providers":
+		return storage.DiCoProviders, nil
+	case "arin":
+		return storage.DiCoArin, nil
+	}
+	return 0, fmt.Errorf("core: unknown protocol %q", name)
+}
+
+// newEngine instantiates the coherence engine.
+func newEngine(name string, ctx *proto.Context) (proto.Engine, error) {
+	switch name {
+	case "directory":
+		return proto.NewDirectory(ctx), nil
+	case "dico":
+		return proto.NewDiCo(ctx), nil
+	case "providers":
+		return proto.NewProviders(ctx), nil
+	case "arin":
+		return proto.NewArin(ctx), nil
+	}
+	return nil, fmt.Errorf("core: unknown protocol %q", name)
+}
+
+// System is a fully built chip ready to run.
+type System struct {
+	Cfg       Config
+	Kernel    *sim.Kernel
+	Net       *mesh.Network
+	Areas     *topo.Areas
+	Placement *topo.Placement
+	Mem       *memctrl.Controllers
+	Mapper    *memctrl.Mapper
+	Gen       *workload.Generator
+	Engine    proto.Engine
+	Ctx       *proto.Context
+
+	retired []int
+}
+
+// NewSystem builds a chip from cfg.
+func NewSystem(cfg Config) (*System, error) {
+	w, err := workload.Named(cfg.Workload)
+	if err != nil {
+		return nil, err
+	}
+	kernel := sim.NewKernel(cfg.Seed)
+	grid := topo.SquareGrid(cfg.Tiles)
+	areas, err := topo.NewAreas(grid, cfg.Areas)
+	if err != nil {
+		return nil, err
+	}
+	// VMs are placed independently of the hard-wired coherence areas:
+	// the paper always runs 4 VMs while Table VII sweeps the area
+	// count. With the default 4 areas the two divisions coincide and
+	// the matched placement puts one VM per area.
+	vmAreas, err := topo.NewAreas(grid, len(w.VMs))
+	if err != nil {
+		return nil, err
+	}
+	placement := topo.MatchedPlacement(vmAreas)
+	if cfg.AltPlacement {
+		placement = topo.AlternativePlacement(vmAreas)
+	}
+	net := mesh.New(kernel, grid, cfg.Net)
+	mem := memctrl.Default(grid, kernel.Rand().Fork())
+	mapper := memctrl.NewMapper(cfg.Dedup)
+	gen := workload.NewGenerator(w, placement, mapper, kernel.Rand().Fork())
+	ctx := &proto.Context{Kernel: kernel, Net: net, Areas: areas, Mem: mem, Cfg: cfg.Proto}
+	eng, err := newEngine(cfg.Protocol, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &System{
+		Cfg:       cfg,
+		Kernel:    kernel,
+		Net:       net,
+		Areas:     areas,
+		Placement: placement,
+		Mem:       mem,
+		Mapper:    mapper,
+		Gen:       gen,
+		Engine:    eng,
+		Ctx:       ctx,
+		retired:   make([]int, cfg.Tiles),
+	}, nil
+}
+
+// runPhase drives every core through refs references, starting each
+// reference Gap cycles after the previous one retires. It returns the
+// simulation time of the last retirement.
+func (s *System) runPhase(refs int) (sim.Time, uint64, error) {
+	cfg := s.Cfg
+	done := 0
+	var totalRefs uint64
+	var lastRetire sim.Time
+	for t := range s.retired {
+		s.retired[t] = 0
+	}
+	var step func(tile topo.Tile)
+	step = func(tile topo.Tile) {
+		if s.retired[tile] >= refs {
+			done++
+			return
+		}
+		acc := s.Gen.Next(tile)
+		issue := func() {
+			s.Engine.Access(tile, acc.Addr, acc.Write, func() {
+				s.retired[tile]++
+				totalRefs++
+				lastRetire = s.Kernel.Now()
+				step(tile)
+			})
+		}
+		if acc.Gap > 0 {
+			s.Kernel.After(acc.Gap, issue)
+		} else {
+			issue()
+		}
+	}
+	for t := 0; t < cfg.Tiles; t++ {
+		tile := topo.Tile(t)
+		s.Kernel.After(sim.Time(t%7), func() { step(tile) })
+	}
+	// Watchdog: if no reference retires for a long stretch, the
+	// protocol has livelocked — fail loudly instead of spinning.
+	const watchdogWindow sim.Time = 2_000_000
+	lastProgress := uint64(0)
+	for done < cfg.Tiles {
+		deadline := s.Kernel.Now() + watchdogWindow
+		s.Kernel.RunUntil(func() bool { return done == cfg.Tiles || s.Kernel.Now() >= deadline })
+		if done == cfg.Tiles {
+			break
+		}
+		if s.Kernel.Pending() == 0 || totalRefs == lastProgress {
+			return 0, 0, fmt.Errorf("core: simulation stalled at t=%d with %d/%d cores done (%d refs retired)",
+				s.Kernel.Now(), done, cfg.Tiles, totalRefs)
+		}
+		lastProgress = totalRefs
+	}
+	// Drain residual traffic (writebacks, acks) so counters are final.
+	s.Kernel.Run(0)
+	return lastRetire, totalRefs, nil
+}
+
+// Run executes the optional warmup phase (whose activity is discarded
+// from every counter) followed by the measured phase, and returns the
+// collected result.
+func (s *System) Run() (*Result, error) {
+	cfg := s.Cfg
+	if cfg.WarmupRefs > 0 {
+		if _, _, err := s.runPhase(cfg.WarmupRefs); err != nil {
+			return nil, err
+		}
+		s.Engine.Stats().Reset()
+		s.Ctx.Profile = proto.MissProfile{}
+		s.Net.ResetStats()
+		s.Mem.Reads, s.Mem.Writes = 0, 0
+	}
+	start := s.Kernel.Now()
+	lastRetire, totalRefs, err := s.runPhase(cfg.RefsPerCore)
+	if err != nil {
+		return nil, err
+	}
+	lastRetire -= start
+
+	sp, err := storageProtocol(cfg.Protocol)
+	if err != nil {
+		return nil, err
+	}
+	energies := power.Energies(sp, storage.DefaultConfig(cfg.Tiles, cfg.Areas), power.DefaultEnergy())
+	res := &Result{
+		Config:       cfg,
+		Cycles:       lastRetire,
+		Refs:         totalRefs,
+		Counters:     s.Engine.Stats(),
+		Net:          s.Net.Stats(),
+		Profile:      s.Engine.MissProfile(),
+		MemReads:     s.Mem.Reads,
+		DedupSavings: s.Mapper.SavedFraction(),
+		Energies:     energies,
+	}
+	res.Breakdown = power.Dynamic(res.Counters, res.Net, energies)
+	return res, nil
+}
+
+// Run builds and runs a system in one call.
+func Run(cfg Config) (*Result, error) {
+	s, err := NewSystem(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run()
+}
+
+// CheckInvariants re-exports the engine's quiescent checker.
+func (s *System) CheckInvariants() { s.Engine.CheckInvariants() }

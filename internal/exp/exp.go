@@ -1,0 +1,300 @@
+// Package exp regenerates the paper's evaluation artifacts: Tables V,
+// VI and VII (analytic) and Figures 7, 8a, 8b, 9a and 9b plus the
+// Section V-D link analysis (simulation).
+package exp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/mesh"
+	"repro/internal/power"
+	"repro/internal/proto"
+	"repro/internal/stats"
+	"repro/internal/storage"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// Options parameterize a full evaluation sweep.
+type Options struct {
+	Workloads    []string
+	RefsPerCore  int
+	WarmupRefs   int
+	Seed         uint64
+	AltPlacement bool
+	Dedup        bool
+}
+
+// DefaultOptions runs every Table IV workload at a laptop-scale budget.
+func DefaultOptions() Options {
+	return Options{
+		Workloads:   workload.Names,
+		RefsPerCore: 25000,
+		WarmupRefs:  60000,
+		Seed:        1,
+		Dedup:       true,
+	}
+}
+
+// Matrix holds one result per (workload, protocol).
+type Matrix struct {
+	Workloads []string
+	Results   map[string]map[string]*core.Result // workload -> protocol
+}
+
+// Run executes the full sweep. progress (optional) is called before
+// each run.
+func Run(opt Options, progress func(workload, protocol string)) (*Matrix, error) {
+	m := &Matrix{Workloads: opt.Workloads, Results: map[string]map[string]*core.Result{}}
+	for _, wl := range opt.Workloads {
+		m.Results[wl] = map[string]*core.Result{}
+		for _, p := range core.ProtocolNames {
+			if progress != nil {
+				progress(wl, p)
+			}
+			cfg := core.DefaultConfig()
+			cfg.Protocol = p
+			cfg.Workload = wl
+			cfg.RefsPerCore = opt.RefsPerCore
+			cfg.WarmupRefs = opt.WarmupRefs
+			cfg.Seed = opt.Seed
+			cfg.AltPlacement = opt.AltPlacement
+			cfg.Dedup = opt.Dedup
+			res, err := core.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", wl, p, err)
+			}
+			m.Results[wl][p] = res
+		}
+	}
+	return m, nil
+}
+
+// Table5 renders the per-tile storage breakdown (Table V).
+func Table5() *stats.Table {
+	cfg := storage.DefaultConfig(64, 4)
+	t := stats.NewTable("Table V: per-tile coherence storage (64 tiles, 4 areas)",
+		"protocol", "structure", "entry bits", "entries", "KB", "overhead")
+	for _, s := range storage.DataStructures(cfg) {
+		t.AddRow("(data)", s.Name, fmt.Sprint(s.EntryBits), fmt.Sprint(s.Entries),
+			fmt.Sprintf("%.2f", s.KB()), "")
+	}
+	for _, p := range storage.All {
+		oh := storage.Overhead(p, cfg)
+		for i, s := range storage.CoherenceStructures(p, cfg) {
+			ohCell := ""
+			if i == 0 {
+				ohCell = fmt.Sprintf("%.2f%%", oh*100)
+			}
+			t.AddRow(p.String(), s.Name, fmt.Sprint(s.EntryBits), fmt.Sprint(s.Entries),
+				fmt.Sprintf("%.2f", s.KB()), ohCell)
+		}
+	}
+	return t
+}
+
+// Table6 renders the per-tile leakage power (Table VI).
+func Table6() *stats.Table {
+	cfg := storage.DefaultConfig(64, 4)
+	m := power.DefaultLeakage()
+	dirTotal, dirTag := m.TileLeakage(storage.Directory, cfg)
+	t := stats.NewTable("Table VI: leakage power of the caches per tile",
+		"protocol", "total mW", "vs directory", "tag mW", "vs directory")
+	for _, p := range storage.All {
+		total, tag := m.TileLeakage(p, cfg)
+		t.AddRow(p.String(),
+			fmt.Sprintf("%.0f", total),
+			fmt.Sprintf("%+.0f%%", (total-dirTotal)/dirTotal*100),
+			fmt.Sprintf("%.0f", tag),
+			fmt.Sprintf("%+.0f%%", (tag-dirTag)/dirTag*100))
+	}
+	return t
+}
+
+// Table7 renders the storage-overhead sweep (Table VII).
+func Table7() []*stats.Table {
+	var tables []*stats.Table
+	for _, cores := range []int{64, 128, 256, 512, 1024} {
+		sweep, areas := storage.OverheadSweep(cores)
+		headers := []string{"protocol"}
+		for _, a := range areas {
+			headers = append(headers, fmt.Sprintf("%d areas", a))
+		}
+		t := stats.NewTable(fmt.Sprintf("Table VII: storage overhead, %d cores", cores), headers...)
+		for _, p := range storage.All {
+			row := []string{p.String()}
+			for _, v := range sweep[p] {
+				row = append(row, fmt.Sprintf("%.1f%%", v*100))
+			}
+			t.AddRow(row...)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}
+
+// Figure7 renders total dynamic power per workload and protocol,
+// normalized to the directory's cache dynamic power (the paper's
+// normalization), broken into cache, network links and routing.
+func (m *Matrix) Figure7() *stats.Table {
+	t := stats.NewTable("Figure 7: normalized dynamic power (cache + links + routing)",
+		"workload", "protocol", "cache", "links", "routing", "total", "vs directory")
+	for _, wl := range m.Workloads {
+		base := m.Results[wl]["directory"]
+		den := base.CachePowerPerCycle()
+		for _, p := range core.ProtocolNames {
+			r := m.Results[wl][p]
+			cyc := float64(r.Cycles)
+			cache := r.Breakdown.CacheTotal() / cyc / den
+			links := r.Breakdown.Link / cyc / den
+			routing := r.Breakdown.Routing / cyc / den
+			total := cache + links + routing
+			baseTotal := base.PowerPerCycle() / den
+			t.AddRow(wl, p,
+				fmt.Sprintf("%.3f", cache),
+				fmt.Sprintf("%.3f", links),
+				fmt.Sprintf("%.3f", routing),
+				fmt.Sprintf("%.3f", total),
+				fmt.Sprintf("%+.1f%%", (total-baseTotal)/baseTotal*100))
+		}
+	}
+	return t
+}
+
+// Figure8a renders the cache dynamic power breakdown by event class,
+// normalized per workload to the directory's cache power.
+func (m *Matrix) Figure8a() *stats.Table {
+	headers := append([]string{"workload", "protocol"}, power.CacheClasses...)
+	t := stats.NewTable("Figure 8a: normalized cache dynamic power by event class", headers...)
+	for _, wl := range m.Workloads {
+		den := m.Results[wl]["directory"].CachePowerPerCycle()
+		for _, p := range core.ProtocolNames {
+			r := m.Results[wl][p]
+			row := []string{wl, p}
+			for _, cls := range power.CacheClasses {
+				row = append(row, fmt.Sprintf("%.3f", r.Breakdown.Cache[cls]/float64(r.Cycles)/den))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t
+}
+
+// Figure8b renders the network dynamic power (links vs routing),
+// normalized per workload to the directory's network power.
+func (m *Matrix) Figure8b() *stats.Table {
+	t := stats.NewTable("Figure 8b: normalized network dynamic power",
+		"workload", "protocol", "links", "routing", "total", "vs directory")
+	for _, wl := range m.Workloads {
+		den := m.Results[wl]["directory"].NetworkPowerPerCycle()
+		for _, p := range core.ProtocolNames {
+			r := m.Results[wl][p]
+			cyc := float64(r.Cycles)
+			links := r.Breakdown.Link / cyc / den
+			routing := r.Breakdown.Routing / cyc / den
+			t.AddRow(wl, p,
+				fmt.Sprintf("%.3f", links),
+				fmt.Sprintf("%.3f", routing),
+				fmt.Sprintf("%.3f", links+routing),
+				fmt.Sprintf("%+.1f%%", (links+routing-1)*100))
+		}
+	}
+	return t
+}
+
+// Figure9a renders performance normalized to the directory (bigger is
+// better).
+func (m *Matrix) Figure9a() *stats.Table {
+	t := stats.NewTable("Figure 9a: performance normalized to directory (bigger is better)",
+		"workload", "directory", "dico", "providers", "arin")
+	for _, wl := range m.Workloads {
+		base := m.Results[wl]["directory"].Performance()
+		row := []string{wl}
+		for _, p := range core.ProtocolNames {
+			row = append(row, fmt.Sprintf("%.3f", m.Results[wl][p].Performance()/base))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Figure9b renders the L1-miss breakdown into the six prediction
+// categories (fractions of all misses).
+func (m *Matrix) Figure9b() *stats.Table {
+	headers := []string{"workload", "protocol"}
+	for _, n := range proto.MissClassNames {
+		headers = append(headers, n)
+	}
+	t := stats.NewTable("Figure 9b: L1 miss breakdown by prediction category", headers...)
+	for _, wl := range m.Workloads {
+		for _, p := range core.ProtocolNames {
+			r := m.Results[wl][p]
+			total := float64(r.Profile.TotalMisses())
+			row := []string{wl, p}
+			for c := 0; c < int(proto.NumMissClasses); c++ {
+				row = append(row, fmt.Sprintf("%.3f", float64(r.Profile.Count[c])/total))
+			}
+			t.AddRow(row...)
+		}
+	}
+	return t
+}
+
+// LinkAnalysis reproduces Section V-D's shortened-miss numbers: the
+// mean links traversed per miss class, against the theoretical mesh
+// distances.
+func (m *Matrix) LinkAnalysis() *stats.Table {
+	t := stats.NewTable("Section V-D: links traversed per miss (measured)",
+		"workload", "protocol", "pred-owner", "pred-provider", "all misses")
+	for _, wl := range m.Workloads {
+		for _, p := range core.ProtocolNames {
+			r := m.Results[wl][p]
+			var totLinks, totCnt uint64
+			for c := 0; c < int(proto.NumMissClasses); c++ {
+				totLinks += r.Profile.Links[c]
+				totCnt += r.Profile.Count[c]
+			}
+			all := 0.0
+			if totCnt > 0 {
+				all = float64(totLinks) / float64(totCnt)
+			}
+			t.AddRow(wl, p,
+				fmt.Sprintf("%.1f", r.Profile.MeanLinks(proto.MissPredOwner)),
+				fmt.Sprintf("%.1f", r.Profile.MeanLinks(proto.MissPredProvider)),
+				fmt.Sprintf("%.1f", all))
+		}
+	}
+	return t
+}
+
+// TheoreticalDistances reproduces the paper's closing projection of
+// Section V-D: mean link counts for indirect, direct and in-area
+// shortened misses on n-tile chips with the given area sizes.
+func TheoreticalDistances(tiles, areas int) (indirect, direct, shortened float64) {
+	grid := topo.SquareGrid(tiles)
+	mean := mesh.MeanDistance(grid)
+	ar := topo.MustAreas(grid, areas)
+	// Mean distance within one area.
+	areaTiles := ar.TilesIn(0)
+	tot, n := 0, 0
+	for _, a := range areaTiles {
+		for _, b := range areaTiles {
+			if a != b {
+				tot += grid.Hops(a, b)
+				n++
+			}
+		}
+	}
+	inArea := float64(tot) / float64(n)
+	return 3 * mean, 2 * mean, 2 * inArea
+}
+
+// SortedWorkloads returns the matrix workloads sorted for stable
+// output.
+func (m *Matrix) SortedWorkloads() []string {
+	out := append([]string(nil), m.Workloads...)
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,203 @@
+// Package memctrl models the off-chip memory system: the eight memory
+// controllers on the chip borders (Table III: 300-cycle latency plus a
+// small random delay) and the hypervisor's content-based page
+// deduplication with copy-on-write.
+package memctrl
+
+import (
+	"repro/internal/cache"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// BlocksPerPage is the number of 64-byte blocks in a 4 KB page.
+const BlocksPerPage = 64
+
+// Controllers places and times the chip's memory controllers.
+type Controllers struct {
+	tiles   []topo.Tile
+	latency sim.Time
+	jitter  int
+	rng     *sim.Rand
+
+	Reads  uint64
+	Writes uint64
+}
+
+// BorderTiles returns n controller positions spread along the top and
+// bottom borders of the grid (the paper places 8 along the borders of
+// the 8x8 chip).
+func BorderTiles(grid topo.Grid, n int) []topo.Tile {
+	if n <= 0 {
+		panic("memctrl: need at least one controller")
+	}
+	tiles := make([]topo.Tile, 0, n)
+	half := (n + 1) / 2
+	for i := 0; i < half; i++ {
+		x := i * grid.Cols / half
+		tiles = append(tiles, grid.At(x, 0))
+	}
+	for i := 0; i < n-half; i++ {
+		x := i*grid.Cols/(n-half) + grid.Cols/(2*(n-half))
+		tiles = append(tiles, grid.At(x, grid.Rows-1))
+	}
+	return tiles
+}
+
+// New returns controllers at the given tiles with base latency and a
+// uniform random extra delay in [0, jitter].
+func New(tiles []topo.Tile, latency sim.Time, jitter int, rng *sim.Rand) *Controllers {
+	if len(tiles) == 0 {
+		panic("memctrl: no controller tiles")
+	}
+	return &Controllers{tiles: tiles, latency: latency, jitter: jitter, rng: rng}
+}
+
+// Default returns the paper's configuration: 8 border controllers,
+// 300 cycles plus up to 16 cycles of jitter.
+func Default(grid topo.Grid, rng *sim.Rand) *Controllers {
+	return New(BorderTiles(grid, 8), 300, 16, rng)
+}
+
+// For returns the controller tile responsible for block address a
+// (address-interleaved).
+func (c *Controllers) For(a cache.Addr) topo.Tile {
+	return c.tiles[uint64(a)%uint64(len(c.tiles))]
+}
+
+// Tiles returns the controller positions (shared slice; do not mutate).
+func (c *Controllers) Tiles() []topo.Tile { return c.tiles }
+
+// ReadLatency samples the DRAM access time for a read and counts it.
+func (c *Controllers) ReadLatency() sim.Time {
+	c.Reads++
+	return c.sample()
+}
+
+// WriteLatency samples the DRAM access time for a writeback and counts
+// it.
+func (c *Controllers) WriteLatency() sim.Time {
+	c.Writes++
+	return c.sample()
+}
+
+func (c *Controllers) sample() sim.Time {
+	d := c.latency
+	if c.jitter > 0 {
+		d += sim.Time(c.rng.Intn(c.jitter + 1))
+	}
+	return d
+}
+
+// PageClass classifies a virtual page for the deduplication model.
+type PageClass int
+
+// Page classes: private to one thread, shared within one VM, or
+// deduplicated read-only content identical across VMs.
+const (
+	PagePrivate PageClass = iota
+	PageVMShared
+	PageDedup
+)
+
+type pageKey struct {
+	vm    int
+	vpage uint64
+}
+
+// Mapper is the hypervisor page table: it maps (vm, virtual page) to
+// physical pages, merging identical read-only pages across VMs when
+// deduplication is enabled, and breaking the sharing with copy-on-write
+// when a deduplicated page is written.
+type Mapper struct {
+	dedup      bool
+	nextPhys   uint64
+	private    map[pageKey]uint64
+	shared     map[uint64]uint64 // content id (vpage) -> phys page
+	cow        map[pageKey]uint64
+	sharedSeen map[pageKey]bool // (vm, vpage) pairs already counted
+
+	// Statistics.
+	PrivatePages uint64
+	SharedPages  uint64 // deduplicated physical pages
+	DedupRefs    uint64 // (vm, vpage) pairs resolved to a shared page
+	CoWBreaks    uint64
+}
+
+// NewMapper returns a mapper with deduplication enabled or disabled.
+func NewMapper(dedup bool) *Mapper {
+	return &Mapper{
+		dedup:      dedup,
+		private:    make(map[pageKey]uint64),
+		shared:     make(map[uint64]uint64),
+		cow:        make(map[pageKey]uint64),
+		sharedSeen: make(map[pageKey]bool),
+	}
+}
+
+// DedupEnabled reports whether deduplication is on.
+func (m *Mapper) DedupEnabled() bool { return m.dedup }
+
+func (m *Mapper) allocPhys() uint64 {
+	p := m.nextPhys
+	m.nextPhys++
+	return p
+}
+
+// Translate maps a virtual page of a VM to a physical page. write
+// triggers copy-on-write on deduplicated pages. The returned cow flag
+// reports that this call broke a sharing (the caller may account a
+// page-copy cost).
+func (m *Mapper) Translate(vm int, vpage uint64, class PageClass, write bool) (phys uint64, cow bool) {
+	key := pageKey{vm, vpage}
+	if class != PageDedup || !m.dedup {
+		if p, ok := m.private[key]; ok {
+			return p, false
+		}
+		p := m.allocPhys()
+		m.private[key] = p
+		m.PrivatePages++
+		return p, false
+	}
+	// Deduplicated page: one physical copy per content id unless this
+	// VM broke it with a write.
+	if p, ok := m.cow[key]; ok {
+		return p, false
+	}
+	sp, ok := m.shared[vpage]
+	if !ok {
+		sp = m.allocPhys()
+		m.shared[vpage] = sp
+		m.SharedPages++
+		m.sharedSeen[key] = true
+	} else if !m.sharedSeen[key] {
+		// A new VM maps an already-deduplicated page: one page saved.
+		m.sharedSeen[key] = true
+		m.DedupRefs++
+	}
+	if write {
+		p := m.allocPhys()
+		m.cow[key] = p
+		m.CoWBreaks++
+		return p, true
+	}
+	return sp, false
+}
+
+// BlockAddr converts a physical page and block offset into a block
+// address.
+func BlockAddr(physPage uint64, block int) cache.Addr {
+	return cache.Addr(physPage*BlocksPerPage + uint64(block))
+}
+
+// SavedFraction returns the fraction of physical memory saved by
+// deduplication: pages that would have been allocated without dedup
+// versus pages actually allocated.
+func (m *Mapper) SavedFraction() float64 {
+	without := m.PrivatePages + m.SharedPages + m.DedupRefs + m.CoWBreaks
+	with := m.nextPhys
+	if without == 0 {
+		return 0
+	}
+	return 1 - float64(with)/float64(without)
+}

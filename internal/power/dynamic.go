@@ -1,0 +1,69 @@
+package power
+
+import (
+	"repro/internal/mesh"
+	"repro/internal/stats"
+)
+
+// Breakdown classes used by the Figure 8a cache-power decomposition.
+const (
+	ClassL1Tag  = "L1 tag"
+	ClassL1Data = "L1 data"
+	ClassL2Tag  = "L2 tag"
+	ClassL2Data = "L2 data"
+	ClassDir    = "dir cache"
+	ClassCC     = "coherence caches"
+)
+
+// CacheClasses lists the Figure 8a classes in presentation order.
+var CacheClasses = []string{ClassL1Tag, ClassL1Data, ClassL2Tag, ClassL2Data, ClassDir, ClassCC}
+
+// DynamicBreakdown is the chip's dynamic energy split the way Figures
+// 7, 8a and 8b report it. All values are picojoules; callers normalize.
+type DynamicBreakdown struct {
+	Cache   map[string]float64 // by CacheClasses
+	Link    float64            // flit transmissions (Figure 8b "links")
+	Routing float64            // router traversals (Figure 8b "routing")
+}
+
+// CacheTotal returns the summed cache energy.
+func (d DynamicBreakdown) CacheTotal() float64 {
+	t := 0.0
+	for _, v := range d.Cache {
+		t += v
+	}
+	return t
+}
+
+// NetworkTotal returns link + routing energy.
+func (d DynamicBreakdown) NetworkTotal() float64 { return d.Link + d.Routing }
+
+// Total returns the full dynamic energy (Figure 7's bar height before
+// normalization).
+func (d DynamicBreakdown) Total() float64 { return d.CacheTotal() + d.NetworkTotal() }
+
+// Dynamic converts the protocol's event counts and the network's
+// activity counters into the energy breakdown.
+func Dynamic(counts *stats.Set, net mesh.Stats, e TileEnergies) DynamicBreakdown {
+	d := DynamicBreakdown{Cache: make(map[string]float64, len(CacheClasses))}
+	add := func(class, ev string, pj float64) {
+		d.Cache[class] += float64(counts.Value(ev)) * pj
+	}
+	add(ClassL1Tag, EvL1TagRead, e.L1TagRead)
+	add(ClassL1Tag, EvL1TagWrite, e.L1TagWrite)
+	add(ClassL1Data, EvL1DataRead, e.L1DataRead)
+	add(ClassL1Data, EvL1DataWrite, e.L1DataWrite)
+	add(ClassL2Tag, EvL2TagRead, e.L2TagRead)
+	add(ClassL2Tag, EvL2TagWrite, e.L2TagWrite)
+	add(ClassL2Data, EvL2DataRead, e.L2DataRead)
+	add(ClassL2Data, EvL2DataWrite, e.L2DataWrite)
+	add(ClassDir, EvDirRead, e.DirRead)
+	add(ClassDir, EvDirWrite, e.DirWrite)
+	add(ClassCC, EvL1CAccess, e.L1CAccess)
+	add(ClassCC, EvL1CUpdate, e.L1CUpdate)
+	add(ClassCC, EvL2CAccess, e.L2CAccess)
+	add(ClassCC, EvL2CUpdate, e.L2CUpdate)
+	d.Link = float64(net.FlitLinkCrossing) * e.Flit
+	d.Routing = float64(net.RouterTraversals) * e.Router
+	return d
+}

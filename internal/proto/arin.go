@@ -1,0 +1,1136 @@
+package proto
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/mesh"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// L1 states of DiCo-Arin.
+const (
+	arShared cache.State = 1 + iota
+	arProvider
+	arOwnerShared
+	arOwnerExclusive
+	arOwnerModified
+)
+
+// Home L2 line forms for DiCo-Arin: a block is either owned by the L2
+// (sharers of a single area tracked precisely) or shared between areas
+// (one provider pointer per area, no sharer information — broadcast
+// invalidation covers the copies).
+const (
+	l2ArinOwned cache.State = 1 + iota
+	l2ArinInter
+)
+
+func arIsOwner(s cache.State) bool {
+	return s == arOwnerShared || s == arOwnerExclusive || s == arOwnerModified
+}
+
+// Arin implements DiCo-Arin (Sections III-B and IV-B): DiCo behaviour
+// while a block's copies stay inside one area; the first remote-area
+// read dissolves ownership, parks the block in the home L2, and turns
+// every copy holder into a provider. Writes to inter-area blocks use
+// the paper's three-phase broadcast invalidation (block, ack,
+// unblock).
+type Arin struct {
+	ctx        *Context
+	tiles      []*tileState
+	recalls    []map[cache.Addr]bool
+	ownerStamp []map[cache.Addr]sim.Time
+}
+
+// NewArin builds the DiCo-Arin engine on ctx.
+func NewArin(ctx *Context) *Arin {
+	if ctx.Areas.Count > cache.MaxSimAreas {
+		panic(fmt.Sprintf("arin: %d areas exceed the simulator's limit of %d",
+			ctx.Areas.Count, cache.MaxSimAreas))
+	}
+	n := ctx.NumTiles()
+	p := &Arin{
+		ctx:        ctx,
+		tiles:      make([]*tileState, n),
+		recalls:    make([]map[cache.Addr]bool, n),
+		ownerStamp: make([]map[cache.Addr]sim.Time, n),
+	}
+	for i := range p.tiles {
+		p.tiles[i] = newTileState(ctx.Cfg, ctx.BankShift())
+		p.recalls[i] = make(map[cache.Addr]bool)
+		p.ownerStamp[i] = make(map[cache.Addr]sim.Time)
+	}
+	return p
+}
+
+// Name implements Engine.
+func (p *Arin) Name() string { return "arin" }
+
+// Stats implements Engine.
+func (p *Arin) Stats() *stats.Set { return &p.ctx.Counters }
+
+// MissProfile implements Engine.
+func (p *Arin) MissProfile() MissProfile { return p.ctx.Profile }
+
+func (p *Arin) areaOf(t topo.Tile) int   { return p.ctx.Areas.Of(t) }
+func (p *Arin) areaIdx(t topo.Tile) int8 { return int8(p.ctx.Areas.IndexInArea(t)) }
+func (p *Arin) tileAt(area int, idx int8) topo.Tile {
+	return p.ctx.Areas.TilesIn(area)[idx]
+}
+
+type arReq struct {
+	addr      cache.Addr
+	requestor topo.Tile
+	write     bool
+	predicted bool
+	forwards  int
+	forwarder topo.Tile // -1 unless an L1 forwarded this request
+}
+
+// Access implements Engine.
+func (p *Arin) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()) {
+	ctx := p.ctx
+	t := p.tiles[tile]
+	if _, pending := t.mshr.Lookup(addr); pending {
+		t.stallL1(addr, func() { p.Access(tile, addr, write, onDone) })
+		return
+	}
+	if t.blocked[addr] {
+		// Three-phase broadcast in progress: wait for the unblock.
+		t.stallL1(addr, func() { p.Access(tile, addr, write, onDone) })
+		return
+	}
+	ctx.Ev(power.EvL1TagRead)
+	if line := t.l1.Lookup(addr); line != nil {
+		if !write {
+			ctx.Ev(power.EvL1DataRead)
+			ctx.Profile.Hits++
+			ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
+			return
+		}
+		switch line.State {
+		case arOwnerModified, arOwnerExclusive:
+			line.State = arOwnerModified
+			line.Dirty = true
+			ctx.Ev(power.EvL1DataWrite)
+			ctx.Profile.Hits++
+			ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
+			return
+		case arOwnerShared:
+			p.ownerWriteHit(tile, addr, line, onDone)
+			return
+		}
+		// Shared or provider copy under a write: full miss path (the
+		// home decides between owner transfer and broadcast).
+	}
+	e := t.mshr.Allocate(addr, write, uint64(ctx.Kernel.Now()))
+	e.OnComplete = onDone
+	r := arReq{addr: addr, requestor: tile, write: write, forwarder: -1}
+	ctx.Ev(power.EvL1CAccess)
+	if ptr, ok := t.l1c.Lookup(addr); ok && topo.Tile(ptr) != tile && !ctx.Cfg.NoPrediction {
+		r.predicted = true
+		e.Tag = int(MissPredFail)
+		pred := topo.Tile(ptr)
+		del := ctx.SendCtl(tile, pred, func() { p.atL1(r, pred) })
+		e.Links += del.Hops
+		return
+	}
+	e.Tag = int(MissUnpredHome)
+	home := ctx.HomeOf(addr)
+	del := ctx.SendCtl(tile, home, func() { p.atHome(r) })
+	e.Links += del.Hops
+}
+
+// ownerWriteHit: an intra-area owner invalidates its sharers locally,
+// exactly like DiCo.
+func (p *Arin) ownerWriteHit(tile topo.Tile, addr cache.Addr, line *cache.Line, onDone func()) {
+	ctx := p.ctx
+	t := p.tiles[tile]
+	area := p.areaOf(tile)
+	sharers := line.Sharers &^ areaBit(ctx.Areas, tile)
+	if sharers == 0 {
+		line.State = arOwnerModified
+		line.Dirty = true
+		ctx.Ev(power.EvL1DataWrite)
+		ctx.Profile.Hits++
+		ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
+		return
+	}
+	e := t.mshr.Allocate(addr, true, uint64(ctx.Kernel.Now()))
+	e.OnComplete = onDone
+	e.Tag = int(MissPredOwner)
+	e.DataReceived = true
+	e.SharerAcks = popcount(sharers)
+	forEachBit(sharers, func(i int) {
+		sharer := p.tileAt(area, int8(i))
+		ctx.SendCtl(tile, sharer, func() { p.invalidateSharer(sharer, addr, tile) })
+	})
+	line.State = arOwnerModified
+	line.Dirty = true
+	line.Sharers = 0
+	ctx.Ev(power.EvL1DataWrite)
+	ctx.Ev(power.EvL1TagWrite)
+}
+
+func (p *Arin) invalidateSharer(tile topo.Tile, addr cache.Addr, requestor topo.Tile) {
+	ctx := p.ctx
+	t := p.tiles[tile]
+	ctx.Ev(power.EvL1TagRead)
+	if _, ok := t.l1.Invalidate(addr); ok {
+		ctx.Ev(power.EvL1TagWrite)
+	}
+	if e, ok := t.mshr.Lookup(addr); ok {
+		e.InvalidatedWhilePending = true
+	}
+	t.l1c.Update(addr, int16(requestor))
+	ctx.Ev(power.EvL1CUpdate)
+	ctx.SendCtl(tile, requestor, func() {
+		if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
+			e.SharerAcks--
+			p.maybeComplete(requestor, addr)
+		}
+	})
+}
+
+// atL1 handles a request at an L1 cache.
+func (p *Arin) atL1(r arReq, tile topo.Tile) {
+	ctx := p.ctx
+	t := p.tiles[tile]
+	if _, pending := t.mshr.Lookup(r.addr); pending {
+		t.stallL1(r.addr, func() { p.atL1(r, tile) })
+		return
+	}
+	if t.blocked[r.addr] {
+		t.stallL1(r.addr, func() { p.atL1(r, tile) })
+		return
+	}
+	ctx.Ev(power.EvL1TagRead)
+	line := t.l1.Lookup(r.addr)
+	switch {
+	case line != nil && arIsOwner(line.State):
+		if r.write {
+			p.ownerWriteSupply(r, tile, line)
+			return
+		}
+		if p.areaOf(r.requestor) == p.areaOf(tile) {
+			// Local read: plain DiCo behaviour.
+			p.classifyMiss(r, byOwner)
+			line.Sharers |= areaBit(ctx.Areas, r.requestor)
+			if line.State != arOwnerShared {
+				line.State = arOwnerShared
+			}
+			ctx.Ev(power.EvL1TagWrite)
+			ctx.Ev(power.EvL1DataRead)
+			p.deliver(r, tile, arShared, false, int16(tile))
+			return
+		}
+		p.dissolveOwnership(r, tile, line)
+	case line != nil && line.State == arProvider && !r.write &&
+		p.areaOf(r.requestor) == p.areaOf(tile):
+		ctx.Trace(r.addr, "provider %d supplies %d", tile, r.requestor)
+		// A provider supplies inside its area; the new copy is a
+		// provider too (Section IV-B's optimization).
+		p.classifyMiss(r, byProvider)
+		ctx.Ev(power.EvL1DataRead)
+		p.deliver(r, tile, arProvider, false, int16(tile))
+	default:
+		// Forward to the home, recording the forwarder so the home
+		// can refresh a stale provider pointer (Section IV-B).
+		r.forwards++
+		r.forwarder = tile
+		home := ctx.HomeOf(r.addr)
+		del := ctx.SendCtl(tile, home, func() { p.atHome(r) })
+		p.addLinks(r.requestor, r.addr, del.Hops)
+	}
+}
+
+// dissolveOwnership is the heart of DiCo-Arin (Section III-B): a read
+// from a remote area reaches the L1 owner; the ownership disappears,
+// the former owner becomes a provider, the home L2 receives the data
+// (and becomes a provider), and the requestor becomes a provider.
+func (p *Arin) dissolveOwnership(r arReq, owner topo.Tile, line *cache.Line) {
+	ctx := p.ctx
+	ctx.Trace(r.addr, "dissolve at owner %d for %d", owner, r.requestor)
+	p.classifyMiss(r, byOwner)
+	ownerArea := p.areaOf(owner)
+	dirty := line.Dirty
+	line.State = arProvider
+	line.Dirty = false
+	line.Sharers = 0 // former sharers survive silently; broadcast covers them
+	line.Owner = -1
+	ctx.Ev(power.EvL1TagWrite)
+	ctx.Ev(power.EvL1DataRead)
+	p.deliver(r, owner, arProvider, false, int16(owner))
+	home := ctx.HomeOf(r.addr)
+	reqArea := p.areaOf(r.requestor)
+	ctx.SendData(owner, home, func() {
+		p.ownerStamp[home][r.addr] = ctx.Kernel.Now()
+		var propos [cache.MaxSimAreas]int8
+		for a := range propos {
+			propos[a] = -1
+		}
+		propos[ownerArea] = p.areaIdx(owner)
+		propos[reqArea] = p.areaIdx(r.requestor)
+		p.insertL2Inter(home, r.addr, dirty, propos, func() {
+			if p.tiles[home].l2c.Invalidate(r.addr) {
+				ctx.Ev(power.EvL2CUpdate)
+			}
+			delete(p.recalls[home], r.addr)
+			p.tiles[home].wakeHome(ctx.Kernel, r.addr)
+		})
+	})
+}
+
+// ownerWriteSupply: intra-area ownership transfer, as in DiCo.
+func (p *Arin) ownerWriteSupply(r arReq, owner topo.Tile, line *cache.Line) {
+	ctx := p.ctx
+	p.classifyMiss(r, byOwner)
+	area := p.areaOf(owner)
+	sharers := line.Sharers &^ areaBit(ctx.Areas, owner)
+	if p.areaOf(r.requestor) == area {
+		sharers &^= areaBit(ctx.Areas, r.requestor)
+	}
+	if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
+		e.SharerAcks += popcount(sharers)
+		e.HomeAck = true
+	}
+	forEachBit(sharers, func(i int) {
+		sharer := p.tileAt(area, int8(i))
+		ctx.SendCtl(owner, sharer, func() { p.invalidateSharer(sharer, r.addr, r.requestor) })
+	})
+	ctx.Ev(power.EvL1DataRead)
+	ctx.Ev(power.EvL1TagWrite)
+	p.tiles[owner].l1.Invalidate(r.addr)
+	p.tiles[owner].l1c.Update(r.addr, int16(r.requestor))
+	ctx.Ev(power.EvL1CUpdate)
+	p.deliver(r, owner, arOwnerModified, true, -1)
+	home := ctx.HomeOf(r.addr)
+	stamp := ctx.Kernel.Now()
+	ctx.SendCtl(owner, home, func() {
+		p.homeOwnerUpdate(home, r.addr, r.requestor, stamp)
+		ctx.SendCtl(home, r.requestor, func() {
+			if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
+				e.HomeAck = false
+				p.maybeComplete(r.requestor, r.addr)
+			}
+		})
+	})
+}
+
+// atHome dispatches at the home bank.
+func (p *Arin) atHome(r arReq) {
+	ctx := p.ctx
+	home := ctx.HomeOf(r.addr)
+	th := p.tiles[home]
+	if th.homeBusy[r.addr] || p.recalls[home][r.addr] {
+		th.stallHome(r.addr, func() { p.atHome(r) })
+		return
+	}
+	ctx.Ev(power.EvL2TagRead)
+	ctx.Ev(power.EvL2CAccess)
+	if ptr, ok := th.l2c.Lookup(r.addr); ok && th.l2.Peek(r.addr) == nil {
+		ownerTile := topo.Tile(ptr)
+		if ownerTile == r.requestor || r.forwards >= maxForwards {
+			ctx.Kernel.After(retryBackoff, func() {
+				p.atHome(arReq{r.addr, r.requestor, r.write, r.predicted, 0, -1})
+			})
+			return
+		}
+		r.forwards++
+		del := ctx.SendCtl(home, ownerTile, func() { p.atL1(r, ownerTile) })
+		p.addLinks(r.requestor, r.addr, del.Hops)
+		return
+	}
+	l2line := th.l2.Lookup(r.addr)
+	if l2line != nil {
+		// A stale Change_Owner may have re-installed an L2C$ pointer
+		// after the block returned home; the L2 line wins.
+		if th.l2c.Invalidate(r.addr) {
+			ctx.Ev(power.EvL2CUpdate)
+		}
+	}
+	if l2line == nil {
+		// Not on chip.
+		p.updateL2C(home, r.addr, r.requestor)
+		state := arOwnerExclusive
+		dirty := false
+		if r.write {
+			state = arOwnerModified
+			dirty = true
+		}
+		mc := ctx.Mem.For(r.addr)
+		del := ctx.SendCtl(home, mc, func() {
+			lat := ctx.Mem.ReadLatency()
+			ctx.Kernel.After(lat, func() {
+				d2 := ctx.SendData(mc, home, func() { p.deliver(r, home, state, dirty, -1) })
+				p.addLinks(r.requestor, r.addr, d2.Hops)
+			})
+		})
+		p.addLinks(r.requestor, r.addr, del.Hops)
+		return
+	}
+	if l2line.State == l2ArinInter {
+		p.homeInter(r, home, l2line)
+		return
+	}
+	p.homeOwned(r, home, l2line)
+}
+
+// homeInter serves a request for a block shared between areas: the
+// block is always present in the home L2 (the design decision that
+// removes DiCo-Providers' 5-hop path).
+func (p *Arin) homeInter(r arReq, home topo.Tile, l2line *cache.Line) {
+	ctx := p.ctx
+	ctx.Trace(r.addr, "home-inter %d serves %d write=%v fwd=%d", home, r.requestor, r.write, r.forwarder)
+	th := p.tiles[home]
+	reqArea := p.areaOf(r.requestor)
+	if r.write {
+		p.broadcastInvalidation(r, home, l2line)
+		return
+	}
+	// Stale-provider fixup: the forwarder is no longer a provider.
+	if r.forwarder >= 0 {
+		fwdArea := p.areaOf(r.forwarder)
+		if l2line.ProPos[fwdArea] == p.areaIdx(r.forwarder) {
+			if fwdArea == reqArea {
+				l2line.ProPos[fwdArea] = p.areaIdx(r.requestor)
+			} else {
+				l2line.ProPos[fwdArea] = -1
+			}
+			ctx.Ev(power.EvL2TagWrite)
+		}
+	}
+	p.classifyMiss(r, byHome)
+	ctx.Ev(power.EvL2DataRead)
+	// The reply carries the identity of the area's provider so the
+	// requestor's L1C$ points at it for the next miss.
+	hint := int16(-1)
+	if l2line.ProPos[reqArea] >= 0 {
+		provTile := p.tileAt(reqArea, l2line.ProPos[reqArea])
+		if provTile != r.requestor {
+			hint = int16(provTile)
+		}
+	} else {
+		l2line.ProPos[reqArea] = p.areaIdx(r.requestor)
+		ctx.Ev(power.EvL2TagWrite)
+	}
+	th.l2.Touch(l2line)
+	p.deliver(r, home, arProvider, false, hint)
+}
+
+// homeOwned serves a request when the home L2 owns the block with
+// (at most) one area's sharers tracked precisely.
+func (p *Arin) homeOwned(r arReq, home topo.Tile, l2line *cache.Line) {
+	ctx := p.ctx
+	ctx.Trace(r.addr, "home-owned %d serves %d write=%v areatag=%d sharers=%#x", home, r.requestor, r.write, l2line.AreaTag, l2line.Sharers)
+	th := p.tiles[home]
+	reqArea := p.areaOf(r.requestor)
+	if r.write {
+		// L2-owner write: invalidate the tracked sharers, transfer
+		// ownership to the writer.
+		p.classifyMiss(r, byHome)
+		var sharers uint64
+		area := int(l2line.AreaTag)
+		if area >= 0 {
+			sharers = l2line.Sharers
+			if area == reqArea {
+				sharers &^= areaBit(ctx.Areas, r.requestor)
+			}
+		}
+		if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
+			e.SharerAcks += popcount(sharers)
+		}
+		forEachBit(sharers, func(i int) {
+			sharer := p.tileAt(area, int8(i))
+			ctx.SendCtl(home, sharer, func() { p.invalidateSharer(sharer, r.addr, r.requestor) })
+		})
+		ctx.Ev(power.EvL2DataRead)
+		th.l2.Invalidate(r.addr)
+		ctx.Ev(power.EvL2TagWrite)
+		p.updateL2C(home, r.addr, r.requestor)
+		p.deliver(r, home, arOwnerModified, true, -1)
+		return
+	}
+	// Read with the L2 as owner.
+	if int(l2line.AreaTag) == reqArea || l2line.AreaTag < 0 {
+		p.classifyMiss(r, byHome)
+		if l2line.AreaTag < 0 {
+			l2line.AreaTag = int8(reqArea)
+		}
+		l2line.Sharers |= areaBit(ctx.Areas, r.requestor)
+		ctx.Ev(power.EvL2DataRead)
+		ctx.Ev(power.EvL2TagWrite)
+		p.deliver(r, home, arShared, false, -1)
+		return
+	}
+	// A second area starts reading: the block becomes shared between
+	// areas. The previously tracked sharers silently become
+	// broadcast-covered copies.
+	p.classifyMiss(r, byHome)
+	l2line.State = l2ArinInter
+	for a := range l2line.ProPos {
+		l2line.ProPos[a] = -1
+	}
+	l2line.ProPos[reqArea] = p.areaIdx(r.requestor)
+	l2line.Sharers = 0
+	l2line.AreaTag = -1
+	ctx.Ev(power.EvL2DataRead)
+	ctx.Ev(power.EvL2TagWrite)
+	p.deliver(r, home, arProvider, false, -1)
+}
+
+// broadcastInvalidation is the three-phase mechanism of Section IV-B1
+// for a write to an inter-area block: (1) the home broadcasts the
+// invalidation and every L1 blocks the address, (2) every L1 acks the
+// requestor, (3) the requestor broadcasts the unblock.
+func (p *Arin) broadcastInvalidation(r arReq, home topo.Tile, l2line *cache.Line) {
+	ctx := p.ctx
+	ctx.Trace(r.addr, "broadcast inv from home %d for writer %d", home, r.requestor)
+	th := p.tiles[home]
+	p.classifyMiss(r, byHome)
+	th.homeBusy[r.addr] = true
+	dirty := l2line.Dirty
+	th.l2.Invalidate(r.addr)
+	ctx.Ev(power.EvL2TagWrite)
+	ctx.Ev(power.EvL2DataRead)
+	p.updateL2C(home, r.addr, r.requestor)
+
+	expected := ctx.NumTiles() - 1 // broadcast destinations
+	if r.requestor != home {
+		expected-- // the requestor does not ack itself
+	}
+	if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
+		e.SharerAcks += expected
+		e.HomeAck = true // released when the unblock phase finishes
+	}
+	deliverInv := func(dst topo.Tile) {
+		t := p.tiles[dst]
+		ctx.Ev(power.EvL1TagRead)
+		if _, ok := t.l1.Invalidate(r.addr); ok {
+			ctx.Ev(power.EvL1TagWrite)
+		}
+		if e, ok := t.mshr.Lookup(r.addr); ok && dst != r.requestor {
+			e.InvalidatedWhilePending = true
+		}
+		t.l1c.Update(r.addr, int16(r.requestor))
+		ctx.Ev(power.EvL1CUpdate)
+		if dst == r.requestor {
+			return
+		}
+		t.blocked[r.addr] = true
+		ctx.SendCtl(dst, r.requestor, func() {
+			if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
+				e.SharerAcks--
+				if e.SharerAcks == 0 && e.DataReceived {
+					p.unblockAfterWrite(r, home)
+				}
+			}
+		})
+	}
+	// The mesh broadcast excludes the source tile: invalidate the home
+	// tile's own L1 copy inline (it is not among the counted acks).
+	ctx.Ev(power.EvL1TagRead)
+	if _, ok := th.l1.Invalidate(r.addr); ok {
+		ctx.Ev(power.EvL1TagWrite)
+	}
+	if e, ok := th.mshr.Lookup(r.addr); ok && home != r.requestor {
+		e.InvalidatedWhilePending = true
+	}
+	if ctx.Cfg.BroadcastUnicast {
+		ctx.Net.UnicastBroadcast(home, ctx.Net.Config().ControlFlits, deliverInv)
+	} else {
+		ctx.Net.Broadcast(home, ctx.Net.Config().ControlFlits, deliverInv)
+	}
+	p.deliverWithHook(r, home, arOwnerModified, dirty || true, -1, func() {
+		if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
+			if e.SharerAcks == 0 && e.DataReceived {
+				p.unblockAfterWrite(r, home)
+			}
+		}
+	})
+}
+
+// unblockAfterWrite is phase three: the requestor broadcasts the
+// unblock, every L1 resumes, and the home releases the block.
+func (p *Arin) unblockAfterWrite(r arReq, home topo.Tile) {
+	ctx := p.ctx
+	e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr)
+	if !ok || !e.HomeAck {
+		return // already unblocked
+	}
+	deliverUnblock := func(dst topo.Tile) {
+		t := p.tiles[dst]
+		if t.blocked[r.addr] {
+			delete(t.blocked, r.addr)
+			t.wakeL1(ctx.Kernel, r.addr)
+		}
+		if dst == home {
+			th := p.tiles[home]
+			delete(th.homeBusy, r.addr)
+			th.wakeHome(ctx.Kernel, r.addr)
+		}
+	}
+	if ctx.Cfg.BroadcastUnicast {
+		ctx.Net.UnicastBroadcast(r.requestor, ctx.Net.Config().ControlFlits, deliverUnblock)
+	} else {
+		ctx.Net.Broadcast(r.requestor, ctx.Net.Config().ControlFlits, deliverUnblock)
+	}
+	if r.requestor == home {
+		th := p.tiles[home]
+		delete(th.homeBusy, r.addr)
+		th.wakeHome(ctx.Kernel, r.addr)
+	}
+	e.HomeAck = false
+	p.maybeComplete(r.requestor, r.addr)
+}
+
+// evictL2Inter invalidates every copy of an inter-area victim block
+// via broadcast, acks collected at the home (Section IV-B1's
+// replacement variant), then calls then.
+func (p *Arin) evictL2Inter(home topo.Tile, victim cache.Line, then func()) {
+	ctx := p.ctx
+	ctx.Trace(victim.Addr, "L2 inter eviction at %d", home)
+	th := p.tiles[home]
+	victimAddr := victim.Addr
+	th.homeBusy[victimAddr] = true
+	pending := ctx.NumTiles() - 1
+	finishAcks := func() {
+		// Phase three: home broadcasts the unblock.
+		deliverUnblock := func(dst topo.Tile) {
+			t := p.tiles[dst]
+			if t.blocked[victimAddr] {
+				delete(t.blocked, victimAddr)
+				t.wakeL1(ctx.Kernel, victimAddr)
+			}
+		}
+		if ctx.Cfg.BroadcastUnicast {
+			ctx.Net.UnicastBroadcast(home, ctx.Net.Config().ControlFlits, deliverUnblock)
+		} else {
+			ctx.Net.Broadcast(home, ctx.Net.Config().ControlFlits, deliverUnblock)
+		}
+		if victim.Dirty {
+			mc := ctx.Mem.For(victimAddr)
+			ctx.SendData(home, mc, func() { ctx.Mem.WriteLatency() })
+		}
+		delete(th.homeBusy, victimAddr)
+		th.wakeHome(ctx.Kernel, victimAddr)
+		then()
+	}
+	deliverInv := func(dst topo.Tile) {
+		t := p.tiles[dst]
+		ctx.Ev(power.EvL1TagRead)
+		if _, ok := t.l1.Invalidate(victimAddr); ok {
+			ctx.Ev(power.EvL1TagWrite)
+		}
+		if e, ok := t.mshr.Lookup(victimAddr); ok {
+			e.InvalidatedWhilePending = true
+		}
+		t.blocked[victimAddr] = true
+		ctx.SendCtl(dst, home, func() {
+			pending--
+			if pending == 0 {
+				finishAcks()
+			}
+		})
+	}
+	// Invalidate the home tile's own L1 copy inline (the broadcast
+	// excludes the source tile, and its ack is not counted).
+	ctx.Ev(power.EvL1TagRead)
+	if _, ok := th.l1.Invalidate(victimAddr); ok {
+		ctx.Ev(power.EvL1TagWrite)
+	}
+	if e, ok := th.mshr.Lookup(victimAddr); ok {
+		e.InvalidatedWhilePending = true
+	}
+	if ctx.Cfg.BroadcastUnicast {
+		ctx.Net.UnicastBroadcast(home, ctx.Net.Config().ControlFlits, deliverInv)
+	} else {
+		ctx.Net.Broadcast(home, ctx.Net.Config().ControlFlits, deliverInv)
+	}
+}
+
+// deliver sends the block to the requestor and completes on arrival.
+func (p *Arin) deliver(r arReq, from topo.Tile, state cache.State, dirty bool, supplier int16) {
+	p.deliverWithHook(r, from, state, dirty, supplier, nil)
+}
+
+func (p *Arin) deliverWithHook(r arReq, from topo.Tile, state cache.State, dirty bool,
+	supplier int16, afterFill func()) {
+	del := p.ctx.SendData(from, r.requestor, func() {
+		p.fillL1(r.requestor, r.addr, state, dirty, supplier)
+		if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
+			e.DataReceived = true
+		}
+		if afterFill != nil {
+			afterFill()
+		}
+		p.maybeComplete(r.requestor, r.addr)
+	})
+	p.addLinks(r.requestor, r.addr, del.Hops)
+}
+
+// fillL1 installs the block; the supplier hint (provider or owner)
+// goes into the line for L1C$ retention on eviction.
+func (p *Arin) fillL1(tile topo.Tile, addr cache.Addr, state cache.State, dirty bool, supplier int16) {
+	ctx := p.ctx
+	ctx.Trace(addr, "fill at %d state=%d", tile, state)
+	t := p.tiles[tile]
+	ctx.Ev(power.EvL1TagWrite)
+	ctx.Ev(power.EvL1DataWrite)
+	if line := t.l1.Peek(addr); line != nil {
+		line.State = state
+		line.Dirty = line.Dirty || dirty
+		line.Sharers = 0
+		if supplier >= 0 {
+			line.Owner = supplier
+		} else {
+			line.Owner = -1
+		}
+		t.l1.Touch(line)
+		return
+	}
+	victim := t.l1.Victim(addr)
+	if victim.Valid() {
+		p.evictL1(tile, *victim)
+		t.l1.Invalidate(victim.Addr)
+	}
+	nl := t.l1.Victim(addr)
+	t.l1.Fill(nl, addr, state)
+	nl.Dirty = dirty
+	if supplier >= 0 {
+		nl.Owner = supplier
+	}
+	t.l1c.Invalidate(addr)
+}
+
+// evictL1: shared and provider copies leave silently (the provider
+// pointer at the home is refreshed lazily by the forwarder fixup);
+// owners transfer to a local sharer or write back to the home.
+func (p *Arin) evictL1(tile topo.Tile, victim cache.Line) {
+	ctx := p.ctx
+	ctx.Trace(victim.Addr, "L1 evict at %d state=%d", tile, victim.State)
+	t := p.tiles[tile]
+	switch victim.State {
+	case arShared, arProvider:
+		if victim.Owner >= 0 {
+			t.l1c.Update(victim.Addr, victim.Owner)
+			ctx.Ev(power.EvL1CUpdate)
+		}
+	default: // owner states
+		area := p.areaOf(tile)
+		sharers := victim.Sharers &^ areaBit(ctx.Areas, tile)
+		if sharers != 0 {
+			p.transferOwnership(tile, victim.Addr, area, sharers, sharers, victim.Dirty, tile)
+		} else {
+			p.writebackToHome(tile, victim.Addr, victim.Dirty, area, 0)
+		}
+	}
+}
+
+// transferOwnership passes ownership to a sharer in the owner's area.
+func (p *Arin) transferOwnership(from topo.Tile, addr cache.Addr, area int,
+	tryList, vector uint64, dirty bool, evictor topo.Tile) {
+	ctx := p.ctx
+	idx := int8(-1)
+	forEachBit(tryList, func(i int) {
+		if idx < 0 {
+			idx = int8(i)
+		}
+	})
+	if idx < 0 {
+		p.writebackToHome(evictor, addr, dirty, area, vector)
+		return
+	}
+	target := p.tileAt(area, idx)
+	rest := tryList &^ (uint64(1) << uint(idx))
+	ctx.SendCtl(from, target, func() {
+		t := p.tiles[target]
+		if _, pending := t.mshr.Lookup(addr); pending {
+			// Skip (never stall behind) a candidate with a miss in
+			// flight; it stays in the vector so the next owner's code
+			// covers its fill.
+			p.transferOwnership(target, addr, area, rest, vector, dirty, evictor)
+			return
+		}
+		ctx.Ev(power.EvL1TagRead)
+		line := t.l1.Peek(addr)
+		if line == nil || line.State != arShared {
+			p.transferOwnership(target, addr, area, rest, vector&^(uint64(1)<<uint(idx)), dirty, evictor)
+			return
+		}
+		line.State = arOwnerShared
+		line.Dirty = dirty
+		line.Sharers = vector &^ (uint64(1) << uint(idx))
+		line.Owner = -1
+		ctx.Ev(power.EvL1TagWrite)
+		home := ctx.HomeOf(addr)
+		stamp := ctx.Kernel.Now()
+		ctx.SendCtl(target, home, func() {
+			p.homeOwnerUpdate(home, addr, target, stamp)
+			ctx.SendCtl(home, target, func() {}) // ack
+		})
+		forEachBit(vector&^(uint64(1)<<uint(idx)), func(i int) {
+			sharer := p.tileAt(area, int8(i))
+			ctx.SendCtl(target, sharer, func() {
+				st := p.tiles[sharer]
+				if l := st.l1.Peek(addr); l != nil && l.State == arShared {
+					l.Owner = int16(target)
+				} else {
+					st.l1c.Update(addr, int16(target))
+					ctx.Ev(power.EvL1CUpdate)
+				}
+			})
+		})
+	})
+}
+
+// writebackToHome returns ownership to the home, which becomes an
+// owner-form L2 entry tracking any leftover sharers of the owner's
+// area (a conservative superset is safe).
+func (p *Arin) writebackToHome(tile topo.Tile, addr cache.Addr, dirty bool, area int, leftover uint64) {
+	ctx := p.ctx
+	home := ctx.HomeOf(addr)
+	areaTag := int8(-1)
+	if leftover != 0 {
+		areaTag = int8(area)
+	}
+	ctx.Ev(power.EvL1DataRead)
+	ctx.SendData(tile, home, func() {
+		p.ownerStamp[home][addr] = ctx.Kernel.Now()
+		p.insertL2Owned(home, addr, dirty, areaTag, leftover, func() {
+			if p.tiles[home].l2c.Invalidate(addr) {
+				ctx.Ev(power.EvL2CUpdate)
+			}
+			delete(p.recalls[home], addr)
+			p.tiles[home].wakeHome(ctx.Kernel, addr)
+		})
+	})
+}
+
+func (p *Arin) homeOwnerUpdate(home topo.Tile, addr cache.Addr, owner topo.Tile, stamp sim.Time) {
+	p.ctx.Trace(addr, "home owner update -> %d (stamp %d)", owner, stamp)
+	if prev, ok := p.ownerStamp[home][addr]; ok && prev > stamp {
+		return
+	}
+	p.ownerStamp[home][addr] = stamp
+	p.updateL2C(home, addr, owner)
+	delete(p.recalls[home], addr)
+	p.tiles[home].wakeHome(p.ctx.Kernel, addr)
+}
+
+func (p *Arin) updateL2C(home topo.Tile, addr cache.Addr, owner topo.Tile) {
+	ctx := p.ctx
+	th := p.tiles[home]
+	evicted, displaced := th.l2c.Update(addr, int16(owner))
+	ctx.Ev(power.EvL2CUpdate)
+	if displaced {
+		p.recallOwnership(home, evicted)
+	}
+}
+
+// recallOwnership returns an L1 owner's block to the home when its
+// L2C$ entry is displaced. The former owner stays on as a sharer of
+// an owner-form home entry.
+func (p *Arin) recallOwnership(home topo.Tile, addr cache.Addr) {
+	ctx := p.ctx
+	ctx.Trace(addr, "recall issued from home %d", home)
+	p.recalls[home][addr] = true
+	owner := topo.Tile(-1)
+	for i := range p.tiles {
+		if l := p.tiles[i].l1.Peek(addr); l != nil && arIsOwner(l.State) {
+			owner = topo.Tile(i)
+			break
+		}
+	}
+	if owner < 0 {
+		// Ownership is in flight (e.g. a memory-fetch grant not yet
+		// filled): poll until the owner materializes or a home update
+		// clears the marker.
+		ctx.Kernel.After(4*retryBackoff, func() {
+			if p.recalls[home][addr] {
+				p.recallOwnership(home, addr)
+			}
+		})
+		return
+	}
+	ctx.SendCtl(home, owner, func() { p.relinquish(home, owner, addr) })
+}
+
+func (p *Arin) relinquish(home, owner topo.Tile, addr cache.Addr) {
+	ctx := p.ctx
+	ctx.Trace(addr, "relinquish at %d", owner)
+	t := p.tiles[owner]
+	if _, pending := t.mshr.Lookup(addr); pending {
+		t.stallL1(addr, func() { p.relinquish(home, owner, addr) })
+		return
+	}
+	ctx.Ev(power.EvL1TagRead)
+	line := t.l1.Peek(addr)
+	if line == nil || !arIsOwner(line.State) {
+		ctx.Trace(addr, "relinquish at %d found no owner line", owner)
+		return
+	}
+	area := p.areaOf(owner)
+	dirty := line.Dirty
+	sharers := (line.Sharers | areaBit(ctx.Areas, owner))
+	line.State = arShared
+	line.Dirty = false
+	line.Sharers = 0
+	line.Owner = -1
+	ctx.Ev(power.EvL1TagWrite)
+	ctx.Ev(power.EvL1DataRead)
+	ctx.SendData(owner, home, func() {
+		p.ownerStamp[home][addr] = ctx.Kernel.Now()
+		p.insertL2Owned(home, addr, dirty, int8(area), sharers, func() {
+			if p.tiles[home].l2c.Invalidate(addr) {
+				ctx.Ev(power.EvL2CUpdate)
+			}
+			delete(p.recalls[home], addr)
+			p.tiles[home].wakeHome(ctx.Kernel, addr)
+		})
+	})
+}
+
+// insertL2Owned installs an owner-form entry at the home.
+func (p *Arin) insertL2Owned(home topo.Tile, addr cache.Addr, dirty bool,
+	areaTag int8, sharers uint64, then func()) {
+	p.insertL2(home, addr, dirty, l2ArinOwned, areaTag, sharers, nil, then)
+}
+
+// insertL2Inter installs an inter-area entry at the home.
+func (p *Arin) insertL2Inter(home topo.Tile, addr cache.Addr, dirty bool,
+	propos [cache.MaxSimAreas]int8, then func()) {
+	p.insertL2(home, addr, dirty, l2ArinInter, -1, 0, &propos, then)
+}
+
+func (p *Arin) insertL2(home topo.Tile, addr cache.Addr, dirty bool, state cache.State,
+	areaTag int8, sharers uint64, propos *[cache.MaxSimAreas]int8, then func()) {
+	ctx := p.ctx
+	ctx.Trace(addr, "insert L2 at %d form=%d areatag=%d sharers=%#x", home, state, areaTag, sharers)
+	th := p.tiles[home]
+	apply := func(line *cache.Line) {
+		line.Dirty = line.Dirty || dirty
+		line.AreaTag = areaTag
+		if state == l2ArinInter {
+			if propos != nil {
+				copy(line.ProPos[:], propos[:])
+			}
+			line.Sharers = 0
+		} else {
+			line.Sharers = sharers
+			for a := range line.ProPos {
+				line.ProPos[a] = -1
+			}
+		}
+		if then != nil {
+			then()
+		}
+	}
+	if line := th.l2.Peek(addr); line != nil {
+		ctx.Ev(power.EvL2TagWrite)
+		ctx.Ev(power.EvL2DataWrite)
+		line.State = state
+		th.l2.Touch(line)
+		apply(line)
+		return
+	}
+	victim := th.l2.Victim(addr)
+	if victim.Valid() {
+		// Remove the victim from the array immediately (so no
+		// concurrent insertion picks the same way), invalidate its
+		// copies, then retry the insertion.
+		snapshot := *victim
+		th.l2.Invalidate(snapshot.Addr)
+		ctx.Ev(power.EvL2TagWrite)
+		retry := func() { p.insertL2(home, addr, dirty, state, areaTag, sharers, propos, then) }
+		if snapshot.State == l2ArinInter {
+			p.evictL2Inter(home, snapshot, retry)
+		} else {
+			p.evictL2OwnedVictim(home, snapshot, retry)
+		}
+		return
+	}
+	ctx.Ev(power.EvL2TagWrite)
+	ctx.Ev(power.EvL2DataWrite)
+	th.l2.Fill(victim, addr, state)
+	apply(victim)
+}
+
+// evictL2OwnedVictim invalidates an owner-form victim's tracked
+// sharers (a single area: cheap unicasts), then proceeds.
+func (p *Arin) evictL2OwnedVictim(home topo.Tile, victim cache.Line, then func()) {
+	ctx := p.ctx
+	ctx.Trace(victim.Addr, "L2 owned eviction at %d sharers=%#x", home, victim.Sharers)
+	th := p.tiles[home]
+	victimAddr := victim.Addr
+	sharers := victim.Sharers
+	area := int(victim.AreaTag)
+	th.homeBusy[victimAddr] = true
+	pending := 0
+	if area >= 0 {
+		pending = popcount(sharers)
+	}
+	finish := func() {
+		if victim.Dirty {
+			mc := ctx.Mem.For(victimAddr)
+			ctx.SendData(home, mc, func() { ctx.Mem.WriteLatency() })
+		}
+		delete(th.homeBusy, victimAddr)
+		th.wakeHome(ctx.Kernel, victimAddr)
+		then()
+	}
+	if pending == 0 {
+		finish()
+		return
+	}
+	forEachBit(sharers, func(i int) {
+		sharer := p.tileAt(area, int8(i))
+		ctx.SendCtl(home, sharer, func() {
+			t := p.tiles[sharer]
+			ctx.Ev(power.EvL1TagRead)
+			if _, ok := t.l1.Invalidate(victimAddr); ok {
+				ctx.Ev(power.EvL1TagWrite)
+			}
+			if e, ok := t.mshr.Lookup(victimAddr); ok {
+				e.InvalidatedWhilePending = true
+			}
+			ctx.SendCtl(sharer, home, func() {
+				pending--
+				if pending == 0 {
+					finish()
+				}
+			})
+		})
+	})
+}
+
+func (p *Arin) classifyMiss(r arReq, kind supplierKind) {
+	classify(p.setClass, r.requestor, r.addr, r.predicted, r.forwards, kind)
+}
+
+func (p *Arin) addLinks(requestor topo.Tile, addr cache.Addr, hops int) {
+	if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
+		e.Links += hops
+	}
+}
+
+func (p *Arin) setClass(requestor topo.Tile, addr cache.Addr, c MissClass) {
+	if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
+		e.Tag = int(c)
+	}
+}
+
+func (p *Arin) maybeComplete(tile topo.Tile, addr cache.Addr) {
+	ctx := p.ctx
+	t := p.tiles[tile]
+	e, ok := t.mshr.Lookup(addr)
+	if !ok || !e.Done() {
+		return
+	}
+	if e.InvalidatedWhilePending && !e.Write {
+		// The fill raced an invalidation. Dropping the line is the
+		// safe resolution, but it must go through the regular
+		// replacement protocol so any ownership or providership the
+		// fill carried is handed back properly.
+		if line := t.l1.Peek(addr); line != nil {
+			snapshot := *line
+			t.l1.Invalidate(addr)
+			p.evictL1(tile, snapshot)
+		}
+	}
+	cls := MissClass(e.Tag)
+	ctx.Profile.Count[cls]++
+	ctx.Profile.Links[cls] += uint64(e.Links)
+	done := e.OnComplete
+	t.mshr.Release(addr)
+	t.wakeL1(ctx.Kernel, addr)
+	if done != nil {
+		done()
+	}
+}
+
+// CheckInvariants implements Engine; call at quiescence. Checks the
+// DiCo-Arin invariants: at most one owner chip-wide; an owned block's
+// copies stay in the owner's area and are covered by its sharing code;
+// inter-area blocks are present in the home L2; provider copies exist
+// only for blocks whose home entry is inter-area (or mid-transition).
+func (p *Arin) CheckInvariants() {
+	ctx := p.ctx
+	type info struct {
+		owner   topo.Tile
+		holders map[topo.Tile]cache.State
+	}
+	blocks := make(map[cache.Addr]*info)
+	for i, t := range p.tiles {
+		tile := topo.Tile(i)
+		t.l1.ForEachValid(func(l *cache.Line) {
+			bi := blocks[l.Addr]
+			if bi == nil {
+				bi = &info{owner: -1, holders: map[topo.Tile]cache.State{}}
+				blocks[l.Addr] = bi
+			}
+			bi.holders[tile] = l.State
+			if arIsOwner(l.State) {
+				if bi.owner >= 0 {
+					panic(fmt.Sprintf("arin: block %#x has two owners (%d, %d)", l.Addr, bi.owner, tile))
+				}
+				bi.owner = tile
+			}
+		})
+	}
+	addrs := make([]cache.Addr, 0, len(blocks))
+	for a := range blocks {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, addr := range addrs {
+		bi := blocks[addr]
+		home := ctx.HomeOf(addr)
+		th := p.tiles[home]
+		l2line := th.l2.Peek(addr)
+		if bi.owner >= 0 {
+			ol := p.tiles[bi.owner].l1.Peek(addr)
+			if ol.State == arOwnerExclusive || ol.State == arOwnerModified {
+				if len(bi.holders) > 1 {
+					panic(fmt.Sprintf("arin: block %#x exclusive at %d with %d holders",
+						addr, bi.owner, len(bi.holders)))
+				}
+			}
+			// Shared copies tracked by the owner must be in its area.
+			area := p.areaOf(bi.owner)
+			for t, s := range bi.holders {
+				if s == arShared && p.areaOf(t) == area {
+					if ol.Sharers&areaBit(ctx.Areas, t) == 0 {
+						panic(fmt.Sprintf("arin: block %#x sharer %d not in owner %d's code",
+							addr, t, bi.owner))
+					}
+				}
+			}
+			if ptr, ok := th.l2c.Lookup(addr); ok && topo.Tile(ptr) != bi.owner {
+				panic(fmt.Sprintf("arin: block %#x L2C$ %d != owner %d", addr, ptr, bi.owner))
+			}
+			continue
+		}
+		// No L1 owner: a home L2 copy must exist for any holders.
+		if l2line == nil {
+			panic(fmt.Sprintf("arin: block %#x cached (%v) with no owner and no L2 copy",
+				addr, bi.holders))
+		}
+		hasProvider := false
+		for _, s := range bi.holders {
+			if s == arProvider {
+				hasProvider = true
+			}
+		}
+		if hasProvider && l2line.State != l2ArinInter {
+			panic(fmt.Sprintf("arin: block %#x has providers but home entry is owner-form", addr))
+		}
+	}
+}
+
+var _ = mesh.Stats{} // mesh types used in broadcast paths above

@@ -1,0 +1,294 @@
+// Package proto implements the four cache coherence protocols the
+// paper evaluates: the optimized flat directory (with an NCID-style
+// directory cache), the original Direct Coherence protocol (DiCo), and
+// the paper's two contributions, DiCo-Providers and DiCo-Arin.
+//
+// All four are message-passing engines over the mesh: every tile has
+// an L1 controller and an L2 bank controller, messages are closures
+// scheduled through mesh.Network with real per-hop latency and
+// contention, and every structure access increments the power event
+// counters of internal/power.
+//
+// Transaction races are handled with the same discipline real
+// implementations use, reduced to its essentials: MSHR-pending blocks
+// queue incoming requests at the requestor, ordering points queue
+// conflicting requests per block, and over-forwarded requests fall
+// back to the home and wait there (the paper's deadlock-avoidance
+// mechanism). This preserves message counts, hop patterns and
+// serialization without the full transient-state race matrix.
+package proto
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/memctrl"
+	"repro/internal/mesh"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// MissClass categorizes how an L1 miss was resolved, for the Figure 9b
+// breakdown.
+type MissClass int
+
+// The six Figure 9b categories.
+const (
+	MissPredOwner      MissClass = iota // predicted; reached the owner directly
+	MissPredProvider                    // predicted; reached a provider in the area
+	MissPredFail                        // predicted wrong; resolved via the home
+	MissUnpredOwner                     // unpredicted; home forwarded to an L1 owner
+	MissUnpredProvider                  // unpredicted; a provider ended up supplying
+	MissUnpredHome                      // unpredicted; home L2 or memory supplied
+	NumMissClasses
+)
+
+// MissClassNames gives the Figure 9b legend strings.
+var MissClassNames = [NumMissClasses]string{
+	"pred-owner", "pred-provider", "pred-fail",
+	"unpred-owner", "unpred-provider", "unpred-home",
+}
+
+// Engine is the interface the cores drive. Access runs the full cache
+// hierarchy + coherence for one memory reference and calls onDone when
+// the reference retires. At most one reference per tile may be
+// outstanding (the cores are in-order and blocking).
+type Engine interface {
+	Name() string
+	Access(tile topo.Tile, addr cache.Addr, write bool, onDone func())
+	// Stats returns the engine's event counters (power events plus
+	// protocol counters).
+	Stats() *stats.Set
+	// MissProfile returns per-class miss counts and link traversals.
+	MissProfile() MissProfile
+	// CheckInvariants panics with a description if the global
+	// coherence state is inconsistent; used by the test suite.
+	CheckInvariants()
+}
+
+// MissProfile aggregates the Figure 9b data.
+type MissProfile struct {
+	Count [NumMissClasses]uint64
+	Links [NumMissClasses]uint64
+	Hits  uint64 // L1 hits, for rate computations
+}
+
+// TotalMisses sums the class counts.
+func (m MissProfile) TotalMisses() uint64 {
+	var t uint64
+	for _, c := range m.Count {
+		t += c
+	}
+	return t
+}
+
+// MeanLinks returns the average links traversed by misses of class c.
+func (m MissProfile) MeanLinks(c MissClass) float64 {
+	if m.Count[c] == 0 {
+		return 0
+	}
+	return float64(m.Links[c]) / float64(m.Count[c])
+}
+
+// Config collects the structural parameters shared by all protocols.
+type Config struct {
+	L1Sets, L1Ways   int
+	L2Sets, L2Ways   int
+	CCSets, CCWays   int // L1C$, L2C$ and directory cache geometry
+	L1HitLatency     sim.Time
+	L2TagLatency     sim.Time
+	L2DataLatency    sim.Time
+	BroadcastUnicast bool // emulate missing hardware broadcast (ablation)
+	NoPrediction     bool // disable the L1C$ supplier prediction (ablation)
+}
+
+// DefaultConfig is Table III: 128 KB 4-way L1, 1 MB 8-way L2 bank,
+// 2048-entry coherence caches, 1+2 cycle L1 and 2+3 cycle L2.
+func DefaultConfig() Config {
+	return Config{
+		L1Sets: 512, L1Ways: 4,
+		L2Sets: 2048, L2Ways: 8,
+		CCSets: 512, CCWays: 4,
+		L1HitLatency:  3,
+		L2TagLatency:  2,
+		L2DataLatency: 3,
+	}
+}
+
+// Context wires one protocol engine to its chip.
+type Context struct {
+	Kernel *sim.Kernel
+	Net    *mesh.Network
+	Areas  *topo.Areas
+	Mem    *memctrl.Controllers
+	Cfg    Config
+
+	Counters stats.Set
+	Profile  MissProfile
+
+	// TraceAddr enables a debug event log for one block address
+	// (development aid; zero value disables tracing).
+	TraceAddr cache.Addr
+	TraceOut  func(string)
+}
+
+// Trace logs a protocol event for the traced address.
+func (c *Context) Trace(a cache.Addr, format string, args ...any) {
+	if c.TraceOut == nil || a != c.TraceAddr {
+		return
+	}
+	c.TraceOut(fmt.Sprintf("t=%-8d %s", c.Kernel.Now(), fmt.Sprintf(format, args...)))
+}
+
+// NumTiles returns the tile count of the chip.
+func (c *Context) NumTiles() int { return c.Net.Grid().Tiles() }
+
+// BankShift returns the number of low address bits used to select the
+// home bank; per-bank structures skip them when indexing sets.
+func (c *Context) BankShift() uint {
+	s := uint(0)
+	for 1<<s < c.NumTiles() {
+		s++
+	}
+	return s
+}
+
+// HomeOf returns the home L2 bank of a block (address-interleaved
+// across all banks, as in the paper).
+func (c *Context) HomeOf(a cache.Addr) topo.Tile {
+	return topo.Tile(uint64(a) % uint64(c.NumTiles()))
+}
+
+// Ev increments a power event counter.
+func (c *Context) Ev(name string) { c.Counters.Inc(name) }
+
+// EvN adds n to a power event counter.
+func (c *Context) EvN(name string, n uint64) { c.Counters.Add(name, n) }
+
+// SendCtl sends a 1-flit control message and runs fn on delivery,
+// returning the delivery metadata.
+func (c *Context) SendCtl(src, dst topo.Tile, fn func()) mesh.Delivery {
+	return c.Net.Send(src, dst, c.Net.Config().ControlFlits, fn)
+}
+
+// SendData sends a 5-flit data message and runs fn on delivery.
+func (c *Context) SendData(src, dst topo.Tile, fn func()) mesh.Delivery {
+	return c.Net.Send(src, dst, c.Net.Config().DataFlits, fn)
+}
+
+// tileState is the per-tile storage all protocols share (each uses the
+// subset it needs).
+type tileState struct {
+	l1   *cache.Cache
+	l2   *cache.Cache
+	dir  *cache.Cache        // directory cache (flat directory only)
+	l1c  *cache.PointerCache // supplier predictions
+	l2c  *cache.PointerCache // precise owner pointers
+	mshr *cache.MSHR
+
+	// pendingL1 queues messages that arrived at this L1 for a block
+	// with an outstanding miss or a transfer in progress.
+	pendingL1 map[cache.Addr][]func()
+	// pendingHome queues requests stalled at this home bank.
+	pendingHome map[cache.Addr][]func()
+	// homeBusy marks blocks with an ongoing home-serialized operation
+	// (chip-wide invalidation, broadcast, recall).
+	homeBusy map[cache.Addr]bool
+	// blocked marks blocks frozen at this L1 by DiCo-Arin's
+	// three-phase broadcast.
+	blocked map[cache.Addr]bool
+}
+
+func newTileState(cfg Config, bankShift uint) *tileState {
+	l2 := cache.New("l2", cfg.L2Sets, cfg.L2Ways)
+	l2.SetIndexShift(bankShift)
+	l2c := cache.NewPointerCache("l2c", cfg.CCSets, cfg.CCWays)
+	l2c.SetIndexShift(bankShift)
+	return &tileState{
+		l1:          cache.New("l1", cfg.L1Sets, cfg.L1Ways),
+		l2:          l2,
+		l1c:         cache.NewPointerCache("l1c", cfg.CCSets, cfg.CCWays),
+		l2c:         l2c,
+		mshr:        cache.NewMSHR(0),
+		pendingL1:   make(map[cache.Addr][]func()),
+		pendingHome: make(map[cache.Addr][]func()),
+		homeBusy:    make(map[cache.Addr]bool),
+		blocked:     make(map[cache.Addr]bool),
+	}
+}
+
+// stallL1 queues fn to re-run when the L1's outstanding transaction on
+// a completes.
+func (t *tileState) stallL1(a cache.Addr, fn func()) {
+	t.pendingL1[a] = append(t.pendingL1[a], fn)
+}
+
+// wakeL1 reschedules everything stalled on a at this L1.
+func (t *tileState) wakeL1(k *sim.Kernel, a cache.Addr) {
+	queued := t.pendingL1[a]
+	if len(queued) == 0 {
+		return
+	}
+	delete(t.pendingL1, a)
+	for _, fn := range queued {
+		k.After(1, fn)
+	}
+}
+
+// stallHome queues fn at the home bank until the block's home state
+// changes.
+func (t *tileState) stallHome(a cache.Addr, fn func()) {
+	t.pendingHome[a] = append(t.pendingHome[a], fn)
+}
+
+// wakeHome reschedules requests stalled at this home bank on a.
+func (t *tileState) wakeHome(k *sim.Kernel, a cache.Addr) {
+	queued := t.pendingHome[a]
+	if len(queued) == 0 {
+		return
+	}
+	delete(t.pendingHome, a)
+	for _, fn := range queued {
+		k.After(1, fn)
+	}
+}
+
+// maxForwards bounds request forwarding before the request backs off
+// and retries from the home — the paper's deadlock-avoidance
+// mechanism.
+const maxForwards = 4
+
+// retryBackoff is the delay before a request that forwarded too many
+// times retries from scratch at the home. A plain stall would risk a
+// lost wakeup (the state may have settled just before the stall);
+// NACK-and-retry guarantees progress.
+const retryBackoff sim.Time = 48
+
+// bit returns a bit mask for tile t within a full-map vector.
+func bit(t topo.Tile) uint64 { return 1 << uint(t) }
+
+// areaBit returns the bit for t within its area's local vector.
+func areaBit(areas *topo.Areas, t topo.Tile) uint64 {
+	return 1 << uint(areas.IndexInArea(t))
+}
+
+// forEachBit calls fn for every set bit index of v.
+func forEachBit(v uint64, fn func(i int)) {
+	for i := 0; v != 0; i++ {
+		if v&1 != 0 {
+			fn(i)
+		}
+		v >>= 1
+	}
+}
+
+// popcount returns the number of set bits.
+func popcount(v uint64) int {
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}

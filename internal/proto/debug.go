@@ -1,0 +1,90 @@
+package proto
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/topo"
+)
+
+// DumpBlockState prints the global state of one block (debug aid).
+func DumpBlockState(e Engine, addr cache.Addr) {
+	var tiles []*tileState
+	var ctx *Context
+	switch eng := e.(type) {
+	case *Directory:
+		tiles, ctx = eng.tiles, eng.ctx
+	case *DiCo:
+		tiles, ctx = eng.tiles, eng.ctx
+	case *Providers:
+		tiles, ctx = eng.tiles, eng.ctx
+	case *Arin:
+		tiles, ctx = eng.tiles, eng.ctx
+	}
+	home := ctx.HomeOf(addr)
+	fmt.Printf("block %#x home=%d\n", addr, home)
+	for i, t := range tiles {
+		if l := t.l1.Peek(addr); l != nil {
+			fmt.Printf("  L1[%d]: state=%d dirty=%v sharers=%#x owner=%d\n", i, l.State, l.Dirty, l.Sharers, l.Owner)
+		}
+		if _, ok := t.mshr.Lookup(addr); ok {
+			fmt.Printf("  MSHR pending at %d\n", i)
+		}
+	}
+	th := tiles[home]
+	if l := th.l2.Peek(addr); l != nil {
+		fmt.Printf("  L2[%d]: state=%d dirty=%v sharers=%#x areatag=%d propos=%v\n", home, l.State, l.Dirty, l.Sharers, l.AreaTag, l.ProPos)
+	} else {
+		fmt.Printf("  L2[%d]: no line\n", home)
+	}
+	if ptr, ok := th.l2c.Lookup(addr); ok {
+		fmt.Printf("  L2C$[%d] -> %d\n", home, ptr)
+	}
+	fmt.Printf("  homeBusy=%v pendingHome=%d\n", th.homeBusy[addr], len(th.pendingHome[addr]))
+	_ = topo.Tile(0)
+}
+
+// DumpStalls prints every outstanding MSHR entry and stall queue of the
+// engine (debug aid for hangs).
+func DumpStalls(e Engine) {
+	var tiles []*tileState
+	var recalls []map[cache.Addr]bool
+	switch eng := e.(type) {
+	case *Directory:
+		tiles = eng.tiles
+	case *DiCo:
+		tiles, recalls = eng.tiles, eng.recalls
+	case *Providers:
+		tiles, recalls = eng.tiles, eng.recalls
+	case *Arin:
+		tiles, recalls = eng.tiles, eng.recalls
+	}
+	for i, t := range tiles {
+		if n := t.mshr.Outstanding(); n > 0 {
+			fmt.Printf("tile %d: %d outstanding\n", i, n)
+			for a := cache.Addr(0); a < 1<<22; a++ {
+				if e, ok := t.mshr.Lookup(a); ok {
+					fmt.Printf("  MSHR %#x: %+v\n", a, e)
+				}
+			}
+		}
+		for a, q := range t.pendingL1 {
+			fmt.Printf("tile %d pendingL1[%#x]: %d (blocked=%v)\n", i, a, len(q), t.blocked[a])
+		}
+		for a, q := range t.pendingHome {
+			fmt.Printf("tile %d pendingHome[%#x]: %d (busy=%v recall=%v)\n", i, a, len(q),
+				t.homeBusy[a], recalls != nil && recalls[i][a])
+		}
+		for a := range t.homeBusy {
+			fmt.Printf("tile %d homeBusy[%#x]\n", i, a)
+		}
+		for a := range t.blocked {
+			fmt.Printf("tile %d blocked[%#x]\n", i, a)
+		}
+		if recalls != nil {
+			for a := range recalls[i] {
+				fmt.Printf("tile %d recall[%#x]\n", i, a)
+			}
+		}
+	}
+}

@@ -1,0 +1,808 @@
+package proto
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// L1 states of Direct Coherence. Owner states carry the block's
+// directory information (the full-map sharing vector) in the L1.
+const (
+	dcShared cache.State = 1 + iota
+	dcOwnerShared
+	dcOwnerExclusive
+	dcOwnerModified
+)
+
+func dcIsOwner(s cache.State) bool {
+	return s == dcOwnerShared || s == dcOwnerExclusive || s == dcOwnerModified
+}
+
+// DiCo is the original Direct Coherence protocol [7]: ownership and
+// coherence information live in the L1 caches, the L1C$ predicts the
+// supplier so most misses resolve in two hops, and the home's L2C$
+// tracks the precise owner for mispredictions.
+type DiCo struct {
+	ctx   *Context
+	tiles []*tileState
+
+	// recalls marks blocks whose ownership is being recalled to the
+	// home (L2C$ eviction); requests for them park at the home.
+	recalls []map[cache.Addr]bool
+	// ownerStamp guards the L2C$ against reordered Change_Owner
+	// messages (the paper gates transfers on the home's ack; the
+	// stamp realizes the same ordering).
+	ownerStamp []map[cache.Addr]sim.Time
+}
+
+// NewDiCo builds the DiCo engine on ctx.
+func NewDiCo(ctx *Context) *DiCo {
+	n := ctx.NumTiles()
+	p := &DiCo{
+		ctx:        ctx,
+		tiles:      make([]*tileState, n),
+		recalls:    make([]map[cache.Addr]bool, n),
+		ownerStamp: make([]map[cache.Addr]sim.Time, n),
+	}
+	for i := range p.tiles {
+		p.tiles[i] = newTileState(ctx.Cfg, ctx.BankShift())
+		p.recalls[i] = make(map[cache.Addr]bool)
+		p.ownerStamp[i] = make(map[cache.Addr]sim.Time)
+	}
+	return p
+}
+
+// Name implements Engine.
+func (p *DiCo) Name() string { return "dico" }
+
+// Stats implements Engine.
+func (p *DiCo) Stats() *stats.Set { return &p.ctx.Counters }
+
+// MissProfile implements Engine.
+func (p *DiCo) MissProfile() MissProfile { return p.ctx.Profile }
+
+type dcReq struct {
+	addr      cache.Addr
+	requestor topo.Tile
+	write     bool
+	predicted bool
+	forwards  int
+}
+
+// Access implements Engine.
+func (p *DiCo) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()) {
+	ctx := p.ctx
+	t := p.tiles[tile]
+	if _, pending := t.mshr.Lookup(addr); pending {
+		t.stallL1(addr, func() { p.Access(tile, addr, write, onDone) })
+		return
+	}
+	ctx.Ev(power.EvL1TagRead)
+	if line := t.l1.Lookup(addr); line != nil {
+		if !write {
+			ctx.Ev(power.EvL1DataRead)
+			ctx.Profile.Hits++
+			ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
+			return
+		}
+		switch {
+		case line.State == dcOwnerModified || line.State == dcOwnerExclusive:
+			line.State = dcOwnerModified
+			line.Dirty = true
+			ctx.Ev(power.EvL1DataWrite)
+			ctx.Profile.Hits++
+			ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
+			return
+		case line.State == dcOwnerShared:
+			// Owner writes: it invalidates its sharers itself — the
+			// hallmark of Direct Coherence.
+			p.ownerWriteHit(tile, addr, line, onDone)
+			return
+		}
+		// Shared copy: upgrade via the regular miss path.
+	}
+	e := t.mshr.Allocate(addr, write, uint64(ctx.Kernel.Now()))
+	e.OnComplete = onDone
+	ctx.Trace(addr, "miss at %d write=%v", tile, write)
+	r := dcReq{addr: addr, requestor: tile, write: write}
+	// Predict the supplier via the L1C$ (Figure 5).
+	ctx.Ev(power.EvL1CAccess)
+	if ptr, ok := t.l1c.Lookup(addr); ok && topo.Tile(ptr) != tile && !ctx.Cfg.NoPrediction {
+		r.predicted = true
+		e.Tag = int(MissPredOwner)
+		pred := topo.Tile(ptr)
+		del := ctx.SendCtl(tile, pred, func() { p.atL1(r, pred) })
+		e.Links += del.Hops
+		return
+	}
+	e.Tag = int(MissUnpredHome)
+	home := ctx.HomeOf(addr)
+	del := ctx.SendCtl(tile, home, func() { p.atHome(r) })
+	e.Links += del.Hops
+}
+
+// ownerWriteHit invalidates the sharers from the owner itself (no home
+// involvement) and upgrades the line to modified.
+func (p *DiCo) ownerWriteHit(tile topo.Tile, addr cache.Addr, line *cache.Line, onDone func()) {
+	ctx := p.ctx
+	t := p.tiles[tile]
+	sharers := line.Sharers &^ bit(tile)
+	if sharers == 0 {
+		line.State = dcOwnerModified
+		line.Dirty = true
+		line.Sharers = 0
+		ctx.Ev(power.EvL1DataWrite)
+		ctx.Profile.Hits++
+		ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
+		return
+	}
+	e := t.mshr.Allocate(addr, true, uint64(ctx.Kernel.Now()))
+	e.OnComplete = onDone
+	e.Tag = int(MissPredOwner) // resolved locally; counted as a 0-link owner hit
+	e.DataReceived = true
+	e.SharerAcks = popcount(sharers)
+	forEachBit(sharers, func(i int) {
+		sharer := topo.Tile(i)
+		ctx.SendCtl(tile, sharer, func() { p.invalidateAtL1(sharer, addr, tile, tile) })
+	})
+	line.State = dcOwnerModified
+	line.Dirty = true
+	line.Sharers = 0
+	ctx.Ev(power.EvL1DataWrite)
+	ctx.Ev(power.EvL1TagWrite)
+}
+
+// atL1 handles a request arriving at an L1 (by prediction or forwarded
+// from the home).
+func (p *DiCo) atL1(r dcReq, tile topo.Tile) {
+	ctx := p.ctx
+	t := p.tiles[tile]
+	if _, pending := t.mshr.Lookup(r.addr); pending {
+		t.stallL1(r.addr, func() { p.atL1(r, tile) })
+		return
+	}
+	ctx.Ev(power.EvL1TagRead)
+	line := t.l1.Lookup(r.addr)
+	if line == nil || !dcIsOwner(line.State) {
+		// Misprediction (or stale forward): to the home.
+		if r.predicted && r.forwards == 0 {
+			p.setClass(r.requestor, r.addr, MissPredFail)
+		}
+		r.forwards++
+		home := ctx.HomeOf(r.addr)
+		del := ctx.SendCtl(tile, home, func() { p.atHome(r) })
+		p.addLinks(r.requestor, r.addr, del.Hops)
+		return
+	}
+	if r.write {
+		p.ownerWriteSupply(r, tile, line)
+		return
+	}
+	// Owner read supply: requestor becomes a sharer; two-hop miss when
+	// predicted.
+	if r.predicted && r.forwards == 0 {
+		p.setClass(r.requestor, r.addr, MissPredOwner)
+	} else if !r.predicted {
+		p.setClass(r.requestor, r.addr, MissUnpredOwner)
+	}
+	ctx.Trace(r.addr, "owner %d supplies read to %d (sharers %#x)", tile, r.requestor, line.Sharers)
+	line.Sharers |= bit(r.requestor)
+	if line.State != dcOwnerShared {
+		line.State = dcOwnerShared
+	}
+	ctx.Ev(power.EvL1TagWrite)
+	ctx.Ev(power.EvL1DataRead)
+	p.deliverData(r.requestor, r.addr, tile, dcShared, false, int16(tile))
+}
+
+// ownerWriteSupply transfers ownership to a writer: the owner
+// invalidates the sharers itself, sends the data, and notifies the
+// home with Change_Owner (acked before the transfer is final).
+func (p *DiCo) ownerWriteSupply(r dcReq, owner topo.Tile, line *cache.Line) {
+	ctx := p.ctx
+	if r.predicted && r.forwards == 0 {
+		p.setClass(r.requestor, r.addr, MissPredOwner)
+	} else if !r.predicted {
+		p.setClass(r.requestor, r.addr, MissUnpredOwner)
+	}
+	sharers := line.Sharers &^ bit(r.requestor) &^ bit(owner)
+	ctx.Trace(r.addr, "owner %d write-supplies %d, inv sharers %#x", owner, r.requestor, sharers)
+	if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
+		e.SharerAcks += popcount(sharers)
+		e.HomeAck = true
+	}
+	forEachBit(sharers, func(i int) {
+		sharer := topo.Tile(i)
+		ctx.SendCtl(owner, sharer, func() { p.invalidateAtL1(sharer, r.addr, r.requestor, r.requestor) })
+	})
+	ctx.Ev(power.EvL1DataRead)
+	ctx.Ev(power.EvL1TagWrite)
+	p.tiles[owner].l1.Invalidate(r.addr)
+	// The former owner's prediction now points at the new owner.
+	p.tiles[owner].l1c.Update(r.addr, int16(r.requestor))
+	ctx.Ev(power.EvL1CUpdate)
+	p.deliverData(r.requestor, r.addr, owner, dcOwnerModified, true, -1)
+	home := ctx.HomeOf(r.addr)
+	stamp := ctx.Kernel.Now()
+	ctx.SendCtl(owner, home, func() { // Change_Owner
+		p.homeOwnerUpdate(home, r.addr, r.requestor, stamp)
+		ctx.SendCtl(home, r.requestor, func() { // Change_Owner ack
+			if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
+				e.HomeAck = false
+				p.maybeComplete(r.requestor, r.addr)
+			}
+		})
+	})
+}
+
+// atHome handles a request at the home bank: consult the L2C$ for the
+// precise owner, else serve from the L2 (home ownership), else fetch
+// memory.
+func (p *DiCo) atHome(r dcReq) {
+	ctx := p.ctx
+	home := ctx.HomeOf(r.addr)
+	th := p.tiles[home]
+	if th.homeBusy[r.addr] || p.recalls[home][r.addr] {
+		th.stallHome(r.addr, func() { p.atHome(r) })
+		return
+	}
+	ctx.Ev(power.EvL2TagRead)
+	ctx.Ev(power.EvL2CAccess)
+	if ptr, ok := th.l2c.Lookup(r.addr); ok && th.l2.Peek(r.addr) == nil {
+		owner := topo.Tile(ptr)
+		if owner == r.requestor || r.forwards >= maxForwards {
+			// Our own transfer is settling, or forwarding keeps
+			// bouncing: back off and retry.
+			ctx.Kernel.After(retryBackoff, func() {
+				p.atHome(dcReq{r.addr, r.requestor, r.write, r.predicted, 0})
+			})
+			return
+		}
+		r.forwards++
+		del := ctx.SendCtl(home, owner, func() { p.atL1(r, owner) })
+		p.addLinks(r.requestor, r.addr, del.Hops)
+		return
+	}
+	if l2line := th.l2.Lookup(r.addr); l2line != nil {
+		// A stale Change_Owner may have re-installed an L2C$ pointer
+		// after the ownership returned home; the L2 line wins.
+		if th.l2c.Invalidate(r.addr) {
+			ctx.Ev(power.EvL2CUpdate)
+		}
+		p.homeOwnerSupply(r, home, l2line)
+		return
+	}
+	// Not on chip: requestor becomes owner; memory supplies.
+	p.updateL2C(home, r.addr, r.requestor)
+	state := dcOwnerExclusive
+	dirty := false
+	if r.write {
+		state = dcOwnerModified
+		dirty = true
+	}
+	mc := ctx.Mem.For(r.addr)
+	del := ctx.SendCtl(home, mc, func() {
+		lat := ctx.Mem.ReadLatency()
+		ctx.Kernel.After(lat, func() {
+			// Memory data flows through the home bank on its way to
+			// the new owner (no L2 copy is kept: the L1 owner holds
+			// the block and its coherence information).
+			d2 := ctx.SendData(mc, home, func() {
+				p.deliverData(r.requestor, r.addr, home, state, dirty, -1)
+			})
+			p.addLinks(r.requestor, r.addr, d2.Hops)
+		})
+	})
+	p.addLinks(r.requestor, r.addr, del.Hops)
+}
+
+// homeOwnerSupply serves a request when the home L2 holds ownership.
+func (p *DiCo) homeOwnerSupply(r dcReq, home topo.Tile, l2line *cache.Line) {
+	ctx := p.ctx
+	ctx.Trace(r.addr, "home %d supplies %d write=%v (l2 sharers %#x)", home, r.requestor, r.write, l2line.Sharers)
+	th := p.tiles[home]
+	if !r.predicted || r.forwards > 0 {
+		p.setClass(r.requestor, r.addr, MissUnpredHome)
+	}
+	if r.write {
+		sharers := l2line.Sharers &^ bit(r.requestor)
+		if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
+			e.SharerAcks += popcount(sharers)
+		}
+		forEachBit(sharers, func(i int) {
+			sharer := topo.Tile(i)
+			ctx.SendCtl(home, sharer, func() { p.invalidateAtL1(sharer, r.addr, r.requestor, r.requestor) })
+		})
+		dirty := l2line.Dirty
+		th.l2.Invalidate(r.addr)
+		ctx.Ev(power.EvL2TagWrite)
+		ctx.Ev(power.EvL2DataRead)
+		_ = dirty // the new owner is modified regardless of the L2 copy's state
+		p.updateL2C(home, r.addr, r.requestor)
+		p.deliverData(r.requestor, r.addr, home, dcOwnerModified, true, -1)
+		return
+	}
+	l2line.Sharers |= bit(r.requestor)
+	ctx.Ev(power.EvL2DataRead)
+	p.deliverData(r.requestor, r.addr, home, dcShared, false, -1)
+}
+
+// invalidateAtL1 drops a sharer's copy, updates its prediction to the
+// new owner (Figure 5), and acks the requestor.
+func (p *DiCo) invalidateAtL1(tile topo.Tile, addr cache.Addr, ackTo, newOwner topo.Tile) {
+	ctx := p.ctx
+	ctx.Trace(addr, "invalidate at %d (ack to %d)", tile, ackTo)
+	t := p.tiles[tile]
+	ctx.Ev(power.EvL1TagRead)
+	if _, ok := t.l1.Invalidate(addr); ok {
+		ctx.Ev(power.EvL1TagWrite)
+	}
+	if e, ok := t.mshr.Lookup(addr); ok {
+		e.InvalidatedWhilePending = true
+	}
+	t.l1c.Update(addr, int16(newOwner))
+	ctx.Ev(power.EvL1CUpdate)
+	ctx.SendCtl(tile, ackTo, func() {
+		e, ok := p.tiles[ackTo].mshr.Lookup(addr)
+		if !ok {
+			return
+		}
+		e.SharerAcks--
+		p.maybeComplete(ackTo, addr)
+	})
+}
+
+// homeOwnerUpdate installs a new owner pointer in the home's L2C$,
+// guarded against reordered Change_Owner messages.
+func (p *DiCo) homeOwnerUpdate(home topo.Tile, addr cache.Addr, owner topo.Tile, stamp sim.Time) {
+	if prev, ok := p.ownerStamp[home][addr]; ok && prev > stamp {
+		return // a newer transfer already registered
+	}
+	p.ownerStamp[home][addr] = stamp
+	p.updateL2C(home, addr, owner)
+	delete(p.recalls[home], addr)
+	p.tiles[home].wakeHome(p.ctx.Kernel, addr)
+}
+
+// updateL2C writes an owner pointer, running the L2C$ replacement
+// protocol (ownership recall) when the insertion displaces a victim.
+func (p *DiCo) updateL2C(home topo.Tile, addr cache.Addr, owner topo.Tile) {
+	ctx := p.ctx
+	th := p.tiles[home]
+	evicted, displaced := th.l2c.Update(addr, int16(owner))
+	ctx.Ev(power.EvL2CUpdate)
+	if !displaced {
+		return
+	}
+	// The displaced entry loses the home's only pointer to its owner:
+	// recall that ownership to the home L2.
+	p.recallOwnership(home, evicted)
+}
+
+// recallOwnership implements the L2C$ information replacement of
+// Section IV-A1: the home asks the owner to relinquish ownership and
+// return the sharing code and the data.
+func (p *DiCo) recallOwnership(home topo.Tile, addr cache.Addr) {
+	ctx := p.ctx
+	// The owner's identity was in the evicted entry; it is carried by
+	// the recall transaction itself. Find it from the global state
+	// would be cheating — the L2C$ Update API returns only the
+	// address, so the recall message performs a chip search via the
+	// victim's stamp map... in hardware the pointer is read *before*
+	// eviction. We model that: the caller of updateL2C displaced an
+	// entry whose pointer was still valid, so we remember it here.
+	// (The pointer cache returns only the address; recover the owner
+	// by probing the L1s' state lazily when the recall "arrives".)
+	p.recalls[home][addr] = true
+	// Resolve the owner at recall-issue time by scanning — stands in
+	// for reading the pointer before eviction.
+	owner := topo.Tile(-1)
+	for i := range p.tiles {
+		if l := p.tiles[i].l1.Peek(addr); l != nil && dcIsOwner(l.State) {
+			owner = topo.Tile(i)
+			break
+		}
+	}
+	if owner < 0 {
+		// Ownership is in flight (e.g. a memory-fetch grant not yet
+		// filled): poll until the owner materializes or a home update
+		// clears the marker.
+		ctx.Kernel.After(4*retryBackoff, func() {
+			if p.recalls[home][addr] {
+				p.recallOwnership(home, addr)
+			}
+		})
+		return
+	}
+	ctx.SendCtl(home, owner, func() { p.relinquishOwnership(home, owner, addr) })
+}
+
+// relinquishOwnership moves ownership from an L1 back to the home L2.
+// The former owner stays on as a sharer.
+func (p *DiCo) relinquishOwnership(home, owner topo.Tile, addr cache.Addr) {
+	ctx := p.ctx
+	t := p.tiles[owner]
+	if _, pending := t.mshr.Lookup(addr); pending {
+		t.stallL1(addr, func() { p.relinquishOwnership(home, owner, addr) })
+		return
+	}
+	ctx.Ev(power.EvL1TagRead)
+	line := t.l1.Peek(addr)
+	if line == nil || !dcIsOwner(line.State) {
+		// Transfer raced the recall; the new owner's Change_Owner will
+		// refresh the home and clear the recall marker.
+		return
+	}
+	ctx.Trace(addr, "relinquish at %d sharers=%#x", owner, line.Sharers)
+	sharers := line.Sharers | bit(owner)
+	dirty := line.Dirty
+	line.State = dcShared
+	line.Dirty = false
+	line.Sharers = 0
+	line.Owner = -1
+	ctx.Ev(power.EvL1TagWrite)
+	ctx.Ev(power.EvL1DataRead)
+	ctx.SendData(owner, home, func() {
+		p.ownerStamp[home][addr] = ctx.Kernel.Now()
+		p.insertL2Owned(home, addr, dirty, sharers, func() {
+			delete(p.recalls[home], addr)
+			p.tiles[home].wakeHome(ctx.Kernel, addr)
+		})
+	})
+}
+
+// deliverData sends the block to the requestor. supplier (when >= 0)
+// is retained as the line's prediction hint.
+func (p *DiCo) deliverData(requestor topo.Tile, addr cache.Addr, from topo.Tile, state cache.State, dirty bool, supplier int16) {
+	del := p.ctx.SendData(from, requestor, func() {
+		p.fillL1(requestor, addr, state, dirty, supplier)
+		if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
+			e.DataReceived = true
+		}
+		p.maybeComplete(requestor, addr)
+	})
+	p.addLinks(requestor, addr, del.Hops)
+}
+
+// fillL1 installs the block and runs the Table-II-style replacement
+// protocol for the victim.
+func (p *DiCo) fillL1(tile topo.Tile, addr cache.Addr, state cache.State, dirty bool, supplier int16) {
+	ctx := p.ctx
+	ctx.Trace(addr, "fill at %d state=%d dirty=%v", tile, state, dirty)
+	t := p.tiles[tile]
+	ctx.Ev(power.EvL1TagWrite)
+	ctx.Ev(power.EvL1DataWrite)
+	if line := t.l1.Peek(addr); line != nil {
+		line.State = state
+		line.Dirty = line.Dirty || dirty
+		if supplier >= 0 {
+			line.Owner = supplier
+		}
+		t.l1.Touch(line)
+		return
+	}
+	victim := t.l1.Victim(addr)
+	if victim.Valid() {
+		p.evictL1(tile, *victim)
+		t.l1.Invalidate(victim.Addr)
+	}
+	nl := t.l1.Victim(addr)
+	t.l1.Fill(nl, addr, state)
+	nl.Dirty = dirty
+	if supplier >= 0 {
+		nl.Owner = supplier
+	}
+	// The block is cached: its dedicated L1C$ entry is redundant.
+	t.l1c.Invalidate(addr)
+}
+
+// evictL1 is the DiCo block replacement: shared lines leave silently
+// (retaining the supplier hint in the L1C$); owned lines transfer
+// ownership to a sharer, or write back to the home when alone.
+func (p *DiCo) evictL1(tile topo.Tile, victim cache.Line) {
+	ctx := p.ctx
+	ctx.Trace(victim.Addr, "evict at %d state=%d sharers=%#x", tile, victim.State, victim.Sharers)
+	t := p.tiles[tile]
+	if victim.State == dcShared {
+		if victim.Owner >= 0 {
+			t.l1c.Update(victim.Addr, victim.Owner)
+			ctx.Ev(power.EvL1CUpdate)
+		}
+		return
+	}
+	sharers := victim.Sharers &^ bit(tile)
+	if sharers != 0 {
+		p.transferOwnership(tile, victim.Addr, sharers, sharers, victim.Dirty, tile)
+		return
+	}
+	p.writebackToHome(tile, victim.Addr, victim.Dirty, 0)
+}
+
+// transferOwnership offers ownership to the sharers in turn; whoever
+// still holds the block accepts, becomes owner, and sends Change_Owner
+// to the home. If nobody accepts, the data falls back to the home via
+// the original evictor.
+//
+// tryList shrinks as candidates are probed; vector keeps every tile
+// that may still (or will soon) hold a copy. A candidate with a miss
+// in flight is skipped — stalling the transfer behind the miss can
+// deadlock, since the miss may itself be waiting for this ownership to
+// settle — but stays in the vector so its eventual fill is covered by
+// the next owner's sharing code (a superset is always safe).
+func (p *DiCo) transferOwnership(from topo.Tile, addr cache.Addr, tryList, vector uint64, dirty bool, evictor topo.Tile) {
+	ctx := p.ctx
+	target := topo.Tile(-1)
+	forEachBit(tryList, func(i int) {
+		if target < 0 {
+			target = topo.Tile(i)
+		}
+	})
+	if target < 0 {
+		p.writebackToHome(evictor, addr, dirty, vector)
+		return
+	}
+	rest := tryList &^ bit(target)
+	ctx.SendCtl(from, target, func() {
+		t := p.tiles[target]
+		if _, pending := t.mshr.Lookup(addr); pending {
+			p.transferOwnership(target, addr, rest, vector, dirty, evictor)
+			return
+		}
+		ctx.Ev(power.EvL1TagRead)
+		line := t.l1.Peek(addr)
+		if line == nil || line.State != dcShared {
+			ctx.Trace(addr, "transfer rejected at %d", target)
+			// No longer a sharer: pass it on (Table II).
+			p.transferOwnership(target, addr, rest, vector&^bit(target), dirty, evictor)
+			return
+		}
+		ctx.Trace(addr, "transfer accepted at %d (vector %#x)", target, vector)
+		line.State = dcOwnerShared
+		line.Dirty = dirty
+		line.Sharers = vector &^ bit(target)
+		line.Owner = -1
+		ctx.Ev(power.EvL1TagWrite)
+		home := ctx.HomeOf(addr)
+		stamp := ctx.Kernel.Now()
+		ctx.SendCtl(target, home, func() { // Change_Owner
+			p.homeOwnerUpdate(home, addr, target, stamp)
+			ctx.SendCtl(home, target, func() {}) // ack (gating message)
+		})
+		// Hint the remaining sharers about the new owner (Figure 5).
+		forEachBit(vector&^bit(target), func(i int) {
+			sharer := topo.Tile(i)
+			ctx.SendCtl(target, sharer, func() {
+				st := p.tiles[sharer]
+				if l := st.l1.Peek(addr); l != nil && l.State == dcShared {
+					l.Owner = int16(target)
+				} else {
+					st.l1c.Update(addr, int16(target))
+					ctx.Ev(power.EvL1CUpdate)
+				}
+			})
+		})
+	})
+}
+
+// writebackToHome sends ownership (and the data) to the home L2, which
+// becomes the owner.
+func (p *DiCo) writebackToHome(tile topo.Tile, addr cache.Addr, dirty bool, sharers uint64) {
+	ctx := p.ctx
+	ctx.Trace(addr, "writeback to home from %d sharers=%#x", tile, sharers)
+	home := ctx.HomeOf(addr)
+	ctx.Ev(power.EvL1DataRead)
+	ctx.SendData(tile, home, func() {
+		// Stamp the return of ownership so a Change_Owner that was
+		// sent earlier but arrives later cannot resurrect a stale
+		// pointer.
+		p.ownerStamp[home][addr] = ctx.Kernel.Now()
+		p.insertL2Owned(home, addr, dirty, sharers, nil)
+		// The home's pointer to the old L1 owner is obsolete.
+		if p.tiles[home].l2c.Invalidate(addr) {
+			ctx.Ev(power.EvL2CUpdate)
+		}
+		delete(p.recalls[home], addr)
+		p.tiles[home].wakeHome(ctx.Kernel, addr)
+	})
+}
+
+// insertL2Owned installs a block in the home L2 as owner, evicting an
+// L2 victim first (which requires invalidating the victim's sharers —
+// the same mechanism as a write, with the L2 as both owner and
+// requestor).
+func (p *DiCo) insertL2Owned(home topo.Tile, addr cache.Addr, dirty bool, sharers uint64, then func()) {
+	ctx := p.ctx
+	ctx.Trace(addr, "insert L2-owned at %d sharers=%#x", home, sharers)
+	th := p.tiles[home]
+	if line := th.l2.Peek(addr); line != nil {
+		ctx.Ev(power.EvL2TagWrite)
+		ctx.Ev(power.EvL2DataWrite)
+		line.Dirty = line.Dirty || dirty
+		line.Sharers |= sharers
+		th.l2.Touch(line)
+		if then != nil {
+			then()
+		}
+		return
+	}
+	victim := th.l2.Victim(addr)
+	if victim.Valid() {
+		// Remove the victim from the array immediately (so no
+		// concurrent insertion picks the same way), invalidate its
+		// copies, then retry the insertion.
+		snapshot := *victim
+		th.l2.Invalidate(snapshot.Addr)
+		ctx.Ev(power.EvL2TagWrite)
+		p.evictL2Owned(home, snapshot, func() {
+			p.insertL2Owned(home, addr, dirty, sharers, then)
+		})
+		return
+	}
+	ctx.Ev(power.EvL2TagWrite)
+	ctx.Ev(power.EvL2DataWrite)
+	th.l2.Fill(victim, addr, l2Present)
+	victim.Dirty = dirty
+	victim.Sharers = sharers
+	if then != nil {
+		then()
+	}
+}
+
+// evictL2Owned invalidates every sharer of an L2-owned victim block,
+// writes dirty data back to memory, and then calls then.
+func (p *DiCo) evictL2Owned(home topo.Tile, victim cache.Line, then func()) {
+	ctx := p.ctx
+	th := p.tiles[home]
+	victimAddr := victim.Addr
+	ctx.Trace(victimAddr, "L2 eviction at %d sharers=%#x", home, victim.Sharers)
+	sharers := victim.Sharers
+	th.homeBusy[victimAddr] = true
+	pending := popcount(sharers)
+	finish := func() {
+		if victim.Dirty {
+			mc := ctx.Mem.For(victimAddr)
+			ctx.SendData(home, mc, func() { ctx.Mem.WriteLatency() })
+		}
+		delete(th.homeBusy, victimAddr)
+		th.wakeHome(ctx.Kernel, victimAddr)
+		then()
+	}
+	if pending == 0 {
+		finish()
+		return
+	}
+	forEachBit(sharers, func(i int) {
+		sharer := topo.Tile(i)
+		ctx.SendCtl(home, sharer, func() {
+			t := p.tiles[sharer]
+			ctx.Ev(power.EvL1TagRead)
+			if _, ok := t.l1.Invalidate(victimAddr); ok {
+				ctx.Ev(power.EvL1TagWrite)
+			}
+			if e, ok := t.mshr.Lookup(victimAddr); ok {
+				e.InvalidatedWhilePending = true
+			}
+			ctx.SendCtl(sharer, home, func() {
+				pending--
+				if pending == 0 {
+					finish()
+				}
+			})
+		})
+	})
+}
+
+func (p *DiCo) addLinks(requestor topo.Tile, addr cache.Addr, hops int) {
+	if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
+		e.Links += hops
+	}
+}
+
+func (p *DiCo) setClass(requestor topo.Tile, addr cache.Addr, c MissClass) {
+	if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
+		e.Tag = int(c)
+	}
+}
+
+func (p *DiCo) maybeComplete(tile topo.Tile, addr cache.Addr) {
+	ctx := p.ctx
+	t := p.tiles[tile]
+	e, ok := t.mshr.Lookup(addr)
+	if !ok || !e.Done() {
+		return
+	}
+	if e.InvalidatedWhilePending && !e.Write {
+		// The fill raced an invalidation. Dropping the line is the
+		// safe resolution, but it must go through the regular
+		// replacement protocol so any ownership or providership the
+		// fill carried is handed back properly.
+		if line := t.l1.Peek(addr); line != nil {
+			snapshot := *line
+			t.l1.Invalidate(addr)
+			p.evictL1(tile, snapshot)
+		}
+	}
+	cls := MissClass(e.Tag)
+	ctx.Profile.Count[cls]++
+	ctx.Profile.Links[cls] += uint64(e.Links)
+	done := e.OnComplete
+	t.mshr.Release(addr)
+	t.wakeL1(ctx.Kernel, addr)
+	if done != nil {
+		done()
+	}
+}
+
+// CheckInvariants implements Engine; call at quiescence. Verifies the
+// DiCo invariants: at most one owner per block (an L1 owner XOR a home
+// L2 copy), the owner's sharer vector covers every Shared copy, and
+// the home L2C$ points at the actual L1 owner.
+func (p *DiCo) CheckInvariants() {
+	type info struct {
+		owners  []topo.Tile
+		holders uint64
+		sharers uint64 // union of Shared-state holders
+	}
+	blocks := make(map[cache.Addr]*info)
+	for i, t := range p.tiles {
+		tile := topo.Tile(i)
+		t.l1.ForEachValid(func(l *cache.Line) {
+			bi := blocks[l.Addr]
+			if bi == nil {
+				bi = &info{}
+				blocks[l.Addr] = bi
+			}
+			bi.holders |= bit(tile)
+			if dcIsOwner(l.State) {
+				bi.owners = append(bi.owners, tile)
+			} else {
+				bi.sharers |= bit(tile)
+			}
+		})
+	}
+	addrs := make([]cache.Addr, 0, len(blocks))
+	for a := range blocks {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, addr := range addrs {
+		bi := blocks[addr]
+		home := p.ctx.HomeOf(addr)
+		th := p.tiles[home]
+		l2line := th.l2.Peek(addr)
+		switch len(bi.owners) {
+		case 0:
+			// No L1 owner: the home L2 must own the block for the
+			// shared copies to be reachable.
+			if bi.sharers != 0 && l2line == nil {
+				panic(fmt.Sprintf("dico: block %#x has sharers %#x but no owner anywhere", addr, bi.sharers))
+			}
+			if l2line != nil && l2line.Sharers&bi.sharers != bi.sharers {
+				panic(fmt.Sprintf("dico: block %#x L2 sharers %#x miss holders %#x", addr, l2line.Sharers, bi.sharers))
+			}
+		case 1:
+			owner := bi.owners[0]
+			ol := p.tiles[owner].l1.Peek(addr)
+			if others := bi.sharers &^ bit(owner); ol.Sharers&others != others {
+				panic(fmt.Sprintf("dico: block %#x owner %d sharing code %#x misses sharers %#x",
+					addr, owner, ol.Sharers, others))
+			}
+			if ptr, ok := th.l2c.Lookup(addr); ok && topo.Tile(ptr) != owner {
+				panic(fmt.Sprintf("dico: block %#x L2C$ points to %d, owner is %d", addr, ptr, owner))
+			}
+			if ol.State == dcOwnerExclusive || ol.State == dcOwnerModified {
+				if popcount(bi.holders) > 1 {
+					panic(fmt.Sprintf("dico: block %#x exclusive at %d with holders %#x", addr, owner, bi.holders))
+				}
+			}
+		default:
+			panic(fmt.Sprintf("dico: block %#x has %d owners", addr, len(bi.owners)))
+		}
+	}
+}

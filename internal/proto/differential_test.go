@@ -1,0 +1,111 @@
+package proto
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// TestDifferentialPrivateStream: a single core walking private blocks
+// involves no coherence, so all four protocols must agree exactly on
+// the hit/miss counts (same L1 geometry, same LRU).
+func TestDifferentialPrivateStream(t *testing.T) {
+	type outcome struct {
+		hits, misses uint64
+	}
+	results := map[string]outcome{}
+	rng := sim.NewRand(42)
+	// One fixed reference stream with reuse and conflict evictions.
+	var stream []cache.Addr
+	for i := 0; i < 400; i++ {
+		stream = append(stream, cache.Addr(0x9000+uint64(rng.Intn(40))*64))
+	}
+	for _, e := range allEngines {
+		cfg := DefaultConfig()
+		cfg.L1Sets, cfg.L1Ways = 4, 2 // small L1: plenty of evictions
+		c := newTestChipSized(t, e.mk, 64, 4, cfg)
+		for _, a := range stream {
+			c.access(3, a, false)
+		}
+		p := c.eng.MissProfile()
+		results[e.name] = outcome{hits: p.Hits, misses: p.TotalMisses()}
+	}
+	base := results["directory"]
+	if base.hits == 0 || base.misses == 0 {
+		t.Fatalf("degenerate stream: %+v", base)
+	}
+	for name, got := range results {
+		if got != base {
+			t.Errorf("%s diverged on a coherence-free stream: %+v vs directory %+v",
+				name, got, base)
+		}
+	}
+}
+
+// TestDifferentialReadSharing: N readers of one block must end with
+// every protocol holding N valid copies (no spurious invalidations).
+func TestDifferentialReadSharing(t *testing.T) {
+	readers := []topo.Tile{0, 9, 18, 27, 36, 45, 54, 63}
+	for _, e := range allEngines {
+		t.Run(e.name, func(t *testing.T) {
+			c := newTestChip(t, e.mk)
+			const addr cache.Addr = 0x777
+			for _, r := range readers {
+				c.access(r, addr, false)
+			}
+			// Re-read: all must be L1 hits now.
+			before := c.eng.MissProfile().Hits
+			for _, r := range readers {
+				c.access(r, addr, false)
+			}
+			after := c.eng.MissProfile().Hits
+			if int(after-before) != len(readers) {
+				t.Errorf("only %d/%d re-reads hit; copies were lost", after-before, len(readers))
+			}
+		})
+	}
+}
+
+// TestDifferentialWriteLatency: an uncontended repeat write by the
+// owner must be an L1 hit in every protocol.
+func TestDifferentialWriteLatency(t *testing.T) {
+	for _, e := range allEngines {
+		t.Run(e.name, func(t *testing.T) {
+			c := newTestChip(t, e.mk)
+			const addr cache.Addr = 0x888
+			c.access(7, addr, true)
+			lat := c.access(7, addr, true)
+			if lat != c.ctx.Cfg.L1HitLatency {
+				t.Errorf("repeat write latency %d, want hit latency %d", lat, c.ctx.Cfg.L1HitLatency)
+			}
+		})
+	}
+}
+
+// TestDifferentialTrafficOrdering: on a read-shared inter-area block
+// that is re-missed after eviction, the provider protocols must not
+// use more links for the re-miss than the flat directory's home round
+// trip plus indirection.
+func TestDifferentialFairAccounting(t *testing.T) {
+	// All protocols must count every miss in exactly one class.
+	for _, e := range allEngines {
+		t.Run(e.name, func(t *testing.T) {
+			c := newTestChip(t, e.mk)
+			rng := sim.NewRand(5)
+			issued := uint64(0)
+			for i := 0; i < 200; i++ {
+				tile := topo.Tile(rng.Intn(64))
+				addr := cache.Addr(0xA000 + uint64(rng.Intn(50))*64)
+				c.access(tile, addr, rng.Intn(5) == 0)
+				issued++
+			}
+			p := c.eng.MissProfile()
+			if p.Hits+p.TotalMisses() != issued {
+				t.Errorf("accounting leak: hits %d + misses %d != %d accesses",
+					p.Hits, p.TotalMisses(), issued)
+			}
+		})
+	}
+}

@@ -1,0 +1,606 @@
+package proto
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/power"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// L1 states of the flat directory protocol (MESI).
+const (
+	dirShared cache.State = 1 + iota
+	dirExclusive
+	dirModified
+)
+
+// l2Present marks a valid L2 data line (all protocols).
+const l2Present cache.State = 1
+
+// Directory is the paper's baseline: a highly-optimized flat full-map
+// directory. Directory information lives in the extra tags of the L2
+// (the NCID approach): it can outlive the L2 data block, and only the
+// eviction of a directory entry forces chip-wide invalidation.
+type Directory struct {
+	ctx   *Context
+	tiles []*tileState
+}
+
+// NewDirectory builds the directory engine on ctx.
+func NewDirectory(ctx *Context) *Directory {
+	d := &Directory{ctx: ctx, tiles: make([]*tileState, ctx.NumTiles())}
+	for i := range d.tiles {
+		t := newTileState(ctx.Cfg, ctx.BankShift())
+		// Directory information lives with every L2 entry (a full-map
+		// vector per line, Table V) plus the NCID directory cache for
+		// blocks that are in L1s but not in the L2. The combined
+		// tracking structure therefore has L2Entries + CCEntries
+		// entries per bank — modelled here as one array with an extra
+		// way per L2 set.
+		extra := ctx.Cfg.CCWays * ctx.Cfg.CCSets / ctx.Cfg.L2Sets
+		if extra < 1 {
+			extra = 1
+		}
+		t.dir = cache.New("dir", ctx.Cfg.L2Sets, ctx.Cfg.L2Ways+extra)
+		t.dir.SetIndexShift(ctx.BankShift())
+		d.tiles[i] = t
+	}
+	return d
+}
+
+// Name implements Engine.
+func (d *Directory) Name() string { return "directory" }
+
+// Stats implements Engine.
+func (d *Directory) Stats() *stats.Set { return &d.ctx.Counters }
+
+// MissProfile implements Engine.
+func (d *Directory) MissProfile() MissProfile { return d.ctx.Profile }
+
+type dirReq struct {
+	addr      cache.Addr
+	requestor topo.Tile
+	write     bool
+	forwards  int
+}
+
+// Access implements Engine.
+func (d *Directory) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()) {
+	ctx := d.ctx
+	t := d.tiles[tile]
+	if _, pending := t.mshr.Lookup(addr); pending {
+		t.stallL1(addr, func() { d.Access(tile, addr, write, onDone) })
+		return
+	}
+	ctx.Ev(power.EvL1TagRead)
+	if line := t.l1.Lookup(addr); line != nil {
+		if !write {
+			ctx.Ev(power.EvL1DataRead)
+			ctx.Profile.Hits++
+			ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
+			return
+		}
+		if line.State == dirModified || line.State == dirExclusive {
+			line.State = dirModified
+			line.Dirty = true
+			ctx.Ev(power.EvL1DataWrite)
+			ctx.Profile.Hits++
+			ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
+			return
+		}
+		// Shared copy under a write: ownership upgrade, handled as a
+		// regular write miss (responses always carry data; see
+		// DESIGN.md, Known simplifications).
+	}
+	e := t.mshr.Allocate(addr, write, uint64(ctx.Kernel.Now()))
+	e.OnComplete = onDone
+	e.Tag = int(MissUnpredHome)
+	home := ctx.HomeOf(addr)
+	del := ctx.SendCtl(tile, home, func() { d.atHome(dirReq{addr, tile, write, 0}) })
+	e.Links += del.Hops
+}
+
+func (d *Directory) addLinks(requestor topo.Tile, addr cache.Addr, hops int) {
+	if e, ok := d.tiles[requestor].mshr.Lookup(addr); ok {
+		e.Links += hops
+	}
+}
+
+func (d *Directory) setClass(requestor topo.Tile, addr cache.Addr, c MissClass) {
+	if e, ok := d.tiles[requestor].mshr.Lookup(addr); ok {
+		e.Tag = int(c)
+	}
+}
+
+// atHome processes a request at the block's home bank.
+func (d *Directory) atHome(r dirReq) {
+	ctx := d.ctx
+	home := ctx.HomeOf(r.addr)
+	th := d.tiles[home]
+	if th.homeBusy[r.addr] {
+		th.stallHome(r.addr, func() { d.atHome(r) })
+		return
+	}
+	ctx.Ev(power.EvL2TagRead)
+	ctx.Ev(power.EvDirRead)
+	dline := th.dir.Lookup(r.addr)
+	if dline == nil {
+		// Untracked: the block is not cached on chip. Allocate a
+		// directory entry (possibly evicting one) and fetch memory.
+		d.allocDirEntry(home, r.addr, func(nl *cache.Line) {
+			nl.Owner = int16(r.requestor)
+			nl.Sharers = bit(r.requestor)
+			ctx.Ev(power.EvDirWrite)
+			d.fetchFromMemory(r, home)
+		})
+		return
+	}
+	if dline.Owner >= 0 {
+		owner := topo.Tile(dline.Owner)
+		if owner == r.requestor {
+			// Our own writeback is still in flight; retry shortly.
+			ctx.Kernel.After(retryBackoff, func() { d.atHome(dirReq{r.addr, r.requestor, r.write, 0}) })
+			return
+		}
+		if r.forwards >= maxForwards {
+			// Forwarding keeps bouncing (transfer in flight): back off
+			// and retry from the home.
+			ctx.Kernel.After(retryBackoff, func() { d.atHome(dirReq{r.addr, r.requestor, r.write, 0}) })
+			return
+		}
+		r.forwards++
+		del := ctx.SendCtl(home, owner, func() { d.atOwner(r, owner) })
+		d.addLinks(r.requestor, r.addr, del.Hops)
+		return
+	}
+	if r.write {
+		d.homeWrite(r, dline)
+		return
+	}
+	d.homeRead(r, dline)
+}
+
+// homeRead serves a read at the home when no exclusive L1 owner exists.
+func (d *Directory) homeRead(r dirReq, dline *cache.Line) {
+	ctx := d.ctx
+	home := ctx.HomeOf(r.addr)
+	th := d.tiles[home]
+	if th.l2.Lookup(r.addr) != nil {
+		ctx.Ev(power.EvL2DataRead)
+		dline.Sharers |= bit(r.requestor)
+		ctx.Ev(power.EvDirWrite)
+		d.deliverData(r.requestor, r.addr, home, dirShared, false)
+		return
+	}
+	if others := dline.Sharers &^ bit(r.requestor); others != 0 {
+		// NCID: data survives only in L1s; forward to a sharer.
+		var sharer topo.Tile = -1
+		forEachBit(others, func(i int) {
+			if sharer < 0 {
+				sharer = topo.Tile(i)
+			}
+		})
+		dline.Sharers |= bit(r.requestor)
+		ctx.Ev(power.EvDirWrite)
+		if r.forwards >= maxForwards {
+			ctx.Kernel.After(retryBackoff, func() { d.atHome(dirReq{r.addr, r.requestor, r.write, 0}) })
+			return
+		}
+		r.forwards++
+		del := ctx.SendCtl(home, sharer, func() { d.atSharerSupply(r, sharer) })
+		d.addLinks(r.requestor, r.addr, del.Hops)
+		return
+	}
+	// Stale empty entry: treat as a fresh exclusive fetch.
+	dline.Owner = int16(r.requestor)
+	dline.Sharers = bit(r.requestor)
+	ctx.Ev(power.EvDirWrite)
+	d.fetchFromMemory(r, home)
+}
+
+// homeWrite serves a write at the home when no exclusive L1 owner
+// exists: invalidate the sharers, supply data, hand over ownership.
+func (d *Directory) homeWrite(r dirReq, dline *cache.Line) {
+	ctx := d.ctx
+	home := ctx.HomeOf(r.addr)
+	th := d.tiles[home]
+	sharers := dline.Sharers &^ bit(r.requestor)
+	if e, ok := d.tiles[r.requestor].mshr.Lookup(r.addr); ok {
+		e.SharerAcks += popcount(sharers)
+	}
+	forEachBit(sharers, func(i int) {
+		sharer := topo.Tile(i)
+		ctx.SendCtl(home, sharer, func() { d.invalidateAtL1(sharer, r.addr, r.requestor) })
+	})
+	dline.Owner = int16(r.requestor)
+	dline.Sharers = bit(r.requestor)
+	ctx.Ev(power.EvDirWrite)
+	if th.l2.Lookup(r.addr) != nil {
+		ctx.Ev(power.EvL2DataRead)
+		// The L2 copy is stale once the new owner writes.
+		th.l2.Invalidate(r.addr)
+		ctx.Ev(power.EvL2TagWrite)
+		d.deliverData(r.requestor, r.addr, home, dirModified, true)
+		return
+	}
+	d.fetchFromMemory(r, home)
+}
+
+// atOwner handles a forwarded request at the (supposed) exclusive L1
+// owner.
+func (d *Directory) atOwner(r dirReq, owner topo.Tile) {
+	ctx := d.ctx
+	to := d.tiles[owner]
+	if _, pending := to.mshr.Lookup(r.addr); pending {
+		to.stallL1(r.addr, func() { d.atOwner(r, owner) })
+		return
+	}
+	ctx.Ev(power.EvL1TagRead)
+	line := to.l1.Lookup(r.addr)
+	if line == nil || (line.State != dirModified && line.State != dirExclusive) {
+		// Ownership moved (eviction/writeback in flight); bounce back.
+		home := ctx.HomeOf(r.addr)
+		del := ctx.SendCtl(owner, home, func() { d.atHome(r) })
+		d.addLinks(r.requestor, r.addr, del.Hops)
+		return
+	}
+	home := ctx.HomeOf(r.addr)
+	d.setClass(r.requestor, r.addr, MissUnpredOwner)
+	dirty := line.Dirty
+	if r.write {
+		// Hand the block over; tell the home about the new owner.
+		to.l1.Invalidate(r.addr)
+		ctx.Ev(power.EvL1TagWrite)
+		ctx.Ev(power.EvL1DataRead)
+		d.deliverData(r.requestor, r.addr, owner, dirModified, true)
+		ctx.SendCtl(owner, home, func() {
+			d.homeDirUpdate(home, r.addr, func(dl *cache.Line) {
+				dl.Owner = int16(r.requestor)
+				dl.Sharers = bit(r.requestor)
+			})
+		})
+		return
+	}
+	// Read: downgrade to shared, supply the requestor, write the block
+	// back so the L2 holds it for future readers.
+	line.State = dirShared
+	line.Dirty = false
+	ctx.Ev(power.EvL1TagWrite)
+	ctx.Ev(power.EvL1DataRead)
+	d.deliverData(r.requestor, r.addr, owner, dirShared, false)
+	ctx.SendData(owner, home, func() {
+		d.insertL2Data(home, r.addr, dirty)
+		d.homeDirUpdate(home, r.addr, func(dl *cache.Line) {
+			dl.Owner = -1
+			dl.Sharers |= bit(owner) | bit(r.requestor)
+		})
+	})
+}
+
+// atSharerSupply handles a read forwarded to a clean sharer.
+func (d *Directory) atSharerSupply(r dirReq, sharer topo.Tile) {
+	ctx := d.ctx
+	ts := d.tiles[sharer]
+	ctx.Ev(power.EvL1TagRead)
+	if line := ts.l1.Lookup(r.addr); line != nil && line.State == dirShared {
+		ctx.Ev(power.EvL1DataRead)
+		d.deliverData(r.requestor, r.addr, sharer, dirShared, false)
+		return
+	}
+	// Silent eviction raced us; drop the stale bit and retry at home.
+	home := ctx.HomeOf(r.addr)
+	del := ctx.SendCtl(sharer, home, func() {
+		d.homeDirUpdate(home, r.addr, func(dl *cache.Line) {
+			dl.Sharers &^= bit(sharer)
+		})
+		d.atHome(r)
+	})
+	d.addLinks(r.requestor, r.addr, del.Hops)
+}
+
+// homeDirUpdate applies fn to the home's directory entry for addr (if
+// still present) and wakes stalled requests.
+func (d *Directory) homeDirUpdate(home topo.Tile, addr cache.Addr, fn func(*cache.Line)) {
+	th := d.tiles[home]
+	if dl := th.dir.Peek(addr); dl != nil {
+		fn(dl)
+		d.ctx.Ev(power.EvDirWrite)
+	}
+	th.wakeHome(d.ctx.Kernel, addr)
+}
+
+// invalidateAtL1 drops the block at a sharer and acknowledges the
+// requestor.
+func (d *Directory) invalidateAtL1(tile topo.Tile, addr cache.Addr, requestor topo.Tile) {
+	ctx := d.ctx
+	t := d.tiles[tile]
+	ctx.Ev(power.EvL1TagRead)
+	if _, ok := t.l1.Invalidate(addr); ok {
+		ctx.Ev(power.EvL1TagWrite)
+	}
+	if e, ok := t.mshr.Lookup(addr); ok {
+		e.InvalidatedWhilePending = true
+	}
+	ctx.SendCtl(tile, requestor, func() { d.ackAtRequestor(requestor, addr) })
+}
+
+func (d *Directory) ackAtRequestor(requestor topo.Tile, addr cache.Addr) {
+	t := d.tiles[requestor]
+	e, ok := t.mshr.Lookup(addr)
+	if !ok {
+		return // transaction already completed (stale ack)
+	}
+	e.SharerAcks--
+	d.maybeComplete(requestor, addr)
+}
+
+// fetchFromMemory asks the memory controller for the block; the data
+// goes straight to the requestor.
+func (d *Directory) fetchFromMemory(r dirReq, home topo.Tile) {
+	ctx := d.ctx
+	mc := ctx.Mem.For(r.addr)
+	state := dirExclusive
+	dirty := false
+	if r.write {
+		state = dirModified
+		dirty = true
+	}
+	del := ctx.SendCtl(home, mc, func() {
+		lat := ctx.Mem.ReadLatency()
+		ctx.Kernel.After(lat, func() {
+			// Memory data flows through the home: the directory keeps
+			// a copy of read data in the shared L2 (deduplicated data
+			// is stored once for all VMs), then forwards it on.
+			d2 := ctx.SendData(mc, home, func() {
+				if !r.write {
+					d.insertL2Data(home, r.addr, false)
+				}
+				d.deliverData(r.requestor, r.addr, home, state, dirty)
+			})
+			d.addLinks(r.requestor, r.addr, d2.Hops)
+		})
+	})
+	d.addLinks(r.requestor, r.addr, del.Hops)
+}
+
+// deliverData sends the block to the requestor and completes the miss
+// on arrival.
+func (d *Directory) deliverData(requestor topo.Tile, addr cache.Addr, from topo.Tile, state cache.State, dirty bool) {
+	del := d.ctx.SendData(from, requestor, func() {
+		d.fillL1(requestor, addr, state, dirty)
+		if e, ok := d.tiles[requestor].mshr.Lookup(addr); ok {
+			e.DataReceived = true
+		}
+		d.maybeComplete(requestor, addr)
+	})
+	d.addLinks(requestor, addr, del.Hops)
+}
+
+// fillL1 installs the block, running the eviction protocol for the
+// displaced victim if needed.
+func (d *Directory) fillL1(tile topo.Tile, addr cache.Addr, state cache.State, dirty bool) {
+	ctx := d.ctx
+	t := d.tiles[tile]
+	ctx.Ev(power.EvL1TagWrite)
+	ctx.Ev(power.EvL1DataWrite)
+	if line := t.l1.Peek(addr); line != nil {
+		line.State = state
+		line.Dirty = line.Dirty || dirty
+		t.l1.Touch(line)
+		return
+	}
+	victim := t.l1.Victim(addr)
+	if victim.Valid() {
+		d.evictL1(tile, *victim)
+		t.l1.Invalidate(victim.Addr)
+	}
+	nl := t.l1.Victim(addr)
+	t.l1.Fill(nl, addr, state)
+	nl.Dirty = dirty
+}
+
+// evictL1 runs the replacement protocol for a victim line: shared
+// copies leave silently, owned copies write back to the home.
+func (d *Directory) evictL1(tile topo.Tile, victim cache.Line) {
+	ctx := d.ctx
+	if victim.State == dirShared {
+		return // silent eviction
+	}
+	home := ctx.HomeOf(victim.Addr)
+	dirty := victim.Dirty
+	ctx.Ev(power.EvL1DataRead)
+	ctx.SendData(tile, home, func() {
+		d.insertL2Data(home, victim.Addr, dirty)
+		d.homeDirUpdate(home, victim.Addr, func(dl *cache.Line) {
+			dl.Owner = -1
+			dl.Sharers &^= bit(tile)
+		})
+	})
+}
+
+// insertL2Data fills the home's L2 bank, evicting (and writing back)
+// an L2 victim if needed. Directory info for the L2 victim survives in
+// the directory cache (NCID), so no chip-wide invalidation happens
+// here.
+func (d *Directory) insertL2Data(home topo.Tile, addr cache.Addr, dirty bool) {
+	ctx := d.ctx
+	th := d.tiles[home]
+	ctx.Ev(power.EvL2TagWrite)
+	ctx.Ev(power.EvL2DataWrite)
+	if line := th.l2.Peek(addr); line != nil {
+		line.Dirty = line.Dirty || dirty
+		th.l2.Touch(line)
+		return
+	}
+	victim := th.l2.Victim(addr)
+	if victim.Valid() && victim.Dirty {
+		mc := ctx.Mem.For(victim.Addr)
+		ctx.SendData(home, mc, func() { ctx.Mem.WriteLatency() })
+	}
+	th.l2.Fill(victim, addr, l2Present)
+	victim.Dirty = dirty
+}
+
+// allocDirEntry finds a directory-cache line for addr, evicting a
+// victim entry first if necessary. Evicting a directory entry
+// invalidates every cached copy of its block chip-wide (NCID rule).
+func (d *Directory) allocDirEntry(home topo.Tile, addr cache.Addr, then func(*cache.Line)) {
+	ctx := d.ctx
+	th := d.tiles[home]
+	victim := th.dir.Victim(addr)
+	if !victim.Valid() {
+		th.dir.Fill(victim, addr, 1)
+		victim.Owner = -1
+		victim.Sharers = 0
+		then(victim)
+		return
+	}
+	// Capture the victim's holders, then reserve the line for the new
+	// block synchronously so a concurrent allocation cannot pick the
+	// same victim. Requests for either address stall on homeBusy until
+	// the victim's copies are gone.
+	victimAddr := victim.Addr
+	holders := victim.Sharers
+	if victim.Owner >= 0 {
+		holders |= bit(topo.Tile(victim.Owner))
+	}
+	th.dir.Fill(victim, addr, 1)
+	victim.Owner = -1
+	victim.Sharers = 0
+	ctx.Ev(power.EvDirWrite)
+	th.homeBusy[victimAddr] = true
+	th.homeBusy[addr] = true
+	pending := popcount(holders)
+	finish := func() {
+		// Drop the victim's L2 data (write back if dirty).
+		if l2line := th.l2.Peek(victimAddr); l2line != nil {
+			if l2line.Dirty {
+				mc := ctx.Mem.For(victimAddr)
+				ctx.SendData(home, mc, func() { ctx.Mem.WriteLatency() })
+			}
+			th.l2.Invalidate(victimAddr)
+			ctx.Ev(power.EvL2TagWrite)
+		}
+		delete(th.homeBusy, victimAddr)
+		delete(th.homeBusy, addr)
+		th.wakeHome(ctx.Kernel, victimAddr)
+		th.wakeHome(ctx.Kernel, addr)
+		then(victim)
+	}
+	if pending == 0 {
+		finish()
+		return
+	}
+	forEachBit(holders, func(i int) {
+		holder := topo.Tile(i)
+		ctx.SendCtl(home, holder, func() {
+			t := d.tiles[holder]
+			ctx.Ev(power.EvL1TagRead)
+			if old, ok := t.l1.Invalidate(victimAddr); ok {
+				ctx.Ev(power.EvL1TagWrite)
+				if old.Dirty {
+					// Dirty data rides back with the ack and is
+					// flushed to memory from the home.
+					ctx.SendData(holder, home, func() {
+						mc := ctx.Mem.For(victimAddr)
+						ctx.SendData(home, mc, func() { ctx.Mem.WriteLatency() })
+						pending--
+						if pending == 0 {
+							finish()
+						}
+					})
+					return
+				}
+			}
+			if e, ok := t.mshr.Lookup(victimAddr); ok {
+				e.InvalidatedWhilePending = true
+			}
+			ctx.SendCtl(holder, home, func() {
+				pending--
+				if pending == 0 {
+					finish()
+				}
+			})
+		})
+	})
+}
+
+// maybeComplete retires the miss if all its conditions are met.
+func (d *Directory) maybeComplete(tile topo.Tile, addr cache.Addr) {
+	ctx := d.ctx
+	t := d.tiles[tile]
+	e, ok := t.mshr.Lookup(addr)
+	if !ok || !e.Done() {
+		return
+	}
+	if e.InvalidatedWhilePending && !e.Write {
+		// The fill raced an invalidation. Dropping the line is the
+		// safe resolution, but it must go through the regular
+		// replacement protocol so any ownership or providership the
+		// fill carried is handed back properly.
+		if line := t.l1.Peek(addr); line != nil {
+			snapshot := *line
+			t.l1.Invalidate(addr)
+			d.evictL1(tile, snapshot)
+		}
+	}
+	cls := MissClass(e.Tag)
+	ctx.Profile.Count[cls]++
+	ctx.Profile.Links[cls] += uint64(e.Links)
+	done := e.OnComplete
+	t.mshr.Release(addr)
+	t.wakeL1(ctx.Kernel, addr)
+	if done != nil {
+		done()
+	}
+}
+
+// CheckInvariants implements Engine. Call only at quiescence (no
+// pending events): it verifies single-writer/multi-reader and the NCID
+// containment invariant (every cached block has a home directory
+// entry whose sharer set covers the holders).
+func (d *Directory) CheckInvariants() {
+	type holderInfo struct {
+		holders uint64
+		owners  []topo.Tile
+	}
+	blocks := make(map[cache.Addr]*holderInfo)
+	for i, t := range d.tiles {
+		tile := topo.Tile(i)
+		t.l1.ForEachValid(func(l *cache.Line) {
+			hi := blocks[l.Addr]
+			if hi == nil {
+				hi = &holderInfo{}
+				blocks[l.Addr] = hi
+			}
+			hi.holders |= bit(tile)
+			if l.State == dirModified || l.State == dirExclusive {
+				hi.owners = append(hi.owners, tile)
+			}
+		})
+	}
+	for addr, hi := range blocks {
+		if len(hi.owners) > 1 {
+			panic(fmt.Sprintf("directory: block %#x has %d exclusive owners", addr, len(hi.owners)))
+		}
+		if len(hi.owners) == 1 && popcount(hi.holders) > 1 {
+			panic(fmt.Sprintf("directory: block %#x exclusive at %d but %d holders",
+				addr, hi.owners[0], popcount(hi.holders)))
+		}
+		home := d.ctx.HomeOf(addr)
+		dl := d.tiles[home].dir.Peek(addr)
+		if dl == nil {
+			panic(fmt.Sprintf("directory: cached block %#x has no directory entry", addr))
+		}
+		if dl.Sharers&hi.holders != hi.holders {
+			panic(fmt.Sprintf("directory: block %#x holders %#x not covered by sharers %#x",
+				addr, hi.holders, dl.Sharers))
+		}
+		if len(hi.owners) == 1 && topo.Tile(dl.Owner) != hi.owners[0] {
+			panic(fmt.Sprintf("directory: block %#x owner pointer %d, actual %d",
+				addr, dl.Owner, hi.owners[0]))
+		}
+	}
+}

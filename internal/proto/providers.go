@@ -1,0 +1,1237 @@
+package proto
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// L1 states of DiCo-Providers. Owners track their area's sharers (an
+// nta-bit vector) plus one provider pointer per remote area; providers
+// track their own area's sharers.
+const (
+	pvShared cache.State = 1 + iota
+	pvProvider
+	pvOwnerShared
+	pvOwnerExclusive
+	pvOwnerModified
+)
+
+func pvIsOwner(s cache.State) bool {
+	return s == pvOwnerShared || s == pvOwnerExclusive || s == pvOwnerModified
+}
+
+// Providers implements DiCo-Providers (Section III-A and Tables I/II):
+// coherence information is kept per area, every area can have a
+// provider able to supply deduplicated data without leaving the area,
+// and a single ordering point (the owner) remains so the protocol has
+// one level like a flat directory.
+type Providers struct {
+	ctx        *Context
+	tiles      []*tileState
+	recalls    []map[cache.Addr]bool
+	ownerStamp []map[cache.Addr]sim.Time
+}
+
+// NewProviders builds the DiCo-Providers engine on ctx.
+func NewProviders(ctx *Context) *Providers {
+	if ctx.Areas.Count > cache.MaxSimAreas {
+		panic(fmt.Sprintf("providers: %d areas exceed the simulator's limit of %d",
+			ctx.Areas.Count, cache.MaxSimAreas))
+	}
+	n := ctx.NumTiles()
+	p := &Providers{
+		ctx:        ctx,
+		tiles:      make([]*tileState, n),
+		recalls:    make([]map[cache.Addr]bool, n),
+		ownerStamp: make([]map[cache.Addr]sim.Time, n),
+	}
+	for i := range p.tiles {
+		p.tiles[i] = newTileState(ctx.Cfg, ctx.BankShift())
+		p.recalls[i] = make(map[cache.Addr]bool)
+		p.ownerStamp[i] = make(map[cache.Addr]sim.Time)
+	}
+	return p
+}
+
+// Name implements Engine.
+func (p *Providers) Name() string { return "providers" }
+
+// Stats implements Engine.
+func (p *Providers) Stats() *stats.Set { return &p.ctx.Counters }
+
+// MissProfile implements Engine.
+func (p *Providers) MissProfile() MissProfile { return p.ctx.Profile }
+
+func (p *Providers) areaOf(t topo.Tile) int   { return p.ctx.Areas.Of(t) }
+func (p *Providers) areaIdx(t topo.Tile) int8 { return int8(p.ctx.Areas.IndexInArea(t)) }
+func (p *Providers) tileAt(area int, idx int8) topo.Tile {
+	return p.ctx.Areas.TilesIn(area)[idx]
+}
+
+// supplierKind classifies who supplied the data, for Figure 9b.
+type supplierKind int
+
+const (
+	byOwner supplierKind = iota
+	byProvider
+	byHome
+)
+
+// classify records the Figure 9b category of a miss at supply time.
+func classify(profileSet func(topo.Tile, cache.Addr, MissClass),
+	requestor topo.Tile, addr cache.Addr, predicted bool, forwards int, kind supplierKind) {
+	var c MissClass
+	switch {
+	case predicted && forwards == 0 && kind == byOwner:
+		c = MissPredOwner
+	case predicted && forwards == 0 && kind == byProvider:
+		c = MissPredProvider
+	case predicted:
+		c = MissPredFail
+	case kind == byOwner:
+		c = MissUnpredOwner
+	case kind == byProvider:
+		c = MissUnpredProvider
+	default:
+		c = MissUnpredHome
+	}
+	profileSet(requestor, addr, c)
+}
+
+type pvReq struct {
+	addr      cache.Addr
+	requestor topo.Tile
+	write     bool
+	predicted bool
+	forwards  int
+	// fromOwner records the supplier that forwarded this request to a
+	// provider, so a stale provider pointer can be repaired when the
+	// target turns out not to be a provider (-1 otherwise).
+	fromOwner topo.Tile
+}
+
+// Access implements Engine.
+func (p *Providers) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()) {
+	ctx := p.ctx
+	t := p.tiles[tile]
+	if _, pending := t.mshr.Lookup(addr); pending {
+		t.stallL1(addr, func() { p.Access(tile, addr, write, onDone) })
+		return
+	}
+	ctx.Ev(power.EvL1TagRead)
+	if line := t.l1.Lookup(addr); line != nil {
+		if !write {
+			ctx.Ev(power.EvL1DataRead)
+			ctx.Profile.Hits++
+			ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
+			return
+		}
+		switch line.State {
+		case pvOwnerModified, pvOwnerExclusive:
+			line.State = pvOwnerModified
+			line.Dirty = true
+			ctx.Ev(power.EvL1DataWrite)
+			ctx.Profile.Hits++
+			ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
+			return
+		case pvOwnerShared:
+			p.ownerWriteHit(tile, addr, line, onDone)
+			return
+		}
+		// Shared or provider copy under a write: miss path. (A
+		// provider-requestor invalidates its own sharers once it
+		// receives the ownership — Section IV-A's special case,
+		// handled at fill time.)
+	}
+	e := t.mshr.Allocate(addr, write, uint64(ctx.Kernel.Now()))
+	e.OnComplete = onDone
+	r := pvReq{addr: addr, requestor: tile, write: write, fromOwner: -1}
+	ctx.Ev(power.EvL1CAccess)
+	if ptr, ok := t.l1c.Lookup(addr); ok && topo.Tile(ptr) != tile && !ctx.Cfg.NoPrediction {
+		r.predicted = true
+		e.Tag = int(MissPredFail) // upgraded at supply time
+		pred := topo.Tile(ptr)
+		del := ctx.SendCtl(tile, pred, func() { p.atL1(r, pred) })
+		e.Links += del.Hops
+		return
+	}
+	e.Tag = int(MissUnpredHome)
+	home := ctx.HomeOf(addr)
+	del := ctx.SendCtl(tile, home, func() { p.atHome(r) })
+	e.Links += del.Hops
+}
+
+// ownerWriteHit: the owner writes while holding sharers/providers —
+// invalidate them all from here.
+func (p *Providers) ownerWriteHit(tile topo.Tile, addr cache.Addr, line *cache.Line, onDone func()) {
+	ctx := p.ctx
+	t := p.tiles[tile]
+	localSharers := line.Sharers &^ areaBit(ctx.Areas, tile)
+	nProviders := 0
+	for a := 0; a < ctx.Areas.Count; a++ {
+		if a != p.areaOf(tile) && line.ProPos[a] >= 0 {
+			nProviders++
+		}
+	}
+	if localSharers == 0 && nProviders == 0 {
+		line.State = pvOwnerModified
+		line.Dirty = true
+		ctx.Ev(power.EvL1DataWrite)
+		ctx.Profile.Hits++
+		ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
+		return
+	}
+	e := t.mshr.Allocate(addr, true, uint64(ctx.Kernel.Now()))
+	e.OnComplete = onDone
+	e.Tag = int(MissPredOwner)
+	e.DataReceived = true
+	p.startInvalidation(tile, addr, line, tile, localSharers)
+	line.State = pvOwnerModified
+	line.Dirty = true
+	line.Sharers = 0
+	for a := range line.ProPos {
+		line.ProPos[a] = -1
+	}
+	ctx.Ev(power.EvL1DataWrite)
+	ctx.Ev(power.EvL1TagWrite)
+}
+
+// startInvalidation sends invalidations for an owner's local sharers
+// and provider-invalidations for every provider; acknowledgements
+// flow to the requestor (two-counter scheme of Section IV-A).
+func (p *Providers) startInvalidation(owner topo.Tile, addr cache.Addr, line *cache.Line,
+	requestor topo.Tile, localSharers uint64) {
+	ctx := p.ctx
+	e, ok := p.tiles[requestor].mshr.Lookup(addr)
+	if !ok {
+		return
+	}
+	ownArea := p.areaOf(owner)
+	// Local sharers (excluding the requestor if it is one of them).
+	if p.areaOf(requestor) == ownArea {
+		localSharers &^= areaBit(ctx.Areas, requestor)
+	}
+	e.SharerAcks += popcount(localSharers)
+	forEachBit(localSharers, func(i int) {
+		sharer := p.tileAt(ownArea, int8(i))
+		ctx.SendCtl(owner, sharer, func() { p.invalidateSharer(sharer, addr, requestor) })
+	})
+	// Providers in remote areas.
+	for a := 0; a < ctx.Areas.Count; a++ {
+		if a == ownArea || line.ProPos[a] < 0 {
+			continue
+		}
+		prov := p.tileAt(a, line.ProPos[a])
+		if prov == requestor {
+			// The requestor is itself a provider; it invalidates its
+			// own sharers when the ownership arrives (fill time).
+			continue
+		}
+		e.ProviderAcks++
+		provTile := prov
+		ctx.SendCtl(owner, provTile, func() { p.invalidateProvider(provTile, addr, requestor) })
+	}
+}
+
+// invalidateSharer drops a plain sharer's copy and acks the requestor.
+func (p *Providers) invalidateSharer(tile topo.Tile, addr cache.Addr, requestor topo.Tile) {
+	ctx := p.ctx
+	t := p.tiles[tile]
+	ctx.Ev(power.EvL1TagRead)
+	if _, ok := t.l1.Invalidate(addr); ok {
+		ctx.Ev(power.EvL1TagWrite)
+	}
+	if e, ok := t.mshr.Lookup(addr); ok {
+		e.InvalidatedWhilePending = true
+	}
+	t.l1c.Update(addr, int16(requestor))
+	ctx.Ev(power.EvL1CUpdate)
+	ctx.SendCtl(tile, requestor, func() {
+		if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
+			e.SharerAcks--
+			p.maybeComplete(requestor, addr)
+		}
+	})
+}
+
+// invalidateProvider drops a provider and its area's sharers; the
+// provider acks the requestor with its sharer count (incrementing the
+// requestor's sharer-ack counter) and the sharers ack directly.
+func (p *Providers) invalidateProvider(tile topo.Tile, addr cache.Addr, requestor topo.Tile) {
+	ctx := p.ctx
+	t := p.tiles[tile]
+	ctx.Ev(power.EvL1TagRead)
+	area := p.areaOf(tile)
+	var sharers uint64
+	wasProvider := false
+	if old, ok := t.l1.Invalidate(addr); ok {
+		ctx.Ev(power.EvL1TagWrite)
+		if old.State == pvProvider {
+			sharers = old.Sharers &^ areaBit(ctx.Areas, tile)
+			wasProvider = true
+		}
+	}
+	if !wasProvider {
+		// Providership moved while the invalidation was in flight:
+		// conservatively sweep the whole area so no sharer survives.
+		for _, at := range ctx.Areas.TilesIn(area) {
+			if at != tile {
+				sharers |= areaBit(ctx.Areas, at)
+			}
+		}
+	}
+	if e, ok := t.mshr.Lookup(addr); ok {
+		e.InvalidatedWhilePending = true
+	}
+	if p.areaOf(requestor) == area {
+		sharers &^= areaBit(ctx.Areas, requestor)
+	}
+	count := popcount(sharers)
+	forEachBit(sharers, func(i int) {
+		sharer := p.tileAt(area, int8(i))
+		ctx.SendCtl(tile, sharer, func() { p.invalidateSharer(sharer, addr, requestor) })
+	})
+	t.l1c.Update(addr, int16(requestor))
+	ctx.Ev(power.EvL1CUpdate)
+	ctx.SendCtl(tile, requestor, func() {
+		if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
+			e.ProviderAcks--
+			e.SharerAcks += count
+			p.maybeComplete(requestor, addr)
+		}
+	})
+}
+
+// atL1 dispatches a request arriving at an L1 cache per Table I.
+func (p *Providers) atL1(r pvReq, tile topo.Tile) {
+	ctx := p.ctx
+	t := p.tiles[tile]
+	if _, pending := t.mshr.Lookup(r.addr); pending {
+		t.stallL1(r.addr, func() { p.atL1(r, tile) })
+		return
+	}
+	ctx.Ev(power.EvL1TagRead)
+	line := t.l1.Lookup(r.addr)
+	switch {
+	case line != nil && pvIsOwner(line.State):
+		if r.write {
+			p.ownerWriteSupply(r, tile, line)
+			return
+		}
+		p.ownerReadSupply(r, tile, line)
+	case line != nil && line.State == pvProvider && !r.write:
+		if p.areaOf(r.requestor) == p.areaOf(tile) {
+			// Provider supplies inside the area: the shortened miss.
+			p.classify(r, byProvider)
+			line.Sharers |= areaBit(ctx.Areas, r.requestor)
+			ctx.Ev(power.EvL1TagWrite)
+			ctx.Ev(power.EvL1DataRead)
+			p.deliver(r, tile, pvShared, false, int16(tile), nil)
+			return
+		}
+		fallthrough
+	default:
+		// Not a supplier for this request: forward to the home. If an
+		// owner sent us this request believing we were a provider, its
+		// pointer is stale — repair it, or reads from this area would
+		// loop owner -> stale provider -> home -> owner forever.
+		if r.fromOwner >= 0 {
+			p.repairStaleProPo(tile, r.addr, r.fromOwner)
+		}
+		r.fromOwner = -1
+		r.forwards++
+		home := ctx.HomeOf(r.addr)
+		del := ctx.SendCtl(tile, home, func() { p.atHome(r) })
+		p.addLinks(r.requestor, r.addr, del.Hops)
+	}
+}
+
+// ownerReadSupply implements the owner rows of Table I for reads.
+func (p *Providers) ownerReadSupply(r pvReq, owner topo.Tile, line *cache.Line) {
+	ctx := p.ctx
+	reqArea := p.areaOf(r.requestor)
+	if reqArea == p.areaOf(owner) {
+		// Local request: requestor becomes a sharer.
+		p.classify(r, byOwner)
+		line.Sharers |= areaBit(ctx.Areas, r.requestor)
+		if line.State != pvOwnerShared {
+			line.State = pvOwnerShared
+		}
+		ctx.Ev(power.EvL1TagWrite)
+		ctx.Ev(power.EvL1DataRead)
+		p.deliver(r, owner, pvShared, false, int16(owner), nil)
+		return
+	}
+	if line.ProPos[reqArea] >= 0 {
+		// A provider exists in the requestor's area: forward.
+		prov := p.tileAt(reqArea, line.ProPos[reqArea])
+		r.forwards++
+		r.fromOwner = owner
+		del := ctx.SendCtl(owner, prov, func() { p.atL1(r, prov) })
+		p.addLinks(r.requestor, r.addr, del.Hops)
+		return
+	}
+	// No provider there: the requestor becomes its area's provider.
+	p.classify(r, byOwner)
+	line.ProPos[reqArea] = p.areaIdx(r.requestor)
+	if line.State != pvOwnerShared {
+		line.State = pvOwnerShared
+	}
+	ctx.Ev(power.EvL1TagWrite)
+	ctx.Ev(power.EvL1DataRead)
+	p.deliver(r, owner, pvProvider, false, int16(owner), nil)
+}
+
+// ownerWriteSupply transfers ownership to the writer per Table I.
+func (p *Providers) ownerWriteSupply(r pvReq, owner topo.Tile, line *cache.Line) {
+	ctx := p.ctx
+	p.classify(r, byOwner)
+	if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
+		e.HomeAck = true
+	}
+	localSharers := line.Sharers &^ areaBit(ctx.Areas, owner)
+	p.startInvalidation(owner, r.addr, line, r.requestor, localSharers)
+	ctx.Ev(power.EvL1DataRead)
+	ctx.Ev(power.EvL1TagWrite)
+	p.tiles[owner].l1.Invalidate(r.addr)
+	p.tiles[owner].l1c.Update(r.addr, int16(r.requestor))
+	ctx.Ev(power.EvL1CUpdate)
+	p.deliver(r, owner, pvOwnerModified, true, -1, nil)
+	home := ctx.HomeOf(r.addr)
+	stamp := ctx.Kernel.Now()
+	ctx.SendCtl(owner, home, func() { // Change_Owner
+		p.homeOwnerUpdate(home, r.addr, r.requestor, stamp)
+		ctx.SendCtl(home, r.requestor, func() {
+			if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
+				e.HomeAck = false
+				p.maybeComplete(r.requestor, r.addr)
+			}
+		})
+	})
+}
+
+// repairStaleProPo tells the node that forwarded a request (believing
+// the receiver was a provider) to drop its stale pointer.
+func (p *Providers) repairStaleProPo(notProvider topo.Tile, addr cache.Addr, supplier topo.Tile) {
+	ctx := p.ctx
+	area := p.areaOf(notProvider)
+	idx := p.areaIdx(notProvider)
+	ctx.SendCtl(notProvider, supplier, func() {
+		st := p.tiles[supplier]
+		if ol := st.l1.Peek(addr); ol != nil && pvIsOwner(ol.State) && ol.ProPos[area] == idx {
+			ol.ProPos[area] = -1
+			ctx.Ev(power.EvL1TagWrite)
+			return
+		}
+		if l2line := st.l2.Peek(addr); l2line != nil && l2line.ProPos[area] == idx {
+			l2line.ProPos[area] = -1
+			ctx.Ev(power.EvL2TagWrite)
+		}
+	})
+}
+
+// atHome dispatches at the home bank per the L2 rows of Table I.
+func (p *Providers) atHome(r pvReq) {
+	ctx := p.ctx
+	home := ctx.HomeOf(r.addr)
+	th := p.tiles[home]
+	if th.homeBusy[r.addr] || p.recalls[home][r.addr] {
+		th.stallHome(r.addr, func() { p.atHome(r) })
+		return
+	}
+	ctx.Ev(power.EvL2TagRead)
+	ctx.Ev(power.EvL2CAccess)
+	if ptr, ok := th.l2c.Lookup(r.addr); ok && th.l2.Peek(r.addr) == nil {
+		ownerTile := topo.Tile(ptr)
+		if ownerTile == r.requestor || r.forwards >= maxForwards {
+			ctx.Kernel.After(retryBackoff, func() {
+				p.atHome(pvReq{r.addr, r.requestor, r.write, r.predicted, 0, -1})
+			})
+			return
+		}
+		r.forwards++
+		del := ctx.SendCtl(home, ownerTile, func() { p.atL1(r, ownerTile) })
+		p.addLinks(r.requestor, r.addr, del.Hops)
+		return
+	}
+	if l2line := th.l2.Lookup(r.addr); l2line != nil {
+		// A stale Change_Owner may have re-installed an L2C$ pointer
+		// after the ownership returned home; the L2 line wins.
+		if th.l2c.Invalidate(r.addr) {
+			ctx.Ev(power.EvL2CUpdate)
+		}
+		p.homeOwnerSupply(r, home, l2line)
+		return
+	}
+	// Not on chip: fetch memory; requestor becomes owner (exclusive
+	// for reads, modified for writes).
+	p.updateL2C(home, r.addr, r.requestor)
+	state := pvOwnerExclusive
+	dirty := false
+	if r.write {
+		state = pvOwnerModified
+		dirty = true
+	}
+	mc := ctx.Mem.For(r.addr)
+	del := ctx.SendCtl(home, mc, func() {
+		lat := ctx.Mem.ReadLatency()
+		ctx.Kernel.After(lat, func() {
+			d2 := ctx.SendData(mc, home, func() { p.deliver(r, home, state, dirty, -1, nil) })
+			p.addLinks(r.requestor, r.addr, d2.Hops)
+		})
+	})
+	p.addLinks(r.requestor, r.addr, del.Hops)
+}
+
+// homeOwnerSupply handles requests when the home L2 holds ownership.
+func (p *Providers) homeOwnerSupply(r pvReq, home topo.Tile, l2line *cache.Line) {
+	ctx := p.ctx
+	th := p.tiles[home]
+	reqArea := p.areaOf(r.requestor)
+	if !r.write {
+		if l2line.ProPos[reqArea] >= 0 {
+			prov := p.tileAt(reqArea, l2line.ProPos[reqArea])
+			if r.forwards >= maxForwards {
+				ctx.Kernel.After(retryBackoff, func() {
+					p.atHome(pvReq{r.addr, r.requestor, r.write, r.predicted, 0, -1})
+				})
+				return
+			}
+			r.forwards++
+			r.fromOwner = home
+			del := ctx.SendCtl(home, prov, func() { p.atL1(r, prov) })
+			p.addLinks(r.requestor, r.addr, del.Hops)
+			return
+		}
+		// No supplier in the requestor's area: ownership moves to the
+		// requestor (event (3) of Section III-A).
+		p.classify(r, byHome)
+		var propos [cache.MaxSimAreas]int8
+		copy(propos[:], l2line.ProPos[:])
+		dirty := l2line.Dirty
+		ctx.Ev(power.EvL2DataRead)
+		th.l2.Invalidate(r.addr)
+		ctx.Ev(power.EvL2TagWrite)
+		p.updateL2C(home, r.addr, r.requestor)
+		p.deliver(r, home, pvOwnerShared, dirty, -1, &propos)
+		return
+	}
+	// Write with the L2 as owner: invalidate through the providers,
+	// hand ownership to the writer.
+	p.classify(r, byHome)
+	if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
+		for a := 0; a < ctx.Areas.Count; a++ {
+			if l2line.ProPos[a] < 0 {
+				continue
+			}
+			prov := p.tileAt(a, l2line.ProPos[a])
+			if prov == r.requestor {
+				continue // self-provider handled at fill time
+			}
+			e.ProviderAcks++
+			provTile := prov
+			ctx.SendCtl(home, provTile, func() { p.invalidateProvider(provTile, r.addr, r.requestor) })
+		}
+	}
+	ctx.Ev(power.EvL2DataRead)
+	th.l2.Invalidate(r.addr)
+	ctx.Ev(power.EvL2TagWrite)
+	p.updateL2C(home, r.addr, r.requestor)
+	p.deliver(r, home, pvOwnerModified, true, -1, nil)
+}
+
+// deliver sends the data and installs it at the requestor.
+func (p *Providers) deliver(r pvReq, from topo.Tile, state cache.State, dirty bool,
+	supplier int16, propos *[cache.MaxSimAreas]int8) {
+	del := p.ctx.SendData(from, r.requestor, func() {
+		p.fillL1(r, state, dirty, supplier, propos)
+		if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
+			e.DataReceived = true
+		}
+		p.maybeComplete(r.requestor, r.addr)
+	})
+	p.addLinks(r.requestor, r.addr, del.Hops)
+}
+
+// fillL1 installs the block. A provider-requestor that just received
+// ownership invalidates its own area's sharers now (Section IV-A's
+// special case).
+func (p *Providers) fillL1(r pvReq, state cache.State, dirty bool,
+	supplier int16, propos *[cache.MaxSimAreas]int8) {
+	ctx := p.ctx
+	t := p.tiles[r.requestor]
+	ctx.Ev(power.EvL1TagWrite)
+	ctx.Ev(power.EvL1DataWrite)
+	var selfSharers uint64
+	if line := t.l1.Peek(r.addr); line != nil {
+		if r.write && line.State == pvProvider {
+			selfSharers = line.Sharers &^ areaBit(ctx.Areas, r.requestor)
+		}
+		line.State = state
+		line.Dirty = line.Dirty || dirty
+		line.Sharers = 0
+		if supplier >= 0 {
+			line.Owner = supplier
+		} else {
+			line.Owner = -1
+		}
+		if propos != nil {
+			copy(line.ProPos[:], propos[:])
+		} else {
+			for a := range line.ProPos {
+				line.ProPos[a] = -1
+			}
+		}
+		t.l1.Touch(line)
+	} else {
+		victim := t.l1.Victim(r.addr)
+		if victim.Valid() {
+			p.evictL1(r.requestor, *victim)
+			t.l1.Invalidate(victim.Addr)
+		}
+		nl := t.l1.Victim(r.addr)
+		t.l1.Fill(nl, r.addr, state)
+		nl.Dirty = dirty
+		if supplier >= 0 {
+			nl.Owner = supplier
+		}
+		if propos != nil {
+			copy(nl.ProPos[:], propos[:])
+		}
+		t.l1c.Invalidate(r.addr)
+	}
+	if selfSharers != 0 {
+		// We were this area's provider; invalidate our old flock.
+		if e, ok := t.mshr.Lookup(r.addr); ok {
+			e.SharerAcks += popcount(selfSharers)
+		}
+		area := p.areaOf(r.requestor)
+		forEachBit(selfSharers, func(i int) {
+			sharer := p.tileAt(area, int8(i))
+			ctx.SendCtl(r.requestor, sharer, func() {
+				p.invalidateSharer(sharer, r.addr, r.requestor)
+			})
+		})
+	}
+}
+
+// evictL1 implements Table II.
+func (p *Providers) evictL1(tile topo.Tile, victim cache.Line) {
+	ctx := p.ctx
+	t := p.tiles[tile]
+	area := p.areaOf(tile)
+	switch {
+	case victim.State == pvShared:
+		if victim.Owner >= 0 {
+			t.l1c.Update(victim.Addr, victim.Owner)
+			ctx.Ev(power.EvL1CUpdate)
+		}
+	case victim.State == pvProvider:
+		sharers := victim.Sharers &^ areaBit(ctx.Areas, tile)
+		ownerHint := victim.Owner
+		if sharers != 0 {
+			p.transferProvidership(tile, victim.Addr, area, sharers, sharers, ownerHint)
+		} else {
+			// No_Provider to the owner.
+			p.notifyOwner(tile, victim.Addr, ownerHint, func(ownerTile topo.Tile, ol *cache.Line) {
+				ol.ProPos[area] = -1
+				ctx.Ev(power.EvL1TagWrite)
+			}, func(l2line *cache.Line) {
+				l2line.ProPos[area] = -1
+				ctx.Ev(power.EvL2TagWrite)
+			})
+		}
+	default: // owner states
+		localSharers := victim.Sharers &^ areaBit(ctx.Areas, tile)
+		if localSharers != 0 {
+			p.transferOwnership(tile, victim.Addr, area, localSharers, localSharers, victim.Dirty, victim.ProPos, tile)
+		} else {
+			p.writebackToHome(tile, victim.Addr, victim.Dirty, victim.ProPos, 0, area)
+		}
+	}
+}
+
+// transferProvidership offers providership to the area's sharers in
+// turn; the acceptor notifies the owner with Change_Provider.
+func (p *Providers) transferProvidership(from topo.Tile, addr cache.Addr, area int,
+	tryList, vector uint64, ownerHint int16) {
+	ctx := p.ctx
+	idx := int8(-1)
+	forEachBit(tryList, func(i int) {
+		if idx < 0 {
+			idx = int8(i)
+		}
+	})
+	if idx < 0 {
+		// Nobody left to take it: the area loses its provider. Any
+		// skipped in-flight readers would be unreachable for later
+		// invalidations, so they are conservatively dropped now.
+		p.invalidateStragglers(from, addr, area, vector)
+		p.notifyOwner(from, addr, ownerHint, func(ownerTile topo.Tile, ol *cache.Line) {
+			ol.ProPos[area] = -1
+			ctx.Ev(power.EvL1TagWrite)
+		}, func(l2line *cache.Line) {
+			l2line.ProPos[area] = -1
+			ctx.Ev(power.EvL2TagWrite)
+		})
+		return
+	}
+	target := p.tileAt(area, idx)
+	rest := tryList &^ (uint64(1) << uint(idx))
+	ctx.SendCtl(from, target, func() {
+		t := p.tiles[target]
+		if _, pending := t.mshr.Lookup(addr); pending {
+			p.transferProvidership(target, addr, area, rest, vector, ownerHint)
+			return
+		}
+		ctx.Ev(power.EvL1TagRead)
+		line := t.l1.Peek(addr)
+		if line == nil || line.State != pvShared {
+			p.transferProvidership(target, addr, area, rest, vector&^(uint64(1)<<uint(idx)), ownerHint)
+			return
+		}
+		line.State = pvProvider
+		line.Sharers = vector &^ (uint64(1) << uint(idx))
+		line.Owner = ownerHint
+		// Hint the area's sharers about the new provider (Figure 5:
+		// providership moves update predictions).
+		forEachBit(line.Sharers, func(i int) {
+			sharer := p.tileAt(area, int8(i))
+			ctx.SendCtl(target, sharer, func() {
+				st := p.tiles[sharer]
+				if l := st.l1.Peek(addr); l != nil && l.State == pvShared {
+					l.Owner = int16(target)
+				} else {
+					st.l1c.Update(addr, int16(target))
+					ctx.Ev(power.EvL1CUpdate)
+				}
+			})
+		})
+		ctx.Ev(power.EvL1TagWrite)
+		// Change_Provider to the owner (acked; the ack gates further
+		// transfers, modelled by the ordering guard at the home).
+		tIdx := p.areaIdx(target)
+		p.notifyOwner(target, addr, ownerHint, func(ownerTile topo.Tile, ol *cache.Line) {
+			ol.ProPos[area] = tIdx
+			ctx.Ev(power.EvL1TagWrite)
+		}, func(l2line *cache.Line) {
+			l2line.ProPos[area] = tIdx
+			ctx.Ev(power.EvL2TagWrite)
+		})
+	})
+}
+
+// notifyOwner routes a coherence-info update (Change_Provider /
+// No_Provider) to the block's owner: first to the hinted L1 owner,
+// falling back through the home's L2C$, and finally to the home's own
+// L2 entry when the L2 is the owner.
+func (p *Providers) notifyOwner(from topo.Tile, addr cache.Addr, ownerHint int16,
+	onL1Owner func(topo.Tile, *cache.Line), onL2Owner func(*cache.Line)) {
+	ctx := p.ctx
+	home := ctx.HomeOf(addr)
+	viaHome := func() {
+		ctx.SendCtl(from, home, func() {
+			th := p.tiles[home]
+			ctx.Ev(power.EvL2CAccess)
+			if ptr, ok := th.l2c.Lookup(addr); ok {
+				ownerTile := topo.Tile(ptr)
+				ctx.SendCtl(home, ownerTile, func() {
+					ot := p.tiles[ownerTile]
+					ctx.Ev(power.EvL1TagRead)
+					if ol := ot.l1.Peek(addr); ol != nil && pvIsOwner(ol.State) {
+						onL1Owner(ownerTile, ol)
+						ctx.SendCtl(ownerTile, from, func() {}) // ack
+					}
+					// Owner in motion: the update is dropped; stale
+					// ProPos are tolerated (they miss and fall back
+					// to the home).
+				})
+				return
+			}
+			if l2line := th.l2.Peek(addr); l2line != nil {
+				onL2Owner(l2line)
+				ctx.SendCtl(home, from, func() {}) // ack
+			}
+		})
+	}
+	if ownerHint >= 0 {
+		ownerTile := topo.Tile(ownerHint)
+		ctx.SendCtl(from, ownerTile, func() {
+			ot := p.tiles[ownerTile]
+			ctx.Ev(power.EvL1TagRead)
+			if ol := ot.l1.Peek(addr); ol != nil && pvIsOwner(ol.State) {
+				onL1Owner(ownerTile, ol)
+				ctx.SendCtl(ownerTile, from, func() {}) // ack
+				return
+			}
+			viaHome()
+		})
+		return
+	}
+	viaHome()
+}
+
+// transferOwnership moves ownership (sharing code + provider pointers)
+// to a local sharer on replacement.
+func (p *Providers) transferOwnership(from topo.Tile, addr cache.Addr, area int,
+	tryList, vector uint64, dirty bool, propos [cache.MaxSimAreas]int8, evictor topo.Tile) {
+	ctx := p.ctx
+	idx := int8(-1)
+	forEachBit(tryList, func(i int) {
+		if idx < 0 {
+			idx = int8(i)
+		}
+	})
+	if idx < 0 {
+		p.writebackToHome(evictor, addr, dirty, propos, vector, area)
+		return
+	}
+	target := p.tileAt(area, idx)
+	rest := tryList &^ (uint64(1) << uint(idx))
+	ctx.SendCtl(from, target, func() {
+		t := p.tiles[target]
+		if _, pending := t.mshr.Lookup(addr); pending {
+			// Skip (never stall behind) a candidate with a miss in
+			// flight; it stays in the vector so the next owner's code
+			// covers its fill.
+			p.transferOwnership(target, addr, area, rest, vector, dirty, propos, evictor)
+			return
+		}
+		ctx.Ev(power.EvL1TagRead)
+		line := t.l1.Peek(addr)
+		if line == nil || line.State != pvShared {
+			p.transferOwnership(target, addr, area, rest, vector&^(uint64(1)<<uint(idx)), dirty, propos, evictor)
+			return
+		}
+		line.State = pvOwnerShared
+		line.Dirty = dirty
+		line.Sharers = vector &^ (uint64(1) << uint(idx))
+		copy(line.ProPos[:], propos[:])
+		line.Owner = -1
+		ctx.Ev(power.EvL1TagWrite)
+		home := ctx.HomeOf(addr)
+		stamp := ctx.Kernel.Now()
+		ctx.SendCtl(target, home, func() { // Change_Owner
+			p.homeOwnerUpdate(home, addr, target, stamp)
+			ctx.SendCtl(home, target, func() {}) // ack
+		})
+		// Hint the remaining local sharers (Figure 5).
+		forEachBit(vector&^(uint64(1)<<uint(idx)), func(i int) {
+			sharer := p.tileAt(area, int8(i))
+			ctx.SendCtl(target, sharer, func() {
+				st := p.tiles[sharer]
+				if l := st.l1.Peek(addr); l != nil && l.State == pvShared {
+					l.Owner = int16(target)
+				} else {
+					st.l1c.Update(addr, int16(target))
+					ctx.Ev(power.EvL1CUpdate)
+				}
+			})
+		})
+	})
+}
+
+// writebackToHome returns ownership to the home L2 (no sharers remain
+// in the owner's area, so no provider is needed there).
+func (p *Providers) writebackToHome(tile topo.Tile, addr cache.Addr, dirty bool,
+	propos [cache.MaxSimAreas]int8, leftover uint64, leftoverArea int) {
+	ctx := p.ctx
+	home := ctx.HomeOf(addr)
+	propos[p.areaOf(tile)] = -1
+	// The home L2-owner form keeps no sharer information (Table V), so
+	// any leftover in-flight readers of the evicted owner's area are
+	// conservatively invalidated: their fills drop on arrival and they
+	// re-miss against the home.
+	p.invalidateStragglers(tile, addr, leftoverArea, leftover)
+	ctx.Ev(power.EvL1DataRead)
+	ctx.SendData(tile, home, func() {
+		p.ownerStamp[home][addr] = ctx.Kernel.Now()
+		p.insertL2Owned(home, addr, dirty, propos, func() {
+			if p.tiles[home].l2c.Invalidate(addr) {
+				ctx.Ev(power.EvL2CUpdate)
+			}
+			delete(p.recalls[home], addr)
+			p.tiles[home].wakeHome(ctx.Kernel, addr)
+		})
+	})
+}
+
+// invalidateStragglers fire-and-forget invalidates leftover area
+// copies whose supplier went away before they could be handed over.
+func (p *Providers) invalidateStragglers(from topo.Tile, addr cache.Addr, area int, vector uint64) {
+	if vector == 0 {
+		return
+	}
+	ctx := p.ctx
+	forEachBit(vector, func(i int) {
+		straggler := p.tileAt(area, int8(i))
+		ctx.SendCtl(from, straggler, func() {
+			t := p.tiles[straggler]
+			ctx.Ev(power.EvL1TagRead)
+			if _, ok := t.l1.Invalidate(addr); ok {
+				ctx.Ev(power.EvL1TagWrite)
+			}
+			if e, ok := t.mshr.Lookup(addr); ok {
+				e.InvalidatedWhilePending = true
+			}
+		})
+	})
+}
+
+// homeOwnerUpdate guards the L2C$ against reordered Change_Owner
+// messages, like DiCo.
+func (p *Providers) homeOwnerUpdate(home topo.Tile, addr cache.Addr, owner topo.Tile, stamp sim.Time) {
+	if prev, ok := p.ownerStamp[home][addr]; ok && prev > stamp {
+		return
+	}
+	p.ownerStamp[home][addr] = stamp
+	p.updateL2C(home, addr, owner)
+	delete(p.recalls[home], addr)
+	p.tiles[home].wakeHome(p.ctx.Kernel, addr)
+}
+
+// updateL2C installs an owner pointer, recalling the displaced entry's
+// ownership when the insertion evicts one (Section IV-A1).
+func (p *Providers) updateL2C(home topo.Tile, addr cache.Addr, owner topo.Tile) {
+	ctx := p.ctx
+	th := p.tiles[home]
+	evicted, displaced := th.l2c.Update(addr, int16(owner))
+	ctx.Ev(power.EvL2CUpdate)
+	if displaced {
+		p.recallOwnership(home, evicted)
+	}
+}
+
+// recallOwnership brings a block's ownership back to the home because
+// its L2C$ entry was evicted; the former owner becomes its area's
+// provider.
+func (p *Providers) recallOwnership(home topo.Tile, addr cache.Addr) {
+	ctx := p.ctx
+	p.recalls[home][addr] = true
+	owner := topo.Tile(-1)
+	for i := range p.tiles {
+		if l := p.tiles[i].l1.Peek(addr); l != nil && pvIsOwner(l.State) {
+			owner = topo.Tile(i)
+			break
+		}
+	}
+	if owner < 0 {
+		// Ownership is in flight (e.g. a memory-fetch grant not yet
+		// filled): poll until the owner materializes or a home update
+		// clears the marker.
+		ctx.Kernel.After(4*retryBackoff, func() {
+			if p.recalls[home][addr] {
+				p.recallOwnership(home, addr)
+			}
+		})
+		return
+	}
+	ctx.SendCtl(home, owner, func() { p.relinquish(home, owner, addr) })
+}
+
+// relinquish converts an L1 owner into its area's provider, moving
+// ownership (data + provider pointers) to the home L2.
+func (p *Providers) relinquish(home, owner topo.Tile, addr cache.Addr) {
+	ctx := p.ctx
+	t := p.tiles[owner]
+	if _, pending := t.mshr.Lookup(addr); pending {
+		t.stallL1(addr, func() { p.relinquish(home, owner, addr) })
+		return
+	}
+	ctx.Ev(power.EvL1TagRead)
+	line := t.l1.Peek(addr)
+	if line == nil || !pvIsOwner(line.State) {
+		return
+	}
+	area := p.areaOf(owner)
+	var propos [cache.MaxSimAreas]int8
+	copy(propos[:], line.ProPos[:])
+	propos[area] = p.areaIdx(owner)
+	dirty := line.Dirty
+	sharers := line.Sharers
+	line.State = pvProvider
+	line.Dirty = false
+	line.Sharers = sharers // provider keeps tracking its area's sharers
+	line.Owner = -1
+	for a := range line.ProPos {
+		line.ProPos[a] = -1
+	}
+	ctx.Ev(power.EvL1TagWrite)
+	ctx.Ev(power.EvL1DataRead)
+	ctx.SendData(owner, home, func() {
+		p.ownerStamp[home][addr] = ctx.Kernel.Now()
+		p.insertL2Owned(home, addr, dirty, propos, func() {
+			if p.tiles[home].l2c.Invalidate(addr) {
+				ctx.Ev(power.EvL2CUpdate)
+			}
+			delete(p.recalls[home], addr)
+			p.tiles[home].wakeHome(ctx.Kernel, addr)
+		})
+	})
+}
+
+// insertL2Owned installs a block in the home L2 as owner with the
+// given provider pointers, evicting a victim (chip-wide invalidation
+// through its providers) if needed.
+func (p *Providers) insertL2Owned(home topo.Tile, addr cache.Addr, dirty bool,
+	propos [cache.MaxSimAreas]int8, then func()) {
+	ctx := p.ctx
+	th := p.tiles[home]
+	if line := th.l2.Peek(addr); line != nil {
+		ctx.Ev(power.EvL2TagWrite)
+		ctx.Ev(power.EvL2DataWrite)
+		line.Dirty = line.Dirty || dirty
+		for a := range propos {
+			if propos[a] >= 0 {
+				line.ProPos[a] = propos[a]
+			}
+		}
+		th.l2.Touch(line)
+		if then != nil {
+			then()
+		}
+		return
+	}
+	victim := th.l2.Victim(addr)
+	if victim.Valid() {
+		// Remove the victim from the array immediately (so no
+		// concurrent insertion picks the same way), invalidate its
+		// copies through its providers, then retry the insertion.
+		snapshot := *victim
+		th.l2.Invalidate(snapshot.Addr)
+		ctx.Ev(power.EvL2TagWrite)
+		p.evictL2Owned(home, snapshot, func() {
+			p.insertL2Owned(home, addr, dirty, propos, then)
+		})
+		return
+	}
+	ctx.Ev(power.EvL2TagWrite)
+	ctx.Ev(power.EvL2DataWrite)
+	th.l2.Fill(victim, addr, l2Present)
+	victim.Dirty = dirty
+	copy(victim.ProPos[:], propos[:])
+	if then != nil {
+		then()
+	}
+}
+
+// evictL2Owned invalidates an L2-owned victim block through its
+// providers (two-counter scheme, with the home as both owner and
+// requestor), writes dirty data to memory, then calls then.
+func (p *Providers) evictL2Owned(home topo.Tile, victim cache.Line, then func()) {
+	ctx := p.ctx
+	th := p.tiles[home]
+	victimAddr := victim.Addr
+	th.homeBusy[victimAddr] = true
+	pendingProv := 0
+	pendingSharers := 0
+	var finish func()
+	checkDone := func() {
+		if pendingProv == 0 && pendingSharers == 0 {
+			finish()
+		}
+	}
+	finish = func() {
+		if victim.Dirty {
+			mc := ctx.Mem.For(victimAddr)
+			ctx.SendData(home, mc, func() { ctx.Mem.WriteLatency() })
+		}
+		delete(th.homeBusy, victimAddr)
+		th.wakeHome(ctx.Kernel, victimAddr)
+		then()
+	}
+	for a := 0; a < ctx.Areas.Count; a++ {
+		if victim.ProPos[a] < 0 {
+			continue
+		}
+		pendingProv++
+		prov := p.tileAt(a, victim.ProPos[a])
+		area := a
+		ctx.SendCtl(home, prov, func() {
+			t := p.tiles[prov]
+			ctx.Ev(power.EvL1TagRead)
+			var sharers uint64
+			wasProvider := false
+			if old, ok := t.l1.Invalidate(victimAddr); ok {
+				ctx.Ev(power.EvL1TagWrite)
+				if old.State == pvProvider {
+					sharers = old.Sharers &^ areaBit(ctx.Areas, prov)
+					wasProvider = true
+				}
+			}
+			if !wasProvider {
+				for _, at := range ctx.Areas.TilesIn(area) {
+					if at != prov {
+						sharers |= areaBit(ctx.Areas, at)
+					}
+				}
+			}
+			if e, ok := t.mshr.Lookup(victimAddr); ok {
+				e.InvalidatedWhilePending = true
+			}
+			count := popcount(sharers)
+			forEachBit(sharers, func(i int) {
+				sharer := p.tileAt(area, int8(i))
+				ctx.SendCtl(prov, sharer, func() {
+					st := p.tiles[sharer]
+					ctx.Ev(power.EvL1TagRead)
+					if _, ok := st.l1.Invalidate(victimAddr); ok {
+						ctx.Ev(power.EvL1TagWrite)
+					}
+					if e, ok := st.mshr.Lookup(victimAddr); ok {
+						e.InvalidatedWhilePending = true
+					}
+					ctx.SendCtl(sharer, home, func() {
+						pendingSharers--
+						checkDone()
+					})
+				})
+			})
+			ctx.SendCtl(prov, home, func() {
+				pendingProv--
+				pendingSharers += count
+				checkDone()
+			})
+		})
+	}
+	if pendingProv == 0 {
+		finish()
+	}
+}
+
+func (p *Providers) classify(r pvReq, kind supplierKind) {
+	classify(p.setClass, r.requestor, r.addr, r.predicted, r.forwards, kind)
+}
+
+func (p *Providers) addLinks(requestor topo.Tile, addr cache.Addr, hops int) {
+	if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
+		e.Links += hops
+	}
+}
+
+func (p *Providers) setClass(requestor topo.Tile, addr cache.Addr, c MissClass) {
+	if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
+		e.Tag = int(c)
+	}
+}
+
+func (p *Providers) maybeComplete(tile topo.Tile, addr cache.Addr) {
+	ctx := p.ctx
+	t := p.tiles[tile]
+	e, ok := t.mshr.Lookup(addr)
+	if !ok || !e.Done() {
+		return
+	}
+	if e.InvalidatedWhilePending && !e.Write {
+		// The fill raced an invalidation. Dropping the line is the
+		// safe resolution, but it must go through the regular
+		// replacement protocol so any ownership or providership the
+		// fill carried is handed back properly.
+		if line := t.l1.Peek(addr); line != nil {
+			snapshot := *line
+			t.l1.Invalidate(addr)
+			p.evictL1(tile, snapshot)
+		}
+	}
+	cls := MissClass(e.Tag)
+	ctx.Profile.Count[cls]++
+	ctx.Profile.Links[cls] += uint64(e.Links)
+	done := e.OnComplete
+	t.mshr.Release(addr)
+	t.wakeL1(ctx.Kernel, addr)
+	if done != nil {
+		done()
+	}
+}
+
+// CheckInvariants implements Engine; call at quiescence. Checks the
+// per-area invariants of DiCo-Providers: at most one owner chip-wide,
+// at most one provider per area, the owner's ProPos point at the real
+// providers, and every plain sharer is covered by its area's supplier.
+func (p *Providers) CheckInvariants() {
+	ctx := p.ctx
+	type info struct {
+		owner     topo.Tile
+		providers map[int]topo.Tile
+		holders   map[topo.Tile]cache.State
+	}
+	blocks := make(map[cache.Addr]*info)
+	get := func(a cache.Addr) *info {
+		bi := blocks[a]
+		if bi == nil {
+			bi = &info{owner: -1, providers: map[int]topo.Tile{}, holders: map[topo.Tile]cache.State{}}
+			blocks[a] = bi
+		}
+		return bi
+	}
+	for i, t := range p.tiles {
+		tile := topo.Tile(i)
+		t.l1.ForEachValid(func(l *cache.Line) {
+			bi := get(l.Addr)
+			bi.holders[tile] = l.State
+			switch {
+			case pvIsOwner(l.State):
+				if bi.owner >= 0 {
+					panic(fmt.Sprintf("providers: block %#x has two owners (%d, %d)", l.Addr, bi.owner, tile))
+				}
+				bi.owner = tile
+			case l.State == pvProvider:
+				area := p.areaOf(tile)
+				if prev, ok := bi.providers[area]; ok {
+					panic(fmt.Sprintf("providers: block %#x has two providers in area %d (%d, %d)",
+						l.Addr, area, prev, tile))
+				}
+				bi.providers[area] = tile
+			}
+		})
+	}
+	addrs := make([]cache.Addr, 0, len(blocks))
+	for a := range blocks {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, addr := range addrs {
+		bi := blocks[addr]
+		home := ctx.HomeOf(addr)
+		th := p.tiles[home]
+		l2line := th.l2.Peek(addr)
+		// Ownership must exist somewhere if any copy exists.
+		if bi.owner < 0 && l2line == nil {
+			panic(fmt.Sprintf("providers: block %#x cached with no owner (holders %v)", addr, bi.holders))
+		}
+		// Owner's provider pointers must match the real providers.
+		var propos *[cache.MaxSimAreas]int8
+		ownerArea := -1
+		if bi.owner >= 0 {
+			ol := p.tiles[bi.owner].l1.Peek(addr)
+			propos = &ol.ProPos
+			ownerArea = p.areaOf(bi.owner)
+			if ol.State == pvOwnerExclusive || ol.State == pvOwnerModified {
+				if len(bi.holders) > 1 {
+					panic(fmt.Sprintf("providers: block %#x exclusive at %d with %d holders",
+						addr, bi.owner, len(bi.holders)))
+				}
+			}
+			if ptr, ok := th.l2c.Lookup(addr); ok && topo.Tile(ptr) != bi.owner {
+				panic(fmt.Sprintf("providers: block %#x L2C$ %d != owner %d", addr, ptr, bi.owner))
+			}
+		} else if l2line != nil {
+			propos = &l2line.ProPos
+		}
+		for area, prov := range bi.providers {
+			if area == ownerArea {
+				panic(fmt.Sprintf("providers: block %#x has provider %d in the owner's area", addr, prov))
+			}
+			if propos != nil && propos[area] >= 0 && p.tileAt(area, propos[area]) != prov {
+				panic(fmt.Sprintf("providers: block %#x ProPos[%d]=%d but provider is %d",
+					addr, area, propos[area], prov))
+			}
+		}
+	}
+}

@@ -1,0 +1,136 @@
+// Package sim provides the discrete-event simulation kernel used by the
+// CMP simulator: a virtual clock, a deterministic event queue, and a
+// reproducible pseudo-random source.
+//
+// Events scheduled for the same cycle execute in scheduling order, which
+// makes whole-system runs bit-for-bit reproducible for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is the simulation clock, in processor cycles.
+type Time uint64
+
+// Event is a unit of scheduled work.
+type Event func()
+
+type entry struct {
+	at  Time
+	seq uint64
+	run Event
+	idx int
+}
+
+type eventHeap []*entry
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*entry)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Kernel is a discrete-event scheduler. The zero value is not usable;
+// create one with NewKernel.
+type Kernel struct {
+	now    Time
+	seq    uint64
+	queue  eventHeap
+	rng    *Rand
+	events uint64 // total events executed
+}
+
+// NewKernel returns a kernel whose random source is seeded with seed.
+func NewKernel(seed uint64) *Kernel {
+	return &Kernel{rng: NewRand(seed)}
+}
+
+// Now returns the current simulation time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Rand returns the kernel's deterministic random source.
+func (k *Kernel) Rand() *Rand { return k.rng }
+
+// EventsRun returns the number of events executed so far.
+func (k *Kernel) EventsRun() uint64 { return k.events }
+
+// Pending returns the number of events waiting in the queue.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// At schedules ev to run at absolute time t. Scheduling in the past
+// (t < Now) panics: it would silently corrupt causality.
+func (k *Kernel) At(t Time, ev Event) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: event scheduled at %d, before now=%d", t, k.now))
+	}
+	k.seq++
+	heap.Push(&k.queue, &entry{at: t, seq: k.seq, run: ev})
+}
+
+// After schedules ev to run delay cycles from now.
+func (k *Kernel) After(delay Time, ev Event) {
+	k.At(k.now+delay, ev)
+}
+
+// Step executes the earliest pending event, advancing the clock to its
+// timestamp. It reports whether an event was executed.
+func (k *Kernel) Step() bool {
+	if len(k.queue) == 0 {
+		return false
+	}
+	e := heap.Pop(&k.queue).(*entry)
+	k.now = e.at
+	k.events++
+	e.run()
+	return true
+}
+
+// Run executes events until the queue drains or the clock passes limit
+// (limit 0 means no limit). It returns the number of events executed.
+func (k *Kernel) Run(limit Time) uint64 {
+	start := k.events
+	for len(k.queue) > 0 {
+		if limit != 0 && k.queue[0].at > limit {
+			k.now = limit
+			break
+		}
+		k.Step()
+	}
+	return k.events - start
+}
+
+// RunUntil executes events while cond returns true and events remain.
+// It returns the number of events executed.
+func (k *Kernel) RunUntil(cond func() bool) uint64 {
+	start := k.events
+	for len(k.queue) > 0 && !cond() {
+		k.Step()
+	}
+	return k.events - start
+}

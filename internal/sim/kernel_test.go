@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelOrdering(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	k.At(10, func() { got = append(got, 1) })
+	k.At(5, func() { got = append(got, 0) })
+	k.At(10, func() { got = append(got, 2) }) // same time: FIFO by schedule order
+	k.Run(0)
+	want := []int{0, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 10 {
+		t.Errorf("Now = %d, want 10", k.Now())
+	}
+}
+
+func TestKernelSameCycleFIFO(t *testing.T) {
+	k := NewKernel(1)
+	const n = 100
+	var got []int
+	for i := 0; i < n; i++ {
+		i := i
+		k.At(42, func() { got = append(got, i) })
+	}
+	k.Run(0)
+	for i := 0; i < n; i++ {
+		if got[i] != i {
+			t.Fatalf("same-cycle events out of FIFO order at %d: %v", i, got[i])
+		}
+	}
+}
+
+func TestKernelNestedScheduling(t *testing.T) {
+	k := NewKernel(1)
+	count := 0
+	var ev Event
+	ev = func() {
+		count++
+		if count < 10 {
+			k.After(3, ev)
+		}
+	}
+	k.After(0, ev)
+	k.Run(0)
+	if count != 10 {
+		t.Errorf("count = %d, want 10", count)
+	}
+	if k.Now() != 27 {
+		t.Errorf("Now = %d, want 27", k.Now())
+	}
+}
+
+func TestKernelRunLimit(t *testing.T) {
+	k := NewKernel(1)
+	ran := 0
+	for i := Time(1); i <= 100; i++ {
+		k.At(i*10, func() { ran++ })
+	}
+	n := k.Run(500)
+	if n != 50 || ran != 50 {
+		t.Errorf("ran %d events (cb %d), want 50", n, ran)
+	}
+	if k.Now() != 500 {
+		t.Errorf("Now = %d, want 500", k.Now())
+	}
+	if k.Pending() != 50 {
+		t.Errorf("Pending = %d, want 50", k.Pending())
+	}
+	k.Run(0)
+	if ran != 100 {
+		t.Errorf("after full drain ran = %d, want 100", ran)
+	}
+}
+
+func TestKernelRunUntil(t *testing.T) {
+	k := NewKernel(1)
+	hits := 0
+	for i := Time(1); i <= 20; i++ {
+		k.At(i, func() { hits++ })
+	}
+	k.RunUntil(func() bool { return hits >= 7 })
+	if hits != 7 {
+		t.Errorf("hits = %d, want 7", hits)
+	}
+}
+
+func TestKernelPastPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.At(100, func() {})
+	k.Run(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	k.At(50, func() {})
+}
+
+func TestKernelEmptyStep(t *testing.T) {
+	k := NewKernel(1)
+	if k.Step() {
+		t.Error("Step on empty queue reported work")
+	}
+	if k.EventsRun() != 0 {
+		t.Error("EventsRun nonzero on fresh kernel")
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	a = NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("different seeds collide %d/1000 times", same)
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(7)
+	if err := quick.Check(func(x uint16) bool {
+		n := int(x%1000) + 1
+		v := r.Intn(n)
+		return v >= 0 && v < n
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(9)
+	sum := 0.0
+	const n = 10000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+	}
+	mean := sum / n
+	if mean < 0.45 || mean > 0.55 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRandForkIndependence(t *testing.T) {
+	r := NewRand(5)
+	f1 := r.Fork()
+	f2 := r.Fork()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if f1.Uint64() == f2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("forked streams collide %d/1000 times", same)
+	}
+}
+
+func TestRandIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func BenchmarkKernelScheduleRun(b *testing.B) {
+	k := NewKernel(1)
+	nop := func() {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.After(Time(i%64), nop)
+		if k.Pending() > 1024 {
+			k.Run(k.Now() + 32)
+		}
+	}
+	k.Run(0)
+}

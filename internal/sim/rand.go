@@ -1,0 +1,59 @@
+package sim
+
+// Rand is a small, fast, deterministic pseudo-random generator
+// (xorshift128+). The simulator cannot use math/rand's global source
+// because reproducibility across protocols under comparison requires an
+// explicitly seeded, independently owned stream.
+type Rand struct {
+	s0, s1 uint64
+}
+
+// NewRand returns a generator seeded from seed via splitmix64, so that
+// nearby seeds produce unrelated streams.
+func NewRand(seed uint64) *Rand {
+	r := &Rand{}
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	r.s0 = next()
+	r.s1 = next()
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s0 = 1
+	}
+	return r
+}
+
+// Uint64 returns the next value in the stream.
+func (r *Rand) Uint64() uint64 {
+	x, y := r.s0, r.s1
+	r.s0 = y
+	x ^= x << 23
+	x ^= x >> 17
+	x ^= y ^ (y >> 26)
+	r.s1 = x
+	return x + y
+}
+
+// Intn returns a value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Fork returns an independent generator derived from this one's state;
+// useful to give each tile its own stream while keeping a single seed.
+func (r *Rand) Fork() *Rand {
+	return NewRand(r.Uint64())
+}

@@ -1,0 +1,245 @@
+// Package stats provides the counters, distributions and table
+// formatting used to collect and report simulation results.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Counter is a named monotonically increasing tally.
+type Counter struct {
+	Name  string
+	Value uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.Value += n }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Value++ }
+
+// Set is a collection of counters addressed by name. The zero value is
+// ready to use.
+type Set struct {
+	byName map[string]*Counter
+	order  []string
+}
+
+// Get returns the counter with the given name, creating it on first use.
+func (s *Set) Get(name string) *Counter {
+	if s.byName == nil {
+		s.byName = make(map[string]*Counter)
+	}
+	if c, ok := s.byName[name]; ok {
+		return c
+	}
+	c := &Counter{Name: name}
+	s.byName[name] = c
+	s.order = append(s.order, name)
+	return c
+}
+
+// Value returns the current value of name (0 if never touched).
+func (s *Set) Value(name string) uint64 {
+	if c, ok := s.byName[name]; ok {
+		return c.Value
+	}
+	return 0
+}
+
+// Add adds n to the named counter.
+func (s *Set) Add(name string, n uint64) { s.Get(name).Add(n) }
+
+// Inc increments the named counter.
+func (s *Set) Inc(name string) { s.Get(name).Inc() }
+
+// Names returns the counter names in creation order.
+func (s *Set) Names() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Reset zeroes all counters but keeps them registered.
+func (s *Set) Reset() {
+	for _, c := range s.byName {
+		c.Value = 0
+	}
+}
+
+// Merge adds every counter of other into s.
+func (s *Set) Merge(other *Set) {
+	for _, name := range other.order {
+		s.Add(name, other.byName[name].Value)
+	}
+}
+
+// String renders the set as "name=value" lines in creation order.
+func (s *Set) String() string {
+	var b strings.Builder
+	for _, name := range s.order {
+		fmt.Fprintf(&b, "%s=%d\n", name, s.byName[name].Value)
+	}
+	return b.String()
+}
+
+// Distribution accumulates scalar samples and reports summary moments.
+type Distribution struct {
+	Name    string
+	N       uint64
+	Sum     float64
+	SumSq   float64
+	Min     float64
+	Max     float64
+	samples []float64 // retained only when KeepSamples is set
+	Keep    bool
+}
+
+// NewDistribution returns an empty distribution. If keep is true,
+// individual samples are retained so percentiles can be computed.
+func NewDistribution(name string, keep bool) *Distribution {
+	return &Distribution{Name: name, Min: math.Inf(1), Max: math.Inf(-1), Keep: keep}
+}
+
+// Observe records one sample.
+func (d *Distribution) Observe(v float64) {
+	d.N++
+	d.Sum += v
+	d.SumSq += v * v
+	if v < d.Min {
+		d.Min = v
+	}
+	if v > d.Max {
+		d.Max = v
+	}
+	if d.Keep {
+		d.samples = append(d.samples, v)
+	}
+}
+
+// Mean returns the sample mean (0 when empty).
+func (d *Distribution) Mean() float64 {
+	if d.N == 0 {
+		return 0
+	}
+	return d.Sum / float64(d.N)
+}
+
+// StdDev returns the population standard deviation (0 when empty).
+func (d *Distribution) StdDev() float64 {
+	if d.N == 0 {
+		return 0
+	}
+	m := d.Mean()
+	v := d.SumSq/float64(d.N) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Percentile returns the p-th percentile (0 <= p <= 100) from retained
+// samples. It panics if the distribution was created without keep.
+func (d *Distribution) Percentile(p float64) float64 {
+	if !d.Keep {
+		panic("stats: Percentile on distribution without retained samples")
+	}
+	if len(d.samples) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(d.samples))
+	copy(sorted, d.samples)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := p / 100 * float64(len(sorted)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Table renders aligned text tables for experiment output.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are kept as-is.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends a row built from format/value pairs: each cell is
+// fmt.Sprintf(formats[i], values[i]).
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with padded columns.
+func (t *Table) String() string {
+	width := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		width[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(width) {
+				fmt.Fprintf(&b, "%-*s", width[i], c)
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", width[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}

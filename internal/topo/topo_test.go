@@ -1,0 +1,195 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func grid8x8() Grid { return NewGrid(8, 8) }
+
+func TestGridCoordRoundTrip(t *testing.T) {
+	g := grid8x8()
+	for i := 0; i < g.Tiles(); i++ {
+		x, y := g.Coord(Tile(i))
+		if g.At(x, y) != Tile(i) {
+			t.Fatalf("round trip failed for tile %d", i)
+		}
+		if x < 0 || x >= 8 || y < 0 || y >= 8 {
+			t.Fatalf("coord out of range for tile %d: (%d,%d)", i, x, y)
+		}
+	}
+}
+
+func TestSquareGrid(t *testing.T) {
+	cases := []struct{ n, cols, rows int }{
+		{64, 8, 8}, {128, 16, 8}, {256, 16, 16}, {512, 32, 16}, {1024, 32, 32},
+		{16, 4, 4}, {1, 1, 1}, {2, 2, 1},
+	}
+	for _, c := range cases {
+		g := SquareGrid(c.n)
+		if g.Cols != c.cols || g.Rows != c.rows {
+			t.Errorf("SquareGrid(%d) = %dx%d, want %dx%d", c.n, g.Cols, g.Rows, c.cols, c.rows)
+		}
+	}
+}
+
+func TestHopsManhattan(t *testing.T) {
+	g := grid8x8()
+	if got := g.Hops(g.At(0, 0), g.At(7, 7)); got != 14 {
+		t.Errorf("corner-to-corner hops = %d, want 14", got)
+	}
+	if got := g.Hops(g.At(3, 3), g.At(3, 3)); got != 0 {
+		t.Errorf("self hops = %d, want 0", got)
+	}
+	if got := g.Hops(g.At(2, 5), g.At(4, 1)); got != 6 {
+		t.Errorf("hops = %d, want 6", got)
+	}
+}
+
+func TestHopsSymmetric(t *testing.T) {
+	g := grid8x8()
+	if err := quick.Check(func(a, b uint8) bool {
+		ta, tb := Tile(int(a)%64), Tile(int(b)%64)
+		return g.Hops(ta, tb) == g.Hops(tb, ta)
+	}, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAreasFourOn8x8(t *testing.T) {
+	a := MustAreas(grid8x8(), 4)
+	if a.TilesPerArea() != 16 {
+		t.Fatalf("TilesPerArea = %d, want 16", a.TilesPerArea())
+	}
+	// Paper: four square 4x4 areas. Tile (0,0) area 0; (7,0) area 1;
+	// (0,7) area 2; (7,7) area 3.
+	g := a.Grid
+	cases := []struct {
+		x, y, area int
+	}{{0, 0, 0}, {3, 3, 0}, {4, 0, 1}, {7, 3, 1}, {0, 4, 2}, {3, 7, 2}, {4, 4, 3}, {7, 7, 3}}
+	for _, c := range cases {
+		if got := a.Of(g.At(c.x, c.y)); got != c.area {
+			t.Errorf("area of (%d,%d) = %d, want %d", c.x, c.y, got, c.area)
+		}
+	}
+}
+
+func TestAreasPartition(t *testing.T) {
+	for _, count := range []int{1, 2, 4, 8, 16, 32, 64} {
+		a := MustAreas(grid8x8(), count)
+		seen := make(map[Tile]bool)
+		for area := 0; area < count; area++ {
+			for _, tile := range a.TilesIn(area) {
+				if seen[tile] {
+					t.Fatalf("%d areas: tile %d in two areas", count, tile)
+				}
+				seen[tile] = true
+				if a.Of(tile) != area {
+					t.Fatalf("%d areas: Of(%d) = %d, want %d", count, tile, a.Of(tile), area)
+				}
+			}
+			if got := len(a.TilesIn(area)); got != a.TilesPerArea() {
+				t.Fatalf("%d areas: area %d has %d tiles, want %d", count, area, got, a.TilesPerArea())
+			}
+		}
+		if len(seen) != 64 {
+			t.Fatalf("%d areas: covered %d tiles, want 64", count, len(seen))
+		}
+	}
+}
+
+func TestAreasContiguity(t *testing.T) {
+	// Every area must be a contiguous rectangle: max pairwise hop
+	// distance inside a 16-tile square area is 6 (3+3).
+	a := MustAreas(grid8x8(), 4)
+	for area := 0; area < 4; area++ {
+		tiles := a.TilesIn(area)
+		for _, s := range tiles {
+			for _, d := range tiles {
+				if a.Grid.Hops(s, d) > 6 {
+					t.Fatalf("area %d not compact: hops(%d,%d) = %d", area, s, d, a.Grid.Hops(s, d))
+				}
+			}
+		}
+	}
+}
+
+func TestIndexInArea(t *testing.T) {
+	a := MustAreas(grid8x8(), 4)
+	for tile := Tile(0); tile < 64; tile++ {
+		idx := a.IndexInArea(tile)
+		if idx < 0 || idx >= 16 {
+			t.Fatalf("IndexInArea(%d) = %d out of range", tile, idx)
+		}
+		if a.TilesIn(a.Of(tile))[idx] != tile {
+			t.Fatalf("IndexInArea(%d) does not invert", tile)
+		}
+	}
+}
+
+func TestAreasErrors(t *testing.T) {
+	if _, err := NewAreas(grid8x8(), 3); err == nil {
+		t.Error("3 areas on 64 tiles should fail")
+	}
+	if _, err := NewAreas(grid8x8(), 0); err == nil {
+		t.Error("0 areas should fail")
+	}
+	if _, err := NewAreas(grid8x8(), 128); err == nil {
+		t.Error("128 areas on 64 tiles should fail")
+	}
+}
+
+func TestMatchedPlacement(t *testing.T) {
+	a := MustAreas(grid8x8(), 4)
+	p := MatchedPlacement(a)
+	if p.NumVMs != 4 {
+		t.Fatalf("NumVMs = %d, want 4", p.NumVMs)
+	}
+	for vm := 0; vm < 4; vm++ {
+		if p.SpansAreas(a, vm) {
+			t.Errorf("matched placement: VM %d spans areas", vm)
+		}
+		if len(p.TilesOf(vm)) != 16 {
+			t.Errorf("VM %d has %d tiles, want 16", vm, len(p.TilesOf(vm)))
+		}
+		for _, tile := range p.TilesOf(vm) {
+			if a.Of(tile) != vm {
+				t.Errorf("matched placement: VM %d tile %d in area %d", vm, tile, a.Of(tile))
+			}
+		}
+	}
+}
+
+func TestAlternativePlacement(t *testing.T) {
+	a := MustAreas(grid8x8(), 4)
+	p := AlternativePlacement(a)
+	counts := make(map[int]int)
+	spanning := 0
+	for tile := Tile(0); tile < 64; tile++ {
+		counts[p.VMOf(tile)]++
+	}
+	for vm := 0; vm < 4; vm++ {
+		if counts[vm] != 16 {
+			t.Errorf("alt placement: VM %d has %d tiles, want 16", vm, counts[vm])
+		}
+		if p.SpansAreas(a, vm) {
+			spanning++
+		}
+	}
+	if spanning == 0 {
+		t.Error("alt placement: no VM spans areas; defeats the point of Figure 6")
+	}
+}
+
+func TestPlacementConsistency(t *testing.T) {
+	a := MustAreas(grid8x8(), 4)
+	for _, p := range []*Placement{MatchedPlacement(a), AlternativePlacement(a)} {
+		for vm := 0; vm < p.NumVMs; vm++ {
+			for _, tile := range p.TilesOf(vm) {
+				if p.VMOf(tile) != vm {
+					t.Fatalf("TilesOf/VMOf inconsistent for vm %d tile %d", vm, tile)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package trace records and replays memory-reference streams. A
+// recorded trace makes a simulation run exactly reproducible across
+// code changes (the synthetic generators' streams shift whenever their
+// tuning changes), lets external traces drive the simulator, and
+// supports trimming/filtering for focused protocol debugging.
+//
+// The format is a line-oriented text file, one reference per line:
+//
+//	<tile> <r|w> <block-address-hex> <gap>
+//
+// with '#' comment lines allowed.
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+// Record is one memory reference of one core.
+type Record struct {
+	Tile  topo.Tile
+	Addr  cache.Addr
+	Write bool
+	Gap   sim.Time
+}
+
+// Trace is an in-memory reference stream.
+type Trace struct {
+	Records []Record
+}
+
+// Append adds one reference.
+func (t *Trace) Append(r Record) { t.Records = append(t.Records, r) }
+
+// Len returns the number of references.
+func (t *Trace) Len() int { return len(t.Records) }
+
+// Write serializes the trace.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# cmp trace: %d records\n", len(t.Records)); err != nil {
+		return err
+	}
+	for _, r := range t.Records {
+		op := "r"
+		if r.Write {
+			op = "w"
+		}
+		if _, err := fmt.Fprintf(bw, "%d %s %x %d\n", r.Tile, op, uint64(r.Addr), r.Gap); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace.
+func Read(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 4 {
+			return nil, fmt.Errorf("trace: line %d: want 4 fields, got %d", lineNo, len(fields))
+		}
+		tile, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad tile: %v", lineNo, err)
+		}
+		var write bool
+		switch fields[1] {
+		case "r":
+		case "w":
+			write = true
+		default:
+			return nil, fmt.Errorf("trace: line %d: bad op %q", lineNo, fields[1])
+		}
+		addr, err := strconv.ParseUint(fields[2], 16, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad address: %v", lineNo, err)
+		}
+		gap, err := strconv.ParseUint(fields[3], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: bad gap: %v", lineNo, err)
+		}
+		t.Append(Record{Tile: topo.Tile(tile), Addr: cache.Addr(addr), Write: write, Gap: sim.Time(gap)})
+	}
+	return t, sc.Err()
+}
+
+// Capture drives a workload generator for refsPerTile references on
+// each of the given tiles (round-robin) and records the stream.
+func Capture(gen *workload.Generator, tiles []topo.Tile, refsPerTile int) *Trace {
+	t := &Trace{Records: make([]Record, 0, len(tiles)*refsPerTile)}
+	for i := 0; i < refsPerTile; i++ {
+		for _, tile := range tiles {
+			a := gen.Next(tile)
+			t.Append(Record{Tile: tile, Addr: a.Addr, Write: a.Write, Gap: a.Gap})
+		}
+	}
+	return t
+}
+
+// FilterTile returns the sub-trace of one tile.
+func (t *Trace) FilterTile(tile topo.Tile) *Trace {
+	out := &Trace{}
+	for _, r := range t.Records {
+		if r.Tile == tile {
+			out.Append(r)
+		}
+	}
+	return out
+}
+
+// FilterAddr returns the sub-trace touching one block, preserving the
+// issuing tiles — the tool of choice when bisecting a protocol bug to
+// a minimal reproducer.
+func (t *Trace) FilterAddr(addr cache.Addr) *Trace {
+	out := &Trace{}
+	for _, r := range t.Records {
+		if r.Addr == addr {
+			out.Append(r)
+		}
+	}
+	return out
+}
+
+// Stats summarizes a trace.
+type Stats struct {
+	Records      int
+	Writes       int
+	UniqueBlocks int
+	UniqueTiles  int
+}
+
+// Summarize computes trace statistics.
+func (t *Trace) Summarize() Stats {
+	blocks := make(map[cache.Addr]struct{})
+	tiles := make(map[topo.Tile]struct{})
+	s := Stats{Records: len(t.Records)}
+	for _, r := range t.Records {
+		if r.Write {
+			s.Writes++
+		}
+		blocks[r.Addr] = struct{}{}
+		tiles[r.Tile] = struct{}{}
+	}
+	s.UniqueBlocks = len(blocks)
+	s.UniqueTiles = len(tiles)
+	return s
+}
+
+// Player replays a trace through a per-tile cursor, mimicking the
+// workload.Generator interface shape (Next per tile).
+type Player struct {
+	perTile map[topo.Tile][]Record
+	cursor  map[topo.Tile]int
+}
+
+// NewPlayer indexes a trace for replay.
+func NewPlayer(t *Trace) *Player {
+	p := &Player{perTile: map[topo.Tile][]Record{}, cursor: map[topo.Tile]int{}}
+	for _, r := range t.Records {
+		p.perTile[r.Tile] = append(p.perTile[r.Tile], r)
+	}
+	return p
+}
+
+// Next returns the tile's next reference and whether one remained.
+func (p *Player) Next(tile topo.Tile) (Record, bool) {
+	rs := p.perTile[tile]
+	i := p.cursor[tile]
+	if i >= len(rs) {
+		return Record{}, false
+	}
+	p.cursor[tile] = i + 1
+	return rs[i], true
+}
+
+// Remaining returns how many references the tile still has.
+func (p *Player) Remaining(tile topo.Tile) int {
+	return len(p.perTile[tile]) - p.cursor[tile]
+}

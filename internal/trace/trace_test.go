@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/memctrl"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/workload"
+)
+
+func sample() *Trace {
+	t := &Trace{}
+	t.Append(Record{Tile: 3, Addr: 0x1234, Write: false, Gap: 2})
+	t.Append(Record{Tile: 7, Addr: 0xBEEF, Write: true, Gap: 0})
+	t.Append(Record{Tile: 3, Addr: 0x1234, Write: true, Gap: 5})
+	return t
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := sample()
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("round trip length %d, want %d", got.Len(), tr.Len())
+	}
+	for i := range tr.Records {
+		if got.Records[i] != tr.Records[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got.Records[i], tr.Records[i])
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		"3 r\n",          // too few fields
+		"x r 10 0\n",     // bad tile
+		"3 q 10 0\n",     // bad op
+		"3 r zz 0\n",     // bad address
+		"3 r 10 minus\n", // bad gap
+	}
+	for _, c := range cases {
+		if _, err := Read(strings.NewReader(c)); err == nil {
+			t.Errorf("malformed line %q accepted", strings.TrimSpace(c))
+		}
+	}
+	// Comments and blanks are fine.
+	tr, err := Read(strings.NewReader("# hi\n\n3 r 10 0\n"))
+	if err != nil || tr.Len() != 1 {
+		t.Errorf("comment handling broken: %v len=%d", err, tr.Len())
+	}
+}
+
+func TestFilters(t *testing.T) {
+	tr := sample()
+	byTile := tr.FilterTile(3)
+	if byTile.Len() != 2 {
+		t.Errorf("FilterTile(3) = %d records, want 2", byTile.Len())
+	}
+	byAddr := tr.FilterAddr(0xBEEF)
+	if byAddr.Len() != 1 || byAddr.Records[0].Tile != 7 {
+		t.Errorf("FilterAddr wrong: %+v", byAddr.Records)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := sample().Summarize()
+	if s.Records != 3 || s.Writes != 2 || s.UniqueBlocks != 2 || s.UniqueTiles != 2 {
+		t.Errorf("Summarize = %+v", s)
+	}
+}
+
+func TestCaptureAndReplay(t *testing.T) {
+	w := workload.MustNamed("tomcatv4x16p")
+	areas := topo.MustAreas(topo.NewGrid(8, 8), 4)
+	placement := topo.MatchedPlacement(areas)
+	mapper := memctrl.NewMapper(true)
+	gen := workload.NewGenerator(w, placement, mapper, sim.NewRand(4))
+	tiles := []topo.Tile{0, 1, 2}
+	tr := Capture(gen, tiles, 50)
+	if tr.Len() != 150 {
+		t.Fatalf("captured %d records, want 150", tr.Len())
+	}
+	p := NewPlayer(tr)
+	for _, tile := range tiles {
+		if p.Remaining(tile) != 50 {
+			t.Errorf("tile %d has %d records, want 50", tile, p.Remaining(tile))
+		}
+	}
+	n := 0
+	for {
+		r, ok := p.Next(0)
+		if !ok {
+			break
+		}
+		if r.Tile != 0 {
+			t.Fatal("player returned another tile's record")
+		}
+		n++
+	}
+	if n != 50 {
+		t.Errorf("replayed %d records for tile 0, want 50", n)
+	}
+	if _, ok := p.Next(0); ok {
+		t.Error("player returned a record past the end")
+	}
+}
+
+func TestPlayerPreservesOrder(t *testing.T) {
+	tr := sample()
+	p := NewPlayer(tr)
+	r1, _ := p.Next(3)
+	r2, _ := p.Next(3)
+	if r1.Write || !r2.Write {
+		t.Error("player reordered a tile's records")
+	}
+}

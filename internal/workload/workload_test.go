@@ -1,0 +1,253 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/memctrl"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+func testGen(t *testing.T, name string, dedup bool) (*Generator, *memctrl.Mapper) {
+	t.Helper()
+	w := MustNamed(name)
+	areas := topo.MustAreas(topo.NewGrid(8, 8), 4)
+	placement := topo.MatchedPlacement(areas)
+	mapper := memctrl.NewMapper(dedup)
+	return NewGenerator(w, placement, mapper, sim.NewRand(11)), mapper
+}
+
+func TestNamedAll(t *testing.T) {
+	for _, n := range Names {
+		w, err := Named(n)
+		if err != nil {
+			t.Fatalf("Named(%q): %v", n, err)
+		}
+		if len(w.VMs) != 4 {
+			t.Errorf("%s: %d VMs, want 4", n, len(w.VMs))
+		}
+		for _, p := range w.VMs {
+			if p.DedupFrac+p.VMSharedFrac >= 1 {
+				t.Errorf("%s/%s: class fractions exceed 1", n, p.Name)
+			}
+			if p.DedupPages <= 0 {
+				t.Errorf("%s/%s: no dedup pages", n, p.Name)
+			}
+		}
+	}
+	if _, err := Named("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestMixedComposition(t *testing.T) {
+	w := MustNamed("mixed-com")
+	if w.VMs[0].Name != "apache" || w.VMs[2].Name != "jbb" {
+		t.Errorf("mixed-com VMs = %v", []string{w.VMs[0].Name, w.VMs[1].Name, w.VMs[2].Name, w.VMs[3].Name})
+	}
+	w = MustNamed("mixed-sci")
+	names := map[string]bool{}
+	for _, p := range w.VMs {
+		names[p.Name] = true
+	}
+	for _, want := range []string{"radix", "lu", "volrend", "tomcatv"} {
+		if !names[want] {
+			t.Errorf("mixed-sci missing %s", want)
+		}
+	}
+}
+
+// TestDedupSavingsMatchTableIV drives the generator and checks the
+// mapper's realized memory savings land near Table IV's column.
+func TestDedupSavingsMatchTableIV(t *testing.T) {
+	targets := map[string]float64{
+		"apache4x16p":  0.2172,
+		"jbb4x16p":     0.2388,
+		"radix4x16p":   0.2418,
+		"lu4x16p":      0.3271,
+		"tomcatv4x16p": 0.3682,
+	}
+	for name, want := range targets {
+		g, mapper := testGen(t, name, true)
+		// Touch enough of the working set that most pages get mapped
+		// (jbb's weak locality needs a long warmup to cover its heap).
+		refs := 400000
+		if name == "jbb4x16p" {
+			refs = 4000000
+		}
+		for i := 0; i < refs; i++ {
+			g.Next(topo.Tile(i % 64))
+		}
+		got := mapper.SavedFraction()
+		if math.Abs(got-want) > 0.08 {
+			t.Errorf("%s: realized dedup savings %.3f, Table IV %.3f", name, got, want)
+		}
+	}
+}
+
+// TestWorkingSetDichotomy checks the L1- vs L2-dominated split: the
+// blocks covering 90% of a core's accesses fit a 128 KB L1 (2048
+// blocks) for the scientific kernels but far exceed it for the server
+// workloads.
+func TestWorkingSetDichotomy(t *testing.T) {
+	const l1Blocks = 2048
+	hotFootprint := func(name string) int {
+		g, _ := testGen(t, name, true)
+		counts := make(map[uint64]int)
+		const refs = 60000
+		for i := 0; i < refs; i++ {
+			a := g.Next(0)
+			counts[uint64(a.Addr)]++
+		}
+		// Blocks needed to cover 90% of accesses.
+		freqs := make([]int, 0, len(counts))
+		for _, c := range counts {
+			freqs = append(freqs, c)
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+		covered, n := 0, 0
+		for _, c := range freqs {
+			covered += c
+			n++
+			if float64(covered) >= 0.9*refs {
+				break
+			}
+		}
+		return n
+	}
+	for _, small := range []string{"radix4x16p", "lu4x16p", "volrend4x16p", "tomcatv4x16p"} {
+		if n := hotFootprint(small); n > l1Blocks {
+			t.Errorf("%s: 90%% footprint %d blocks; want L1-resident (<=%d)", small, n, l1Blocks)
+		}
+	}
+	for _, big := range []string{"apache4x16p", "jbb4x16p"} {
+		if n := hotFootprint(big); n < l1Blocks*3/2 {
+			t.Errorf("%s: 90%% footprint %d blocks; want > L1 (%d)", big, n, l1Blocks)
+		}
+	}
+}
+
+// TestDedupPagesSharedAcrossVMs: with dedup on, cores of different VMs
+// running the same app touch common physical blocks; with dedup off
+// they never do.
+func TestDedupPagesSharedAcrossVMs(t *testing.T) {
+	overlap := func(dedup bool) int {
+		g, _ := testGen(t, "apache4x16p", dedup)
+		seen0 := make(map[uint64]bool)
+		for i := 0; i < 30000; i++ {
+			a := g.Next(0) // VM 0
+			seen0[uint64(a.Addr)] = true
+		}
+		n := 0
+		for i := 0; i < 30000; i++ {
+			a := g.Next(48) // VM 3 (matched placement: area 3)
+			if seen0[uint64(a.Addr)] {
+				n++
+			}
+		}
+		return n
+	}
+	if n := overlap(true); n == 0 {
+		t.Error("dedup on: no physical overlap between VMs")
+	}
+	if n := overlap(false); n != 0 {
+		t.Errorf("dedup off: %d overlapping accesses between VMs", n)
+	}
+}
+
+// TestWritesNeverHitDedupFramesOften: dedup pages are read-only in
+// practice; CoW breaks must be very rare.
+func TestWritesRarelyBreakCoW(t *testing.T) {
+	g, mapper := testGen(t, "apache4x16p", true)
+	for i := 0; i < 200000; i++ {
+		g.Next(topo.Tile(i % 64))
+	}
+	if mapper.CoWBreaks > mapper.SharedPages/2 {
+		t.Errorf("CoW breaks %d vs %d shared pages: dedup writes not rare",
+			mapper.CoWBreaks, mapper.SharedPages)
+	}
+}
+
+// TestThreadPrivateIsolation: private pages of different threads map
+// to different frames.
+func TestThreadPrivateIsolation(t *testing.T) {
+	g, _ := testGen(t, "tomcatv4x16p", true)
+	// tomcatv is mostly private accesses; collect per-core private
+	// footprints for two threads of the same VM.
+	a0 := make(map[uint64]bool)
+	for i := 0; i < 20000; i++ {
+		a := g.Next(0)
+		a0[uint64(a.Addr)/memctrl.BlocksPerPage] = true
+	}
+	common := 0
+	total := 0
+	for i := 0; i < 20000; i++ {
+		a := g.Next(1)
+		total++
+		if a0[uint64(a.Addr)/memctrl.BlocksPerPage] {
+			common++
+		}
+	}
+	// Some overlap via VM-shared and dedup pages is expected, but it
+	// must be bounded by those fractions (~0.40 of accesses).
+	if frac := float64(common) / float64(total); frac > 0.6 {
+		t.Errorf("threads overlap on %.2f of pages; private pages leak", frac)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := newZipf(1000, 0.99)
+	r := sim.NewRand(3)
+	counts := make([]int, 1000)
+	for i := 0; i < 100000; i++ {
+		counts[z.sample(r)]++
+	}
+	if counts[0] < counts[500]*5 {
+		t.Errorf("zipf head %d not much hotter than tail %d", counts[0], counts[500])
+	}
+	// Uniform-ish when s is tiny.
+	z2 := newZipf(100, 0.01)
+	c2 := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		c2[z2.sample(r)]++
+	}
+	if c2[0] > c2[50]*3 {
+		t.Errorf("near-uniform zipf too skewed: %d vs %d", c2[0], c2[50])
+	}
+}
+
+func TestGapBounds(t *testing.T) {
+	g, _ := testGen(t, "apache4x16p", true)
+	p := g.Profile(0)
+	for i := 0; i < 1000; i++ {
+		a := g.Next(0)
+		if int(a.Gap) > 2*p.MeanGap {
+			t.Fatalf("gap %d exceeds 2x mean %d", a.Gap, p.MeanGap)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	g1, _ := testGen(t, "jbb4x16p", true)
+	g2, _ := testGen(t, "jbb4x16p", true)
+	for i := 0; i < 5000; i++ {
+		tile := topo.Tile(i % 64)
+		a1, a2 := g1.Next(tile), g2.Next(tile)
+		if a1 != a2 {
+			t.Fatal("same-seed generators diverged")
+		}
+	}
+}
+
+func TestDedupPagesForInverts(t *testing.T) {
+	for _, s := range []float64{0.15, 0.2172, 0.3682} {
+		priv := 2432
+		d := dedupPagesFor(s, priv, 4)
+		got := float64(3*d) / float64(4*(priv+d))
+		if math.Abs(got-s) > 0.01 {
+			t.Errorf("dedupPagesFor(%v) = %d gives savings %.4f", s, d, got)
+		}
+	}
+}
