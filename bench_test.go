@@ -68,6 +68,7 @@ func matrix(b *testing.B) *exp.Matrix {
 		opt.Workloads = []string{"apache4x16p", "tomcatv4x16p"}
 		opt.RefsPerCore = 4000
 		opt.WarmupRefs = 12000
+		opt.Workers = 0 // fan the 2x4 matrix out across all CPUs
 		benchResult, benchErr = exp.Run(opt, nil)
 	})
 	if benchErr != nil {

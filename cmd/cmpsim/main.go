@@ -1,13 +1,17 @@
 // Command cmpsim runs one simulation of the 64-tile consolidated CMP
-// and reports performance, power and miss statistics.
+// and reports performance, power and miss statistics. With -protocols
+// it runs several protocols on the same workload concurrently (one
+// worker per CPU) and reports each in turn plus a comparison summary.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/exp"
 	"repro/internal/power"
 	"repro/internal/proto"
 )
@@ -15,6 +19,7 @@ import (
 func main() {
 	cfg := core.DefaultConfig()
 	protocol := flag.String("protocol", cfg.Protocol, "coherence protocol: directory | dico | providers | arin")
+	protocols := flag.String("protocols", "", "comma-separated protocols to run concurrently and compare (overrides -protocol; 'all' = every protocol)")
 	workload := flag.String("workload", cfg.Workload, "Table IV workload (e.g. apache4x16p, jbb4x16p, mixed-sci)")
 	refs := flag.Int("refs", cfg.RefsPerCore, "measured references per core")
 	warmup := flag.Int("warmup", 40000, "warmup references per core (discarded)")
@@ -24,6 +29,7 @@ func main() {
 	nodedup := flag.Bool("nodedup", false, "disable memory deduplication")
 	unicastBcast := flag.Bool("unicast-broadcast", false, "emulate a chip without hardware broadcast")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	workers := flag.Int("workers", 0, "parallel simulations in -protocols mode (0 = all CPUs)")
 	flag.Parse()
 
 	cfg.Protocol = *protocol
@@ -37,11 +43,49 @@ func main() {
 	cfg.Proto.BroadcastUnicast = *unicastBcast
 	cfg.Seed = *seed
 
-	res, err := core.Run(cfg)
+	if *protocols == "" {
+		res, err := core.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cmpsim:", err)
+			os.Exit(1)
+		}
+		report(cfg, res)
+		return
+	}
+
+	names := strings.Split(*protocols, ",")
+	if *protocols == "all" {
+		names = core.ProtocolNames
+	}
+	cfgs := make([]core.Config, len(names))
+	for i, p := range names {
+		cfgs[i] = cfg
+		cfgs[i].Protocol = strings.TrimSpace(p)
+	}
+	results, err := exp.RunConfigs(cfgs, *workers, func(i int) {
+		fmt.Fprintf(os.Stderr, "running %s / %s...\n", cfgs[i].Workload, cfgs[i].Protocol)
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cmpsim:", err)
 		os.Exit(1)
 	}
+	for i, res := range results {
+		report(cfgs[i], res)
+		fmt.Println()
+	}
+	base := results[0]
+	fmt.Printf("comparison (vs %s):\n", cfgs[0].Protocol)
+	fmt.Printf("  %-12s %10s %10s %12s %12s\n", "protocol", "cycles", "perf", "power/cycle", "flit-links")
+	for i, res := range results {
+		fmt.Printf("  %-12s %10d %9.3fx %11.4g %12d\n",
+			cfgs[i].Protocol, res.Cycles,
+			res.Performance()/base.Performance(),
+			res.PowerPerCycle(), res.Net.FlitLinkCrossing)
+	}
+}
+
+// report prints the full statistics block for one finished run.
+func report(cfg core.Config, res *core.Result) {
 	pr := res.Profile
 	misses := pr.TotalMisses()
 	fmt.Printf("protocol         %s\n", cfg.Protocol)

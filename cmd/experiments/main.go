@@ -20,6 +20,7 @@ func main() {
 	nodedup := flag.Bool("nodedup", false, "disable memory deduplication")
 	workloads := flag.String("workloads", "", "comma-separated workload subset (default: all)")
 	refs := flag.Int("refs", 0, "override measured references per core")
+	workers := flag.Int("workers", 0, "parallel simulations (0 = all CPUs, 1 = serial)")
 	flag.Parse()
 
 	// Analytic artifacts need no simulation.
@@ -51,6 +52,7 @@ func main() {
 	if *workloads != "" {
 		opt.Workloads = strings.Split(*workloads, ",")
 	}
+	opt.Workers = *workers
 	m, err := exp.Run(opt, func(wl, p string) {
 		fmt.Fprintf(os.Stderr, "running %s / %s...\n", wl, p)
 	})

@@ -5,7 +5,9 @@ package exp
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/mesh"
@@ -25,6 +27,12 @@ type Options struct {
 	Seed         uint64
 	AltPlacement bool
 	Dedup        bool
+	// Workers bounds how many simulations run concurrently. Every
+	// (workload, protocol) run owns its kernel, chip and RNG, so the
+	// sweep parallelizes without sharing; results are identical to a
+	// serial sweep for a given seed. 0 means runtime.GOMAXPROCS(0);
+	// 1 forces the serial path.
+	Workers int
 }
 
 // DefaultOptions runs every Table IV workload at a laptop-scale budget.
@@ -38,38 +46,145 @@ func DefaultOptions() Options {
 	}
 }
 
+// config builds the core.Config for one cell of the sweep matrix.
+func (opt Options) config(wl, protocol string) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Protocol = protocol
+	cfg.Workload = wl
+	cfg.RefsPerCore = opt.RefsPerCore
+	cfg.WarmupRefs = opt.WarmupRefs
+	cfg.Seed = opt.Seed
+	cfg.AltPlacement = opt.AltPlacement
+	cfg.Dedup = opt.Dedup
+	return cfg
+}
+
 // Matrix holds one result per (workload, protocol).
 type Matrix struct {
 	Workloads []string
 	Results   map[string]map[string]*core.Result // workload -> protocol
 }
 
-// Run executes the full sweep. progress (optional) is called before
-// each run.
+// Run executes the full sweep, fanning the (workload, protocol) matrix
+// out over opt.Workers goroutines. progress (optional) is called
+// before each run, in matrix order, never concurrently. Result
+// assembly is deterministic: each run writes only its own matrix cell,
+// and on error the first failure in matrix order is reported.
 func Run(opt Options, progress func(workload, protocol string)) (*Matrix, error) {
-	m := &Matrix{Workloads: opt.Workloads, Results: map[string]map[string]*core.Result{}}
+	type job struct{ wl, protocol string }
+	jobs := make([]job, 0, len(opt.Workloads)*len(core.ProtocolNames))
 	for _, wl := range opt.Workloads {
-		m.Results[wl] = map[string]*core.Result{}
 		for _, p := range core.ProtocolNames {
-			if progress != nil {
-				progress(wl, p)
-			}
-			cfg := core.DefaultConfig()
-			cfg.Protocol = p
-			cfg.Workload = wl
-			cfg.RefsPerCore = opt.RefsPerCore
-			cfg.WarmupRefs = opt.WarmupRefs
-			cfg.Seed = opt.Seed
-			cfg.AltPlacement = opt.AltPlacement
-			cfg.Dedup = opt.Dedup
-			res, err := core.Run(cfg)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%s: %w", wl, p, err)
-			}
-			m.Results[wl][p] = res
+			jobs = append(jobs, job{wl, p})
 		}
 	}
+	results := make([]*core.Result, len(jobs))
+	errs := make([]error, len(jobs))
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		for i, j := range jobs {
+			if progress != nil {
+				progress(j.wl, j.protocol)
+			}
+			results[i], errs[i] = core.Run(opt.config(j.wl, j.protocol))
+		}
+	} else {
+		// Workers claim jobs from a shared cursor under a mutex, so
+		// runs start in matrix order and the progress callback needs
+		// no synchronization of its own.
+		var (
+			mu   sync.Mutex
+			next int
+			wg   sync.WaitGroup
+		)
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					mu.Lock()
+					if next >= len(jobs) {
+						mu.Unlock()
+						return
+					}
+					i := next
+					next++
+					if progress != nil {
+						progress(jobs[i].wl, jobs[i].protocol)
+					}
+					mu.Unlock()
+					results[i], errs[i] = core.Run(opt.config(jobs[i].wl, jobs[i].protocol))
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	m := &Matrix{Workloads: opt.Workloads, Results: map[string]map[string]*core.Result{}}
+	for i, j := range jobs {
+		if errs[i] != nil {
+			return nil, fmt.Errorf("%s/%s: %w", j.wl, j.protocol, errs[i])
+		}
+		if m.Results[j.wl] == nil {
+			m.Results[j.wl] = map[string]*core.Result{}
+		}
+		m.Results[j.wl][j.protocol] = results[i]
+	}
 	return m, nil
+}
+
+// RunConfigs executes arbitrary configurations through the same
+// bounded worker pool: configuration i's result lands in slot i.
+// progress (optional) is called with the index of each run as it
+// starts, never concurrently. The first error in slice order wins.
+func RunConfigs(cfgs []core.Config, workers int, progress func(i int)) ([]*core.Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	results := make([]*core.Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var (
+		mu   sync.Mutex
+		next int
+		wg   sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if next >= len(cfgs) {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				if progress != nil {
+					progress(i)
+				}
+				mu.Unlock()
+				results[i], errs[i] = core.Run(cfgs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("config %d (%s/%s): %w", i, cfgs[i].Workload, cfgs[i].Protocol, err)
+		}
+	}
+	return results, nil
 }
 
 // Table5 renders the per-tile storage breakdown (Table V).

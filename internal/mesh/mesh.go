@@ -72,6 +72,19 @@ type Network struct {
 
 	linkFree []sim.Time // [tile*numDirections + dir] next free cycle
 	stats    Stats
+
+	// Scratch buffers reused across calls to keep the send/broadcast
+	// hot paths allocation-free. Both are fully rewritten before use
+	// and never live past the call that fills them (deliveries are
+	// scheduled through the kernel, so Send/Broadcast never re-enter).
+	path    []pathHop  // xyPath result, reused per Send
+	arrival []sim.Time // per-tile broadcast arrival, indexed by tile id
+}
+
+// pathHop is one link crossing of an XY route.
+type pathHop struct {
+	tile topo.Tile
+	dir  Direction
 }
 
 // New returns a network over grid driven by kernel.
@@ -81,6 +94,8 @@ func New(kernel *sim.Kernel, grid topo.Grid, cfg Config) *Network {
 		grid:     grid,
 		cfg:      cfg,
 		linkFree: make([]sim.Time, grid.Tiles()*int(numDirections)),
+		path:     make([]pathHop, 0, grid.Cols+grid.Rows),
+		arrival:  make([]sim.Time, grid.Tiles()),
 	}
 }
 
@@ -117,15 +132,10 @@ func (n *Network) reserveLink(tile topo.Tile, dir Direction, at sim.Time, flits 
 }
 
 // xyPath returns the sequence of (tile, direction) link crossings from
-// src to dst under XY routing.
-func (n *Network) xyPath(src, dst topo.Tile) []struct {
-	tile topo.Tile
-	dir  Direction
-} {
-	var path []struct {
-		tile topo.Tile
-		dir  Direction
-	}
+// src to dst under XY routing. The returned slice aliases the
+// network's scratch buffer and is only valid until the next call.
+func (n *Network) xyPath(src, dst topo.Tile) []pathHop {
+	path := n.path[:0]
 	x, y := n.grid.Coord(src)
 	dx, dy := n.grid.Coord(dst)
 	for x != dx {
@@ -135,10 +145,7 @@ func (n *Network) xyPath(src, dst topo.Tile) []struct {
 			dir = West
 			nx = x - 1
 		}
-		path = append(path, struct {
-			tile topo.Tile
-			dir  Direction
-		}{n.grid.At(x, y), dir})
+		path = append(path, pathHop{n.grid.At(x, y), dir})
 		x = nx
 	}
 	for y != dy {
@@ -148,12 +155,10 @@ func (n *Network) xyPath(src, dst topo.Tile) []struct {
 			dir = North
 			ny = y - 1
 		}
-		path = append(path, struct {
-			tile topo.Tile
-			dir  Direction
-		}{n.grid.At(x, y), dir})
+		path = append(path, pathHop{n.grid.At(x, y), dir})
 		y = ny
 	}
+	n.path = path
 	return path
 }
 
@@ -169,6 +174,18 @@ type Delivery struct {
 // deliver to run at its arrival time. It returns the computed delivery
 // metadata immediately (the model walks the path at injection time).
 func (n *Network) Send(src, dst topo.Tile, flits int, deliver func()) Delivery {
+	return n.send(src, dst, flits, deliver, nil, nil)
+}
+
+// SendArg is Send through the kernel's non-capturing fast path:
+// deliver(arg) runs at arrival. Hot senders that would otherwise
+// build a fresh closure per message pass a long-lived function plus a
+// small argument instead.
+func (n *Network) SendArg(src, dst topo.Tile, flits int, deliver func(any), arg any) Delivery {
+	return n.send(src, dst, flits, nil, deliver, arg)
+}
+
+func (n *Network) send(src, dst topo.Tile, flits int, run func(), argFn func(any), arg any) Delivery {
 	if !n.grid.Contains(src) || !n.grid.Contains(dst) {
 		panic(fmt.Sprintf("mesh: Send between invalid tiles %d -> %d", src, dst))
 	}
@@ -182,7 +199,7 @@ func (n *Network) Send(src, dst topo.Tile, flits int, deliver func()) Delivery {
 		lat := sim.Time(n.cfg.SwitchCycles + n.cfg.RouterCycles)
 		n.stats.RouterTraversals++
 		n.stats.TotalLatency += uint64(lat)
-		n.kernel.At(now+lat, deliver)
+		n.schedule(now+lat, run, argFn, arg)
 		return Delivery{Latency: lat, Hops: 0, Routers: 1}
 	}
 	path := n.xyPath(src, dst)
@@ -198,8 +215,17 @@ func (n *Network) Send(src, dst topo.Tile, flits int, deliver func()) Delivery {
 	n.stats.RouterTraversals += uint64(hops + 1)
 	n.stats.TotalHops += uint64(hops)
 	n.stats.TotalLatency += uint64(lat)
-	n.kernel.At(now+lat, deliver)
+	n.schedule(now+lat, run, argFn, arg)
 	return Delivery{Latency: lat, Hops: hops, Routers: hops + 1}
+}
+
+// schedule dispatches to the kernel's closure or argument form.
+func (n *Network) schedule(at sim.Time, run func(), argFn func(any), arg any) {
+	if argFn != nil {
+		n.kernel.AtArg(at, argFn, arg)
+	} else {
+		n.kernel.At(at, run)
+	}
 }
 
 // BroadcastDelivery describes the network usage of one broadcast.
@@ -223,7 +249,10 @@ func (n *Network) Broadcast(src topo.Tile, flits int, deliver func(dst topo.Tile
 	now := n.kernel.Now()
 	n.stats.Broadcasts++
 	sx, sy := n.grid.Coord(src)
-	arrival := make(map[topo.Tile]sim.Time)
+	// The spanning tree reaches every tile, and each tile's arrival is
+	// written before any dependent read, so the scratch slice needs no
+	// clearing between broadcasts.
+	arrival := n.arrival
 	arrival[src] = now
 
 	links := 0
@@ -251,8 +280,13 @@ func (n *Network) Broadcast(src topo.Tile, flits int, deliver func(dst topo.Tile
 
 	var maxLat sim.Time
 	dests := 0
+	// One adapter closure serves all destinations; each delivery is
+	// scheduled through the AtArg fast path with the tile id as the
+	// argument, so a 64-tile broadcast costs one allocation instead of
+	// 63 per-destination closures.
+	deliverTo := func(a any) { deliver(a.(topo.Tile)) }
 	// Deliveries are scheduled in tile order: same-cycle events run in
-	// scheduling order, so iterating the arrival map directly would
+	// scheduling order, so iterating tiles in arbitrary order would
 	// make runs nondeterministic.
 	for i := 0; i < n.grid.Tiles(); i++ {
 		t := topo.Tile(i)
@@ -265,7 +299,7 @@ func (n *Network) Broadcast(src topo.Tile, flits int, deliver func(dst topo.Tile
 		if lat > maxLat {
 			maxLat = lat
 		}
-		n.kernel.At(at+sim.Time(flits-1), func() { deliver(t) })
+		n.kernel.AtArg(at+sim.Time(flits-1), deliverTo, t)
 	}
 	routers := n.grid.Tiles() // every router forwards/ejects the message
 	n.stats.FlitLinkCrossing += uint64(links * flits)
@@ -283,12 +317,12 @@ func (n *Network) Broadcast(src topo.Tile, flits int, deliver func(dst topo.Tile
 // Used by the ablation benchmarks.
 func (n *Network) UnicastBroadcast(src topo.Tile, flits int, deliver func(dst topo.Tile)) BroadcastDelivery {
 	var bd BroadcastDelivery
+	deliverTo := func(a any) { deliver(a.(topo.Tile)) }
 	for t := topo.Tile(0); int(t) < n.grid.Tiles(); t++ {
 		if t == src {
 			continue
 		}
-		t := t
-		d := n.Send(src, t, flits, func() { deliver(t) })
+		d := n.SendArg(src, t, flits, deliverTo, t)
 		bd.Links += d.Hops
 		bd.Routers += d.Routers
 		bd.Destinations++

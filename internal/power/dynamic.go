@@ -26,11 +26,15 @@ type DynamicBreakdown struct {
 	Routing float64            // router traversals (Figure 8b "routing")
 }
 
-// CacheTotal returns the summed cache energy.
+// CacheTotal returns the summed cache energy. The sum runs in
+// CacheClasses order, not map order: float addition is not
+// associative, so summing in map iteration order would make the last
+// ulp — and occasionally a rounded digit in the figures — vary from
+// call to call.
 func (d DynamicBreakdown) CacheTotal() float64 {
 	t := 0.0
-	for _, v := range d.Cache {
-		t += v
+	for _, cls := range CacheClasses {
+		t += d.Cache[cls]
 	}
 	return t
 }

@@ -41,8 +41,12 @@ func arIsOwner(s cache.State) bool {
 // the paper's three-phase broadcast invalidation (block, ack,
 // unblock).
 type Arin struct {
-	ctx        *Context
-	tiles      []*tileState
+	ctx   *Context
+	tiles []*tileState
+
+	// atHomeFn adapts atHome to the kernel/mesh argument fast path
+	// (no per-message closure for requests sent to the home).
+	atHomeFn   func(any)
 	recalls    []map[cache.Addr]bool
 	ownerStamp []map[cache.Addr]sim.Time
 }
@@ -60,6 +64,7 @@ func NewArin(ctx *Context) *Arin {
 		recalls:    make([]map[cache.Addr]bool, n),
 		ownerStamp: make([]map[cache.Addr]sim.Time, n),
 	}
+	p.atHomeFn = func(a any) { p.atHome(a.(arReq)) }
 	for i := range p.tiles {
 		p.tiles[i] = newTileState(ctx.Cfg, ctx.BankShift())
 		p.recalls[i] = make(map[cache.Addr]bool)
@@ -142,7 +147,7 @@ func (p *Arin) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()
 	}
 	e.Tag = int(MissUnpredHome)
 	home := ctx.HomeOf(addr)
-	del := ctx.SendCtl(tile, home, func() { p.atHome(r) })
+	del := ctx.SendCtlArg(tile, home, p.atHomeFn, r)
 	e.Links += del.Hops
 }
 
@@ -244,7 +249,7 @@ func (p *Arin) atL1(r arReq, tile topo.Tile) {
 		r.forwards++
 		r.forwarder = tile
 		home := ctx.HomeOf(r.addr)
-		del := ctx.SendCtl(tile, home, func() { p.atHome(r) })
+		del := ctx.SendCtlArg(tile, home, p.atHomeFn, r)
 		p.addLinks(r.requestor, r.addr, del.Hops)
 	}
 }
@@ -336,9 +341,7 @@ func (p *Arin) atHome(r arReq) {
 	if ptr, ok := th.l2c.Lookup(r.addr); ok && th.l2.Peek(r.addr) == nil {
 		ownerTile := topo.Tile(ptr)
 		if ownerTile == r.requestor || r.forwards >= maxForwards {
-			ctx.Kernel.After(retryBackoff, func() {
-				p.atHome(arReq{r.addr, r.requestor, r.write, r.predicted, 0, -1})
-			})
+			ctx.Kernel.AfterArg(retryBackoff, p.atHomeFn, arReq{r.addr, r.requestor, r.write, r.predicted, 0, -1})
 			return
 		}
 		r.forwards++

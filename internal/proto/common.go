@@ -177,6 +177,14 @@ func (c *Context) SendData(src, dst topo.Tile, fn func()) mesh.Delivery {
 	return c.Net.Send(src, dst, c.Net.Config().DataFlits, fn)
 }
 
+// SendCtlArg sends a 1-flit control message through the kernel's
+// non-capturing fast path: fn(arg) runs on delivery. The engines use
+// it with a long-lived handler adapter for their hottest sender — the
+// per-miss request to the home — so no closure is built per message.
+func (c *Context) SendCtlArg(src, dst topo.Tile, fn func(any), arg any) mesh.Delivery {
+	return c.Net.SendArg(src, dst, c.Net.Config().ControlFlits, fn, arg)
+}
+
 // tileState is the per-tile storage all protocols share (each uses the
 // subset it needs).
 type tileState struct {

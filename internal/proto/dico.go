@@ -32,6 +32,10 @@ type DiCo struct {
 	ctx   *Context
 	tiles []*tileState
 
+	// atHomeFn adapts atHome to the kernel/mesh argument fast path
+	// (no per-message closure for requests sent to the home).
+	atHomeFn func(any)
+
 	// recalls marks blocks whose ownership is being recalled to the
 	// home (L2C$ eviction); requests for them park at the home.
 	recalls []map[cache.Addr]bool
@@ -50,6 +54,7 @@ func NewDiCo(ctx *Context) *DiCo {
 		recalls:    make([]map[cache.Addr]bool, n),
 		ownerStamp: make([]map[cache.Addr]sim.Time, n),
 	}
+	p.atHomeFn = func(a any) { p.atHome(a.(dcReq)) }
 	for i := range p.tiles {
 		p.tiles[i] = newTileState(ctx.Cfg, ctx.BankShift())
 		p.recalls[i] = make(map[cache.Addr]bool)
@@ -123,7 +128,7 @@ func (p *DiCo) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()
 	}
 	e.Tag = int(MissUnpredHome)
 	home := ctx.HomeOf(addr)
-	del := ctx.SendCtl(tile, home, func() { p.atHome(r) })
+	del := ctx.SendCtlArg(tile, home, p.atHomeFn, r)
 	e.Links += del.Hops
 }
 
@@ -176,7 +181,7 @@ func (p *DiCo) atL1(r dcReq, tile topo.Tile) {
 		}
 		r.forwards++
 		home := ctx.HomeOf(r.addr)
-		del := ctx.SendCtl(tile, home, func() { p.atHome(r) })
+		del := ctx.SendCtlArg(tile, home, p.atHomeFn, r)
 		p.addLinks(r.requestor, r.addr, del.Hops)
 		return
 	}
@@ -259,9 +264,7 @@ func (p *DiCo) atHome(r dcReq) {
 		if owner == r.requestor || r.forwards >= maxForwards {
 			// Our own transfer is settling, or forwarding keeps
 			// bouncing: back off and retry.
-			ctx.Kernel.After(retryBackoff, func() {
-				p.atHome(dcReq{r.addr, r.requestor, r.write, r.predicted, 0})
-			})
+			ctx.Kernel.AfterArg(retryBackoff, p.atHomeFn, dcReq{r.addr, r.requestor, r.write, r.predicted, 0})
 			return
 		}
 		r.forwards++

@@ -26,11 +26,17 @@ const l2Present cache.State = 1
 type Directory struct {
 	ctx   *Context
 	tiles []*tileState
+
+	// atHomeFn is the long-lived adapter for the kernel/mesh argument
+	// fast path: requests to the home are sent as (atHomeFn, dirReq)
+	// pairs instead of per-message closures.
+	atHomeFn func(any)
 }
 
 // NewDirectory builds the directory engine on ctx.
 func NewDirectory(ctx *Context) *Directory {
 	d := &Directory{ctx: ctx, tiles: make([]*tileState, ctx.NumTiles())}
+	d.atHomeFn = func(a any) { d.atHome(a.(dirReq)) }
 	for i := range d.tiles {
 		t := newTileState(ctx.Cfg, ctx.BankShift())
 		// Directory information lives with every L2 entry (a full-map
@@ -98,7 +104,7 @@ func (d *Directory) Access(tile topo.Tile, addr cache.Addr, write bool, onDone f
 	e.OnComplete = onDone
 	e.Tag = int(MissUnpredHome)
 	home := ctx.HomeOf(addr)
-	del := ctx.SendCtl(tile, home, func() { d.atHome(dirReq{addr, tile, write, 0}) })
+	del := ctx.SendCtlArg(tile, home, d.atHomeFn, dirReq{addr, tile, write, 0})
 	e.Links += del.Hops
 }
 
@@ -141,13 +147,13 @@ func (d *Directory) atHome(r dirReq) {
 		owner := topo.Tile(dline.Owner)
 		if owner == r.requestor {
 			// Our own writeback is still in flight; retry shortly.
-			ctx.Kernel.After(retryBackoff, func() { d.atHome(dirReq{r.addr, r.requestor, r.write, 0}) })
+			ctx.Kernel.AfterArg(retryBackoff, d.atHomeFn, dirReq{r.addr, r.requestor, r.write, 0})
 			return
 		}
 		if r.forwards >= maxForwards {
 			// Forwarding keeps bouncing (transfer in flight): back off
 			// and retry from the home.
-			ctx.Kernel.After(retryBackoff, func() { d.atHome(dirReq{r.addr, r.requestor, r.write, 0}) })
+			ctx.Kernel.AfterArg(retryBackoff, d.atHomeFn, dirReq{r.addr, r.requestor, r.write, 0})
 			return
 		}
 		r.forwards++
@@ -185,7 +191,7 @@ func (d *Directory) homeRead(r dirReq, dline *cache.Line) {
 		dline.Sharers |= bit(r.requestor)
 		ctx.Ev(power.EvDirWrite)
 		if r.forwards >= maxForwards {
-			ctx.Kernel.After(retryBackoff, func() { d.atHome(dirReq{r.addr, r.requestor, r.write, 0}) })
+			ctx.Kernel.AfterArg(retryBackoff, d.atHomeFn, dirReq{r.addr, r.requestor, r.write, 0})
 			return
 		}
 		r.forwards++
@@ -242,7 +248,7 @@ func (d *Directory) atOwner(r dirReq, owner topo.Tile) {
 	if line == nil || (line.State != dirModified && line.State != dirExclusive) {
 		// Ownership moved (eviction/writeback in flight); bounce back.
 		home := ctx.HomeOf(r.addr)
-		del := ctx.SendCtl(owner, home, func() { d.atHome(r) })
+		del := ctx.SendCtlArg(owner, home, d.atHomeFn, r)
 		d.addLinks(r.requestor, r.addr, del.Hops)
 		return
 	}

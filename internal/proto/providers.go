@@ -32,8 +32,12 @@ func pvIsOwner(s cache.State) bool {
 // and a single ordering point (the owner) remains so the protocol has
 // one level like a flat directory.
 type Providers struct {
-	ctx        *Context
-	tiles      []*tileState
+	ctx   *Context
+	tiles []*tileState
+
+	// atHomeFn adapts atHome to the kernel/mesh argument fast path
+	// (no per-message closure for requests sent to the home).
+	atHomeFn   func(any)
 	recalls    []map[cache.Addr]bool
 	ownerStamp []map[cache.Addr]sim.Time
 }
@@ -51,6 +55,7 @@ func NewProviders(ctx *Context) *Providers {
 		recalls:    make([]map[cache.Addr]bool, n),
 		ownerStamp: make([]map[cache.Addr]sim.Time, n),
 	}
+	p.atHomeFn = func(a any) { p.atHome(a.(pvReq)) }
 	for i := range p.tiles {
 		p.tiles[i] = newTileState(ctx.Cfg, ctx.BankShift())
 		p.recalls[i] = make(map[cache.Addr]bool)
@@ -163,7 +168,7 @@ func (p *Providers) Access(tile topo.Tile, addr cache.Addr, write bool, onDone f
 	}
 	e.Tag = int(MissUnpredHome)
 	home := ctx.HomeOf(addr)
-	del := ctx.SendCtl(tile, home, func() { p.atHome(r) })
+	del := ctx.SendCtlArg(tile, home, p.atHomeFn, r)
 	e.Links += del.Hops
 }
 
@@ -347,7 +352,7 @@ func (p *Providers) atL1(r pvReq, tile topo.Tile) {
 		r.fromOwner = -1
 		r.forwards++
 		home := ctx.HomeOf(r.addr)
-		del := ctx.SendCtl(tile, home, func() { p.atHome(r) })
+		del := ctx.SendCtlArg(tile, home, p.atHomeFn, r)
 		p.addLinks(r.requestor, r.addr, del.Hops)
 	}
 }
@@ -450,9 +455,7 @@ func (p *Providers) atHome(r pvReq) {
 	if ptr, ok := th.l2c.Lookup(r.addr); ok && th.l2.Peek(r.addr) == nil {
 		ownerTile := topo.Tile(ptr)
 		if ownerTile == r.requestor || r.forwards >= maxForwards {
-			ctx.Kernel.After(retryBackoff, func() {
-				p.atHome(pvReq{r.addr, r.requestor, r.write, r.predicted, 0, -1})
-			})
+			ctx.Kernel.AfterArg(retryBackoff, p.atHomeFn, pvReq{r.addr, r.requestor, r.write, r.predicted, 0, -1})
 			return
 		}
 		r.forwards++

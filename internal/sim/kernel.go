@@ -4,12 +4,17 @@
 //
 // Events scheduled for the same cycle execute in scheduling order, which
 // makes whole-system runs bit-for-bit reproducible for a given seed.
+//
+// The event queue is a monomorphic 4-ary min-heap of value entries
+// ordered by (time, sequence). Entries live inline in the heap slice,
+// so the slice's spare capacity acts as the free list: once the queue
+// has reached its steady-state depth, scheduling and dispatch perform
+// no heap allocation at all. The 4-ary layout halves the tree depth of
+// a binary heap and keeps each node's children in one cache line,
+// which matters because the scheduler is the simulator's hottest loop.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is the simulation clock, in processor cycles.
 type Time uint64
@@ -17,51 +22,37 @@ type Time uint64
 // Event is a unit of scheduled work.
 type Event func()
 
+// entry is one pending event. Exactly one of run or argFn is set:
+// run for the closure form (At/After), argFn+arg for the
+// non-capturing fast path (AtArg/AfterArg).
 type entry struct {
-	at  Time
-	seq uint64
-	run Event
-	idx int
+	at    Time
+	seq   uint64
+	run   Event
+	argFn func(any)
+	arg   any
 }
 
-type eventHeap []*entry
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether e fires before o: earlier time first,
+// scheduling order (seq) breaking ties so same-cycle events are FIFO.
+func (e *entry) before(o *entry) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e := x.(*entry)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
-}
+// heapArity is the branching factor of the event queue. Quaternary
+// rather than binary: sift-down does ~half the levels, and the four
+// children of node i (4i+1..4i+4) sit adjacent in memory.
+const heapArity = 4
 
 // Kernel is a discrete-event scheduler. The zero value is not usable;
 // create one with NewKernel.
 type Kernel struct {
 	now    Time
 	seq    uint64
-	queue  eventHeap
+	queue  []entry // 4-ary min-heap by (at, seq)
 	rng    *Rand
 	events uint64 // total events executed
 }
@@ -83,19 +74,100 @@ func (k *Kernel) EventsRun() uint64 { return k.events }
 // Pending returns the number of events waiting in the queue.
 func (k *Kernel) Pending() int { return len(k.queue) }
 
-// At schedules ev to run at absolute time t. Scheduling in the past
-// (t < Now) panics: it would silently corrupt causality.
-func (k *Kernel) At(t Time, ev Event) {
+// push appends e and sifts it up to its heap position. The sift moves
+// a hole instead of swapping, so each level copies one entry, not
+// three.
+func (k *Kernel) push(e entry) {
+	h := append(k.queue, entry{})
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !e.before(&h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = e
+	k.queue = h
+}
+
+// pop removes and returns the minimum entry, sifting the former tail
+// entry down into place. The vacated tail slot is zeroed so the heap's
+// spare capacity does not retain closures or boxed arguments.
+func (k *Kernel) pop() entry {
+	h := k.queue
+	top := h[0]
+	n := len(h) - 1
+	last := h[n]
+	h[n] = entry{}
+	h = h[:n]
+	k.queue = h
+	if n == 0 {
+		return top
+	}
+	i := 0
+	for {
+		c := i*heapArity + 1
+		if c >= n {
+			break
+		}
+		end := c + heapArity
+		if end > n {
+			end = n
+		}
+		min := c
+		for j := c + 1; j < end; j++ {
+			if h[j].before(&h[min]) {
+				min = j
+			}
+		}
+		if !h[min].before(&last) {
+			break
+		}
+		h[i] = h[min]
+		i = min
+	}
+	h[i] = last
+	return top
+}
+
+// checkTime panics on scheduling in the past: it would silently
+// corrupt causality.
+func (k *Kernel) checkTime(t Time) {
 	if t < k.now {
 		panic(fmt.Sprintf("sim: event scheduled at %d, before now=%d", t, k.now))
 	}
+}
+
+// At schedules ev to run at absolute time t. Scheduling in the past
+// (t < Now) panics.
+func (k *Kernel) At(t Time, ev Event) {
+	k.checkTime(t)
 	k.seq++
-	heap.Push(&k.queue, &entry{at: t, seq: k.seq, run: ev})
+	k.push(entry{at: t, seq: k.seq, run: ev})
 }
 
 // After schedules ev to run delay cycles from now.
 func (k *Kernel) After(delay Time, ev Event) {
 	k.At(k.now+delay, ev)
+}
+
+// AtArg schedules fn(arg) to run at absolute time t. It is the
+// allocation-free alternative to At for hot senders: fn can be a
+// long-lived non-capturing function, so no closure is created per
+// event, and small integer args (e.g. tile ids) box without
+// allocating. Ordering relative to At events follows scheduling order,
+// exactly as if the call were At(t, func() { fn(arg) }).
+func (k *Kernel) AtArg(t Time, fn func(any), arg any) {
+	k.checkTime(t)
+	k.seq++
+	k.push(entry{at: t, seq: k.seq, argFn: fn, arg: arg})
+}
+
+// AfterArg schedules fn(arg) to run delay cycles from now.
+func (k *Kernel) AfterArg(delay Time, fn func(any), arg any) {
+	k.AtArg(k.now+delay, fn, arg)
 }
 
 // Step executes the earliest pending event, advancing the clock to its
@@ -104,10 +176,14 @@ func (k *Kernel) Step() bool {
 	if len(k.queue) == 0 {
 		return false
 	}
-	e := heap.Pop(&k.queue).(*entry)
+	e := k.pop()
 	k.now = e.at
 	k.events++
-	e.run()
+	if e.run != nil {
+		e.run()
+	} else {
+		e.argFn(e.arg)
+	}
 	return true
 }
 

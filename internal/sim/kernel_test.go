@@ -93,6 +93,71 @@ func TestKernelRunUntil(t *testing.T) {
 	}
 }
 
+func TestKernelAtArgOrdering(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	record := func(a any) { got = append(got, a.(int)) }
+	// At and AtArg events interleave in scheduling order at the same
+	// cycle, and AtArg respects timestamps like At.
+	k.AtArg(10, record, 1)
+	k.At(10, func() { got = append(got, 2) })
+	k.AtArg(10, record, 3)
+	k.AtArg(5, record, 0)
+	k.AfterArg(20, record, 4)
+	k.Run(0)
+	want := []int{0, 1, 2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 20 {
+		t.Errorf("Now = %d, want 20", k.Now())
+	}
+}
+
+func TestKernelAtArgPastPanics(t *testing.T) {
+	k := NewKernel(1)
+	k.At(100, func() {})
+	k.Run(0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AtArg in the past did not panic")
+		}
+	}()
+	k.AtArg(50, func(any) {}, nil)
+}
+
+func TestKernelDeepQueueOrdering(t *testing.T) {
+	// Exercise multi-level sift-up and sift-down of the 4-ary heap
+	// with a deterministic pseudo-random schedule, and verify events
+	// pop in (time, seq) order.
+	k := NewKernel(1)
+	r := NewRand(99)
+	const n = 5000
+	type stamp struct {
+		at  Time
+		seq int
+	}
+	var got []stamp
+	for i := 0; i < n; i++ {
+		i := i
+		at := Time(r.Intn(500))
+		k.At(at, func() { got = append(got, stamp{at, i}) })
+	}
+	k.Run(0)
+	if len(got) != n {
+		t.Fatalf("ran %d events, want %d", len(got), n)
+	}
+	for i := 1; i < n; i++ {
+		a, b := got[i-1], got[i]
+		if b.at < a.at || (b.at == a.at && b.seq < a.seq) {
+			t.Fatalf("event %d (t=%d seq=%d) ran before %d (t=%d seq=%d)",
+				i, b.at, b.seq, i-1, a.at, a.seq)
+		}
+	}
+}
+
 func TestKernelPastPanics(t *testing.T) {
 	k := NewKernel(1)
 	k.At(100, func() {})
