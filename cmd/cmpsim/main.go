@@ -30,6 +30,7 @@ func main() {
 	unicastBcast := flag.Bool("unicast-broadcast", false, "emulate a chip without hardware broadcast")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	workers := flag.Int("workers", 0, "parallel simulations in -protocols mode (0 = all CPUs)")
+	checkRun := flag.Bool("check", false, "attach the shadow-memory coherence checker and stalled-transaction watchdog (fails the run on any violation)")
 	flag.Parse()
 
 	cfg.Protocol = *protocol
@@ -42,6 +43,7 @@ func main() {
 	cfg.Dedup = !*nodedup
 	cfg.Proto.BroadcastUnicast = *unicastBcast
 	cfg.Seed = *seed
+	cfg.Check = *checkRun
 
 	if *protocols == "" {
 		res, err := core.Run(cfg)
@@ -95,6 +97,9 @@ func report(cfg core.Config, res *core.Result) {
 	fmt.Printf("L1 miss rate     %.4f\n", float64(misses)/float64(misses+pr.Hits))
 	fmt.Printf("memory fetches   %d (%.1f%% of misses)\n", res.MemReads, res.L2MissRatio()*100)
 	fmt.Printf("dedup savings    %.1f%%\n", res.DedupSavings*100)
+	if cfg.Check {
+		fmt.Printf("coherence check  passed (shadow memory + watchdog)\n")
+	}
 	fmt.Printf("dynamic power    %.4g pJ/cycle (cache %.4g, network %.4g)\n",
 		res.PowerPerCycle(), res.CachePowerPerCycle(), res.NetworkPowerPerCycle())
 	fmt.Printf("network          %d msgs, %d flit-links, %d router traversals\n",

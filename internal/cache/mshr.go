@@ -83,6 +83,14 @@ func (m *MSHR) Release(a Addr) {
 // Outstanding returns the number of in-flight misses.
 func (m *MSHR) Outstanding() int { return len(m.entries) }
 
+// ForEach visits every in-flight entry (map order; callers that need
+// determinism must sort).
+func (m *MSHR) ForEach(fn func(*MSHREntry)) {
+	for _, e := range m.entries {
+		fn(e)
+	}
+}
+
 // Done reports whether the entry's completion conditions are all met:
 // data arrived and no acknowledgement of any kind is pending.
 func (e *MSHREntry) Done() bool {

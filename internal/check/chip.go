@@ -1,0 +1,202 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/memctrl"
+	"repro/internal/mesh"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// ChipConfig selects one checked mini-chip.
+type ChipConfig struct {
+	Protocol   string
+	Tiles      int
+	Areas      int
+	Seed       uint64
+	Proto      proto.Config
+	StallBound sim.Time // watchdog: max age of an in-flight miss (0 = 200k)
+}
+
+// TinyConfig returns a deliberately small cache geometry so short
+// stress streams already exercise evictions, recalls and
+// directory-entry replacement.
+func TinyConfig() proto.Config {
+	cfg := proto.DefaultConfig()
+	cfg.L1Sets, cfg.L1Ways = 8, 2
+	cfg.L2Sets, cfg.L2Ways = 32, 4
+	cfg.CCSets, cfg.CCWays = 16, 2
+	return cfg
+}
+
+// Chip is a fully built engine with the shadow checker attached and a
+// stalled-transaction watchdog ready to arm.
+type Chip struct {
+	Kernel *sim.Kernel
+	Ctx    *proto.Context
+	Engine proto.Engine
+	Shadow *Shadow
+	Dog    *sim.Watchdog
+}
+
+func newEngine(name string, ctx *proto.Context) (proto.Engine, error) {
+	switch name {
+	case "directory":
+		return proto.NewDirectory(ctx), nil
+	case "dico":
+		return proto.NewDiCo(ctx), nil
+	case "providers":
+		return proto.NewProviders(ctx), nil
+	case "arin":
+		return proto.NewArin(ctx), nil
+	}
+	return nil, fmt.Errorf("check: unknown protocol %q", name)
+}
+
+// NewChip builds a checked chip from cc.
+func NewChip(cc ChipConfig) (*Chip, error) {
+	if cc.Tiles == 0 {
+		cc.Tiles = 16
+	}
+	if cc.Areas == 0 {
+		cc.Areas = 4
+	}
+	if cc.StallBound == 0 {
+		cc.StallBound = 200_000
+	}
+	if cc.Proto == (proto.Config{}) {
+		cc.Proto = TinyConfig()
+	}
+	kernel := sim.NewKernel(cc.Seed)
+	grid := topo.SquareGrid(cc.Tiles)
+	areas, err := topo.NewAreas(grid, cc.Areas)
+	if err != nil {
+		return nil, err
+	}
+	net := mesh.New(kernel, grid, mesh.DefaultConfig())
+	mem := memctrl.Default(grid, kernel.Rand().Fork())
+	ctx := &proto.Context{Kernel: kernel, Net: net, Areas: areas, Mem: mem, Cfg: cc.Proto}
+	eng, err := newEngine(cc.Protocol, ctx)
+	if err != nil {
+		return nil, err
+	}
+	sh := NewShadow(eng, kernel)
+	ctx.Observer = sh
+	probe := proto.StallProbe(eng, kernel, cc.StallBound)
+	dog := sim.NewWatchdog(kernel, cc.StallBound/4, probe)
+	return &Chip{Kernel: kernel, Ctx: ctx, Engine: eng, Shadow: sh, Dog: dog}, nil
+}
+
+// finish drains residual traffic, runs the quiescent invariant
+// checker, and folds watchdog + shadow verdicts into one error. The
+// drain is time-bounded: residual writebacks/recalls that fail to
+// settle are a liveness bug, not a reason to spin forever.
+func (c *Chip) finish() (err error) {
+	c.Dog.Disarm()
+	c.Kernel.Run(c.Kernel.Now() + 2_000_000)
+	defer func() {
+		if err == nil {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("check: invariant failure: %v", r)
+			}
+		}
+	}()
+	if werr := c.Dog.Err(); werr != nil {
+		return werr
+	}
+	if c.Kernel.Pending() > 0 {
+		return fmt.Errorf("check: %s residual traffic never settled (livelock), %d events pending at t=%d\n%s",
+			c.Engine.Name(), c.Kernel.Pending(), c.Kernel.Now(), proto.FormatStalls(c.Engine))
+	}
+	if serr := c.Shadow.Err(); serr != nil {
+		return serr
+	}
+	c.Engine.CheckInvariants()
+	return nil
+}
+
+// RunConcurrent drives the stream with every tile issuing its own
+// references in order (gaps honored), all tiles concurrently — the
+// racy mode. The watchdog is armed throughout. It returns the first
+// watchdog, shadow-checker, deadlock or invariant error.
+func (c *Chip) RunConcurrent(recs []trace.Record) error {
+	p := trace.NewPlayer(&trace.Trace{Records: recs})
+	var tiles []topo.Tile
+	seen := make(map[topo.Tile]bool)
+	for _, r := range recs {
+		if !seen[r.Tile] {
+			seen[r.Tile] = true
+			tiles = append(tiles, r.Tile)
+		}
+	}
+	done := 0
+	var step func(tile topo.Tile)
+	step = func(tile topo.Tile) {
+		r, ok := p.Next(tile)
+		if !ok {
+			done++
+			return
+		}
+		issue := func() {
+			c.Engine.Access(r.Tile, r.Addr, r.Write, func() { step(tile) })
+		}
+		if r.Gap > 0 {
+			c.Kernel.After(r.Gap, issue)
+		} else {
+			issue()
+		}
+	}
+	for _, t := range tiles {
+		tile := t
+		c.Kernel.After(sim.Time(int(t)%7), func() { step(tile) })
+	}
+	c.Dog.Arm()
+	for done < len(tiles) && c.Dog.Err() == nil {
+		c.Kernel.RunUntil(func() bool { return done == len(tiles) || c.Dog.Err() != nil })
+		if done < len(tiles) && c.Dog.Err() == nil && c.Kernel.Pending() == 0 {
+			return fmt.Errorf("check: %s deadlocked at t=%d with %d/%d tiles done\n%s",
+				c.Engine.Name(), c.Kernel.Now(), done, len(tiles), proto.FormatStalls(c.Engine))
+		}
+	}
+	return c.finish()
+}
+
+// RunSerial drives the stream one reference at a time, each retiring
+// before the next issues — a deterministic serialization shared by
+// every protocol, so final shadow images must match exactly across
+// protocols.
+func (c *Chip) RunSerial(recs []trace.Record) error {
+	c.Dog.Arm()
+	for i, r := range recs {
+		retired := false
+		c.Engine.Access(r.Tile, r.Addr, r.Write, func() { retired = true })
+		c.Kernel.RunUntil(func() bool { return retired || c.Dog.Err() != nil })
+		if c.Dog.Err() != nil {
+			break
+		}
+		if !retired {
+			return fmt.Errorf("check: %s deadlocked on record %d (tile %d %v %#x)\n%s",
+				c.Engine.Name(), i, r.Tile, r.Write, r.Addr, proto.FormatStalls(c.Engine))
+		}
+	}
+	return c.finish()
+}
+
+// RunRecord runs one protocol over one stream in the given mode and
+// returns the final shadow image (differential-testing helper).
+func RunRecord(protocol string, recs []trace.Record, tiles, areas int, seed uint64, serial bool) (map[cache.Addr]Block, error) {
+	c, err := NewChip(ChipConfig{Protocol: protocol, Tiles: tiles, Areas: areas, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	if serial {
+		err = c.RunSerial(recs)
+	} else {
+		err = c.RunConcurrent(recs)
+	}
+	return c.Shadow.Image(), err
+}

@@ -1,0 +1,38 @@
+package check
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/cache"
+)
+
+// TestDebugSeed reproduces one stress seed (scratch debugging aid,
+// driven by DBG_SEED / DBG_PROTO env vars; skipped otherwise).
+func TestDebugSeed(t *testing.T) {
+	s := os.Getenv("DBG_SEED")
+	if s == "" {
+		t.Skip("set DBG_SEED to run")
+	}
+	seed, _ := strconv.Atoi(s)
+	p := os.Getenv("DBG_PROTO")
+	if p == "" {
+		p = "directory"
+	}
+	blocks := []int{1, 2, 4, 8, 16, 48}[seed%6]
+	writePct := []int{40, 60, 75}[seed%3]
+	recs := ConflictStream(uint64(seed), 16, blocks, 700, writePct)
+	c, err := NewChip(ChipConfig{Protocol: p, Tiles: 16, Areas: 4, Seed: uint64(seed)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := os.Getenv("DBG_TRACE"); a != "" {
+		addr, _ := strconv.ParseUint(a, 0, 64)
+		c.Ctx.SetTrace(cache.Addr(addr), func(s string) { fmt.Println(s) })
+	}
+	if err := c.RunConcurrent(recs); err != nil {
+		t.Fatalf("seed %d blocks %d write%%%d %s:\n%v", seed, blocks, writePct, p, err)
+	}
+}

@@ -1,0 +1,42 @@
+package check
+
+import (
+	"repro/internal/cache"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// ConflictStream generates a small-address-space, high-conflict,
+// high-write-share reference stream: many tiles hammering few blocks,
+// the access pattern most likely to expose transient-race bugs.
+func ConflictStream(seed uint64, tiles, blocks, refs, writePct int) []trace.Record {
+	r := sim.NewRand(seed)
+	recs := make([]trace.Record, 0, refs)
+	for i := 0; i < refs; i++ {
+		recs = append(recs, trace.Record{
+			Tile:  topo.Tile(r.Intn(tiles)),
+			Addr:  cache.Addr(r.Intn(blocks)),
+			Write: r.Intn(100) < writePct,
+			Gap:   sim.Time(r.Intn(4)),
+		})
+	}
+	return recs
+}
+
+// DecodeStream maps raw fuzzer bytes onto a reference stream: two
+// bytes per record (tile + write bit, block + gap), so every input is
+// valid and small mutations move single references.
+func DecodeStream(data []byte, tiles, blocks int) []trace.Record {
+	recs := make([]trace.Record, 0, len(data)/2)
+	for i := 0; i+1 < len(data); i += 2 {
+		b0, b1 := data[i], data[i+1]
+		recs = append(recs, trace.Record{
+			Tile:  topo.Tile(int(b0&0x3f) % tiles),
+			Addr:  cache.Addr(int(b1&0x3f) % blocks),
+			Write: b0&0x80 != 0,
+			Gap:   sim.Time(b1 >> 6),
+		})
+	}
+	return recs
+}

@@ -7,6 +7,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/check"
 	"repro/internal/memctrl"
 	"repro/internal/mesh"
 	"repro/internal/power"
@@ -34,6 +35,16 @@ type Config struct {
 	Seed         uint64
 	Proto        proto.Config
 	Net          mesh.Config
+
+	// Check attaches the shadow-memory coherence checker and the
+	// stalled-transaction watchdog (internal/check) to the run. Off by
+	// default: with Check false the kernel event stream is bit-identical
+	// to a build without the checker.
+	Check bool
+	// StallBound is the watchdog's max age of an in-flight miss before
+	// the run is declared stalled (0 = 500k cycles). Only used with
+	// Check.
+	StallBound sim.Time
 }
 
 // DefaultConfig is the paper's evaluated system: 64 tiles, 4 areas,
@@ -156,6 +167,10 @@ type System struct {
 	Engine    proto.Engine
 	Ctx       *proto.Context
 
+	// Shadow and Dog are non-nil only when Cfg.Check is set.
+	Shadow *check.Shadow
+	Dog    *sim.Watchdog
+
 	retired []int
 }
 
@@ -192,6 +207,17 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	var sh *check.Shadow
+	var dog *sim.Watchdog
+	if cfg.Check {
+		sh = check.NewShadow(eng, kernel)
+		ctx.Observer = sh
+		bound := cfg.StallBound
+		if bound == 0 {
+			bound = 500_000
+		}
+		dog = sim.NewWatchdog(kernel, bound/4, proto.StallProbe(eng, kernel, bound))
+	}
 	return &System{
 		Cfg:       cfg,
 		Kernel:    kernel,
@@ -203,6 +229,8 @@ func NewSystem(cfg Config) (*System, error) {
 		Gen:       gen,
 		Engine:    eng,
 		Ctx:       ctx,
+		Shadow:    sh,
+		Dog:       dog,
 		retired:   make([]int, cfg.Tiles),
 	}, nil
 }
@@ -244,12 +272,23 @@ func (s *System) runPhase(refs int) (sim.Time, uint64, error) {
 		s.Kernel.After(sim.Time(t%7), func() { step(tile) })
 	}
 	// Watchdog: if no reference retires for a long stretch, the
-	// protocol has livelocked — fail loudly instead of spinning.
+	// protocol has livelocked — fail loudly instead of spinning. With
+	// Check set, the per-transaction watchdog additionally pinpoints the
+	// stalled block and dumps its global state.
+	if s.Dog != nil {
+		s.Dog.Arm()
+	}
 	const watchdogWindow sim.Time = 2_000_000
 	lastProgress := uint64(0)
 	for done < cfg.Tiles {
 		deadline := s.Kernel.Now() + watchdogWindow
-		s.Kernel.RunUntil(func() bool { return done == cfg.Tiles || s.Kernel.Now() >= deadline })
+		s.Kernel.RunUntil(func() bool {
+			return done == cfg.Tiles || s.Kernel.Now() >= deadline ||
+				(s.Dog != nil && s.Dog.Err() != nil)
+		})
+		if s.Dog != nil && s.Dog.Err() != nil {
+			return 0, 0, s.Dog.Err()
+		}
 		if done == cfg.Tiles {
 			break
 		}
@@ -258,6 +297,9 @@ func (s *System) runPhase(refs int) (sim.Time, uint64, error) {
 				s.Kernel.Now(), done, cfg.Tiles, totalRefs)
 		}
 		lastProgress = totalRefs
+	}
+	if s.Dog != nil {
+		s.Dog.Disarm()
 	}
 	// Drain residual traffic (writebacks, acks) so counters are final.
 	s.Kernel.Run(0)
@@ -284,6 +326,12 @@ func (s *System) Run() (*Result, error) {
 		return nil, err
 	}
 	lastRetire -= start
+	if cfg.Check {
+		if err := s.Shadow.Err(); err != nil {
+			return nil, err
+		}
+		s.Engine.CheckInvariants()
+	}
 
 	sp, err := storageProtocol(cfg.Protocol)
 	if err != nil {

@@ -115,6 +115,7 @@ func (p *Arin) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()
 		if !write {
 			ctx.Ev(power.EvL1DataRead)
 			ctx.Profile.Hits++
+			ctx.observeRetired(tile, addr, false, true, false)
 			ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
 			return
 		}
@@ -124,6 +125,7 @@ func (p *Arin) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()
 			line.Dirty = true
 			ctx.Ev(power.EvL1DataWrite)
 			ctx.Profile.Hits++
+			ctx.observeRetired(tile, addr, true, true, false)
 			ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
 			return
 		case arOwnerShared:
@@ -163,6 +165,7 @@ func (p *Arin) ownerWriteHit(tile topo.Tile, addr cache.Addr, line *cache.Line, 
 		line.Dirty = true
 		ctx.Ev(power.EvL1DataWrite)
 		ctx.Profile.Hits++
+		ctx.observeRetired(tile, addr, true, true, false)
 		ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
 		return
 	}
@@ -1035,7 +1038,8 @@ func (p *Arin) maybeComplete(tile topo.Tile, addr cache.Addr) {
 	if !ok || !e.Done() {
 		return
 	}
-	if e.InvalidatedWhilePending && !e.Write {
+	dropped := e.InvalidatedWhilePending && !e.Write
+	if dropped {
 		// The fill raced an invalidation. Dropping the line is the
 		// safe resolution, but it must go through the regular
 		// replacement protocol so any ownership or providership the
@@ -1051,10 +1055,23 @@ func (p *Arin) maybeComplete(tile topo.Tile, addr cache.Addr) {
 	ctx.Profile.Links[cls] += uint64(e.Links)
 	done := e.OnComplete
 	t.mshr.Release(addr)
+	ctx.observeRetired(tile, addr, e.Write, false, e.InvalidatedWhilePending)
 	t.wakeL1(ctx.Kernel, addr)
 	if done != nil {
 		done()
 	}
+}
+
+// ForEachCopy implements Engine.
+func (p *Arin) ForEachCopy(addr cache.Addr, fn func(CopyInfo)) {
+	forEachCopy(p.tiles, p.ctx.HomeOf(addr), addr, func(l *cache.Line) (bool, bool) {
+		return arIsOwner(l.State), l.State == arOwnerModified || l.State == arOwnerExclusive
+	}, fn)
+}
+
+// ForEachPending implements Engine.
+func (p *Arin) ForEachPending(fn func(topo.Tile, *cache.MSHREntry)) {
+	forEachPending(p.tiles, fn)
 }
 
 // CheckInvariants implements Engine; call at quiescence. Checks the

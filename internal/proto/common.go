@@ -20,6 +20,7 @@ package proto
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/cache"
 	"repro/internal/memctrl"
@@ -65,6 +66,39 @@ type Engine interface {
 	// CheckInvariants panics with a description if the global
 	// coherence state is inconsistent; used by the test suite.
 	CheckInvariants()
+	// ForEachCopy visits every valid cached copy of addr (L1s, plus
+	// the home L2 bank) without touching access counters. Runtime
+	// checkers use it to verify the SWMR invariant mid-simulation.
+	ForEachCopy(addr cache.Addr, fn func(CopyInfo))
+	// ForEachPending visits every outstanding MSHR entry on the chip.
+	ForEachPending(fn func(tile topo.Tile, e *cache.MSHREntry))
+}
+
+// CopyInfo describes one cached copy of a block for ForEachCopy.
+type CopyInfo struct {
+	Tile      topo.Tile
+	L2        bool // copy lives in the home L2 bank, not an L1
+	Owner     bool // copy holds ownership in this protocol's sense
+	Exclusive bool // copy is writable (M/E-class state)
+	// Pending marks a copy whose tile has an in-flight MSHR entry for
+	// the block (e.g. an ownership upgrade whose acks are still
+	// outstanding): its state is transient, not settled.
+	Pending bool
+	Dirty   bool
+	State   cache.State
+}
+
+// Observer receives retirement and completion events from an engine.
+// The shadow-memory checker in internal/check implements it; a nil
+// observer costs one pointer test per retirement and nothing else.
+type Observer interface {
+	// Retired is called exactly once per reference, at the simulation
+	// time the reference semantically reads or writes the block: at
+	// lookup time for hits, at fill/upgrade completion for misses.
+	// invalidated reports that an invalidation hit the block while the
+	// miss was in flight; for reads the filled line is being discarded
+	// (the racing write serialized after this read).
+	Retired(tile topo.Tile, addr cache.Addr, write, hit, invalidated bool)
 }
 
 // MissProfile aggregates the Figure 9b data.
@@ -127,18 +161,39 @@ type Context struct {
 	Counters stats.Set
 	Profile  MissProfile
 
-	// TraceAddr enables a debug event log for one block address
-	// (development aid; zero value disables tracing).
-	TraceAddr cache.Addr
-	TraceOut  func(string)
+	// Observer, when non-nil, receives every reference retirement
+	// (see Observer). It must not schedule events or mutate protocol
+	// state, so an armed observer cannot perturb simulated timing.
+	Observer Observer
+
+	// TraceEnabled arms the debug event log for block TraceAddr.
+	// An explicit flag, not the TraceAddr zero value: block 0 is a
+	// valid address and must be traceable.
+	TraceEnabled bool
+	TraceAddr    cache.Addr
+	TraceOut     func(string)
+}
+
+// SetTrace arms tracing for one block address.
+func (c *Context) SetTrace(a cache.Addr, out func(string)) {
+	c.TraceEnabled = true
+	c.TraceAddr = a
+	c.TraceOut = out
 }
 
 // Trace logs a protocol event for the traced address.
 func (c *Context) Trace(a cache.Addr, format string, args ...any) {
-	if c.TraceOut == nil || a != c.TraceAddr {
+	if !c.TraceEnabled || c.TraceOut == nil || a != c.TraceAddr {
 		return
 	}
 	c.TraceOut(fmt.Sprintf("t=%-8d %s", c.Kernel.Now(), fmt.Sprintf(format, args...)))
+}
+
+// observeRetired forwards one retirement to the observer, if any.
+func (c *Context) observeRetired(tile topo.Tile, addr cache.Addr, write, hit, dropped bool) {
+	if c.Observer != nil {
+		c.Observer.Retired(tile, addr, write, hit, dropped)
+	}
 }
 
 // NumTiles returns the tile count of the chip.
@@ -281,22 +336,41 @@ func areaBit(areas *topo.Areas, t topo.Tile) uint64 {
 	return 1 << uint(areas.IndexInArea(t))
 }
 
-// forEachBit calls fn for every set bit index of v.
+// forEachBit calls fn for every set bit index of v, in ascending
+// order (the order matters for deterministic replay).
 func forEachBit(v uint64, fn func(i int)) {
-	for i := 0; v != 0; i++ {
-		if v&1 != 0 {
-			fn(i)
-		}
-		v >>= 1
+	for v != 0 {
+		i := bits.TrailingZeros64(v)
+		fn(i)
+		v &^= 1 << uint(i)
 	}
 }
 
 // popcount returns the number of set bits.
-func popcount(v uint64) int {
-	n := 0
-	for v != 0 {
-		v &= v - 1
-		n++
+func popcount(v uint64) int { return bits.OnesCount64(v) }
+
+// forEachPending visits every outstanding MSHR entry across tiles;
+// shared by the four engines' ForEachPending.
+func forEachPending(tiles []*tileState, fn func(tile topo.Tile, e *cache.MSHREntry)) {
+	for i, t := range tiles {
+		tile := topo.Tile(i)
+		t.mshr.ForEach(func(e *cache.MSHREntry) { fn(tile, e) })
 	}
-	return n
+}
+
+// forEachCopy visits every valid copy of addr using Peek (no access
+// accounting), classifying each L1 line through the engine-specific
+// classify callback; shared by the four engines' ForEachCopy.
+func forEachCopy(tiles []*tileState, home topo.Tile, addr cache.Addr,
+	classify func(l *cache.Line) (owner, exclusive bool), fn func(CopyInfo)) {
+	for i, t := range tiles {
+		if l := t.l1.Peek(addr); l != nil {
+			owner, excl := classify(l)
+			_, pending := t.mshr.Lookup(addr)
+			fn(CopyInfo{Tile: topo.Tile(i), Owner: owner, Exclusive: excl, Pending: pending, Dirty: l.Dirty, State: l.State})
+		}
+	}
+	if l := tiles[home].l2.Peek(addr); l != nil {
+		fn(CopyInfo{Tile: home, L2: true, Dirty: l.Dirty, State: l.State})
+	}
 }

@@ -2,89 +2,146 @@ package proto
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"repro/internal/cache"
+	"repro/internal/sim"
 	"repro/internal/topo"
 )
 
-// DumpBlockState prints the global state of one block (debug aid).
-func DumpBlockState(e Engine, addr cache.Addr) {
-	var tiles []*tileState
-	var ctx *Context
+// engineInternals exposes the shared per-tile state of the four
+// engines to the debug formatters.
+func engineInternals(e Engine) (tiles []*tileState, recalls []map[cache.Addr]bool, ctx *Context) {
 	switch eng := e.(type) {
 	case *Directory:
 		tiles, ctx = eng.tiles, eng.ctx
 	case *DiCo:
-		tiles, ctx = eng.tiles, eng.ctx
+		tiles, recalls, ctx = eng.tiles, eng.recalls, eng.ctx
 	case *Providers:
-		tiles, ctx = eng.tiles, eng.ctx
+		tiles, recalls, ctx = eng.tiles, eng.recalls, eng.ctx
 	case *Arin:
-		tiles, ctx = eng.tiles, eng.ctx
+		tiles, recalls, ctx = eng.tiles, eng.recalls, eng.ctx
+	}
+	return
+}
+
+// FormatBlockState returns the global state of one block: every L1
+// copy, the home L2 line and pointer caches, and the per-tile stall
+// state (debug aid).
+func FormatBlockState(e Engine, addr cache.Addr) string {
+	tiles, recalls, ctx := engineInternals(e)
+	if tiles == nil {
+		return fmt.Sprintf("block %#x: unknown engine %T", addr, e)
 	}
 	home := ctx.HomeOf(addr)
-	fmt.Printf("block %#x home=%d\n", addr, home)
+	var b strings.Builder
+	fmt.Fprintf(&b, "block %#x home=%d\n", addr, home)
 	for i, t := range tiles {
 		if l := t.l1.Peek(addr); l != nil {
-			fmt.Printf("  L1[%d]: state=%d dirty=%v sharers=%#x owner=%d\n", i, l.State, l.Dirty, l.Sharers, l.Owner)
+			fmt.Fprintf(&b, "  L1[%d]: state=%d dirty=%v sharers=%#x owner=%d\n", i, l.State, l.Dirty, l.Sharers, l.Owner)
 		}
-		if _, ok := t.mshr.Lookup(addr); ok {
-			fmt.Printf("  MSHR pending at %d\n", i)
+		if me, ok := t.mshr.Lookup(addr); ok {
+			fmt.Fprintf(&b, "  MSHR[%d]: %+v\n", i, *me)
+		}
+		if len(t.pendingL1[addr]) > 0 || t.blocked[addr] {
+			fmt.Fprintf(&b, "  tile %d: pendingL1=%d blocked=%v\n", i, len(t.pendingL1[addr]), t.blocked[addr])
 		}
 	}
 	th := tiles[home]
+	if th.dir != nil {
+		if dl := th.dir.Peek(addr); dl != nil {
+			fmt.Fprintf(&b, "  dir[%d]: owner=%d sharers=%#x\n", home, dl.Owner, dl.Sharers)
+		} else {
+			fmt.Fprintf(&b, "  dir[%d]: no entry\n", home)
+		}
+	}
 	if l := th.l2.Peek(addr); l != nil {
-		fmt.Printf("  L2[%d]: state=%d dirty=%v sharers=%#x areatag=%d propos=%v\n", home, l.State, l.Dirty, l.Sharers, l.AreaTag, l.ProPos)
+		fmt.Fprintf(&b, "  L2[%d]: state=%d dirty=%v sharers=%#x areatag=%d propos=%v\n", home, l.State, l.Dirty, l.Sharers, l.AreaTag, l.ProPos)
 	} else {
-		fmt.Printf("  L2[%d]: no line\n", home)
+		fmt.Fprintf(&b, "  L2[%d]: no line\n", home)
 	}
 	if ptr, ok := th.l2c.Lookup(addr); ok {
-		fmt.Printf("  L2C$[%d] -> %d\n", home, ptr)
+		fmt.Fprintf(&b, "  L2C$[%d] -> %d\n", home, ptr)
 	}
-	fmt.Printf("  homeBusy=%v pendingHome=%d\n", th.homeBusy[addr], len(th.pendingHome[addr]))
-	_ = topo.Tile(0)
+	fmt.Fprintf(&b, "  homeBusy=%v pendingHome=%d recall=%v\n",
+		th.homeBusy[addr], len(th.pendingHome[addr]), recalls != nil && recalls[home][addr])
+	return b.String()
 }
 
-// DumpStalls prints every outstanding MSHR entry and stall queue of the
-// engine (debug aid for hangs).
-func DumpStalls(e Engine) {
-	var tiles []*tileState
-	var recalls []map[cache.Addr]bool
-	switch eng := e.(type) {
-	case *Directory:
-		tiles = eng.tiles
-	case *DiCo:
-		tiles, recalls = eng.tiles, eng.recalls
-	case *Providers:
-		tiles, recalls = eng.tiles, eng.recalls
-	case *Arin:
-		tiles, recalls = eng.tiles, eng.recalls
+// DumpBlockState prints FormatBlockState (debug aid).
+func DumpBlockState(e Engine, addr cache.Addr) { fmt.Print(FormatBlockState(e, addr)) }
+
+// FormatStalls returns every outstanding MSHR entry and stall queue of
+// the engine (debug aid for hangs).
+func FormatStalls(e Engine) string {
+	tiles, recalls, _ := engineInternals(e)
+	if tiles == nil {
+		return fmt.Sprintf("unknown engine %T", e)
 	}
+	var b strings.Builder
 	for i, t := range tiles {
 		if n := t.mshr.Outstanding(); n > 0 {
-			fmt.Printf("tile %d: %d outstanding\n", i, n)
-			for a := cache.Addr(0); a < 1<<22; a++ {
-				if e, ok := t.mshr.Lookup(a); ok {
-					fmt.Printf("  MSHR %#x: %+v\n", a, e)
-				}
+			fmt.Fprintf(&b, "tile %d: %d outstanding\n", i, n)
+			entries := make([]*cache.MSHREntry, 0, n)
+			t.mshr.ForEach(func(me *cache.MSHREntry) { entries = append(entries, me) })
+			sort.Slice(entries, func(a, c int) bool { return entries[a].Addr < entries[c].Addr })
+			for _, me := range entries {
+				fmt.Fprintf(&b, "  MSHR %#x: %+v\n", me.Addr, *me)
 			}
 		}
 		for a, q := range t.pendingL1 {
-			fmt.Printf("tile %d pendingL1[%#x]: %d (blocked=%v)\n", i, a, len(q), t.blocked[a])
+			fmt.Fprintf(&b, "tile %d pendingL1[%#x]: %d (blocked=%v)\n", i, a, len(q), t.blocked[a])
 		}
 		for a, q := range t.pendingHome {
-			fmt.Printf("tile %d pendingHome[%#x]: %d (busy=%v recall=%v)\n", i, a, len(q),
+			fmt.Fprintf(&b, "tile %d pendingHome[%#x]: %d (busy=%v recall=%v)\n", i, a, len(q),
 				t.homeBusy[a], recalls != nil && recalls[i][a])
 		}
 		for a := range t.homeBusy {
-			fmt.Printf("tile %d homeBusy[%#x]\n", i, a)
+			fmt.Fprintf(&b, "tile %d homeBusy[%#x]\n", i, a)
 		}
 		for a := range t.blocked {
-			fmt.Printf("tile %d blocked[%#x]\n", i, a)
+			fmt.Fprintf(&b, "tile %d blocked[%#x]\n", i, a)
 		}
 		if recalls != nil {
 			for a := range recalls[i] {
-				fmt.Printf("tile %d recall[%#x]\n", i, a)
+				fmt.Fprintf(&b, "tile %d recall[%#x]\n", i, a)
 			}
 		}
+	}
+	return b.String()
+}
+
+// DumpStalls prints FormatStalls (debug aid for hangs).
+func DumpStalls(e Engine) { fmt.Print(FormatStalls(e)) }
+
+// StallProbe returns a sim.Watchdog probe that reports a stalled
+// transaction: any MSHR entry older than bound cycles. The report
+// names the oldest such entry and dumps the offending block's global
+// state. Home-queued requests are covered transitively — every
+// request stalled at a home belongs to some requestor's MSHR entry.
+func StallProbe(e Engine, k *sim.Kernel, bound sim.Time) func() string {
+	return func() string {
+		now := uint64(k.Now())
+		var worst *cache.MSHREntry
+		var worstTile topo.Tile
+		e.ForEachPending(func(tile topo.Tile, me *cache.MSHREntry) {
+			if now-me.IssuedAt < uint64(bound) {
+				return
+			}
+			// Deterministic choice under map iteration: oldest first,
+			// ties by (tile, addr).
+			if worst == nil || me.IssuedAt < worst.IssuedAt ||
+				(me.IssuedAt == worst.IssuedAt &&
+					(tile < worstTile || (tile == worstTile && me.Addr < worst.Addr))) {
+				worst, worstTile = me, tile
+			}
+		})
+		if worst == nil {
+			return ""
+		}
+		return fmt.Sprintf("%s: transaction stalled: tile %d block %#x pending since t=%d (now %d, bound %d)\n%s",
+			e.Name(), worstTile, worst.Addr, worst.IssuedAt, now, bound,
+			FormatBlockState(e, worst.Addr))
 	}
 }

@@ -93,6 +93,7 @@ func (p *DiCo) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()
 		if !write {
 			ctx.Ev(power.EvL1DataRead)
 			ctx.Profile.Hits++
+			ctx.observeRetired(tile, addr, false, true, false)
 			ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
 			return
 		}
@@ -102,6 +103,7 @@ func (p *DiCo) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()
 			line.Dirty = true
 			ctx.Ev(power.EvL1DataWrite)
 			ctx.Profile.Hits++
+			ctx.observeRetired(tile, addr, true, true, false)
 			ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
 			return
 		case line.State == dcOwnerShared:
@@ -144,6 +146,7 @@ func (p *DiCo) ownerWriteHit(tile topo.Tile, addr cache.Addr, line *cache.Line, 
 		line.Sharers = 0
 		ctx.Ev(power.EvL1DataWrite)
 		ctx.Profile.Hits++
+		ctx.observeRetired(tile, addr, true, true, false)
 		ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
 		return
 	}
@@ -720,7 +723,8 @@ func (p *DiCo) maybeComplete(tile topo.Tile, addr cache.Addr) {
 	if !ok || !e.Done() {
 		return
 	}
-	if e.InvalidatedWhilePending && !e.Write {
+	dropped := e.InvalidatedWhilePending && !e.Write
+	if dropped {
 		// The fill raced an invalidation. Dropping the line is the
 		// safe resolution, but it must go through the regular
 		// replacement protocol so any ownership or providership the
@@ -736,10 +740,23 @@ func (p *DiCo) maybeComplete(tile topo.Tile, addr cache.Addr) {
 	ctx.Profile.Links[cls] += uint64(e.Links)
 	done := e.OnComplete
 	t.mshr.Release(addr)
+	ctx.observeRetired(tile, addr, e.Write, false, e.InvalidatedWhilePending)
 	t.wakeL1(ctx.Kernel, addr)
 	if done != nil {
 		done()
 	}
+}
+
+// ForEachCopy implements Engine.
+func (p *DiCo) ForEachCopy(addr cache.Addr, fn func(CopyInfo)) {
+	forEachCopy(p.tiles, p.ctx.HomeOf(addr), addr, func(l *cache.Line) (bool, bool) {
+		return dcIsOwner(l.State), l.State == dcOwnerModified || l.State == dcOwnerExclusive
+	}, fn)
+}
+
+// ForEachPending implements Engine.
+func (p *DiCo) ForEachPending(fn func(topo.Tile, *cache.MSHREntry)) {
+	forEachPending(p.tiles, fn)
 }
 
 // CheckInvariants implements Engine; call at quiescence. Verifies the

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/power"
+	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topo"
 )
@@ -27,6 +28,14 @@ type Directory struct {
 	ctx   *Context
 	tiles []*tileState
 
+	// ownerStamp[home][addr] is the timestamp of the newest ownership
+	// decision applied to the home's directory entry. Ownership updates
+	// travel the mesh from different source tiles and can arrive out of
+	// order; an update whose decision predates the applied one must be
+	// dropped or it resurrects a stale owner pointer and every request
+	// forwards/bounces forever (found by the stress fuzzer, seed 139).
+	ownerStamp []map[cache.Addr]sim.Time
+
 	// atHomeFn is the long-lived adapter for the kernel/mesh argument
 	// fast path: requests to the home are sent as (atHomeFn, dirReq)
 	// pairs instead of per-message closures.
@@ -35,9 +44,14 @@ type Directory struct {
 
 // NewDirectory builds the directory engine on ctx.
 func NewDirectory(ctx *Context) *Directory {
-	d := &Directory{ctx: ctx, tiles: make([]*tileState, ctx.NumTiles())}
+	d := &Directory{
+		ctx:        ctx,
+		tiles:      make([]*tileState, ctx.NumTiles()),
+		ownerStamp: make([]map[cache.Addr]sim.Time, ctx.NumTiles()),
+	}
 	d.atHomeFn = func(a any) { d.atHome(a.(dirReq)) }
 	for i := range d.tiles {
+		d.ownerStamp[i] = make(map[cache.Addr]sim.Time)
 		t := newTileState(ctx.Cfg, ctx.BankShift())
 		// Directory information lives with every L2 entry (a full-map
 		// vector per line, Table V) plus the NCID directory cache for
@@ -85,6 +99,7 @@ func (d *Directory) Access(tile topo.Tile, addr cache.Addr, write bool, onDone f
 		if !write {
 			ctx.Ev(power.EvL1DataRead)
 			ctx.Profile.Hits++
+			ctx.observeRetired(tile, addr, false, true, false)
 			ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
 			return
 		}
@@ -93,6 +108,7 @@ func (d *Directory) Access(tile topo.Tile, addr cache.Addr, write bool, onDone f
 			line.Dirty = true
 			ctx.Ev(power.EvL1DataWrite)
 			ctx.Profile.Hits++
+			ctx.observeRetired(tile, addr, true, true, false)
 			ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
 			return
 		}
@@ -132,12 +148,18 @@ func (d *Directory) atHome(r dirReq) {
 	ctx.Ev(power.EvL2TagRead)
 	ctx.Ev(power.EvDirRead)
 	dline := th.dir.Lookup(r.addr)
+	if dline != nil {
+		ctx.Trace(r.addr, "atHome req=%d write=%v fwd=%d owner=%d sharers=%#x", r.requestor, r.write, r.forwards, dline.Owner, dline.Sharers)
+	} else {
+		ctx.Trace(r.addr, "atHome req=%d write=%v fwd=%d untracked", r.requestor, r.write, r.forwards)
+	}
 	if dline == nil {
 		// Untracked: the block is not cached on chip. Allocate a
 		// directory entry (possibly evicting one) and fetch memory.
 		d.allocDirEntry(home, r.addr, func(nl *cache.Line) {
 			nl.Owner = int16(r.requestor)
 			nl.Sharers = bit(r.requestor)
+			d.stampNow(home, r.addr)
 			ctx.Ev(power.EvDirWrite)
 			d.fetchFromMemory(r, home)
 		})
@@ -202,6 +224,7 @@ func (d *Directory) homeRead(r dirReq, dline *cache.Line) {
 	// Stale empty entry: treat as a fresh exclusive fetch.
 	dline.Owner = int16(r.requestor)
 	dline.Sharers = bit(r.requestor)
+	d.stampNow(home, r.addr)
 	ctx.Ev(power.EvDirWrite)
 	d.fetchFromMemory(r, home)
 }
@@ -222,6 +245,7 @@ func (d *Directory) homeWrite(r dirReq, dline *cache.Line) {
 	})
 	dline.Owner = int16(r.requestor)
 	dline.Sharers = bit(r.requestor)
+	d.stampNow(home, r.addr)
 	ctx.Ev(power.EvDirWrite)
 	if th.l2.Lookup(r.addr) != nil {
 		ctx.Ev(power.EvL2DataRead)
@@ -247,6 +271,7 @@ func (d *Directory) atOwner(r dirReq, owner topo.Tile) {
 	line := to.l1.Lookup(r.addr)
 	if line == nil || (line.State != dirModified && line.State != dirExclusive) {
 		// Ownership moved (eviction/writeback in flight); bounce back.
+		ctx.Trace(r.addr, "atOwner %d bounce (req=%d, line gone/demoted)", owner, r.requestor)
 		home := ctx.HomeOf(r.addr)
 		del := ctx.SendCtlArg(owner, home, d.atHomeFn, r)
 		d.addLinks(r.requestor, r.addr, del.Hops)
@@ -255,14 +280,16 @@ func (d *Directory) atOwner(r dirReq, owner topo.Tile) {
 	home := ctx.HomeOf(r.addr)
 	d.setClass(r.requestor, r.addr, MissUnpredOwner)
 	dirty := line.Dirty
+	stamp := ctx.Kernel.Now()
 	if r.write {
 		// Hand the block over; tell the home about the new owner.
+		ctx.Trace(r.addr, "atOwner %d hands over to %d", owner, r.requestor)
 		to.l1.Invalidate(r.addr)
 		ctx.Ev(power.EvL1TagWrite)
 		ctx.Ev(power.EvL1DataRead)
 		d.deliverData(r.requestor, r.addr, owner, dirModified, true)
 		ctx.SendCtl(owner, home, func() {
-			d.homeDirUpdate(home, r.addr, func(dl *cache.Line) {
+			d.homeDirUpdate(home, r.addr, stamp, func(dl *cache.Line) {
 				dl.Owner = int16(r.requestor)
 				dl.Sharers = bit(r.requestor)
 			})
@@ -271,17 +298,24 @@ func (d *Directory) atOwner(r dirReq, owner topo.Tile) {
 	}
 	// Read: downgrade to shared, supply the requestor, write the block
 	// back so the L2 holds it for future readers.
+	ctx.Trace(r.addr, "atOwner %d downgrades, supplies read to %d", owner, r.requestor)
 	line.State = dirShared
 	line.Dirty = false
 	ctx.Ev(power.EvL1TagWrite)
 	ctx.Ev(power.EvL1DataRead)
 	d.deliverData(r.requestor, r.addr, owner, dirShared, false)
 	ctx.SendData(owner, home, func() {
-		d.insertL2Data(home, r.addr, dirty)
-		d.homeDirUpdate(home, r.addr, func(dl *cache.Line) {
+		if d.homeDirUpdate(home, r.addr, stamp, func(dl *cache.Line) {
 			dl.Owner = -1
 			dl.Sharers |= bit(owner) | bit(r.requestor)
-		})
+		}) {
+			d.insertL2Data(home, r.addr, dirty)
+		} else if dirty {
+			// A newer ownership decision superseded this downgrade;
+			// flush the stale data to memory instead of the L2.
+			mc := ctx.Mem.For(r.addr)
+			ctx.SendData(home, mc, func() { ctx.Mem.WriteLatency() })
+		}
 	})
 }
 
@@ -297,8 +331,9 @@ func (d *Directory) atSharerSupply(r dirReq, sharer topo.Tile) {
 	}
 	// Silent eviction raced us; drop the stale bit and retry at home.
 	home := ctx.HomeOf(r.addr)
+	stamp := ctx.Kernel.Now()
 	del := ctx.SendCtl(sharer, home, func() {
-		d.homeDirUpdate(home, r.addr, func(dl *cache.Line) {
+		d.homeDirUpdate(home, r.addr, stamp, func(dl *cache.Line) {
 			dl.Sharers &^= bit(sharer)
 		})
 		d.atHome(r)
@@ -307,14 +342,33 @@ func (d *Directory) atSharerSupply(r dirReq, sharer topo.Tile) {
 }
 
 // homeDirUpdate applies fn to the home's directory entry for addr (if
-// still present) and wakes stalled requests.
-func (d *Directory) homeDirUpdate(home topo.Tile, addr cache.Addr, fn func(*cache.Line)) {
+// still present) and wakes stalled requests. stamp is the time the
+// reported transition happened at its source; the update is dropped if
+// the home has already applied a newer decision — mesh messages from
+// different tiles are unordered, and applying a stale ownership update
+// over a fresh one leaves a permanently wrong owner pointer. Returns
+// whether the update was applied.
+func (d *Directory) homeDirUpdate(home topo.Tile, addr cache.Addr, stamp sim.Time, fn func(*cache.Line)) bool {
 	th := d.tiles[home]
+	if prev, ok := d.ownerStamp[home][addr]; ok && prev > stamp {
+		d.ctx.Trace(addr, "stale dir update dropped (stamp %d < %d)", stamp, prev)
+		th.wakeHome(d.ctx.Kernel, addr)
+		return false
+	}
+	d.ownerStamp[home][addr] = stamp
 	if dl := th.dir.Peek(addr); dl != nil {
 		fn(dl)
 		d.ctx.Ev(power.EvDirWrite)
+		d.ctx.Trace(addr, "homeDirUpdate -> owner=%d sharers=%#x (stamp %d)", dl.Owner, dl.Sharers, stamp)
 	}
 	th.wakeHome(d.ctx.Kernel, addr)
+	return true
+}
+
+// stampNow records a home-side synchronous ownership decision so any
+// older in-flight update cannot clobber it later.
+func (d *Directory) stampNow(home topo.Tile, addr cache.Addr) {
+	d.ownerStamp[home][addr] = d.ctx.Kernel.Now()
 }
 
 // invalidateAtL1 drops the block at a sharer and acknowledges the
@@ -322,6 +376,7 @@ func (d *Directory) homeDirUpdate(home topo.Tile, addr cache.Addr, fn func(*cach
 func (d *Directory) invalidateAtL1(tile topo.Tile, addr cache.Addr, requestor topo.Tile) {
 	ctx := d.ctx
 	t := d.tiles[tile]
+	ctx.Trace(addr, "invalidate at %d (ack to %d)", tile, requestor)
 	ctx.Ev(power.EvL1TagRead)
 	if _, ok := t.l1.Invalidate(addr); ok {
 		ctx.Ev(power.EvL1TagWrite)
@@ -389,6 +444,7 @@ func (d *Directory) deliverData(requestor topo.Tile, addr cache.Addr, from topo.
 func (d *Directory) fillL1(tile topo.Tile, addr cache.Addr, state cache.State, dirty bool) {
 	ctx := d.ctx
 	t := d.tiles[tile]
+	ctx.Trace(addr, "fill at %d state=%d dirty=%v", tile, state, dirty)
 	ctx.Ev(power.EvL1TagWrite)
 	ctx.Ev(power.EvL1DataWrite)
 	if line := t.l1.Peek(addr); line != nil {
@@ -412,17 +468,24 @@ func (d *Directory) fillL1(tile topo.Tile, addr cache.Addr, state cache.State, d
 func (d *Directory) evictL1(tile topo.Tile, victim cache.Line) {
 	ctx := d.ctx
 	if victim.State == dirShared {
+		ctx.Trace(victim.Addr, "silent evict at %d", tile)
 		return // silent eviction
 	}
+	ctx.Trace(victim.Addr, "owned evict at %d state=%d dirty=%v", tile, victim.State, victim.Dirty)
 	home := ctx.HomeOf(victim.Addr)
 	dirty := victim.Dirty
+	stamp := ctx.Kernel.Now()
 	ctx.Ev(power.EvL1DataRead)
 	ctx.SendData(tile, home, func() {
-		d.insertL2Data(home, victim.Addr, dirty)
-		d.homeDirUpdate(home, victim.Addr, func(dl *cache.Line) {
+		if d.homeDirUpdate(home, victim.Addr, stamp, func(dl *cache.Line) {
 			dl.Owner = -1
 			dl.Sharers &^= bit(tile)
-		})
+		}) {
+			d.insertL2Data(home, victim.Addr, dirty)
+		} else if dirty {
+			mc := ctx.Mem.For(victim.Addr)
+			ctx.SendData(home, mc, func() { ctx.Mem.WriteLatency() })
+		}
 	})
 }
 
@@ -472,6 +535,12 @@ func (d *Directory) allocDirEntry(home topo.Tile, addr cache.Addr, then func(*ca
 	if victim.Owner >= 0 {
 		holders |= bit(topo.Tile(victim.Owner))
 	}
+	ctx.Trace(victimAddr, "dir entry evicted at %d (holders %#x), chip-wide invalidation", home, holders)
+	ctx.Trace(addr, "dir entry allocated at %d (evicting %#x)", home, victimAddr)
+	// The eviction is a fresh ownership decision for the victim block:
+	// stamp it so old-epoch updates in flight cannot touch a future
+	// entry re-allocated for the same address.
+	d.stampNow(home, victimAddr)
 	th.dir.Fill(victim, addr, 1)
 	victim.Owner = -1
 	victim.Sharers = 0
@@ -541,7 +610,9 @@ func (d *Directory) maybeComplete(tile topo.Tile, addr cache.Addr) {
 	if !ok || !e.Done() {
 		return
 	}
-	if e.InvalidatedWhilePending && !e.Write {
+	dropped := e.InvalidatedWhilePending && !e.Write
+	ctx.Trace(addr, "complete at %d write=%v dropped=%v", tile, e.Write, dropped)
+	if dropped {
 		// The fill raced an invalidation. Dropping the line is the
 		// safe resolution, but it must go through the regular
 		// replacement protocol so any ownership or providership the
@@ -557,10 +628,24 @@ func (d *Directory) maybeComplete(tile topo.Tile, addr cache.Addr) {
 	ctx.Profile.Links[cls] += uint64(e.Links)
 	done := e.OnComplete
 	t.mshr.Release(addr)
+	ctx.observeRetired(tile, addr, e.Write, false, e.InvalidatedWhilePending)
 	t.wakeL1(ctx.Kernel, addr)
 	if done != nil {
 		done()
 	}
+}
+
+// ForEachCopy implements Engine.
+func (d *Directory) ForEachCopy(addr cache.Addr, fn func(CopyInfo)) {
+	forEachCopy(d.tiles, d.ctx.HomeOf(addr), addr, func(l *cache.Line) (bool, bool) {
+		excl := l.State == dirModified || l.State == dirExclusive
+		return excl, excl
+	}, fn)
+}
+
+// ForEachPending implements Engine.
+func (d *Directory) ForEachPending(fn func(topo.Tile, *cache.MSHREntry)) {
+	forEachPending(d.tiles, fn)
 }
 
 // CheckInvariants implements Engine. Call only at quiescence (no

@@ -134,6 +134,7 @@ func (p *Providers) Access(tile topo.Tile, addr cache.Addr, write bool, onDone f
 		if !write {
 			ctx.Ev(power.EvL1DataRead)
 			ctx.Profile.Hits++
+			ctx.observeRetired(tile, addr, false, true, false)
 			ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
 			return
 		}
@@ -143,6 +144,7 @@ func (p *Providers) Access(tile topo.Tile, addr cache.Addr, write bool, onDone f
 			line.Dirty = true
 			ctx.Ev(power.EvL1DataWrite)
 			ctx.Profile.Hits++
+			ctx.observeRetired(tile, addr, true, true, false)
 			ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
 			return
 		case pvOwnerShared:
@@ -189,6 +191,7 @@ func (p *Providers) ownerWriteHit(tile topo.Tile, addr cache.Addr, line *cache.L
 		line.Dirty = true
 		ctx.Ev(power.EvL1DataWrite)
 		ctx.Profile.Hits++
+		ctx.observeRetired(tile, addr, true, true, false)
 		ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
 		return
 	}
@@ -1131,7 +1134,8 @@ func (p *Providers) maybeComplete(tile topo.Tile, addr cache.Addr) {
 	if !ok || !e.Done() {
 		return
 	}
-	if e.InvalidatedWhilePending && !e.Write {
+	dropped := e.InvalidatedWhilePending && !e.Write
+	if dropped {
 		// The fill raced an invalidation. Dropping the line is the
 		// safe resolution, but it must go through the regular
 		// replacement protocol so any ownership or providership the
@@ -1147,10 +1151,23 @@ func (p *Providers) maybeComplete(tile topo.Tile, addr cache.Addr) {
 	ctx.Profile.Links[cls] += uint64(e.Links)
 	done := e.OnComplete
 	t.mshr.Release(addr)
+	ctx.observeRetired(tile, addr, e.Write, false, e.InvalidatedWhilePending)
 	t.wakeL1(ctx.Kernel, addr)
 	if done != nil {
 		done()
 	}
+}
+
+// ForEachCopy implements Engine.
+func (p *Providers) ForEachCopy(addr cache.Addr, fn func(CopyInfo)) {
+	forEachCopy(p.tiles, p.ctx.HomeOf(addr), addr, func(l *cache.Line) (bool, bool) {
+		return pvIsOwner(l.State), l.State == pvOwnerModified || l.State == pvOwnerExclusive
+	}, fn)
+}
+
+// ForEachPending implements Engine.
+func (p *Providers) ForEachPending(fn func(topo.Tile, *cache.MSHREntry)) {
+	forEachPending(p.tiles, fn)
 }
 
 // CheckInvariants implements Engine; call at quiescence. Checks the

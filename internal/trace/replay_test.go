@@ -1,0 +1,81 @@
+// Full-stack round-trip: a captured workload stream, serialized and
+// parsed back, must drive every protocol engine to bit-identical
+// statistics — proving the trace format loses nothing a simulation
+// depends on (external test package so it can build chips via
+// internal/check without an import cycle).
+package trace_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/memctrl"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// runStream runs recs on a freshly built checked chip and returns the
+// engine's counter map, miss profile and final kernel time.
+func runStream(t *testing.T, protocol string, recs []trace.Record) (map[string]uint64, any, sim.Time) {
+	t.Helper()
+	c, err := check.NewChip(check.ChipConfig{Protocol: protocol, Tiles: 16, Areas: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RunConcurrent(recs); err != nil {
+		t.Fatalf("%s: %v", protocol, err)
+	}
+	s := c.Engine.Stats()
+	snap := make(map[string]uint64)
+	for _, n := range s.Names() {
+		snap[n] = s.Value(n)
+	}
+	return snap, c.Engine.MissProfile(), c.Kernel.Now()
+}
+
+// TestReplayBitIdentical captures a real workload stream, round-trips
+// it through the text format, and checks that replaying the parsed
+// trace is indistinguishable from replaying the original on all four
+// protocols.
+func TestReplayBitIdentical(t *testing.T) {
+	w := workload.MustNamed("apache4x16p")
+	areas := topo.MustAreas(topo.NewGrid(4, 4), 4)
+	placement := topo.MatchedPlacement(areas)
+	mapper := memctrl.NewMapper(true)
+	gen := workload.NewGenerator(w, placement, mapper, sim.NewRand(11))
+	tiles := make([]topo.Tile, 16)
+	for i := range tiles {
+		tiles[i] = topo.Tile(i)
+	}
+	tr := trace.Capture(gen, tiles, 60)
+
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := trace.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr.Records, parsed.Records) {
+		t.Fatal("records changed across write/read")
+	}
+
+	for _, p := range []string{"directory", "dico", "providers", "arin"} {
+		gotStats, gotProf, gotNow := runStream(t, p, tr.Records)
+		repStats, repProf, repNow := runStream(t, p, parsed.Records)
+		if gotNow != repNow {
+			t.Errorf("%s: cycles diverge: %d vs %d", p, gotNow, repNow)
+		}
+		if !reflect.DeepEqual(gotStats, repStats) {
+			t.Errorf("%s: counters diverge:\n%v\nvs\n%v", p, gotStats, repStats)
+		}
+		if !reflect.DeepEqual(gotProf, repProf) {
+			t.Errorf("%s: miss profile diverges:\n%+v\nvs\n%+v", p, gotProf, repProf)
+		}
+	}
+}
