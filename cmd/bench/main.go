@@ -1,0 +1,158 @@
+// Command bench is the repeatable performance harness: it measures the
+// event-kernel scheduling hot path and end-to-end simulation
+// throughput for all four protocols on the paper's default workload,
+// and writes the numbers as JSON so the project's performance
+// trajectory is recorded run over run (BENCH_<pr>.json at the repo
+// root). -smoke shrinks the reference budget for CI.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// KernelBench reports the scheduler microbenchmark: steady-state
+// push+pop throughput at a realistic queue depth (the pattern the
+// coherence simulation generates).
+type KernelBench struct {
+	Events       uint64  `json:"events"`
+	QueueDepth   int     `json:"queue_depth"`
+	NSPerEvent   float64 `json:"ns_per_event"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// ProtoBench reports one protocol's end-to-end throughput.
+type ProtoBench struct {
+	Cycles     uint64  `json:"cycles"`
+	Refs       uint64  `json:"refs"`
+	Events     uint64  `json:"kernel_events"`
+	WallMS     float64 `json:"wall_ms"`
+	RefsPerSec float64 `json:"refs_per_sec"`
+}
+
+// EndToEnd reports the 4-protocol default-workload sweep.
+type EndToEnd struct {
+	Workload    string                `json:"workload"`
+	RefsPerCore int                   `json:"refs_per_core"`
+	WarmupRefs  int                   `json:"warmup_refs"`
+	Tiles       int                   `json:"tiles"`
+	Protocols   map[string]ProtoBench `json:"protocols"`
+	RefsPerSec  float64               `json:"total_refs_per_sec"`
+}
+
+// Bench is the schema of a BENCH_*.json file.
+type Bench struct {
+	Schema   int         `json:"schema"`
+	Tool     string      `json:"tool"`
+	Revision string      `json:"revision"`
+	Mode     string      `json:"mode"`
+	Kernel   KernelBench `json:"kernel"`
+	EndToEnd EndToEnd    `json:"end_to_end"`
+}
+
+func main() {
+	smoke := flag.Bool("smoke", false, "reduced budget for CI (fast, noisier numbers)")
+	out := flag.String("out", "BENCH_3.json", "output file")
+	flag.Parse()
+
+	mode, refs, warmup, kernelEvents := "full", 6000, 12000, uint64(8_000_000)
+	if *smoke {
+		mode, refs, warmup, kernelEvents = "smoke", 1000, 2000, 1_000_000
+	}
+
+	b := Bench{Schema: 1, Tool: "bench", Revision: obs.Revision(), Mode: mode}
+	b.Kernel = kernelBench(kernelEvents)
+	fmt.Fprintf(os.Stderr, "kernel: %.1f ns/event (%.2fM events/s)\n",
+		b.Kernel.NSPerEvent, b.Kernel.EventsPerSec/1e6)
+
+	e2e, err := endToEnd(refs, warmup)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	b.EndToEnd = e2e
+	fmt.Fprintf(os.Stderr, "end-to-end: %.0f refs/s over %d protocols\n",
+		e2e.RefsPerSec, len(e2e.Protocols))
+
+	data, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}
+
+// kernelBench measures steady-state schedule+dispatch at a 4096-deep
+// queue, the same load shape as internal/sim's BenchmarkSchedule.
+func kernelBench(events uint64) KernelBench {
+	k := sim.NewKernel(1)
+	nop := func() {}
+	const depth = 4096
+	for i := 0; i < depth; i++ {
+		k.After(sim.Time(i%97), nop)
+	}
+	start := time.Now()
+	for i := uint64(0); i < events; i++ {
+		k.After(sim.Time(i%97), nop)
+		k.Step()
+	}
+	elapsed := time.Since(start)
+	ns := float64(elapsed.Nanoseconds()) / float64(events)
+	return KernelBench{
+		Events:       events,
+		QueueDepth:   depth,
+		NSPerEvent:   ns,
+		EventsPerSec: 1e9 / ns,
+	}
+}
+
+// endToEnd times each protocol on the default workload serially (so
+// the per-protocol wall clocks do not contend with each other).
+func endToEnd(refs, warmup int) (EndToEnd, error) {
+	base := core.DefaultConfig()
+	base.RefsPerCore = refs
+	base.WarmupRefs = warmup
+	e := EndToEnd{
+		Workload:    base.Workload,
+		RefsPerCore: refs,
+		WarmupRefs:  warmup,
+		Tiles:       base.Tiles,
+		Protocols:   map[string]ProtoBench{},
+	}
+	var totalRefs uint64
+	var totalWall time.Duration
+	for _, p := range core.ProtocolNames {
+		cfg := base
+		cfg.Protocol = p
+		fmt.Fprintf(os.Stderr, "running %s / %s...\n", cfg.Workload, p)
+		start := time.Now()
+		res, err := core.Run(cfg)
+		if err != nil {
+			return e, err
+		}
+		wall := time.Since(start)
+		totalRefs += res.Refs
+		totalWall += wall
+		e.Protocols[p] = ProtoBench{
+			Cycles:     uint64(res.Cycles),
+			Refs:       res.Refs,
+			Events:     res.Events,
+			WallMS:     float64(wall.Nanoseconds()) / 1e6,
+			RefsPerSec: float64(res.Refs) / wall.Seconds(),
+		}
+	}
+	e.RefsPerSec = float64(totalRefs) / totalWall.Seconds()
+	return e, nil
+}

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/proto"
 )
@@ -31,6 +32,8 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	workers := flag.Int("workers", 0, "parallel simulations in -protocols mode (0 = all CPUs)")
 	checkRun := flag.Bool("check", false, "attach the shadow-memory coherence checker and stalled-transaction watchdog (fails the run on any violation)")
+	profile := flag.Bool("profile", false, "collect kernel dispatch/queue-depth statistics, miss-latency histograms and phase timers (reported and exported with -json)")
+	jsonOut := flag.String("json", "", "write an obs manifest (schema v1) with every run's full configuration and counters to this file")
 	flag.Parse()
 
 	cfg.Protocol = *protocol
@@ -44,6 +47,14 @@ func main() {
 	cfg.Proto.BroadcastUnicast = *unicastBcast
 	cfg.Seed = *seed
 	cfg.Check = *checkRun
+	cfg.Profile = *profile
+
+	// Validate up front so a typoed flag fails with the valid choices
+	// before any simulation starts.
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "cmpsim:", err)
+		os.Exit(2)
+	}
 
 	if *protocols == "" {
 		res, err := core.Run(cfg)
@@ -52,6 +63,7 @@ func main() {
 			os.Exit(1)
 		}
 		report(cfg, res)
+		writeManifest(*jsonOut, res)
 		return
 	}
 
@@ -63,6 +75,10 @@ func main() {
 	for i, p := range names {
 		cfgs[i] = cfg
 		cfgs[i].Protocol = strings.TrimSpace(p)
+		if err := cfgs[i].Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "cmpsim:", err)
+			os.Exit(2)
+		}
 	}
 	results, err := exp.RunConfigs(cfgs, *workers, func(i int) {
 		fmt.Fprintf(os.Stderr, "running %s / %s...\n", cfgs[i].Workload, cfgs[i].Protocol)
@@ -75,6 +91,7 @@ func main() {
 		report(cfgs[i], res)
 		fmt.Println()
 	}
+	writeManifest(*jsonOut, results...)
 	base := results[0]
 	fmt.Printf("comparison (vs %s):\n", cfgs[0].Protocol)
 	fmt.Printf("  %-12s %10s %10s %12s %12s\n", "protocol", "cycles", "perf", "power/cycle", "flit-links")
@@ -84,6 +101,22 @@ func main() {
 			res.Performance()/base.Performance(),
 			res.PowerPerCycle(), res.Net.FlitLinkCrossing)
 	}
+}
+
+// writeManifest exports the finished runs as an obs manifest.
+func writeManifest(path string, results ...*core.Result) {
+	if path == "" {
+		return
+	}
+	m := obs.New("cmpsim")
+	for _, res := range results {
+		m.Add(res)
+	}
+	if err := m.WriteFile(path); err != nil {
+		fmt.Fprintln(os.Stderr, "cmpsim:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d runs, schema v%d)\n", path, len(m.Runs), obs.SchemaVersion)
 }
 
 // report prints the full statistics block for one finished run.
@@ -113,6 +146,19 @@ func report(cfg core.Config, res *core.Result) {
 			proto.MissClassNames[c], pr.Count[c],
 			float64(pr.Count[c])/float64(misses)*100,
 			pr.MeanLinks(proto.MissClass(c)))
+	}
+	if p := res.Prof; p != nil {
+		fmt.Println("profile:")
+		fmt.Printf("  kernel events    %d dispatched (%d closure, %d arg), %d scheduled\n",
+			p.Kernel.Dispatched(), p.Kernel.DispatchedClosure, p.Kernel.DispatchedArg, p.Kernel.Scheduled)
+		fmt.Printf("  queue depth      mean %.1f, max %d\n", p.Kernel.QueueDepth.Mean(), p.Kernel.QueueDepth.Max)
+		fmt.Printf("  miss latency     mean %.1f cycles, max %d (%d misses timed)\n",
+			p.MissLatency.Mean(), p.MissLatency.Max, p.MissLatency.Count)
+		for _, ph := range p.Phases {
+			wallMS := float64(ph.WallNS) / 1e6
+			fmt.Printf("  phase %-10s %8d refs, %10d cycles, %10d events, %8.1f ms wall (%.0f refs/s)\n",
+				ph.Name, ph.Refs, ph.Cycles, ph.Events, wallMS, float64(ph.Refs)/(wallMS/1000))
+		}
 	}
 	fmt.Println("power events:")
 	for _, name := range []string{

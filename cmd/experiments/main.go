@@ -8,9 +8,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -21,6 +23,7 @@ func main() {
 	workloads := flag.String("workloads", "", "comma-separated workload subset (default: all)")
 	refs := flag.Int("refs", 0, "override measured references per core")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = all CPUs, 1 = serial)")
+	out := flag.String("out", "", "write the sweep as an obs manifest (schema v1) to <dir>/matrix.json; cmd/tables -from regenerates every figure from it without re-simulating")
 	flag.Parse()
 
 	// Analytic artifacts need no simulation.
@@ -40,14 +43,14 @@ func main() {
 	}
 
 	opt := exp.DefaultOptions()
-	opt.AltPlacement = *alt
-	opt.Dedup = !*nodedup
+	opt.Base.AltPlacement = *alt
+	opt.Base.Dedup = !*nodedup
 	if *quick {
-		opt.RefsPerCore = 8000
-		opt.WarmupRefs = 20000
+		opt.Base.RefsPerCore = 8000
+		opt.Base.WarmupRefs = 20000
 	}
 	if *refs > 0 {
-		opt.RefsPerCore = *refs
+		opt.Base.RefsPerCore = *refs
 	}
 	if *workloads != "" {
 		opt.Workloads = strings.Split(*workloads, ",")
@@ -59,6 +62,18 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
+	}
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*out, "matrix.json")
+		if err := obs.FromMatrix("experiments", m).WriteFile(path); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d runs, schema v%d)\n", path, len(m.Workloads)*4, obs.SchemaVersion)
 	}
 
 	show := func(name string, render func() fmt.Stringer) {

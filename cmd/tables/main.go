@@ -1,19 +1,71 @@
-// Command tables prints the analytic tables of the paper: Table V
+// Command tables prints the analytic tables of the paper — Table V
 // (per-tile coherence storage), Table VI (leakage power) and Table VII
-// (storage overhead versus cores and areas).
+// (storage overhead versus cores and areas) — and, given a saved obs
+// manifest (-from), regenerates the simulation figures from it with
+// zero re-simulation: the decoder restores bit-identical counters, so
+// the rendered figures match a live run byte for byte.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/exp"
+	"repro/internal/obs"
 )
 
 func main() {
-	table := flag.String("table", "all", "which table to print: 5, 6, 7 or all")
+	table := flag.String("table", "all", "analytic table to print: 5, 6, 7 or all")
+	from := flag.String("from", "", "obs manifest (file, or directory containing matrix.json) to regenerate figures from")
+	fig := flag.String("fig", "all", "with -from: figure to regenerate: 7, 8a, 8b, 9a, 9b, hops or all")
+	validate := flag.String("validate", "", "decode the given manifest, verify every run record round-trips (schema, counters, breakdown), and exit")
 	flag.Parse()
+
+	if *validate != "" {
+		m, err := readManifest(*validate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		if err := m.Verify(); err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: ok (%d runs, schema v%d, written by %s@%s)\n",
+			*validate, len(m.Runs), m.Schema, m.Tool, m.Revision)
+		return
+	}
+
+	if *from != "" {
+		m, err := readManifest(*from)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		mx, err := m.Matrix()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tables:", err)
+			os.Exit(1)
+		}
+		show := func(name string, render func() fmt.Stringer) {
+			if *fig == "all" || *fig == name {
+				fmt.Print(render())
+				fmt.Println()
+			}
+		}
+		show("7", func() fmt.Stringer { return mx.Figure7() })
+		show("8a", func() fmt.Stringer { return mx.Figure8a() })
+		show("8b", func() fmt.Stringer { return mx.Figure8b() })
+		show("9a", func() fmt.Stringer { return mx.Figure9a() })
+		show("9b", func() fmt.Stringer { return mx.Figure9b() })
+		show("hops", func() fmt.Stringer { return mx.LinkAnalysis() })
+		if *fig != "all" {
+			return
+		}
+	}
+
 	switch *table {
 	case "5":
 		fmt.Print(exp.Table5())
@@ -37,4 +89,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown table %q (want 5, 6, 7 or all)\n", *table)
 		os.Exit(2)
 	}
+}
+
+// readManifest loads a manifest from a file, or from matrix.json
+// inside a directory (the layout cmd/experiments -out writes).
+func readManifest(path string) (*obs.Manifest, error) {
+	if st, err := os.Stat(path); err == nil && st.IsDir() {
+		path = filepath.Join(path, "matrix.json")
+	}
+	return obs.ReadFile(path)
 }

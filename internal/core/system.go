@@ -6,6 +6,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/check"
 	"repro/internal/memctrl"
@@ -41,6 +42,13 @@ type Config struct {
 	// default: with Check false the kernel event stream is bit-identical
 	// to a build without the checker.
 	Check bool
+	// Profile attaches the observability hooks: kernel dispatch
+	// counts and queue-depth sampling (sim.Profile), a miss-latency
+	// histogram, and per-phase wall-clock/cycle timers, collected into
+	// Result.Prof. Pure observation, off by default: the kernel event
+	// stream and every result counter are bit-identical with Profile
+	// on or off (same discipline as Check).
+	Profile bool
 	// StallBound is the watchdog's max age of an in-flight miss before
 	// the run is declared stalled (0 = 500k cycles). Only used with
 	// Check.
@@ -63,11 +71,35 @@ func DefaultConfig() Config {
 	}
 }
 
+// PhaseStat times one run phase (warmup or measure): host wall clock,
+// simulated cycles, kernel events dispatched and references retired.
+type PhaseStat struct {
+	Name   string
+	WallNS int64
+	Cycles sim.Time
+	Events uint64
+	Refs   uint64
+}
+
+// RunProfile aggregates the optional observability data of one run
+// (collected only when Config.Profile is set).
+type RunProfile struct {
+	// Kernel holds dispatch counts and the queue-depth histogram for
+	// the whole run (warmup included).
+	Kernel sim.Profile
+	// MissLatency is the issue-to-retire latency histogram (cycles) of
+	// references that missed in the L1.
+	MissLatency sim.Hist
+	// Phases times each executed phase in order.
+	Phases []PhaseStat
+}
+
 // Result carries everything the evaluation figures need from one run.
 type Result struct {
 	Config       Config
 	Cycles       sim.Time
 	Refs         uint64
+	Events       uint64 // kernel events dispatched by the measured phase
 	Counters     *stats.Set
 	Net          mesh.Stats
 	Profile      proto.MissProfile
@@ -76,6 +108,9 @@ type Result struct {
 
 	Energies  power.TileEnergies
 	Breakdown power.DynamicBreakdown
+
+	// Prof is non-nil only when Config.Profile was set.
+	Prof *RunProfile
 }
 
 // Performance returns the work rate (references per cycle), the
@@ -171,6 +206,9 @@ type System struct {
 	Shadow *check.Shadow
 	Dog    *sim.Watchdog
 
+	// prof is non-nil only when Cfg.Profile is set.
+	prof *RunProfile
+
 	retired []int
 }
 
@@ -207,6 +245,11 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
+	var prof *RunProfile
+	if cfg.Profile {
+		prof = &RunProfile{}
+		kernel.SetProfile(&prof.Kernel)
+	}
 	var sh *check.Shadow
 	var dog *sim.Watchdog
 	if cfg.Check {
@@ -231,6 +274,7 @@ func NewSystem(cfg Config) (*System, error) {
 		Ctx:       ctx,
 		Shadow:    sh,
 		Dog:       dog,
+		prof:      prof,
 		retired:   make([]int, cfg.Tiles),
 	}, nil
 }
@@ -253,13 +297,32 @@ func (s *System) runPhase(refs int) (sim.Time, uint64, error) {
 			return
 		}
 		acc := s.Gen.Next(tile)
-		issue := func() {
-			s.Engine.Access(tile, acc.Addr, acc.Write, func() {
-				s.retired[tile]++
-				totalRefs++
-				lastRetire = s.Kernel.Now()
-				step(tile)
-			})
+		var issue func()
+		if s.prof == nil {
+			issue = func() {
+				s.Engine.Access(tile, acc.Addr, acc.Write, func() {
+					s.retired[tile]++
+					totalRefs++
+					lastRetire = s.Kernel.Now()
+					step(tile)
+				})
+			}
+		} else {
+			// Profiled variant: time issue-to-retire and histogram
+			// everything slower than an L1 hit. Reading the clock
+			// never schedules, so the event stream is unchanged.
+			issue = func() {
+				issued := s.Kernel.Now()
+				s.Engine.Access(tile, acc.Addr, acc.Write, func() {
+					if lat := s.Kernel.Now() - issued; lat > s.Cfg.Proto.L1HitLatency {
+						s.prof.MissLatency.Observe(uint64(lat))
+					}
+					s.retired[tile]++
+					totalRefs++
+					lastRetire = s.Kernel.Now()
+					step(tile)
+				})
+			}
 		}
 		if acc.Gap > 0 {
 			s.Kernel.After(acc.Gap, issue)
@@ -311,8 +374,25 @@ func (s *System) runPhase(refs int) (sim.Time, uint64, error) {
 // collected result.
 func (s *System) Run() (*Result, error) {
 	cfg := s.Cfg
+	// timedPhase wraps runPhase with the optional per-phase timers.
+	timedPhase := func(name string, refs int) (sim.Time, uint64, error) {
+		if s.prof == nil {
+			return s.runPhase(refs)
+		}
+		wall := time.Now()
+		cycles0, events0 := s.Kernel.Now(), s.Kernel.EventsRun()
+		lastRetire, totalRefs, err := s.runPhase(refs)
+		s.prof.Phases = append(s.prof.Phases, PhaseStat{
+			Name:   name,
+			WallNS: time.Since(wall).Nanoseconds(),
+			Cycles: s.Kernel.Now() - cycles0,
+			Events: s.Kernel.EventsRun() - events0,
+			Refs:   totalRefs,
+		})
+		return lastRetire, totalRefs, err
+	}
 	if cfg.WarmupRefs > 0 {
-		if _, _, err := s.runPhase(cfg.WarmupRefs); err != nil {
+		if _, _, err := timedPhase("warmup", cfg.WarmupRefs); err != nil {
 			return nil, err
 		}
 		s.Engine.Stats().Reset()
@@ -321,7 +401,8 @@ func (s *System) Run() (*Result, error) {
 		s.Mem.Reads, s.Mem.Writes = 0, 0
 	}
 	start := s.Kernel.Now()
-	lastRetire, totalRefs, err := s.runPhase(cfg.RefsPerCore)
+	events0 := s.Kernel.EventsRun()
+	lastRetire, totalRefs, err := timedPhase("measure", cfg.RefsPerCore)
 	if err != nil {
 		return nil, err
 	}
@@ -342,19 +423,24 @@ func (s *System) Run() (*Result, error) {
 		Config:       cfg,
 		Cycles:       lastRetire,
 		Refs:         totalRefs,
+		Events:       s.Kernel.EventsRun() - events0,
 		Counters:     s.Engine.Stats(),
 		Net:          s.Net.Stats(),
 		Profile:      s.Engine.MissProfile(),
 		MemReads:     s.Mem.Reads,
 		DedupSavings: s.Mapper.SavedFraction(),
 		Energies:     energies,
+		Prof:         s.prof,
 	}
 	res.Breakdown = power.Dynamic(res.Counters, res.Net, energies)
 	return res, nil
 }
 
-// Run builds and runs a system in one call.
+// Run validates cfg, then builds and runs a system in one call.
 func Run(cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	s, err := NewSystem(cfg)
 	if err != nil {
 		return nil, err

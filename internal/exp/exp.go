@@ -19,14 +19,27 @@ import (
 	"repro/internal/workload"
 )
 
-// Options parameterize a full evaluation sweep.
+// Options parameterize a full evaluation sweep. Base carries the
+// shared simulation configuration; the sweep only varies Workload and
+// Protocol across it.
 type Options struct {
-	Workloads    []string
+	Workloads []string
+	// Base is the configuration every matrix cell derives from
+	// (protocol and workload are overwritten per cell). Zero-value
+	// Base (Tiles == 0) falls back to core.DefaultConfig.
+	Base core.Config
+
+	// Deprecated: set the corresponding Base field instead. These
+	// pass-throughs survive for older callers: a non-zero RefsPerCore,
+	// WarmupRefs or Seed overrides Base, and a true AltPlacement or
+	// Dedup forces the Base flag on (false means "leave Base alone",
+	// so Base is the only way to force either off).
 	RefsPerCore  int
 	WarmupRefs   int
 	Seed         uint64
 	AltPlacement bool
 	Dedup        bool
+
 	// Workers bounds how many simulations run concurrently. Every
 	// (workload, protocol) run owns its kernel, chip and RNG, so the
 	// sweep parallelizes without sharing; results are identical to a
@@ -37,25 +50,40 @@ type Options struct {
 
 // DefaultOptions runs every Table IV workload at a laptop-scale budget.
 func DefaultOptions() Options {
+	base := core.DefaultConfig()
+	base.RefsPerCore = 25000
+	base.WarmupRefs = 60000
 	return Options{
-		Workloads:   workload.Names,
-		RefsPerCore: 25000,
-		WarmupRefs:  60000,
-		Seed:        1,
-		Dedup:       true,
+		Workloads: workload.Names,
+		Base:      base,
 	}
 }
 
-// config builds the core.Config for one cell of the sweep matrix.
+// config builds the core.Config for one cell of the sweep matrix:
+// Base (or core.DefaultConfig when Base is zero) with the cell's
+// workload and protocol, plus the deprecated field overrides.
 func (opt Options) config(wl, protocol string) core.Config {
-	cfg := core.DefaultConfig()
+	cfg := opt.Base
+	if cfg.Tiles == 0 {
+		cfg = core.DefaultConfig()
+	}
 	cfg.Protocol = protocol
 	cfg.Workload = wl
-	cfg.RefsPerCore = opt.RefsPerCore
-	cfg.WarmupRefs = opt.WarmupRefs
-	cfg.Seed = opt.Seed
-	cfg.AltPlacement = opt.AltPlacement
-	cfg.Dedup = opt.Dedup
+	if opt.RefsPerCore != 0 {
+		cfg.RefsPerCore = opt.RefsPerCore
+	}
+	if opt.WarmupRefs != 0 {
+		cfg.WarmupRefs = opt.WarmupRefs
+	}
+	if opt.Seed != 0 {
+		cfg.Seed = opt.Seed
+	}
+	if opt.AltPlacement {
+		cfg.AltPlacement = true
+	}
+	if opt.Dedup {
+		cfg.Dedup = true
+	}
 	return cfg
 }
 

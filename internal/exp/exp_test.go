@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/proto"
 )
 
@@ -152,5 +153,50 @@ func TestDedupSavingsSurfaceInResults(t *testing.T) {
 	got := m.Results["apache4x16p"]["directory"].DedupSavings
 	if got < 0.10 || got > 0.32 {
 		t.Errorf("apache dedup savings %.3f, Table IV says 0.217", got)
+	}
+}
+
+// TestOptionsBaseDerivation checks the Base/deprecated-field contract
+// of Options.config: cells derive from Base, the deprecated
+// pass-throughs still override it, and a zero Base falls back to
+// core.DefaultConfig.
+func TestOptionsBaseDerivation(t *testing.T) {
+	// Base alone drives the cell.
+	opt := DefaultOptions()
+	opt.Base.RefsPerCore = 1111
+	opt.Base.WarmupRefs = 2222
+	opt.Base.Seed = 9
+	opt.Base.Dedup = false
+	opt.Base.Areas = 16
+	cfg := opt.config("jbb4x16p", "arin")
+	if cfg.Workload != "jbb4x16p" || cfg.Protocol != "arin" {
+		t.Errorf("cell identity wrong: %s/%s", cfg.Workload, cfg.Protocol)
+	}
+	if cfg.RefsPerCore != 1111 || cfg.WarmupRefs != 2222 || cfg.Seed != 9 || cfg.Dedup || cfg.Areas != 16 {
+		t.Errorf("Base not honored: %+v", cfg)
+	}
+
+	// Deprecated pass-throughs override Base when set.
+	opt = DefaultOptions()
+	opt.RefsPerCore = 777
+	opt.WarmupRefs = 888
+	opt.Seed = 5
+	opt.AltPlacement = true
+	cfg = opt.config("apache4x16p", "dico")
+	if cfg.RefsPerCore != 777 || cfg.WarmupRefs != 888 || cfg.Seed != 5 || !cfg.AltPlacement {
+		t.Errorf("deprecated overrides not honored: %+v", cfg)
+	}
+	if !cfg.Dedup {
+		t.Error("default dedup lost")
+	}
+
+	// Zero-value Options still produce a runnable default config.
+	cfg = Options{}.config("apache4x16p", "directory")
+	def := core.DefaultConfig()
+	if cfg.Tiles != def.Tiles || cfg.RefsPerCore != def.RefsPerCore || !cfg.Dedup {
+		t.Errorf("zero Base did not fall back to defaults: %+v", cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("zero-Base cell invalid: %v", err)
 	}
 }

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+)
+
+// smallConfig is a fast-but-representative run for round-trip tests.
+func smallConfig(protocol string) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Protocol = protocol
+	cfg.RefsPerCore = 400
+	cfg.WarmupRefs = 800
+	return cfg
+}
+
+// requireSameResult asserts that a decoded result is bit-identical to
+// the live one in every field the figures consume.
+func requireSameResult(t *testing.T, label string, live, decoded *core.Result) {
+	t.Helper()
+	if live.Cycles != decoded.Cycles || live.Refs != decoded.Refs || live.Events != decoded.Events {
+		t.Errorf("%s: cycles/refs/events differ: %d/%d/%d vs %d/%d/%d",
+			label, live.Cycles, live.Refs, live.Events, decoded.Cycles, decoded.Refs, decoded.Events)
+	}
+	ln, dn := live.Counters.Names(), decoded.Counters.Names()
+	if !reflect.DeepEqual(ln, dn) {
+		t.Fatalf("%s: counter names differ:\n%v\n%v", label, ln, dn)
+	}
+	for _, name := range ln {
+		if lv, dv := live.Counters.Value(name), decoded.Counters.Value(name); lv != dv {
+			t.Errorf("%s: counter %s = %d vs %d", label, name, lv, dv)
+		}
+	}
+	if live.Net != decoded.Net {
+		t.Errorf("%s: network stats differ", label)
+	}
+	if live.Profile != decoded.Profile {
+		t.Errorf("%s: miss profiles differ", label)
+	}
+	if live.Energies != decoded.Energies {
+		t.Errorf("%s: energies differ:\n%+v\n%+v", label, live.Energies, decoded.Energies)
+	}
+	if !reflect.DeepEqual(live.Breakdown, decoded.Breakdown) {
+		t.Errorf("%s: breakdowns differ:\n%+v\n%+v", label, live.Breakdown, decoded.Breakdown)
+	}
+	if live.MemReads != decoded.MemReads || live.DedupSavings != decoded.DedupSavings {
+		t.Errorf("%s: memory stats differ", label)
+	}
+	if live.Performance() != decoded.Performance() {
+		t.Errorf("%s: performance %v vs %v", label, live.Performance(), decoded.Performance())
+	}
+	if live.Config != decoded.Config {
+		t.Errorf("%s: configs differ:\n%+v\n%+v", label, live.Config, decoded.Config)
+	}
+}
+
+// TestManifestRoundTrip encodes one run per protocol and requires the
+// decoded result to be bit-identical.
+func TestManifestRoundTrip(t *testing.T) {
+	for _, p := range core.ProtocolNames {
+		cfg := smallConfig(p)
+		if p == "directory" {
+			cfg.Profile = true // one profiled run exercises Prof round-trip
+		}
+		live, err := core.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		m := New("test")
+		m.Add(live)
+		var buf bytes.Buffer
+		if err := m.Encode(&buf); err != nil {
+			t.Fatalf("%s: encode: %v", p, err)
+		}
+		back, err := Decode(&buf)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", p, err)
+		}
+		if back.Schema != SchemaVersion || len(back.Runs) != 1 {
+			t.Fatalf("%s: decoded header wrong: schema %d, %d runs", p, back.Schema, len(back.Runs))
+		}
+		decoded, err := back.Runs[0].Result()
+		if err != nil {
+			t.Fatalf("%s: reconstruct: %v", p, err)
+		}
+		requireSameResult(t, p, live, decoded)
+		if cfg.Profile {
+			if decoded.Prof == nil {
+				t.Fatalf("%s: profile lost in round trip", p)
+			}
+			if !reflect.DeepEqual(live.Prof, decoded.Prof) {
+				t.Errorf("%s: run profile differs after round trip", p)
+			}
+		}
+	}
+}
+
+// TestManifestSchemaMismatch requires decoding to reject unknown
+// schema versions before interpreting the rest of the file.
+func TestManifestSchemaMismatch(t *testing.T) {
+	m := New("test")
+	m.Schema = SchemaVersion + 1
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Decode(&buf)
+	if err == nil {
+		t.Fatal("decoding a v2 manifest succeeded; want schema rejection")
+	}
+	if !strings.Contains(err.Error(), "schema v2") || !strings.Contains(err.Error(), "v1") {
+		t.Errorf("unhelpful schema error: %v", err)
+	}
+	if err := m.Verify(); err == nil {
+		t.Error("Verify accepted a mismatched schema version")
+	}
+}
+
+// TestManifestIntegrity requires a tampered counter to fail decoding:
+// the breakdown cross-check must catch a manifest whose counters and
+// serialized energies disagree.
+func TestManifestIntegrity(t *testing.T) {
+	res, err := core.Run(smallConfig("dico"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New("test")
+	m.Add(res)
+	for i, c := range m.Runs[0].Counters {
+		if c.Name == "l1.tag.read" {
+			m.Runs[0].Counters[i].Value += 1000
+		}
+	}
+	if _, err := m.Runs[0].Result(); err == nil {
+		t.Fatal("reconstructing a tampered run succeeded; want breakdown mismatch error")
+	}
+	if err := m.Verify(); err == nil {
+		t.Fatal("Verify accepted a tampered run")
+	}
+}
+
+// TestMatrixRoundTripFigures runs a small sweep, exports it, decodes
+// it, and requires every rendered figure to match the live matrix byte
+// for byte — the zero-re-simulation guarantee cmd/tables -from relies
+// on.
+func TestMatrixRoundTripFigures(t *testing.T) {
+	opt := exp.DefaultOptions()
+	opt.Workloads = []string{"apache4x16p"}
+	opt.Base.RefsPerCore = 400
+	opt.Base.WarmupRefs = 800
+	live, err := exp.Run(opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := FromMatrix("test", live).Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := back.Matrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for name, render := range map[string]func(*exp.Matrix) string{
+		"figure7":  func(m *exp.Matrix) string { return m.Figure7().String() },
+		"figure8a": func(m *exp.Matrix) string { return m.Figure8a().String() },
+		"figure8b": func(m *exp.Matrix) string { return m.Figure8b().String() },
+		"figure9a": func(m *exp.Matrix) string { return m.Figure9a().String() },
+		"figure9b": func(m *exp.Matrix) string { return m.Figure9b().String() },
+		"hops":     func(m *exp.Matrix) string { return m.LinkAnalysis().String() },
+	} {
+		if l, d := render(live), render(decoded); l != d {
+			t.Errorf("%s differs between live and decoded matrix:\n--- live\n%s\n--- decoded\n%s", name, l, d)
+		}
+	}
+}
+
+// TestMatrixMissingCell requires Matrix() to reject a manifest that
+// does not cover the full workload x protocol grid.
+func TestMatrixMissingCell(t *testing.T) {
+	res, err := core.Run(smallConfig("arin"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New("test")
+	m.Add(res)
+	if _, err := m.Matrix(); err == nil {
+		t.Fatal("Matrix() accepted a single-run manifest; want missing-cell error")
+	} else if !strings.Contains(err.Error(), "missing") {
+		t.Errorf("unhelpful missing-cell error: %v", err)
+	}
+}

@@ -1,0 +1,53 @@
+// Package obs is the simulator's observability layer: a versioned,
+// machine-readable description of what a run (or a whole evaluation
+// matrix) computed.
+//
+// The paper's evaluation is a pipeline from raw event counters to
+// normalized cross-protocol figures; obs makes every stage of that
+// pipeline inspectable after the fact. A Manifest (schema v1) records
+// the full core.Config, the git revision of the binary, every counter,
+// the network activity, the per-class miss profile, the energy
+// breakdown and — when profiling was enabled — the kernel dispatch
+// statistics, queue-depth and miss-latency histograms, and per-phase
+// timers. The encoder and decoder round-trip exactly: a decoded run
+// reproduces bit-identical counters, energies and derived figures, so
+// cmd/tables can regenerate any figure from a saved JSON file with
+// zero re-simulation.
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// Revision returns the git revision baked into the binary by the Go
+// toolchain ("unknown" for test binaries and unstamped builds), with a
+// "-dirty" suffix when the working tree was modified.
+func Revision() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	rev, dirty := "", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "unknown"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		rev += "-dirty"
+	}
+	return rev
+}
+
+// goVersion is split out so the manifest header stays testable.
+func goVersion() string { return runtime.Version() }

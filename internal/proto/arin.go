@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/mesh"
-	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topo"
@@ -53,6 +52,7 @@ type Arin struct {
 
 // NewArin builds the DiCo-Arin engine on ctx.
 func NewArin(ctx *Context) *Arin {
+	ctx.bindPower()
 	if ctx.Areas.Count > cache.MaxSimAreas {
 		panic(fmt.Sprintf("arin: %d areas exceed the simulator's limit of %d",
 			ctx.Areas.Count, cache.MaxSimAreas))
@@ -110,10 +110,10 @@ func (p *Arin) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()
 		t.stallL1(addr, func() { p.Access(tile, addr, write, onDone) })
 		return
 	}
-	ctx.Ev(power.EvL1TagRead)
+	ctx.pw.L1TagRead.Inc()
 	if line := t.l1.Lookup(addr); line != nil {
 		if !write {
-			ctx.Ev(power.EvL1DataRead)
+			ctx.pw.L1DataRead.Inc()
 			ctx.Profile.Hits++
 			ctx.observeRetired(tile, addr, false, true, false)
 			ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
@@ -123,7 +123,7 @@ func (p *Arin) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()
 		case arOwnerModified, arOwnerExclusive:
 			line.State = arOwnerModified
 			line.Dirty = true
-			ctx.Ev(power.EvL1DataWrite)
+			ctx.pw.L1DataWrite.Inc()
 			ctx.Profile.Hits++
 			ctx.observeRetired(tile, addr, true, true, false)
 			ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
@@ -138,7 +138,7 @@ func (p *Arin) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()
 	e := t.mshr.Allocate(addr, write, uint64(ctx.Kernel.Now()))
 	e.OnComplete = onDone
 	r := arReq{addr: addr, requestor: tile, write: write, forwarder: -1}
-	ctx.Ev(power.EvL1CAccess)
+	ctx.pw.L1CAccess.Inc()
 	if ptr, ok := t.l1c.Lookup(addr); ok && topo.Tile(ptr) != tile && !ctx.Cfg.NoPrediction {
 		r.predicted = true
 		e.Tag = int(MissPredFail)
@@ -163,7 +163,7 @@ func (p *Arin) ownerWriteHit(tile topo.Tile, addr cache.Addr, line *cache.Line, 
 	if sharers == 0 {
 		line.State = arOwnerModified
 		line.Dirty = true
-		ctx.Ev(power.EvL1DataWrite)
+		ctx.pw.L1DataWrite.Inc()
 		ctx.Profile.Hits++
 		ctx.observeRetired(tile, addr, true, true, false)
 		ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
@@ -181,22 +181,22 @@ func (p *Arin) ownerWriteHit(tile topo.Tile, addr cache.Addr, line *cache.Line, 
 	line.State = arOwnerModified
 	line.Dirty = true
 	line.Sharers = 0
-	ctx.Ev(power.EvL1DataWrite)
-	ctx.Ev(power.EvL1TagWrite)
+	ctx.pw.L1DataWrite.Inc()
+	ctx.pw.L1TagWrite.Inc()
 }
 
 func (p *Arin) invalidateSharer(tile topo.Tile, addr cache.Addr, requestor topo.Tile) {
 	ctx := p.ctx
 	t := p.tiles[tile]
-	ctx.Ev(power.EvL1TagRead)
+	ctx.pw.L1TagRead.Inc()
 	if _, ok := t.l1.Invalidate(addr); ok {
-		ctx.Ev(power.EvL1TagWrite)
+		ctx.pw.L1TagWrite.Inc()
 	}
 	if e, ok := t.mshr.Lookup(addr); ok {
 		e.InvalidatedWhilePending = true
 	}
 	t.l1c.Update(addr, int16(requestor))
-	ctx.Ev(power.EvL1CUpdate)
+	ctx.pw.L1CUpdate.Inc()
 	ctx.SendCtl(tile, requestor, func() {
 		if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
 			e.SharerAcks--
@@ -217,7 +217,7 @@ func (p *Arin) atL1(r arReq, tile topo.Tile) {
 		t.stallL1(r.addr, func() { p.atL1(r, tile) })
 		return
 	}
-	ctx.Ev(power.EvL1TagRead)
+	ctx.pw.L1TagRead.Inc()
 	line := t.l1.Lookup(r.addr)
 	switch {
 	case line != nil && arIsOwner(line.State):
@@ -232,8 +232,8 @@ func (p *Arin) atL1(r arReq, tile topo.Tile) {
 			if line.State != arOwnerShared {
 				line.State = arOwnerShared
 			}
-			ctx.Ev(power.EvL1TagWrite)
-			ctx.Ev(power.EvL1DataRead)
+			ctx.pw.L1TagWrite.Inc()
+			ctx.pw.L1DataRead.Inc()
 			p.deliver(r, tile, arShared, false, int16(tile))
 			return
 		}
@@ -244,7 +244,7 @@ func (p *Arin) atL1(r arReq, tile topo.Tile) {
 		// A provider supplies inside its area; the new copy is a
 		// provider too (Section IV-B's optimization).
 		p.classifyMiss(r, byProvider)
-		ctx.Ev(power.EvL1DataRead)
+		ctx.pw.L1DataRead.Inc()
 		p.deliver(r, tile, arProvider, false, int16(tile))
 	default:
 		// Forward to the home, recording the forwarder so the home
@@ -271,8 +271,8 @@ func (p *Arin) dissolveOwnership(r arReq, owner topo.Tile, line *cache.Line) {
 	line.Dirty = false
 	line.Sharers = 0 // former sharers survive silently; broadcast covers them
 	line.Owner = -1
-	ctx.Ev(power.EvL1TagWrite)
-	ctx.Ev(power.EvL1DataRead)
+	ctx.pw.L1TagWrite.Inc()
+	ctx.pw.L1DataRead.Inc()
 	p.deliver(r, owner, arProvider, false, int16(owner))
 	home := ctx.HomeOf(r.addr)
 	reqArea := p.areaOf(r.requestor)
@@ -286,7 +286,7 @@ func (p *Arin) dissolveOwnership(r arReq, owner topo.Tile, line *cache.Line) {
 		propos[reqArea] = p.areaIdx(r.requestor)
 		p.insertL2Inter(home, r.addr, dirty, propos, func() {
 			if p.tiles[home].l2c.Invalidate(r.addr) {
-				ctx.Ev(power.EvL2CUpdate)
+				ctx.pw.L2CUpdate.Inc()
 			}
 			delete(p.recalls[home], r.addr)
 			p.tiles[home].wakeHome(ctx.Kernel, r.addr)
@@ -311,11 +311,11 @@ func (p *Arin) ownerWriteSupply(r arReq, owner topo.Tile, line *cache.Line) {
 		sharer := p.tileAt(area, int8(i))
 		ctx.SendCtl(owner, sharer, func() { p.invalidateSharer(sharer, r.addr, r.requestor) })
 	})
-	ctx.Ev(power.EvL1DataRead)
-	ctx.Ev(power.EvL1TagWrite)
+	ctx.pw.L1DataRead.Inc()
+	ctx.pw.L1TagWrite.Inc()
 	p.tiles[owner].l1.Invalidate(r.addr)
 	p.tiles[owner].l1c.Update(r.addr, int16(r.requestor))
-	ctx.Ev(power.EvL1CUpdate)
+	ctx.pw.L1CUpdate.Inc()
 	p.deliver(r, owner, arOwnerModified, true, -1)
 	home := ctx.HomeOf(r.addr)
 	stamp := ctx.Kernel.Now()
@@ -339,8 +339,8 @@ func (p *Arin) atHome(r arReq) {
 		th.stallHome(r.addr, func() { p.atHome(r) })
 		return
 	}
-	ctx.Ev(power.EvL2TagRead)
-	ctx.Ev(power.EvL2CAccess)
+	ctx.pw.L2TagRead.Inc()
+	ctx.pw.L2CAccess.Inc()
 	if ptr, ok := th.l2c.Lookup(r.addr); ok && th.l2.Peek(r.addr) == nil {
 		ownerTile := topo.Tile(ptr)
 		if ownerTile == r.requestor || r.forwards >= maxForwards {
@@ -357,7 +357,7 @@ func (p *Arin) atHome(r arReq) {
 		// A stale Change_Owner may have re-installed an L2C$ pointer
 		// after the block returned home; the L2 line wins.
 		if th.l2c.Invalidate(r.addr) {
-			ctx.Ev(power.EvL2CUpdate)
+			ctx.pw.L2CUpdate.Inc()
 		}
 	}
 	if l2line == nil {
@@ -408,11 +408,11 @@ func (p *Arin) homeInter(r arReq, home topo.Tile, l2line *cache.Line) {
 			} else {
 				l2line.ProPos[fwdArea] = -1
 			}
-			ctx.Ev(power.EvL2TagWrite)
+			ctx.pw.L2TagWrite.Inc()
 		}
 	}
 	p.classifyMiss(r, byHome)
-	ctx.Ev(power.EvL2DataRead)
+	ctx.pw.L2DataRead.Inc()
 	// The reply carries the identity of the area's provider so the
 	// requestor's L1C$ points at it for the next miss.
 	hint := int16(-1)
@@ -423,7 +423,7 @@ func (p *Arin) homeInter(r arReq, home topo.Tile, l2line *cache.Line) {
 		}
 	} else {
 		l2line.ProPos[reqArea] = p.areaIdx(r.requestor)
-		ctx.Ev(power.EvL2TagWrite)
+		ctx.pw.L2TagWrite.Inc()
 	}
 	th.l2.Touch(l2line)
 	p.deliver(r, home, arProvider, false, hint)
@@ -455,9 +455,9 @@ func (p *Arin) homeOwned(r arReq, home topo.Tile, l2line *cache.Line) {
 			sharer := p.tileAt(area, int8(i))
 			ctx.SendCtl(home, sharer, func() { p.invalidateSharer(sharer, r.addr, r.requestor) })
 		})
-		ctx.Ev(power.EvL2DataRead)
+		ctx.pw.L2DataRead.Inc()
 		th.l2.Invalidate(r.addr)
-		ctx.Ev(power.EvL2TagWrite)
+		ctx.pw.L2TagWrite.Inc()
 		p.updateL2C(home, r.addr, r.requestor)
 		p.deliver(r, home, arOwnerModified, true, -1)
 		return
@@ -469,8 +469,8 @@ func (p *Arin) homeOwned(r arReq, home topo.Tile, l2line *cache.Line) {
 			l2line.AreaTag = int8(reqArea)
 		}
 		l2line.Sharers |= areaBit(ctx.Areas, r.requestor)
-		ctx.Ev(power.EvL2DataRead)
-		ctx.Ev(power.EvL2TagWrite)
+		ctx.pw.L2DataRead.Inc()
+		ctx.pw.L2TagWrite.Inc()
 		p.deliver(r, home, arShared, false, -1)
 		return
 	}
@@ -485,8 +485,8 @@ func (p *Arin) homeOwned(r arReq, home topo.Tile, l2line *cache.Line) {
 	l2line.ProPos[reqArea] = p.areaIdx(r.requestor)
 	l2line.Sharers = 0
 	l2line.AreaTag = -1
-	ctx.Ev(power.EvL2DataRead)
-	ctx.Ev(power.EvL2TagWrite)
+	ctx.pw.L2DataRead.Inc()
+	ctx.pw.L2TagWrite.Inc()
 	p.deliver(r, home, arProvider, false, -1)
 }
 
@@ -502,8 +502,8 @@ func (p *Arin) broadcastInvalidation(r arReq, home topo.Tile, l2line *cache.Line
 	th.homeBusy[r.addr] = true
 	dirty := l2line.Dirty
 	th.l2.Invalidate(r.addr)
-	ctx.Ev(power.EvL2TagWrite)
-	ctx.Ev(power.EvL2DataRead)
+	ctx.pw.L2TagWrite.Inc()
+	ctx.pw.L2DataRead.Inc()
 	p.updateL2C(home, r.addr, r.requestor)
 
 	expected := ctx.NumTiles() - 1 // broadcast destinations
@@ -516,15 +516,15 @@ func (p *Arin) broadcastInvalidation(r arReq, home topo.Tile, l2line *cache.Line
 	}
 	deliverInv := func(dst topo.Tile) {
 		t := p.tiles[dst]
-		ctx.Ev(power.EvL1TagRead)
+		ctx.pw.L1TagRead.Inc()
 		if _, ok := t.l1.Invalidate(r.addr); ok {
-			ctx.Ev(power.EvL1TagWrite)
+			ctx.pw.L1TagWrite.Inc()
 		}
 		if e, ok := t.mshr.Lookup(r.addr); ok && dst != r.requestor {
 			e.InvalidatedWhilePending = true
 		}
 		t.l1c.Update(r.addr, int16(r.requestor))
-		ctx.Ev(power.EvL1CUpdate)
+		ctx.pw.L1CUpdate.Inc()
 		if dst == r.requestor {
 			return
 		}
@@ -540,9 +540,9 @@ func (p *Arin) broadcastInvalidation(r arReq, home topo.Tile, l2line *cache.Line
 	}
 	// The mesh broadcast excludes the source tile: invalidate the home
 	// tile's own L1 copy inline (it is not among the counted acks).
-	ctx.Ev(power.EvL1TagRead)
+	ctx.pw.L1TagRead.Inc()
 	if _, ok := th.l1.Invalidate(r.addr); ok {
-		ctx.Ev(power.EvL1TagWrite)
+		ctx.pw.L1TagWrite.Inc()
 	}
 	if e, ok := th.mshr.Lookup(r.addr); ok && home != r.requestor {
 		e.InvalidatedWhilePending = true
@@ -629,9 +629,9 @@ func (p *Arin) evictL2Inter(home topo.Tile, victim cache.Line, then func()) {
 	}
 	deliverInv := func(dst topo.Tile) {
 		t := p.tiles[dst]
-		ctx.Ev(power.EvL1TagRead)
+		ctx.pw.L1TagRead.Inc()
 		if _, ok := t.l1.Invalidate(victimAddr); ok {
-			ctx.Ev(power.EvL1TagWrite)
+			ctx.pw.L1TagWrite.Inc()
 		}
 		if e, ok := t.mshr.Lookup(victimAddr); ok {
 			e.InvalidatedWhilePending = true
@@ -646,9 +646,9 @@ func (p *Arin) evictL2Inter(home topo.Tile, victim cache.Line, then func()) {
 	}
 	// Invalidate the home tile's own L1 copy inline (the broadcast
 	// excludes the source tile, and its ack is not counted).
-	ctx.Ev(power.EvL1TagRead)
+	ctx.pw.L1TagRead.Inc()
 	if _, ok := th.l1.Invalidate(victimAddr); ok {
-		ctx.Ev(power.EvL1TagWrite)
+		ctx.pw.L1TagWrite.Inc()
 	}
 	if e, ok := th.mshr.Lookup(victimAddr); ok {
 		e.InvalidatedWhilePending = true
@@ -686,8 +686,8 @@ func (p *Arin) fillL1(tile topo.Tile, addr cache.Addr, state cache.State, dirty 
 	ctx := p.ctx
 	ctx.Trace(addr, "fill at %d state=%d", tile, state)
 	t := p.tiles[tile]
-	ctx.Ev(power.EvL1TagWrite)
-	ctx.Ev(power.EvL1DataWrite)
+	ctx.pw.L1TagWrite.Inc()
+	ctx.pw.L1DataWrite.Inc()
 	if line := t.l1.Peek(addr); line != nil {
 		line.State = state
 		line.Dirty = line.Dirty || dirty
@@ -725,7 +725,7 @@ func (p *Arin) evictL1(tile topo.Tile, victim cache.Line) {
 	case arShared, arProvider:
 		if victim.Owner >= 0 {
 			t.l1c.Update(victim.Addr, victim.Owner)
-			ctx.Ev(power.EvL1CUpdate)
+			ctx.pw.L1CUpdate.Inc()
 		}
 	default: // owner states
 		area := p.areaOf(tile)
@@ -763,7 +763,7 @@ func (p *Arin) transferOwnership(from topo.Tile, addr cache.Addr, area int,
 			p.transferOwnership(target, addr, area, rest, vector, dirty, evictor)
 			return
 		}
-		ctx.Ev(power.EvL1TagRead)
+		ctx.pw.L1TagRead.Inc()
 		line := t.l1.Peek(addr)
 		if line == nil || line.State != arShared {
 			p.transferOwnership(target, addr, area, rest, vector&^(uint64(1)<<uint(idx)), dirty, evictor)
@@ -773,7 +773,7 @@ func (p *Arin) transferOwnership(from topo.Tile, addr cache.Addr, area int,
 		line.Dirty = dirty
 		line.Sharers = vector &^ (uint64(1) << uint(idx))
 		line.Owner = -1
-		ctx.Ev(power.EvL1TagWrite)
+		ctx.pw.L1TagWrite.Inc()
 		home := ctx.HomeOf(addr)
 		stamp := ctx.Kernel.Now()
 		ctx.SendCtl(target, home, func() {
@@ -788,7 +788,7 @@ func (p *Arin) transferOwnership(from topo.Tile, addr cache.Addr, area int,
 					l.Owner = int16(target)
 				} else {
 					st.l1c.Update(addr, int16(target))
-					ctx.Ev(power.EvL1CUpdate)
+					ctx.pw.L1CUpdate.Inc()
 				}
 			})
 		})
@@ -805,12 +805,12 @@ func (p *Arin) writebackToHome(tile topo.Tile, addr cache.Addr, dirty bool, area
 	if leftover != 0 {
 		areaTag = int8(area)
 	}
-	ctx.Ev(power.EvL1DataRead)
+	ctx.pw.L1DataRead.Inc()
 	ctx.SendData(tile, home, func() {
 		p.ownerStamp[home][addr] = ctx.Kernel.Now()
 		p.insertL2Owned(home, addr, dirty, areaTag, leftover, func() {
 			if p.tiles[home].l2c.Invalidate(addr) {
-				ctx.Ev(power.EvL2CUpdate)
+				ctx.pw.L2CUpdate.Inc()
 			}
 			delete(p.recalls[home], addr)
 			p.tiles[home].wakeHome(ctx.Kernel, addr)
@@ -833,7 +833,7 @@ func (p *Arin) updateL2C(home topo.Tile, addr cache.Addr, owner topo.Tile) {
 	ctx := p.ctx
 	th := p.tiles[home]
 	evicted, displaced := th.l2c.Update(addr, int16(owner))
-	ctx.Ev(power.EvL2CUpdate)
+	ctx.pw.L2CUpdate.Inc()
 	if displaced {
 		p.recallOwnership(home, evicted)
 	}
@@ -875,7 +875,7 @@ func (p *Arin) relinquish(home, owner topo.Tile, addr cache.Addr) {
 		t.stallL1(addr, func() { p.relinquish(home, owner, addr) })
 		return
 	}
-	ctx.Ev(power.EvL1TagRead)
+	ctx.pw.L1TagRead.Inc()
 	line := t.l1.Peek(addr)
 	if line == nil || !arIsOwner(line.State) {
 		ctx.Trace(addr, "relinquish at %d found no owner line", owner)
@@ -888,13 +888,13 @@ func (p *Arin) relinquish(home, owner topo.Tile, addr cache.Addr) {
 	line.Dirty = false
 	line.Sharers = 0
 	line.Owner = -1
-	ctx.Ev(power.EvL1TagWrite)
-	ctx.Ev(power.EvL1DataRead)
+	ctx.pw.L1TagWrite.Inc()
+	ctx.pw.L1DataRead.Inc()
 	ctx.SendData(owner, home, func() {
 		p.ownerStamp[home][addr] = ctx.Kernel.Now()
 		p.insertL2Owned(home, addr, dirty, int8(area), sharers, func() {
 			if p.tiles[home].l2c.Invalidate(addr) {
-				ctx.Ev(power.EvL2CUpdate)
+				ctx.pw.L2CUpdate.Inc()
 			}
 			delete(p.recalls[home], addr)
 			p.tiles[home].wakeHome(ctx.Kernel, addr)
@@ -938,8 +938,8 @@ func (p *Arin) insertL2(home topo.Tile, addr cache.Addr, dirty bool, state cache
 		}
 	}
 	if line := th.l2.Peek(addr); line != nil {
-		ctx.Ev(power.EvL2TagWrite)
-		ctx.Ev(power.EvL2DataWrite)
+		ctx.pw.L2TagWrite.Inc()
+		ctx.pw.L2DataWrite.Inc()
 		line.State = state
 		th.l2.Touch(line)
 		apply(line)
@@ -952,7 +952,7 @@ func (p *Arin) insertL2(home topo.Tile, addr cache.Addr, dirty bool, state cache
 		// copies, then retry the insertion.
 		snapshot := *victim
 		th.l2.Invalidate(snapshot.Addr)
-		ctx.Ev(power.EvL2TagWrite)
+		ctx.pw.L2TagWrite.Inc()
 		retry := func() { p.insertL2(home, addr, dirty, state, areaTag, sharers, propos, then) }
 		if snapshot.State == l2ArinInter {
 			p.evictL2Inter(home, snapshot, retry)
@@ -961,8 +961,8 @@ func (p *Arin) insertL2(home topo.Tile, addr cache.Addr, dirty bool, state cache
 		}
 		return
 	}
-	ctx.Ev(power.EvL2TagWrite)
-	ctx.Ev(power.EvL2DataWrite)
+	ctx.pw.L2TagWrite.Inc()
+	ctx.pw.L2DataWrite.Inc()
 	th.l2.Fill(victim, addr, state)
 	apply(victim)
 }
@@ -998,9 +998,9 @@ func (p *Arin) evictL2OwnedVictim(home topo.Tile, victim cache.Line, then func()
 		sharer := p.tileAt(area, int8(i))
 		ctx.SendCtl(home, sharer, func() {
 			t := p.tiles[sharer]
-			ctx.Ev(power.EvL1TagRead)
+			ctx.pw.L1TagRead.Inc()
 			if _, ok := t.l1.Invalidate(victimAddr); ok {
-				ctx.Ev(power.EvL1TagWrite)
+				ctx.pw.L1TagWrite.Inc()
 			}
 			if e, ok := t.mshr.Lookup(victimAddr); ok {
 				e.InvalidatedWhilePending = true

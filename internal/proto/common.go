@@ -25,6 +25,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/memctrl"
 	"repro/internal/mesh"
+	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topo"
@@ -150,6 +151,23 @@ func DefaultConfig() Config {
 	}
 }
 
+// PowerHandles holds pre-resolved counter handles for the power-event
+// namespace of internal/power — the engines' hottest increment sites.
+// bindPower resolves each handle exactly once per Context, so an event
+// on the protocol fast path is a direct pointer bump instead of a map
+// lookup in stats.Set. The counter names (and hence the export
+// namespace seen by the power model and the obs manifest) are
+// unchanged: handle X still feeds the counter power.EvX addresses.
+type PowerHandles struct {
+	L1TagRead, L1TagWrite   *stats.Counter
+	L1DataRead, L1DataWrite *stats.Counter
+	L2TagRead, L2TagWrite   *stats.Counter
+	L2DataRead, L2DataWrite *stats.Counter
+	DirRead, DirWrite       *stats.Counter
+	L1CAccess, L1CUpdate    *stats.Counter
+	L2CAccess, L2CUpdate    *stats.Counter
+}
+
 // Context wires one protocol engine to its chip.
 type Context struct {
 	Kernel *sim.Kernel
@@ -160,6 +178,10 @@ type Context struct {
 
 	Counters stats.Set
 	Profile  MissProfile
+
+	// pw is the pre-resolved power-event counter set; every engine
+	// constructor calls bindPower before first use.
+	pw PowerHandles
 
 	// Observer, when non-nil, receives every reference retirement
 	// (see Observer). It must not schedule events or mutate protocol
@@ -215,7 +237,29 @@ func (c *Context) HomeOf(a cache.Addr) topo.Tile {
 	return topo.Tile(uint64(a) % uint64(c.NumTiles()))
 }
 
-// Ev increments a power event counter.
+// bindPower resolves the power-event counter handles. Registering
+// every name up front (in the power package's declaration order) also
+// fixes the counter namespace: all four protocols export the same
+// counter set in the same order, which keeps manifests comparable
+// across protocols.
+func (c *Context) bindPower() {
+	if c.pw.L1TagRead != nil {
+		return
+	}
+	s := &c.Counters
+	c.pw = PowerHandles{
+		L1TagRead: s.Handle(power.EvL1TagRead), L1TagWrite: s.Handle(power.EvL1TagWrite),
+		L1DataRead: s.Handle(power.EvL1DataRead), L1DataWrite: s.Handle(power.EvL1DataWrite),
+		L2TagRead: s.Handle(power.EvL2TagRead), L2TagWrite: s.Handle(power.EvL2TagWrite),
+		L2DataRead: s.Handle(power.EvL2DataRead), L2DataWrite: s.Handle(power.EvL2DataWrite),
+		DirRead: s.Handle(power.EvDirRead), DirWrite: s.Handle(power.EvDirWrite),
+		L1CAccess: s.Handle(power.EvL1CAccess), L1CUpdate: s.Handle(power.EvL1CUpdate),
+		L2CAccess: s.Handle(power.EvL2CAccess), L2CUpdate: s.Handle(power.EvL2CUpdate),
+	}
+}
+
+// Ev increments a power event counter by name (cold paths; hot sites
+// use the pre-resolved PowerHandles).
 func (c *Context) Ev(name string) { c.Counters.Inc(name) }
 
 // EvN adds n to a power event counter.

@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"repro/internal/cache"
-	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topo"
@@ -47,6 +46,7 @@ type DiCo struct {
 
 // NewDiCo builds the DiCo engine on ctx.
 func NewDiCo(ctx *Context) *DiCo {
+	ctx.bindPower()
 	n := ctx.NumTiles()
 	p := &DiCo{
 		ctx:        ctx,
@@ -88,10 +88,10 @@ func (p *DiCo) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()
 		t.stallL1(addr, func() { p.Access(tile, addr, write, onDone) })
 		return
 	}
-	ctx.Ev(power.EvL1TagRead)
+	ctx.pw.L1TagRead.Inc()
 	if line := t.l1.Lookup(addr); line != nil {
 		if !write {
-			ctx.Ev(power.EvL1DataRead)
+			ctx.pw.L1DataRead.Inc()
 			ctx.Profile.Hits++
 			ctx.observeRetired(tile, addr, false, true, false)
 			ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
@@ -101,7 +101,7 @@ func (p *DiCo) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()
 		case line.State == dcOwnerModified || line.State == dcOwnerExclusive:
 			line.State = dcOwnerModified
 			line.Dirty = true
-			ctx.Ev(power.EvL1DataWrite)
+			ctx.pw.L1DataWrite.Inc()
 			ctx.Profile.Hits++
 			ctx.observeRetired(tile, addr, true, true, false)
 			ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
@@ -119,7 +119,7 @@ func (p *DiCo) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()
 	ctx.Trace(addr, "miss at %d write=%v", tile, write)
 	r := dcReq{addr: addr, requestor: tile, write: write}
 	// Predict the supplier via the L1C$ (Figure 5).
-	ctx.Ev(power.EvL1CAccess)
+	ctx.pw.L1CAccess.Inc()
 	if ptr, ok := t.l1c.Lookup(addr); ok && topo.Tile(ptr) != tile && !ctx.Cfg.NoPrediction {
 		r.predicted = true
 		e.Tag = int(MissPredOwner)
@@ -144,7 +144,7 @@ func (p *DiCo) ownerWriteHit(tile topo.Tile, addr cache.Addr, line *cache.Line, 
 		line.State = dcOwnerModified
 		line.Dirty = true
 		line.Sharers = 0
-		ctx.Ev(power.EvL1DataWrite)
+		ctx.pw.L1DataWrite.Inc()
 		ctx.Profile.Hits++
 		ctx.observeRetired(tile, addr, true, true, false)
 		ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
@@ -162,8 +162,8 @@ func (p *DiCo) ownerWriteHit(tile topo.Tile, addr cache.Addr, line *cache.Line, 
 	line.State = dcOwnerModified
 	line.Dirty = true
 	line.Sharers = 0
-	ctx.Ev(power.EvL1DataWrite)
-	ctx.Ev(power.EvL1TagWrite)
+	ctx.pw.L1DataWrite.Inc()
+	ctx.pw.L1TagWrite.Inc()
 }
 
 // atL1 handles a request arriving at an L1 (by prediction or forwarded
@@ -175,7 +175,7 @@ func (p *DiCo) atL1(r dcReq, tile topo.Tile) {
 		t.stallL1(r.addr, func() { p.atL1(r, tile) })
 		return
 	}
-	ctx.Ev(power.EvL1TagRead)
+	ctx.pw.L1TagRead.Inc()
 	line := t.l1.Lookup(r.addr)
 	if line == nil || !dcIsOwner(line.State) {
 		// Misprediction (or stale forward): to the home.
@@ -204,8 +204,8 @@ func (p *DiCo) atL1(r dcReq, tile topo.Tile) {
 	if line.State != dcOwnerShared {
 		line.State = dcOwnerShared
 	}
-	ctx.Ev(power.EvL1TagWrite)
-	ctx.Ev(power.EvL1DataRead)
+	ctx.pw.L1TagWrite.Inc()
+	ctx.pw.L1DataRead.Inc()
 	p.deliverData(r.requestor, r.addr, tile, dcShared, false, int16(tile))
 }
 
@@ -229,12 +229,12 @@ func (p *DiCo) ownerWriteSupply(r dcReq, owner topo.Tile, line *cache.Line) {
 		sharer := topo.Tile(i)
 		ctx.SendCtl(owner, sharer, func() { p.invalidateAtL1(sharer, r.addr, r.requestor, r.requestor) })
 	})
-	ctx.Ev(power.EvL1DataRead)
-	ctx.Ev(power.EvL1TagWrite)
+	ctx.pw.L1DataRead.Inc()
+	ctx.pw.L1TagWrite.Inc()
 	p.tiles[owner].l1.Invalidate(r.addr)
 	// The former owner's prediction now points at the new owner.
 	p.tiles[owner].l1c.Update(r.addr, int16(r.requestor))
-	ctx.Ev(power.EvL1CUpdate)
+	ctx.pw.L1CUpdate.Inc()
 	p.deliverData(r.requestor, r.addr, owner, dcOwnerModified, true, -1)
 	home := ctx.HomeOf(r.addr)
 	stamp := ctx.Kernel.Now()
@@ -260,8 +260,8 @@ func (p *DiCo) atHome(r dcReq) {
 		th.stallHome(r.addr, func() { p.atHome(r) })
 		return
 	}
-	ctx.Ev(power.EvL2TagRead)
-	ctx.Ev(power.EvL2CAccess)
+	ctx.pw.L2TagRead.Inc()
+	ctx.pw.L2CAccess.Inc()
 	if ptr, ok := th.l2c.Lookup(r.addr); ok && th.l2.Peek(r.addr) == nil {
 		owner := topo.Tile(ptr)
 		if owner == r.requestor || r.forwards >= maxForwards {
@@ -279,7 +279,7 @@ func (p *DiCo) atHome(r dcReq) {
 		// A stale Change_Owner may have re-installed an L2C$ pointer
 		// after the ownership returned home; the L2 line wins.
 		if th.l2c.Invalidate(r.addr) {
-			ctx.Ev(power.EvL2CUpdate)
+			ctx.pw.L2CUpdate.Inc()
 		}
 		p.homeOwnerSupply(r, home, l2line)
 		return
@@ -327,15 +327,15 @@ func (p *DiCo) homeOwnerSupply(r dcReq, home topo.Tile, l2line *cache.Line) {
 		})
 		dirty := l2line.Dirty
 		th.l2.Invalidate(r.addr)
-		ctx.Ev(power.EvL2TagWrite)
-		ctx.Ev(power.EvL2DataRead)
+		ctx.pw.L2TagWrite.Inc()
+		ctx.pw.L2DataRead.Inc()
 		_ = dirty // the new owner is modified regardless of the L2 copy's state
 		p.updateL2C(home, r.addr, r.requestor)
 		p.deliverData(r.requestor, r.addr, home, dcOwnerModified, true, -1)
 		return
 	}
 	l2line.Sharers |= bit(r.requestor)
-	ctx.Ev(power.EvL2DataRead)
+	ctx.pw.L2DataRead.Inc()
 	p.deliverData(r.requestor, r.addr, home, dcShared, false, -1)
 }
 
@@ -345,15 +345,15 @@ func (p *DiCo) invalidateAtL1(tile topo.Tile, addr cache.Addr, ackTo, newOwner t
 	ctx := p.ctx
 	ctx.Trace(addr, "invalidate at %d (ack to %d)", tile, ackTo)
 	t := p.tiles[tile]
-	ctx.Ev(power.EvL1TagRead)
+	ctx.pw.L1TagRead.Inc()
 	if _, ok := t.l1.Invalidate(addr); ok {
-		ctx.Ev(power.EvL1TagWrite)
+		ctx.pw.L1TagWrite.Inc()
 	}
 	if e, ok := t.mshr.Lookup(addr); ok {
 		e.InvalidatedWhilePending = true
 	}
 	t.l1c.Update(addr, int16(newOwner))
-	ctx.Ev(power.EvL1CUpdate)
+	ctx.pw.L1CUpdate.Inc()
 	ctx.SendCtl(tile, ackTo, func() {
 		e, ok := p.tiles[ackTo].mshr.Lookup(addr)
 		if !ok {
@@ -382,7 +382,7 @@ func (p *DiCo) updateL2C(home topo.Tile, addr cache.Addr, owner topo.Tile) {
 	ctx := p.ctx
 	th := p.tiles[home]
 	evicted, displaced := th.l2c.Update(addr, int16(owner))
-	ctx.Ev(power.EvL2CUpdate)
+	ctx.pw.L2CUpdate.Inc()
 	if !displaced {
 		return
 	}
@@ -438,7 +438,7 @@ func (p *DiCo) relinquishOwnership(home, owner topo.Tile, addr cache.Addr) {
 		t.stallL1(addr, func() { p.relinquishOwnership(home, owner, addr) })
 		return
 	}
-	ctx.Ev(power.EvL1TagRead)
+	ctx.pw.L1TagRead.Inc()
 	line := t.l1.Peek(addr)
 	if line == nil || !dcIsOwner(line.State) {
 		// Transfer raced the recall; the new owner's Change_Owner will
@@ -452,8 +452,8 @@ func (p *DiCo) relinquishOwnership(home, owner topo.Tile, addr cache.Addr) {
 	line.Dirty = false
 	line.Sharers = 0
 	line.Owner = -1
-	ctx.Ev(power.EvL1TagWrite)
-	ctx.Ev(power.EvL1DataRead)
+	ctx.pw.L1TagWrite.Inc()
+	ctx.pw.L1DataRead.Inc()
 	ctx.SendData(owner, home, func() {
 		p.ownerStamp[home][addr] = ctx.Kernel.Now()
 		p.insertL2Owned(home, addr, dirty, sharers, func() {
@@ -482,8 +482,8 @@ func (p *DiCo) fillL1(tile topo.Tile, addr cache.Addr, state cache.State, dirty 
 	ctx := p.ctx
 	ctx.Trace(addr, "fill at %d state=%d dirty=%v", tile, state, dirty)
 	t := p.tiles[tile]
-	ctx.Ev(power.EvL1TagWrite)
-	ctx.Ev(power.EvL1DataWrite)
+	ctx.pw.L1TagWrite.Inc()
+	ctx.pw.L1DataWrite.Inc()
 	if line := t.l1.Peek(addr); line != nil {
 		line.State = state
 		line.Dirty = line.Dirty || dirty
@@ -518,7 +518,7 @@ func (p *DiCo) evictL1(tile topo.Tile, victim cache.Line) {
 	if victim.State == dcShared {
 		if victim.Owner >= 0 {
 			t.l1c.Update(victim.Addr, victim.Owner)
-			ctx.Ev(power.EvL1CUpdate)
+			ctx.pw.L1CUpdate.Inc()
 		}
 		return
 	}
@@ -560,7 +560,7 @@ func (p *DiCo) transferOwnership(from topo.Tile, addr cache.Addr, tryList, vecto
 			p.transferOwnership(target, addr, rest, vector, dirty, evictor)
 			return
 		}
-		ctx.Ev(power.EvL1TagRead)
+		ctx.pw.L1TagRead.Inc()
 		line := t.l1.Peek(addr)
 		if line == nil || line.State != dcShared {
 			ctx.Trace(addr, "transfer rejected at %d", target)
@@ -573,7 +573,7 @@ func (p *DiCo) transferOwnership(from topo.Tile, addr cache.Addr, tryList, vecto
 		line.Dirty = dirty
 		line.Sharers = vector &^ bit(target)
 		line.Owner = -1
-		ctx.Ev(power.EvL1TagWrite)
+		ctx.pw.L1TagWrite.Inc()
 		home := ctx.HomeOf(addr)
 		stamp := ctx.Kernel.Now()
 		ctx.SendCtl(target, home, func() { // Change_Owner
@@ -589,7 +589,7 @@ func (p *DiCo) transferOwnership(from topo.Tile, addr cache.Addr, tryList, vecto
 					l.Owner = int16(target)
 				} else {
 					st.l1c.Update(addr, int16(target))
-					ctx.Ev(power.EvL1CUpdate)
+					ctx.pw.L1CUpdate.Inc()
 				}
 			})
 		})
@@ -602,7 +602,7 @@ func (p *DiCo) writebackToHome(tile topo.Tile, addr cache.Addr, dirty bool, shar
 	ctx := p.ctx
 	ctx.Trace(addr, "writeback to home from %d sharers=%#x", tile, sharers)
 	home := ctx.HomeOf(addr)
-	ctx.Ev(power.EvL1DataRead)
+	ctx.pw.L1DataRead.Inc()
 	ctx.SendData(tile, home, func() {
 		// Stamp the return of ownership so a Change_Owner that was
 		// sent earlier but arrives later cannot resurrect a stale
@@ -611,7 +611,7 @@ func (p *DiCo) writebackToHome(tile topo.Tile, addr cache.Addr, dirty bool, shar
 		p.insertL2Owned(home, addr, dirty, sharers, nil)
 		// The home's pointer to the old L1 owner is obsolete.
 		if p.tiles[home].l2c.Invalidate(addr) {
-			ctx.Ev(power.EvL2CUpdate)
+			ctx.pw.L2CUpdate.Inc()
 		}
 		delete(p.recalls[home], addr)
 		p.tiles[home].wakeHome(ctx.Kernel, addr)
@@ -627,8 +627,8 @@ func (p *DiCo) insertL2Owned(home topo.Tile, addr cache.Addr, dirty bool, sharer
 	ctx.Trace(addr, "insert L2-owned at %d sharers=%#x", home, sharers)
 	th := p.tiles[home]
 	if line := th.l2.Peek(addr); line != nil {
-		ctx.Ev(power.EvL2TagWrite)
-		ctx.Ev(power.EvL2DataWrite)
+		ctx.pw.L2TagWrite.Inc()
+		ctx.pw.L2DataWrite.Inc()
 		line.Dirty = line.Dirty || dirty
 		line.Sharers |= sharers
 		th.l2.Touch(line)
@@ -644,14 +644,14 @@ func (p *DiCo) insertL2Owned(home topo.Tile, addr cache.Addr, dirty bool, sharer
 		// copies, then retry the insertion.
 		snapshot := *victim
 		th.l2.Invalidate(snapshot.Addr)
-		ctx.Ev(power.EvL2TagWrite)
+		ctx.pw.L2TagWrite.Inc()
 		p.evictL2Owned(home, snapshot, func() {
 			p.insertL2Owned(home, addr, dirty, sharers, then)
 		})
 		return
 	}
-	ctx.Ev(power.EvL2TagWrite)
-	ctx.Ev(power.EvL2DataWrite)
+	ctx.pw.L2TagWrite.Inc()
+	ctx.pw.L2DataWrite.Inc()
 	th.l2.Fill(victim, addr, l2Present)
 	victim.Dirty = dirty
 	victim.Sharers = sharers
@@ -687,9 +687,9 @@ func (p *DiCo) evictL2Owned(home topo.Tile, victim cache.Line, then func()) {
 		sharer := topo.Tile(i)
 		ctx.SendCtl(home, sharer, func() {
 			t := p.tiles[sharer]
-			ctx.Ev(power.EvL1TagRead)
+			ctx.pw.L1TagRead.Inc()
 			if _, ok := t.l1.Invalidate(victimAddr); ok {
-				ctx.Ev(power.EvL1TagWrite)
+				ctx.pw.L1TagWrite.Inc()
 			}
 			if e, ok := t.mshr.Lookup(victimAddr); ok {
 				e.InvalidatedWhilePending = true

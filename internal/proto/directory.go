@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/cache"
-	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topo"
@@ -44,6 +43,7 @@ type Directory struct {
 
 // NewDirectory builds the directory engine on ctx.
 func NewDirectory(ctx *Context) *Directory {
+	ctx.bindPower()
 	d := &Directory{
 		ctx:        ctx,
 		tiles:      make([]*tileState, ctx.NumTiles()),
@@ -94,10 +94,10 @@ func (d *Directory) Access(tile topo.Tile, addr cache.Addr, write bool, onDone f
 		t.stallL1(addr, func() { d.Access(tile, addr, write, onDone) })
 		return
 	}
-	ctx.Ev(power.EvL1TagRead)
+	ctx.pw.L1TagRead.Inc()
 	if line := t.l1.Lookup(addr); line != nil {
 		if !write {
-			ctx.Ev(power.EvL1DataRead)
+			ctx.pw.L1DataRead.Inc()
 			ctx.Profile.Hits++
 			ctx.observeRetired(tile, addr, false, true, false)
 			ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
@@ -106,7 +106,7 @@ func (d *Directory) Access(tile topo.Tile, addr cache.Addr, write bool, onDone f
 		if line.State == dirModified || line.State == dirExclusive {
 			line.State = dirModified
 			line.Dirty = true
-			ctx.Ev(power.EvL1DataWrite)
+			ctx.pw.L1DataWrite.Inc()
 			ctx.Profile.Hits++
 			ctx.observeRetired(tile, addr, true, true, false)
 			ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
@@ -145,8 +145,8 @@ func (d *Directory) atHome(r dirReq) {
 		th.stallHome(r.addr, func() { d.atHome(r) })
 		return
 	}
-	ctx.Ev(power.EvL2TagRead)
-	ctx.Ev(power.EvDirRead)
+	ctx.pw.L2TagRead.Inc()
+	ctx.pw.DirRead.Inc()
 	dline := th.dir.Lookup(r.addr)
 	if dline != nil {
 		ctx.Trace(r.addr, "atHome req=%d write=%v fwd=%d owner=%d sharers=%#x", r.requestor, r.write, r.forwards, dline.Owner, dline.Sharers)
@@ -160,7 +160,7 @@ func (d *Directory) atHome(r dirReq) {
 			nl.Owner = int16(r.requestor)
 			nl.Sharers = bit(r.requestor)
 			d.stampNow(home, r.addr)
-			ctx.Ev(power.EvDirWrite)
+			ctx.pw.DirWrite.Inc()
 			d.fetchFromMemory(r, home)
 		})
 		return
@@ -196,9 +196,9 @@ func (d *Directory) homeRead(r dirReq, dline *cache.Line) {
 	home := ctx.HomeOf(r.addr)
 	th := d.tiles[home]
 	if th.l2.Lookup(r.addr) != nil {
-		ctx.Ev(power.EvL2DataRead)
+		ctx.pw.L2DataRead.Inc()
 		dline.Sharers |= bit(r.requestor)
-		ctx.Ev(power.EvDirWrite)
+		ctx.pw.DirWrite.Inc()
 		d.deliverData(r.requestor, r.addr, home, dirShared, false)
 		return
 	}
@@ -211,7 +211,7 @@ func (d *Directory) homeRead(r dirReq, dline *cache.Line) {
 			}
 		})
 		dline.Sharers |= bit(r.requestor)
-		ctx.Ev(power.EvDirWrite)
+		ctx.pw.DirWrite.Inc()
 		if r.forwards >= maxForwards {
 			ctx.Kernel.AfterArg(retryBackoff, d.atHomeFn, dirReq{r.addr, r.requestor, r.write, 0})
 			return
@@ -225,7 +225,7 @@ func (d *Directory) homeRead(r dirReq, dline *cache.Line) {
 	dline.Owner = int16(r.requestor)
 	dline.Sharers = bit(r.requestor)
 	d.stampNow(home, r.addr)
-	ctx.Ev(power.EvDirWrite)
+	ctx.pw.DirWrite.Inc()
 	d.fetchFromMemory(r, home)
 }
 
@@ -246,12 +246,12 @@ func (d *Directory) homeWrite(r dirReq, dline *cache.Line) {
 	dline.Owner = int16(r.requestor)
 	dline.Sharers = bit(r.requestor)
 	d.stampNow(home, r.addr)
-	ctx.Ev(power.EvDirWrite)
+	ctx.pw.DirWrite.Inc()
 	if th.l2.Lookup(r.addr) != nil {
-		ctx.Ev(power.EvL2DataRead)
+		ctx.pw.L2DataRead.Inc()
 		// The L2 copy is stale once the new owner writes.
 		th.l2.Invalidate(r.addr)
-		ctx.Ev(power.EvL2TagWrite)
+		ctx.pw.L2TagWrite.Inc()
 		d.deliverData(r.requestor, r.addr, home, dirModified, true)
 		return
 	}
@@ -267,7 +267,7 @@ func (d *Directory) atOwner(r dirReq, owner topo.Tile) {
 		to.stallL1(r.addr, func() { d.atOwner(r, owner) })
 		return
 	}
-	ctx.Ev(power.EvL1TagRead)
+	ctx.pw.L1TagRead.Inc()
 	line := to.l1.Lookup(r.addr)
 	if line == nil || (line.State != dirModified && line.State != dirExclusive) {
 		// Ownership moved (eviction/writeback in flight); bounce back.
@@ -285,8 +285,8 @@ func (d *Directory) atOwner(r dirReq, owner topo.Tile) {
 		// Hand the block over; tell the home about the new owner.
 		ctx.Trace(r.addr, "atOwner %d hands over to %d", owner, r.requestor)
 		to.l1.Invalidate(r.addr)
-		ctx.Ev(power.EvL1TagWrite)
-		ctx.Ev(power.EvL1DataRead)
+		ctx.pw.L1TagWrite.Inc()
+		ctx.pw.L1DataRead.Inc()
 		d.deliverData(r.requestor, r.addr, owner, dirModified, true)
 		ctx.SendCtl(owner, home, func() {
 			d.homeDirUpdate(home, r.addr, stamp, func(dl *cache.Line) {
@@ -301,8 +301,8 @@ func (d *Directory) atOwner(r dirReq, owner topo.Tile) {
 	ctx.Trace(r.addr, "atOwner %d downgrades, supplies read to %d", owner, r.requestor)
 	line.State = dirShared
 	line.Dirty = false
-	ctx.Ev(power.EvL1TagWrite)
-	ctx.Ev(power.EvL1DataRead)
+	ctx.pw.L1TagWrite.Inc()
+	ctx.pw.L1DataRead.Inc()
 	d.deliverData(r.requestor, r.addr, owner, dirShared, false)
 	ctx.SendData(owner, home, func() {
 		if d.homeDirUpdate(home, r.addr, stamp, func(dl *cache.Line) {
@@ -323,9 +323,9 @@ func (d *Directory) atOwner(r dirReq, owner topo.Tile) {
 func (d *Directory) atSharerSupply(r dirReq, sharer topo.Tile) {
 	ctx := d.ctx
 	ts := d.tiles[sharer]
-	ctx.Ev(power.EvL1TagRead)
+	ctx.pw.L1TagRead.Inc()
 	if line := ts.l1.Lookup(r.addr); line != nil && line.State == dirShared {
-		ctx.Ev(power.EvL1DataRead)
+		ctx.pw.L1DataRead.Inc()
 		d.deliverData(r.requestor, r.addr, sharer, dirShared, false)
 		return
 	}
@@ -358,7 +358,7 @@ func (d *Directory) homeDirUpdate(home topo.Tile, addr cache.Addr, stamp sim.Tim
 	d.ownerStamp[home][addr] = stamp
 	if dl := th.dir.Peek(addr); dl != nil {
 		fn(dl)
-		d.ctx.Ev(power.EvDirWrite)
+		d.ctx.pw.DirWrite.Inc()
 		d.ctx.Trace(addr, "homeDirUpdate -> owner=%d sharers=%#x (stamp %d)", dl.Owner, dl.Sharers, stamp)
 	}
 	th.wakeHome(d.ctx.Kernel, addr)
@@ -377,9 +377,9 @@ func (d *Directory) invalidateAtL1(tile topo.Tile, addr cache.Addr, requestor to
 	ctx := d.ctx
 	t := d.tiles[tile]
 	ctx.Trace(addr, "invalidate at %d (ack to %d)", tile, requestor)
-	ctx.Ev(power.EvL1TagRead)
+	ctx.pw.L1TagRead.Inc()
 	if _, ok := t.l1.Invalidate(addr); ok {
-		ctx.Ev(power.EvL1TagWrite)
+		ctx.pw.L1TagWrite.Inc()
 	}
 	if e, ok := t.mshr.Lookup(addr); ok {
 		e.InvalidatedWhilePending = true
@@ -445,8 +445,8 @@ func (d *Directory) fillL1(tile topo.Tile, addr cache.Addr, state cache.State, d
 	ctx := d.ctx
 	t := d.tiles[tile]
 	ctx.Trace(addr, "fill at %d state=%d dirty=%v", tile, state, dirty)
-	ctx.Ev(power.EvL1TagWrite)
-	ctx.Ev(power.EvL1DataWrite)
+	ctx.pw.L1TagWrite.Inc()
+	ctx.pw.L1DataWrite.Inc()
 	if line := t.l1.Peek(addr); line != nil {
 		line.State = state
 		line.Dirty = line.Dirty || dirty
@@ -475,7 +475,7 @@ func (d *Directory) evictL1(tile topo.Tile, victim cache.Line) {
 	home := ctx.HomeOf(victim.Addr)
 	dirty := victim.Dirty
 	stamp := ctx.Kernel.Now()
-	ctx.Ev(power.EvL1DataRead)
+	ctx.pw.L1DataRead.Inc()
 	ctx.SendData(tile, home, func() {
 		if d.homeDirUpdate(home, victim.Addr, stamp, func(dl *cache.Line) {
 			dl.Owner = -1
@@ -496,8 +496,8 @@ func (d *Directory) evictL1(tile topo.Tile, victim cache.Line) {
 func (d *Directory) insertL2Data(home topo.Tile, addr cache.Addr, dirty bool) {
 	ctx := d.ctx
 	th := d.tiles[home]
-	ctx.Ev(power.EvL2TagWrite)
-	ctx.Ev(power.EvL2DataWrite)
+	ctx.pw.L2TagWrite.Inc()
+	ctx.pw.L2DataWrite.Inc()
 	if line := th.l2.Peek(addr); line != nil {
 		line.Dirty = line.Dirty || dirty
 		th.l2.Touch(line)
@@ -544,7 +544,7 @@ func (d *Directory) allocDirEntry(home topo.Tile, addr cache.Addr, then func(*ca
 	th.dir.Fill(victim, addr, 1)
 	victim.Owner = -1
 	victim.Sharers = 0
-	ctx.Ev(power.EvDirWrite)
+	ctx.pw.DirWrite.Inc()
 	th.homeBusy[victimAddr] = true
 	th.homeBusy[addr] = true
 	pending := popcount(holders)
@@ -556,7 +556,7 @@ func (d *Directory) allocDirEntry(home topo.Tile, addr cache.Addr, then func(*ca
 				ctx.SendData(home, mc, func() { ctx.Mem.WriteLatency() })
 			}
 			th.l2.Invalidate(victimAddr)
-			ctx.Ev(power.EvL2TagWrite)
+			ctx.pw.L2TagWrite.Inc()
 		}
 		delete(th.homeBusy, victimAddr)
 		delete(th.homeBusy, addr)
@@ -572,9 +572,9 @@ func (d *Directory) allocDirEntry(home topo.Tile, addr cache.Addr, then func(*ca
 		holder := topo.Tile(i)
 		ctx.SendCtl(home, holder, func() {
 			t := d.tiles[holder]
-			ctx.Ev(power.EvL1TagRead)
+			ctx.pw.L1TagRead.Inc()
 			if old, ok := t.l1.Invalidate(victimAddr); ok {
-				ctx.Ev(power.EvL1TagWrite)
+				ctx.pw.L1TagWrite.Inc()
 				if old.Dirty {
 					// Dirty data rides back with the ack and is
 					// flushed to memory from the home.

@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"repro/internal/cache"
-	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/topo"
@@ -44,6 +43,7 @@ type Providers struct {
 
 // NewProviders builds the DiCo-Providers engine on ctx.
 func NewProviders(ctx *Context) *Providers {
+	ctx.bindPower()
 	if ctx.Areas.Count > cache.MaxSimAreas {
 		panic(fmt.Sprintf("providers: %d areas exceed the simulator's limit of %d",
 			ctx.Areas.Count, cache.MaxSimAreas))
@@ -129,10 +129,10 @@ func (p *Providers) Access(tile topo.Tile, addr cache.Addr, write bool, onDone f
 		t.stallL1(addr, func() { p.Access(tile, addr, write, onDone) })
 		return
 	}
-	ctx.Ev(power.EvL1TagRead)
+	ctx.pw.L1TagRead.Inc()
 	if line := t.l1.Lookup(addr); line != nil {
 		if !write {
-			ctx.Ev(power.EvL1DataRead)
+			ctx.pw.L1DataRead.Inc()
 			ctx.Profile.Hits++
 			ctx.observeRetired(tile, addr, false, true, false)
 			ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
@@ -142,7 +142,7 @@ func (p *Providers) Access(tile topo.Tile, addr cache.Addr, write bool, onDone f
 		case pvOwnerModified, pvOwnerExclusive:
 			line.State = pvOwnerModified
 			line.Dirty = true
-			ctx.Ev(power.EvL1DataWrite)
+			ctx.pw.L1DataWrite.Inc()
 			ctx.Profile.Hits++
 			ctx.observeRetired(tile, addr, true, true, false)
 			ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
@@ -159,7 +159,7 @@ func (p *Providers) Access(tile topo.Tile, addr cache.Addr, write bool, onDone f
 	e := t.mshr.Allocate(addr, write, uint64(ctx.Kernel.Now()))
 	e.OnComplete = onDone
 	r := pvReq{addr: addr, requestor: tile, write: write, fromOwner: -1}
-	ctx.Ev(power.EvL1CAccess)
+	ctx.pw.L1CAccess.Inc()
 	if ptr, ok := t.l1c.Lookup(addr); ok && topo.Tile(ptr) != tile && !ctx.Cfg.NoPrediction {
 		r.predicted = true
 		e.Tag = int(MissPredFail) // upgraded at supply time
@@ -189,7 +189,7 @@ func (p *Providers) ownerWriteHit(tile topo.Tile, addr cache.Addr, line *cache.L
 	if localSharers == 0 && nProviders == 0 {
 		line.State = pvOwnerModified
 		line.Dirty = true
-		ctx.Ev(power.EvL1DataWrite)
+		ctx.pw.L1DataWrite.Inc()
 		ctx.Profile.Hits++
 		ctx.observeRetired(tile, addr, true, true, false)
 		ctx.Kernel.After(ctx.Cfg.L1HitLatency, onDone)
@@ -206,8 +206,8 @@ func (p *Providers) ownerWriteHit(tile topo.Tile, addr cache.Addr, line *cache.L
 	for a := range line.ProPos {
 		line.ProPos[a] = -1
 	}
-	ctx.Ev(power.EvL1DataWrite)
-	ctx.Ev(power.EvL1TagWrite)
+	ctx.pw.L1DataWrite.Inc()
+	ctx.pw.L1TagWrite.Inc()
 }
 
 // startInvalidation sends invalidations for an owner's local sharers
@@ -251,15 +251,15 @@ func (p *Providers) startInvalidation(owner topo.Tile, addr cache.Addr, line *ca
 func (p *Providers) invalidateSharer(tile topo.Tile, addr cache.Addr, requestor topo.Tile) {
 	ctx := p.ctx
 	t := p.tiles[tile]
-	ctx.Ev(power.EvL1TagRead)
+	ctx.pw.L1TagRead.Inc()
 	if _, ok := t.l1.Invalidate(addr); ok {
-		ctx.Ev(power.EvL1TagWrite)
+		ctx.pw.L1TagWrite.Inc()
 	}
 	if e, ok := t.mshr.Lookup(addr); ok {
 		e.InvalidatedWhilePending = true
 	}
 	t.l1c.Update(addr, int16(requestor))
-	ctx.Ev(power.EvL1CUpdate)
+	ctx.pw.L1CUpdate.Inc()
 	ctx.SendCtl(tile, requestor, func() {
 		if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
 			e.SharerAcks--
@@ -274,12 +274,12 @@ func (p *Providers) invalidateSharer(tile topo.Tile, addr cache.Addr, requestor 
 func (p *Providers) invalidateProvider(tile topo.Tile, addr cache.Addr, requestor topo.Tile) {
 	ctx := p.ctx
 	t := p.tiles[tile]
-	ctx.Ev(power.EvL1TagRead)
+	ctx.pw.L1TagRead.Inc()
 	area := p.areaOf(tile)
 	var sharers uint64
 	wasProvider := false
 	if old, ok := t.l1.Invalidate(addr); ok {
-		ctx.Ev(power.EvL1TagWrite)
+		ctx.pw.L1TagWrite.Inc()
 		if old.State == pvProvider {
 			sharers = old.Sharers &^ areaBit(ctx.Areas, tile)
 			wasProvider = true
@@ -306,7 +306,7 @@ func (p *Providers) invalidateProvider(tile topo.Tile, addr cache.Addr, requesto
 		ctx.SendCtl(tile, sharer, func() { p.invalidateSharer(sharer, addr, requestor) })
 	})
 	t.l1c.Update(addr, int16(requestor))
-	ctx.Ev(power.EvL1CUpdate)
+	ctx.pw.L1CUpdate.Inc()
 	ctx.SendCtl(tile, requestor, func() {
 		if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
 			e.ProviderAcks--
@@ -324,7 +324,7 @@ func (p *Providers) atL1(r pvReq, tile topo.Tile) {
 		t.stallL1(r.addr, func() { p.atL1(r, tile) })
 		return
 	}
-	ctx.Ev(power.EvL1TagRead)
+	ctx.pw.L1TagRead.Inc()
 	line := t.l1.Lookup(r.addr)
 	switch {
 	case line != nil && pvIsOwner(line.State):
@@ -338,8 +338,8 @@ func (p *Providers) atL1(r pvReq, tile topo.Tile) {
 			// Provider supplies inside the area: the shortened miss.
 			p.classify(r, byProvider)
 			line.Sharers |= areaBit(ctx.Areas, r.requestor)
-			ctx.Ev(power.EvL1TagWrite)
-			ctx.Ev(power.EvL1DataRead)
+			ctx.pw.L1TagWrite.Inc()
+			ctx.pw.L1DataRead.Inc()
 			p.deliver(r, tile, pvShared, false, int16(tile), nil)
 			return
 		}
@@ -371,8 +371,8 @@ func (p *Providers) ownerReadSupply(r pvReq, owner topo.Tile, line *cache.Line) 
 		if line.State != pvOwnerShared {
 			line.State = pvOwnerShared
 		}
-		ctx.Ev(power.EvL1TagWrite)
-		ctx.Ev(power.EvL1DataRead)
+		ctx.pw.L1TagWrite.Inc()
+		ctx.pw.L1DataRead.Inc()
 		p.deliver(r, owner, pvShared, false, int16(owner), nil)
 		return
 	}
@@ -391,8 +391,8 @@ func (p *Providers) ownerReadSupply(r pvReq, owner topo.Tile, line *cache.Line) 
 	if line.State != pvOwnerShared {
 		line.State = pvOwnerShared
 	}
-	ctx.Ev(power.EvL1TagWrite)
-	ctx.Ev(power.EvL1DataRead)
+	ctx.pw.L1TagWrite.Inc()
+	ctx.pw.L1DataRead.Inc()
 	p.deliver(r, owner, pvProvider, false, int16(owner), nil)
 }
 
@@ -405,11 +405,11 @@ func (p *Providers) ownerWriteSupply(r pvReq, owner topo.Tile, line *cache.Line)
 	}
 	localSharers := line.Sharers &^ areaBit(ctx.Areas, owner)
 	p.startInvalidation(owner, r.addr, line, r.requestor, localSharers)
-	ctx.Ev(power.EvL1DataRead)
-	ctx.Ev(power.EvL1TagWrite)
+	ctx.pw.L1DataRead.Inc()
+	ctx.pw.L1TagWrite.Inc()
 	p.tiles[owner].l1.Invalidate(r.addr)
 	p.tiles[owner].l1c.Update(r.addr, int16(r.requestor))
-	ctx.Ev(power.EvL1CUpdate)
+	ctx.pw.L1CUpdate.Inc()
 	p.deliver(r, owner, pvOwnerModified, true, -1, nil)
 	home := ctx.HomeOf(r.addr)
 	stamp := ctx.Kernel.Now()
@@ -434,12 +434,12 @@ func (p *Providers) repairStaleProPo(notProvider topo.Tile, addr cache.Addr, sup
 		st := p.tiles[supplier]
 		if ol := st.l1.Peek(addr); ol != nil && pvIsOwner(ol.State) && ol.ProPos[area] == idx {
 			ol.ProPos[area] = -1
-			ctx.Ev(power.EvL1TagWrite)
+			ctx.pw.L1TagWrite.Inc()
 			return
 		}
 		if l2line := st.l2.Peek(addr); l2line != nil && l2line.ProPos[area] == idx {
 			l2line.ProPos[area] = -1
-			ctx.Ev(power.EvL2TagWrite)
+			ctx.pw.L2TagWrite.Inc()
 		}
 	})
 }
@@ -453,8 +453,8 @@ func (p *Providers) atHome(r pvReq) {
 		th.stallHome(r.addr, func() { p.atHome(r) })
 		return
 	}
-	ctx.Ev(power.EvL2TagRead)
-	ctx.Ev(power.EvL2CAccess)
+	ctx.pw.L2TagRead.Inc()
+	ctx.pw.L2CAccess.Inc()
 	if ptr, ok := th.l2c.Lookup(r.addr); ok && th.l2.Peek(r.addr) == nil {
 		ownerTile := topo.Tile(ptr)
 		if ownerTile == r.requestor || r.forwards >= maxForwards {
@@ -470,7 +470,7 @@ func (p *Providers) atHome(r pvReq) {
 		// A stale Change_Owner may have re-installed an L2C$ pointer
 		// after the ownership returned home; the L2 line wins.
 		if th.l2c.Invalidate(r.addr) {
-			ctx.Ev(power.EvL2CUpdate)
+			ctx.pw.L2CUpdate.Inc()
 		}
 		p.homeOwnerSupply(r, home, l2line)
 		return
@@ -521,9 +521,9 @@ func (p *Providers) homeOwnerSupply(r pvReq, home topo.Tile, l2line *cache.Line)
 		var propos [cache.MaxSimAreas]int8
 		copy(propos[:], l2line.ProPos[:])
 		dirty := l2line.Dirty
-		ctx.Ev(power.EvL2DataRead)
+		ctx.pw.L2DataRead.Inc()
 		th.l2.Invalidate(r.addr)
-		ctx.Ev(power.EvL2TagWrite)
+		ctx.pw.L2TagWrite.Inc()
 		p.updateL2C(home, r.addr, r.requestor)
 		p.deliver(r, home, pvOwnerShared, dirty, -1, &propos)
 		return
@@ -545,9 +545,9 @@ func (p *Providers) homeOwnerSupply(r pvReq, home topo.Tile, l2line *cache.Line)
 			ctx.SendCtl(home, provTile, func() { p.invalidateProvider(provTile, r.addr, r.requestor) })
 		}
 	}
-	ctx.Ev(power.EvL2DataRead)
+	ctx.pw.L2DataRead.Inc()
 	th.l2.Invalidate(r.addr)
-	ctx.Ev(power.EvL2TagWrite)
+	ctx.pw.L2TagWrite.Inc()
 	p.updateL2C(home, r.addr, r.requestor)
 	p.deliver(r, home, pvOwnerModified, true, -1, nil)
 }
@@ -572,8 +572,8 @@ func (p *Providers) fillL1(r pvReq, state cache.State, dirty bool,
 	supplier int16, propos *[cache.MaxSimAreas]int8) {
 	ctx := p.ctx
 	t := p.tiles[r.requestor]
-	ctx.Ev(power.EvL1TagWrite)
-	ctx.Ev(power.EvL1DataWrite)
+	ctx.pw.L1TagWrite.Inc()
+	ctx.pw.L1DataWrite.Inc()
 	var selfSharers uint64
 	if line := t.l1.Peek(r.addr); line != nil {
 		if r.write && line.State == pvProvider {
@@ -636,7 +636,7 @@ func (p *Providers) evictL1(tile topo.Tile, victim cache.Line) {
 	case victim.State == pvShared:
 		if victim.Owner >= 0 {
 			t.l1c.Update(victim.Addr, victim.Owner)
-			ctx.Ev(power.EvL1CUpdate)
+			ctx.pw.L1CUpdate.Inc()
 		}
 	case victim.State == pvProvider:
 		sharers := victim.Sharers &^ areaBit(ctx.Areas, tile)
@@ -647,10 +647,10 @@ func (p *Providers) evictL1(tile topo.Tile, victim cache.Line) {
 			// No_Provider to the owner.
 			p.notifyOwner(tile, victim.Addr, ownerHint, func(ownerTile topo.Tile, ol *cache.Line) {
 				ol.ProPos[area] = -1
-				ctx.Ev(power.EvL1TagWrite)
+				ctx.pw.L1TagWrite.Inc()
 			}, func(l2line *cache.Line) {
 				l2line.ProPos[area] = -1
-				ctx.Ev(power.EvL2TagWrite)
+				ctx.pw.L2TagWrite.Inc()
 			})
 		}
 	default: // owner states
@@ -681,10 +681,10 @@ func (p *Providers) transferProvidership(from topo.Tile, addr cache.Addr, area i
 		p.invalidateStragglers(from, addr, area, vector)
 		p.notifyOwner(from, addr, ownerHint, func(ownerTile topo.Tile, ol *cache.Line) {
 			ol.ProPos[area] = -1
-			ctx.Ev(power.EvL1TagWrite)
+			ctx.pw.L1TagWrite.Inc()
 		}, func(l2line *cache.Line) {
 			l2line.ProPos[area] = -1
-			ctx.Ev(power.EvL2TagWrite)
+			ctx.pw.L2TagWrite.Inc()
 		})
 		return
 	}
@@ -696,7 +696,7 @@ func (p *Providers) transferProvidership(from topo.Tile, addr cache.Addr, area i
 			p.transferProvidership(target, addr, area, rest, vector, ownerHint)
 			return
 		}
-		ctx.Ev(power.EvL1TagRead)
+		ctx.pw.L1TagRead.Inc()
 		line := t.l1.Peek(addr)
 		if line == nil || line.State != pvShared {
 			p.transferProvidership(target, addr, area, rest, vector&^(uint64(1)<<uint(idx)), ownerHint)
@@ -715,20 +715,20 @@ func (p *Providers) transferProvidership(from topo.Tile, addr cache.Addr, area i
 					l.Owner = int16(target)
 				} else {
 					st.l1c.Update(addr, int16(target))
-					ctx.Ev(power.EvL1CUpdate)
+					ctx.pw.L1CUpdate.Inc()
 				}
 			})
 		})
-		ctx.Ev(power.EvL1TagWrite)
+		ctx.pw.L1TagWrite.Inc()
 		// Change_Provider to the owner (acked; the ack gates further
 		// transfers, modelled by the ordering guard at the home).
 		tIdx := p.areaIdx(target)
 		p.notifyOwner(target, addr, ownerHint, func(ownerTile topo.Tile, ol *cache.Line) {
 			ol.ProPos[area] = tIdx
-			ctx.Ev(power.EvL1TagWrite)
+			ctx.pw.L1TagWrite.Inc()
 		}, func(l2line *cache.Line) {
 			l2line.ProPos[area] = tIdx
-			ctx.Ev(power.EvL2TagWrite)
+			ctx.pw.L2TagWrite.Inc()
 		})
 	})
 }
@@ -744,12 +744,12 @@ func (p *Providers) notifyOwner(from topo.Tile, addr cache.Addr, ownerHint int16
 	viaHome := func() {
 		ctx.SendCtl(from, home, func() {
 			th := p.tiles[home]
-			ctx.Ev(power.EvL2CAccess)
+			ctx.pw.L2CAccess.Inc()
 			if ptr, ok := th.l2c.Lookup(addr); ok {
 				ownerTile := topo.Tile(ptr)
 				ctx.SendCtl(home, ownerTile, func() {
 					ot := p.tiles[ownerTile]
-					ctx.Ev(power.EvL1TagRead)
+					ctx.pw.L1TagRead.Inc()
 					if ol := ot.l1.Peek(addr); ol != nil && pvIsOwner(ol.State) {
 						onL1Owner(ownerTile, ol)
 						ctx.SendCtl(ownerTile, from, func() {}) // ack
@@ -770,7 +770,7 @@ func (p *Providers) notifyOwner(from topo.Tile, addr cache.Addr, ownerHint int16
 		ownerTile := topo.Tile(ownerHint)
 		ctx.SendCtl(from, ownerTile, func() {
 			ot := p.tiles[ownerTile]
-			ctx.Ev(power.EvL1TagRead)
+			ctx.pw.L1TagRead.Inc()
 			if ol := ot.l1.Peek(addr); ol != nil && pvIsOwner(ol.State) {
 				onL1Owner(ownerTile, ol)
 				ctx.SendCtl(ownerTile, from, func() {}) // ack
@@ -809,7 +809,7 @@ func (p *Providers) transferOwnership(from topo.Tile, addr cache.Addr, area int,
 			p.transferOwnership(target, addr, area, rest, vector, dirty, propos, evictor)
 			return
 		}
-		ctx.Ev(power.EvL1TagRead)
+		ctx.pw.L1TagRead.Inc()
 		line := t.l1.Peek(addr)
 		if line == nil || line.State != pvShared {
 			p.transferOwnership(target, addr, area, rest, vector&^(uint64(1)<<uint(idx)), dirty, propos, evictor)
@@ -820,7 +820,7 @@ func (p *Providers) transferOwnership(from topo.Tile, addr cache.Addr, area int,
 		line.Sharers = vector &^ (uint64(1) << uint(idx))
 		copy(line.ProPos[:], propos[:])
 		line.Owner = -1
-		ctx.Ev(power.EvL1TagWrite)
+		ctx.pw.L1TagWrite.Inc()
 		home := ctx.HomeOf(addr)
 		stamp := ctx.Kernel.Now()
 		ctx.SendCtl(target, home, func() { // Change_Owner
@@ -836,7 +836,7 @@ func (p *Providers) transferOwnership(from topo.Tile, addr cache.Addr, area int,
 					l.Owner = int16(target)
 				} else {
 					st.l1c.Update(addr, int16(target))
-					ctx.Ev(power.EvL1CUpdate)
+					ctx.pw.L1CUpdate.Inc()
 				}
 			})
 		})
@@ -855,12 +855,12 @@ func (p *Providers) writebackToHome(tile topo.Tile, addr cache.Addr, dirty bool,
 	// conservatively invalidated: their fills drop on arrival and they
 	// re-miss against the home.
 	p.invalidateStragglers(tile, addr, leftoverArea, leftover)
-	ctx.Ev(power.EvL1DataRead)
+	ctx.pw.L1DataRead.Inc()
 	ctx.SendData(tile, home, func() {
 		p.ownerStamp[home][addr] = ctx.Kernel.Now()
 		p.insertL2Owned(home, addr, dirty, propos, func() {
 			if p.tiles[home].l2c.Invalidate(addr) {
-				ctx.Ev(power.EvL2CUpdate)
+				ctx.pw.L2CUpdate.Inc()
 			}
 			delete(p.recalls[home], addr)
 			p.tiles[home].wakeHome(ctx.Kernel, addr)
@@ -879,9 +879,9 @@ func (p *Providers) invalidateStragglers(from topo.Tile, addr cache.Addr, area i
 		straggler := p.tileAt(area, int8(i))
 		ctx.SendCtl(from, straggler, func() {
 			t := p.tiles[straggler]
-			ctx.Ev(power.EvL1TagRead)
+			ctx.pw.L1TagRead.Inc()
 			if _, ok := t.l1.Invalidate(addr); ok {
-				ctx.Ev(power.EvL1TagWrite)
+				ctx.pw.L1TagWrite.Inc()
 			}
 			if e, ok := t.mshr.Lookup(addr); ok {
 				e.InvalidatedWhilePending = true
@@ -908,7 +908,7 @@ func (p *Providers) updateL2C(home topo.Tile, addr cache.Addr, owner topo.Tile) 
 	ctx := p.ctx
 	th := p.tiles[home]
 	evicted, displaced := th.l2c.Update(addr, int16(owner))
-	ctx.Ev(power.EvL2CUpdate)
+	ctx.pw.L2CUpdate.Inc()
 	if displaced {
 		p.recallOwnership(home, evicted)
 	}
@@ -950,7 +950,7 @@ func (p *Providers) relinquish(home, owner topo.Tile, addr cache.Addr) {
 		t.stallL1(addr, func() { p.relinquish(home, owner, addr) })
 		return
 	}
-	ctx.Ev(power.EvL1TagRead)
+	ctx.pw.L1TagRead.Inc()
 	line := t.l1.Peek(addr)
 	if line == nil || !pvIsOwner(line.State) {
 		return
@@ -968,13 +968,13 @@ func (p *Providers) relinquish(home, owner topo.Tile, addr cache.Addr) {
 	for a := range line.ProPos {
 		line.ProPos[a] = -1
 	}
-	ctx.Ev(power.EvL1TagWrite)
-	ctx.Ev(power.EvL1DataRead)
+	ctx.pw.L1TagWrite.Inc()
+	ctx.pw.L1DataRead.Inc()
 	ctx.SendData(owner, home, func() {
 		p.ownerStamp[home][addr] = ctx.Kernel.Now()
 		p.insertL2Owned(home, addr, dirty, propos, func() {
 			if p.tiles[home].l2c.Invalidate(addr) {
-				ctx.Ev(power.EvL2CUpdate)
+				ctx.pw.L2CUpdate.Inc()
 			}
 			delete(p.recalls[home], addr)
 			p.tiles[home].wakeHome(ctx.Kernel, addr)
@@ -990,8 +990,8 @@ func (p *Providers) insertL2Owned(home topo.Tile, addr cache.Addr, dirty bool,
 	ctx := p.ctx
 	th := p.tiles[home]
 	if line := th.l2.Peek(addr); line != nil {
-		ctx.Ev(power.EvL2TagWrite)
-		ctx.Ev(power.EvL2DataWrite)
+		ctx.pw.L2TagWrite.Inc()
+		ctx.pw.L2DataWrite.Inc()
 		line.Dirty = line.Dirty || dirty
 		for a := range propos {
 			if propos[a] >= 0 {
@@ -1011,14 +1011,14 @@ func (p *Providers) insertL2Owned(home topo.Tile, addr cache.Addr, dirty bool,
 		// copies through its providers, then retry the insertion.
 		snapshot := *victim
 		th.l2.Invalidate(snapshot.Addr)
-		ctx.Ev(power.EvL2TagWrite)
+		ctx.pw.L2TagWrite.Inc()
 		p.evictL2Owned(home, snapshot, func() {
 			p.insertL2Owned(home, addr, dirty, propos, then)
 		})
 		return
 	}
-	ctx.Ev(power.EvL2TagWrite)
-	ctx.Ev(power.EvL2DataWrite)
+	ctx.pw.L2TagWrite.Inc()
+	ctx.pw.L2DataWrite.Inc()
 	th.l2.Fill(victim, addr, l2Present)
 	victim.Dirty = dirty
 	copy(victim.ProPos[:], propos[:])
@@ -1061,11 +1061,11 @@ func (p *Providers) evictL2Owned(home topo.Tile, victim cache.Line, then func())
 		area := a
 		ctx.SendCtl(home, prov, func() {
 			t := p.tiles[prov]
-			ctx.Ev(power.EvL1TagRead)
+			ctx.pw.L1TagRead.Inc()
 			var sharers uint64
 			wasProvider := false
 			if old, ok := t.l1.Invalidate(victimAddr); ok {
-				ctx.Ev(power.EvL1TagWrite)
+				ctx.pw.L1TagWrite.Inc()
 				if old.State == pvProvider {
 					sharers = old.Sharers &^ areaBit(ctx.Areas, prov)
 					wasProvider = true
@@ -1086,9 +1086,9 @@ func (p *Providers) evictL2Owned(home topo.Tile, victim cache.Line, then func())
 				sharer := p.tileAt(area, int8(i))
 				ctx.SendCtl(prov, sharer, func() {
 					st := p.tiles[sharer]
-					ctx.Ev(power.EvL1TagRead)
+					ctx.pw.L1TagRead.Inc()
 					if _, ok := st.l1.Invalidate(victimAddr); ok {
-						ctx.Ev(power.EvL1TagWrite)
+						ctx.pw.L1TagWrite.Inc()
 					}
 					if e, ok := st.mshr.Lookup(victimAddr); ok {
 						e.InvalidatedWhilePending = true

@@ -54,7 +54,8 @@ type Kernel struct {
 	seq    uint64
 	queue  []entry // 4-ary min-heap by (at, seq)
 	rng    *Rand
-	events uint64 // total events executed
+	events uint64   // total events executed
+	prof   *Profile // optional dispatch profiler (nil = off)
 }
 
 // NewKernel returns a kernel whose random source is seeded with seed.
@@ -78,6 +79,9 @@ func (k *Kernel) Pending() int { return len(k.queue) }
 // a hole instead of swapping, so each level copies one entry, not
 // three.
 func (k *Kernel) push(e entry) {
+	if k.prof != nil {
+		k.prof.Scheduled++
+	}
 	h := append(k.queue, entry{})
 	i := len(h) - 1
 	for i > 0 {
@@ -176,12 +180,21 @@ func (k *Kernel) Step() bool {
 	if len(k.queue) == 0 {
 		return false
 	}
+	if k.prof != nil {
+		k.prof.QueueDepth.Observe(uint64(len(k.queue)))
+	}
 	e := k.pop()
 	k.now = e.at
 	k.events++
 	if e.run != nil {
+		if k.prof != nil {
+			k.prof.DispatchedClosure++
+		}
 		e.run()
 	} else {
+		if k.prof != nil {
+			k.prof.DispatchedArg++
+		}
 		e.argFn(e.arg)
 	}
 	return true

@@ -1,0 +1,72 @@
+package sim
+
+import "math/bits"
+
+// Hist is a power-of-two bucketed histogram of uint64 samples.
+// Bucket i counts samples v with bits.Len64(v) == i, i.e. bucket 0
+// holds v == 0 and bucket i >= 1 holds v in [2^(i-1), 2^i). The
+// bucketing is exact, cheap (one CLZ per sample) and needs no
+// configuration, which is what a kernel hot path can afford.
+type Hist struct {
+	Count   uint64
+	Sum     uint64
+	Max     uint64
+	Buckets [65]uint64
+}
+
+// Observe records one sample.
+func (h *Hist) Observe(v uint64) {
+	h.Count++
+	h.Sum += v
+	if v > h.Max {
+		h.Max = v
+	}
+	h.Buckets[bits.Len64(v)]++
+}
+
+// Mean returns the sample mean (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.Count)
+}
+
+// Merge adds other's samples into h.
+func (h *Hist) Merge(other *Hist) {
+	h.Count += other.Count
+	h.Sum += other.Sum
+	if other.Max > h.Max {
+		h.Max = other.Max
+	}
+	for i := range h.Buckets {
+		h.Buckets[i] += other.Buckets[i]
+	}
+}
+
+// Profile collects kernel-level dispatch statistics. It is pure
+// observation: attaching one never schedules events, reorders the
+// queue or touches the clock, so a profiled run's event stream is
+// bit-identical to an unprofiled one.
+type Profile struct {
+	// DispatchedClosure counts events dispatched through the closure
+	// form (At/After); DispatchedArg counts the non-capturing arg
+	// fast path (AtArg/AfterArg).
+	DispatchedClosure uint64
+	DispatchedArg     uint64
+	// Scheduled counts events pushed into the queue.
+	Scheduled uint64
+	// QueueDepth samples the pending-event count at every dispatch.
+	QueueDepth Hist
+}
+
+// Dispatched returns the total events dispatched while profiling.
+func (p *Profile) Dispatched() uint64 { return p.DispatchedClosure + p.DispatchedArg }
+
+// SetProfile attaches (or, with nil, detaches) a dispatch profiler.
+// The kernel records into p from the next event on; p's existing
+// tallies are kept, so a profile can span multiple kernels or phases.
+func (k *Kernel) SetProfile(p *Profile) { k.prof = p }
+
+// Profile returns the attached profiler (nil when off).
+func (k *Kernel) Profile() *Profile { return k.prof }

@@ -1,0 +1,67 @@
+package sim
+
+import "testing"
+
+// TestHistBuckets checks the power-of-two bucketing contract: bucket 0
+// holds zero, bucket i holds [2^(i-1), 2^i).
+func TestHistBuckets(t *testing.T) {
+	var h Hist
+	for _, v := range []uint64{0, 1, 2, 3, 4, 7, 8, 1023, 1024} {
+		h.Observe(v)
+	}
+	want := map[int]uint64{0: 1, 1: 1, 2: 2, 3: 2, 4: 1, 10: 1, 11: 1}
+	for i, n := range want {
+		if h.Buckets[i] != n {
+			t.Errorf("bucket %d = %d, want %d", i, h.Buckets[i], n)
+		}
+	}
+	if h.Count != 9 || h.Max != 1024 {
+		t.Errorf("count/max = %d/%d, want 9/1024", h.Count, h.Max)
+	}
+	if got := h.Mean(); got != float64(0+1+2+3+4+7+8+1023+1024)/9 {
+		t.Errorf("mean = %v", got)
+	}
+	var m Hist
+	m.Merge(&h)
+	m.Merge(&h)
+	if m.Count != 18 || m.Buckets[3] != 4 || m.Max != 1024 {
+		t.Errorf("merge wrong: %+v", m)
+	}
+}
+
+// TestProfileObservesDispatch checks the profiler counts both dispatch
+// forms and samples queue depth without disturbing execution order.
+func TestProfileObservesDispatch(t *testing.T) {
+	run := func(p *Profile) []int {
+		k := NewKernel(7)
+		if p != nil {
+			k.SetProfile(p)
+		}
+		var order []int
+		k.After(2, func() { order = append(order, 1) })
+		k.AfterArg(1, func(a any) { order = append(order, a.(int)) }, 2)
+		k.After(1, func() { order = append(order, 3) })
+		k.Run(0)
+		return order
+	}
+	var prof Profile
+	plain := run(nil)
+	profiled := run(&prof)
+	if len(plain) != 3 || len(profiled) != 3 {
+		t.Fatalf("wrong event counts: %v vs %v", plain, profiled)
+	}
+	for i := range plain {
+		if plain[i] != profiled[i] {
+			t.Fatalf("profiling changed dispatch order: %v vs %v", plain, profiled)
+		}
+	}
+	if prof.DispatchedClosure != 2 || prof.DispatchedArg != 1 || prof.Scheduled != 3 {
+		t.Errorf("profile counts wrong: %+v", prof)
+	}
+	if prof.QueueDepth.Count != 3 {
+		t.Errorf("queue depth sampled %d times, want 3", prof.QueueDepth.Count)
+	}
+	if prof.Dispatched() != 3 {
+		t.Errorf("Dispatched() = %d, want 3", prof.Dispatched())
+	}
+}

@@ -42,6 +42,15 @@ func (s *Set) Get(name string) *Counter {
 	return c
 }
 
+// Handle returns a stable pointer to the named counter, creating it on
+// first use. It is the fast-path companion to Add/Inc: resolve the
+// handle once (at engine or subsystem construction) and bump the
+// counter through the pointer afterwards, turning every hot-path
+// increment from a map lookup into a direct memory write. The handle
+// stays valid across Reset (which zeroes values but keeps counters
+// registered).
+func (s *Set) Handle(name string) *Counter { return s.Get(name) }
+
 // Value returns the current value of name (0 if never touched).
 func (s *Set) Value(name string) uint64 {
 	if c, ok := s.byName[name]; ok {

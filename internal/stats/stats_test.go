@@ -27,6 +27,33 @@ func TestSetBasics(t *testing.T) {
 	}
 }
 
+// TestSetHandle checks the pre-resolved fast path: the handle is
+// stable across later Get/Add calls and across Reset, and bumping it
+// is observable through the named API.
+func TestSetHandle(t *testing.T) {
+	var s Set
+	h := s.Handle("l1.tag.read")
+	h.Inc()
+	h.Add(4)
+	if got := s.Value("l1.tag.read"); got != 5 {
+		t.Errorf("value through handle = %d, want 5", got)
+	}
+	if s.Handle("l1.tag.read") != h || s.Get("l1.tag.read") != h {
+		t.Error("handle is not stable across lookups")
+	}
+	s.Reset()
+	if h.Value != 0 {
+		t.Error("Reset did not zero the handle's counter")
+	}
+	h.Inc()
+	if got := s.Value("l1.tag.read"); got != 1 {
+		t.Error("handle dead after Reset")
+	}
+	if names := s.Names(); len(names) != 1 || names[0] != "l1.tag.read" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
 func TestSetReset(t *testing.T) {
 	var s Set
 	s.Add("x", 10)
