@@ -3,7 +3,9 @@
 // throughput for all four protocols on the paper's default workload,
 // and writes the numbers as JSON so the project's performance
 // trajectory is recorded run over run (BENCH_<pr>.json at the repo
-// root). -smoke shrinks the reference budget for CI.
+// root). -smoke shrinks the reference budget for CI. -compare diffs
+// the fresh numbers against a previous BENCH file and fails on a
+// throughput regression beyond the tolerance.
 package main
 
 import (
@@ -11,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -59,7 +62,9 @@ type Bench struct {
 
 func main() {
 	smoke := flag.Bool("smoke", false, "reduced budget for CI (fast, noisier numbers)")
-	out := flag.String("out", "BENCH_3.json", "output file")
+	out := flag.String("out", "BENCH_4.json", "output file")
+	compare := flag.String("compare", "", "previous BENCH_*.json to diff against; exits 1 on a throughput regression beyond -tolerance")
+	tolerance := flag.Float64("tolerance", 0.15, "with -compare: maximum fractional throughput regression per benchmark")
 	flag.Parse()
 
 	mode, refs, warmup, kernelEvents := "full", 6000, 12000, uint64(8_000_000)
@@ -92,6 +97,62 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+
+	if *compare != "" {
+		if err := compareBench(*compare, &b, *tolerance); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// compareBench prints per-benchmark deltas of fresh against the saved
+// baseline and returns an error if any throughput regressed by more
+// than tolerance. Wall-clock numbers depend on the reference budget,
+// so baselines recorded in a different mode only warn.
+func compareBench(path string, fresh *Bench, tolerance float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base Bench
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: not a bench file: %w", path, err)
+	}
+	fmt.Printf("vs %s (%s@%s):\n", path, base.Mode, base.Revision)
+	if base.Mode != fresh.Mode {
+		fmt.Printf("  baseline mode %q != current mode %q — deltas reported, regression gate skipped\n",
+			base.Mode, fresh.Mode)
+	}
+	type row struct {
+		name      string
+		base, cur float64 // higher is better (throughput)
+	}
+	rows := []row{{"kernel events/s", base.Kernel.EventsPerSec, fresh.Kernel.EventsPerSec}}
+	for _, p := range core.ProtocolNames {
+		bp, ok := base.EndToEnd.Protocols[p]
+		cp, ok2 := fresh.EndToEnd.Protocols[p]
+		if !ok || !ok2 {
+			fmt.Printf("  %-18s missing from %s\n", p, map[bool]string{true: "baseline", false: "current run"}[!ok])
+			continue
+		}
+		rows = append(rows, row{p + " refs/s", bp.RefsPerSec, cp.RefsPerSec})
+	}
+	rows = append(rows, row{"total refs/s", base.EndToEnd.RefsPerSec, fresh.EndToEnd.RefsPerSec})
+	var regressed []string
+	for _, r := range rows {
+		delta := r.cur/r.base - 1
+		mark := ""
+		if delta < -tolerance {
+			mark = "  << regression"
+			regressed = append(regressed, fmt.Sprintf("%s %.1f%%", r.name, -delta*100))
+		}
+		fmt.Printf("  %-18s %12.0f -> %12.0f  %+6.1f%%%s\n", r.name, r.base, r.cur, delta*100, mark)
+	}
+	if len(regressed) > 0 && base.Mode == fresh.Mode {
+		return fmt.Errorf("throughput regressed beyond %.0f%%: %s", tolerance*100, strings.Join(regressed, ", "))
+	}
+	return nil
 }
 
 // kernelBench measures steady-state schedule+dispatch at a 4096-deep

@@ -15,6 +15,8 @@ import (
 	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -33,7 +35,12 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel simulations in -protocols mode (0 = all CPUs)")
 	checkRun := flag.Bool("check", false, "attach the shadow-memory coherence checker and stalled-transaction watchdog (fails the run on any violation)")
 	profile := flag.Bool("profile", false, "collect kernel dispatch/queue-depth statistics, miss-latency histograms and phase timers (reported and exported with -json)")
-	jsonOut := flag.String("json", "", "write an obs manifest (schema v1) with every run's full configuration and counters to this file")
+	jsonOut := flag.String("json", "", "write an obs manifest (schema v2) with every run's full configuration and counters to this file")
+	traceOut := flag.String("trace-out", "", "trace every coherence transaction and write Chrome/Perfetto trace-event JSON to this file (open in ui.perfetto.dev)")
+	traceCap := flag.Int("trace-cap", 0, "max spans retained per run, drop-oldest (0 = default)")
+	sample := flag.Int64("sample", 0, "record a time-series sample of all counters every N cycles (0 = off; exported with -json)")
+	sampleCap := flag.Int("sample-cap", 0, "max time-series samples retained per run, drop-oldest (0 = default)")
+	httpAddr := flag.String("http", "", "serve live telemetry (Prometheus /metrics, mesh heatmap, pprof, expvar) on this address; a bare :port binds localhost only")
 	flag.Parse()
 
 	cfg.Protocol = *protocol
@@ -48,6 +55,26 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Check = *checkRun
 	cfg.Profile = *profile
+	cfg.Trace = *traceOut != ""
+	cfg.TraceCap = *traceCap
+	cfg.SampleEvery = sim.Time(*sample)
+	cfg.SampleCap = *sampleCap
+
+	var live *telemetry.Live
+	if *httpAddr != "" {
+		// The endpoint refreshes from the epoch sampler; arm a default
+		// sampling interval if the user didn't pick one.
+		if cfg.SampleEvery == 0 {
+			cfg.SampleEvery = 5000
+		}
+		live = telemetry.NewLive()
+		addr, err := telemetry.Serve(*httpAddr, live)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cmpsim:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry endpoint: http://%s/ (heatmap, /metrics, /debug/pprof, /debug/vars)\n", addr)
+	}
 
 	// Validate up front so a typoed flag fails with the valid choices
 	// before any simulation starts.
@@ -56,32 +83,27 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *protocols == "" {
-		res, err := core.Run(cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "cmpsim:", err)
-			os.Exit(1)
+	cfgs := []core.Config{cfg}
+	if *protocols != "" {
+		names := strings.Split(*protocols, ",")
+		if *protocols == "all" {
+			names = core.ProtocolNames
 		}
-		report(cfg, res)
-		writeManifest(*jsonOut, res)
-		return
-	}
-
-	names := strings.Split(*protocols, ",")
-	if *protocols == "all" {
-		names = core.ProtocolNames
-	}
-	cfgs := make([]core.Config, len(names))
-	for i, p := range names {
-		cfgs[i] = cfg
-		cfgs[i].Protocol = strings.TrimSpace(p)
-		if err := cfgs[i].Validate(); err != nil {
-			fmt.Fprintln(os.Stderr, "cmpsim:", err)
-			os.Exit(2)
+		cfgs = make([]core.Config, len(names))
+		for i, p := range names {
+			cfgs[i] = cfg
+			cfgs[i].Protocol = strings.TrimSpace(p)
+			if err := cfgs[i].Validate(); err != nil {
+				fmt.Fprintln(os.Stderr, "cmpsim:", err)
+				os.Exit(2)
+			}
 		}
 	}
-	results, err := exp.RunConfigs(cfgs, *workers, func(i int) {
+	results, systems, err := exp.RunSystems(cfgs, *workers, func(i int, s *core.System) {
 		fmt.Fprintf(os.Stderr, "running %s / %s...\n", cfgs[i].Workload, cfgs[i].Protocol)
+		if live != nil && s.Sampler != nil {
+			live.Attach(s.Sampler, cfgs[i].Protocol, cfgs[i].Workload, s.Net.Grid())
+		}
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cmpsim:", err)
@@ -89,18 +111,71 @@ func main() {
 	}
 	for i, res := range results {
 		report(cfgs[i], res)
-		fmt.Println()
+		if len(results) > 1 || i < len(results)-1 {
+			fmt.Println()
+		}
 	}
 	writeManifest(*jsonOut, results...)
-	base := results[0]
-	fmt.Printf("comparison (vs %s):\n", cfgs[0].Protocol)
-	fmt.Printf("  %-12s %10s %10s %12s %12s\n", "protocol", "cycles", "perf", "power/cycle", "flit-links")
-	for i, res := range results {
-		fmt.Printf("  %-12s %10d %9.3fx %11.4g %12d\n",
-			cfgs[i].Protocol, res.Cycles,
-			res.Performance()/base.Performance(),
-			res.PowerPerCycle(), res.Net.FlitLinkCrossing)
+	reportSpans(cfgs, systems, *traceOut)
+	if len(results) > 1 {
+		base := results[0]
+		fmt.Printf("comparison (vs %s):\n", cfgs[0].Protocol)
+		fmt.Printf("  %-12s %10s %10s %12s %12s\n", "protocol", "cycles", "perf", "power/cycle", "flit-links")
+		for i, res := range results {
+			fmt.Printf("  %-12s %10d %9.3fx %11.4g %12d\n",
+				cfgs[i].Protocol, res.Cycles,
+				res.Performance()/base.Performance(),
+				res.PowerPerCycle(), res.Net.FlitLinkCrossing)
+		}
 	}
+}
+
+// reportSpans prints the hop-count analysis of every traced run and
+// exports the Perfetto trace file.
+func reportSpans(cfgs []core.Config, systems []*core.System, traceOut string) {
+	var tracers []*telemetry.Tracer
+	var reports []*telemetry.HopReport
+	for i, s := range systems {
+		if s.Tracer == nil {
+			continue
+		}
+		tracers = append(tracers, s.Tracer)
+		reports = append(reports, telemetry.Analyze(s.Tracer, cfgs[i].Net.DataFlits))
+	}
+	if len(tracers) == 0 {
+		return
+	}
+	for _, r := range reports {
+		fmt.Println()
+		fmt.Print(r.String())
+	}
+	if len(reports) > 1 {
+		fmt.Println()
+		fmt.Print(telemetry.CompareTable(reports...).String())
+	}
+	if traceOut == "" {
+		return
+	}
+	f, err := os.Create(traceOut)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cmpsim:", err)
+		os.Exit(1)
+	}
+	if err := telemetry.WritePerfetto(f, tracers...); err != nil {
+		f.Close()
+		fmt.Fprintln(os.Stderr, "cmpsim:", err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "cmpsim:", err)
+		os.Exit(1)
+	}
+	spans := 0
+	for _, t := range tracers {
+		spans += len(t.Spans())
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d spans, %d protocols) — open in ui.perfetto.dev\n",
+		traceOut, spans, len(tracers))
 }
 
 // writeManifest exports the finished runs as an obs manifest.

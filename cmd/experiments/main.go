@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/obs"
+	"repro/internal/sim"
 )
 
 func main() {
@@ -23,7 +24,9 @@ func main() {
 	workloads := flag.String("workloads", "", "comma-separated workload subset (default: all)")
 	refs := flag.Int("refs", 0, "override measured references per core")
 	workers := flag.Int("workers", 0, "parallel simulations (0 = all CPUs, 1 = serial)")
-	out := flag.String("out", "", "write the sweep as an obs manifest (schema v1) to <dir>/matrix.json; cmd/tables -from regenerates every figure from it without re-simulating")
+	out := flag.String("out", "", "write the sweep as an obs manifest (schema v2) to <dir>/matrix.json; cmd/tables -from regenerates every figure from it without re-simulating")
+	sample := flag.Int64("sample", 0, "record a time-series sample of every run's counters every N cycles (0 = off; exported with -out, plotted with tables -series)")
+	sampleCap := flag.Int("sample-cap", 0, "max time-series samples retained per run, drop-oldest (0 = default)")
 	flag.Parse()
 
 	// Analytic artifacts need no simulation.
@@ -55,6 +58,8 @@ func main() {
 	if *workloads != "" {
 		opt.Workloads = strings.Split(*workloads, ",")
 	}
+	opt.Base.SampleEvery = sim.Time(*sample)
+	opt.Base.SampleCap = *sampleCap
 	opt.Workers = *workers
 	m, err := exp.Run(opt, func(wl, p string) {
 		fmt.Fprintf(os.Stderr, "running %s / %s...\n", wl, p)

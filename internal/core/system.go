@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/cache"
 	"repro/internal/check"
 	"repro/internal/memctrl"
 	"repro/internal/mesh"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 	"repro/internal/topo"
 	"repro/internal/workload"
 )
@@ -53,6 +55,22 @@ type Config struct {
 	// the run is declared stalled (0 = 500k cycles). Only used with
 	// Check.
 	StallBound sim.Time
+
+	// Trace arms the causal transaction tracer (internal/telemetry):
+	// every L1 miss opens a span that follows the transaction through
+	// the mesh. Observation-only: the event stream is bit-identical with
+	// tracing on or off. TraceCap bounds retained spans
+	// (0 = telemetry.DefaultSpanCap, drop-oldest past the cap).
+	Trace    bool
+	TraceCap int
+	// SampleEvery, when > 0, arms the epoch time-series sampler: every
+	// SampleEvery cycles a snapshot of all counters, link occupancy,
+	// queue depths and the energy split is recorded into Result.Series.
+	// The sampler schedules its own tick events but touches no protocol
+	// state, so results are identical with sampling on or off.
+	// SampleCap bounds retained samples (0 = telemetry.DefaultSampleCap).
+	SampleEvery sim.Time
+	SampleCap   int
 }
 
 // DefaultConfig is the paper's evaluated system: 64 tiles, 4 areas,
@@ -111,6 +129,10 @@ type Result struct {
 
 	// Prof is non-nil only when Config.Profile was set.
 	Prof *RunProfile
+
+	// Series is non-nil only when Config.SampleEvery was set: the epoch
+	// time series of the run (warmup and measured phases).
+	Series *telemetry.Series
 }
 
 // Performance returns the work rate (references per cycle), the
@@ -206,10 +228,16 @@ type System struct {
 	Shadow *check.Shadow
 	Dog    *sim.Watchdog
 
+	// Tracer is non-nil only when Cfg.Trace is set; Sampler only when
+	// Cfg.SampleEvery > 0.
+	Tracer  *telemetry.Tracer
+	Sampler *telemetry.Sampler
+
 	// prof is non-nil only when Cfg.Profile is set.
 	prof *RunProfile
 
-	retired []int
+	retired   []int
+	refsTotal uint64
 }
 
 // NewSystem builds a chip from cfg.
@@ -261,7 +289,7 @@ func NewSystem(cfg Config) (*System, error) {
 		}
 		dog = sim.NewWatchdog(kernel, bound/4, proto.StallProbe(eng, kernel, bound))
 	}
-	return &System{
+	s := &System{
 		Cfg:       cfg,
 		Kernel:    kernel,
 		Net:       net,
@@ -276,7 +304,31 @@ func NewSystem(cfg Config) (*System, error) {
 		Dog:       dog,
 		prof:      prof,
 		retired:   make([]int, cfg.Tiles),
-	}, nil
+	}
+	if cfg.Trace {
+		s.Tracer = telemetry.NewTracer(kernel, cfg.Protocol, cfg.Tiles, cfg.TraceCap)
+		ctx.Spans = s.Tracer
+		net.SetObserver(s.Tracer)
+	}
+	if cfg.SampleEvery > 0 {
+		sp, err := storageProtocol(cfg.Protocol)
+		if err != nil {
+			return nil, err
+		}
+		energies := power.Energies(sp, storage.DefaultConfig(cfg.Tiles, cfg.Areas), power.DefaultEnergy())
+		s.Sampler = telemetry.NewSampler(kernel, cfg.SampleEvery, cfg.SampleCap,
+			eng.Stats(), net, energies,
+			func() uint64 { return s.refsTotal }, s.pendingMisses)
+	}
+	return s, nil
+}
+
+// pendingMisses counts the chip-wide outstanding MSHR entries (the
+// sampler's queue-depth signal).
+func (s *System) pendingMisses() int {
+	n := 0
+	s.Engine.ForEachPending(func(topo.Tile, *cache.MSHREntry) { n++ })
+	return n
 }
 
 // runPhase drives every core through refs references, starting each
@@ -303,6 +355,7 @@ func (s *System) runPhase(refs int) (sim.Time, uint64, error) {
 				s.Engine.Access(tile, acc.Addr, acc.Write, func() {
 					s.retired[tile]++
 					totalRefs++
+					s.refsTotal++
 					lastRetire = s.Kernel.Now()
 					step(tile)
 				})
@@ -319,6 +372,7 @@ func (s *System) runPhase(refs int) (sim.Time, uint64, error) {
 					}
 					s.retired[tile]++
 					totalRefs++
+					s.refsTotal++
 					lastRetire = s.Kernel.Now()
 					step(tile)
 				})
@@ -340,6 +394,11 @@ func (s *System) runPhase(refs int) (sim.Time, uint64, error) {
 	// stalled block and dumps its global state.
 	if s.Dog != nil {
 		s.Dog.Arm()
+	}
+	// The sampler's tick chain stops itself when the queue drains at
+	// phase end; re-arm it for this phase.
+	if s.Sampler != nil {
+		s.Sampler.Start()
 	}
 	const watchdogWindow sim.Time = 2_000_000
 	lastProgress := uint64(0)
@@ -366,6 +425,11 @@ func (s *System) runPhase(refs int) (sim.Time, uint64, error) {
 	}
 	// Drain residual traffic (writebacks, acks) so counters are final.
 	s.Kernel.Run(0)
+	// Fencepost sample: the phase's final state, so warmup-vs-steady
+	// curves always include the phase boundary.
+	if s.Sampler != nil {
+		s.Sampler.Snapshot()
+	}
 	return lastRetire, totalRefs, nil
 }
 
@@ -392,6 +456,9 @@ func (s *System) Run() (*Result, error) {
 		return lastRetire, totalRefs, err
 	}
 	if cfg.WarmupRefs > 0 {
+		if s.Sampler != nil {
+			s.Sampler.SetPhase("warmup")
+		}
 		if _, _, err := timedPhase("warmup", cfg.WarmupRefs); err != nil {
 			return nil, err
 		}
@@ -402,6 +469,9 @@ func (s *System) Run() (*Result, error) {
 	}
 	start := s.Kernel.Now()
 	events0 := s.Kernel.EventsRun()
+	if s.Sampler != nil {
+		s.Sampler.SetPhase("measure")
+	}
 	lastRetire, totalRefs, err := timedPhase("measure", cfg.RefsPerCore)
 	if err != nil {
 		return nil, err
@@ -431,6 +501,9 @@ func (s *System) Run() (*Result, error) {
 		DedupSavings: s.Mapper.SavedFraction(),
 		Energies:     energies,
 		Prof:         s.prof,
+	}
+	if s.Sampler != nil {
+		res.Series = s.Sampler.Series()
 	}
 	res.Breakdown = power.Dynamic(res.Counters, res.Net, energies)
 	return res, nil

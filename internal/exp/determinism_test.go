@@ -177,3 +177,47 @@ func TestRunConfigsMatchesRun(t *testing.T) {
 		requireSameResult(t, cfg.Protocol, solo, pooled[i])
 	}
 }
+
+// TestTelemetryNonPerturbing runs each protocol with causal tracing
+// and epoch sampling off and on and requires every observable to be
+// bit-identical. Tracing never schedules an event, so the traced event
+// stream is identical down to the kernel event count; sampling adds
+// its own tick events to the stream but touches no protocol state, so
+// every simulation result still matches exactly (only the event count
+// may differ — it includes the ticks).
+func TestTelemetryNonPerturbing(t *testing.T) {
+	for _, p := range core.ProtocolNames {
+		plain, err := core.Run(detConfig(p))
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+
+		cfg := detConfig(p)
+		cfg.Trace = true
+		traced, err := core.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s traced: %v", p, err)
+		}
+		traced.Config.Trace = false
+		requireSameResult(t, p+" traced-vs-plain", plain, traced)
+
+		cfg = detConfig(p)
+		cfg.SampleEvery = 2000
+		sampled, err := core.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s sampled: %v", p, err)
+		}
+		if sampled.Series == nil || len(sampled.Series.Samples) == 0 {
+			t.Fatalf("%s: sampling produced no series", p)
+		}
+		// Mask the config difference and the sampler's own tick events;
+		// every simulation observable must match.
+		sampled.Config.SampleEvery = 0
+		sampled.Events = plain.Events
+		sampled.Series = nil
+		requireSameResult(t, p+" sampled-vs-plain", plain, sampled)
+		if plain.Series != nil {
+			t.Errorf("%s: unsampled run unexpectedly carries a series", p)
+		}
+	}
+}

@@ -168,6 +168,68 @@ func Run(opt Options, progress func(workload, protocol string)) (*Matrix, error)
 	return m, nil
 }
 
+// RunSystems is RunConfigs for callers that also need each run's built
+// System — the telemetry consumers (tracer, sampler, live endpoint)
+// hang off the System, not the Result. onBuild (optional) is called
+// with each system after construction and before its run starts, never
+// concurrently, so callers can attach live hooks without their own
+// synchronization. Systems land in slot i like results do.
+func RunSystems(cfgs []core.Config, workers int, onBuild func(i int, s *core.System)) ([]*core.Result, []*core.System, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	results := make([]*core.Result, len(cfgs))
+	systems := make([]*core.System, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var (
+		mu   sync.Mutex
+		next int
+		wg   sync.WaitGroup
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if next >= len(cfgs) {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				if err := cfgs[i].Validate(); err != nil {
+					errs[i] = err
+					continue
+				}
+				sys, err := core.NewSystem(cfgs[i])
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				systems[i] = sys
+				if onBuild != nil {
+					mu.Lock()
+					onBuild(i, sys)
+					mu.Unlock()
+				}
+				results[i], errs[i] = sys.Run()
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, fmt.Errorf("config %d (%s/%s): %w", i, cfgs[i].Workload, cfgs[i].Protocol, err)
+		}
+	}
+	return results, systems, nil
+}
+
 // RunConfigs executes arbitrary configurations through the same
 // bounded worker pool: configuration i's result lands in slot i.
 // progress (optional) is called with the index of each run as it

@@ -64,14 +64,35 @@ type Stats struct {
 	QueueingCycles   uint64 // cycles spent waiting on busy links
 }
 
+// Observer receives one callback per injected message or broadcast,
+// at injection time (when the whole path has been walked and the
+// arrival scheduled). It is the telemetry tap for causal transaction
+// tracing: because it fires synchronously inside Send, the kernel's
+// causal tag at call time identifies the transaction the message
+// belongs to. Observers must be pure — they may not send messages or
+// schedule events.
+type Observer interface {
+	// Message reports one unicast: its endpoints, flit count, the
+	// injection and arrival cycles, and the link hops traversed. The
+	// route itself is not passed because XY routing makes it a pure
+	// function of (src, dst).
+	Message(src, dst topo.Tile, flits int, depart, arrive sim.Time, hops int)
+	// BroadcastDone reports one spanning-tree (or emulated unicast)
+	// broadcast: the source, flit count, tree links used and the
+	// latency to the farthest destination.
+	BroadcastDone(src topo.Tile, flits, links int, maxLat sim.Time)
+}
+
 // Network is the mesh interconnect for one chip.
 type Network struct {
 	kernel *sim.Kernel
 	grid   topo.Grid
 	cfg    Config
 
-	linkFree []sim.Time // [tile*numDirections + dir] next free cycle
-	stats    Stats
+	linkFree  []sim.Time // [tile*numDirections + dir] next free cycle
+	linkFlits []uint64   // [tile*numDirections + dir] flits carried, ever
+	stats     Stats
+	obs       Observer // nil = no tap
 
 	// Scratch buffers reused across calls to keep the send/broadcast
 	// hot paths allocation-free. Both are fully rewritten before use
@@ -90,13 +111,50 @@ type pathHop struct {
 // New returns a network over grid driven by kernel.
 func New(kernel *sim.Kernel, grid topo.Grid, cfg Config) *Network {
 	return &Network{
-		kernel:   kernel,
-		grid:     grid,
-		cfg:      cfg,
-		linkFree: make([]sim.Time, grid.Tiles()*int(numDirections)),
-		path:     make([]pathHop, 0, grid.Cols+grid.Rows),
-		arrival:  make([]sim.Time, grid.Tiles()),
+		kernel:    kernel,
+		grid:      grid,
+		cfg:       cfg,
+		linkFree:  make([]sim.Time, grid.Tiles()*int(numDirections)),
+		linkFlits: make([]uint64, grid.Tiles()*int(numDirections)),
+		path:      make([]pathHop, 0, grid.Cols+grid.Rows),
+		arrival:   make([]sim.Time, grid.Tiles()),
 	}
+}
+
+// SetObserver attaches (or with nil detaches) the message tap.
+func (n *Network) SetObserver(o Observer) { n.obs = o }
+
+// LinkFlits copies the per-directed-link flit counters into dst
+// (allocating when dst is too small) and returns it. Index layout is
+// int(tile)*4 + int(dir); use DirectionName for labels. The counters
+// are monotonic over the whole run (never reset), so epoch deltas
+// give per-link occupancy.
+func (n *Network) LinkFlits(dst []uint64) []uint64 {
+	if cap(dst) < len(n.linkFlits) {
+		dst = make([]uint64, len(n.linkFlits))
+	}
+	dst = dst[:len(n.linkFlits)]
+	copy(dst, n.linkFlits)
+	return dst
+}
+
+// NumLinkSlots returns the length of the per-link counter vector
+// (tiles x 4 directions; edge slots exist but never carry flits).
+func (n *Network) NumLinkSlots() int { return len(n.linkFlits) }
+
+// DirectionName returns the lowercase name of a link direction.
+func DirectionName(d Direction) string {
+	switch d {
+	case East:
+		return "east"
+	case West:
+		return "west"
+	case North:
+		return "north"
+	case South:
+		return "south"
+	}
+	return "?"
 }
 
 // Stats returns a copy of the accumulated counters.
@@ -120,6 +178,7 @@ func (n *Network) hopLatency() sim.Time {
 // starting no earlier than at; it returns the actual start time.
 func (n *Network) reserveLink(tile topo.Tile, dir Direction, at sim.Time, flits int) sim.Time {
 	idx := int(tile)*int(numDirections) + int(dir)
+	n.linkFlits[idx] += uint64(flits)
 	start := at
 	if n.cfg.Contention && n.linkFree[idx] > start {
 		n.stats.QueueingCycles += uint64(n.linkFree[idx] - start)
@@ -200,6 +259,9 @@ func (n *Network) send(src, dst topo.Tile, flits int, run func(), argFn func(any
 		n.stats.RouterTraversals++
 		n.stats.TotalLatency += uint64(lat)
 		n.schedule(now+lat, run, argFn, arg)
+		if n.obs != nil {
+			n.obs.Message(src, dst, flits, now, now+lat, 0)
+		}
 		return Delivery{Latency: lat, Hops: 0, Routers: 1}
 	}
 	path := n.xyPath(src, dst)
@@ -216,6 +278,9 @@ func (n *Network) send(src, dst topo.Tile, flits int, run func(), argFn func(any
 	n.stats.TotalHops += uint64(hops)
 	n.stats.TotalLatency += uint64(lat)
 	n.schedule(now+lat, run, argFn, arg)
+	if n.obs != nil {
+		n.obs.Message(src, dst, flits, now, now+lat, hops)
+	}
 	return Delivery{Latency: lat, Hops: hops, Routers: hops + 1}
 }
 
@@ -304,6 +369,9 @@ func (n *Network) Broadcast(src topo.Tile, flits int, deliver func(dst topo.Tile
 	routers := n.grid.Tiles() // every router forwards/ejects the message
 	n.stats.FlitLinkCrossing += uint64(links * flits)
 	n.stats.RouterTraversals += uint64(routers)
+	if n.obs != nil {
+		n.obs.BroadcastDone(src, flits, links, maxLat)
+	}
 	return BroadcastDelivery{
 		Links:        links,
 		Routers:      routers,

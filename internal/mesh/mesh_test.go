@@ -1,6 +1,7 @@
 package mesh
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -278,6 +279,116 @@ func TestBroadcastDeterministicOrder(t *testing.T) {
 	for i := range a {
 		if a[i] != b[i] {
 			t.Fatalf("broadcast delivery order diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// tapObs records every observer callback for the observer tests.
+type tapObs struct {
+	msgs  []string
+	bcast int
+}
+
+func (o *tapObs) Message(src, dst topo.Tile, flits int, depart, arrive sim.Time, hops int) {
+	o.msgs = append(o.msgs, fmt.Sprintf("%d->%d f%d %d..%d h%d", src, dst, flits, depart, arrive, hops))
+}
+
+func (o *tapObs) BroadcastDone(src topo.Tile, flits, links int, maxLat sim.Time) {
+	o.bcast++
+	if links <= 0 || maxLat <= 0 {
+		o.msgs = append(o.msgs, "bad broadcast")
+	}
+}
+
+// TestObserverTap requires the observer to see every unicast with the
+// exact endpoints, flit count, injection/arrival cycles and hop count
+// the router computed — and to see nothing once detached.
+func TestObserverTap(t *testing.T) {
+	k, n := newNet(false)
+	g := n.Grid()
+	tap := &tapObs{}
+	n.SetObserver(tap)
+
+	d := n.Send(g.At(0, 0), g.At(3, 0), 1, func() {})
+	n.Send(g.At(2, 2), g.At(2, 2), 5, func() {}) // same-tile: 0 hops
+	k.Run(0)
+	want := []string{
+		fmt.Sprintf("0->3 f1 0..%d h3", d.Latency),
+		fmt.Sprintf("18->18 f5 0..3 h0"),
+	}
+	if len(tap.msgs) != len(want) {
+		t.Fatalf("observer saw %d messages, want %d: %v", len(tap.msgs), len(want), tap.msgs)
+	}
+	for i := range want {
+		if tap.msgs[i] != want[i] {
+			t.Errorf("message %d = %q, want %q", i, tap.msgs[i], want[i])
+		}
+	}
+
+	n.SetObserver(nil)
+	n.Send(g.At(0, 0), g.At(1, 0), 1, func() {})
+	if len(tap.msgs) != len(want) {
+		t.Error("detached observer still saw traffic")
+	}
+}
+
+// TestObserverBroadcast requires one BroadcastDone per broadcast.
+func TestObserverBroadcast(t *testing.T) {
+	k, n := newNet(false)
+	g := n.Grid()
+	tap := &tapObs{}
+	n.SetObserver(tap)
+	n.Broadcast(g.At(1, 1), 1, func(topo.Tile) {})
+	k.Run(0)
+	if tap.bcast != 1 {
+		t.Errorf("observer saw %d broadcasts, want 1", tap.bcast)
+	}
+	for _, m := range tap.msgs {
+		if m == "bad broadcast" {
+			t.Error("broadcast reported non-positive links or latency")
+		}
+	}
+}
+
+// TestLinkFlits requires the per-directed-link counters to account for
+// every flit the unicast path carried, on exactly the XY-route links.
+func TestLinkFlits(t *testing.T) {
+	_, n := newNet(false)
+	g := n.Grid()
+	const flits = 5
+	d := n.Send(g.At(0, 0), g.At(2, 1), flits, func() {}) // 2 east, 1 south
+	var total uint64
+	lf := n.LinkFlits(nil)
+	if len(lf) != n.NumLinkSlots() {
+		t.Fatalf("LinkFlits returned %d slots, want %d", len(lf), n.NumLinkSlots())
+	}
+	used := 0
+	for _, v := range lf {
+		total += v
+		if v > 0 {
+			used++
+		}
+	}
+	if total != uint64(d.Hops*flits) {
+		t.Errorf("link flits total %d, want hops*flits = %d", total, d.Hops*flits)
+	}
+	if used != d.Hops {
+		t.Errorf("%d directed links carried flits, want %d", used, d.Hops)
+	}
+	// Reusing the destination slice must not allocate a fresh one.
+	lf2 := n.LinkFlits(lf)
+	if &lf2[0] != &lf[0] {
+		t.Error("LinkFlits reallocated a sufficiently large destination slice")
+	}
+}
+
+// TestDirectionName requires stable lowercase labels for the link
+// direction axis of the exported per-link counters.
+func TestDirectionName(t *testing.T) {
+	want := map[Direction]string{East: "east", West: "west", North: "north", South: "south"}
+	for d, name := range want {
+		if got := DirectionName(d); got != name {
+			t.Errorf("DirectionName(%d) = %q, want %q", d, got, name)
 		}
 	}
 }

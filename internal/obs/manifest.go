@@ -13,11 +13,20 @@ import (
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
-// SchemaVersion is the manifest format this build writes and reads.
-// Any structural change to the JSON layout must bump it.
-const SchemaVersion = 1
+// SchemaVersion is the manifest format this build writes. Any
+// structural change to the JSON layout must bump it.
+//
+// v2 added the optional per-run "series" field (epoch time-series
+// samples, see internal/telemetry). v1 manifests are still decodable:
+// every v1 field kept its name and meaning, so a v1 file reads as a v2
+// manifest with no series data.
+const SchemaVersion = 2
+
+// minSchema is the oldest manifest format this build still reads.
+const minSchema = 1
 
 // CounterRecord is one named event counter. Counters are stored as an
 // ordered list, not a map, so the registration order of the live
@@ -76,6 +85,9 @@ type RunRecord struct {
 	Breakdown    BreakdownRecord    `json:"breakdown"`
 	// Prof is present only for runs with core.Config.Profile set.
 	Prof *core.RunProfile `json:"run_profile,omitempty"`
+	// Series is present only for runs with core.Config.SampleEvery set
+	// (schema v2+).
+	Series *telemetry.Series `json:"series,omitempty"`
 }
 
 // Manifest is the versioned top-level export: a header identifying the
@@ -116,6 +128,7 @@ func FromResult(res *core.Result) RunRecord {
 		DedupSavings: res.DedupSavings,
 		Energies:     res.Energies,
 		Prof:         res.Prof,
+		Series:       res.Series,
 	}
 	for _, name := range res.Counters.Names() {
 		r.Counters = append(r.Counters, CounterRecord{Name: name, Value: res.Counters.Value(name)})
@@ -184,6 +197,7 @@ func (r *RunRecord) Result() (*core.Result, error) {
 		DedupSavings: r.DedupSavings,
 		Energies:     r.Energies,
 		Prof:         r.Prof,
+		Series:       r.Series,
 	}
 	for _, c := range r.Counters {
 		res.Counters.Add(c.Name, c.Value)
@@ -253,8 +267,8 @@ func (m *Manifest) Matrix() (*exp.Matrix, error) {
 // classes). It is the cheap "is this manifest usable" gate CI runs on
 // exported files.
 func (m *Manifest) Verify() error {
-	if m.Schema != SchemaVersion {
-		return fmt.Errorf("obs: manifest schema v%d not supported (this build reads v%d)", m.Schema, SchemaVersion)
+	if m.Schema < minSchema || m.Schema > SchemaVersion {
+		return fmt.Errorf("obs: manifest schema v%d not supported (this build reads v%d..v%d)", m.Schema, minSchema, SchemaVersion)
 	}
 	for i := range m.Runs {
 		if _, err := m.Runs[i].Result(); err != nil {
@@ -301,8 +315,8 @@ func Decode(r io.Reader) (*Manifest, error) {
 	if err := json.Unmarshal(data, &head); err != nil {
 		return nil, fmt.Errorf("obs: not a manifest: %w", err)
 	}
-	if head.Schema != SchemaVersion {
-		return nil, fmt.Errorf("obs: manifest schema v%d not supported (this build reads v%d)", head.Schema, SchemaVersion)
+	if head.Schema < minSchema || head.Schema > SchemaVersion {
+		return nil, fmt.Errorf("obs: manifest schema v%d not supported (this build reads v%d..v%d)", head.Schema, minSchema, SchemaVersion)
 	}
 	m := &Manifest{}
 	if err := json.Unmarshal(data, m); err != nil {

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -111,13 +112,79 @@ func TestManifestSchemaMismatch(t *testing.T) {
 	}
 	_, err := Decode(&buf)
 	if err == nil {
-		t.Fatal("decoding a v2 manifest succeeded; want schema rejection")
+		t.Fatalf("decoding a v%d manifest succeeded; want schema rejection", SchemaVersion+1)
 	}
-	if !strings.Contains(err.Error(), "schema v2") || !strings.Contains(err.Error(), "v1") {
+	want := fmt.Sprintf("schema v%d", SchemaVersion+1)
+	if !strings.Contains(err.Error(), want) || !strings.Contains(err.Error(), fmt.Sprintf("v%d", SchemaVersion)) {
 		t.Errorf("unhelpful schema error: %v", err)
 	}
 	if err := m.Verify(); err == nil {
 		t.Error("Verify accepted a mismatched schema version")
+	}
+}
+
+// TestManifestReadsV1 requires this build to keep decoding schema-v1
+// manifests: v2 only added the optional "series" field, so a v1 file
+// must read as a v2 manifest with no series data.
+func TestManifestReadsV1(t *testing.T) {
+	cfg := smallConfig("dico")
+	live, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New("test")
+	m.Add(live)
+	m.Schema = 1 // what a previous-generation binary would have written
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("v1 manifest no longer decodes: %v", err)
+	}
+	if err := back.Verify(); err != nil {
+		t.Fatalf("v1 manifest fails verification: %v", err)
+	}
+	decoded, err := back.Runs[0].Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "v1", live, decoded)
+	if decoded.Series != nil {
+		t.Error("v1 manifest produced series data out of nowhere")
+	}
+}
+
+// TestManifestSeriesRoundTrip requires the v2 series field to survive
+// the encode/decode round trip exactly.
+func TestManifestSeriesRoundTrip(t *testing.T) {
+	cfg := smallConfig("directory")
+	cfg.SampleEvery = 500
+	live, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Series == nil || len(live.Series.Samples) == 0 {
+		t.Fatal("sampling produced no series")
+	}
+	m := New("test")
+	m.Add(live)
+	var buf bytes.Buffer
+	if err := m.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := back.Runs[0].Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameResult(t, "series", live, decoded)
+	if !reflect.DeepEqual(live.Series, decoded.Series) {
+		t.Errorf("series differs after round trip:\nlive    %+v\ndecoded %+v", live.Series, decoded.Series)
 	}
 }
 

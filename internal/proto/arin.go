@@ -137,11 +137,13 @@ func (p *Arin) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()
 	}
 	e := t.mshr.Allocate(addr, write, uint64(ctx.Kernel.Now()))
 	e.OnComplete = onDone
+	ctx.spanBegin(tile, addr, write)
 	r := arReq{addr: addr, requestor: tile, write: write, forwarder: -1}
 	ctx.pw.L1CAccess.Inc()
 	if ptr, ok := t.l1c.Lookup(addr); ok && topo.Tile(ptr) != tile && !ctx.Cfg.NoPrediction {
 		r.predicted = true
 		e.Tag = int(MissPredFail)
+		ctx.spanEvent("predict-supplier", tile)
 		pred := topo.Tile(ptr)
 		del := ctx.SendCtl(tile, pred, func() { p.atL1(r, pred) })
 		e.Links += del.Hops
@@ -172,6 +174,8 @@ func (p *Arin) ownerWriteHit(tile topo.Tile, addr cache.Addr, line *cache.Line, 
 	e := t.mshr.Allocate(addr, true, uint64(ctx.Kernel.Now()))
 	e.OnComplete = onDone
 	e.Tag = int(MissPredOwner)
+	ctx.spanBegin(tile, addr, true)
+	ctx.spanEvent("owner-write-inv", tile)
 	e.DataReceived = true
 	e.SharerAcks = popcount(sharers)
 	forEachBit(sharers, func(i int) {
@@ -344,10 +348,12 @@ func (p *Arin) atHome(r arReq) {
 	if ptr, ok := th.l2c.Lookup(r.addr); ok && th.l2.Peek(r.addr) == nil {
 		ownerTile := topo.Tile(ptr)
 		if ownerTile == r.requestor || r.forwards >= maxForwards {
+			ctx.spanRetry(r.requestor)
 			ctx.Kernel.AfterArg(retryBackoff, p.atHomeFn, arReq{r.addr, r.requestor, r.write, r.predicted, 0, -1})
 			return
 		}
 		r.forwards++
+		ctx.spanEvent("home-forward-owner", home)
 		del := ctx.SendCtl(home, ownerTile, func() { p.atL1(r, ownerTile) })
 		p.addLinks(r.requestor, r.addr, del.Hops)
 		return
@@ -547,6 +553,7 @@ func (p *Arin) broadcastInvalidation(r arReq, home topo.Tile, l2line *cache.Line
 	if e, ok := th.mshr.Lookup(r.addr); ok && home != r.requestor {
 		e.InvalidatedWhilePending = true
 	}
+	ctx.spanEvent("bcast-inv", home)
 	if ctx.Cfg.BroadcastUnicast {
 		ctx.Net.UnicastBroadcast(home, ctx.Net.Config().ControlFlits, deliverInv)
 	} else {
@@ -581,6 +588,7 @@ func (p *Arin) unblockAfterWrite(r arReq, home topo.Tile) {
 			th.wakeHome(ctx.Kernel, r.addr)
 		}
 	}
+	ctx.spanEvent("bcast-unblock", r.requestor)
 	if ctx.Cfg.BroadcastUnicast {
 		ctx.Net.UnicastBroadcast(r.requestor, ctx.Net.Config().ControlFlits, deliverUnblock)
 	} else {
@@ -1053,6 +1061,7 @@ func (p *Arin) maybeComplete(tile topo.Tile, addr cache.Addr) {
 	cls := MissClass(e.Tag)
 	ctx.Profile.Count[cls]++
 	ctx.Profile.Links[cls] += uint64(e.Links)
+	ctx.spanEnd(tile, cls, dropped)
 	done := e.OnComplete
 	t.mshr.Release(addr)
 	ctx.observeRetired(tile, addr, e.Write, false, e.InvalidatedWhilePending)

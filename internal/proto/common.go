@@ -28,6 +28,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/topo"
 )
 
@@ -188,6 +189,12 @@ type Context struct {
 	// state, so an armed observer cannot perturb simulated timing.
 	Observer Observer
 
+	// Spans, when non-nil, is the causal transaction tracer: every L1
+	// miss opens a span whose ID rides the kernel's causal tag through
+	// the whole transaction (see internal/telemetry). The tracer never
+	// schedules events, so arming it cannot perturb simulated timing.
+	Spans *telemetry.Tracer
+
 	// TraceEnabled arms the debug event log for block TraceAddr.
 	// An explicit flag, not the TraceAddr zero value: block 0 is a
 	// valid address and must be traceable.
@@ -209,6 +216,35 @@ func (c *Context) Trace(a cache.Addr, format string, args ...any) {
 		return
 	}
 	c.TraceOut(fmt.Sprintf("t=%-8d %s", c.Kernel.Now(), fmt.Sprintf(format, args...)))
+}
+
+// spanBegin opens a tracing span for a miss issued at tile and makes
+// it the kernel's current causal tag.
+func (c *Context) spanBegin(tile topo.Tile, addr cache.Addr, write bool) {
+	if c.Spans != nil {
+		c.Spans.BeginMiss(tile, uint64(addr), write)
+	}
+}
+
+// spanEnd closes the tile's open span with its resolved miss class.
+func (c *Context) spanEnd(tile topo.Tile, class MissClass, dropped bool) {
+	if c.Spans != nil {
+		c.Spans.EndMiss(tile, MissClassNames[class], dropped)
+	}
+}
+
+// spanRetry annotates the current span with a NACK-and-retry round.
+func (c *Context) spanRetry(tile topo.Tile) {
+	if c.Spans != nil {
+		c.Spans.Retry(tile)
+	}
+}
+
+// spanEvent appends a named protocol annotation to the current span.
+func (c *Context) spanEvent(name string, tile topo.Tile) {
+	if c.Spans != nil {
+		c.Spans.Annotate(name, tile)
+	}
 }
 
 // observeRetired forwards one retirement to the observer, if any.

@@ -116,6 +116,7 @@ func (p *DiCo) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()
 	}
 	e := t.mshr.Allocate(addr, write, uint64(ctx.Kernel.Now()))
 	e.OnComplete = onDone
+	ctx.spanBegin(tile, addr, write)
 	ctx.Trace(addr, "miss at %d write=%v", tile, write)
 	r := dcReq{addr: addr, requestor: tile, write: write}
 	// Predict the supplier via the L1C$ (Figure 5).
@@ -123,6 +124,7 @@ func (p *DiCo) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()
 	if ptr, ok := t.l1c.Lookup(addr); ok && topo.Tile(ptr) != tile && !ctx.Cfg.NoPrediction {
 		r.predicted = true
 		e.Tag = int(MissPredOwner)
+		ctx.spanEvent("predict-supplier", tile)
 		pred := topo.Tile(ptr)
 		del := ctx.SendCtl(tile, pred, func() { p.atL1(r, pred) })
 		e.Links += del.Hops
@@ -153,6 +155,8 @@ func (p *DiCo) ownerWriteHit(tile topo.Tile, addr cache.Addr, line *cache.Line, 
 	e := t.mshr.Allocate(addr, true, uint64(ctx.Kernel.Now()))
 	e.OnComplete = onDone
 	e.Tag = int(MissPredOwner) // resolved locally; counted as a 0-link owner hit
+	ctx.spanBegin(tile, addr, true)
+	ctx.spanEvent("owner-write-inv", tile)
 	e.DataReceived = true
 	e.SharerAcks = popcount(sharers)
 	forEachBit(sharers, func(i int) {
@@ -267,10 +271,12 @@ func (p *DiCo) atHome(r dcReq) {
 		if owner == r.requestor || r.forwards >= maxForwards {
 			// Our own transfer is settling, or forwarding keeps
 			// bouncing: back off and retry.
+			ctx.spanRetry(r.requestor)
 			ctx.Kernel.AfterArg(retryBackoff, p.atHomeFn, dcReq{r.addr, r.requestor, r.write, r.predicted, 0})
 			return
 		}
 		r.forwards++
+		ctx.spanEvent("home-forward-owner", home)
 		del := ctx.SendCtl(home, owner, func() { p.atL1(r, owner) })
 		p.addLinks(r.requestor, r.addr, del.Hops)
 		return
@@ -738,6 +744,7 @@ func (p *DiCo) maybeComplete(tile topo.Tile, addr cache.Addr) {
 	cls := MissClass(e.Tag)
 	ctx.Profile.Count[cls]++
 	ctx.Profile.Links[cls] += uint64(e.Links)
+	ctx.spanEnd(tile, cls, dropped)
 	done := e.OnComplete
 	t.mshr.Release(addr)
 	ctx.observeRetired(tile, addr, e.Write, false, e.InvalidatedWhilePending)

@@ -119,6 +119,7 @@ func (d *Directory) Access(tile topo.Tile, addr cache.Addr, write bool, onDone f
 	e := t.mshr.Allocate(addr, write, uint64(ctx.Kernel.Now()))
 	e.OnComplete = onDone
 	e.Tag = int(MissUnpredHome)
+	ctx.spanBegin(tile, addr, write)
 	home := ctx.HomeOf(addr)
 	del := ctx.SendCtlArg(tile, home, d.atHomeFn, dirReq{addr, tile, write, 0})
 	e.Links += del.Hops
@@ -169,16 +170,19 @@ func (d *Directory) atHome(r dirReq) {
 		owner := topo.Tile(dline.Owner)
 		if owner == r.requestor {
 			// Our own writeback is still in flight; retry shortly.
+			ctx.spanRetry(r.requestor)
 			ctx.Kernel.AfterArg(retryBackoff, d.atHomeFn, dirReq{r.addr, r.requestor, r.write, 0})
 			return
 		}
 		if r.forwards >= maxForwards {
 			// Forwarding keeps bouncing (transfer in flight): back off
 			// and retry from the home.
+			ctx.spanRetry(r.requestor)
 			ctx.Kernel.AfterArg(retryBackoff, d.atHomeFn, dirReq{r.addr, r.requestor, r.write, 0})
 			return
 		}
 		r.forwards++
+		ctx.spanEvent("dir-forward-owner", home)
 		del := ctx.SendCtl(home, owner, func() { d.atOwner(r, owner) })
 		d.addLinks(r.requestor, r.addr, del.Hops)
 		return
@@ -213,10 +217,12 @@ func (d *Directory) homeRead(r dirReq, dline *cache.Line) {
 		dline.Sharers |= bit(r.requestor)
 		ctx.pw.DirWrite.Inc()
 		if r.forwards >= maxForwards {
+			ctx.spanRetry(r.requestor)
 			ctx.Kernel.AfterArg(retryBackoff, d.atHomeFn, dirReq{r.addr, r.requestor, r.write, 0})
 			return
 		}
 		r.forwards++
+		ctx.spanEvent("dir-forward-sharer", home)
 		del := ctx.SendCtl(home, sharer, func() { d.atSharerSupply(r, sharer) })
 		d.addLinks(r.requestor, r.addr, del.Hops)
 		return
@@ -626,6 +632,7 @@ func (d *Directory) maybeComplete(tile topo.Tile, addr cache.Addr) {
 	cls := MissClass(e.Tag)
 	ctx.Profile.Count[cls]++
 	ctx.Profile.Links[cls] += uint64(e.Links)
+	ctx.spanEnd(tile, cls, dropped)
 	done := e.OnComplete
 	t.mshr.Release(addr)
 	ctx.observeRetired(tile, addr, e.Write, false, e.InvalidatedWhilePending)

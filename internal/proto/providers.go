@@ -158,11 +158,13 @@ func (p *Providers) Access(tile topo.Tile, addr cache.Addr, write bool, onDone f
 	}
 	e := t.mshr.Allocate(addr, write, uint64(ctx.Kernel.Now()))
 	e.OnComplete = onDone
+	ctx.spanBegin(tile, addr, write)
 	r := pvReq{addr: addr, requestor: tile, write: write, fromOwner: -1}
 	ctx.pw.L1CAccess.Inc()
 	if ptr, ok := t.l1c.Lookup(addr); ok && topo.Tile(ptr) != tile && !ctx.Cfg.NoPrediction {
 		r.predicted = true
 		e.Tag = int(MissPredFail) // upgraded at supply time
+		ctx.spanEvent("predict-supplier", tile)
 		pred := topo.Tile(ptr)
 		del := ctx.SendCtl(tile, pred, func() { p.atL1(r, pred) })
 		e.Links += del.Hops
@@ -198,6 +200,8 @@ func (p *Providers) ownerWriteHit(tile topo.Tile, addr cache.Addr, line *cache.L
 	e := t.mshr.Allocate(addr, true, uint64(ctx.Kernel.Now()))
 	e.OnComplete = onDone
 	e.Tag = int(MissPredOwner)
+	ctx.spanBegin(tile, addr, true)
+	ctx.spanEvent("owner-write-inv", tile)
 	e.DataReceived = true
 	p.startInvalidation(tile, addr, line, tile, localSharers)
 	line.State = pvOwnerModified
@@ -458,10 +462,12 @@ func (p *Providers) atHome(r pvReq) {
 	if ptr, ok := th.l2c.Lookup(r.addr); ok && th.l2.Peek(r.addr) == nil {
 		ownerTile := topo.Tile(ptr)
 		if ownerTile == r.requestor || r.forwards >= maxForwards {
+			ctx.spanRetry(r.requestor)
 			ctx.Kernel.AfterArg(retryBackoff, p.atHomeFn, pvReq{r.addr, r.requestor, r.write, r.predicted, 0, -1})
 			return
 		}
 		r.forwards++
+		ctx.spanEvent("home-forward-owner", home)
 		del := ctx.SendCtl(home, ownerTile, func() { p.atL1(r, ownerTile) })
 		p.addLinks(r.requestor, r.addr, del.Hops)
 		return
@@ -504,6 +510,7 @@ func (p *Providers) homeOwnerSupply(r pvReq, home topo.Tile, l2line *cache.Line)
 		if l2line.ProPos[reqArea] >= 0 {
 			prov := p.tileAt(reqArea, l2line.ProPos[reqArea])
 			if r.forwards >= maxForwards {
+				ctx.spanRetry(r.requestor)
 				ctx.Kernel.After(retryBackoff, func() {
 					p.atHome(pvReq{r.addr, r.requestor, r.write, r.predicted, 0, -1})
 				})
@@ -511,6 +518,7 @@ func (p *Providers) homeOwnerSupply(r pvReq, home topo.Tile, l2line *cache.Line)
 			}
 			r.forwards++
 			r.fromOwner = home
+			ctx.spanEvent("home-forward-provider", home)
 			del := ctx.SendCtl(home, prov, func() { p.atL1(r, prov) })
 			p.addLinks(r.requestor, r.addr, del.Hops)
 			return
@@ -1149,6 +1157,7 @@ func (p *Providers) maybeComplete(tile topo.Tile, addr cache.Addr) {
 	cls := MissClass(e.Tag)
 	ctx.Profile.Count[cls]++
 	ctx.Profile.Links[cls] += uint64(e.Links)
+	ctx.spanEnd(tile, cls, dropped)
 	done := e.OnComplete
 	t.mshr.Release(addr)
 	ctx.observeRetired(tile, addr, e.Write, false, e.InvalidatedWhilePending)

@@ -99,9 +99,9 @@ func TestArinForwarderFixup(t *testing.T) {
 	g := c.ctx.Net.Grid()
 	home := g.At(4, 0)
 	addr := pickBlock(c, home)
-	owner := g.At(1, 1)    // area 0
-	provider := g.At(6, 6) // area 3
-	reader := g.At(7, 7)   // area 3
+	owner := g.At(1, 1)             // area 0
+	provider := g.At(6, 6)          // area 3
+	reader := g.At(7, 7)            // area 3
 	c.access(owner, addr, false)    // L1 owner
 	c.access(provider, addr, false) // dissolves: inter-area, provider registered
 	eng := c.eng.(*Arin)

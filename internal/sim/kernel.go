@@ -24,10 +24,12 @@ type Event func()
 
 // entry is one pending event. Exactly one of run or argFn is set:
 // run for the closure form (At/After), argFn+arg for the
-// non-capturing fast path (AtArg/AfterArg).
+// non-capturing fast path (AtArg/AfterArg). tag is the causal context
+// (see Kernel.Tag) captured at scheduling time.
 type entry struct {
 	at    Time
 	seq   uint64
+	tag   uint64
 	run   Event
 	argFn func(any)
 	arg   any
@@ -52,6 +54,7 @@ const heapArity = 4
 type Kernel struct {
 	now    Time
 	seq    uint64
+	tag    uint64  // current causal tag (see Tag)
 	queue  []entry // 4-ary min-heap by (at, seq)
 	rng    *Rand
 	events uint64   // total events executed
@@ -71,6 +74,22 @@ func (k *Kernel) Rand() *Rand { return k.rng }
 
 // EventsRun returns the number of events executed so far.
 func (k *Kernel) EventsRun() uint64 { return k.events }
+
+// Tag returns the current causal tag: an opaque value that every
+// scheduled event inherits at scheduling time and that is restored
+// when the event dispatches. Because all cross-component interaction
+// in the simulator flows through scheduled events (mesh deliveries,
+// stall wakeups, retries), a tag set at the root of a transaction
+// follows its entire causal tree with no per-site plumbing. The
+// telemetry layer uses it to carry coherence-span IDs through the
+// mesh; tag 0 means "untagged". Tagging is always on and costs one
+// 8-byte copy per schedule and dispatch — it never changes event
+// order, so runs are bit-identical whether or not anyone reads tags.
+func (k *Kernel) Tag() uint64 { return k.tag }
+
+// SetTag sets the current causal tag. Events scheduled from now on
+// (until the next dispatch overwrites it) carry this tag.
+func (k *Kernel) SetTag(t uint64) { k.tag = t }
 
 // Pending returns the number of events waiting in the queue.
 func (k *Kernel) Pending() int { return len(k.queue) }
@@ -149,7 +168,7 @@ func (k *Kernel) checkTime(t Time) {
 func (k *Kernel) At(t Time, ev Event) {
 	k.checkTime(t)
 	k.seq++
-	k.push(entry{at: t, seq: k.seq, run: ev})
+	k.push(entry{at: t, seq: k.seq, tag: k.tag, run: ev})
 }
 
 // After schedules ev to run delay cycles from now.
@@ -166,7 +185,7 @@ func (k *Kernel) After(delay Time, ev Event) {
 func (k *Kernel) AtArg(t Time, fn func(any), arg any) {
 	k.checkTime(t)
 	k.seq++
-	k.push(entry{at: t, seq: k.seq, argFn: fn, arg: arg})
+	k.push(entry{at: t, seq: k.seq, tag: k.tag, argFn: fn, arg: arg})
 }
 
 // AfterArg schedules fn(arg) to run delay cycles from now.
@@ -185,6 +204,7 @@ func (k *Kernel) Step() bool {
 	}
 	e := k.pop()
 	k.now = e.at
+	k.tag = e.tag
 	k.events++
 	if e.run != nil {
 		if k.prof != nil {

@@ -264,3 +264,68 @@ func BenchmarkKernelScheduleRun(b *testing.B) {
 	}
 	k.Run(0)
 }
+
+// TestKernelTagPropagation requires the causal tag to be captured at
+// scheduling time and restored at dispatch, so a tag set at the root
+// of a transaction follows its entire causal tree of events.
+func TestKernelTagPropagation(t *testing.T) {
+	k := NewKernel(1)
+	var got []uint64
+	record := func() { got = append(got, k.Tag()) }
+
+	k.SetTag(7)
+	k.After(5, func() {
+		record() // sees 7
+		// Nested scheduling inherits the restored tag.
+		k.After(5, record) // sees 7
+		k.SetTag(9)
+		k.After(1, record) // sees 9
+	})
+	k.SetTag(3)
+	k.AfterArg(2, func(any) { record() }, nil) // sees 3
+	k.SetTag(0)
+	k.After(1, record) // sees 0 (untagged)
+
+	k.Run(0)
+	want := []uint64{0, 3, 7, 9, 7}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d saw tag %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestKernelTagInterleaving requires tags from two interleaved causal
+// trees to stay separate: the dispatcher restores each event's own
+// captured tag, so concurrent transactions cannot bleed into each
+// other.
+func TestKernelTagInterleaving(t *testing.T) {
+	k := NewKernel(1)
+	seen := map[uint64]int{}
+	var grow func(tag uint64, depth int)
+	grow = func(tag uint64, depth int) {
+		if k.Tag() != tag {
+			t.Errorf("depth %d: tag = %d, want %d", depth, k.Tag(), tag)
+		}
+		seen[tag]++
+		if depth < 4 {
+			// Both trees schedule into the same future cycles.
+			k.After(Time(1+tag%3), func() { grow(tag, depth+1) })
+		}
+	}
+	for tag := uint64(1); tag <= 5; tag++ {
+		tag := tag
+		k.SetTag(tag)
+		k.After(1, func() { grow(tag, 1) })
+	}
+	k.SetTag(0)
+	k.Run(0)
+	for tag := uint64(1); tag <= 5; tag++ {
+		if seen[tag] != 4 {
+			t.Errorf("tree %d dispatched %d events, want 4", tag, seen[tag])
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+// MaxChain is the last distinct chain-length bucket of a HopReport;
+// longer chains (retry storms) fold into it.
+const MaxChain = 7
+
+// HopReport aggregates the causal-chain statistics of one tracer —
+// the data form of the paper's ordering-point-indirection argument:
+// directory misses that bounce through home and owner are 3-chains,
+// DiCo misses that reach the owner or a provider directly are
+// 2-chains.
+type HopReport struct {
+	Protocol string
+	Spans    int    // closed spans analyzed
+	Open     int    // spans never closed (0 after a completed run)
+	Dropped  uint64 // spans evicted from the ring buffer
+	// Chain[n] counts misses whose causal chain to the returning data
+	// was n messages long (bucket MaxChain holds >= MaxChain; bucket 0
+	// holds spans with no recorded message back to the requestor).
+	Chain        [MaxChain + 1]int
+	Retries      int // retry round trips across all spans
+	RetriedSpans int // spans with at least one retry
+	DroppedFills int // fills invalidated while pending
+	Messages     int // pre-retire messages across all spans
+	LateMessages int // post-retire messages (writebacks, unblocks)
+	Broadcasts   int
+}
+
+// Analyze builds the hop report for a tracer's retained spans.
+// dataFlits is the data-packet size distinguishing data from control
+// messages (mesh.Config.DataFlits).
+func Analyze(t *Tracer, dataFlits int) *HopReport {
+	r := &HopReport{Protocol: t.Protocol, Dropped: t.Dropped()}
+	for _, s := range t.Spans() {
+		if !s.Closed() {
+			r.Open++
+			continue
+		}
+		r.Spans++
+		n := s.ChainHops(dataFlits)
+		if n > MaxChain {
+			n = MaxChain
+		}
+		r.Chain[n]++
+		r.Retries += s.Retries
+		if s.Retries > 0 {
+			r.RetriedSpans++
+		}
+		if s.Dropped {
+			r.DroppedFills++
+		}
+		for i := range s.Hops {
+			if s.Hops[i].Late {
+				r.LateMessages++
+			} else {
+				r.Messages++
+			}
+			if s.Hops[i].Bcast {
+				r.Broadcasts++
+			}
+		}
+	}
+	return r
+}
+
+// TwoHopShare returns the fraction of misses resolved in a 2-message
+// chain or shorter (request → data, no indirection).
+func (r *HopReport) TwoHopShare() float64 {
+	if r.Spans == 0 {
+		return 0
+	}
+	n := r.Chain[0] + r.Chain[1] + r.Chain[2]
+	return float64(n) / float64(r.Spans)
+}
+
+// IndirectionShare returns the fraction of misses needing a chain of
+// 3+ messages (an ordering-point or forwarding indirection).
+func (r *HopReport) IndirectionShare() float64 {
+	if r.Spans == 0 {
+		return 0
+	}
+	n := 0
+	for c := 3; c <= MaxChain; c++ {
+		n += r.Chain[c]
+	}
+	return float64(n) / float64(r.Spans)
+}
+
+// MeanChain returns the mean causal chain length.
+func (r *HopReport) MeanChain() float64 {
+	if r.Spans == 0 {
+		return 0
+	}
+	sum := 0
+	for c, n := range r.Chain {
+		sum += c * n
+	}
+	return float64(sum) / float64(r.Spans)
+}
+
+// MeanMessages returns the mean pre-retire messages per miss.
+func (r *HopReport) MeanMessages() float64 {
+	if r.Spans == 0 {
+		return 0
+	}
+	return float64(r.Messages) / float64(r.Spans)
+}
+
+// String renders the single-protocol report.
+func (r *HopReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "span analysis: %s (%d misses traced", r.Protocol, r.Spans)
+	if r.Dropped > 0 {
+		fmt.Fprintf(&b, ", %d dropped by ring cap", r.Dropped)
+	}
+	if r.Open > 0 {
+		fmt.Fprintf(&b, ", %d still open", r.Open)
+	}
+	b.WriteString(")\n")
+	for c := 0; c <= MaxChain; c++ {
+		if r.Chain[c] == 0 {
+			continue
+		}
+		label := fmt.Sprintf("%d-hop chain", c)
+		if c == MaxChain {
+			label = fmt.Sprintf("%d+-hop chain", c)
+		}
+		fmt.Fprintf(&b, "  %-14s %8d (%5.1f%%)\n", label, r.Chain[c],
+			float64(r.Chain[c])/float64(max(r.Spans, 1))*100)
+	}
+	fmt.Fprintf(&b, "  2-hop share    %6.1f%%   indirection (3+ hops) %5.1f%%   mean chain %.2f\n",
+		r.TwoHopShare()*100, r.IndirectionShare()*100, r.MeanChain())
+	fmt.Fprintf(&b, "  retries        %8d in %d misses (%.2f%%)\n",
+		r.Retries, r.RetriedSpans, float64(r.RetriedSpans)/float64(max(r.Spans, 1))*100)
+	fmt.Fprintf(&b, "  messages/miss  %8.2f (+%d late: writebacks, unblocks)   dropped fills %d   broadcasts %d\n",
+		r.MeanMessages(), r.LateMessages, r.DroppedFills, r.Broadcasts)
+	return b.String()
+}
+
+// CompareTable renders several protocols' hop reports side by side —
+// the Figure 5 argument (ordering-point indirection vs direct
+// coherence) as measured data.
+func CompareTable(reports ...*HopReport) *stats.Table {
+	t := stats.NewTable("span hop-count comparison",
+		"protocol", "misses", "2-hop", "3-hop", "4+hop", "indirection", "mean chain", "retries", "msgs/miss")
+	for _, r := range reports {
+		four := 0
+		for c := 4; c <= MaxChain; c++ {
+			four += r.Chain[c]
+		}
+		t.AddRowf(
+			r.Protocol,
+			fmt.Sprint(r.Spans),
+			fmt.Sprintf("%.1f%%", float64(r.Chain[2])/float64(max(r.Spans, 1))*100),
+			fmt.Sprintf("%.1f%%", float64(r.Chain[3])/float64(max(r.Spans, 1))*100),
+			fmt.Sprintf("%.1f%%", float64(four)/float64(max(r.Spans, 1))*100),
+			fmt.Sprintf("%.1f%%", r.IndirectionShare()*100),
+			fmt.Sprintf("%.2f", r.MeanChain()),
+			fmt.Sprint(r.Retries),
+			fmt.Sprintf("%.2f", r.MeanMessages()),
+		)
+	}
+	return t
+}

@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"repro/internal/mesh"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Sample is one epoch snapshot of the running chip. Counter values
+// are cumulative (the live counters are monotonic within a phase), so
+// consecutive samples subtract into per-epoch rates.
+type Sample struct {
+	Cycle sim.Time `json:"cycle"`
+	Phase string   `json:"phase"` // "warmup" or "measure"
+	// Events and Refs are the kernel dispatch and retirement totals at
+	// the snapshot.
+	Events uint64 `json:"events"`
+	Refs   uint64 `json:"refs"`
+	// QueueDepth is the kernel's pending-event count; MSHRPending the
+	// chip-wide outstanding-miss count — the two live queue-depth
+	// signals.
+	QueueDepth  int `json:"queue_depth"`
+	MSHRPending int `json:"mshr_pending"`
+	// Counters holds every stats counter in registration order at
+	// snapshot time. Counters register lazily, so an early sample may
+	// be a strict prefix of Series.CounterNames; missing tail values
+	// are zero.
+	Counters []uint64 `json:"counters"`
+	// LinkFlits is the cumulative per-directed-link flit occupancy
+	// (index layout tile*4+direction, see mesh.Network.LinkFlits).
+	LinkFlits []uint64 `json:"link_flits"`
+	// Energy split recomputed from the counters at snapshot time, in
+	// pJ: the paper's cache-vs-network decomposition as a time series.
+	EnergyCachePJ   float64 `json:"energy_cache_pj"`
+	EnergyLinkPJ    float64 `json:"energy_link_pj"`
+	EnergyRoutingPJ float64 `json:"energy_routing_pj"`
+}
+
+// Series is a bounded ring of epoch samples plus the metadata needed
+// to interpret them. It is the manifest-facing (schema v2) form.
+type Series struct {
+	Interval sim.Time `json:"interval"`
+	// CounterNames is the final counter namespace; each sample's
+	// Counters vector aligns to a prefix of it.
+	CounterNames []string `json:"counter_names"`
+	Samples      []Sample `json:"samples"`
+	// Dropped counts samples evicted to keep the ring under its cap.
+	Dropped uint64 `json:"dropped,omitempty"`
+}
+
+// DefaultSampleCap bounds the sample ring: at the default interval a
+// week-long run keeps the newest 64k epochs and drops the oldest.
+const DefaultSampleCap = 1 << 16
+
+// Sampler drives cycle-periodic snapshots through the event kernel.
+// Its tick events carry no protocol state, so an armed sampler leaves
+// simulation results identical (the event *stream* gains tick events;
+// arm only when sampling is wanted). The tick chain stops itself when
+// the queue drains (end of a phase) and is re-armed per phase.
+type Sampler struct {
+	Every sim.Time
+
+	k        *sim.Kernel
+	net      *mesh.Network
+	counters *stats.Set
+	energies power.TileEnergies
+	refs     func() uint64
+	pending  func() int
+	// OnSample, when set, observes every accepted sample (the live
+	// HTTP endpoint's refresh hook).
+	OnSample func(*Sample)
+
+	cap     int
+	series  Series
+	phase   string
+	armed   bool
+	tickFn  func()
+	ringOff int
+}
+
+// NewSampler builds a sampler snapshotting counters, net occupancy
+// and queue depths every `every` cycles, keeping at most cap samples
+// (0 = DefaultSampleCap). refs and pending provide the retirement
+// total and the chip-wide MSHR depth; energies parameterize the
+// energy split.
+func NewSampler(k *sim.Kernel, every sim.Time, cap int, counters *stats.Set,
+	net *mesh.Network, energies power.TileEnergies, refs func() uint64, pending func() int) *Sampler {
+	if cap <= 0 {
+		cap = DefaultSampleCap
+	}
+	s := &Sampler{
+		Every: every, k: k, net: net, counters: counters, energies: energies,
+		refs: refs, pending: pending, cap: cap,
+		series: Series{Interval: every},
+	}
+	s.tickFn = s.tick
+	return s
+}
+
+// SetPhase labels subsequent samples ("warmup", "measure").
+func (s *Sampler) SetPhase(p string) { s.phase = p }
+
+// Start arms the tick chain. Idempotent; called at the start of each
+// run phase (the chain stops itself when the phase's queue drains).
+func (s *Sampler) Start() {
+	if s.armed || s.Every == 0 {
+		return
+	}
+	s.armed = true
+	// Ticks are bookkeeping, not part of any transaction: clear the
+	// causal tag so the chain never attributes to a span.
+	s.k.SetTag(0)
+	s.k.After(s.Every, s.tickFn)
+}
+
+func (s *Sampler) tick() {
+	s.armed = false
+	s.Snapshot()
+	// Reschedule only while simulation work remains; otherwise the
+	// tick chain would keep an otherwise-drained queue alive forever.
+	if s.k.Pending() > 0 {
+		s.armed = true
+		s.k.After(s.Every, s.tickFn)
+	}
+}
+
+// Snapshot records one sample immediately (ticks call it; phase ends
+// may call it for a final fencepost sample).
+func (s *Sampler) Snapshot() {
+	names := s.counters.Names()
+	smp := Sample{
+		Cycle:       s.k.Now(),
+		Phase:       s.phase,
+		Events:      s.k.EventsRun(),
+		Refs:        s.refs(),
+		QueueDepth:  s.k.Pending(),
+		MSHRPending: s.pending(),
+		Counters:    make([]uint64, len(names)),
+		LinkFlits:   s.net.LinkFlits(nil),
+	}
+	for i, n := range names {
+		smp.Counters[i] = s.counters.Value(n)
+	}
+	bd := power.Dynamic(s.counters, s.net.Stats(), s.energies)
+	smp.EnergyCachePJ = bd.CacheTotal()
+	smp.EnergyLinkPJ = bd.Link
+	smp.EnergyRoutingPJ = bd.Routing
+	if len(names) > len(s.series.CounterNames) {
+		s.series.CounterNames = names
+	}
+	s.series.Samples = append(s.series.Samples, smp)
+	if len(s.series.Samples)-s.ringOff > s.cap {
+		s.ringOff++
+		s.series.Dropped++
+		if s.ringOff > s.cap {
+			s.series.Samples = append(s.series.Samples[:0], s.series.Samples[s.ringOff:]...)
+			s.ringOff = 0
+		}
+	}
+	if s.OnSample != nil {
+		s.OnSample(&s.series.Samples[len(s.series.Samples)-1])
+	}
+}
+
+// Series returns the collected time series (samples in record order,
+// oldest retained first).
+func (s *Sampler) Series() *Series {
+	out := s.series
+	out.Samples = s.series.Samples[s.ringOff:]
+	return &out
+}

@@ -1,8 +1,14 @@
-// Package trace records and replays memory-reference streams. A
-// recorded trace makes a simulation run exactly reproducible across
+// Package trace records and replays *reference traces*: memory-
+// reference streams captured from a workload generator. A recorded
+// reference trace makes a simulation run exactly reproducible across
 // code changes (the synthetic generators' streams shift whenever their
 // tuning changes), lets external traces drive the simulator, and
 // supports trimming/filtering for focused protocol debugging.
+//
+// Not to be confused with coherence-transaction tracing: that is
+// internal/telemetry's span tracer (cmpsim -trace-out), which records
+// what the protocols *did*; a reference trace records what the cores
+// *asked for*.
 //
 // The format is a line-oriented text file, one reference per line:
 //
@@ -32,7 +38,8 @@ type Record struct {
 	Gap   sim.Time
 }
 
-// Trace is an in-memory reference stream.
+// Trace is an in-memory reference trace (one stream of core memory
+// references, not a coherence-transaction trace).
 type Trace struct {
 	Records []Record
 }
@@ -46,7 +53,7 @@ func (t *Trace) Len() int { return len(t.Records) }
 // Write serializes the trace.
 func (t *Trace) Write(w io.Writer) error {
 	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintf(bw, "# cmp trace: %d records\n", len(t.Records)); err != nil {
+	if _, err := fmt.Fprintf(bw, "# cmp reference trace: %d records\n", len(t.Records)); err != nil {
 		return err
 	}
 	for _, r := range t.Records {

@@ -123,3 +123,76 @@ func TestPlayerPreservesOrder(t *testing.T) {
 		t.Error("player reordered a tile's records")
 	}
 }
+
+// TestFilterAddrRoundTrip requires a filtered sub-trace to survive the
+// write/read round trip exactly — the bisection workflow is "filter to
+// one block, save, replay", so the saved file must reproduce the
+// records (tiles and gaps included) byte for byte.
+func TestFilterAddrRoundTrip(t *testing.T) {
+	tr := sample()
+	sub := tr.FilterAddr(0x1234)
+	if sub.Len() != 2 {
+		t.Fatalf("FilterAddr(0x1234) = %d records, want 2", sub.Len())
+	}
+	var buf bytes.Buffer
+	if err := sub.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "reference trace") {
+		t.Errorf("trace header does not say %q:\n%s", "reference trace", buf.String())
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != sub.Len() {
+		t.Fatalf("round trip length %d, want %d", got.Len(), sub.Len())
+	}
+	for i := range sub.Records {
+		if got.Records[i] != sub.Records[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got.Records[i], sub.Records[i])
+		}
+	}
+	// Filtering must not disturb the source trace.
+	if tr.Len() != 3 {
+		t.Errorf("FilterAddr mutated the source trace: %d records", tr.Len())
+	}
+}
+
+// TestPlayerExhaustion requires the replay cursor to drain each tile
+// independently, report exhaustion cleanly (including for tiles the
+// trace never mentions), and stay exhausted.
+func TestPlayerExhaustion(t *testing.T) {
+	p := NewPlayer(sample())
+	if p.Remaining(3) != 2 || p.Remaining(7) != 1 {
+		t.Fatalf("Remaining = %d/%d, want 2/1", p.Remaining(3), p.Remaining(7))
+	}
+	// A tile absent from the trace is born exhausted.
+	if n := p.Remaining(42); n != 0 {
+		t.Errorf("unknown tile Remaining = %d, want 0", n)
+	}
+	if _, ok := p.Next(42); ok {
+		t.Error("unknown tile produced a record")
+	}
+	// Draining tile 3 leaves tile 7 untouched.
+	for i := 0; i < 2; i++ {
+		if _, ok := p.Next(3); !ok {
+			t.Fatalf("tile 3 exhausted after %d records, want 2", i)
+		}
+	}
+	if _, ok := p.Next(3); ok {
+		t.Error("tile 3 produced a record past its end")
+	}
+	if p.Remaining(3) != 0 || p.Remaining(7) != 1 {
+		t.Errorf("Remaining after drain = %d/%d, want 0/1", p.Remaining(3), p.Remaining(7))
+	}
+	// Exhaustion is stable: repeated Next stays empty and Remaining
+	// never goes negative.
+	p.Next(3)
+	if n := p.Remaining(3); n != 0 {
+		t.Errorf("Remaining after over-drain = %d, want 0", n)
+	}
+	if r, ok := p.Next(7); !ok || r.Addr != 0xBEEF {
+		t.Errorf("tile 7 disturbed by tile 3's drain: %+v ok=%v", r, ok)
+	}
+}
