@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -62,9 +64,11 @@ type Bench struct {
 
 func main() {
 	smoke := flag.Bool("smoke", false, "reduced budget for CI (fast, noisier numbers)")
-	out := flag.String("out", "BENCH_4.json", "output file")
+	out := flag.String("out", "BENCH_5.json", "output file")
 	compare := flag.String("compare", "", "previous BENCH_*.json to diff against; exits 1 on a throughput regression beyond -tolerance")
 	tolerance := flag.Float64("tolerance", 0.15, "with -compare: maximum fractional throughput regression per benchmark")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the end-to-end sweep to this file (analyze with `go tool pprof`)")
+	memprofile := flag.String("memprofile", "", "write an allocation profile (after the sweep) to this file")
 	flag.Parse()
 
 	mode, refs, warmup, kernelEvents := "full", 6000, 12000, uint64(8_000_000)
@@ -77,7 +81,35 @@ func main() {
 	fmt.Fprintf(os.Stderr, "kernel: %.1f ns/event (%.2fM events/s)\n",
 		b.Kernel.NSPerEvent, b.Kernel.EventsPerSec/1e6)
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+	}
 	e2e, err := endToEnd(refs, warmup)
+	if *cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		f, merr := os.Create(*memprofile)
+		if merr != nil {
+			fmt.Fprintln(os.Stderr, "bench:", merr)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if merr := pprof.Lookup("allocs").WriteTo(f, 0); merr != nil {
+			fmt.Fprintln(os.Stderr, "bench:", merr)
+			os.Exit(1)
+		}
+		f.Close()
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)

@@ -34,6 +34,12 @@ type Line struct {
 	Owner   int16
 	ProPos  [MaxSimAreas]int8
 	AreaTag int8
+
+	// slot is the line's fixed position in its cache's backing array,
+	// assigned once at construction; it makes LRU refresh O(1) instead
+	// of a way scan. Value-copied snapshots of a Line keep the slot but
+	// are never Touched, so the stale index is harmless there.
+	slot int32
 }
 
 // MaxSimAreas bounds the number of areas the cycle simulator supports
@@ -91,6 +97,7 @@ func New(name string, numSets, ways int) *Cache {
 	for i := range c.lines {
 		c.lines[i].Owner = -1
 		c.lines[i].AreaTag = -1
+		c.lines[i].slot = int32(i)
 		for j := range c.lines[i].ProPos {
 			c.lines[i].ProPos[j] = -1
 		}
@@ -188,15 +195,11 @@ func (c *Cache) touchLine(l *Line) {
 }
 
 func (c *Cache) indexOf(l *Line) int {
-	// The line's set follows from its (already installed) address, so
-	// only that set's ways need scanning.
-	base := c.setOf(l.Addr) * c.ways
-	for w := 0; w < c.ways; w++ {
-		if &c.lines[base+w] == l {
-			return base + w
-		}
+	idx := int(l.slot)
+	if idx < 0 || idx >= len(c.lines) || &c.lines[idx] != l {
+		panic("cache: Touch on foreign line")
 	}
-	panic("cache: Touch on foreign line")
+	return idx
 }
 
 // Invalidate removes block a if present, returning the prior line

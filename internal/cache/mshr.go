@@ -4,9 +4,17 @@ package cache
 // carries the two acknowledgement counters DiCo-Providers requires
 // (Section IV-A: one for provider acks, one for sharer acks) — the
 // other protocols simply leave ProviderAcks at zero.
+//
+// Entries live in a small insertion-ordered slice backed by a free
+// list rather than a map: a blocking in-order core keeps at most a
+// handful of misses in flight per tile, and the protocols consult the
+// MSHR a dozen-plus times per miss, so a linear scan over one or two
+// pooled entries beats hashing the address every time and allocates
+// nothing in steady state.
 type MSHR struct {
 	capacity int
-	entries  map[Addr]*MSHREntry
+	active   []*MSHREntry // in-flight, insertion order
+	free     *MSHREntry   // recycled entries, linked through next
 
 	Allocations uint64
 	FullStalls  uint64
@@ -39,54 +47,74 @@ type MSHREntry struct {
 	// completes the access but immediately drops the line (the racing
 	// write serialized after this access).
 	InvalidatedWhilePending bool
+
+	next *MSHREntry // free-list link; nil while in flight
 }
 
 // NewMSHR returns an MSHR with the given capacity (0 = unlimited).
 func NewMSHR(capacity int) *MSHR {
-	return &MSHR{capacity: capacity, entries: make(map[Addr]*MSHREntry)}
+	return &MSHR{capacity: capacity}
 }
 
 // Lookup returns the entry for a, if any.
 func (m *MSHR) Lookup(a Addr) (*MSHREntry, bool) {
-	e, ok := m.entries[a]
-	return e, ok
+	for _, e := range m.active {
+		if e.Addr == a {
+			return e, true
+		}
+	}
+	return nil, false
 }
 
 // Full reports whether a new allocation would exceed capacity.
 func (m *MSHR) Full() bool {
-	return m.capacity > 0 && len(m.entries) >= m.capacity
+	return m.capacity > 0 && len(m.active) >= m.capacity
 }
 
 // Allocate creates an entry for a. It panics if a is already in flight
 // (the controller must merge or stall first) or if the MSHR is full.
 func (m *MSHR) Allocate(a Addr, write bool, now uint64) *MSHREntry {
-	if _, ok := m.entries[a]; ok {
+	if _, ok := m.Lookup(a); ok {
 		panic("cache: MSHR double allocation")
 	}
 	if m.Full() {
 		panic("cache: MSHR overflow; caller must check Full")
 	}
-	e := &MSHREntry{Addr: a, Write: write, IssuedAt: now}
-	m.entries[a] = e
+	e := m.free
+	if e != nil {
+		m.free = e.next
+		*e = MSHREntry{Addr: a, Write: write, IssuedAt: now}
+	} else {
+		e = &MSHREntry{Addr: a, Write: write, IssuedAt: now}
+	}
+	m.active = append(m.active, e)
 	m.Allocations++
 	return e
 }
 
-// Release removes the entry for a. It panics if absent.
+// Release removes the entry for a and recycles it. It panics if
+// absent.
 func (m *MSHR) Release(a Addr) {
-	if _, ok := m.entries[a]; !ok {
-		panic("cache: MSHR release of absent entry")
+	for i, e := range m.active {
+		if e.Addr == a {
+			copy(m.active[i:], m.active[i+1:])
+			m.active[len(m.active)-1] = nil
+			m.active = m.active[:len(m.active)-1]
+			e.OnComplete = nil // drop the closure before pooling
+			e.next = m.free
+			m.free = e
+			return
+		}
 	}
-	delete(m.entries, a)
+	panic("cache: MSHR release of absent entry")
 }
 
 // Outstanding returns the number of in-flight misses.
-func (m *MSHR) Outstanding() int { return len(m.entries) }
+func (m *MSHR) Outstanding() int { return len(m.active) }
 
-// ForEach visits every in-flight entry (map order; callers that need
-// determinism must sort).
+// ForEach visits every in-flight entry in allocation order.
 func (m *MSHR) ForEach(fn func(*MSHREntry)) {
-	for _, e := range m.entries {
+	for _, e := range m.active {
 		fn(e)
 	}
 }

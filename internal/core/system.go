@@ -238,6 +238,73 @@ type System struct {
 
 	retired   []int
 	refsTotal uint64
+
+	// Per-tile reference drivers. Each holds the tile's in-flight
+	// access and three persistent continuation closures, so driving a
+	// reference through issue → retire → next allocates nothing (the
+	// old per-reference closures were ~80% of all simulation-phase
+	// heap objects).
+	drivers []tileDriver
+
+	// Phase-loop state shared by the drivers (reset by runPhase).
+	phaseRefs       int
+	phaseDone       int
+	phaseTotal      uint64
+	phaseLastRetire sim.Time
+}
+
+// tileDriver issues one core's references back to back, Gap cycles
+// apart, reusing itself as the completion continuation.
+type tileDriver struct {
+	s      *System
+	tile   topo.Tile
+	addr   cache.Addr
+	write  bool
+	issued sim.Time // issue timestamp (profiled runs only)
+
+	stepC  func() // allocated once; schedule the next reference
+	issueC func() // allocated once; issue the stored access
+	doneC  func() // allocated once; retire the stored access
+}
+
+func (d *tileDriver) step() {
+	s := d.s
+	if s.retired[d.tile] >= s.phaseRefs {
+		s.phaseDone++
+		return
+	}
+	acc := s.Gen.Next(d.tile)
+	d.addr, d.write = acc.Addr, acc.Write
+	if acc.Gap > 0 {
+		s.Kernel.After(acc.Gap, d.issueC)
+	} else {
+		d.issue()
+	}
+}
+
+func (d *tileDriver) issue() {
+	s := d.s
+	if s.prof != nil {
+		// Profiled variant: time issue-to-retire and histogram
+		// everything slower than an L1 hit. Reading the clock never
+		// schedules, so the event stream is unchanged.
+		d.issued = s.Kernel.Now()
+	}
+	s.Engine.Access(d.tile, d.addr, d.write, d.doneC)
+}
+
+func (d *tileDriver) done() {
+	s := d.s
+	if s.prof != nil {
+		if lat := s.Kernel.Now() - d.issued; lat > s.Cfg.Proto.L1HitLatency {
+			s.prof.MissLatency.Observe(uint64(lat))
+		}
+	}
+	s.retired[d.tile]++
+	s.phaseTotal++
+	s.refsTotal++
+	s.phaseLastRetire = s.Kernel.Now()
+	d.step()
 }
 
 // NewSystem builds a chip from cfg.
@@ -336,57 +403,26 @@ func (s *System) pendingMisses() int {
 // simulation time of the last retirement.
 func (s *System) runPhase(refs int) (sim.Time, uint64, error) {
 	cfg := s.Cfg
-	done := 0
-	var totalRefs uint64
-	var lastRetire sim.Time
 	for t := range s.retired {
 		s.retired[t] = 0
 	}
-	var step func(tile topo.Tile)
-	step = func(tile topo.Tile) {
-		if s.retired[tile] >= refs {
-			done++
-			return
-		}
-		acc := s.Gen.Next(tile)
-		var issue func()
-		if s.prof == nil {
-			issue = func() {
-				s.Engine.Access(tile, acc.Addr, acc.Write, func() {
-					s.retired[tile]++
-					totalRefs++
-					s.refsTotal++
-					lastRetire = s.Kernel.Now()
-					step(tile)
-				})
-			}
-		} else {
-			// Profiled variant: time issue-to-retire and histogram
-			// everything slower than an L1 hit. Reading the clock
-			// never schedules, so the event stream is unchanged.
-			issue = func() {
-				issued := s.Kernel.Now()
-				s.Engine.Access(tile, acc.Addr, acc.Write, func() {
-					if lat := s.Kernel.Now() - issued; lat > s.Cfg.Proto.L1HitLatency {
-						s.prof.MissLatency.Observe(uint64(lat))
-					}
-					s.retired[tile]++
-					totalRefs++
-					s.refsTotal++
-					lastRetire = s.Kernel.Now()
-					step(tile)
-				})
-			}
-		}
-		if acc.Gap > 0 {
-			s.Kernel.After(acc.Gap, issue)
-		} else {
-			issue()
+	s.phaseRefs = refs
+	s.phaseDone = 0
+	s.phaseTotal = 0
+	s.phaseLastRetire = 0
+	if s.drivers == nil {
+		s.drivers = make([]tileDriver, cfg.Tiles)
+		for t := range s.drivers {
+			d := &s.drivers[t]
+			d.s = s
+			d.tile = topo.Tile(t)
+			d.stepC = d.step
+			d.issueC = d.issue
+			d.doneC = d.done
 		}
 	}
 	for t := 0; t < cfg.Tiles; t++ {
-		tile := topo.Tile(t)
-		s.Kernel.After(sim.Time(t%7), func() { step(tile) })
+		s.Kernel.After(sim.Time(t%7), s.drivers[t].stepC)
 	}
 	// Watchdog: if no reference retires for a long stretch, the
 	// protocol has livelocked — fail loudly instead of spinning. With
@@ -402,23 +438,23 @@ func (s *System) runPhase(refs int) (sim.Time, uint64, error) {
 	}
 	const watchdogWindow sim.Time = 2_000_000
 	lastProgress := uint64(0)
-	for done < cfg.Tiles {
+	for s.phaseDone < cfg.Tiles {
 		deadline := s.Kernel.Now() + watchdogWindow
 		s.Kernel.RunUntil(func() bool {
-			return done == cfg.Tiles || s.Kernel.Now() >= deadline ||
+			return s.phaseDone == cfg.Tiles || s.Kernel.Now() >= deadline ||
 				(s.Dog != nil && s.Dog.Err() != nil)
 		})
 		if s.Dog != nil && s.Dog.Err() != nil {
 			return 0, 0, s.Dog.Err()
 		}
-		if done == cfg.Tiles {
+		if s.phaseDone == cfg.Tiles {
 			break
 		}
-		if s.Kernel.Pending() == 0 || totalRefs == lastProgress {
+		if s.Kernel.Pending() == 0 || s.phaseTotal == lastProgress {
 			return 0, 0, fmt.Errorf("core: simulation stalled at t=%d with %d/%d cores done (%d refs retired)",
-				s.Kernel.Now(), done, cfg.Tiles, totalRefs)
+				s.Kernel.Now(), s.phaseDone, cfg.Tiles, s.phaseTotal)
 		}
-		lastProgress = totalRefs
+		lastProgress = s.phaseTotal
 	}
 	if s.Dog != nil {
 		s.Dog.Disarm()
@@ -430,7 +466,7 @@ func (s *System) runPhase(refs int) (sim.Time, uint64, error) {
 	if s.Sampler != nil {
 		s.Sampler.Snapshot()
 	}
-	return lastRetire, totalRefs, nil
+	return s.phaseLastRetire, s.phaseTotal, nil
 }
 
 // Run executes the optional warmup phase (whose activity is discarded

@@ -105,6 +105,22 @@ type pageKey struct {
 	vpage uint64
 }
 
+// tlbSize is the size of the mapper's direct-mapped translation cache
+// (power of two). Collisions simply fall back to the map-based path.
+const tlbSize = 8192
+
+// tlbEntry caches one established (vm, vpage, class) -> phys mapping.
+// writeSafe is false for a deduplicated page still resolved to the
+// shared frame: a write to it must take the slow path to break the
+// sharing (copy-on-write), which refills the entry with the new frame.
+type tlbEntry struct {
+	vm        int32
+	class     int8
+	writeSafe bool
+	vpage     uint64
+	phys      uint64
+}
+
 // Mapper is the hypervisor page table: it maps (vm, virtual page) to
 // physical pages, merging identical read-only pages across VMs when
 // deduplication is enabled, and breaking the sharing with copy-on-write
@@ -116,6 +132,7 @@ type Mapper struct {
 	shared     map[uint64]uint64 // content id (vpage) -> phys page
 	cow        map[pageKey]uint64
 	sharedSeen map[pageKey]bool // (vm, vpage) pairs already counted
+	tlb        []tlbEntry       // direct-mapped front cache
 
 	// Statistics.
 	PrivatePages uint64
@@ -126,13 +143,18 @@ type Mapper struct {
 
 // NewMapper returns a mapper with deduplication enabled or disabled.
 func NewMapper(dedup bool) *Mapper {
-	return &Mapper{
+	m := &Mapper{
 		dedup:      dedup,
 		private:    make(map[pageKey]uint64),
 		shared:     make(map[uint64]uint64),
 		cow:        make(map[pageKey]uint64),
 		sharedSeen: make(map[pageKey]bool),
+		tlb:        make([]tlbEntry, tlbSize),
 	}
+	for i := range m.tlb {
+		m.tlb[i].vm = -1
+	}
+	return m
 }
 
 // DedupEnabled reports whether deduplication is on.
@@ -148,21 +170,38 @@ func (m *Mapper) allocPhys() uint64 {
 // triggers copy-on-write on deduplicated pages. The returned cow flag
 // reports that this call broke a sharing (the caller may account a
 // page-copy cost).
+//
+// A direct-mapped cache sits in front of the page-table maps: once a
+// mapping is established (and, for deduplicated pages, once any
+// copy-on-write has resolved) the maps are never consulted again for
+// it. First touches and CoW-breaking writes always reach the slow
+// path, so the mapper's statistics and allocation order are unchanged.
 func (m *Mapper) Translate(vm int, vpage uint64, class PageClass, write bool) (phys uint64, cow bool) {
+	h := (vpage ^ uint64(vm)<<59) * 0x9E3779B97F4A7C15 >> 32 & (tlbSize - 1)
+	e := &m.tlb[h]
+	if e.vpage == vpage && e.vm == int32(vm) && e.class == int8(class) && (e.writeSafe || !write) {
+		return e.phys, false
+	}
+	phys, cow, writeSafe := m.translateSlow(vm, vpage, class, write)
+	*e = tlbEntry{vm: int32(vm), class: int8(class), writeSafe: writeSafe, vpage: vpage, phys: phys}
+	return phys, cow
+}
+
+func (m *Mapper) translateSlow(vm int, vpage uint64, class PageClass, write bool) (phys uint64, cow, writeSafe bool) {
 	key := pageKey{vm, vpage}
 	if class != PageDedup || !m.dedup {
 		if p, ok := m.private[key]; ok {
-			return p, false
+			return p, false, true
 		}
 		p := m.allocPhys()
 		m.private[key] = p
 		m.PrivatePages++
-		return p, false
+		return p, false, true
 	}
 	// Deduplicated page: one physical copy per content id unless this
 	// VM broke it with a write.
 	if p, ok := m.cow[key]; ok {
-		return p, false
+		return p, false, true
 	}
 	sp, ok := m.shared[vpage]
 	if !ok {
@@ -179,9 +218,9 @@ func (m *Mapper) Translate(vm int, vpage uint64, class PageClass, write bool) (p
 		p := m.allocPhys()
 		m.cow[key] = p
 		m.CoWBreaks++
-		return p, true
+		return p, true, true
 	}
-	return sp, false
+	return sp, false, false
 }
 
 // BlockAddr converts a physical page and block offset into a block

@@ -392,3 +392,21 @@ func TestDirectionName(t *testing.T) {
 		}
 	}
 }
+
+// TestSendNoAllocs gates the unicast hot path: Send plus the kernel
+// dispatch of its delivery must not allocate once the kernel's node
+// arena and the path scratch buffer have warmed up.
+func TestSendNoAllocs(t *testing.T) {
+	k, n := newNet(true)
+	nop := func() {}
+	cycle := func() {
+		n.Send(3, 60, 5, nop)
+		k.Run(0)
+	}
+	for i := 0; i < 32; i++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(500, cycle); avg != 0 {
+		t.Errorf("Send+deliver allocates %.2f/op, want 0", avg)
+	}
+}

@@ -2,6 +2,7 @@ package proto
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"repro/internal/cache"
@@ -43,11 +44,132 @@ type Arin struct {
 	ctx   *Context
 	tiles []*tileState
 
-	// atHomeFn adapts atHome to the kernel/mesh argument fast path
-	// (no per-message closure for requests sent to the home).
-	atHomeFn   func(any)
-	recalls    []map[cache.Addr]bool
-	ownerStamp []map[cache.Addr]sim.Time
+	// Long-lived adapters for the kernel/mesh argument fast path:
+	// protocol hops travel as (fn, *arMsg) pairs instead of
+	// per-message closures (see dirMsg for the pattern).
+	atHomeFn  func(any)
+	atL1Fn    func(any)
+	invalShFn func(any)
+	shAckFn   func(any)
+	deliverFn func(any)
+	coFn      func(any)
+	coAckFn   func(any)
+	memReqFn  func(any)
+	memRespFn func(any)
+	memFillFn func(any)
+
+	freeMsg *arMsg
+}
+
+// arMsg is the pooled argument node for DiCo-Arin's non-capturing
+// message path (see dirMsg).
+type arMsg struct {
+	next     *arMsg
+	r        arReq
+	tile     topo.Tile
+	state    cache.State
+	dirty    bool
+	supplier int16
+	stamp    sim.Time
+}
+
+func (p *Arin) msg(r arReq) *arMsg {
+	m := p.freeMsg
+	if m != nil {
+		p.freeMsg = m.next
+	} else {
+		m = &arMsg{}
+	}
+	m.r = r
+	return m
+}
+
+func (p *Arin) putMsg(m *arMsg) {
+	m.next = p.freeMsg
+	p.freeMsg = m
+}
+
+// bindHandlers builds the long-lived adapter funcs once.
+func (p *Arin) bindHandlers() {
+	p.atHomeFn = func(a any) {
+		m := a.(*arMsg)
+		r := m.r
+		p.putMsg(m)
+		p.atHome(r)
+	}
+	p.atL1Fn = func(a any) {
+		m := a.(*arMsg)
+		r, tile := m.r, m.tile
+		p.putMsg(m)
+		p.atL1(r, tile)
+	}
+	p.invalShFn = func(a any) {
+		m := a.(*arMsg)
+		tile, addr, requestor := m.tile, m.r.addr, m.r.requestor
+		p.putMsg(m)
+		p.invalidateSharer(tile, addr, requestor)
+	}
+	p.shAckFn = func(a any) {
+		m := a.(*arMsg)
+		requestor, addr := m.tile, m.r.addr
+		p.putMsg(m)
+		if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
+			e.SharerAcks--
+			p.maybeComplete(requestor, addr)
+		}
+	}
+	p.deliverFn = func(a any) {
+		m := a.(*arMsg)
+		r, state, dirty, supplier := m.r, m.state, m.dirty, m.supplier
+		p.putMsg(m)
+		p.fillL1(r.requestor, r.addr, state, dirty, supplier)
+		if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
+			e.DataReceived = true
+		}
+		p.maybeComplete(r.requestor, r.addr)
+	}
+	// coFn lands a Change_Owner at the home; the node travels on to
+	// carry the gating ack back to the new owner.
+	p.coFn = func(a any) {
+		m := a.(*arMsg)
+		addr, newOwner, stamp := m.r.addr, m.tile, m.stamp
+		home := p.ctx.HomeOf(addr)
+		p.homeOwnerUpdate(home, addr, newOwner, stamp)
+		p.ctx.SendCtlArg(home, newOwner, p.coAckFn, m)
+	}
+	p.coAckFn = func(a any) {
+		m := a.(*arMsg)
+		requestor, addr := m.tile, m.r.addr
+		p.putMsg(m)
+		if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
+			e.HomeAck = false
+			p.maybeComplete(requestor, addr)
+		}
+	}
+	// Memory fetch pipeline.
+	p.memReqFn = func(a any) {
+		m := a.(*arMsg)
+		lat := p.ctx.Mem.ReadLatency()
+		p.ctx.Kernel.AfterArg(lat, p.memRespFn, m)
+	}
+	p.memRespFn = func(a any) {
+		m := a.(*arMsg)
+		home := p.ctx.HomeOf(m.r.addr)
+		mc := p.ctx.Mem.For(m.r.addr)
+		d2 := p.ctx.SendDataArg(mc, home, p.memFillFn, m)
+		p.addLinks(m.r.requestor, m.r.addr, d2.Hops)
+	}
+	p.memFillFn = func(a any) {
+		m := a.(*arMsg)
+		r := m.r
+		p.putMsg(m)
+		home := p.ctx.HomeOf(r.addr)
+		state, dirty := arOwnerExclusive, false
+		if r.write {
+			state, dirty = arOwnerModified, true
+		}
+		p.deliver(r, home, state, dirty, -1)
+	}
 }
 
 // NewArin builds the DiCo-Arin engine on ctx.
@@ -59,16 +181,12 @@ func NewArin(ctx *Context) *Arin {
 	}
 	n := ctx.NumTiles()
 	p := &Arin{
-		ctx:        ctx,
-		tiles:      make([]*tileState, n),
-		recalls:    make([]map[cache.Addr]bool, n),
-		ownerStamp: make([]map[cache.Addr]sim.Time, n),
+		ctx:   ctx,
+		tiles: make([]*tileState, n),
 	}
-	p.atHomeFn = func(a any) { p.atHome(a.(arReq)) }
+	p.bindHandlers()
 	for i := range p.tiles {
 		p.tiles[i] = newTileState(ctx.Cfg, ctx.BankShift())
-		p.recalls[i] = make(map[cache.Addr]bool)
-		p.ownerStamp[i] = make(map[cache.Addr]sim.Time)
 	}
 	return p
 }
@@ -105,7 +223,7 @@ func (p *Arin) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()
 		t.stallL1(addr, func() { p.Access(tile, addr, write, onDone) })
 		return
 	}
-	if t.blocked[addr] {
+	if t.blocked(addr) {
 		// Three-phase broadcast in progress: wait for the unblock.
 		t.stallL1(addr, func() { p.Access(tile, addr, write, onDone) })
 		return
@@ -145,13 +263,15 @@ func (p *Arin) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()
 		e.Tag = int(MissPredFail)
 		ctx.spanEvent("predict-supplier", tile)
 		pred := topo.Tile(ptr)
-		del := ctx.SendCtl(tile, pred, func() { p.atL1(r, pred) })
+		m := p.msg(r)
+		m.tile = pred
+		del := ctx.SendCtlArg(tile, pred, p.atL1Fn, m)
 		e.Links += del.Hops
 		return
 	}
 	e.Tag = int(MissUnpredHome)
 	home := ctx.HomeOf(addr)
-	del := ctx.SendCtlArg(tile, home, p.atHomeFn, r)
+	del := ctx.SendCtlArg(tile, home, p.atHomeFn, p.msg(r))
 	e.Links += del.Hops
 }
 
@@ -178,10 +298,12 @@ func (p *Arin) ownerWriteHit(tile topo.Tile, addr cache.Addr, line *cache.Line, 
 	ctx.spanEvent("owner-write-inv", tile)
 	e.DataReceived = true
 	e.SharerAcks = popcount(sharers)
-	forEachBit(sharers, func(i int) {
-		sharer := p.tileAt(area, int8(i))
-		ctx.SendCtl(tile, sharer, func() { p.invalidateSharer(sharer, addr, tile) })
-	})
+	for v := sharers; v != 0; v &= v - 1 {
+		sharer := p.tileAt(area, int8(bits.TrailingZeros64(v)))
+		m := p.msg(arReq{addr: addr, requestor: tile})
+		m.tile = sharer
+		ctx.SendCtlArg(tile, sharer, p.invalShFn, m)
+	}
 	line.State = arOwnerModified
 	line.Dirty = true
 	line.Sharers = 0
@@ -201,12 +323,9 @@ func (p *Arin) invalidateSharer(tile topo.Tile, addr cache.Addr, requestor topo.
 	}
 	t.l1c.Update(addr, int16(requestor))
 	ctx.pw.L1CUpdate.Inc()
-	ctx.SendCtl(tile, requestor, func() {
-		if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
-			e.SharerAcks--
-			p.maybeComplete(requestor, addr)
-		}
-	})
+	m := p.msg(arReq{addr: addr})
+	m.tile = requestor
+	ctx.SendCtlArg(tile, requestor, p.shAckFn, m)
 }
 
 // atL1 handles a request at an L1 cache.
@@ -214,11 +333,17 @@ func (p *Arin) atL1(r arReq, tile topo.Tile) {
 	ctx := p.ctx
 	t := p.tiles[tile]
 	if _, pending := t.mshr.Lookup(r.addr); pending {
-		t.stallL1(r.addr, func() { p.atL1(r, tile) })
+		// Pooled-arg stalls: a closure here would capture r and force
+		// it to the heap on every atL1 call, not just the stalled ones.
+		m := p.msg(r)
+		m.tile = tile
+		t.stallL1Arg(r.addr, p.atL1Fn, m)
 		return
 	}
-	if t.blocked[r.addr] {
-		t.stallL1(r.addr, func() { p.atL1(r, tile) })
+	if t.blocked(r.addr) {
+		m := p.msg(r)
+		m.tile = tile
+		t.stallL1Arg(r.addr, p.atL1Fn, m)
 		return
 	}
 	ctx.pw.L1TagRead.Inc()
@@ -244,7 +369,9 @@ func (p *Arin) atL1(r arReq, tile topo.Tile) {
 		p.dissolveOwnership(r, tile, line)
 	case line != nil && line.State == arProvider && !r.write &&
 		p.areaOf(r.requestor) == p.areaOf(tile):
-		ctx.Trace(r.addr, "provider %d supplies %d", tile, r.requestor)
+		if ctx.tracing(r.addr) {
+			ctx.Trace(r.addr, "provider %d supplies %d", tile, r.requestor)
+		}
 		// A provider supplies inside its area; the new copy is a
 		// provider too (Section IV-B's optimization).
 		p.classifyMiss(r, byProvider)
@@ -256,7 +383,7 @@ func (p *Arin) atL1(r arReq, tile topo.Tile) {
 		r.forwards++
 		r.forwarder = tile
 		home := ctx.HomeOf(r.addr)
-		del := ctx.SendCtlArg(tile, home, p.atHomeFn, r)
+		del := ctx.SendCtlArg(tile, home, p.atHomeFn, p.msg(r))
 		p.addLinks(r.requestor, r.addr, del.Hops)
 	}
 }
@@ -267,7 +394,9 @@ func (p *Arin) atL1(r arReq, tile topo.Tile) {
 // (and becomes a provider), and the requestor becomes a provider.
 func (p *Arin) dissolveOwnership(r arReq, owner topo.Tile, line *cache.Line) {
 	ctx := p.ctx
-	ctx.Trace(r.addr, "dissolve at owner %d for %d", owner, r.requestor)
+	if ctx.tracing(r.addr) {
+		ctx.Trace(r.addr, "dissolve at owner %d for %d", owner, r.requestor)
+	}
 	p.classifyMiss(r, byOwner)
 	ownerArea := p.areaOf(owner)
 	dirty := line.Dirty
@@ -281,7 +410,7 @@ func (p *Arin) dissolveOwnership(r arReq, owner topo.Tile, line *cache.Line) {
 	home := ctx.HomeOf(r.addr)
 	reqArea := p.areaOf(r.requestor)
 	ctx.SendData(owner, home, func() {
-		p.ownerStamp[home][r.addr] = ctx.Kernel.Now()
+		p.tiles[home].setStamp(r.addr, ctx.Kernel.Now())
 		var propos [cache.MaxSimAreas]int8
 		for a := range propos {
 			propos[a] = -1
@@ -292,7 +421,7 @@ func (p *Arin) dissolveOwnership(r arReq, owner topo.Tile, line *cache.Line) {
 			if p.tiles[home].l2c.Invalidate(r.addr) {
 				ctx.pw.L2CUpdate.Inc()
 			}
-			delete(p.recalls[home], r.addr)
+			p.tiles[home].clearRecall(r.addr)
 			p.tiles[home].wakeHome(ctx.Kernel, r.addr)
 		})
 	})
@@ -311,10 +440,12 @@ func (p *Arin) ownerWriteSupply(r arReq, owner topo.Tile, line *cache.Line) {
 		e.SharerAcks += popcount(sharers)
 		e.HomeAck = true
 	}
-	forEachBit(sharers, func(i int) {
-		sharer := p.tileAt(area, int8(i))
-		ctx.SendCtl(owner, sharer, func() { p.invalidateSharer(sharer, r.addr, r.requestor) })
-	})
+	for v := sharers; v != 0; v &= v - 1 {
+		sharer := p.tileAt(area, int8(bits.TrailingZeros64(v)))
+		m := p.msg(arReq{addr: r.addr, requestor: r.requestor})
+		m.tile = sharer
+		ctx.SendCtlArg(owner, sharer, p.invalShFn, m)
+	}
 	ctx.pw.L1DataRead.Inc()
 	ctx.pw.L1TagWrite.Inc()
 	p.tiles[owner].l1.Invalidate(r.addr)
@@ -322,16 +453,10 @@ func (p *Arin) ownerWriteSupply(r arReq, owner topo.Tile, line *cache.Line) {
 	ctx.pw.L1CUpdate.Inc()
 	p.deliver(r, owner, arOwnerModified, true, -1)
 	home := ctx.HomeOf(r.addr)
-	stamp := ctx.Kernel.Now()
-	ctx.SendCtl(owner, home, func() {
-		p.homeOwnerUpdate(home, r.addr, r.requestor, stamp)
-		ctx.SendCtl(home, r.requestor, func() {
-			if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
-				e.HomeAck = false
-				p.maybeComplete(r.requestor, r.addr)
-			}
-		})
-	})
+	m := p.msg(arReq{addr: r.addr})
+	m.tile = r.requestor
+	m.stamp = ctx.Kernel.Now()
+	ctx.SendCtlArg(owner, home, p.coFn, m) // Change_Owner
 }
 
 // atHome dispatches at the home bank.
@@ -339,8 +464,8 @@ func (p *Arin) atHome(r arReq) {
 	ctx := p.ctx
 	home := ctx.HomeOf(r.addr)
 	th := p.tiles[home]
-	if th.homeBusy[r.addr] || p.recalls[home][r.addr] {
-		th.stallHome(r.addr, func() { p.atHome(r) })
+	if th.homeBusy(r.addr) || th.recallMarked(r.addr) {
+		th.stallHomeArg(r.addr, p.atHomeFn, p.msg(r))
 		return
 	}
 	ctx.pw.L2TagRead.Inc()
@@ -349,12 +474,15 @@ func (p *Arin) atHome(r arReq) {
 		ownerTile := topo.Tile(ptr)
 		if ownerTile == r.requestor || r.forwards >= maxForwards {
 			ctx.spanRetry(r.requestor)
-			ctx.Kernel.AfterArg(retryBackoff, p.atHomeFn, arReq{r.addr, r.requestor, r.write, r.predicted, 0, -1})
+			ctx.Kernel.AfterArg(retryBackoff, p.atHomeFn,
+				p.msg(arReq{r.addr, r.requestor, r.write, r.predicted, 0, -1}))
 			return
 		}
 		r.forwards++
 		ctx.spanEvent("home-forward-owner", home)
-		del := ctx.SendCtl(home, ownerTile, func() { p.atL1(r, ownerTile) })
+		m := p.msg(r)
+		m.tile = ownerTile
+		del := ctx.SendCtlArg(home, ownerTile, p.atL1Fn, m)
 		p.addLinks(r.requestor, r.addr, del.Hops)
 		return
 	}
@@ -367,22 +495,11 @@ func (p *Arin) atHome(r arReq) {
 		}
 	}
 	if l2line == nil {
-		// Not on chip.
+		// Not on chip: the pooled node rides the whole request ->
+		// latency -> data pipeline (memReqFn/memRespFn/memFillFn).
 		p.updateL2C(home, r.addr, r.requestor)
-		state := arOwnerExclusive
-		dirty := false
-		if r.write {
-			state = arOwnerModified
-			dirty = true
-		}
 		mc := ctx.Mem.For(r.addr)
-		del := ctx.SendCtl(home, mc, func() {
-			lat := ctx.Mem.ReadLatency()
-			ctx.Kernel.After(lat, func() {
-				d2 := ctx.SendData(mc, home, func() { p.deliver(r, home, state, dirty, -1) })
-				p.addLinks(r.requestor, r.addr, d2.Hops)
-			})
-		})
+		del := ctx.SendCtlArg(home, mc, p.memReqFn, p.msg(r))
 		p.addLinks(r.requestor, r.addr, del.Hops)
 		return
 	}
@@ -398,7 +515,9 @@ func (p *Arin) atHome(r arReq) {
 // removes DiCo-Providers' 5-hop path).
 func (p *Arin) homeInter(r arReq, home topo.Tile, l2line *cache.Line) {
 	ctx := p.ctx
-	ctx.Trace(r.addr, "home-inter %d serves %d write=%v fwd=%d", home, r.requestor, r.write, r.forwarder)
+	if ctx.tracing(r.addr) {
+		ctx.Trace(r.addr, "home-inter %d serves %d write=%v fwd=%d", home, r.requestor, r.write, r.forwarder)
+	}
 	th := p.tiles[home]
 	reqArea := p.areaOf(r.requestor)
 	if r.write {
@@ -439,7 +558,9 @@ func (p *Arin) homeInter(r arReq, home topo.Tile, l2line *cache.Line) {
 // (at most) one area's sharers tracked precisely.
 func (p *Arin) homeOwned(r arReq, home topo.Tile, l2line *cache.Line) {
 	ctx := p.ctx
-	ctx.Trace(r.addr, "home-owned %d serves %d write=%v areatag=%d sharers=%#x", home, r.requestor, r.write, l2line.AreaTag, l2line.Sharers)
+	if ctx.tracing(r.addr) {
+		ctx.Trace(r.addr, "home-owned %d serves %d write=%v areatag=%d sharers=%#x", home, r.requestor, r.write, l2line.AreaTag, l2line.Sharers)
+	}
 	th := p.tiles[home]
 	reqArea := p.areaOf(r.requestor)
 	if r.write {
@@ -457,10 +578,12 @@ func (p *Arin) homeOwned(r arReq, home topo.Tile, l2line *cache.Line) {
 		if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
 			e.SharerAcks += popcount(sharers)
 		}
-		forEachBit(sharers, func(i int) {
-			sharer := p.tileAt(area, int8(i))
-			ctx.SendCtl(home, sharer, func() { p.invalidateSharer(sharer, r.addr, r.requestor) })
-		})
+		for v := sharers; v != 0; v &= v - 1 {
+			sharer := p.tileAt(area, int8(bits.TrailingZeros64(v)))
+			m := p.msg(arReq{addr: r.addr, requestor: r.requestor})
+			m.tile = sharer
+			ctx.SendCtlArg(home, sharer, p.invalShFn, m)
+		}
 		ctx.pw.L2DataRead.Inc()
 		th.l2.Invalidate(r.addr)
 		ctx.pw.L2TagWrite.Inc()
@@ -502,10 +625,12 @@ func (p *Arin) homeOwned(r arReq, home topo.Tile, l2line *cache.Line) {
 // requestor, (3) the requestor broadcasts the unblock.
 func (p *Arin) broadcastInvalidation(r arReq, home topo.Tile, l2line *cache.Line) {
 	ctx := p.ctx
-	ctx.Trace(r.addr, "broadcast inv from home %d for writer %d", home, r.requestor)
+	if ctx.tracing(r.addr) {
+		ctx.Trace(r.addr, "broadcast inv from home %d for writer %d", home, r.requestor)
+	}
 	th := p.tiles[home]
 	p.classifyMiss(r, byHome)
-	th.homeBusy[r.addr] = true
+	th.setHomeBusy(r.addr)
 	dirty := l2line.Dirty
 	th.l2.Invalidate(r.addr)
 	ctx.pw.L2TagWrite.Inc()
@@ -534,7 +659,7 @@ func (p *Arin) broadcastInvalidation(r arReq, home topo.Tile, l2line *cache.Line
 		if dst == r.requestor {
 			return
 		}
-		t.blocked[r.addr] = true
+		t.setBlocked(r.addr)
 		ctx.SendCtl(dst, r.requestor, func() {
 			if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
 				e.SharerAcks--
@@ -578,13 +703,13 @@ func (p *Arin) unblockAfterWrite(r arReq, home topo.Tile) {
 	}
 	deliverUnblock := func(dst topo.Tile) {
 		t := p.tiles[dst]
-		if t.blocked[r.addr] {
-			delete(t.blocked, r.addr)
+		if t.blocked(r.addr) {
+			t.clearBlocked(r.addr)
 			t.wakeL1(ctx.Kernel, r.addr)
 		}
 		if dst == home {
 			th := p.tiles[home]
-			delete(th.homeBusy, r.addr)
+			th.clearHomeBusy(r.addr)
 			th.wakeHome(ctx.Kernel, r.addr)
 		}
 	}
@@ -596,7 +721,7 @@ func (p *Arin) unblockAfterWrite(r arReq, home topo.Tile) {
 	}
 	if r.requestor == home {
 		th := p.tiles[home]
-		delete(th.homeBusy, r.addr)
+		th.clearHomeBusy(r.addr)
 		th.wakeHome(ctx.Kernel, r.addr)
 	}
 	e.HomeAck = false
@@ -608,17 +733,19 @@ func (p *Arin) unblockAfterWrite(r arReq, home topo.Tile) {
 // replacement variant), then calls then.
 func (p *Arin) evictL2Inter(home topo.Tile, victim cache.Line, then func()) {
 	ctx := p.ctx
-	ctx.Trace(victim.Addr, "L2 inter eviction at %d", home)
+	if ctx.tracing(victim.Addr) {
+		ctx.Trace(victim.Addr, "L2 inter eviction at %d", home)
+	}
 	th := p.tiles[home]
 	victimAddr := victim.Addr
-	th.homeBusy[victimAddr] = true
+	th.setHomeBusy(victimAddr)
 	pending := ctx.NumTiles() - 1
 	finishAcks := func() {
 		// Phase three: home broadcasts the unblock.
 		deliverUnblock := func(dst topo.Tile) {
 			t := p.tiles[dst]
-			if t.blocked[victimAddr] {
-				delete(t.blocked, victimAddr)
+			if t.blocked(victimAddr) {
+				t.clearBlocked(victimAddr)
 				t.wakeL1(ctx.Kernel, victimAddr)
 			}
 		}
@@ -631,7 +758,7 @@ func (p *Arin) evictL2Inter(home topo.Tile, victim cache.Line, then func()) {
 			mc := ctx.Mem.For(victimAddr)
 			ctx.SendData(home, mc, func() { ctx.Mem.WriteLatency() })
 		}
-		delete(th.homeBusy, victimAddr)
+		th.clearHomeBusy(victimAddr)
 		th.wakeHome(ctx.Kernel, victimAddr)
 		then()
 	}
@@ -644,7 +771,7 @@ func (p *Arin) evictL2Inter(home topo.Tile, victim cache.Line, then func()) {
 		if e, ok := t.mshr.Lookup(victimAddr); ok {
 			e.InvalidatedWhilePending = true
 		}
-		t.blocked[victimAddr] = true
+		t.setBlocked(victimAddr)
 		ctx.SendCtl(dst, home, func() {
 			pending--
 			if pending == 0 {
@@ -670,7 +797,10 @@ func (p *Arin) evictL2Inter(home topo.Tile, victim cache.Line, then func()) {
 
 // deliver sends the block to the requestor and completes on arrival.
 func (p *Arin) deliver(r arReq, from topo.Tile, state cache.State, dirty bool, supplier int16) {
-	p.deliverWithHook(r, from, state, dirty, supplier, nil)
+	m := p.msg(r)
+	m.state, m.dirty, m.supplier = state, dirty, supplier
+	del := p.ctx.SendDataArg(from, r.requestor, p.deliverFn, m)
+	p.addLinks(r.requestor, r.addr, del.Hops)
 }
 
 func (p *Arin) deliverWithHook(r arReq, from topo.Tile, state cache.State, dirty bool,
@@ -692,7 +822,9 @@ func (p *Arin) deliverWithHook(r arReq, from topo.Tile, state cache.State, dirty
 // goes into the line for L1C$ retention on eviction.
 func (p *Arin) fillL1(tile topo.Tile, addr cache.Addr, state cache.State, dirty bool, supplier int16) {
 	ctx := p.ctx
-	ctx.Trace(addr, "fill at %d state=%d", tile, state)
+	if ctx.tracing(addr) {
+		ctx.Trace(addr, "fill at %d state=%d", tile, state)
+	}
 	t := p.tiles[tile]
 	ctx.pw.L1TagWrite.Inc()
 	ctx.pw.L1DataWrite.Inc()
@@ -727,7 +859,9 @@ func (p *Arin) fillL1(tile topo.Tile, addr cache.Addr, state cache.State, dirty 
 // owners transfer to a local sharer or write back to the home.
 func (p *Arin) evictL1(tile topo.Tile, victim cache.Line) {
 	ctx := p.ctx
-	ctx.Trace(victim.Addr, "L1 evict at %d state=%d", tile, victim.State)
+	if ctx.tracing(victim.Addr) {
+		ctx.Trace(victim.Addr, "L1 evict at %d state=%d", tile, victim.State)
+	}
 	t := p.tiles[tile]
 	switch victim.State {
 	case arShared, arProvider:
@@ -815,26 +949,28 @@ func (p *Arin) writebackToHome(tile topo.Tile, addr cache.Addr, dirty bool, area
 	}
 	ctx.pw.L1DataRead.Inc()
 	ctx.SendData(tile, home, func() {
-		p.ownerStamp[home][addr] = ctx.Kernel.Now()
+		p.tiles[home].setStamp(addr, ctx.Kernel.Now())
 		p.insertL2Owned(home, addr, dirty, areaTag, leftover, func() {
 			if p.tiles[home].l2c.Invalidate(addr) {
 				ctx.pw.L2CUpdate.Inc()
 			}
-			delete(p.recalls[home], addr)
+			p.tiles[home].clearRecall(addr)
 			p.tiles[home].wakeHome(ctx.Kernel, addr)
 		})
 	})
 }
 
 func (p *Arin) homeOwnerUpdate(home topo.Tile, addr cache.Addr, owner topo.Tile, stamp sim.Time) {
-	p.ctx.Trace(addr, "home owner update -> %d (stamp %d)", owner, stamp)
-	if prev, ok := p.ownerStamp[home][addr]; ok && prev > stamp {
+	if p.ctx.tracing(addr) {
+		p.ctx.Trace(addr, "home owner update -> %d (stamp %d)", owner, stamp)
+	}
+	th := p.tiles[home]
+	if !th.stampIfNewer(addr, stamp) {
 		return
 	}
-	p.ownerStamp[home][addr] = stamp
 	p.updateL2C(home, addr, owner)
-	delete(p.recalls[home], addr)
-	p.tiles[home].wakeHome(p.ctx.Kernel, addr)
+	th.clearRecall(addr)
+	th.wakeHome(p.ctx.Kernel, addr)
 }
 
 func (p *Arin) updateL2C(home topo.Tile, addr cache.Addr, owner topo.Tile) {
@@ -852,8 +988,10 @@ func (p *Arin) updateL2C(home topo.Tile, addr cache.Addr, owner topo.Tile) {
 // an owner-form home entry.
 func (p *Arin) recallOwnership(home topo.Tile, addr cache.Addr) {
 	ctx := p.ctx
-	ctx.Trace(addr, "recall issued from home %d", home)
-	p.recalls[home][addr] = true
+	if ctx.tracing(addr) {
+		ctx.Trace(addr, "recall issued from home %d", home)
+	}
+	p.tiles[home].markRecall(addr)
 	owner := topo.Tile(-1)
 	for i := range p.tiles {
 		if l := p.tiles[i].l1.Peek(addr); l != nil && arIsOwner(l.State) {
@@ -866,7 +1004,7 @@ func (p *Arin) recallOwnership(home topo.Tile, addr cache.Addr) {
 		// filled): poll until the owner materializes or a home update
 		// clears the marker.
 		ctx.Kernel.After(4*retryBackoff, func() {
-			if p.recalls[home][addr] {
+			if p.tiles[home].recallMarked(addr) {
 				p.recallOwnership(home, addr)
 			}
 		})
@@ -877,7 +1015,9 @@ func (p *Arin) recallOwnership(home topo.Tile, addr cache.Addr) {
 
 func (p *Arin) relinquish(home, owner topo.Tile, addr cache.Addr) {
 	ctx := p.ctx
-	ctx.Trace(addr, "relinquish at %d", owner)
+	if ctx.tracing(addr) {
+		ctx.Trace(addr, "relinquish at %d", owner)
+	}
 	t := p.tiles[owner]
 	if _, pending := t.mshr.Lookup(addr); pending {
 		t.stallL1(addr, func() { p.relinquish(home, owner, addr) })
@@ -886,7 +1026,9 @@ func (p *Arin) relinquish(home, owner topo.Tile, addr cache.Addr) {
 	ctx.pw.L1TagRead.Inc()
 	line := t.l1.Peek(addr)
 	if line == nil || !arIsOwner(line.State) {
-		ctx.Trace(addr, "relinquish at %d found no owner line", owner)
+		if ctx.tracing(addr) {
+			ctx.Trace(addr, "relinquish at %d found no owner line", owner)
+		}
 		return
 	}
 	area := p.areaOf(owner)
@@ -899,12 +1041,12 @@ func (p *Arin) relinquish(home, owner topo.Tile, addr cache.Addr) {
 	ctx.pw.L1TagWrite.Inc()
 	ctx.pw.L1DataRead.Inc()
 	ctx.SendData(owner, home, func() {
-		p.ownerStamp[home][addr] = ctx.Kernel.Now()
+		p.tiles[home].setStamp(addr, ctx.Kernel.Now())
 		p.insertL2Owned(home, addr, dirty, int8(area), sharers, func() {
 			if p.tiles[home].l2c.Invalidate(addr) {
 				ctx.pw.L2CUpdate.Inc()
 			}
-			delete(p.recalls[home], addr)
+			p.tiles[home].clearRecall(addr)
 			p.tiles[home].wakeHome(ctx.Kernel, addr)
 		})
 	})
@@ -925,7 +1067,9 @@ func (p *Arin) insertL2Inter(home topo.Tile, addr cache.Addr, dirty bool,
 func (p *Arin) insertL2(home topo.Tile, addr cache.Addr, dirty bool, state cache.State,
 	areaTag int8, sharers uint64, propos *[cache.MaxSimAreas]int8, then func()) {
 	ctx := p.ctx
-	ctx.Trace(addr, "insert L2 at %d form=%d areatag=%d sharers=%#x", home, state, areaTag, sharers)
+	if ctx.tracing(addr) {
+		ctx.Trace(addr, "insert L2 at %d form=%d areatag=%d sharers=%#x", home, state, areaTag, sharers)
+	}
 	th := p.tiles[home]
 	apply := func(line *cache.Line) {
 		line.Dirty = line.Dirty || dirty
@@ -979,12 +1123,14 @@ func (p *Arin) insertL2(home topo.Tile, addr cache.Addr, dirty bool, state cache
 // sharers (a single area: cheap unicasts), then proceeds.
 func (p *Arin) evictL2OwnedVictim(home topo.Tile, victim cache.Line, then func()) {
 	ctx := p.ctx
-	ctx.Trace(victim.Addr, "L2 owned eviction at %d sharers=%#x", home, victim.Sharers)
+	if ctx.tracing(victim.Addr) {
+		ctx.Trace(victim.Addr, "L2 owned eviction at %d sharers=%#x", home, victim.Sharers)
+	}
 	th := p.tiles[home]
 	victimAddr := victim.Addr
 	sharers := victim.Sharers
 	area := int(victim.AreaTag)
-	th.homeBusy[victimAddr] = true
+	th.setHomeBusy(victimAddr)
 	pending := 0
 	if area >= 0 {
 		pending = popcount(sharers)
@@ -994,7 +1140,7 @@ func (p *Arin) evictL2OwnedVictim(home topo.Tile, victim cache.Line, then func()
 			mc := ctx.Mem.For(victimAddr)
 			ctx.SendData(home, mc, func() { ctx.Mem.WriteLatency() })
 		}
-		delete(th.homeBusy, victimAddr)
+		th.clearHomeBusy(victimAddr)
 		th.wakeHome(ctx.Kernel, victimAddr)
 		then()
 	}

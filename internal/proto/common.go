@@ -210,9 +210,17 @@ func (c *Context) SetTrace(a cache.Addr, out func(string)) {
 	c.TraceOut = out
 }
 
+// tracing reports whether Trace would log for a. Hot paths guard
+// their Trace calls with it: the variadic args of an unguarded call
+// are boxed into an escaping []any by the caller even when tracing is
+// disabled, which made Trace the dominant allocation site.
+func (c *Context) tracing(a cache.Addr) bool {
+	return c.TraceEnabled && c.TraceOut != nil && a == c.TraceAddr
+}
+
 // Trace logs a protocol event for the traced address.
 func (c *Context) Trace(a cache.Addr, format string, args ...any) {
-	if !c.TraceEnabled || c.TraceOut == nil || a != c.TraceAddr {
+	if !c.tracing(a) {
 		return
 	}
 	c.TraceOut(fmt.Sprintf("t=%-8d %s", c.Kernel.Now(), fmt.Sprintf(format, args...)))
@@ -320,6 +328,13 @@ func (c *Context) SendCtlArg(src, dst topo.Tile, fn func(any), arg any) mesh.Del
 	return c.Net.SendArg(src, dst, c.Net.Config().ControlFlits, fn, arg)
 }
 
+// SendDataArg sends a 5-flit data message through the non-capturing
+// fast path: fn(arg) runs on delivery. With a pooled argument node the
+// send allocates nothing.
+func (c *Context) SendDataArg(src, dst topo.Tile, fn func(any), arg any) mesh.Delivery {
+	return c.Net.SendArg(src, dst, c.Net.Config().DataFlits, fn, arg)
+}
+
 // tileState is the per-tile storage all protocols share (each uses the
 // subset it needs).
 type tileState struct {
@@ -330,17 +345,11 @@ type tileState struct {
 	l2c  *cache.PointerCache // precise owner pointers
 	mshr *cache.MSHR
 
-	// pendingL1 queues messages that arrived at this L1 for a block
-	// with an outstanding miss or a transfer in progress.
-	pendingL1 map[cache.Addr][]func()
-	// pendingHome queues requests stalled at this home bank.
-	pendingHome map[cache.Addr][]func()
-	// homeBusy marks blocks with an ongoing home-serialized operation
-	// (chip-wide invalidation, broadcast, recall).
-	homeBusy map[cache.Addr]bool
-	// blocked marks blocks frozen at this L1 by DiCo-Arin's
-	// three-phase broadcast.
-	blocked map[cache.Addr]bool
+	// tx holds all transient per-block state of this tile — the
+	// stalled L1/home waiter queues, the home-busy and blocked flags,
+	// the recall mark and the ownership stamp — in pooled records (see
+	// txtable.go). The accessors below are the only way in.
+	tx txTable
 }
 
 func newTileState(cfg Config, bankShift uint) *tileState {
@@ -349,52 +358,181 @@ func newTileState(cfg Config, bankShift uint) *tileState {
 	l2c := cache.NewPointerCache("l2c", cfg.CCSets, cfg.CCWays)
 	l2c.SetIndexShift(bankShift)
 	return &tileState{
-		l1:          cache.New("l1", cfg.L1Sets, cfg.L1Ways),
-		l2:          l2,
-		l1c:         cache.NewPointerCache("l1c", cfg.CCSets, cfg.CCWays),
-		l2c:         l2c,
-		mshr:        cache.NewMSHR(0),
-		pendingL1:   make(map[cache.Addr][]func()),
-		pendingHome: make(map[cache.Addr][]func()),
-		homeBusy:    make(map[cache.Addr]bool),
-		blocked:     make(map[cache.Addr]bool),
+		l1:   cache.New("l1", cfg.L1Sets, cfg.L1Ways),
+		l2:   l2,
+		l1c:  cache.NewPointerCache("l1c", cfg.CCSets, cfg.CCWays),
+		l2c:  l2c,
+		mshr: cache.NewMSHR(0),
+		tx:   newTxTable(),
 	}
 }
 
 // stallL1 queues fn to re-run when the L1's outstanding transaction on
 // a completes.
 func (t *tileState) stallL1(a cache.Addr, fn func()) {
-	t.pendingL1[a] = append(t.pendingL1[a], fn)
+	t.stallL1Arg(a, runClosure, fn)
 }
 
-// wakeL1 reschedules everything stalled on a at this L1.
+// stallL1Arg is stallL1 in the kernel's non-capturing form: fn(arg)
+// runs at wake. Hot callers pass a pooled argument node and a
+// long-lived handler so the stall allocates nothing.
+func (t *tileState) stallL1Arg(a cache.Addr, fn func(any), arg any) {
+	r := t.tx.ensure(a)
+	w := t.tx.getWaiter(fn, arg)
+	if r.l1Tail == nil {
+		r.l1Head = w
+	} else {
+		r.l1Tail.next = w
+	}
+	r.l1Tail = w
+}
+
+// wakeL1 reschedules everything stalled on a at this L1, in stall
+// (FIFO) order.
 func (t *tileState) wakeL1(k *sim.Kernel, a cache.Addr) {
-	queued := t.pendingL1[a]
-	if len(queued) == 0 {
+	r := t.tx.get(a)
+	if r == nil || r.l1Head == nil {
 		return
 	}
-	delete(t.pendingL1, a)
-	for _, fn := range queued {
-		k.After(1, fn)
+	w := r.l1Head
+	r.l1Head, r.l1Tail = nil, nil
+	for w != nil {
+		next := w.next
+		k.AfterArg(1, w.fn, w.arg)
+		t.tx.putWaiter(w)
+		w = next
 	}
+	t.tx.maybeRelease(r)
 }
 
 // stallHome queues fn at the home bank until the block's home state
 // changes.
 func (t *tileState) stallHome(a cache.Addr, fn func()) {
-	t.pendingHome[a] = append(t.pendingHome[a], fn)
+	t.stallHomeArg(a, runClosure, fn)
 }
 
-// wakeHome reschedules requests stalled at this home bank on a.
+// stallHomeArg is stallHome in the non-capturing form.
+func (t *tileState) stallHomeArg(a cache.Addr, fn func(any), arg any) {
+	r := t.tx.ensure(a)
+	w := t.tx.getWaiter(fn, arg)
+	if r.homeTail == nil {
+		r.homeHead = w
+	} else {
+		r.homeTail.next = w
+	}
+	r.homeTail = w
+}
+
+// wakeHome reschedules requests stalled at this home bank on a, in
+// stall (FIFO) order.
 func (t *tileState) wakeHome(k *sim.Kernel, a cache.Addr) {
-	queued := t.pendingHome[a]
-	if len(queued) == 0 {
+	r := t.tx.get(a)
+	if r == nil || r.homeHead == nil {
 		return
 	}
-	delete(t.pendingHome, a)
-	for _, fn := range queued {
-		k.After(1, fn)
+	w := r.homeHead
+	r.homeHead, r.homeTail = nil, nil
+	for w != nil {
+		next := w.next
+		k.AfterArg(1, w.fn, w.arg)
+		t.tx.putWaiter(w)
+		w = next
 	}
+	t.tx.maybeRelease(r)
+}
+
+// homeBusy reports whether a home-serialized operation (chip-wide
+// invalidation, broadcast, recall) is in progress on a at this bank.
+func (t *tileState) homeBusy(a cache.Addr) bool {
+	r := t.tx.get(a)
+	return r != nil && r.flags&txHomeBusy != 0
+}
+
+func (t *tileState) setHomeBusy(a cache.Addr) { t.tx.ensure(a).flags |= txHomeBusy }
+
+func (t *tileState) clearHomeBusy(a cache.Addr) {
+	if r := t.tx.get(a); r != nil {
+		r.flags &^= txHomeBusy
+		t.tx.maybeRelease(r)
+	}
+}
+
+// blocked reports whether a is frozen at this L1 by DiCo-Arin's
+// three-phase broadcast.
+func (t *tileState) blocked(a cache.Addr) bool {
+	r := t.tx.get(a)
+	return r != nil && r.flags&txBlocked != 0
+}
+
+func (t *tileState) setBlocked(a cache.Addr) { t.tx.ensure(a).flags |= txBlocked }
+
+func (t *tileState) clearBlocked(a cache.Addr) {
+	if r := t.tx.get(a); r != nil {
+		r.flags &^= txBlocked
+		t.tx.maybeRelease(r)
+	}
+}
+
+// recallMarked reports whether an ownership recall is in flight for a
+// at this home bank.
+func (t *tileState) recallMarked(a cache.Addr) bool {
+	r := t.tx.get(a)
+	return r != nil && r.flags&txRecall != 0
+}
+
+func (t *tileState) markRecall(a cache.Addr) { t.tx.ensure(a).flags |= txRecall }
+
+func (t *tileState) clearRecall(a cache.Addr) {
+	if r := t.tx.get(a); r != nil {
+		r.flags &^= txRecall
+		t.tx.maybeRelease(r)
+	}
+}
+
+// stampIfNewer records an ownership-update stamp for a and reports
+// whether it is current: it returns false — leaving the stored stamp
+// alone — when a strictly newer update was already applied, the guard
+// the homes use to drop stale in-flight ownership updates.
+func (t *tileState) stampIfNewer(a cache.Addr, s sim.Time) bool {
+	r := t.tx.ensure(a)
+	if r.flags&txStamped != 0 && r.stamp > s {
+		return false
+	}
+	r.stamp = s
+	r.flags |= txStamped
+	return true
+}
+
+// setStamp unconditionally records an ownership-update stamp for a.
+func (t *tileState) setStamp(a cache.Addr, s sim.Time) {
+	r := t.tx.ensure(a)
+	r.stamp = s
+	r.flags |= txStamped
+}
+
+// pendingL1Len / pendingHomeLen report queue depths for debug dumps.
+func (t *tileState) pendingL1Len(a cache.Addr) int {
+	r := t.tx.get(a)
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for w := r.l1Head; w != nil; w = w.next {
+		n++
+	}
+	return n
+}
+
+func (t *tileState) pendingHomeLen(a cache.Addr) int {
+	r := t.tx.get(a)
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for w := r.homeHead; w != nil; w = w.next {
+		n++
+	}
+	return n
 }
 
 // maxForwards bounds request forwarding before the request backs off

@@ -11,17 +11,19 @@ import (
 )
 
 // engineInternals exposes the shared per-tile state of the four
-// engines to the debug formatters.
-func engineInternals(e Engine) (tiles []*tileState, recalls []map[cache.Addr]bool, ctx *Context) {
+// engines to the debug formatters. All transient per-block state
+// (stall queues, busy/blocked flags, recall marks) lives in each
+// tile's transaction table.
+func engineInternals(e Engine) (tiles []*tileState, ctx *Context) {
 	switch eng := e.(type) {
 	case *Directory:
 		tiles, ctx = eng.tiles, eng.ctx
 	case *DiCo:
-		tiles, recalls, ctx = eng.tiles, eng.recalls, eng.ctx
+		tiles, ctx = eng.tiles, eng.ctx
 	case *Providers:
-		tiles, recalls, ctx = eng.tiles, eng.recalls, eng.ctx
+		tiles, ctx = eng.tiles, eng.ctx
 	case *Arin:
-		tiles, recalls, ctx = eng.tiles, eng.recalls, eng.ctx
+		tiles, ctx = eng.tiles, eng.ctx
 	}
 	return
 }
@@ -30,7 +32,7 @@ func engineInternals(e Engine) (tiles []*tileState, recalls []map[cache.Addr]boo
 // copy, the home L2 line and pointer caches, and the per-tile stall
 // state (debug aid).
 func FormatBlockState(e Engine, addr cache.Addr) string {
-	tiles, recalls, ctx := engineInternals(e)
+	tiles, ctx := engineInternals(e)
 	if tiles == nil {
 		return fmt.Sprintf("block %#x: unknown engine %T", addr, e)
 	}
@@ -44,8 +46,8 @@ func FormatBlockState(e Engine, addr cache.Addr) string {
 		if me, ok := t.mshr.Lookup(addr); ok {
 			fmt.Fprintf(&b, "  MSHR[%d]: %+v\n", i, *me)
 		}
-		if len(t.pendingL1[addr]) > 0 || t.blocked[addr] {
-			fmt.Fprintf(&b, "  tile %d: pendingL1=%d blocked=%v\n", i, len(t.pendingL1[addr]), t.blocked[addr])
+		if t.pendingL1Len(addr) > 0 || t.blocked(addr) {
+			fmt.Fprintf(&b, "  tile %d: pendingL1=%d blocked=%v\n", i, t.pendingL1Len(addr), t.blocked(addr))
 		}
 	}
 	th := tiles[home]
@@ -65,7 +67,7 @@ func FormatBlockState(e Engine, addr cache.Addr) string {
 		fmt.Fprintf(&b, "  L2C$[%d] -> %d\n", home, ptr)
 	}
 	fmt.Fprintf(&b, "  homeBusy=%v pendingHome=%d recall=%v\n",
-		th.homeBusy[addr], len(th.pendingHome[addr]), recalls != nil && recalls[home][addr])
+		th.homeBusy(addr), th.pendingHomeLen(addr), th.recallMarked(addr))
 	return b.String()
 }
 
@@ -75,7 +77,7 @@ func DumpBlockState(e Engine, addr cache.Addr) { fmt.Print(FormatBlockState(e, a
 // FormatStalls returns every outstanding MSHR entry and stall queue of
 // the engine (debug aid for hangs).
 func FormatStalls(e Engine) string {
-	tiles, recalls, _ := engineInternals(e)
+	tiles, _ := engineInternals(e)
 	if tiles == nil {
 		return fmt.Sprintf("unknown engine %T", e)
 	}
@@ -90,24 +92,24 @@ func FormatStalls(e Engine) string {
 				fmt.Fprintf(&b, "  MSHR %#x: %+v\n", me.Addr, *me)
 			}
 		}
-		for a, q := range t.pendingL1 {
-			fmt.Fprintf(&b, "tile %d pendingL1[%#x]: %d (blocked=%v)\n", i, a, len(q), t.blocked[a])
-		}
-		for a, q := range t.pendingHome {
-			fmt.Fprintf(&b, "tile %d pendingHome[%#x]: %d (busy=%v recall=%v)\n", i, a, len(q),
-				t.homeBusy[a], recalls != nil && recalls[i][a])
-		}
-		for a := range t.homeBusy {
-			fmt.Fprintf(&b, "tile %d homeBusy[%#x]\n", i, a)
-		}
-		for a := range t.blocked {
-			fmt.Fprintf(&b, "tile %d blocked[%#x]\n", i, a)
-		}
-		if recalls != nil {
-			for a := range recalls[i] {
-				fmt.Fprintf(&b, "tile %d recall[%#x]\n", i, a)
+		t.tx.forEach(func(r *txRecord) {
+			if n := t.pendingL1Len(r.addr); n > 0 {
+				fmt.Fprintf(&b, "tile %d pendingL1[%#x]: %d (blocked=%v)\n", i, r.addr, n, r.flags&txBlocked != 0)
 			}
-		}
+			if n := t.pendingHomeLen(r.addr); n > 0 {
+				fmt.Fprintf(&b, "tile %d pendingHome[%#x]: %d (busy=%v recall=%v)\n", i, r.addr, n,
+					r.flags&txHomeBusy != 0, r.flags&txRecall != 0)
+			}
+			if r.flags&txHomeBusy != 0 {
+				fmt.Fprintf(&b, "tile %d homeBusy[%#x]\n", i, r.addr)
+			}
+			if r.flags&txBlocked != 0 {
+				fmt.Fprintf(&b, "tile %d blocked[%#x]\n", i, r.addr)
+			}
+			if r.flags&txRecall != 0 {
+				fmt.Fprintf(&b, "tile %d recall[%#x]\n", i, r.addr)
+			}
+		})
 	}
 	return b.String()
 }

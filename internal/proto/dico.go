@@ -2,6 +2,7 @@ package proto
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"repro/internal/cache"
@@ -31,17 +32,162 @@ type DiCo struct {
 	ctx   *Context
 	tiles []*tileState
 
-	// atHomeFn adapts atHome to the kernel/mesh argument fast path
-	// (no per-message closure for requests sent to the home).
-	atHomeFn func(any)
+	// Long-lived adapters for the kernel/mesh argument fast path:
+	// protocol hops travel as (fn, *dcMsg) pairs instead of
+	// per-message closures (see dirMsg for the pattern).
+	atHomeFn  func(any)
+	atL1Fn    func(any)
+	invalFn   func(any)
+	ackFn     func(any)
+	deliverFn func(any)
+	coFn      func(any)
+	coAckFn   func(any)
+	memReqFn  func(any)
+	memRespFn func(any)
+	memFillFn func(any)
+	wbFn      func(any)
 
-	// recalls marks blocks whose ownership is being recalled to the
-	// home (L2C$ eviction); requests for them park at the home.
-	recalls []map[cache.Addr]bool
-	// ownerStamp guards the L2C$ against reordered Change_Owner
-	// messages (the paper gates transfers on the home's ack; the
-	// stamp realizes the same ordering).
-	ownerStamp []map[cache.Addr]sim.Time
+	freeMsg *dcMsg
+
+	// Recall marks and the Change_Owner ordering stamps live in the
+	// home tile's transaction table (tileState.markRecall /
+	// stampIfNewer): the paper gates transfers on the home's ack; the
+	// stamp realizes the same ordering against reordered messages.
+}
+
+// dcMsg is DiCo's pooled argument node for the non-capturing message
+// path (see dirMsg).
+type dcMsg struct {
+	next     *dcMsg
+	r        dcReq
+	tile     topo.Tile   // hop-specific second tile
+	state    cache.State // deliverData fill state
+	dirty    bool
+	supplier int16    // deliverData prediction hint / invalidation new owner
+	stamp    sim.Time // Change_Owner ordering stamp
+	vec      uint64   // sharer vector (writeback)
+}
+
+func (p *DiCo) msg(r dcReq) *dcMsg {
+	m := p.freeMsg
+	if m != nil {
+		p.freeMsg = m.next
+	} else {
+		m = &dcMsg{}
+	}
+	m.r = r
+	return m
+}
+
+func (p *DiCo) putMsg(m *dcMsg) {
+	m.next = p.freeMsg
+	p.freeMsg = m
+}
+
+// bindHandlers builds the long-lived adapter funcs once.
+func (p *DiCo) bindHandlers() {
+	p.atHomeFn = func(a any) {
+		m := a.(*dcMsg)
+		r := m.r
+		p.putMsg(m)
+		p.atHome(r)
+	}
+	p.atL1Fn = func(a any) {
+		m := a.(*dcMsg)
+		r, tile := m.r, m.tile
+		p.putMsg(m)
+		p.atL1(r, tile)
+	}
+	p.invalFn = func(a any) {
+		m := a.(*dcMsg)
+		tile, addr, ackTo, newOwner := m.tile, m.r.addr, m.r.requestor, topo.Tile(m.supplier)
+		p.putMsg(m)
+		p.invalidateAtL1(tile, addr, ackTo, newOwner)
+	}
+	p.ackFn = func(a any) {
+		m := a.(*dcMsg)
+		ackTo, addr := m.tile, m.r.addr
+		p.putMsg(m)
+		e, ok := p.tiles[ackTo].mshr.Lookup(addr)
+		if !ok {
+			return
+		}
+		e.SharerAcks--
+		p.maybeComplete(ackTo, addr)
+	}
+	p.deliverFn = func(a any) {
+		m := a.(*dcMsg)
+		requestor, addr, state, dirty, supplier := m.tile, m.r.addr, m.state, m.dirty, m.supplier
+		p.putMsg(m)
+		p.fillL1(requestor, addr, state, dirty, supplier)
+		if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
+			e.DataReceived = true
+		}
+		p.maybeComplete(requestor, addr)
+	}
+	// coFn lands a Change_Owner at the home; the node travels on to
+	// carry the gating ack back to the new owner.
+	p.coFn = func(a any) {
+		m := a.(*dcMsg)
+		addr, newOwner, stamp := m.r.addr, m.tile, m.stamp
+		home := p.ctx.HomeOf(addr)
+		p.homeOwnerUpdate(home, addr, newOwner, stamp)
+		p.ctx.SendCtlArg(home, newOwner, p.coAckFn, m)
+	}
+	p.coAckFn = func(a any) {
+		m := a.(*dcMsg)
+		requestor, addr := m.tile, m.r.addr
+		p.putMsg(m)
+		if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
+			e.HomeAck = false
+			p.maybeComplete(requestor, addr)
+		}
+	}
+	// Memory fetch pipeline (no L2 copy is kept: the L1 owner holds
+	// the block and its coherence information).
+	p.memReqFn = func(a any) {
+		m := a.(*dcMsg)
+		lat := p.ctx.Mem.ReadLatency()
+		p.ctx.Kernel.AfterArg(lat, p.memRespFn, m)
+	}
+	p.memRespFn = func(a any) {
+		m := a.(*dcMsg)
+		home := p.ctx.HomeOf(m.r.addr)
+		mc := p.ctx.Mem.For(m.r.addr)
+		d2 := p.ctx.SendDataArg(mc, home, p.memFillFn, m)
+		p.addLinks(m.r.requestor, m.r.addr, d2.Hops)
+	}
+	p.memFillFn = func(a any) {
+		m := a.(*dcMsg)
+		r := m.r
+		p.putMsg(m)
+		home := p.ctx.HomeOf(r.addr)
+		state, dirty := dcOwnerExclusive, false
+		if r.write {
+			state, dirty = dcOwnerModified, true
+		}
+		p.deliverData(r.requestor, r.addr, home, state, dirty, -1)
+	}
+	// wbFn lands an ownership writeback (data + sharing code) at the
+	// home L2.
+	p.wbFn = func(a any) {
+		m := a.(*dcMsg)
+		addr, dirty, sharers := m.r.addr, m.dirty, m.vec
+		p.putMsg(m)
+		ctx := p.ctx
+		home := ctx.HomeOf(addr)
+		// Stamp the return of ownership so a Change_Owner that was
+		// sent earlier but arrives later cannot resurrect a stale
+		// pointer.
+		p.tiles[home].setStamp(addr, ctx.Kernel.Now())
+		p.insertL2Owned(home, addr, dirty, sharers, nil)
+		// The home's pointer to the old L1 owner is obsolete.
+		if p.tiles[home].l2c.Invalidate(addr) {
+			ctx.pw.L2CUpdate.Inc()
+		}
+		p.tiles[home].clearRecall(addr)
+		p.tiles[home].wakeHome(ctx.Kernel, addr)
+	}
 }
 
 // NewDiCo builds the DiCo engine on ctx.
@@ -49,16 +195,12 @@ func NewDiCo(ctx *Context) *DiCo {
 	ctx.bindPower()
 	n := ctx.NumTiles()
 	p := &DiCo{
-		ctx:        ctx,
-		tiles:      make([]*tileState, n),
-		recalls:    make([]map[cache.Addr]bool, n),
-		ownerStamp: make([]map[cache.Addr]sim.Time, n),
+		ctx:   ctx,
+		tiles: make([]*tileState, n),
 	}
-	p.atHomeFn = func(a any) { p.atHome(a.(dcReq)) }
+	p.bindHandlers()
 	for i := range p.tiles {
 		p.tiles[i] = newTileState(ctx.Cfg, ctx.BankShift())
-		p.recalls[i] = make(map[cache.Addr]bool)
-		p.ownerStamp[i] = make(map[cache.Addr]sim.Time)
 	}
 	return p
 }
@@ -117,7 +259,9 @@ func (p *DiCo) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()
 	e := t.mshr.Allocate(addr, write, uint64(ctx.Kernel.Now()))
 	e.OnComplete = onDone
 	ctx.spanBegin(tile, addr, write)
-	ctx.Trace(addr, "miss at %d write=%v", tile, write)
+	if ctx.tracing(addr) {
+		ctx.Trace(addr, "miss at %d write=%v", tile, write)
+	}
 	r := dcReq{addr: addr, requestor: tile, write: write}
 	// Predict the supplier via the L1C$ (Figure 5).
 	ctx.pw.L1CAccess.Inc()
@@ -126,13 +270,15 @@ func (p *DiCo) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()
 		e.Tag = int(MissPredOwner)
 		ctx.spanEvent("predict-supplier", tile)
 		pred := topo.Tile(ptr)
-		del := ctx.SendCtl(tile, pred, func() { p.atL1(r, pred) })
+		m := p.msg(r)
+		m.tile = pred
+		del := ctx.SendCtlArg(tile, pred, p.atL1Fn, m)
 		e.Links += del.Hops
 		return
 	}
 	e.Tag = int(MissUnpredHome)
 	home := ctx.HomeOf(addr)
-	del := ctx.SendCtlArg(tile, home, p.atHomeFn, r)
+	del := ctx.SendCtlArg(tile, home, p.atHomeFn, p.msg(r))
 	e.Links += del.Hops
 }
 
@@ -159,10 +305,13 @@ func (p *DiCo) ownerWriteHit(tile topo.Tile, addr cache.Addr, line *cache.Line, 
 	ctx.spanEvent("owner-write-inv", tile)
 	e.DataReceived = true
 	e.SharerAcks = popcount(sharers)
-	forEachBit(sharers, func(i int) {
-		sharer := topo.Tile(i)
-		ctx.SendCtl(tile, sharer, func() { p.invalidateAtL1(sharer, addr, tile, tile) })
-	})
+	for v := sharers; v != 0; v &= v - 1 {
+		sharer := topo.Tile(bits.TrailingZeros64(v))
+		m := p.msg(dcReq{addr: addr, requestor: tile})
+		m.tile = sharer
+		m.supplier = int16(tile)
+		ctx.SendCtlArg(tile, sharer, p.invalFn, m)
+	}
 	line.State = dcOwnerModified
 	line.Dirty = true
 	line.Sharers = 0
@@ -176,7 +325,11 @@ func (p *DiCo) atL1(r dcReq, tile topo.Tile) {
 	ctx := p.ctx
 	t := p.tiles[tile]
 	if _, pending := t.mshr.Lookup(r.addr); pending {
-		t.stallL1(r.addr, func() { p.atL1(r, tile) })
+		// Pooled-arg stall: a closure here would capture r and force it
+		// to the heap on every atL1 call, not just the stalled ones.
+		m := p.msg(r)
+		m.tile = tile
+		t.stallL1Arg(r.addr, p.atL1Fn, m)
 		return
 	}
 	ctx.pw.L1TagRead.Inc()
@@ -188,7 +341,7 @@ func (p *DiCo) atL1(r dcReq, tile topo.Tile) {
 		}
 		r.forwards++
 		home := ctx.HomeOf(r.addr)
-		del := ctx.SendCtlArg(tile, home, p.atHomeFn, r)
+		del := ctx.SendCtlArg(tile, home, p.atHomeFn, p.msg(r))
 		p.addLinks(r.requestor, r.addr, del.Hops)
 		return
 	}
@@ -203,7 +356,9 @@ func (p *DiCo) atL1(r dcReq, tile topo.Tile) {
 	} else if !r.predicted {
 		p.setClass(r.requestor, r.addr, MissUnpredOwner)
 	}
-	ctx.Trace(r.addr, "owner %d supplies read to %d (sharers %#x)", tile, r.requestor, line.Sharers)
+	if ctx.tracing(r.addr) {
+		ctx.Trace(r.addr, "owner %d supplies read to %d (sharers %#x)", tile, r.requestor, line.Sharers)
+	}
 	line.Sharers |= bit(r.requestor)
 	if line.State != dcOwnerShared {
 		line.State = dcOwnerShared
@@ -224,15 +379,20 @@ func (p *DiCo) ownerWriteSupply(r dcReq, owner topo.Tile, line *cache.Line) {
 		p.setClass(r.requestor, r.addr, MissUnpredOwner)
 	}
 	sharers := line.Sharers &^ bit(r.requestor) &^ bit(owner)
-	ctx.Trace(r.addr, "owner %d write-supplies %d, inv sharers %#x", owner, r.requestor, sharers)
+	if ctx.tracing(r.addr) {
+		ctx.Trace(r.addr, "owner %d write-supplies %d, inv sharers %#x", owner, r.requestor, sharers)
+	}
 	if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
 		e.SharerAcks += popcount(sharers)
 		e.HomeAck = true
 	}
-	forEachBit(sharers, func(i int) {
-		sharer := topo.Tile(i)
-		ctx.SendCtl(owner, sharer, func() { p.invalidateAtL1(sharer, r.addr, r.requestor, r.requestor) })
-	})
+	for v := sharers; v != 0; v &= v - 1 {
+		sharer := topo.Tile(bits.TrailingZeros64(v))
+		m := p.msg(dcReq{addr: r.addr, requestor: r.requestor})
+		m.tile = sharer
+		m.supplier = int16(r.requestor)
+		ctx.SendCtlArg(owner, sharer, p.invalFn, m)
+	}
 	ctx.pw.L1DataRead.Inc()
 	ctx.pw.L1TagWrite.Inc()
 	p.tiles[owner].l1.Invalidate(r.addr)
@@ -241,16 +401,10 @@ func (p *DiCo) ownerWriteSupply(r dcReq, owner topo.Tile, line *cache.Line) {
 	ctx.pw.L1CUpdate.Inc()
 	p.deliverData(r.requestor, r.addr, owner, dcOwnerModified, true, -1)
 	home := ctx.HomeOf(r.addr)
-	stamp := ctx.Kernel.Now()
-	ctx.SendCtl(owner, home, func() { // Change_Owner
-		p.homeOwnerUpdate(home, r.addr, r.requestor, stamp)
-		ctx.SendCtl(home, r.requestor, func() { // Change_Owner ack
-			if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
-				e.HomeAck = false
-				p.maybeComplete(r.requestor, r.addr)
-			}
-		})
-	})
+	m := p.msg(dcReq{addr: r.addr})
+	m.tile = r.requestor
+	m.stamp = ctx.Kernel.Now()
+	ctx.SendCtlArg(owner, home, p.coFn, m) // Change_Owner (+ gating ack)
 }
 
 // atHome handles a request at the home bank: consult the L2C$ for the
@@ -260,8 +414,8 @@ func (p *DiCo) atHome(r dcReq) {
 	ctx := p.ctx
 	home := ctx.HomeOf(r.addr)
 	th := p.tiles[home]
-	if th.homeBusy[r.addr] || p.recalls[home][r.addr] {
-		th.stallHome(r.addr, func() { p.atHome(r) })
+	if th.homeBusy(r.addr) || th.recallMarked(r.addr) {
+		th.stallHomeArg(r.addr, p.atHomeFn, p.msg(r))
 		return
 	}
 	ctx.pw.L2TagRead.Inc()
@@ -272,12 +426,14 @@ func (p *DiCo) atHome(r dcReq) {
 			// Our own transfer is settling, or forwarding keeps
 			// bouncing: back off and retry.
 			ctx.spanRetry(r.requestor)
-			ctx.Kernel.AfterArg(retryBackoff, p.atHomeFn, dcReq{r.addr, r.requestor, r.write, r.predicted, 0})
+			ctx.Kernel.AfterArg(retryBackoff, p.atHomeFn, p.msg(dcReq{r.addr, r.requestor, r.write, r.predicted, 0}))
 			return
 		}
 		r.forwards++
 		ctx.spanEvent("home-forward-owner", home)
-		del := ctx.SendCtl(home, owner, func() { p.atL1(r, owner) })
+		m := p.msg(r)
+		m.tile = owner
+		del := ctx.SendCtlArg(home, owner, p.atL1Fn, m)
 		p.addLinks(r.requestor, r.addr, del.Hops)
 		return
 	}
@@ -292,32 +448,17 @@ func (p *DiCo) atHome(r dcReq) {
 	}
 	// Not on chip: requestor becomes owner; memory supplies.
 	p.updateL2C(home, r.addr, r.requestor)
-	state := dcOwnerExclusive
-	dirty := false
-	if r.write {
-		state = dcOwnerModified
-		dirty = true
-	}
 	mc := ctx.Mem.For(r.addr)
-	del := ctx.SendCtl(home, mc, func() {
-		lat := ctx.Mem.ReadLatency()
-		ctx.Kernel.After(lat, func() {
-			// Memory data flows through the home bank on its way to
-			// the new owner (no L2 copy is kept: the L1 owner holds
-			// the block and its coherence information).
-			d2 := ctx.SendData(mc, home, func() {
-				p.deliverData(r.requestor, r.addr, home, state, dirty, -1)
-			})
-			p.addLinks(r.requestor, r.addr, d2.Hops)
-		})
-	})
+	del := ctx.SendCtlArg(home, mc, p.memReqFn, p.msg(r))
 	p.addLinks(r.requestor, r.addr, del.Hops)
 }
 
 // homeOwnerSupply serves a request when the home L2 holds ownership.
 func (p *DiCo) homeOwnerSupply(r dcReq, home topo.Tile, l2line *cache.Line) {
 	ctx := p.ctx
-	ctx.Trace(r.addr, "home %d supplies %d write=%v (l2 sharers %#x)", home, r.requestor, r.write, l2line.Sharers)
+	if ctx.tracing(r.addr) {
+		ctx.Trace(r.addr, "home %d supplies %d write=%v (l2 sharers %#x)", home, r.requestor, r.write, l2line.Sharers)
+	}
 	th := p.tiles[home]
 	if !r.predicted || r.forwards > 0 {
 		p.setClass(r.requestor, r.addr, MissUnpredHome)
@@ -327,10 +468,13 @@ func (p *DiCo) homeOwnerSupply(r dcReq, home topo.Tile, l2line *cache.Line) {
 		if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
 			e.SharerAcks += popcount(sharers)
 		}
-		forEachBit(sharers, func(i int) {
-			sharer := topo.Tile(i)
-			ctx.SendCtl(home, sharer, func() { p.invalidateAtL1(sharer, r.addr, r.requestor, r.requestor) })
-		})
+		for v := sharers; v != 0; v &= v - 1 {
+			sharer := topo.Tile(bits.TrailingZeros64(v))
+			m := p.msg(dcReq{addr: r.addr, requestor: r.requestor})
+			m.tile = sharer
+			m.supplier = int16(r.requestor)
+			ctx.SendCtlArg(home, sharer, p.invalFn, m)
+		}
 		dirty := l2line.Dirty
 		th.l2.Invalidate(r.addr)
 		ctx.pw.L2TagWrite.Inc()
@@ -349,7 +493,9 @@ func (p *DiCo) homeOwnerSupply(r dcReq, home topo.Tile, l2line *cache.Line) {
 // new owner (Figure 5), and acks the requestor.
 func (p *DiCo) invalidateAtL1(tile topo.Tile, addr cache.Addr, ackTo, newOwner topo.Tile) {
 	ctx := p.ctx
-	ctx.Trace(addr, "invalidate at %d (ack to %d)", tile, ackTo)
+	if ctx.tracing(addr) {
+		ctx.Trace(addr, "invalidate at %d (ack to %d)", tile, ackTo)
+	}
 	t := p.tiles[tile]
 	ctx.pw.L1TagRead.Inc()
 	if _, ok := t.l1.Invalidate(addr); ok {
@@ -360,26 +506,21 @@ func (p *DiCo) invalidateAtL1(tile topo.Tile, addr cache.Addr, ackTo, newOwner t
 	}
 	t.l1c.Update(addr, int16(newOwner))
 	ctx.pw.L1CUpdate.Inc()
-	ctx.SendCtl(tile, ackTo, func() {
-		e, ok := p.tiles[ackTo].mshr.Lookup(addr)
-		if !ok {
-			return
-		}
-		e.SharerAcks--
-		p.maybeComplete(ackTo, addr)
-	})
+	m := p.msg(dcReq{addr: addr})
+	m.tile = ackTo
+	ctx.SendCtlArg(tile, ackTo, p.ackFn, m)
 }
 
 // homeOwnerUpdate installs a new owner pointer in the home's L2C$,
 // guarded against reordered Change_Owner messages.
 func (p *DiCo) homeOwnerUpdate(home topo.Tile, addr cache.Addr, owner topo.Tile, stamp sim.Time) {
-	if prev, ok := p.ownerStamp[home][addr]; ok && prev > stamp {
+	th := p.tiles[home]
+	if !th.stampIfNewer(addr, stamp) {
 		return // a newer transfer already registered
 	}
-	p.ownerStamp[home][addr] = stamp
 	p.updateL2C(home, addr, owner)
-	delete(p.recalls[home], addr)
-	p.tiles[home].wakeHome(p.ctx.Kernel, addr)
+	th.clearRecall(addr)
+	th.wakeHome(p.ctx.Kernel, addr)
 }
 
 // updateL2C writes an owner pointer, running the L2C$ replacement
@@ -411,7 +552,7 @@ func (p *DiCo) recallOwnership(home topo.Tile, addr cache.Addr) {
 	// entry whose pointer was still valid, so we remember it here.
 	// (The pointer cache returns only the address; recover the owner
 	// by probing the L1s' state lazily when the recall "arrives".)
-	p.recalls[home][addr] = true
+	p.tiles[home].markRecall(addr)
 	// Resolve the owner at recall-issue time by scanning — stands in
 	// for reading the pointer before eviction.
 	owner := topo.Tile(-1)
@@ -426,7 +567,7 @@ func (p *DiCo) recallOwnership(home topo.Tile, addr cache.Addr) {
 		// filled): poll until the owner materializes or a home update
 		// clears the marker.
 		ctx.Kernel.After(4*retryBackoff, func() {
-			if p.recalls[home][addr] {
+			if p.tiles[home].recallMarked(addr) {
 				p.recallOwnership(home, addr)
 			}
 		})
@@ -451,7 +592,9 @@ func (p *DiCo) relinquishOwnership(home, owner topo.Tile, addr cache.Addr) {
 		// refresh the home and clear the recall marker.
 		return
 	}
-	ctx.Trace(addr, "relinquish at %d sharers=%#x", owner, line.Sharers)
+	if ctx.tracing(addr) {
+		ctx.Trace(addr, "relinquish at %d sharers=%#x", owner, line.Sharers)
+	}
 	sharers := line.Sharers | bit(owner)
 	dirty := line.Dirty
 	line.State = dcShared
@@ -461,9 +604,9 @@ func (p *DiCo) relinquishOwnership(home, owner topo.Tile, addr cache.Addr) {
 	ctx.pw.L1TagWrite.Inc()
 	ctx.pw.L1DataRead.Inc()
 	ctx.SendData(owner, home, func() {
-		p.ownerStamp[home][addr] = ctx.Kernel.Now()
+		p.tiles[home].setStamp(addr, ctx.Kernel.Now())
 		p.insertL2Owned(home, addr, dirty, sharers, func() {
-			delete(p.recalls[home], addr)
+			p.tiles[home].clearRecall(addr)
 			p.tiles[home].wakeHome(ctx.Kernel, addr)
 		})
 	})
@@ -472,13 +615,12 @@ func (p *DiCo) relinquishOwnership(home, owner topo.Tile, addr cache.Addr) {
 // deliverData sends the block to the requestor. supplier (when >= 0)
 // is retained as the line's prediction hint.
 func (p *DiCo) deliverData(requestor topo.Tile, addr cache.Addr, from topo.Tile, state cache.State, dirty bool, supplier int16) {
-	del := p.ctx.SendData(from, requestor, func() {
-		p.fillL1(requestor, addr, state, dirty, supplier)
-		if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
-			e.DataReceived = true
-		}
-		p.maybeComplete(requestor, addr)
-	})
+	m := p.msg(dcReq{addr: addr})
+	m.tile = requestor
+	m.state = state
+	m.dirty = dirty
+	m.supplier = supplier
+	del := p.ctx.SendDataArg(from, requestor, p.deliverFn, m)
 	p.addLinks(requestor, addr, del.Hops)
 }
 
@@ -486,7 +628,9 @@ func (p *DiCo) deliverData(requestor topo.Tile, addr cache.Addr, from topo.Tile,
 // protocol for the victim.
 func (p *DiCo) fillL1(tile topo.Tile, addr cache.Addr, state cache.State, dirty bool, supplier int16) {
 	ctx := p.ctx
-	ctx.Trace(addr, "fill at %d state=%d dirty=%v", tile, state, dirty)
+	if ctx.tracing(addr) {
+		ctx.Trace(addr, "fill at %d state=%d dirty=%v", tile, state, dirty)
+	}
 	t := p.tiles[tile]
 	ctx.pw.L1TagWrite.Inc()
 	ctx.pw.L1DataWrite.Inc()
@@ -519,7 +663,9 @@ func (p *DiCo) fillL1(tile topo.Tile, addr cache.Addr, state cache.State, dirty 
 // ownership to a sharer, or write back to the home when alone.
 func (p *DiCo) evictL1(tile topo.Tile, victim cache.Line) {
 	ctx := p.ctx
-	ctx.Trace(victim.Addr, "evict at %d state=%d sharers=%#x", tile, victim.State, victim.Sharers)
+	if ctx.tracing(victim.Addr) {
+		ctx.Trace(victim.Addr, "evict at %d state=%d sharers=%#x", tile, victim.State, victim.Sharers)
+	}
 	t := p.tiles[tile]
 	if victim.State == dcShared {
 		if victim.Owner >= 0 {
@@ -569,12 +715,16 @@ func (p *DiCo) transferOwnership(from topo.Tile, addr cache.Addr, tryList, vecto
 		ctx.pw.L1TagRead.Inc()
 		line := t.l1.Peek(addr)
 		if line == nil || line.State != dcShared {
-			ctx.Trace(addr, "transfer rejected at %d", target)
+			if ctx.tracing(addr) {
+				ctx.Trace(addr, "transfer rejected at %d", target)
+			}
 			// No longer a sharer: pass it on (Table II).
 			p.transferOwnership(target, addr, rest, vector&^bit(target), dirty, evictor)
 			return
 		}
-		ctx.Trace(addr, "transfer accepted at %d (vector %#x)", target, vector)
+		if ctx.tracing(addr) {
+			ctx.Trace(addr, "transfer accepted at %d (vector %#x)", target, vector)
+		}
 		line.State = dcOwnerShared
 		line.Dirty = dirty
 		line.Sharers = vector &^ bit(target)
@@ -606,22 +756,15 @@ func (p *DiCo) transferOwnership(from topo.Tile, addr cache.Addr, tryList, vecto
 // becomes the owner.
 func (p *DiCo) writebackToHome(tile topo.Tile, addr cache.Addr, dirty bool, sharers uint64) {
 	ctx := p.ctx
-	ctx.Trace(addr, "writeback to home from %d sharers=%#x", tile, sharers)
+	if ctx.tracing(addr) {
+		ctx.Trace(addr, "writeback to home from %d sharers=%#x", tile, sharers)
+	}
 	home := ctx.HomeOf(addr)
 	ctx.pw.L1DataRead.Inc()
-	ctx.SendData(tile, home, func() {
-		// Stamp the return of ownership so a Change_Owner that was
-		// sent earlier but arrives later cannot resurrect a stale
-		// pointer.
-		p.ownerStamp[home][addr] = ctx.Kernel.Now()
-		p.insertL2Owned(home, addr, dirty, sharers, nil)
-		// The home's pointer to the old L1 owner is obsolete.
-		if p.tiles[home].l2c.Invalidate(addr) {
-			ctx.pw.L2CUpdate.Inc()
-		}
-		delete(p.recalls[home], addr)
-		p.tiles[home].wakeHome(ctx.Kernel, addr)
-	})
+	m := p.msg(dcReq{addr: addr})
+	m.dirty = dirty
+	m.vec = sharers
+	ctx.SendDataArg(tile, home, p.wbFn, m)
 }
 
 // insertL2Owned installs a block in the home L2 as owner, evicting an
@@ -630,7 +773,9 @@ func (p *DiCo) writebackToHome(tile topo.Tile, addr cache.Addr, dirty bool, shar
 // requestor).
 func (p *DiCo) insertL2Owned(home topo.Tile, addr cache.Addr, dirty bool, sharers uint64, then func()) {
 	ctx := p.ctx
-	ctx.Trace(addr, "insert L2-owned at %d sharers=%#x", home, sharers)
+	if ctx.tracing(addr) {
+		ctx.Trace(addr, "insert L2-owned at %d sharers=%#x", home, sharers)
+	}
 	th := p.tiles[home]
 	if line := th.l2.Peek(addr); line != nil {
 		ctx.pw.L2TagWrite.Inc()
@@ -672,16 +817,18 @@ func (p *DiCo) evictL2Owned(home topo.Tile, victim cache.Line, then func()) {
 	ctx := p.ctx
 	th := p.tiles[home]
 	victimAddr := victim.Addr
-	ctx.Trace(victimAddr, "L2 eviction at %d sharers=%#x", home, victim.Sharers)
+	if ctx.tracing(victimAddr) {
+		ctx.Trace(victimAddr, "L2 eviction at %d sharers=%#x", home, victim.Sharers)
+	}
 	sharers := victim.Sharers
-	th.homeBusy[victimAddr] = true
+	th.setHomeBusy(victimAddr)
 	pending := popcount(sharers)
 	finish := func() {
 		if victim.Dirty {
 			mc := ctx.Mem.For(victimAddr)
 			ctx.SendData(home, mc, func() { ctx.Mem.WriteLatency() })
 		}
-		delete(th.homeBusy, victimAddr)
+		th.clearHomeBusy(victimAddr)
 		th.wakeHome(ctx.Kernel, victimAddr)
 		then()
 	}

@@ -2,6 +2,7 @@ package proto
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/cache"
 	"repro/internal/sim"
@@ -27,31 +28,44 @@ type Directory struct {
 	ctx   *Context
 	tiles []*tileState
 
-	// ownerStamp[home][addr] is the timestamp of the newest ownership
-	// decision applied to the home's directory entry. Ownership updates
+	// The timestamp of the newest ownership decision applied to a
+	// home's directory entry lives in the home tile's transaction
+	// table (tileState.setStamp/stampIfNewer). Ownership updates
 	// travel the mesh from different source tiles and can arrive out of
 	// order; an update whose decision predates the applied one must be
 	// dropped or it resurrects a stale owner pointer and every request
 	// forwards/bounces forever (found by the stress fuzzer, seed 139).
-	ownerStamp []map[cache.Addr]sim.Time
 
-	// atHomeFn is the long-lived adapter for the kernel/mesh argument
-	// fast path: requests to the home are sent as (atHomeFn, dirReq)
-	// pairs instead of per-message closures.
-	atHomeFn func(any)
+	// Long-lived adapters for the kernel/mesh argument fast path:
+	// protocol hops travel as (fn, *dirMsg) pairs instead of
+	// per-message closures. Each adapter unpacks its pooled node,
+	// recycles it, and calls the value-typed handler.
+	atHomeFn    func(any)
+	atOwnerFn   func(any)
+	atSharerFn  func(any)
+	deliverFn   func(any)
+	invalFn     func(any)
+	ackFn       func(any)
+	handoverFn  func(any)
+	downgradeFn func(any)
+	evictWbFn   func(any)
+	memReqFn    func(any)
+	memRespFn   func(any)
+	memFillFn   func(any)
+	flushFn     func(any)
+
+	freeMsg *dirMsg
 }
 
 // NewDirectory builds the directory engine on ctx.
 func NewDirectory(ctx *Context) *Directory {
 	ctx.bindPower()
 	d := &Directory{
-		ctx:        ctx,
-		tiles:      make([]*tileState, ctx.NumTiles()),
-		ownerStamp: make([]map[cache.Addr]sim.Time, ctx.NumTiles()),
+		ctx:   ctx,
+		tiles: make([]*tileState, ctx.NumTiles()),
 	}
-	d.atHomeFn = func(a any) { d.atHome(a.(dirReq)) }
+	d.bindHandlers()
 	for i := range d.tiles {
-		d.ownerStamp[i] = make(map[cache.Addr]sim.Time)
 		t := newTileState(ctx.Cfg, ctx.BankShift())
 		// Directory information lives with every L2 entry (a full-map
 		// vector per line, Table V) plus the NCID directory cache for
@@ -84,6 +98,198 @@ type dirReq struct {
 	requestor topo.Tile
 	write     bool
 	forwards  int
+}
+
+// dirMsg is the pooled argument node for the non-capturing message
+// path. A *dirMsg boxes into any without allocating, so the hot
+// request/forward/deliver/update hops cost no heap traffic; handlers
+// unpack the fields they need, recycle the node, then act.
+type dirMsg struct {
+	next  *dirMsg
+	r     dirReq
+	tile  topo.Tile   // hop-specific second tile (owner/sharer/requestor)
+	state cache.State // deliverData fill state
+	dirty bool
+	stamp sim.Time // ownership-update stamp
+}
+
+func (d *Directory) msg(r dirReq) *dirMsg {
+	m := d.freeMsg
+	if m != nil {
+		d.freeMsg = m.next
+	} else {
+		m = &dirMsg{}
+	}
+	m.r = r
+	return m
+}
+
+func (d *Directory) putMsg(m *dirMsg) {
+	m.next = d.freeMsg
+	d.freeMsg = m
+}
+
+// bindHandlers builds the long-lived adapter funcs once; every
+// per-message send reuses them with a pooled *dirMsg argument.
+func (d *Directory) bindHandlers() {
+	d.atHomeFn = func(a any) {
+		m := a.(*dirMsg)
+		r := m.r
+		d.putMsg(m)
+		d.atHome(r)
+	}
+	d.atOwnerFn = func(a any) {
+		m := a.(*dirMsg)
+		r, owner := m.r, m.tile
+		d.putMsg(m)
+		d.atOwner(r, owner)
+	}
+	d.atSharerFn = func(a any) {
+		m := a.(*dirMsg)
+		r, sharer := m.r, m.tile
+		d.putMsg(m)
+		d.atSharerSupply(r, sharer)
+	}
+	d.deliverFn = func(a any) {
+		m := a.(*dirMsg)
+		requestor, addr, state, dirty := m.tile, m.r.addr, m.state, m.dirty
+		d.putMsg(m)
+		d.fillL1(requestor, addr, state, dirty)
+		if e, ok := d.tiles[requestor].mshr.Lookup(addr); ok {
+			e.DataReceived = true
+		}
+		d.maybeComplete(requestor, addr)
+	}
+	d.invalFn = func(a any) {
+		m := a.(*dirMsg)
+		sharer, addr, requestor := m.tile, m.r.addr, m.r.requestor
+		d.putMsg(m)
+		d.invalidateAtL1(sharer, addr, requestor)
+	}
+	d.ackFn = func(a any) {
+		m := a.(*dirMsg)
+		requestor, addr := m.tile, m.r.addr
+		d.putMsg(m)
+		d.ackAtRequestor(requestor, addr)
+	}
+	// handoverFn applies the write-handover directory update at the
+	// home: the forwarded write made m.tile the new exclusive owner.
+	d.handoverFn = func(a any) {
+		m := a.(*dirMsg)
+		addr, stamp, newOwner := m.r.addr, m.stamp, m.tile
+		d.putMsg(m)
+		home := d.ctx.HomeOf(addr)
+		th := d.tiles[home]
+		if !th.stampIfNewer(addr, stamp) {
+			if d.ctx.tracing(addr) {
+				d.ctx.Trace(addr, "stale dir update dropped (stamp %d)", stamp)
+			}
+			th.wakeHome(d.ctx.Kernel, addr)
+			return
+		}
+		if dl := th.dir.Peek(addr); dl != nil {
+			dl.Owner = int16(newOwner)
+			dl.Sharers = bit(newOwner)
+			d.ctx.pw.DirWrite.Inc()
+			if d.ctx.tracing(addr) {
+				d.ctx.Trace(addr, "homeDirUpdate -> owner=%d sharers=%#x (stamp %d)", dl.Owner, dl.Sharers, stamp)
+			}
+		}
+		th.wakeHome(d.ctx.Kernel, addr)
+	}
+	// downgradeFn applies the read-downgrade update: the old owner
+	// (m.tile) became a sharer alongside the requestor, and its data
+	// writeback lands in the home L2 (or memory if superseded).
+	d.downgradeFn = func(a any) {
+		m := a.(*dirMsg)
+		addr, stamp, owner, requestor, dirty := m.r.addr, m.stamp, m.tile, m.r.requestor, m.dirty
+		d.putMsg(m)
+		home := d.ctx.HomeOf(addr)
+		th := d.tiles[home]
+		if !th.stampIfNewer(addr, stamp) {
+			if d.ctx.tracing(addr) {
+				d.ctx.Trace(addr, "stale dir update dropped (stamp %d)", stamp)
+			}
+			th.wakeHome(d.ctx.Kernel, addr)
+			if dirty {
+				mc := d.ctx.Mem.For(addr)
+				d.ctx.SendDataArg(home, mc, d.flushFn, nil)
+			}
+			return
+		}
+		if dl := th.dir.Peek(addr); dl != nil {
+			dl.Owner = -1
+			dl.Sharers |= bit(owner) | bit(requestor)
+			d.ctx.pw.DirWrite.Inc()
+			if d.ctx.tracing(addr) {
+				d.ctx.Trace(addr, "homeDirUpdate -> owner=%d sharers=%#x (stamp %d)", dl.Owner, dl.Sharers, stamp)
+			}
+		}
+		th.wakeHome(d.ctx.Kernel, addr)
+		d.insertL2Data(home, addr, dirty)
+	}
+	// evictWbFn applies an owned-eviction update: m.tile gave up the
+	// block entirely.
+	d.evictWbFn = func(a any) {
+		m := a.(*dirMsg)
+		addr, stamp, tile, dirty := m.r.addr, m.stamp, m.tile, m.dirty
+		d.putMsg(m)
+		home := d.ctx.HomeOf(addr)
+		th := d.tiles[home]
+		if !th.stampIfNewer(addr, stamp) {
+			if d.ctx.tracing(addr) {
+				d.ctx.Trace(addr, "stale dir update dropped (stamp %d)", stamp)
+			}
+			th.wakeHome(d.ctx.Kernel, addr)
+			if dirty {
+				mc := d.ctx.Mem.For(addr)
+				d.ctx.SendDataArg(home, mc, d.flushFn, nil)
+			}
+			return
+		}
+		if dl := th.dir.Peek(addr); dl != nil {
+			dl.Owner = -1
+			dl.Sharers &^= bit(tile)
+			d.ctx.pw.DirWrite.Inc()
+			if d.ctx.tracing(addr) {
+				d.ctx.Trace(addr, "homeDirUpdate -> owner=%d sharers=%#x (stamp %d)", dl.Owner, dl.Sharers, stamp)
+			}
+		}
+		th.wakeHome(d.ctx.Kernel, addr)
+		d.insertL2Data(home, addr, dirty)
+	}
+	// Memory fetch pipeline: request at the controller, latency wait,
+	// data hop back through the home, fill + deliver.
+	d.memReqFn = func(a any) {
+		m := a.(*dirMsg)
+		lat := d.ctx.Mem.ReadLatency()
+		d.ctx.Kernel.AfterArg(lat, d.memRespFn, m)
+	}
+	d.memRespFn = func(a any) {
+		m := a.(*dirMsg)
+		// Memory data flows through the home: the directory keeps a
+		// copy of read data in the shared L2 (deduplicated data is
+		// stored once for all VMs), then forwards it on.
+		home := d.ctx.HomeOf(m.r.addr)
+		mc := d.ctx.Mem.For(m.r.addr)
+		d2 := d.ctx.SendDataArg(mc, home, d.memFillFn, m)
+		d.addLinks(m.r.requestor, m.r.addr, d2.Hops)
+	}
+	d.memFillFn = func(a any) {
+		m := a.(*dirMsg)
+		r := m.r
+		d.putMsg(m)
+		home := d.ctx.HomeOf(r.addr)
+		state, dirty := dirExclusive, false
+		if r.write {
+			state, dirty = dirModified, true
+		}
+		if !r.write {
+			d.insertL2Data(home, r.addr, false)
+		}
+		d.deliverData(r.requestor, r.addr, home, state, dirty)
+	}
+	d.flushFn = func(any) { d.ctx.Mem.WriteLatency() }
 }
 
 // Access implements Engine.
@@ -121,7 +327,7 @@ func (d *Directory) Access(tile topo.Tile, addr cache.Addr, write bool, onDone f
 	e.Tag = int(MissUnpredHome)
 	ctx.spanBegin(tile, addr, write)
 	home := ctx.HomeOf(addr)
-	del := ctx.SendCtlArg(tile, home, d.atHomeFn, dirReq{addr, tile, write, 0})
+	del := ctx.SendCtlArg(tile, home, d.atHomeFn, d.msg(dirReq{addr, tile, write, 0}))
 	e.Links += del.Hops
 }
 
@@ -142,27 +348,35 @@ func (d *Directory) atHome(r dirReq) {
 	ctx := d.ctx
 	home := ctx.HomeOf(r.addr)
 	th := d.tiles[home]
-	if th.homeBusy[r.addr] {
-		th.stallHome(r.addr, func() { d.atHome(r) })
+	if th.homeBusy(r.addr) {
+		th.stallHomeArg(r.addr, d.atHomeFn, d.msg(r))
 		return
 	}
 	ctx.pw.L2TagRead.Inc()
 	ctx.pw.DirRead.Inc()
 	dline := th.dir.Lookup(r.addr)
 	if dline != nil {
-		ctx.Trace(r.addr, "atHome req=%d write=%v fwd=%d owner=%d sharers=%#x", r.requestor, r.write, r.forwards, dline.Owner, dline.Sharers)
+		if ctx.tracing(r.addr) {
+			ctx.Trace(r.addr, "atHome req=%d write=%v fwd=%d owner=%d sharers=%#x", r.requestor, r.write, r.forwards, dline.Owner, dline.Sharers)
+		}
 	} else {
-		ctx.Trace(r.addr, "atHome req=%d write=%v fwd=%d untracked", r.requestor, r.write, r.forwards)
+		if ctx.tracing(r.addr) {
+			ctx.Trace(r.addr, "atHome req=%d write=%v fwd=%d untracked", r.requestor, r.write, r.forwards)
+		}
 	}
 	if dline == nil {
 		// Untracked: the block is not cached on chip. Allocate a
 		// directory entry (possibly evicting one) and fetch memory.
+		// The closure captures a copy of r declared inside this cold
+		// branch: capturing the parameter itself would force r to the
+		// heap on every atHome call, including the hot tracked paths.
+		req := r
 		d.allocDirEntry(home, r.addr, func(nl *cache.Line) {
-			nl.Owner = int16(r.requestor)
-			nl.Sharers = bit(r.requestor)
-			d.stampNow(home, r.addr)
+			nl.Owner = int16(req.requestor)
+			nl.Sharers = bit(req.requestor)
+			d.stampNow(home, req.addr)
 			ctx.pw.DirWrite.Inc()
-			d.fetchFromMemory(r, home)
+			d.fetchFromMemory(req, home)
 		})
 		return
 	}
@@ -171,19 +385,21 @@ func (d *Directory) atHome(r dirReq) {
 		if owner == r.requestor {
 			// Our own writeback is still in flight; retry shortly.
 			ctx.spanRetry(r.requestor)
-			ctx.Kernel.AfterArg(retryBackoff, d.atHomeFn, dirReq{r.addr, r.requestor, r.write, 0})
+			ctx.Kernel.AfterArg(retryBackoff, d.atHomeFn, d.msg(dirReq{r.addr, r.requestor, r.write, 0}))
 			return
 		}
 		if r.forwards >= maxForwards {
 			// Forwarding keeps bouncing (transfer in flight): back off
 			// and retry from the home.
 			ctx.spanRetry(r.requestor)
-			ctx.Kernel.AfterArg(retryBackoff, d.atHomeFn, dirReq{r.addr, r.requestor, r.write, 0})
+			ctx.Kernel.AfterArg(retryBackoff, d.atHomeFn, d.msg(dirReq{r.addr, r.requestor, r.write, 0}))
 			return
 		}
 		r.forwards++
 		ctx.spanEvent("dir-forward-owner", home)
-		del := ctx.SendCtl(home, owner, func() { d.atOwner(r, owner) })
+		m := d.msg(r)
+		m.tile = owner
+		del := ctx.SendCtlArg(home, owner, d.atOwnerFn, m)
 		d.addLinks(r.requestor, r.addr, del.Hops)
 		return
 	}
@@ -218,12 +434,14 @@ func (d *Directory) homeRead(r dirReq, dline *cache.Line) {
 		ctx.pw.DirWrite.Inc()
 		if r.forwards >= maxForwards {
 			ctx.spanRetry(r.requestor)
-			ctx.Kernel.AfterArg(retryBackoff, d.atHomeFn, dirReq{r.addr, r.requestor, r.write, 0})
+			ctx.Kernel.AfterArg(retryBackoff, d.atHomeFn, d.msg(dirReq{r.addr, r.requestor, r.write, 0}))
 			return
 		}
 		r.forwards++
 		ctx.spanEvent("dir-forward-sharer", home)
-		del := ctx.SendCtl(home, sharer, func() { d.atSharerSupply(r, sharer) })
+		m := d.msg(r)
+		m.tile = sharer
+		del := ctx.SendCtlArg(home, sharer, d.atSharerFn, m)
 		d.addLinks(r.requestor, r.addr, del.Hops)
 		return
 	}
@@ -245,10 +463,12 @@ func (d *Directory) homeWrite(r dirReq, dline *cache.Line) {
 	if e, ok := d.tiles[r.requestor].mshr.Lookup(r.addr); ok {
 		e.SharerAcks += popcount(sharers)
 	}
-	forEachBit(sharers, func(i int) {
-		sharer := topo.Tile(i)
-		ctx.SendCtl(home, sharer, func() { d.invalidateAtL1(sharer, r.addr, r.requestor) })
-	})
+	for v := sharers; v != 0; v &= v - 1 {
+		sharer := topo.Tile(bits.TrailingZeros64(v))
+		m := d.msg(dirReq{addr: r.addr, requestor: r.requestor})
+		m.tile = sharer
+		ctx.SendCtlArg(home, sharer, d.invalFn, m)
+	}
 	dline.Owner = int16(r.requestor)
 	dline.Sharers = bit(r.requestor)
 	d.stampNow(home, r.addr)
@@ -277,9 +497,11 @@ func (d *Directory) atOwner(r dirReq, owner topo.Tile) {
 	line := to.l1.Lookup(r.addr)
 	if line == nil || (line.State != dirModified && line.State != dirExclusive) {
 		// Ownership moved (eviction/writeback in flight); bounce back.
-		ctx.Trace(r.addr, "atOwner %d bounce (req=%d, line gone/demoted)", owner, r.requestor)
+		if ctx.tracing(r.addr) {
+			ctx.Trace(r.addr, "atOwner %d bounce (req=%d, line gone/demoted)", owner, r.requestor)
+		}
 		home := ctx.HomeOf(r.addr)
-		del := ctx.SendCtlArg(owner, home, d.atHomeFn, r)
+		del := ctx.SendCtlArg(owner, home, d.atHomeFn, d.msg(r))
 		d.addLinks(r.requestor, r.addr, del.Hops)
 		return
 	}
@@ -289,40 +511,34 @@ func (d *Directory) atOwner(r dirReq, owner topo.Tile) {
 	stamp := ctx.Kernel.Now()
 	if r.write {
 		// Hand the block over; tell the home about the new owner.
-		ctx.Trace(r.addr, "atOwner %d hands over to %d", owner, r.requestor)
+		if ctx.tracing(r.addr) {
+			ctx.Trace(r.addr, "atOwner %d hands over to %d", owner, r.requestor)
+		}
 		to.l1.Invalidate(r.addr)
 		ctx.pw.L1TagWrite.Inc()
 		ctx.pw.L1DataRead.Inc()
 		d.deliverData(r.requestor, r.addr, owner, dirModified, true)
-		ctx.SendCtl(owner, home, func() {
-			d.homeDirUpdate(home, r.addr, stamp, func(dl *cache.Line) {
-				dl.Owner = int16(r.requestor)
-				dl.Sharers = bit(r.requestor)
-			})
-		})
+		m := d.msg(r)
+		m.tile = r.requestor
+		m.stamp = stamp
+		ctx.SendCtlArg(owner, home, d.handoverFn, m)
 		return
 	}
 	// Read: downgrade to shared, supply the requestor, write the block
 	// back so the L2 holds it for future readers.
-	ctx.Trace(r.addr, "atOwner %d downgrades, supplies read to %d", owner, r.requestor)
+	if ctx.tracing(r.addr) {
+		ctx.Trace(r.addr, "atOwner %d downgrades, supplies read to %d", owner, r.requestor)
+	}
 	line.State = dirShared
 	line.Dirty = false
 	ctx.pw.L1TagWrite.Inc()
 	ctx.pw.L1DataRead.Inc()
 	d.deliverData(r.requestor, r.addr, owner, dirShared, false)
-	ctx.SendData(owner, home, func() {
-		if d.homeDirUpdate(home, r.addr, stamp, func(dl *cache.Line) {
-			dl.Owner = -1
-			dl.Sharers |= bit(owner) | bit(r.requestor)
-		}) {
-			d.insertL2Data(home, r.addr, dirty)
-		} else if dirty {
-			// A newer ownership decision superseded this downgrade;
-			// flush the stale data to memory instead of the L2.
-			mc := ctx.Mem.For(r.addr)
-			ctx.SendData(home, mc, func() { ctx.Mem.WriteLatency() })
-		}
-	})
+	m := d.msg(r)
+	m.tile = owner
+	m.stamp = stamp
+	m.dirty = dirty
+	ctx.SendDataArg(owner, home, d.downgradeFn, m)
 }
 
 // atSharerSupply handles a read forwarded to a clean sharer.
@@ -356,16 +572,19 @@ func (d *Directory) atSharerSupply(r dirReq, sharer topo.Tile) {
 // whether the update was applied.
 func (d *Directory) homeDirUpdate(home topo.Tile, addr cache.Addr, stamp sim.Time, fn func(*cache.Line)) bool {
 	th := d.tiles[home]
-	if prev, ok := d.ownerStamp[home][addr]; ok && prev > stamp {
-		d.ctx.Trace(addr, "stale dir update dropped (stamp %d < %d)", stamp, prev)
+	if !th.stampIfNewer(addr, stamp) {
+		if d.ctx.tracing(addr) {
+			d.ctx.Trace(addr, "stale dir update dropped (stamp %d)", stamp)
+		}
 		th.wakeHome(d.ctx.Kernel, addr)
 		return false
 	}
-	d.ownerStamp[home][addr] = stamp
 	if dl := th.dir.Peek(addr); dl != nil {
 		fn(dl)
 		d.ctx.pw.DirWrite.Inc()
-		d.ctx.Trace(addr, "homeDirUpdate -> owner=%d sharers=%#x (stamp %d)", dl.Owner, dl.Sharers, stamp)
+		if d.ctx.tracing(addr) {
+			d.ctx.Trace(addr, "homeDirUpdate -> owner=%d sharers=%#x (stamp %d)", dl.Owner, dl.Sharers, stamp)
+		}
 	}
 	th.wakeHome(d.ctx.Kernel, addr)
 	return true
@@ -374,7 +593,7 @@ func (d *Directory) homeDirUpdate(home topo.Tile, addr cache.Addr, stamp sim.Tim
 // stampNow records a home-side synchronous ownership decision so any
 // older in-flight update cannot clobber it later.
 func (d *Directory) stampNow(home topo.Tile, addr cache.Addr) {
-	d.ownerStamp[home][addr] = d.ctx.Kernel.Now()
+	d.tiles[home].setStamp(addr, d.ctx.Kernel.Now())
 }
 
 // invalidateAtL1 drops the block at a sharer and acknowledges the
@@ -382,7 +601,9 @@ func (d *Directory) stampNow(home topo.Tile, addr cache.Addr) {
 func (d *Directory) invalidateAtL1(tile topo.Tile, addr cache.Addr, requestor topo.Tile) {
 	ctx := d.ctx
 	t := d.tiles[tile]
-	ctx.Trace(addr, "invalidate at %d (ack to %d)", tile, requestor)
+	if ctx.tracing(addr) {
+		ctx.Trace(addr, "invalidate at %d (ack to %d)", tile, requestor)
+	}
 	ctx.pw.L1TagRead.Inc()
 	if _, ok := t.l1.Invalidate(addr); ok {
 		ctx.pw.L1TagWrite.Inc()
@@ -390,7 +611,9 @@ func (d *Directory) invalidateAtL1(tile topo.Tile, addr cache.Addr, requestor to
 	if e, ok := t.mshr.Lookup(addr); ok {
 		e.InvalidatedWhilePending = true
 	}
-	ctx.SendCtl(tile, requestor, func() { d.ackAtRequestor(requestor, addr) })
+	m := d.msg(dirReq{addr: addr})
+	m.tile = requestor
+	ctx.SendCtlArg(tile, requestor, d.ackFn, m)
 }
 
 func (d *Directory) ackAtRequestor(requestor topo.Tile, addr cache.Addr) {
@@ -408,40 +631,18 @@ func (d *Directory) ackAtRequestor(requestor topo.Tile, addr cache.Addr) {
 func (d *Directory) fetchFromMemory(r dirReq, home topo.Tile) {
 	ctx := d.ctx
 	mc := ctx.Mem.For(r.addr)
-	state := dirExclusive
-	dirty := false
-	if r.write {
-		state = dirModified
-		dirty = true
-	}
-	del := ctx.SendCtl(home, mc, func() {
-		lat := ctx.Mem.ReadLatency()
-		ctx.Kernel.After(lat, func() {
-			// Memory data flows through the home: the directory keeps
-			// a copy of read data in the shared L2 (deduplicated data
-			// is stored once for all VMs), then forwards it on.
-			d2 := ctx.SendData(mc, home, func() {
-				if !r.write {
-					d.insertL2Data(home, r.addr, false)
-				}
-				d.deliverData(r.requestor, r.addr, home, state, dirty)
-			})
-			d.addLinks(r.requestor, r.addr, d2.Hops)
-		})
-	})
+	del := ctx.SendCtlArg(home, mc, d.memReqFn, d.msg(r))
 	d.addLinks(r.requestor, r.addr, del.Hops)
 }
 
 // deliverData sends the block to the requestor and completes the miss
 // on arrival.
 func (d *Directory) deliverData(requestor topo.Tile, addr cache.Addr, from topo.Tile, state cache.State, dirty bool) {
-	del := d.ctx.SendData(from, requestor, func() {
-		d.fillL1(requestor, addr, state, dirty)
-		if e, ok := d.tiles[requestor].mshr.Lookup(addr); ok {
-			e.DataReceived = true
-		}
-		d.maybeComplete(requestor, addr)
-	})
+	m := d.msg(dirReq{addr: addr})
+	m.tile = requestor
+	m.state = state
+	m.dirty = dirty
+	del := d.ctx.SendDataArg(from, requestor, d.deliverFn, m)
 	d.addLinks(requestor, addr, del.Hops)
 }
 
@@ -450,7 +651,9 @@ func (d *Directory) deliverData(requestor topo.Tile, addr cache.Addr, from topo.
 func (d *Directory) fillL1(tile topo.Tile, addr cache.Addr, state cache.State, dirty bool) {
 	ctx := d.ctx
 	t := d.tiles[tile]
-	ctx.Trace(addr, "fill at %d state=%d dirty=%v", tile, state, dirty)
+	if ctx.tracing(addr) {
+		ctx.Trace(addr, "fill at %d state=%d dirty=%v", tile, state, dirty)
+	}
 	ctx.pw.L1TagWrite.Inc()
 	ctx.pw.L1DataWrite.Inc()
 	if line := t.l1.Peek(addr); line != nil {
@@ -474,25 +677,23 @@ func (d *Directory) fillL1(tile topo.Tile, addr cache.Addr, state cache.State, d
 func (d *Directory) evictL1(tile topo.Tile, victim cache.Line) {
 	ctx := d.ctx
 	if victim.State == dirShared {
-		ctx.Trace(victim.Addr, "silent evict at %d", tile)
+		if ctx.tracing(victim.Addr) {
+			ctx.Trace(victim.Addr, "silent evict at %d", tile)
+		}
 		return // silent eviction
 	}
-	ctx.Trace(victim.Addr, "owned evict at %d state=%d dirty=%v", tile, victim.State, victim.Dirty)
+	if ctx.tracing(victim.Addr) {
+		ctx.Trace(victim.Addr, "owned evict at %d state=%d dirty=%v", tile, victim.State, victim.Dirty)
+	}
 	home := ctx.HomeOf(victim.Addr)
 	dirty := victim.Dirty
 	stamp := ctx.Kernel.Now()
 	ctx.pw.L1DataRead.Inc()
-	ctx.SendData(tile, home, func() {
-		if d.homeDirUpdate(home, victim.Addr, stamp, func(dl *cache.Line) {
-			dl.Owner = -1
-			dl.Sharers &^= bit(tile)
-		}) {
-			d.insertL2Data(home, victim.Addr, dirty)
-		} else if dirty {
-			mc := ctx.Mem.For(victim.Addr)
-			ctx.SendData(home, mc, func() { ctx.Mem.WriteLatency() })
-		}
-	})
+	m := d.msg(dirReq{addr: victim.Addr})
+	m.tile = tile
+	m.stamp = stamp
+	m.dirty = dirty
+	ctx.SendDataArg(tile, home, d.evictWbFn, m)
 }
 
 // insertL2Data fills the home's L2 bank, evicting (and writing back)
@@ -512,7 +713,7 @@ func (d *Directory) insertL2Data(home topo.Tile, addr cache.Addr, dirty bool) {
 	victim := th.l2.Victim(addr)
 	if victim.Valid() && victim.Dirty {
 		mc := ctx.Mem.For(victim.Addr)
-		ctx.SendData(home, mc, func() { ctx.Mem.WriteLatency() })
+		ctx.SendDataArg(home, mc, d.flushFn, nil)
 	}
 	th.l2.Fill(victim, addr, l2Present)
 	victim.Dirty = dirty
@@ -541,8 +742,12 @@ func (d *Directory) allocDirEntry(home topo.Tile, addr cache.Addr, then func(*ca
 	if victim.Owner >= 0 {
 		holders |= bit(topo.Tile(victim.Owner))
 	}
-	ctx.Trace(victimAddr, "dir entry evicted at %d (holders %#x), chip-wide invalidation", home, holders)
-	ctx.Trace(addr, "dir entry allocated at %d (evicting %#x)", home, victimAddr)
+	if ctx.tracing(victimAddr) {
+		ctx.Trace(victimAddr, "dir entry evicted at %d (holders %#x), chip-wide invalidation", home, holders)
+	}
+	if ctx.tracing(addr) {
+		ctx.Trace(addr, "dir entry allocated at %d (evicting %#x)", home, victimAddr)
+	}
 	// The eviction is a fresh ownership decision for the victim block:
 	// stamp it so old-epoch updates in flight cannot touch a future
 	// entry re-allocated for the same address.
@@ -551,21 +756,21 @@ func (d *Directory) allocDirEntry(home topo.Tile, addr cache.Addr, then func(*ca
 	victim.Owner = -1
 	victim.Sharers = 0
 	ctx.pw.DirWrite.Inc()
-	th.homeBusy[victimAddr] = true
-	th.homeBusy[addr] = true
+	th.setHomeBusy(victimAddr)
+	th.setHomeBusy(addr)
 	pending := popcount(holders)
 	finish := func() {
 		// Drop the victim's L2 data (write back if dirty).
 		if l2line := th.l2.Peek(victimAddr); l2line != nil {
 			if l2line.Dirty {
 				mc := ctx.Mem.For(victimAddr)
-				ctx.SendData(home, mc, func() { ctx.Mem.WriteLatency() })
+				ctx.SendDataArg(home, mc, d.flushFn, nil)
 			}
 			th.l2.Invalidate(victimAddr)
 			ctx.pw.L2TagWrite.Inc()
 		}
-		delete(th.homeBusy, victimAddr)
-		delete(th.homeBusy, addr)
+		th.clearHomeBusy(victimAddr)
+		th.clearHomeBusy(addr)
 		th.wakeHome(ctx.Kernel, victimAddr)
 		th.wakeHome(ctx.Kernel, addr)
 		then(victim)
@@ -586,7 +791,7 @@ func (d *Directory) allocDirEntry(home topo.Tile, addr cache.Addr, then func(*ca
 					// flushed to memory from the home.
 					ctx.SendData(holder, home, func() {
 						mc := ctx.Mem.For(victimAddr)
-						ctx.SendData(home, mc, func() { ctx.Mem.WriteLatency() })
+						ctx.SendDataArg(home, mc, d.flushFn, nil)
 						pending--
 						if pending == 0 {
 							finish()
@@ -617,7 +822,9 @@ func (d *Directory) maybeComplete(tile topo.Tile, addr cache.Addr) {
 		return
 	}
 	dropped := e.InvalidatedWhilePending && !e.Write
-	ctx.Trace(addr, "complete at %d write=%v dropped=%v", tile, e.Write, dropped)
+	if ctx.tracing(addr) {
+		ctx.Trace(addr, "complete at %d write=%v dropped=%v", tile, e.Write, dropped)
+	}
 	if dropped {
 		// The fill raced an invalidation. Dropping the line is the
 		// safe resolution, but it must go through the regular

@@ -1,0 +1,80 @@
+package proto
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/memctrl"
+	"repro/internal/mesh"
+	"repro/internal/sim"
+	"repro/internal/topo"
+)
+
+// pingPong returns a closed-over round trip that alternates an
+// exclusive write to one block between two distant tiles: every
+// iteration is a full coherence miss (invalidate the old owner, move
+// the data) with no DRAM involvement after the first touch. All
+// closures are built once so the loop itself measures only the
+// protocol hot path.
+func pingPong(eng Engine, kernel *sim.Kernel, fail func(string)) func() {
+	const addr cache.Addr = 0x5100
+	tiles := [2]topo.Tile{4, 59}
+	turn := 0
+	completed := false
+	done := func() { completed = true }
+	cond := func() bool { return completed }
+	return func() {
+		completed = false
+		eng.Access(tiles[turn&1], addr, true, done)
+		turn++
+		kernel.RunUntil(cond)
+		if !completed {
+			fail("miss round trip never completed")
+		}
+	}
+}
+
+// TestMissPathNoAllocs gates the steady-state miss path of every
+// protocol engine: once the transaction tables, MSHRs, message pools
+// and the kernel's node arena have warmed up, a full
+// miss-invalidate-transfer round trip must not allocate.
+func TestMissPathNoAllocs(t *testing.T) {
+	for _, e := range allEngines {
+		t.Run(e.name, func(t *testing.T) {
+			c := newTestChip(t, e.mk)
+			trip := pingPong(c.eng, c.kernel, func(m string) { t.Fatal(m) })
+			for i := 0; i < 64; i++ {
+				trip()
+			}
+			if avg := testing.AllocsPerRun(200, trip); avg != 0 {
+				t.Errorf("miss round trip allocates %.2f/op, want 0", avg)
+			}
+			c.drain()
+		})
+	}
+}
+
+// BenchmarkMissPath times one coherence miss round trip per iteration
+// on each protocol (see pingPong). Run with -benchmem to watch the
+// allocation gate, or with the bench tool's -cpuprofile for a
+// flame-level view of the protocol hot path.
+func BenchmarkMissPath(b *testing.B) {
+	for _, e := range allEngines {
+		b.Run(e.name, func(b *testing.B) {
+			kernel := sim.NewKernel(7)
+			grid := topo.SquareGrid(64)
+			net := mesh.New(kernel, grid, mesh.DefaultConfig())
+			ar := topo.MustAreas(grid, 4)
+			mem := memctrl.Default(grid, kernel.Rand().Fork())
+			ctx := &Context{Kernel: kernel, Net: net, Areas: ar, Mem: mem, Cfg: DefaultConfig()}
+			eng := e.mk(ctx)
+			trip := pingPong(eng, kernel, func(m string) { b.Fatal(m) })
+			trip() // cold DRAM fill out of the timed region
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				trip()
+			}
+		})
+	}
+}

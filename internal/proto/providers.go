@@ -2,6 +2,7 @@ package proto
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"repro/internal/cache"
@@ -34,11 +35,159 @@ type Providers struct {
 	ctx   *Context
 	tiles []*tileState
 
-	// atHomeFn adapts atHome to the kernel/mesh argument fast path
-	// (no per-message closure for requests sent to the home).
-	atHomeFn   func(any)
-	recalls    []map[cache.Addr]bool
-	ownerStamp []map[cache.Addr]sim.Time
+	// Long-lived adapters for the kernel/mesh argument fast path:
+	// protocol hops travel as (fn, *pvMsg) pairs instead of
+	// per-message closures (see dirMsg for the pattern).
+	atHomeFn  func(any)
+	atL1Fn    func(any)
+	invalShFn func(any)
+	invalPvFn func(any)
+	shAckFn   func(any)
+	pvAckFn   func(any)
+	deliverFn func(any)
+	coFn      func(any)
+	coAckFn   func(any)
+	memReqFn  func(any)
+	memRespFn func(any)
+	memFillFn func(any)
+
+	freeMsg *pvMsg
+}
+
+// pvMsg is the pooled argument node for DiCo-Providers' non-capturing
+// message path (see dirMsg).
+type pvMsg struct {
+	next     *pvMsg
+	r        pvReq
+	tile     topo.Tile
+	state    cache.State
+	dirty    bool
+	supplier int16
+	stamp    sim.Time
+	count    int // sharer acks folded into a provider ack
+	propos   [cache.MaxSimAreas]int8
+	hasPro   bool // propos is meaningful (deliver's *propos != nil)
+}
+
+func (p *Providers) msg(r pvReq) *pvMsg {
+	m := p.freeMsg
+	if m != nil {
+		p.freeMsg = m.next
+	} else {
+		m = &pvMsg{}
+	}
+	m.r = r
+	return m
+}
+
+func (p *Providers) putMsg(m *pvMsg) {
+	m.next = p.freeMsg
+	p.freeMsg = m
+}
+
+// bindHandlers builds the long-lived adapter funcs once.
+func (p *Providers) bindHandlers() {
+	p.atHomeFn = func(a any) {
+		m := a.(*pvMsg)
+		r := m.r
+		p.putMsg(m)
+		p.atHome(r)
+	}
+	p.atL1Fn = func(a any) {
+		m := a.(*pvMsg)
+		r, tile := m.r, m.tile
+		p.putMsg(m)
+		p.atL1(r, tile)
+	}
+	p.invalShFn = func(a any) {
+		m := a.(*pvMsg)
+		tile, addr, requestor := m.tile, m.r.addr, m.r.requestor
+		p.putMsg(m)
+		p.invalidateSharer(tile, addr, requestor)
+	}
+	p.invalPvFn = func(a any) {
+		m := a.(*pvMsg)
+		tile, addr, requestor := m.tile, m.r.addr, m.r.requestor
+		p.putMsg(m)
+		p.invalidateProvider(tile, addr, requestor)
+	}
+	p.shAckFn = func(a any) {
+		m := a.(*pvMsg)
+		requestor, addr := m.tile, m.r.addr
+		p.putMsg(m)
+		if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
+			e.SharerAcks--
+			p.maybeComplete(requestor, addr)
+		}
+	}
+	p.pvAckFn = func(a any) {
+		m := a.(*pvMsg)
+		requestor, addr, count := m.tile, m.r.addr, m.count
+		p.putMsg(m)
+		if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
+			e.ProviderAcks--
+			e.SharerAcks += count
+			p.maybeComplete(requestor, addr)
+		}
+	}
+	p.deliverFn = func(a any) {
+		m := a.(*pvMsg)
+		r := m.r
+		var propos *[cache.MaxSimAreas]int8
+		if m.hasPro {
+			propos = &m.propos
+		}
+		// fillL1 may draw fresh nodes from the pool (self-sharer
+		// invalidations), so m is recycled only after it returns.
+		p.fillL1(r, m.state, m.dirty, m.supplier, propos)
+		p.putMsg(m)
+		if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
+			e.DataReceived = true
+		}
+		p.maybeComplete(r.requestor, r.addr)
+	}
+	// coFn lands a Change_Owner at the home; the node travels on to
+	// carry the gating ack back to the new owner.
+	p.coFn = func(a any) {
+		m := a.(*pvMsg)
+		addr, newOwner, stamp := m.r.addr, m.tile, m.stamp
+		home := p.ctx.HomeOf(addr)
+		p.homeOwnerUpdate(home, addr, newOwner, stamp)
+		p.ctx.SendCtlArg(home, newOwner, p.coAckFn, m)
+	}
+	p.coAckFn = func(a any) {
+		m := a.(*pvMsg)
+		requestor, addr := m.tile, m.r.addr
+		p.putMsg(m)
+		if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
+			e.HomeAck = false
+			p.maybeComplete(requestor, addr)
+		}
+	}
+	// Memory fetch pipeline.
+	p.memReqFn = func(a any) {
+		m := a.(*pvMsg)
+		lat := p.ctx.Mem.ReadLatency()
+		p.ctx.Kernel.AfterArg(lat, p.memRespFn, m)
+	}
+	p.memRespFn = func(a any) {
+		m := a.(*pvMsg)
+		home := p.ctx.HomeOf(m.r.addr)
+		mc := p.ctx.Mem.For(m.r.addr)
+		d2 := p.ctx.SendDataArg(mc, home, p.memFillFn, m)
+		p.addLinks(m.r.requestor, m.r.addr, d2.Hops)
+	}
+	p.memFillFn = func(a any) {
+		m := a.(*pvMsg)
+		r := m.r
+		p.putMsg(m)
+		home := p.ctx.HomeOf(r.addr)
+		state, dirty := pvOwnerExclusive, false
+		if r.write {
+			state, dirty = pvOwnerModified, true
+		}
+		p.deliver(r, home, state, dirty, -1, nil)
+	}
 }
 
 // NewProviders builds the DiCo-Providers engine on ctx.
@@ -50,16 +199,12 @@ func NewProviders(ctx *Context) *Providers {
 	}
 	n := ctx.NumTiles()
 	p := &Providers{
-		ctx:        ctx,
-		tiles:      make([]*tileState, n),
-		recalls:    make([]map[cache.Addr]bool, n),
-		ownerStamp: make([]map[cache.Addr]sim.Time, n),
+		ctx:   ctx,
+		tiles: make([]*tileState, n),
 	}
-	p.atHomeFn = func(a any) { p.atHome(a.(pvReq)) }
+	p.bindHandlers()
 	for i := range p.tiles {
 		p.tiles[i] = newTileState(ctx.Cfg, ctx.BankShift())
-		p.recalls[i] = make(map[cache.Addr]bool)
-		p.ownerStamp[i] = make(map[cache.Addr]sim.Time)
 	}
 	return p
 }
@@ -166,13 +311,15 @@ func (p *Providers) Access(tile topo.Tile, addr cache.Addr, write bool, onDone f
 		e.Tag = int(MissPredFail) // upgraded at supply time
 		ctx.spanEvent("predict-supplier", tile)
 		pred := topo.Tile(ptr)
-		del := ctx.SendCtl(tile, pred, func() { p.atL1(r, pred) })
+		m := p.msg(r)
+		m.tile = pred
+		del := ctx.SendCtlArg(tile, pred, p.atL1Fn, m)
 		e.Links += del.Hops
 		return
 	}
 	e.Tag = int(MissUnpredHome)
 	home := ctx.HomeOf(addr)
-	del := ctx.SendCtlArg(tile, home, p.atHomeFn, r)
+	del := ctx.SendCtlArg(tile, home, p.atHomeFn, p.msg(r))
 	e.Links += del.Hops
 }
 
@@ -230,10 +377,12 @@ func (p *Providers) startInvalidation(owner topo.Tile, addr cache.Addr, line *ca
 		localSharers &^= areaBit(ctx.Areas, requestor)
 	}
 	e.SharerAcks += popcount(localSharers)
-	forEachBit(localSharers, func(i int) {
-		sharer := p.tileAt(ownArea, int8(i))
-		ctx.SendCtl(owner, sharer, func() { p.invalidateSharer(sharer, addr, requestor) })
-	})
+	for v := localSharers; v != 0; v &= v - 1 {
+		sharer := p.tileAt(ownArea, int8(bits.TrailingZeros64(v)))
+		m := p.msg(pvReq{addr: addr, requestor: requestor})
+		m.tile = sharer
+		ctx.SendCtlArg(owner, sharer, p.invalShFn, m)
+	}
 	// Providers in remote areas.
 	for a := 0; a < ctx.Areas.Count; a++ {
 		if a == ownArea || line.ProPos[a] < 0 {
@@ -246,8 +395,9 @@ func (p *Providers) startInvalidation(owner topo.Tile, addr cache.Addr, line *ca
 			continue
 		}
 		e.ProviderAcks++
-		provTile := prov
-		ctx.SendCtl(owner, provTile, func() { p.invalidateProvider(provTile, addr, requestor) })
+		m := p.msg(pvReq{addr: addr, requestor: requestor})
+		m.tile = prov
+		ctx.SendCtlArg(owner, prov, p.invalPvFn, m)
 	}
 }
 
@@ -264,12 +414,9 @@ func (p *Providers) invalidateSharer(tile topo.Tile, addr cache.Addr, requestor 
 	}
 	t.l1c.Update(addr, int16(requestor))
 	ctx.pw.L1CUpdate.Inc()
-	ctx.SendCtl(tile, requestor, func() {
-		if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
-			e.SharerAcks--
-			p.maybeComplete(requestor, addr)
-		}
-	})
+	m := p.msg(pvReq{addr: addr})
+	m.tile = requestor
+	ctx.SendCtlArg(tile, requestor, p.shAckFn, m)
 }
 
 // invalidateProvider drops a provider and its area's sharers; the
@@ -305,19 +452,18 @@ func (p *Providers) invalidateProvider(tile topo.Tile, addr cache.Addr, requesto
 		sharers &^= areaBit(ctx.Areas, requestor)
 	}
 	count := popcount(sharers)
-	forEachBit(sharers, func(i int) {
-		sharer := p.tileAt(area, int8(i))
-		ctx.SendCtl(tile, sharer, func() { p.invalidateSharer(sharer, addr, requestor) })
-	})
+	for v := sharers; v != 0; v &= v - 1 {
+		sharer := p.tileAt(area, int8(bits.TrailingZeros64(v)))
+		m := p.msg(pvReq{addr: addr, requestor: requestor})
+		m.tile = sharer
+		ctx.SendCtlArg(tile, sharer, p.invalShFn, m)
+	}
 	t.l1c.Update(addr, int16(requestor))
 	ctx.pw.L1CUpdate.Inc()
-	ctx.SendCtl(tile, requestor, func() {
-		if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
-			e.ProviderAcks--
-			e.SharerAcks += count
-			p.maybeComplete(requestor, addr)
-		}
-	})
+	m := p.msg(pvReq{addr: addr})
+	m.tile = requestor
+	m.count = count
+	ctx.SendCtlArg(tile, requestor, p.pvAckFn, m)
 }
 
 // atL1 dispatches a request arriving at an L1 cache per Table I.
@@ -325,7 +471,11 @@ func (p *Providers) atL1(r pvReq, tile topo.Tile) {
 	ctx := p.ctx
 	t := p.tiles[tile]
 	if _, pending := t.mshr.Lookup(r.addr); pending {
-		t.stallL1(r.addr, func() { p.atL1(r, tile) })
+		// Pooled-arg stall: a closure here would capture r and force it
+		// to the heap on every atL1 call, not just the stalled ones.
+		m := p.msg(r)
+		m.tile = tile
+		t.stallL1Arg(r.addr, p.atL1Fn, m)
 		return
 	}
 	ctx.pw.L1TagRead.Inc()
@@ -359,7 +509,7 @@ func (p *Providers) atL1(r pvReq, tile topo.Tile) {
 		r.fromOwner = -1
 		r.forwards++
 		home := ctx.HomeOf(r.addr)
-		del := ctx.SendCtlArg(tile, home, p.atHomeFn, r)
+		del := ctx.SendCtlArg(tile, home, p.atHomeFn, p.msg(r))
 		p.addLinks(r.requestor, r.addr, del.Hops)
 	}
 }
@@ -385,7 +535,9 @@ func (p *Providers) ownerReadSupply(r pvReq, owner topo.Tile, line *cache.Line) 
 		prov := p.tileAt(reqArea, line.ProPos[reqArea])
 		r.forwards++
 		r.fromOwner = owner
-		del := ctx.SendCtl(owner, prov, func() { p.atL1(r, prov) })
+		m := p.msg(r)
+		m.tile = prov
+		del := ctx.SendCtlArg(owner, prov, p.atL1Fn, m)
 		p.addLinks(r.requestor, r.addr, del.Hops)
 		return
 	}
@@ -416,16 +568,10 @@ func (p *Providers) ownerWriteSupply(r pvReq, owner topo.Tile, line *cache.Line)
 	ctx.pw.L1CUpdate.Inc()
 	p.deliver(r, owner, pvOwnerModified, true, -1, nil)
 	home := ctx.HomeOf(r.addr)
-	stamp := ctx.Kernel.Now()
-	ctx.SendCtl(owner, home, func() { // Change_Owner
-		p.homeOwnerUpdate(home, r.addr, r.requestor, stamp)
-		ctx.SendCtl(home, r.requestor, func() {
-			if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
-				e.HomeAck = false
-				p.maybeComplete(r.requestor, r.addr)
-			}
-		})
-	})
+	m := p.msg(pvReq{addr: r.addr})
+	m.tile = r.requestor
+	m.stamp = ctx.Kernel.Now()
+	ctx.SendCtlArg(owner, home, p.coFn, m) // Change_Owner
 }
 
 // repairStaleProPo tells the node that forwarded a request (believing
@@ -453,8 +599,8 @@ func (p *Providers) atHome(r pvReq) {
 	ctx := p.ctx
 	home := ctx.HomeOf(r.addr)
 	th := p.tiles[home]
-	if th.homeBusy[r.addr] || p.recalls[home][r.addr] {
-		th.stallHome(r.addr, func() { p.atHome(r) })
+	if th.homeBusy(r.addr) || th.recallMarked(r.addr) {
+		th.stallHomeArg(r.addr, p.atHomeFn, p.msg(r))
 		return
 	}
 	ctx.pw.L2TagRead.Inc()
@@ -463,12 +609,15 @@ func (p *Providers) atHome(r pvReq) {
 		ownerTile := topo.Tile(ptr)
 		if ownerTile == r.requestor || r.forwards >= maxForwards {
 			ctx.spanRetry(r.requestor)
-			ctx.Kernel.AfterArg(retryBackoff, p.atHomeFn, pvReq{r.addr, r.requestor, r.write, r.predicted, 0, -1})
+			ctx.Kernel.AfterArg(retryBackoff, p.atHomeFn,
+				p.msg(pvReq{r.addr, r.requestor, r.write, r.predicted, 0, -1}))
 			return
 		}
 		r.forwards++
 		ctx.spanEvent("home-forward-owner", home)
-		del := ctx.SendCtl(home, ownerTile, func() { p.atL1(r, ownerTile) })
+		m := p.msg(r)
+		m.tile = ownerTile
+		del := ctx.SendCtlArg(home, ownerTile, p.atL1Fn, m)
 		p.addLinks(r.requestor, r.addr, del.Hops)
 		return
 	}
@@ -482,22 +631,11 @@ func (p *Providers) atHome(r pvReq) {
 		return
 	}
 	// Not on chip: fetch memory; requestor becomes owner (exclusive
-	// for reads, modified for writes).
+	// for reads, modified for writes). The pooled node rides the whole
+	// request -> latency -> data pipeline (memReqFn/memRespFn/memFillFn).
 	p.updateL2C(home, r.addr, r.requestor)
-	state := pvOwnerExclusive
-	dirty := false
-	if r.write {
-		state = pvOwnerModified
-		dirty = true
-	}
 	mc := ctx.Mem.For(r.addr)
-	del := ctx.SendCtl(home, mc, func() {
-		lat := ctx.Mem.ReadLatency()
-		ctx.Kernel.After(lat, func() {
-			d2 := ctx.SendData(mc, home, func() { p.deliver(r, home, state, dirty, -1, nil) })
-			p.addLinks(r.requestor, r.addr, d2.Hops)
-		})
-	})
+	del := ctx.SendCtlArg(home, mc, p.memReqFn, p.msg(r))
 	p.addLinks(r.requestor, r.addr, del.Hops)
 }
 
@@ -511,15 +649,16 @@ func (p *Providers) homeOwnerSupply(r pvReq, home topo.Tile, l2line *cache.Line)
 			prov := p.tileAt(reqArea, l2line.ProPos[reqArea])
 			if r.forwards >= maxForwards {
 				ctx.spanRetry(r.requestor)
-				ctx.Kernel.After(retryBackoff, func() {
-					p.atHome(pvReq{r.addr, r.requestor, r.write, r.predicted, 0, -1})
-				})
+				ctx.Kernel.AfterArg(retryBackoff, p.atHomeFn,
+					p.msg(pvReq{r.addr, r.requestor, r.write, r.predicted, 0, -1}))
 				return
 			}
 			r.forwards++
 			r.fromOwner = home
 			ctx.spanEvent("home-forward-provider", home)
-			del := ctx.SendCtl(home, prov, func() { p.atL1(r, prov) })
+			m := p.msg(r)
+			m.tile = prov
+			del := ctx.SendCtlArg(home, prov, p.atL1Fn, m)
 			p.addLinks(r.requestor, r.addr, del.Hops)
 			return
 		}
@@ -549,8 +688,9 @@ func (p *Providers) homeOwnerSupply(r pvReq, home topo.Tile, l2line *cache.Line)
 				continue // self-provider handled at fill time
 			}
 			e.ProviderAcks++
-			provTile := prov
-			ctx.SendCtl(home, provTile, func() { p.invalidateProvider(provTile, r.addr, r.requestor) })
+			m := p.msg(pvReq{addr: r.addr, requestor: r.requestor})
+			m.tile = prov
+			ctx.SendCtlArg(home, prov, p.invalPvFn, m)
 		}
 	}
 	ctx.pw.L2DataRead.Inc()
@@ -563,13 +703,15 @@ func (p *Providers) homeOwnerSupply(r pvReq, home topo.Tile, l2line *cache.Line)
 // deliver sends the data and installs it at the requestor.
 func (p *Providers) deliver(r pvReq, from topo.Tile, state cache.State, dirty bool,
 	supplier int16, propos *[cache.MaxSimAreas]int8) {
-	del := p.ctx.SendData(from, r.requestor, func() {
-		p.fillL1(r, state, dirty, supplier, propos)
-		if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
-			e.DataReceived = true
-		}
-		p.maybeComplete(r.requestor, r.addr)
-	})
+	m := p.msg(r)
+	m.state, m.dirty, m.supplier = state, dirty, supplier
+	if propos != nil {
+		m.propos = *propos
+		m.hasPro = true
+	} else {
+		m.hasPro = false
+	}
+	del := p.ctx.SendDataArg(from, r.requestor, p.deliverFn, m)
 	p.addLinks(r.requestor, r.addr, del.Hops)
 }
 
@@ -626,12 +768,12 @@ func (p *Providers) fillL1(r pvReq, state cache.State, dirty bool,
 			e.SharerAcks += popcount(selfSharers)
 		}
 		area := p.areaOf(r.requestor)
-		forEachBit(selfSharers, func(i int) {
-			sharer := p.tileAt(area, int8(i))
-			ctx.SendCtl(r.requestor, sharer, func() {
-				p.invalidateSharer(sharer, r.addr, r.requestor)
-			})
-		})
+		for v := selfSharers; v != 0; v &= v - 1 {
+			sharer := p.tileAt(area, int8(bits.TrailingZeros64(v)))
+			m := p.msg(pvReq{addr: r.addr, requestor: r.requestor})
+			m.tile = sharer
+			ctx.SendCtlArg(r.requestor, sharer, p.invalShFn, m)
+		}
 	}
 }
 
@@ -865,12 +1007,12 @@ func (p *Providers) writebackToHome(tile topo.Tile, addr cache.Addr, dirty bool,
 	p.invalidateStragglers(tile, addr, leftoverArea, leftover)
 	ctx.pw.L1DataRead.Inc()
 	ctx.SendData(tile, home, func() {
-		p.ownerStamp[home][addr] = ctx.Kernel.Now()
+		p.tiles[home].setStamp(addr, ctx.Kernel.Now())
 		p.insertL2Owned(home, addr, dirty, propos, func() {
 			if p.tiles[home].l2c.Invalidate(addr) {
 				ctx.pw.L2CUpdate.Inc()
 			}
-			delete(p.recalls[home], addr)
+			p.tiles[home].clearRecall(addr)
 			p.tiles[home].wakeHome(ctx.Kernel, addr)
 		})
 	})
@@ -901,13 +1043,13 @@ func (p *Providers) invalidateStragglers(from topo.Tile, addr cache.Addr, area i
 // homeOwnerUpdate guards the L2C$ against reordered Change_Owner
 // messages, like DiCo.
 func (p *Providers) homeOwnerUpdate(home topo.Tile, addr cache.Addr, owner topo.Tile, stamp sim.Time) {
-	if prev, ok := p.ownerStamp[home][addr]; ok && prev > stamp {
+	th := p.tiles[home]
+	if !th.stampIfNewer(addr, stamp) {
 		return
 	}
-	p.ownerStamp[home][addr] = stamp
 	p.updateL2C(home, addr, owner)
-	delete(p.recalls[home], addr)
-	p.tiles[home].wakeHome(p.ctx.Kernel, addr)
+	th.clearRecall(addr)
+	th.wakeHome(p.ctx.Kernel, addr)
 }
 
 // updateL2C installs an owner pointer, recalling the displaced entry's
@@ -927,7 +1069,7 @@ func (p *Providers) updateL2C(home topo.Tile, addr cache.Addr, owner topo.Tile) 
 // provider.
 func (p *Providers) recallOwnership(home topo.Tile, addr cache.Addr) {
 	ctx := p.ctx
-	p.recalls[home][addr] = true
+	p.tiles[home].markRecall(addr)
 	owner := topo.Tile(-1)
 	for i := range p.tiles {
 		if l := p.tiles[i].l1.Peek(addr); l != nil && pvIsOwner(l.State) {
@@ -940,7 +1082,7 @@ func (p *Providers) recallOwnership(home topo.Tile, addr cache.Addr) {
 		// filled): poll until the owner materializes or a home update
 		// clears the marker.
 		ctx.Kernel.After(4*retryBackoff, func() {
-			if p.recalls[home][addr] {
+			if p.tiles[home].recallMarked(addr) {
 				p.recallOwnership(home, addr)
 			}
 		})
@@ -979,12 +1121,12 @@ func (p *Providers) relinquish(home, owner topo.Tile, addr cache.Addr) {
 	ctx.pw.L1TagWrite.Inc()
 	ctx.pw.L1DataRead.Inc()
 	ctx.SendData(owner, home, func() {
-		p.ownerStamp[home][addr] = ctx.Kernel.Now()
+		p.tiles[home].setStamp(addr, ctx.Kernel.Now())
 		p.insertL2Owned(home, addr, dirty, propos, func() {
 			if p.tiles[home].l2c.Invalidate(addr) {
 				ctx.pw.L2CUpdate.Inc()
 			}
-			delete(p.recalls[home], addr)
+			p.tiles[home].clearRecall(addr)
 			p.tiles[home].wakeHome(ctx.Kernel, addr)
 		})
 	})
@@ -1042,7 +1184,7 @@ func (p *Providers) evictL2Owned(home topo.Tile, victim cache.Line, then func())
 	ctx := p.ctx
 	th := p.tiles[home]
 	victimAddr := victim.Addr
-	th.homeBusy[victimAddr] = true
+	th.setHomeBusy(victimAddr)
 	pendingProv := 0
 	pendingSharers := 0
 	var finish func()
@@ -1056,7 +1198,7 @@ func (p *Providers) evictL2Owned(home topo.Tile, victim cache.Line, then func())
 			mc := ctx.Mem.For(victimAddr)
 			ctx.SendData(home, mc, func() { ctx.Mem.WriteLatency() })
 		}
-		delete(th.homeBusy, victimAddr)
+		th.clearHomeBusy(victimAddr)
 		th.wakeHome(ctx.Kernel, victimAddr)
 		then()
 	}

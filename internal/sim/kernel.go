@@ -5,16 +5,27 @@
 // Events scheduled for the same cycle execute in scheduling order, which
 // makes whole-system runs bit-for-bit reproducible for a given seed.
 //
-// The event queue is a monomorphic 4-ary min-heap of value entries
-// ordered by (time, sequence). Entries live inline in the heap slice,
-// so the slice's spare capacity acts as the free list: once the queue
-// has reached its steady-state depth, scheduling and dispatch perform
-// no heap allocation at all. The 4-ary layout halves the tree depth of
-// a binary heap and keeps each node's children in one cache line,
-// which matters because the scheduler is the simulator's hottest loop.
+// The event queue is a timing wheel backed by a small overflow heap.
+// Nearly every delay in the simulator is short and bounded — mesh hops,
+// cache pipelines, DRAM round-trips (~316 cycles), retry backoffs — so
+// events land in a fixed ring of wheelSize one-cycle slots, each an
+// intrusive FIFO list over a pooled node arena. Scheduling is O(1):
+// index the slot, append to its list, set an occupancy bit. Dispatch
+// scans the occupancy bitmap from the current cycle (64 slots per
+// word). FIFO order within a slot preserves the (time, sequence) total
+// order because a slot holds at most one distinct timestamp at a time.
+// The rare long-delay events (telemetry sampling, the watchdog) go to a
+// 4-ary min-heap and migrate into the wheel as the clock approaches
+// them — migrated events always precede, in scheduling order, any event
+// later pushed directly for the same cycle, so ordering is preserved
+// exactly. The node arena free list makes steady-state scheduling and
+// dispatch allocation-free.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Time is the simulation clock, in processor cycles.
 type Time uint64
@@ -22,29 +33,61 @@ type Time uint64
 // Event is a unit of scheduled work.
 type Event func()
 
-// entry is one pending event. Exactly one of run or argFn is set:
-// run for the closure form (At/After), argFn+arg for the
-// non-capturing fast path (AtArg/AfterArg). tag is the causal context
-// (see Kernel.Tag) captured at scheduling time.
-type entry struct {
-	at    Time
-	seq   uint64
+// wheelSize is the horizon of the timing wheel in cycles (power of
+// two). Events scheduled less than wheelSize cycles ahead go to the
+// wheel; anything further goes to the overflow heap. 1024 covers every
+// hot-path delay in the simulator (DRAM is ~316 cycles) with room to
+// spare.
+const (
+	wheelSize = 1024
+	wheelMask = wheelSize - 1
+	occWords  = wheelSize / 64
+)
+
+// evKey is the ordering half of an overflow-heap entry: earlier time
+// first, scheduling order (seq) breaking ties so same-cycle events are
+// FIFO.
+type evKey struct {
+	at  Time
+	seq uint64
+}
+
+// evPayload is the dispatch half of a pending event. argFn nil means
+// the closure form (At/After) and arg holds the Event; otherwise
+// argFn+arg is the non-capturing fast path (AtArg/AfterArg). tag is
+// the causal context (see Kernel.Tag) captured at scheduling time.
+type evPayload struct {
 	tag   uint64
-	run   Event
 	argFn func(any)
 	arg   any
 }
 
-// before reports whether e fires before o: earlier time first,
-// scheduling order (seq) breaking ties so same-cycle events are FIFO.
-func (e *entry) before(o *entry) bool {
-	if e.at != o.at {
-		return e.at < o.at
+// before reports whether k fires before o.
+func (k evKey) before(o evKey) bool {
+	if k.at != o.at {
+		return k.at < o.at
 	}
-	return e.seq < o.seq
+	return k.seq < o.seq
 }
 
-// heapArity is the branching factor of the event queue. Quaternary
+// evNode is one pending event in the wheel's node arena, linked into a
+// per-slot FIFO list (or the free list) by arena index.
+type evNode struct {
+	next int32 // arena index of next node in slot/free list, -1 = none
+	val  evPayload
+}
+
+// wheelSlot is one cycle's FIFO list. A slot holds events for at most
+// one distinct timestamp at a time (all pending wheel events lie within
+// [now, now+wheelSize), so two timestamps in the same slot would be a
+// full wheel-turn apart). at records which one.
+type wheelSlot struct {
+	at   Time
+	head int32
+	tail int32
+}
+
+// heapArity is the branching factor of the overflow heap. Quaternary
 // rather than binary: sift-down does ~half the levels, and the four
 // children of node i (4i+1..4i+4) sit adjacent in memory.
 const heapArity = 4
@@ -52,10 +95,19 @@ const heapArity = 4
 // Kernel is a discrete-event scheduler. The zero value is not usable;
 // create one with NewKernel.
 type Kernel struct {
-	now    Time
-	seq    uint64
-	tag    uint64  // current causal tag (see Tag)
-	queue  []entry // 4-ary min-heap by (at, seq)
+	now Time
+	seq uint64
+	tag uint64 // current causal tag (see Tag)
+
+	slots   []wheelSlot      // wheelSize one-cycle FIFO slots
+	occ     [occWords]uint64 // occupancy bitmap over slots
+	nodes   []evNode         // arena backing the slot lists
+	free    int32            // head of the node free list, -1 = none
+	inWheel int              // events currently in the wheel
+
+	ofKeys []evKey     // overflow: 4-ary min-heap by (at, seq)
+	ofVals []evPayload // overflow payloads, parallel to ofKeys
+
 	rng    *Rand
 	events uint64   // total events executed
 	prof   *Profile // optional dispatch profiler (nil = off)
@@ -63,7 +115,12 @@ type Kernel struct {
 
 // NewKernel returns a kernel whose random source is seeded with seed.
 func NewKernel(seed uint64) *Kernel {
-	return &Kernel{rng: NewRand(seed)}
+	k := &Kernel{rng: NewRand(seed), free: -1}
+	k.slots = make([]wheelSlot, wheelSize)
+	for i := range k.slots {
+		k.slots[i].head, k.slots[i].tail = -1, -1
+	}
+	return k
 }
 
 // Now returns the current simulation time.
@@ -92,42 +149,115 @@ func (k *Kernel) Tag() uint64 { return k.tag }
 func (k *Kernel) SetTag(t uint64) { k.tag = t }
 
 // Pending returns the number of events waiting in the queue.
-func (k *Kernel) Pending() int { return len(k.queue) }
+func (k *Kernel) Pending() int { return k.inWheel + len(k.ofKeys) }
 
-// push appends e and sifts it up to its heap position. The sift moves
-// a hole instead of swapping, so each level copies one entry, not
-// three.
-func (k *Kernel) push(e entry) {
+// newNode pops a node from the free list or grows the arena.
+func (k *Kernel) newNode() int32 {
+	if n := k.free; n >= 0 {
+		k.free = k.nodes[n].next
+		return n
+	}
+	k.nodes = append(k.nodes, evNode{})
+	return int32(len(k.nodes) - 1)
+}
+
+// wheelAppend links a payload at the tail of the slot for time at,
+// which must lie within [now, now+wheelSize).
+func (k *Kernel) wheelAppend(at Time, val evPayload) {
+	n := k.newNode()
+	nd := &k.nodes[n]
+	nd.next = -1
+	nd.val = val
+	s := &k.slots[int(at)&wheelMask]
+	if s.head < 0 {
+		s.at = at
+		s.head, s.tail = n, n
+		k.occ[(int(at)&wheelMask)>>6] |= 1 << (uint(at) & 63)
+	} else {
+		k.nodes[s.tail].next = n
+		s.tail = n
+	}
+	k.inWheel++
+}
+
+// schedule routes an event to the wheel or the overflow heap.
+func (k *Kernel) schedule(at Time, val evPayload) {
 	if k.prof != nil {
 		k.prof.Scheduled++
 	}
-	h := append(k.queue, entry{})
-	i := len(h) - 1
-	for i > 0 {
-		p := (i - 1) / heapArity
-		if !e.before(&h[p]) {
-			break
-		}
-		h[i] = h[p]
-		i = p
+	if at < k.now+wheelSize {
+		k.wheelAppend(at, val)
+		return
 	}
-	h[i] = e
-	k.queue = h
+	k.seq++
+	k.ofPush(evKey{at: at, seq: k.seq}, val)
 }
 
-// pop removes and returns the minimum entry, sifting the former tail
-// entry down into place. The vacated tail slot is zeroed so the heap's
-// spare capacity does not retain closures or boxed arguments.
-func (k *Kernel) pop() entry {
-	h := k.queue
-	top := h[0]
-	n := len(h) - 1
-	last := h[n]
-	h[n] = entry{}
-	h = h[:n]
-	k.queue = h
+// migrate drains overflow events that have come within the wheel
+// horizon [_, limit+wheelSize) into their slots. Popped in (at, seq)
+// order, they append in FIFO scheduling order; any event pushed
+// directly to the same slot afterwards was necessarily scheduled later,
+// so the global dispatch order is unchanged.
+func (k *Kernel) migrate(limit Time) {
+	for len(k.ofKeys) > 0 && k.ofKeys[0].at < limit+wheelSize {
+		key, val := k.ofPop()
+		k.wheelAppend(key.at, val)
+	}
+}
+
+// nextSlot returns the slot index holding the earliest pending wheel
+// event: the occupancy bitmap is scanned circularly starting at the
+// current cycle's slot. All wheel events lie in [now, now+wheelSize),
+// so circular distance from now's slot equals firing order.
+func (k *Kernel) nextSlot() int {
+	start := int(k.now) & wheelMask
+	w, bit := start>>6, uint(start)&63
+	if word := k.occ[w] >> bit; word != 0 {
+		return start + bits.TrailingZeros64(word)
+	}
+	for i := 1; i <= occWords; i++ {
+		idx := (w + i) & (occWords - 1)
+		if word := k.occ[idx]; word != 0 {
+			return idx<<6 + bits.TrailingZeros64(word)
+		}
+	}
+	panic("sim: nextSlot on empty wheel")
+}
+
+// ofPush appends an entry to the overflow heap and sifts it up. The
+// sift moves a hole instead of swapping, so each level copies one
+// entry, not three; only the keys are read for comparisons.
+func (k *Kernel) ofPush(key evKey, val evPayload) {
+	hk := append(k.ofKeys, evKey{})
+	hv := append(k.ofVals, evPayload{})
+	i := len(hk) - 1
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !key.before(hk[p]) {
+			break
+		}
+		hk[i], hv[i] = hk[p], hv[p]
+		i = p
+	}
+	hk[i], hv[i] = key, val
+	k.ofKeys, k.ofVals = hk, hv
+}
+
+// ofPop removes and returns the minimum overflow entry, sifting the
+// former tail entry down into place. The vacated tail slot is zeroed so
+// the heap's spare capacity does not retain closures or boxed
+// arguments.
+func (k *Kernel) ofPop() (evKey, evPayload) {
+	hk, hv := k.ofKeys, k.ofVals
+	topKey := hk[0]
+	topVal := hv[0]
+	n := len(hk) - 1
+	lastKey, lastVal := hk[n], hv[n]
+	hv[n] = evPayload{}
+	hk, hv = hk[:n], hv[:n]
+	k.ofKeys, k.ofVals = hk, hv
 	if n == 0 {
-		return top
+		return topKey, topVal
 	}
 	i := 0
 	for {
@@ -141,18 +271,18 @@ func (k *Kernel) pop() entry {
 		}
 		min := c
 		for j := c + 1; j < end; j++ {
-			if h[j].before(&h[min]) {
+			if hk[j].before(hk[min]) {
 				min = j
 			}
 		}
-		if !h[min].before(&last) {
+		if !hk[min].before(lastKey) {
 			break
 		}
-		h[i] = h[min]
+		hk[i], hv[i] = hk[min], hv[min]
 		i = min
 	}
-	h[i] = last
-	return top
+	hk[i], hv[i] = lastKey, lastVal
+	return topKey, topVal
 }
 
 // checkTime panics on scheduling in the past: it would silently
@@ -164,11 +294,12 @@ func (k *Kernel) checkTime(t Time) {
 }
 
 // At schedules ev to run at absolute time t. Scheduling in the past
-// (t < Now) panics.
+// (t < Now) panics. The closure rides in the arg slot (a func value
+// boxes into an interface without allocating); argFn nil marks the
+// form for dispatch.
 func (k *Kernel) At(t Time, ev Event) {
 	k.checkTime(t)
-	k.seq++
-	k.push(entry{at: t, seq: k.seq, tag: k.tag, run: ev})
+	k.schedule(t, evPayload{tag: k.tag, arg: ev})
 }
 
 // After schedules ev to run delay cycles from now.
@@ -184,8 +315,7 @@ func (k *Kernel) After(delay Time, ev Event) {
 // exactly as if the call were At(t, func() { fn(arg) }).
 func (k *Kernel) AtArg(t Time, fn func(any), arg any) {
 	k.checkTime(t)
-	k.seq++
-	k.push(entry{at: t, seq: k.seq, tag: k.tag, argFn: fn, arg: arg})
+	k.schedule(t, evPayload{tag: k.tag, argFn: fn, arg: arg})
 }
 
 // AfterArg schedules fn(arg) to run delay cycles from now.
@@ -193,24 +323,64 @@ func (k *Kernel) AfterArg(delay Time, fn func(any), arg any) {
 	k.AtArg(k.now+delay, fn, arg)
 }
 
+// nextTime returns the timestamp of the earliest pending event.
+func (k *Kernel) nextTime() (Time, bool) {
+	if k.inWheel > 0 {
+		return k.slots[k.nextSlot()].at, true
+	}
+	if len(k.ofKeys) > 0 {
+		return k.ofKeys[0].at, true
+	}
+	return 0, false
+}
+
 // Step executes the earliest pending event, advancing the clock to its
 // timestamp. It reports whether an event was executed.
 func (k *Kernel) Step() bool {
-	if len(k.queue) == 0 {
-		return false
+	if k.inWheel == 0 {
+		if len(k.ofKeys) == 0 {
+			return false
+		}
+		// The wheel drained with only far-future events left: jump the
+		// clock to the earliest one so the wheel horizon reaches it,
+		// then pull everything now in range. The jump is sound — the
+		// next dispatch is at that timestamp anyway.
+		k.now = k.ofKeys[0].at
+		k.migrate(k.now)
 	}
 	if k.prof != nil {
-		k.prof.QueueDepth.Observe(uint64(len(k.queue)))
+		k.prof.QueueDepth.Observe(uint64(k.inWheel + len(k.ofKeys)))
 	}
-	e := k.pop()
-	k.now = e.at
+	si := k.nextSlot()
+	s := &k.slots[si]
+	at := s.at
+	n := s.head
+	nd := &k.nodes[n]
+	s.head = nd.next
+	if s.head < 0 {
+		s.tail = -1
+		k.occ[si>>6] &^= 1 << (uint(si) & 63)
+	}
+	k.inWheel--
+	e := nd.val
+	nd.val = evPayload{} // do not retain closures/args in the arena
+	nd.next = k.free
+	k.free = n
+	k.now = at
 	k.tag = e.tag
 	k.events++
-	if e.run != nil {
+	// Advancing the clock moved the wheel horizon forward: pull any
+	// overflow events now in range before dispatching, so events the
+	// handler schedules (which come later in scheduling order) land
+	// behind them in their slots.
+	if len(k.ofKeys) > 0 && k.ofKeys[0].at < at+wheelSize {
+		k.migrate(at)
+	}
+	if e.argFn == nil {
 		if k.prof != nil {
 			k.prof.DispatchedClosure++
 		}
-		e.run()
+		e.arg.(Event)()
 	} else {
 		if k.prof != nil {
 			k.prof.DispatchedArg++
@@ -224,8 +394,17 @@ func (k *Kernel) Step() bool {
 // (limit 0 means no limit). It returns the number of events executed.
 func (k *Kernel) Run(limit Time) uint64 {
 	start := k.events
-	for len(k.queue) > 0 {
-		if limit != 0 && k.queue[0].at > limit {
+	if limit == 0 {
+		for k.Step() {
+		}
+		return k.events - start
+	}
+	for {
+		t, ok := k.nextTime()
+		if !ok {
+			break
+		}
+		if t > limit {
 			k.now = limit
 			break
 		}
@@ -238,7 +417,7 @@ func (k *Kernel) Run(limit Time) uint64 {
 // It returns the number of events executed.
 func (k *Kernel) RunUntil(cond func() bool) uint64 {
 	start := k.events
-	for len(k.queue) > 0 && !cond() {
+	for k.Pending() > 0 && !cond() {
 		k.Step()
 	}
 	return k.events - start

@@ -158,6 +158,86 @@ func TestKernelDeepQueueOrdering(t *testing.T) {
 	}
 }
 
+// TestKernelOverflowOrdering drives a schedule that spans several wheel
+// horizons, so events start in the overflow heap and migrate into the
+// wheel as the clock approaches them; the (time, seq) dispatch order
+// must be indistinguishable from a plain priority queue.
+func TestKernelOverflowOrdering(t *testing.T) {
+	k := NewKernel(1)
+	r := NewRand(321)
+	const n = 5000
+	type stamp struct {
+		at  Time
+		seq int
+	}
+	var got []stamp
+	for i := 0; i < n; i++ {
+		i := i
+		at := Time(r.Intn(5000)) // ~80% beyond the wheel horizon
+		k.At(at, func() { got = append(got, stamp{at, i}) })
+	}
+	k.Run(0)
+	if len(got) != n {
+		t.Fatalf("ran %d events, want %d", len(got), n)
+	}
+	for i := 1; i < n; i++ {
+		a, b := got[i-1], got[i]
+		if b.at < a.at || (b.at == a.at && b.seq < a.seq) {
+			t.Fatalf("event %d (t=%d seq=%d) ran before %d (t=%d seq=%d)",
+				i, b.at, b.seq, i-1, a.at, a.seq)
+		}
+	}
+}
+
+// TestKernelOverflowMigrationFIFO pins the migration ordering contract:
+// events that waited in the overflow heap run before events scheduled
+// later, directly into the wheel, for the same cycle.
+func TestKernelOverflowMigrationFIFO(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	k.At(5000, func() { got = append(got, 0) }) // far future: overflow
+	k.At(1, func() {
+		k.At(5000, func() { got = append(got, 1) }) // still overflow
+	})
+	k.At(4500, func() {
+		// now = 4500: cycle 5000 is inside the wheel horizon, so this
+		// schedules directly into the slot the overflow events migrated
+		// to — and must run after them.
+		k.At(5000, func() { got = append(got, 2) })
+	})
+	k.Run(0)
+	want := []int{0, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestKernelAtArgNoAllocs gates the scheduler's steady state: once the
+// node arena has grown to the working depth, AtArg + Step must not
+// allocate.
+func TestKernelAtArgNoAllocs(t *testing.T) {
+	k := NewKernel(1)
+	fn := func(any) {}
+	var arg any = new(int)
+	cycle := func() {
+		k.AtArg(k.Now()+3, fn, arg)
+		if !k.Step() {
+			t.Fatal("Step found no event")
+		}
+	}
+	for i := 0; i < 100; i++ {
+		cycle()
+	}
+	if avg := testing.AllocsPerRun(1000, cycle); avg != 0 {
+		t.Errorf("AtArg+Step steady state allocates %.2f/op, want 0", avg)
+	}
+}
+
 func TestKernelPastPanics(t *testing.T) {
 	k := NewKernel(1)
 	k.At(100, func() {})
