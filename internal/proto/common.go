@@ -362,6 +362,11 @@ func newTileState(cfg Config, bankShift uint) *tileState {
 		l2:   l2,
 		l1c:  cache.NewPointerCache("l1c", cfg.CCSets, cfg.CCWays),
 		l2c:  l2c,
+		// Unlimited capacity is safe because the blocking in-order core
+		// model keeps at most a handful of misses in flight per tile;
+		// MSHR lookups are linear scans, so a future core model with
+		// high miss-level parallelism should set a real capacity (or the
+		// MSHR should grow an index) before raising this.
 		mshr: cache.NewMSHR(0),
 		tx:   newTxTable(),
 	}

@@ -174,10 +174,23 @@ func (k *Kernel) wheelAppend(at Time, val evPayload) {
 		s.head, s.tail = n, n
 		k.occ[(int(at)&wheelMask)>>6] |= 1 << (uint(at) & 63)
 	} else {
+		if s.at != at {
+			k.slotAliasPanic(s.at, at)
+		}
 		k.nodes[s.tail].next = n
 		s.tail = n
 	}
 	k.inWheel++
+}
+
+// slotAliasPanic reports two distinct timestamps landing in one wheel
+// slot: the [now, now+wheelSize) invariant broke somewhere, and FIFO
+// dispatch would silently misorder them. Kept out of wheelAppend so the
+// Sprintf machinery does not bloat the hot path's frame.
+//
+//go:noinline
+func (k *Kernel) slotAliasPanic(have, appending Time) {
+	panic(fmt.Sprintf("sim: wheel slot aliasing: slot holds t=%d, appending t=%d (now=%d)", have, appending, k.now))
 }
 
 // schedule routes an event to the wheel or the overflow heap.
@@ -405,7 +418,13 @@ func (k *Kernel) Run(limit Time) uint64 {
 			break
 		}
 		if t > limit {
+			// Jumping the clock moves the wheel horizon forward, so any
+			// overflow events that came within range must migrate into
+			// their slots now. Otherwise an event scheduled after Run
+			// returns could land in the wheel ahead of an earlier
+			// unmigrated overflow event and dispatch out of order.
 			k.now = limit
+			k.migrate(limit)
 			break
 		}
 		k.Step()

@@ -81,6 +81,37 @@ func TestKernelRunLimit(t *testing.T) {
 	}
 }
 
+// TestKernelRunLimitThenSchedule covers a regression where Run(limit)
+// jumped the clock without migrating overflow events the jump brought
+// inside the wheel horizon: an event scheduled after Run returned could
+// then land in the wheel ahead of an earlier unmigrated overflow event
+// and dispatch out of order (with the clock running backwards).
+func TestKernelRunLimitThenSchedule(t *testing.T) {
+	k := NewKernel(1)
+	var got []Time
+	record := func() { got = append(got, k.Now()) }
+	k.At(1500, record) // beyond the wheel horizon: goes to overflow
+	k.At(10, record)
+	k.Run(1000) // jumps the clock to 1000; 1500 is now within the horizon
+	if k.Now() != 1000 {
+		t.Fatalf("Now = %d, want 1000", k.Now())
+	}
+	k.At(1800, record) // scheduled after the jump, must fire after 1500
+	k.Run(0)
+	want := []Time{10, 1500, 1800}
+	if len(got) != len(want) {
+		t.Fatalf("dispatched %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatched %v, want %v", got, want)
+		}
+	}
+	if k.Now() != 1800 {
+		t.Errorf("Now = %d, want 1800", k.Now())
+	}
+}
+
 func TestKernelRunUntil(t *testing.T) {
 	k := NewKernel(1)
 	hits := 0
