@@ -27,6 +27,8 @@ func main() {
 	out := flag.String("out", "", "write the sweep as an obs manifest (schema v2) to <dir>/matrix.json; cmd/tables -from regenerates every figure from it without re-simulating")
 	sample := flag.Int64("sample", 0, "record a time-series sample of every run's counters every N cycles (0 = off; exported with -out, plotted with tables -series)")
 	sampleCap := flag.Int("sample-cap", 0, "max time-series samples retained per run, drop-oldest (0 = default)")
+	cacheDir := flag.String("cache", "", "content-addressed run cache directory: completed runs are stored and repeated sweeps resolve unchanged cells from disk (invalidated by any config or git-revision change)")
+	resume := flag.Bool("resume", false, "shorthand for -cache .expcache: make the sweep incremental and resumable")
 	flag.Parse()
 
 	// Analytic artifacts need no simulation.
@@ -61,12 +63,26 @@ func main() {
 	opt.Base.SampleEvery = sim.Time(*sample)
 	opt.Base.SampleCap = *sampleCap
 	opt.Workers = *workers
+	if *resume && *cacheDir == "" {
+		*cacheDir = ".expcache"
+	}
+	if *cacheDir != "" {
+		cache, err := obs.OpenRunCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		opt.Cache = cache
+	}
 	m, err := exp.Run(opt, func(wl, p string) {
 		fmt.Fprintf(os.Stderr, "running %s / %s...\n", wl, p)
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
+	}
+	if *cacheDir != "" {
+		fmt.Fprintf(os.Stderr, "cache: %d hits, %d misses (%s)\n", m.Cache.Hits, m.Cache.Misses, *cacheDir)
 	}
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {

@@ -4,7 +4,10 @@
 // L2C$) that Direct Coherence protocols add.
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"unsafe"
+)
 
 // Addr is a block-aligned physical address: the 40-bit physical address
 // of the paper shifted right by 6 (64-byte blocks).
@@ -26,20 +29,18 @@ const Invalid State = 0
 //     -1 none); only the provider-based protocols use it.
 //   - AreaTag: for DiCo-Arin's home entries, the area the sharer vector
 //     refers to (-1 when the block is shared between areas).
+//
+// Field order packs the struct into 32 bytes (wide fields first), so
+// two lines share a CPU cache line and the backing arrays stay as
+// small as possible — the simulator's footprint is dominated by them.
 type Line struct {
 	Addr    Addr
+	Sharers uint64
+	ProPos  [MaxSimAreas]int8
+	Owner   int16
 	State   State
 	Dirty   bool
-	Sharers uint64
-	Owner   int16
-	ProPos  [MaxSimAreas]int8
 	AreaTag int8
-
-	// slot is the line's fixed position in its cache's backing array,
-	// assigned once at construction; it makes LRU refresh O(1) instead
-	// of a way scan. Value-copied snapshots of a Line keep the slot but
-	// are never Touched, so the stale index is harmless there.
-	slot int32
 }
 
 // MaxSimAreas bounds the number of areas the cycle simulator supports
@@ -52,22 +53,32 @@ func (l *Line) ResetMeta() {
 	l.Dirty = false
 	l.Sharers = 0
 	l.Owner = -1
-	for i := range l.ProPos {
-		l.ProPos[i] = -1
-	}
+	l.ProPos = [MaxSimAreas]int8{-1, -1, -1, -1, -1, -1, -1, -1}
 	l.AreaTag = -1
 }
 
 // Valid reports whether the line holds a block.
 func (l *Line) Valid() bool { return l.State != Invalid }
 
-// Cache is a set-associative array with true-LRU replacement.
+// Cache is a set-associative array with true-LRU replacement. The
+// (valid, address) pair of every way is mirrored in a compact tag
+// array so a probe reads 8 bytes per way — an 8-way set is one cache
+// line of tag traffic — instead of a whole Line; the LRU stamps live
+// in a parallel array touched only on a hit, a fill or a full-set
+// victim scan. The tag stores the block address plus one (the zero
+// value means empty), so freshly allocated arrays need no
+// initialization pass. Only Fill and Invalidate change a way's
+// identity, so the mirror has exactly two writers. Invalid lines get
+// their metadata defaults from ResetMeta at Fill time, never earlier —
+// the big backing arrays of directory-grade structures are faulted in
+// on demand, not up front.
 type Cache struct {
 	name  string
 	sets  int
 	ways  int
 	shift uint
 	lines []Line
+	tags  []Addr
 	lru   []uint64
 	stamp uint64
 
@@ -87,22 +98,14 @@ func New(name string, numSets, ways int) *Cache {
 	if ways <= 0 {
 		panic(fmt.Sprintf("cache %s: ways must be positive", name))
 	}
-	c := &Cache{
+	return &Cache{
 		name:  name,
 		sets:  numSets,
 		ways:  ways,
 		lines: make([]Line, numSets*ways),
+		tags:  make([]Addr, numSets*ways),
 		lru:   make([]uint64, numSets*ways),
 	}
-	for i := range c.lines {
-		c.lines[i].Owner = -1
-		c.lines[i].AreaTag = -1
-		c.lines[i].slot = int32(i)
-		for j := range c.lines[i].ProPos {
-			c.lines[i].ProPos[j] = -1
-		}
-	}
-	return c
 }
 
 // Name returns the cache's configured name.
@@ -131,11 +134,10 @@ func (c *Cache) Lookup(a Addr) *Line {
 	c.Accesses++
 	base := c.setOf(a) * c.ways
 	for w := 0; w < c.ways; w++ {
-		l := &c.lines[base+w]
-		if l.Valid() && l.Addr == a {
+		if c.tags[base+w] == a+1 {
 			c.stamp++
 			c.lru[base+w] = c.stamp
-			return l
+			return &c.lines[base+w]
 		}
 	}
 	c.Misses++
@@ -147,33 +149,67 @@ func (c *Cache) Lookup(a Addr) *Line {
 func (c *Cache) Peek(a Addr) *Line {
 	base := c.setOf(a) * c.ways
 	for w := 0; w < c.ways; w++ {
-		l := &c.lines[base+w]
-		if l.Valid() && l.Addr == a {
-			return l
+		if c.tags[base+w] == a+1 {
+			return &c.lines[base+w]
 		}
 	}
 	return nil
 }
 
-// Victim returns the line that would be replaced to make room for a:
-// an invalid way if one exists, else the LRU way. The returned line
-// still holds its old contents; the caller handles the eviction
-// protocol before calling Fill.
-func (c *Cache) Victim(a Addr) *Line {
+// Probe is Peek and Victim fused into one scan of the set, for the
+// lookup-then-fill pattern: hit=true means a is present and l is its
+// line (untouched: the caller decides on accounting). On a miss l is
+// the way Victim would pick — the first empty way (valid=false) or the
+// LRU way (valid=true) — so Probe is bit-identical to Peek followed by
+// Victim at half the probe traffic.
+func (c *Cache) Probe(a Addr) (l *Line, hit, valid bool) {
 	base := c.setOf(a) * c.ways
-	var victim *Line
-	var victimStamp uint64 = ^uint64(0)
+	empty := -1
 	for w := 0; w < c.ways; w++ {
-		l := &c.lines[base+w]
-		if !l.Valid() {
-			return l
+		t := c.tags[base+w]
+		if t == a+1 {
+			return &c.lines[base+w], true, true
 		}
-		if c.lru[base+w] < victimStamp {
-			victimStamp = c.lru[base+w]
-			victim = l
+		if t == 0 && empty < 0 {
+			empty = base + w
 		}
 	}
-	return victim
+	if empty >= 0 {
+		return &c.lines[empty], false, false
+	}
+	victimIdx := base
+	victimStamp := c.lru[base]
+	for w := 1; w < c.ways; w++ {
+		if s := c.lru[base+w]; s < victimStamp {
+			victimStamp = s
+			victimIdx = base + w
+		}
+	}
+	return &c.lines[victimIdx], false, true
+}
+
+// Victim returns the line that would be replaced to make room for a —
+// an invalid way if one exists (valid=false), else the LRU way
+// (valid=true). The validity comes from the tag scan so callers of an
+// empty way never read the (possibly never-touched) Line itself. A
+// valid victim still holds its old contents; the caller handles the
+// eviction protocol before calling Fill.
+func (c *Cache) Victim(a Addr) (victim *Line, valid bool) {
+	base := c.setOf(a) * c.ways
+	for w := 0; w < c.ways; w++ {
+		if c.tags[base+w] == 0 {
+			return &c.lines[base+w], false
+		}
+	}
+	victimIdx := base
+	victimStamp := c.lru[base]
+	for w := 1; w < c.ways; w++ {
+		if s := c.lru[base+w]; s < victimStamp {
+			victimStamp = s
+			victimIdx = base + w
+		}
+	}
+	return &c.lines[victimIdx], true
 }
 
 // Fill installs block a into line l (previously obtained from Victim)
@@ -182,7 +218,10 @@ func (c *Cache) Fill(l *Line, a Addr, s State) {
 	l.Addr = a
 	l.State = s
 	l.ResetMeta()
-	c.touchLine(l)
+	idx := c.indexOf(l)
+	c.tags[idx] = a + 1
+	c.stamp++
+	c.lru[idx] = c.stamp
 }
 
 // Touch refreshes the LRU position of l.
@@ -194,8 +233,13 @@ func (c *Cache) touchLine(l *Line) {
 	c.lru[idx] = c.stamp
 }
 
+// indexOf recovers the backing-array position of a line returned by
+// Lookup/Peek/Victim. Pointer arithmetic instead of a stored index
+// keeps Line free of positional state, which lets New skip touching
+// the (potentially tens of MB) line array entirely.
 func (c *Cache) indexOf(l *Line) int {
-	idx := int(l.slot)
+	off := uintptr(unsafe.Pointer(l)) - uintptr(unsafe.Pointer(unsafe.SliceData(c.lines)))
+	idx := int(off / unsafe.Sizeof(Line{}))
 	if idx < 0 || idx >= len(c.lines) || &c.lines[idx] != l {
 		panic("cache: Touch on foreign line")
 	}
@@ -207,22 +251,34 @@ func (c *Cache) indexOf(l *Line) int {
 func (c *Cache) Invalidate(a Addr) (Line, bool) {
 	base := c.setOf(a) * c.ways
 	for w := 0; w < c.ways; w++ {
-		l := &c.lines[base+w]
-		if l.Valid() && l.Addr == a {
+		if c.tags[base+w] == a+1 {
+			l := &c.lines[base+w]
 			old := *l
 			l.State = Invalid
 			l.ResetMeta()
+			c.tags[base+w] = 0
 			return old, true
 		}
 	}
 	return Line{}, false
 }
 
+// InvalidateLine removes a valid line previously located by
+// Lookup/Peek/Probe, returning its prior contents. It is Invalidate
+// without the set scan — the caller already paid for the probe.
+func (c *Cache) InvalidateLine(l *Line) Line {
+	old := *l
+	l.State = Invalid
+	l.ResetMeta()
+	c.tags[c.indexOf(l)] = 0
+	return old
+}
+
 // CountValid returns the number of valid lines (for occupancy stats).
 func (c *Cache) CountValid() int {
 	n := 0
-	for i := range c.lines {
-		if c.lines[i].Valid() {
+	for i := range c.tags {
+		if c.tags[i] != 0 {
 			n++
 		}
 	}
@@ -232,8 +288,8 @@ func (c *Cache) CountValid() int {
 // ForEachValid calls fn for every valid line. fn must not insert or
 // invalidate lines.
 func (c *Cache) ForEachValid(fn func(*Line)) {
-	for i := range c.lines {
-		if c.lines[i].Valid() {
+	for i := range c.tags {
+		if c.tags[i] != 0 {
 			fn(&c.lines[i])
 		}
 	}

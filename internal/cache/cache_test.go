@@ -5,13 +5,20 @@ import (
 	"testing/quick"
 )
 
+// fillBlock installs a block through the Victim/Fill pair, as the
+// protocol engines do.
+func fillBlock(c *Cache, a Addr, s State) {
+	v, _ := c.Victim(a)
+	c.Fill(v, a, s)
+}
+
 func TestCacheLookupMissThenHit(t *testing.T) {
 	c := New("l1", 4, 2)
 	if c.Lookup(0x100) != nil {
 		t.Fatal("hit in empty cache")
 	}
-	v := c.Victim(0x100)
-	if v == nil || v.Valid() {
+	v, valid := c.Victim(0x100)
+	if v == nil || valid {
 		t.Fatal("no invalid victim in empty cache")
 	}
 	c.Fill(v, 0x100, State(1))
@@ -27,10 +34,10 @@ func TestCacheLookupMissThenHit(t *testing.T) {
 func TestCacheLRUEviction(t *testing.T) {
 	c := New("l1", 1, 2) // one set, two ways
 	a, b, d := Addr(1), Addr(2), Addr(3)
-	c.Fill(c.Victim(a), a, 1)
-	c.Fill(c.Victim(b), b, 1)
+	fillBlock(c, a, 1)
+	fillBlock(c, b, 1)
 	c.Lookup(a) // a is now MRU
-	v := c.Victim(d)
+	v, _ := c.Victim(d)
 	if v.Addr != b {
 		t.Errorf("victim = %#x, want %#x (LRU)", v.Addr, b)
 	}
@@ -47,7 +54,7 @@ func TestCacheSetIsolation(t *testing.T) {
 	c := New("l1", 4, 1)
 	// Addresses mapping to different sets must not evict each other.
 	for i := Addr(0); i < 4; i++ {
-		c.Fill(c.Victim(i), i, 1)
+		fillBlock(c, i, 1)
 	}
 	for i := Addr(0); i < 4; i++ {
 		if c.Peek(i) == nil {
@@ -58,7 +65,7 @@ func TestCacheSetIsolation(t *testing.T) {
 
 func TestCacheInvalidate(t *testing.T) {
 	c := New("l1", 2, 2)
-	c.Fill(c.Victim(5), 5, 2)
+	fillBlock(c, 5, 2)
 	old, ok := c.Invalidate(5)
 	if !ok || old.Addr != 5 || old.State != 2 {
 		t.Fatal("invalidate did not return prior contents")
@@ -73,14 +80,14 @@ func TestCacheInvalidate(t *testing.T) {
 
 func TestCacheMetaReset(t *testing.T) {
 	c := New("l1", 2, 1)
-	v := c.Victim(1)
+	v, _ := c.Victim(1)
 	c.Fill(v, 1, 1)
 	v.Sharers = 0xff
 	v.Owner = 3
 	v.ProPos[0] = 2
 	v.Dirty = true
 	c.Invalidate(1)
-	v2 := c.Victim(1)
+	v2, _ := c.Victim(1)
 	c.Fill(v2, 1, 1)
 	if v2.Sharers != 0 || v2.Owner != -1 || v2.ProPos[0] != -1 || v2.Dirty {
 		t.Error("Fill did not reset metadata")
@@ -90,7 +97,7 @@ func TestCacheMetaReset(t *testing.T) {
 func TestCacheCountValidAndForEach(t *testing.T) {
 	c := New("l2", 8, 2)
 	for i := Addr(0); i < 5; i++ {
-		c.Fill(c.Victim(i), i, 1)
+		fillBlock(c, i, 1)
 	}
 	if got := c.CountValid(); got != 5 {
 		t.Errorf("CountValid = %d, want 5", got)
@@ -108,7 +115,7 @@ func TestCachePropertyNoDuplicates(t *testing.T) {
 		for _, a := range addrs {
 			addr := Addr(a % 256)
 			if c.Lookup(addr) == nil {
-				c.Fill(c.Victim(addr), addr, 1)
+				fillBlock(c, addr, 1)
 			}
 		}
 		// No address may appear twice.
@@ -278,7 +285,7 @@ func TestMSHRUnlimited(t *testing.T) {
 func BenchmarkCacheLookupHit(b *testing.B) {
 	c := New("l2", 1024, 8)
 	for i := Addr(0); i < 8192; i++ {
-		c.Fill(c.Victim(i), i, 1)
+		fillBlock(c, i, 1)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -300,16 +307,16 @@ func TestSetIndexShift(t *testing.T) {
 	c := New("l2", 4, 1)
 	c.SetIndexShift(6)
 	base := Addr(0x1000)
-	c.Fill(c.Victim(base), base, 1)
+	fillBlock(c, base, 1)
 	// Same set: fills with a low-bit variant must evict (1-way).
 	variant := base | 0x3f
-	c.Fill(c.Victim(variant), variant, 1)
+	fillBlock(c, variant, 1)
 	if c.Peek(base) != nil {
 		t.Error("low-bit variant did not share the set (shift ignored)")
 	}
 	// Different set: bit 6 set.
 	other := base | 0x40
-	c.Fill(c.Victim(other), other, 1)
+	fillBlock(c, other, 1)
 	if c.Peek(variant) == nil {
 		t.Error("bit-6 variant evicted the other set's line")
 	}

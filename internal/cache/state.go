@@ -1,0 +1,142 @@
+package cache
+
+import "fmt"
+
+// This file provides the snapshot surface of the storage structures:
+// pure-data state types captured at the warmup/measure boundary and
+// restored into freshly built structures of identical geometry. The
+// compact tag mirror is derived state, so restore rebuilds it from the
+// copied lines rather than serializing it.
+
+// CacheState is the serializable state of a Cache.
+type CacheState struct {
+	Sets, Ways int
+	Lines      []Line
+	LRU        []uint64
+	Stamp      uint64
+	Accesses   uint64
+	Misses     uint64
+}
+
+// State returns a deep copy of the cache's contents and counters.
+func (c *Cache) State() *CacheState {
+	st := &CacheState{
+		Sets:     c.sets,
+		Ways:     c.ways,
+		Lines:    make([]Line, len(c.lines)),
+		LRU:      make([]uint64, len(c.tags)),
+		Stamp:    c.stamp,
+		Accesses: c.Accesses,
+		Misses:   c.Misses,
+	}
+	copy(st.Lines, c.lines)
+	for i := range c.tags {
+		st.LRU[i] = c.lru[i]
+	}
+	return st
+}
+
+// RestoreState overwrites the cache's contents and counters with a
+// captured state. The geometry must match the cache's construction.
+func (c *Cache) RestoreState(st *CacheState) error {
+	if st.Sets != c.sets || st.Ways != c.ways {
+		return fmt.Errorf("cache %s: geometry mismatch: snapshot %dx%d, cache %dx%d",
+			c.name, st.Sets, st.Ways, c.sets, c.ways)
+	}
+	if len(st.Lines) != len(c.lines) || len(st.LRU) != len(c.tags) {
+		return fmt.Errorf("cache %s: snapshot size mismatch", c.name)
+	}
+	copy(c.lines, st.Lines)
+	for i := range c.lines {
+		if c.lines[i].Valid() {
+			c.tags[i] = c.lines[i].Addr + 1
+		} else {
+			c.tags[i] = 0
+		}
+		c.lru[i] = st.LRU[i]
+	}
+	c.stamp = st.Stamp
+	c.Accesses = st.Accesses
+	c.Misses = st.Misses
+	return nil
+}
+
+// PointerCacheState is the serializable state of a PointerCache.
+type PointerCacheState struct {
+	Sets, Ways int
+	Addrs      []Addr
+	Ptrs       []int16
+	Valid      []bool
+	LRU        []uint64
+	Stamp      uint64
+	Accesses   uint64
+	Hits       uint64
+	Updates    uint64
+}
+
+// State returns a deep copy of the pointer cache's contents.
+func (p *PointerCache) State() *PointerCacheState {
+	st := &PointerCacheState{
+		Sets: p.sets, Ways: p.ways,
+		Addrs:    make([]Addr, len(p.addrs)),
+		Ptrs:     make([]int16, len(p.ptrs)),
+		Valid:    make([]bool, len(p.valid)),
+		LRU:      make([]uint64, len(p.lru)),
+		Stamp:    p.stamp,
+		Accesses: p.Accesses,
+		Hits:     p.Hits,
+		Updates:  p.Updates,
+	}
+	copy(st.Addrs, p.addrs)
+	copy(st.Ptrs, p.ptrs)
+	copy(st.Valid, p.valid)
+	copy(st.LRU, p.lru)
+	return st
+}
+
+// RestoreState overwrites the pointer cache's contents with a captured
+// state of identical geometry.
+func (p *PointerCache) RestoreState(st *PointerCacheState) error {
+	if st.Sets != p.sets || st.Ways != p.ways {
+		return fmt.Errorf("cache %s: geometry mismatch: snapshot %dx%d, cache %dx%d",
+			p.name, st.Sets, st.Ways, p.sets, p.ways)
+	}
+	if len(st.Addrs) != len(p.addrs) {
+		return fmt.Errorf("cache %s: snapshot size mismatch", p.name)
+	}
+	copy(p.addrs, st.Addrs)
+	copy(p.ptrs, st.Ptrs)
+	copy(p.valid, st.Valid)
+	copy(p.lru, st.LRU)
+	p.stamp = st.Stamp
+	p.Accesses = st.Accesses
+	p.Hits = st.Hits
+	p.Updates = st.Updates
+	return nil
+}
+
+// MSHRState carries the MSHR's cumulative counters. In-flight entries
+// hold completion closures and cannot be serialized, so capture
+// requires an empty MSHR (the warmup/measure boundary guarantees it).
+type MSHRState struct {
+	Allocations uint64
+	FullStalls  uint64
+}
+
+// State captures the MSHR counters; it fails if misses are in flight.
+func (m *MSHR) State() (MSHRState, error) {
+	if n := m.Outstanding(); n > 0 {
+		return MSHRState{}, fmt.Errorf("cache: MSHR not quiescent: %d misses in flight", n)
+	}
+	return MSHRState{Allocations: m.Allocations, FullStalls: m.FullStalls}, nil
+}
+
+// RestoreState overwrites the MSHR counters; the MSHR must be empty.
+func (m *MSHR) RestoreState(st MSHRState) error {
+	if n := m.Outstanding(); n > 0 {
+		return fmt.Errorf("cache: cannot restore into an MSHR with %d misses in flight", n)
+	}
+	m.Allocations = st.Allocations
+	m.FullStalls = st.FullStalls
+	return nil
+}

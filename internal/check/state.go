@@ -1,0 +1,60 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/topo"
+)
+
+// BlockState is the serializable shadow image of one block.
+type BlockState struct {
+	Addr       cache.Addr
+	Ver        uint64
+	LastWriter int
+	SeenMask   uint64
+	Seen       [64]uint64
+}
+
+// ShadowState is the serializable state of the shadow checker, sorted
+// by block address for deterministic bytes.
+type ShadowState struct {
+	Blocks     []BlockState
+	Recorded   []string
+	Violations uint64
+}
+
+// State returns a deep copy of the checker's shadow memory.
+func (s *Shadow) State() *ShadowState {
+	st := &ShadowState{
+		Recorded:   append([]string(nil), s.recorded...),
+		Violations: s.violations,
+	}
+	for a, b := range s.blocks {
+		st.Blocks = append(st.Blocks, BlockState{
+			Addr: a, Ver: b.ver, LastWriter: int(b.lastWriter),
+			SeenMask: b.seenMask, Seen: b.seen,
+		})
+	}
+	sort.Slice(st.Blocks, func(i, j int) bool { return st.Blocks[i].Addr < st.Blocks[j].Addr })
+	return st
+}
+
+// RestoreState replaces the checker's shadow memory with a captured
+// state. The checker must not have observed any accesses yet (restore
+// targets a freshly built system).
+func (s *Shadow) RestoreState(st *ShadowState) error {
+	if len(s.blocks) != 0 || s.violations != 0 {
+		return fmt.Errorf("check: cannot restore into a shadow with %d blocks already observed", len(s.blocks))
+	}
+	for _, b := range st.Blocks {
+		s.blocks[b.Addr] = &blockShadow{
+			ver: b.Ver, lastWriter: topo.Tile(b.LastWriter),
+			seenMask: b.SeenMask, seen: b.Seen,
+		}
+	}
+	s.recorded = append([]string(nil), st.Recorded...)
+	s.violations = st.Violations
+	return nil
+}

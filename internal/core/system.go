@@ -469,46 +469,58 @@ func (s *System) runPhase(refs int) (sim.Time, uint64, error) {
 	return s.phaseLastRetire, s.phaseTotal, nil
 }
 
-// Run executes the optional warmup phase (whose activity is discarded
-// from every counter) followed by the measured phase, and returns the
-// collected result.
-func (s *System) Run() (*Result, error) {
+// timedPhase wraps runPhase with the optional per-phase timers.
+func (s *System) timedPhase(name string, refs int) (sim.Time, uint64, error) {
+	if s.prof == nil {
+		return s.runPhase(refs)
+	}
+	wall := time.Now()
+	cycles0, events0 := s.Kernel.Now(), s.Kernel.EventsRun()
+	lastRetire, totalRefs, err := s.runPhase(refs)
+	s.prof.Phases = append(s.prof.Phases, PhaseStat{
+		Name:   name,
+		WallNS: time.Since(wall).Nanoseconds(),
+		Cycles: s.Kernel.Now() - cycles0,
+		Events: s.Kernel.EventsRun() - events0,
+		Refs:   totalRefs,
+	})
+	return lastRetire, totalRefs, err
+}
+
+// RunWarmup executes the optional warmup phase and discards its
+// activity from every counter, leaving the system at the quiescent
+// warmup/measure boundary: the kernel queue is drained, no misses are
+// in flight, and all transient protocol state is gone. This is the
+// point where internal/snapshot captures the system so one warmup can
+// fork into many measure phases.
+func (s *System) RunWarmup() error {
 	cfg := s.Cfg
-	// timedPhase wraps runPhase with the optional per-phase timers.
-	timedPhase := func(name string, refs int) (sim.Time, uint64, error) {
-		if s.prof == nil {
-			return s.runPhase(refs)
-		}
-		wall := time.Now()
-		cycles0, events0 := s.Kernel.Now(), s.Kernel.EventsRun()
-		lastRetire, totalRefs, err := s.runPhase(refs)
-		s.prof.Phases = append(s.prof.Phases, PhaseStat{
-			Name:   name,
-			WallNS: time.Since(wall).Nanoseconds(),
-			Cycles: s.Kernel.Now() - cycles0,
-			Events: s.Kernel.EventsRun() - events0,
-			Refs:   totalRefs,
-		})
-		return lastRetire, totalRefs, err
+	if cfg.WarmupRefs == 0 {
+		return nil
 	}
-	if cfg.WarmupRefs > 0 {
-		if s.Sampler != nil {
-			s.Sampler.SetPhase("warmup")
-		}
-		if _, _, err := timedPhase("warmup", cfg.WarmupRefs); err != nil {
-			return nil, err
-		}
-		s.Engine.Stats().Reset()
-		s.Ctx.Profile = proto.MissProfile{}
-		s.Net.ResetStats()
-		s.Mem.Reads, s.Mem.Writes = 0, 0
+	if s.Sampler != nil {
+		s.Sampler.SetPhase("warmup")
 	}
+	if _, _, err := s.timedPhase("warmup", cfg.WarmupRefs); err != nil {
+		return err
+	}
+	s.Engine.Stats().Reset()
+	s.Ctx.Profile = proto.MissProfile{}
+	s.Net.ResetStats()
+	s.Mem.Reads, s.Mem.Writes = 0, 0
+	return nil
+}
+
+// RunMeasure executes the measured phase from the current (post-warmup
+// or restored) state and returns the collected result.
+func (s *System) RunMeasure() (*Result, error) {
+	cfg := s.Cfg
 	start := s.Kernel.Now()
 	events0 := s.Kernel.EventsRun()
 	if s.Sampler != nil {
 		s.Sampler.SetPhase("measure")
 	}
-	lastRetire, totalRefs, err := timedPhase("measure", cfg.RefsPerCore)
+	lastRetire, totalRefs, err := s.timedPhase("measure", cfg.RefsPerCore)
 	if err != nil {
 		return nil, err
 	}
@@ -544,6 +556,23 @@ func (s *System) Run() (*Result, error) {
 	res.Breakdown = power.Dynamic(res.Counters, res.Net, energies)
 	return res, nil
 }
+
+// Run executes the optional warmup phase followed by the measured
+// phase, and returns the collected result.
+func (s *System) Run() (*Result, error) {
+	if err := s.RunWarmup(); err != nil {
+		return nil, err
+	}
+	return s.RunMeasure()
+}
+
+// RefsRetired returns the cumulative reference count across phases
+// (the value the telemetry sampler reads).
+func (s *System) RefsRetired() uint64 { return s.refsTotal }
+
+// SetRefsRetired overwrites the cumulative reference count; snapshot
+// restore uses it so a forked system's telemetry continues seamlessly.
+func (s *System) SetRefsRetired(n uint64) { s.refsTotal = n }
 
 // Run validates cfg, then builds and runs a system in one call.
 func Run(cfg Config) (*Result, error) {

@@ -4,6 +4,7 @@
 package exp
 
 import (
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sort"
@@ -13,11 +14,28 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/power"
 	"repro/internal/proto"
+	"repro/internal/snapshot"
 	"repro/internal/stats"
 	"repro/internal/storage"
 	"repro/internal/topo"
 	"repro/internal/workload"
 )
+
+// ResultCache stores finished runs keyed by their full configuration.
+// obs.RunCache implements it (the interface lives here because obs
+// imports exp for the manifest converters). Load returns (nil, false,
+// nil) on a miss.
+type ResultCache interface {
+	Load(cfg core.Config) (*core.Result, bool, error)
+	Store(res *core.Result) error
+}
+
+// CacheStats counts how a sweep's runs were satisfied. Without a
+// cache every run is a miss.
+type CacheStats struct {
+	Hits   int
+	Misses int
+}
 
 // Options parameterize a full evaluation sweep. Base carries the
 // shared simulation configuration; the sweep only varies Workload and
@@ -46,6 +64,13 @@ type Options struct {
 	// serial sweep for a given seed. 0 means runtime.GOMAXPROCS(0);
 	// 1 forces the serial path.
 	Workers int
+
+	// Cache, when non-nil, resolves already-computed cells to disk
+	// reads and stores every freshly computed one, making repeated
+	// sweeps incremental (see obs.RunCache). Results are bit-identical
+	// either way: a hit decodes through the same integrity-checked
+	// path as a saved manifest.
+	Cache ResultCache
 }
 
 // DefaultOptions runs every Table IV workload at a laptop-scale budget.
@@ -91,44 +116,175 @@ func (opt Options) config(wl, protocol string) core.Config {
 type Matrix struct {
 	Workloads []string
 	Results   map[string]map[string]*core.Result // workload -> protocol
+	// Cache reports how the sweep's runs were satisfied when
+	// Options.Cache was set (all misses otherwise).
+	Cache CacheStats
 }
 
 // Run executes the full sweep, fanning the (workload, protocol) matrix
 // out over opt.Workers goroutines. progress (optional) is called
-// before each run, in matrix order, never concurrently. Result
-// assembly is deterministic: each run writes only its own matrix cell,
-// and on error the first failure in matrix order is reported.
+// before each run, in matrix order, never concurrently; cache hits are
+// resolved up front and get no progress call. Result assembly is
+// deterministic: each run writes only its own matrix cell, and on
+// error the first failure in matrix order is reported.
 func Run(opt Options, progress func(workload, protocol string)) (*Matrix, error) {
 	type job struct{ wl, protocol string }
 	jobs := make([]job, 0, len(opt.Workloads)*len(core.ProtocolNames))
+	cfgs := make([]core.Config, 0, cap(jobs))
 	for _, wl := range opt.Workloads {
 		for _, p := range core.ProtocolNames {
 			jobs = append(jobs, job{wl, p})
+			cfgs = append(cfgs, opt.config(wl, p))
 		}
 	}
-	results := make([]*core.Result, len(jobs))
-	errs := make([]error, len(jobs))
+	var onStart func(i int)
+	if progress != nil {
+		onStart = func(i int) { progress(jobs[i].wl, jobs[i].protocol) }
+	}
+	results, cs, err := runShared(cfgs, opt.Cache, opt.Workers, onStart)
+	if err != nil {
+		return nil, err
+	}
+	m := &Matrix{Workloads: opt.Workloads, Results: map[string]map[string]*core.Result{}, Cache: cs}
+	for i, j := range jobs {
+		if m.Results[j.wl] == nil {
+			m.Results[j.wl] = map[string]*core.Result{}
+		}
+		m.Results[j.wl][j.protocol] = results[i]
+	}
+	return m, nil
+}
 
-	workers := opt.Workers
+// warmupKey groups configurations that provably reach bit-identical
+// state at the warmup/measure boundary: equal snapshot.WarmupConfig
+// normalizations. The JSON encoding of the normalized config is the
+// key.
+func warmupKey(cfg core.Config) string {
+	data, err := json.Marshal(snapshot.WarmupConfig(cfg))
+	if err != nil {
+		panic(err) // flat struct of scalars; cannot fail
+	}
+	return string(data)
+}
+
+// runShared is the execution engine behind Run and RunConfigs: it
+// resolves cache hits, groups the remaining configurations by
+// warmupKey, and runs each group as one warmup phase forked into that
+// group's measure phases (internal/snapshot guarantees the fork is
+// bit-identical to a straight-through run, so sharing is purely a
+// wall-clock optimization). Singleton groups and warmup-free configs
+// take the plain core.Run path. Groups are claimed by a worker pool in
+// first-appearance order; within a group, members run in input order.
+// Freshly computed results are stored back into the cache.
+func runShared(cfgs []core.Config, cache ResultCache, workers int, progress func(i int)) ([]*core.Result, CacheStats, error) {
+	results := make([]*core.Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var cs CacheStats
+
+	// Validate everything first, then resolve cache hits, so a sweep
+	// with a bad cell fails before any simulation or disk write.
+	for i, cfg := range cfgs {
+		if err := cfg.Validate(); err != nil {
+			return nil, cs, fmt.Errorf("config %d (%s/%s): %w", i, cfg.Workload, cfg.Protocol, err)
+		}
+	}
+	var pending []int
+	for i, cfg := range cfgs {
+		if cache != nil {
+			res, ok, err := cache.Load(cfg)
+			if err != nil {
+				return nil, cs, fmt.Errorf("config %d (%s/%s): %w", i, cfg.Workload, cfg.Protocol, err)
+			}
+			if ok {
+				results[i] = res
+				cs.Hits++
+				continue
+			}
+		}
+		cs.Misses++
+		pending = append(pending, i)
+	}
+
+	// Group the misses by warmup equivalence, preserving first-seen
+	// order so the progress callback stays deterministic.
+	groupOf := map[string]int{}
+	var groups [][]int
+	for _, i := range pending {
+		k := warmupKey(cfgs[i])
+		g, ok := groupOf[k]
+		if !ok {
+			g = len(groups)
+			groupOf[k] = g
+			groups = append(groups, nil)
+		}
+		groups[g] = append(groups[g], i)
+	}
+
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
+	if workers > len(groups) {
+		workers = len(groups)
 	}
-	if workers <= 1 {
-		for i, j := range jobs {
+
+	var mu sync.Mutex
+	runGroup := func(members []int) {
+		start := func(i int) {
 			if progress != nil {
-				progress(j.wl, j.protocol)
+				mu.Lock()
+				progress(i)
+				mu.Unlock()
 			}
-			results[i], errs[i] = core.Run(opt.config(j.wl, j.protocol))
+		}
+		if len(members) == 1 || cfgs[members[0]].WarmupRefs == 0 {
+			for _, i := range members {
+				start(i)
+				results[i], errs[i] = core.Run(cfgs[i])
+			}
+			return
+		}
+		// One warmup, many measures. The warmup runs under the
+		// normalized config (with a legal RefsPerCore — the measure
+		// length is irrelevant to the warmup phase and overridden by
+		// each fork's own config).
+		warmCfg := snapshot.WarmupConfig(cfgs[members[0]])
+		warmCfg.RefsPerCore = cfgs[members[0]].RefsPerCore
+		fail := func(err error) {
+			for _, i := range members {
+				errs[i] = err
+			}
+		}
+		ws, err := core.NewSystem(warmCfg)
+		if err != nil {
+			fail(err)
+			return
+		}
+		if err := ws.RunWarmup(); err != nil {
+			fail(err)
+			return
+		}
+		st, err := snapshot.Capture(ws)
+		if err != nil {
+			fail(err)
+			return
+		}
+		for _, i := range members {
+			start(i)
+			fs, err := snapshot.Fork(st, cfgs[i])
+			if err != nil {
+				errs[i] = err
+				continue
+			}
+			results[i], errs[i] = fs.RunMeasure()
+		}
+	}
+
+	if workers <= 1 {
+		for _, g := range groups {
+			runGroup(g)
 		}
 	} else {
-		// Workers claim jobs from a shared cursor under a mutex, so
-		// runs start in matrix order and the progress callback needs
-		// no synchronization of its own.
 		var (
-			mu   sync.Mutex
 			next int
 			wg   sync.WaitGroup
 		)
@@ -138,34 +294,31 @@ func Run(opt Options, progress func(workload, protocol string)) (*Matrix, error)
 				defer wg.Done()
 				for {
 					mu.Lock()
-					if next >= len(jobs) {
+					if next >= len(groups) {
 						mu.Unlock()
 						return
 					}
-					i := next
+					g := next
 					next++
-					if progress != nil {
-						progress(jobs[i].wl, jobs[i].protocol)
-					}
 					mu.Unlock()
-					results[i], errs[i] = core.Run(opt.config(jobs[i].wl, jobs[i].protocol))
+					runGroup(groups[g])
 				}
 			}()
 		}
 		wg.Wait()
 	}
 
-	m := &Matrix{Workloads: opt.Workloads, Results: map[string]map[string]*core.Result{}}
-	for i, j := range jobs {
+	for _, i := range pending {
 		if errs[i] != nil {
-			return nil, fmt.Errorf("%s/%s: %w", j.wl, j.protocol, errs[i])
+			return nil, cs, fmt.Errorf("config %d (%s/%s): %w", i, cfgs[i].Workload, cfgs[i].Protocol, errs[i])
 		}
-		if m.Results[j.wl] == nil {
-			m.Results[j.wl] = map[string]*core.Result{}
+		if cache != nil {
+			if err := cache.Store(results[i]); err != nil {
+				return nil, cs, fmt.Errorf("config %d (%s/%s): %w", i, cfgs[i].Workload, cfgs[i].Protocol, err)
+			}
 		}
-		m.Results[j.wl][j.protocol] = results[i]
 	}
-	return m, nil
+	return results, cs, nil
 }
 
 // RunSystems is RunConfigs for callers that also need each run's built
@@ -231,50 +384,22 @@ func RunSystems(cfgs []core.Config, workers int, onBuild func(i int, s *core.Sys
 }
 
 // RunConfigs executes arbitrary configurations through the same
-// bounded worker pool: configuration i's result lands in slot i.
-// progress (optional) is called with the index of each run as it
-// starts, never concurrently. The first error in slice order wins.
+// engine as Run: configuration i's result lands in slot i, and
+// configurations whose warmups are provably identical (equal
+// snapshot.WarmupConfig) share one warmup phase via checkpoint/fork —
+// results stay bit-identical to individual core.Run calls. progress
+// (optional) is called with the index of each run as it starts, never
+// concurrently. The first error in slice order wins.
 func RunConfigs(cfgs []core.Config, workers int, progress func(i int)) ([]*core.Result, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(cfgs) {
-		workers = len(cfgs)
-	}
-	results := make([]*core.Result, len(cfgs))
-	errs := make([]error, len(cfgs))
-	var (
-		mu   sync.Mutex
-		next int
-		wg   sync.WaitGroup
-	)
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				mu.Lock()
-				if next >= len(cfgs) {
-					mu.Unlock()
-					return
-				}
-				i := next
-				next++
-				if progress != nil {
-					progress(i)
-				}
-				mu.Unlock()
-				results[i], errs[i] = core.Run(cfgs[i])
-			}
-		}()
-	}
-	wg.Wait()
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("config %d (%s/%s): %w", i, cfgs[i].Workload, cfgs[i].Protocol, err)
-		}
-	}
-	return results, nil
+	results, _, err := runShared(cfgs, nil, workers, progress)
+	return results, err
+}
+
+// RunConfigsCached is RunConfigs with a result cache: hits resolve to
+// disk reads, misses are computed (sharing warmups where possible) and
+// stored back.
+func RunConfigsCached(cfgs []core.Config, cache ResultCache, workers int, progress func(i int)) ([]*core.Result, CacheStats, error) {
+	return runShared(cfgs, cache, workers, progress)
 }
 
 // Table5 renders the per-tile storage breakdown (Table V).

@@ -1,0 +1,132 @@
+package exp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// sharingVariants builds eight configurations that differ only in
+// measure-phase knobs, so all eight normalize to one warmup group.
+func sharingVariants(warmup, refs int) []core.Config {
+	base := core.DefaultConfig()
+	base.WarmupRefs = warmup
+	base.RefsPerCore = refs
+	var cfgs []core.Config
+	for _, extraRefs := range []int{0, 100} {
+		for _, check := range []bool{false, true} {
+			for _, sample := range []sim.Time{0, 1000} {
+				cfg := base
+				cfg.RefsPerCore += extraRefs
+				cfg.Check = check
+				cfg.SampleEvery = sample
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	return cfgs
+}
+
+// TestSharedWarmupMatchesStraight: RunConfigs folds the eight variants
+// into one warmup group; every forked result must match its
+// individually-run twin exactly.
+func TestSharedWarmupMatchesStraight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("several full runs")
+	}
+	cfgs := sharingVariants(800, 300)
+	shared, err := RunConfigs(cfgs, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		straight, err := core.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResult(t, sharedLabel(i, cfg), straight, shared[i])
+	}
+}
+
+func sharedLabel(i int, cfg core.Config) string {
+	return cfg.Protocol + "/" + cfg.Workload + " variant " + string(rune('0'+i))
+}
+
+// TestSharedWarmupSpeedup: the point of the snapshot layer. Eight
+// configurations sharing one warmup must beat eight straight-through
+// runs by a wide margin when the warmup dominates; the acceptance
+// floor is 1.5x, far under the ~8x the phase arithmetic predicts, so
+// machine noise cannot flake this.
+func TestSharedWarmupSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test with warmup-heavy runs")
+	}
+	cfgs := sharingVariants(20000, 400)
+
+	start := time.Now()
+	for _, cfg := range cfgs {
+		if _, err := core.Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	straight := time.Since(start)
+
+	start = time.Now()
+	if _, err := RunConfigs(cfgs, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	shared := time.Since(start)
+
+	t.Logf("straight %v, shared %v (%.1fx)", straight, shared, float64(straight)/float64(shared))
+	if shared*3 > straight*2 {
+		t.Errorf("shared warmup only %.2fx faster than straight (need >= 1.5x): straight %v, shared %v",
+			float64(straight)/float64(shared), straight, shared)
+	}
+}
+
+// memCache is an in-memory ResultCache for exercising the cache path
+// without the obs package (which imports exp).
+type memCache struct {
+	entries map[core.Config]*core.Result
+}
+
+func (m *memCache) Load(cfg core.Config) (*core.Result, bool, error) {
+	res, ok := m.entries[cfg]
+	return res, ok, nil
+}
+
+func (m *memCache) Store(res *core.Result) error {
+	m.entries[res.Config] = res
+	return nil
+}
+
+// TestRunConfigsCachedStats: the first pass misses everything and
+// populates the cache; the second hits everything and simulates
+// nothing.
+func TestRunConfigsCachedStats(t *testing.T) {
+	cfgs := sharingVariants(400, 200)[:3]
+	cache := &memCache{entries: map[core.Config]*core.Result{}}
+	ran := 0
+	_, cs, err := RunConfigsCached(cfgs, cache, 1, func(i int) { ran++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 3 || cs.Hits != 0 || cs.Misses != 3 {
+		t.Fatalf("cold pass: ran %d, stats %+v", ran, cs)
+	}
+	ran = 0
+	results, cs, err := RunConfigsCached(cfgs, cache, 1, func(i int) { ran++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 0 || cs.Hits != 3 || cs.Misses != 0 {
+		t.Fatalf("warm pass: ran %d, stats %+v", ran, cs)
+	}
+	for i, res := range results {
+		if res != cache.entries[cfgs[i]] {
+			t.Errorf("result %d did not come from the cache", i)
+		}
+	}
+}

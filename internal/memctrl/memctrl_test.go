@@ -169,3 +169,74 @@ func TestMapperDistinctContentDistinctFrames(t *testing.T) {
 		t.Error("different content ids share a frame")
 	}
 }
+
+// tlbSlot mirrors the hash in Mapper.Translate; the collision tests
+// below construct keys that provably share a slot, and this keeps them
+// honest if the hash ever changes.
+func tlbSlot(vm int, vpage uint64) uint64 {
+	return (vpage ^ uint64(vm)<<59) * 0x9E3779B97F4A7C15 >> 32 & (tlbSize - 1)
+}
+
+// TestTLBCollisionCorrectness forces two distinct (vm, vpage) keys
+// into the same direct-mapped TLB slot and checks that each always
+// translates to its own established physical page. The TLB hash folds
+// the VM id into bits the vpage also occupies, so a slot match alone
+// says nothing — only the full-key compare in the entry makes a hit
+// valid, and this is the regression test for it.
+func TestTLBCollisionCorrectness(t *testing.T) {
+	vm1, vm2 := 1, 2
+	vpage1 := uint64(0x12345)
+	// XOR-cancel the folded vm bits: both keys hash identically.
+	vpage2 := vpage1 ^ uint64(vm1)<<59 ^ uint64(vm2)<<59
+	if tlbSlot(vm1, vpage1) != tlbSlot(vm2, vpage2) {
+		t.Fatalf("test premise broken: keys do not collide (slots %d, %d)",
+			tlbSlot(vm1, vpage1), tlbSlot(vm2, vpage2))
+	}
+	for _, class := range []PageClass{PagePrivate, PageDedup} {
+		m := NewMapper(true)
+		p1, _ := m.Translate(vm1, vpage1, class, false)
+		p2, _ := m.Translate(vm2, vpage2, class, false)
+		if class == PagePrivate && p1 == p2 {
+			t.Fatalf("class %v: distinct private pages share a frame", class)
+		}
+		// Alternate: every access evicts the other's entry, so a
+		// hash-only match would hand back the wrong frame.
+		for i := 0; i < 4; i++ {
+			if got, _ := m.Translate(vm1, vpage1, class, false); got != p1 {
+				t.Fatalf("class %v: (vm%d, %#x) moved from frame %d to %d after collision",
+					class, vm1, vpage1, p1, got)
+			}
+			if got, _ := m.Translate(vm2, vpage2, class, false); got != p2 {
+				t.Fatalf("class %v: (vm%d, %#x) moved from frame %d to %d after collision",
+					class, vm2, vpage2, p2, got)
+			}
+		}
+	}
+}
+
+// TestTLBCollisionCoW: a copy-on-write break on one of two colliding
+// deduplicated keys must not leak its private frame to the other.
+func TestTLBCollisionCoW(t *testing.T) {
+	vm1, vm2 := 3, 5
+	vpage1 := uint64(0xBEEF)
+	vpage2 := vpage1 ^ uint64(vm1)<<59 ^ uint64(vm2)<<59
+	if tlbSlot(vm1, vpage1) != tlbSlot(vm2, vpage2) {
+		t.Fatal("test premise broken: keys do not collide")
+	}
+	m := NewMapper(true)
+	shared1, _ := m.Translate(vm1, vpage1, PageDedup, false)
+	// vm1 writes: breaks sharing, gets a private frame.
+	broken, cow := m.Translate(vm1, vpage1, PageDedup, true)
+	if !cow || broken == shared1 {
+		t.Fatalf("write did not break sharing: cow=%v frame %d -> %d", cow, shared1, broken)
+	}
+	// vm2 reads its own (colliding, different content id) page: must
+	// see its own shared frame, never vm1's private copy.
+	p2, _ := m.Translate(vm2, vpage2, PageDedup, false)
+	if p2 == broken {
+		t.Fatal("colliding key resolved to another VM's CoW frame")
+	}
+	if got, _ := m.Translate(vm1, vpage1, PageDedup, false); got != broken {
+		t.Fatalf("vm1 lost its CoW frame after collision: %d vs %d", got, broken)
+	}
+}

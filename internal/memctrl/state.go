@@ -1,0 +1,177 @@
+package memctrl
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// This file provides the snapshot surface of the memory system: the
+// controllers' DRAM-jitter random stream and read/write totals, and the
+// mapper's full page-table, deduplication and TLB state. Map contents
+// are exported as slices sorted by key so a captured state serializes
+// deterministically.
+
+// ControllersState is the serializable state of the memory controllers.
+type ControllersState struct {
+	Rand   sim.RandState
+	Reads  uint64
+	Writes uint64
+}
+
+// State captures the controllers' counters and random stream.
+func (c *Controllers) State() ControllersState {
+	return ControllersState{Rand: c.rng.State(), Reads: c.Reads, Writes: c.Writes}
+}
+
+// RestoreState overwrites the controllers' counters and random stream.
+func (c *Controllers) RestoreState(st ControllersState) {
+	c.rng.SetState(st.Rand)
+	c.Reads = st.Reads
+	c.Writes = st.Writes
+}
+
+// PageEntry is one (vm, vpage) -> phys mapping of the private or
+// copy-on-write tables.
+type PageEntry struct {
+	VM    int
+	VPage uint64
+	Phys  uint64
+}
+
+// SharedEntry is one content-id -> phys mapping of the dedup table.
+type SharedEntry struct {
+	Content uint64
+	Phys    uint64
+}
+
+// SeenEntry is one (vm, vpage) pair counted toward dedup savings.
+type SeenEntry struct {
+	VM    int
+	VPage uint64
+}
+
+// TLBSlot is one valid entry of the direct-mapped translation cache,
+// tagged with its slot index (invalid slots are omitted).
+type TLBSlot struct {
+	Index     int
+	VM        int32
+	Class     int8
+	WriteSafe bool
+	VPage     uint64
+	Phys      uint64
+}
+
+// MapperState is the serializable state of the Mapper.
+type MapperState struct {
+	Dedup    bool
+	NextPhys uint64
+	Private  []PageEntry
+	CoW      []PageEntry
+	Shared   []SharedEntry
+	Seen     []SeenEntry
+	TLB      []TLBSlot
+
+	PrivatePages uint64
+	SharedPages  uint64
+	DedupRefs    uint64
+	CoWBreaks    uint64
+}
+
+func sortPages(s []PageEntry) {
+	sort.Slice(s, func(i, j int) bool {
+		if s[i].VM != s[j].VM {
+			return s[i].VM < s[j].VM
+		}
+		return s[i].VPage < s[j].VPage
+	})
+}
+
+// State returns a deep copy of the mapper's page tables, dedup
+// bookkeeping and TLB contents.
+func (m *Mapper) State() *MapperState {
+	st := &MapperState{
+		Dedup:        m.dedup,
+		NextPhys:     m.nextPhys,
+		PrivatePages: m.PrivatePages,
+		SharedPages:  m.SharedPages,
+		DedupRefs:    m.DedupRefs,
+		CoWBreaks:    m.CoWBreaks,
+	}
+	for k, v := range m.private {
+		st.Private = append(st.Private, PageEntry{VM: k.vm, VPage: k.vpage, Phys: v})
+	}
+	for k, v := range m.cow {
+		st.CoW = append(st.CoW, PageEntry{VM: k.vm, VPage: k.vpage, Phys: v})
+	}
+	for k, v := range m.shared {
+		st.Shared = append(st.Shared, SharedEntry{Content: k, Phys: v})
+	}
+	for k := range m.sharedSeen {
+		st.Seen = append(st.Seen, SeenEntry{VM: k.vm, VPage: k.vpage})
+	}
+	sortPages(st.Private)
+	sortPages(st.CoW)
+	sort.Slice(st.Shared, func(i, j int) bool { return st.Shared[i].Content < st.Shared[j].Content })
+	sort.Slice(st.Seen, func(i, j int) bool {
+		if st.Seen[i].VM != st.Seen[j].VM {
+			return st.Seen[i].VM < st.Seen[j].VM
+		}
+		return st.Seen[i].VPage < st.Seen[j].VPage
+	})
+	for i := range m.tlb {
+		e := &m.tlb[i]
+		if e.vm < 0 {
+			continue
+		}
+		st.TLB = append(st.TLB, TLBSlot{
+			Index: i, VM: e.vm, Class: e.class, WriteSafe: e.writeSafe,
+			VPage: e.vpage, Phys: e.phys,
+		})
+	}
+	return st
+}
+
+// RestoreState replaces the mapper's page tables, dedup bookkeeping and
+// TLB contents with a captured state. The dedup setting must match the
+// mapper's construction (it is config-derived, not run state).
+func (m *Mapper) RestoreState(st *MapperState) error {
+	if st.Dedup != m.dedup {
+		return fmt.Errorf("memctrl: snapshot dedup=%v, mapper dedup=%v", st.Dedup, m.dedup)
+	}
+	m.nextPhys = st.NextPhys
+	m.private = make(map[pageKey]uint64, len(st.Private))
+	for _, e := range st.Private {
+		m.private[pageKey{e.VM, e.VPage}] = e.Phys
+	}
+	m.cow = make(map[pageKey]uint64, len(st.CoW))
+	for _, e := range st.CoW {
+		m.cow[pageKey{e.VM, e.VPage}] = e.Phys
+	}
+	m.shared = make(map[uint64]uint64, len(st.Shared))
+	for _, e := range st.Shared {
+		m.shared[e.Content] = e.Phys
+	}
+	m.sharedSeen = make(map[pageKey]bool, len(st.Seen))
+	for _, e := range st.Seen {
+		m.sharedSeen[pageKey{e.VM, e.VPage}] = true
+	}
+	for i := range m.tlb {
+		m.tlb[i] = tlbEntry{vm: -1}
+	}
+	for _, s := range st.TLB {
+		if s.Index < 0 || s.Index >= len(m.tlb) {
+			return fmt.Errorf("memctrl: snapshot TLB slot %d out of range", s.Index)
+		}
+		m.tlb[s.Index] = tlbEntry{
+			vm: s.VM, class: s.Class, writeSafe: s.WriteSafe,
+			vpage: s.VPage, phys: s.Phys,
+		}
+	}
+	m.PrivatePages = st.PrivatePages
+	m.SharedPages = st.SharedPages
+	m.DedupRefs = st.DedupRefs
+	m.CoWBreaks = st.CoWBreaks
+	return nil
+}

@@ -94,18 +94,11 @@ type Network struct {
 	stats     Stats
 	obs       Observer // nil = no tap
 
-	// Scratch buffers reused across calls to keep the send/broadcast
-	// hot paths allocation-free. Both are fully rewritten before use
-	// and never live past the call that fills them (deliveries are
-	// scheduled through the kernel, so Send/Broadcast never re-enter).
-	path    []pathHop  // xyPath result, reused per Send
+	// Scratch buffer reused across calls to keep the broadcast hot
+	// path allocation-free. Fully rewritten before use and never live
+	// past the call that fills it (deliveries are scheduled through
+	// the kernel, so Broadcast never re-enters).
 	arrival []sim.Time // per-tile broadcast arrival, indexed by tile id
-}
-
-// pathHop is one link crossing of an XY route.
-type pathHop struct {
-	tile topo.Tile
-	dir  Direction
 }
 
 // New returns a network over grid driven by kernel.
@@ -116,7 +109,6 @@ func New(kernel *sim.Kernel, grid topo.Grid, cfg Config) *Network {
 		cfg:       cfg,
 		linkFree:  make([]sim.Time, grid.Tiles()*int(numDirections)),
 		linkFlits: make([]uint64, grid.Tiles()*int(numDirections)),
-		path:      make([]pathHop, 0, grid.Cols+grid.Rows),
 		arrival:   make([]sim.Time, grid.Tiles()),
 	}
 }
@@ -190,37 +182,6 @@ func (n *Network) reserveLink(tile topo.Tile, dir Direction, at sim.Time, flits 
 	return start
 }
 
-// xyPath returns the sequence of (tile, direction) link crossings from
-// src to dst under XY routing. The returned slice aliases the
-// network's scratch buffer and is only valid until the next call.
-func (n *Network) xyPath(src, dst topo.Tile) []pathHop {
-	path := n.path[:0]
-	x, y := n.grid.Coord(src)
-	dx, dy := n.grid.Coord(dst)
-	for x != dx {
-		dir := East
-		nx := x + 1
-		if dx < x {
-			dir = West
-			nx = x - 1
-		}
-		path = append(path, pathHop{n.grid.At(x, y), dir})
-		x = nx
-	}
-	for y != dy {
-		dir := South
-		ny := y + 1
-		if dy < y {
-			dir = North
-			ny = y - 1
-		}
-		path = append(path, pathHop{n.grid.At(x, y), dir})
-		y = ny
-	}
-	n.path = path
-	return path
-}
-
 // Delivery describes the outcome of a Send: when the message arrives
 // and how much network it consumed.
 type Delivery struct {
@@ -264,15 +225,38 @@ func (n *Network) send(src, dst topo.Tile, flits int, run func(), argFn func(any
 		}
 		return Delivery{Latency: lat, Hops: 0, Routers: 1}
 	}
-	path := n.xyPath(src, dst)
+	// XY routing, walked in place: reserve each link crossing as the
+	// head flit reaches it (no materialized path).
+	x, y := n.grid.Coord(src)
+	dx, dy := n.grid.Coord(dst)
 	t := now
-	for _, hop := range path {
-		start := n.reserveLink(hop.tile, hop.dir, t, flits)
+	hops := 0
+	for x != dx {
+		dir := East
+		nx := x + 1
+		if dx < x {
+			dir = West
+			nx = x - 1
+		}
+		start := n.reserveLink(n.grid.At(x, y), dir, t, flits)
 		t = start + n.hopLatency()
+		hops++
+		x = nx
+	}
+	for y != dy {
+		dir := South
+		ny := y + 1
+		if dy < y {
+			dir = North
+			ny = y - 1
+		}
+		start := n.reserveLink(n.grid.At(x, y), dir, t, flits)
+		t = start + n.hopLatency()
+		hops++
+		y = ny
 	}
 	// Tail flit serialization at the destination.
 	lat := t - now + sim.Time(flits-1)
-	hops := len(path)
 	n.stats.FlitLinkCrossing += uint64(hops * flits)
 	n.stats.RouterTraversals += uint64(hops + 1)
 	n.stats.TotalHops += uint64(hops)

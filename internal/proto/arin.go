@@ -840,12 +840,12 @@ func (p *Arin) fillL1(tile topo.Tile, addr cache.Addr, state cache.State, dirty 
 		t.l1.Touch(line)
 		return
 	}
-	victim := t.l1.Victim(addr)
-	if victim.Valid() {
+	victim, valid := t.l1.Victim(addr)
+	if valid {
 		p.evictL1(tile, *victim)
 		t.l1.Invalidate(victim.Addr)
 	}
-	nl := t.l1.Victim(addr)
+	nl := victim
 	t.l1.Fill(nl, addr, state)
 	nl.Dirty = dirty
 	if supplier >= 0 {
@@ -1097,8 +1097,8 @@ func (p *Arin) insertL2(home topo.Tile, addr cache.Addr, dirty bool, state cache
 		apply(line)
 		return
 	}
-	victim := th.l2.Victim(addr)
-	if victim.Valid() {
+	victim, valid := th.l2.Victim(addr)
+	if valid {
 		// Remove the victim from the array immediately (so no
 		// concurrent insertion picks the same way), invalidate its
 		// copies, then retry the insertion.

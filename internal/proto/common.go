@@ -340,16 +340,21 @@ func (c *Context) SendDataArg(src, dst topo.Tile, fn func(any), arg any) mesh.De
 type tileState struct {
 	l1   *cache.Cache
 	l2   *cache.Cache
-	dir  *cache.Cache        // directory cache (flat directory only)
+	dir  *cache.DirCache     // directory cache (flat directory only)
 	l1c  *cache.PointerCache // supplier predictions
 	l2c  *cache.PointerCache // precise owner pointers
 	mshr *cache.MSHR
 
 	// tx holds all transient per-block state of this tile — the
-	// stalled L1/home waiter queues, the home-busy and blocked flags,
-	// the recall mark and the ownership stamp — in pooled records (see
-	// txtable.go). The accessors below are the only way in.
+	// stalled L1/home waiter queues, the home-busy and blocked flags
+	// and the recall mark — in pooled records (see txtable.go). The
+	// accessors below are the only way in.
 	tx txTable
+
+	// stamps is the per-block ownership-update stamp store (the
+	// stale-update guard). Stamps persist for the whole run, so they
+	// live in a flat open-addressed table instead of pinning txRecords.
+	stamps stampTable
 }
 
 func newTileState(cfg Config, bankShift uint) *tileState {
@@ -358,17 +363,18 @@ func newTileState(cfg Config, bankShift uint) *tileState {
 	l2c := cache.NewPointerCache("l2c", cfg.CCSets, cfg.CCWays)
 	l2c.SetIndexShift(bankShift)
 	return &tileState{
-		l1:   cache.New("l1", cfg.L1Sets, cfg.L1Ways),
-		l2:   l2,
-		l1c:  cache.NewPointerCache("l1c", cfg.CCSets, cfg.CCWays),
-		l2c:  l2c,
+		l1:  cache.New("l1", cfg.L1Sets, cfg.L1Ways),
+		l2:  l2,
+		l1c: cache.NewPointerCache("l1c", cfg.CCSets, cfg.CCWays),
+		l2c: l2c,
 		// Unlimited capacity is safe because the blocking in-order core
 		// model keeps at most a handful of misses in flight per tile;
 		// MSHR lookups are linear scans, so a future core model with
 		// high miss-level parallelism should set a real capacity (or the
 		// MSHR should grow an index) before raising this.
-		mshr: cache.NewMSHR(0),
-		tx:   newTxTable(),
+		mshr:   cache.NewMSHR(0),
+		tx:     newTxTable(),
+		stamps: newStampTable(),
 	}
 }
 
@@ -499,20 +505,16 @@ func (t *tileState) clearRecall(a cache.Addr) {
 // alone — when a strictly newer update was already applied, the guard
 // the homes use to drop stale in-flight ownership updates.
 func (t *tileState) stampIfNewer(a cache.Addr, s sim.Time) bool {
-	r := t.tx.ensure(a)
-	if r.flags&txStamped != 0 && r.stamp > s {
+	if old, ok := t.stamps.get(a); ok && old > s {
 		return false
 	}
-	r.stamp = s
-	r.flags |= txStamped
+	t.stamps.set(a, s)
 	return true
 }
 
 // setStamp unconditionally records an ownership-update stamp for a.
 func (t *tileState) setStamp(a cache.Addr, s sim.Time) {
-	r := t.tx.ensure(a)
-	r.stamp = s
-	r.flags |= txStamped
+	t.stamps.set(a, s)
 }
 
 // pendingL1Len / pendingHomeLen report queue depths for debug dumps.

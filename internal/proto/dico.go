@@ -643,12 +643,12 @@ func (p *DiCo) fillL1(tile topo.Tile, addr cache.Addr, state cache.State, dirty 
 		t.l1.Touch(line)
 		return
 	}
-	victim := t.l1.Victim(addr)
-	if victim.Valid() {
+	victim, valid := t.l1.Victim(addr)
+	if valid {
 		p.evictL1(tile, *victim)
 		t.l1.Invalidate(victim.Addr)
 	}
-	nl := t.l1.Victim(addr)
+	nl := victim
 	t.l1.Fill(nl, addr, state)
 	nl.Dirty = dirty
 	if supplier >= 0 {
@@ -788,8 +788,8 @@ func (p *DiCo) insertL2Owned(home topo.Tile, addr cache.Addr, dirty bool, sharer
 		}
 		return
 	}
-	victim := th.l2.Victim(addr)
-	if victim.Valid() {
+	victim, valid := th.l2.Victim(addr)
+	if valid {
 		// Remove the victim from the array immediately (so no
 		// concurrent insertion picks the same way), invalidate its
 		// copies, then retry the insertion.

@@ -77,7 +77,7 @@ func NewDirectory(ctx *Context) *Directory {
 		if extra < 1 {
 			extra = 1
 		}
-		t.dir = cache.New("dir", ctx.Cfg.L2Sets, ctx.Cfg.L2Ways+extra)
+		t.dir = cache.NewDirCache("dir", ctx.Cfg.L2Sets, ctx.Cfg.L2Ways+extra)
 		t.dir.SetIndexShift(ctx.BankShift())
 		d.tiles[i] = t
 	}
@@ -354,8 +354,16 @@ func (d *Directory) atHome(r dirReq) {
 	}
 	ctx.pw.L2TagRead.Inc()
 	ctx.pw.DirRead.Inc()
-	dline := th.dir.Lookup(r.addr)
-	if dline != nil {
+	// One probe serves both the lookup and, on a miss, the victim
+	// choice for allocDirEntry — same accounting as a Lookup.
+	dline, dirVictimAddr, dirHit, dirValid := th.dir.Probe(r.addr)
+	th.dir.Accesses++
+	if dirHit {
+		th.dir.Touch(dline)
+	} else {
+		th.dir.Misses++
+	}
+	if dirHit {
 		if ctx.tracing(r.addr) {
 			ctx.Trace(r.addr, "atHome req=%d write=%v fwd=%d owner=%d sharers=%#x", r.requestor, r.write, r.forwards, dline.Owner, dline.Sharers)
 		}
@@ -364,14 +372,14 @@ func (d *Directory) atHome(r dirReq) {
 			ctx.Trace(r.addr, "atHome req=%d write=%v fwd=%d untracked", r.requestor, r.write, r.forwards)
 		}
 	}
-	if dline == nil {
+	if !dirHit {
 		// Untracked: the block is not cached on chip. Allocate a
 		// directory entry (possibly evicting one) and fetch memory.
 		// The closure captures a copy of r declared inside this cold
 		// branch: capturing the parameter itself would force r to the
 		// heap on every atHome call, including the hot tracked paths.
 		req := r
-		d.allocDirEntry(home, r.addr, func(nl *cache.Line) {
+		d.allocDirEntry(home, r.addr, dline, dirVictimAddr, dirValid, func(nl *cache.DirEntry) {
 			nl.Owner = int16(req.requestor)
 			nl.Sharers = bit(req.requestor)
 			d.stampNow(home, req.addr)
@@ -411,7 +419,7 @@ func (d *Directory) atHome(r dirReq) {
 }
 
 // homeRead serves a read at the home when no exclusive L1 owner exists.
-func (d *Directory) homeRead(r dirReq, dline *cache.Line) {
+func (d *Directory) homeRead(r dirReq, dline *cache.DirEntry) {
 	ctx := d.ctx
 	home := ctx.HomeOf(r.addr)
 	th := d.tiles[home]
@@ -455,7 +463,7 @@ func (d *Directory) homeRead(r dirReq, dline *cache.Line) {
 
 // homeWrite serves a write at the home when no exclusive L1 owner
 // exists: invalidate the sharers, supply data, hand over ownership.
-func (d *Directory) homeWrite(r dirReq, dline *cache.Line) {
+func (d *Directory) homeWrite(r dirReq, dline *cache.DirEntry) {
 	ctx := d.ctx
 	home := ctx.HomeOf(r.addr)
 	th := d.tiles[home]
@@ -473,10 +481,10 @@ func (d *Directory) homeWrite(r dirReq, dline *cache.Line) {
 	dline.Sharers = bit(r.requestor)
 	d.stampNow(home, r.addr)
 	ctx.pw.DirWrite.Inc()
-	if th.l2.Lookup(r.addr) != nil {
+	if l2line := th.l2.Lookup(r.addr); l2line != nil {
 		ctx.pw.L2DataRead.Inc()
 		// The L2 copy is stale once the new owner writes.
-		th.l2.Invalidate(r.addr)
+		th.l2.InvalidateLine(l2line)
 		ctx.pw.L2TagWrite.Inc()
 		d.deliverData(r.requestor, r.addr, home, dirModified, true)
 		return
@@ -555,7 +563,7 @@ func (d *Directory) atSharerSupply(r dirReq, sharer topo.Tile) {
 	home := ctx.HomeOf(r.addr)
 	stamp := ctx.Kernel.Now()
 	del := ctx.SendCtl(sharer, home, func() {
-		d.homeDirUpdate(home, r.addr, stamp, func(dl *cache.Line) {
+		d.homeDirUpdate(home, r.addr, stamp, func(dl *cache.DirEntry) {
 			dl.Sharers &^= bit(sharer)
 		})
 		d.atHome(r)
@@ -570,7 +578,7 @@ func (d *Directory) atSharerSupply(r dirReq, sharer topo.Tile) {
 // different tiles are unordered, and applying a stale ownership update
 // over a fresh one leaves a permanently wrong owner pointer. Returns
 // whether the update was applied.
-func (d *Directory) homeDirUpdate(home topo.Tile, addr cache.Addr, stamp sim.Time, fn func(*cache.Line)) bool {
+func (d *Directory) homeDirUpdate(home topo.Tile, addr cache.Addr, stamp sim.Time, fn func(*cache.DirEntry)) bool {
 	th := d.tiles[home]
 	if !th.stampIfNewer(addr, stamp) {
 		if d.ctx.tracing(addr) {
@@ -656,20 +664,19 @@ func (d *Directory) fillL1(tile topo.Tile, addr cache.Addr, state cache.State, d
 	}
 	ctx.pw.L1TagWrite.Inc()
 	ctx.pw.L1DataWrite.Inc()
-	if line := t.l1.Peek(addr); line != nil {
-		line.State = state
-		line.Dirty = line.Dirty || dirty
-		t.l1.Touch(line)
+	victim, hit, valid := t.l1.Probe(addr)
+	if hit {
+		victim.State = state
+		victim.Dirty = victim.Dirty || dirty
+		t.l1.Touch(victim)
 		return
 	}
-	victim := t.l1.Victim(addr)
-	if victim.Valid() {
+	if valid {
 		d.evictL1(tile, *victim)
-		t.l1.Invalidate(victim.Addr)
+		t.l1.InvalidateLine(victim)
 	}
-	nl := t.l1.Victim(addr)
-	t.l1.Fill(nl, addr, state)
-	nl.Dirty = dirty
+	t.l1.Fill(victim, addr, state)
+	victim.Dirty = dirty
 }
 
 // evictL1 runs the replacement protocol for a victim line: shared
@@ -705,13 +712,13 @@ func (d *Directory) insertL2Data(home topo.Tile, addr cache.Addr, dirty bool) {
 	th := d.tiles[home]
 	ctx.pw.L2TagWrite.Inc()
 	ctx.pw.L2DataWrite.Inc()
-	if line := th.l2.Peek(addr); line != nil {
-		line.Dirty = line.Dirty || dirty
-		th.l2.Touch(line)
+	victim, hit, valid := th.l2.Probe(addr)
+	if hit {
+		victim.Dirty = victim.Dirty || dirty
+		th.l2.Touch(victim)
 		return
 	}
-	victim := th.l2.Victim(addr)
-	if victim.Valid() && victim.Dirty {
+	if valid && victim.Dirty {
 		mc := ctx.Mem.For(victim.Addr)
 		ctx.SendDataArg(home, mc, d.flushFn, nil)
 	}
@@ -719,15 +726,16 @@ func (d *Directory) insertL2Data(home topo.Tile, addr cache.Addr, dirty bool) {
 	victim.Dirty = dirty
 }
 
-// allocDirEntry finds a directory-cache line for addr, evicting a
-// victim entry first if necessary. Evicting a directory entry
-// invalidates every cached copy of its block chip-wide (NCID rule).
-func (d *Directory) allocDirEntry(home topo.Tile, addr cache.Addr, then func(*cache.Line)) {
+// allocDirEntry installs a directory-cache entry for addr into the
+// victim way the caller's Probe already found (valid means it still
+// holds a tracked block), evicting that entry first if necessary.
+// Evicting a directory entry invalidates every cached copy of its
+// block chip-wide (NCID rule).
+func (d *Directory) allocDirEntry(home topo.Tile, addr cache.Addr, victim *cache.DirEntry, victimAddr cache.Addr, valid bool, then func(*cache.DirEntry)) {
 	ctx := d.ctx
 	th := d.tiles[home]
-	victim := th.dir.Victim(addr)
-	if !victim.Valid() {
-		th.dir.Fill(victim, addr, 1)
+	if !valid {
+		th.dir.Fill(victim, addr)
 		victim.Owner = -1
 		victim.Sharers = 0
 		then(victim)
@@ -737,7 +745,6 @@ func (d *Directory) allocDirEntry(home topo.Tile, addr cache.Addr, then func(*ca
 	// block synchronously so a concurrent allocation cannot pick the
 	// same victim. Requests for either address stall on homeBusy until
 	// the victim's copies are gone.
-	victimAddr := victim.Addr
 	holders := victim.Sharers
 	if victim.Owner >= 0 {
 		holders |= bit(topo.Tile(victim.Owner))
@@ -752,7 +759,7 @@ func (d *Directory) allocDirEntry(home topo.Tile, addr cache.Addr, then func(*ca
 	// stamp it so old-epoch updates in flight cannot touch a future
 	// entry re-allocated for the same address.
 	d.stampNow(home, victimAddr)
-	th.dir.Fill(victim, addr, 1)
+	th.dir.Fill(victim, addr)
 	victim.Owner = -1
 	victim.Sharers = 0
 	ctx.pw.DirWrite.Inc()
@@ -766,7 +773,7 @@ func (d *Directory) allocDirEntry(home topo.Tile, addr cache.Addr, then func(*ca
 				mc := ctx.Mem.For(victimAddr)
 				ctx.SendDataArg(home, mc, d.flushFn, nil)
 			}
-			th.l2.Invalidate(victimAddr)
+			th.l2.InvalidateLine(l2line)
 			ctx.pw.L2TagWrite.Inc()
 		}
 		th.clearHomeBusy(victimAddr)
@@ -831,8 +838,7 @@ func (d *Directory) maybeComplete(tile topo.Tile, addr cache.Addr) {
 		// replacement protocol so any ownership or providership the
 		// fill carried is handed back properly.
 		if line := t.l1.Peek(addr); line != nil {
-			snapshot := *line
-			t.l1.Invalidate(addr)
+			snapshot := t.l1.InvalidateLine(line)
 			d.evictL1(tile, snapshot)
 		}
 	}

@@ -746,12 +746,12 @@ func (p *Providers) fillL1(r pvReq, state cache.State, dirty bool,
 		}
 		t.l1.Touch(line)
 	} else {
-		victim := t.l1.Victim(r.addr)
-		if victim.Valid() {
+		victim, valid := t.l1.Victim(r.addr)
+		if valid {
 			p.evictL1(r.requestor, *victim)
 			t.l1.Invalidate(victim.Addr)
 		}
-		nl := t.l1.Victim(r.addr)
+		nl := victim
 		t.l1.Fill(nl, r.addr, state)
 		nl.Dirty = dirty
 		if supplier >= 0 {
@@ -1154,8 +1154,8 @@ func (p *Providers) insertL2Owned(home topo.Tile, addr cache.Addr, dirty bool,
 		}
 		return
 	}
-	victim := th.l2.Victim(addr)
-	if victim.Valid() {
+	victim, valid := th.l2.Victim(addr)
+	if valid {
 		// Remove the victim from the array immediately (so no
 		// concurrent insertion picks the same way), invalidate its
 		// copies through its providers, then retry the insertion.

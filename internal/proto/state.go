@@ -1,0 +1,152 @@
+package proto
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/sim"
+)
+
+// This file provides the snapshot surface of the protocol engines. An
+// engine is captured at the warmup/measure boundary, where the kernel
+// has drained: no messages are in flight, no MSHR entries are
+// outstanding, and no continuations are stalled, so every transaction
+// table must be empty. Anything else is a capture error — by design,
+// not leniency: a record that survives a drained kernel is hidden
+// transient state that would silently diverge a forked run.
+
+// StampState is one recorded ownership-update stamp of a tile.
+type StampState struct {
+	Addr  cache.Addr
+	Stamp sim.Time
+}
+
+// TileSnap is the serializable state of one tile: the storage arrays,
+// MSHR counters, and the persistent ownership stamps. Dir is non-nil
+// only for the flat directory engine.
+type TileSnap struct {
+	L1     *cache.CacheState
+	L2     *cache.CacheState
+	Dir    *cache.CacheState
+	L1C    *cache.PointerCacheState
+	L2C    *cache.PointerCacheState
+	MSHR   cache.MSHRState
+	Stamps []StampState
+}
+
+// EngineState is the serializable state of a protocol engine.
+type EngineState struct {
+	Protocol string
+	Tiles    []TileSnap
+}
+
+// EngineStateOf captures the engine's complete per-tile state. It
+// fails if any tile still carries transient coherence state: capture
+// is only defined at a quiescent phase boundary.
+func EngineStateOf(e Engine) (*EngineState, error) {
+	tiles, _ := engineInternals(e)
+	if tiles == nil {
+		return nil, fmt.Errorf("proto: engine %s does not expose snapshot state", e.Name())
+	}
+	st := &EngineState{Protocol: e.Name(), Tiles: make([]TileSnap, len(tiles))}
+	for i, t := range tiles {
+		if t.tx.count != 0 {
+			var desc string
+			t.tx.forEach(func(r *txRecord) {
+				if desc == "" {
+					desc = fmt.Sprintf("block %#x flags=%#x l1q=%d homeq=%d",
+						r.addr, r.flags, waiterLen(r.l1Head), waiterLen(r.homeHead))
+				}
+			})
+			return nil, fmt.Errorf("proto: tile %d not quiescent: %d live transaction records (first: %s)",
+				i, t.tx.count, desc)
+		}
+		mshr, err := t.mshr.State()
+		if err != nil {
+			return nil, fmt.Errorf("proto: tile %d: %v", i, err)
+		}
+		snap := TileSnap{
+			L1:   t.l1.State(),
+			L2:   t.l2.State(),
+			MSHR: mshr,
+		}
+		if t.dir != nil {
+			snap.Dir = t.dir.State()
+		}
+		if t.l1c != nil {
+			snap.L1C = t.l1c.State()
+		}
+		if t.l2c != nil {
+			snap.L2C = t.l2c.State()
+		}
+		t.stamps.forEach(func(a cache.Addr, s sim.Time) {
+			snap.Stamps = append(snap.Stamps, StampState{Addr: a, Stamp: s})
+		})
+		sort.Slice(snap.Stamps, func(x, y int) bool { return snap.Stamps[x].Addr < snap.Stamps[y].Addr })
+		st.Tiles[i] = snap
+	}
+	return st, nil
+}
+
+func waiterLen(w *waiter) int {
+	n := 0
+	for ; w != nil; w = w.next {
+		n++
+	}
+	return n
+}
+
+// RestoreEngineState overwrites a freshly built engine's per-tile
+// state with a captured one. The engine must be of the same protocol
+// and geometry, and must itself be quiescent.
+func RestoreEngineState(e Engine, st *EngineState) error {
+	if e.Name() != st.Protocol {
+		return fmt.Errorf("proto: snapshot is for %s, engine is %s", st.Protocol, e.Name())
+	}
+	tiles, _ := engineInternals(e)
+	if tiles == nil {
+		return fmt.Errorf("proto: engine %s does not expose snapshot state", e.Name())
+	}
+	if len(st.Tiles) != len(tiles) {
+		return fmt.Errorf("proto: snapshot has %d tiles, engine has %d", len(st.Tiles), len(tiles))
+	}
+	for i, t := range tiles {
+		if t.tx.count != 0 {
+			return fmt.Errorf("proto: cannot restore into tile %d with %d live transaction records", i, t.tx.count)
+		}
+		snap := &st.Tiles[i]
+		if err := t.l1.RestoreState(snap.L1); err != nil {
+			return fmt.Errorf("proto: tile %d: %v", i, err)
+		}
+		if err := t.l2.RestoreState(snap.L2); err != nil {
+			return fmt.Errorf("proto: tile %d: %v", i, err)
+		}
+		if (snap.Dir != nil) != (t.dir != nil) {
+			return fmt.Errorf("proto: tile %d: directory-cache mismatch between snapshot and engine", i)
+		}
+		if t.dir != nil {
+			if err := t.dir.RestoreState(snap.Dir); err != nil {
+				return fmt.Errorf("proto: tile %d: %v", i, err)
+			}
+		}
+		if snap.L1C != nil && t.l1c != nil {
+			if err := t.l1c.RestoreState(snap.L1C); err != nil {
+				return fmt.Errorf("proto: tile %d: %v", i, err)
+			}
+		}
+		if snap.L2C != nil && t.l2c != nil {
+			if err := t.l2c.RestoreState(snap.L2C); err != nil {
+				return fmt.Errorf("proto: tile %d: %v", i, err)
+			}
+		}
+		if err := t.mshr.RestoreState(snap.MSHR); err != nil {
+			return fmt.Errorf("proto: tile %d: %v", i, err)
+		}
+		t.stamps = newStampTable()
+		for _, s := range snap.Stamps {
+			t.stamps.set(s.Addr, s.Stamp)
+		}
+	}
+	return nil
+}

@@ -33,27 +33,27 @@ const (
 	txHomeBusy uint8 = 1 << iota // home bank serialized on this block
 	txBlocked                    // Arin broadcast invalidation in progress
 	txRecall                     // ownership recall in flight (DiCo family)
-	txStamped                    // stamp field is meaningful
 )
 
 // txRecord is the transient coherence state one tile tracks for one
-// block: serialization flags, the last owner-update stamp, and the
-// FIFO waiter lists of stalled L1 requests and stalled home requests.
+// block: serialization flags and the FIFO waiter lists of stalled L1
+// requests and stalled home requests. Ownership stamps live in the
+// separate stampTable: they persist for the whole run, and keeping
+// them here used to pin records forever, growing the bucket chains
+// that the hot homeBusy/wake probes walk on every message.
 type txRecord struct {
 	addr  cache.Addr
 	next  *txRecord // bucket chain / free-list link
 	flags uint8
-	stamp sim.Time // last ownership-update time seen by the home
 
 	l1Head, l1Tail     *waiter
 	homeHead, homeTail *waiter
 }
 
 // idle reports whether the record carries no state and may be pooled.
-// Stamped records are pinned: the stale-update guard must remember the
-// newest ownership stamp for as long as the block can receive late
-// updates, exactly like the ownerStamp maps it replaces (which never
-// deleted entries).
+// With stamps externalized, every record is transient: the table drains
+// to empty whenever the tile has no transaction in flight, so the
+// common-case probe of a quiet block hits an empty bucket.
 func (r *txRecord) idle() bool {
 	return r.flags == 0 && r.l1Head == nil && r.homeHead == nil
 }
@@ -194,4 +194,107 @@ func (t *txTable) putWaiter(w *waiter) {
 	w.arg = nil
 	w.next = t.freeWait
 	t.freeWait = w
+}
+
+// stampEmpty marks an unused stamp-table slot. Block addresses are
+// 40-bit physical addresses shifted right by 6, so the all-ones value
+// can never collide with a real block.
+const stampEmpty = ^cache.Addr(0)
+
+// stampTable records the last ownership-update stamp the home has
+// applied per block — the stale-update guard. Entries are written for
+// the lifetime of the run and never deleted (exactly like the
+// ownerStamp maps it descends from), so the table is open-addressed
+// with linear probing over two flat arrays: no per-entry allocation,
+// no pointer chasing, and a probe of an absent block costs one load in
+// the common case. Grown at 50% load so probe chains stay short.
+type stampTable struct {
+	addrs  []cache.Addr
+	stamps []sim.Time
+	count  int
+	shift  uint // 64 - log2(len(addrs))
+}
+
+const stampInitialSlots = 256
+
+func newStampTable() stampTable {
+	t := stampTable{
+		addrs:  make([]cache.Addr, stampInitialSlots),
+		stamps: make([]sim.Time, stampInitialSlots),
+		shift:  64 - log2(stampInitialSlots),
+	}
+	for i := range t.addrs {
+		t.addrs[i] = stampEmpty
+	}
+	return t
+}
+
+func (t *stampTable) slotOf(a cache.Addr) int {
+	return int((uint64(a) * 0x9E3779B97F4A7C15) >> t.shift)
+}
+
+// get returns the stamp recorded for a, if any.
+func (t *stampTable) get(a cache.Addr) (sim.Time, bool) {
+	mask := len(t.addrs) - 1
+	for i := t.slotOf(a); ; i = (i + 1) & mask {
+		switch t.addrs[i] {
+		case a:
+			return t.stamps[i], true
+		case stampEmpty:
+			return 0, false
+		}
+	}
+}
+
+// set records the stamp for a, inserting the entry if absent.
+func (t *stampTable) set(a cache.Addr, s sim.Time) {
+	mask := len(t.addrs) - 1
+	i := t.slotOf(a)
+	for t.addrs[i] != a && t.addrs[i] != stampEmpty {
+		i = (i + 1) & mask
+	}
+	if t.addrs[i] == stampEmpty {
+		t.addrs[i] = a
+		t.stamps[i] = s
+		t.count++
+		if 2*t.count > len(t.addrs) {
+			t.grow()
+		}
+		return
+	}
+	t.stamps[i] = s
+}
+
+// grow doubles the arrays and rehashes every live entry.
+func (t *stampTable) grow() {
+	oldAddrs, oldStamps := t.addrs, t.stamps
+	n := 2 * len(oldAddrs)
+	t.addrs = make([]cache.Addr, n)
+	t.stamps = make([]sim.Time, n)
+	t.shift--
+	for i := range t.addrs {
+		t.addrs[i] = stampEmpty
+	}
+	mask := n - 1
+	for i, a := range oldAddrs {
+		if a == stampEmpty {
+			continue
+		}
+		j := t.slotOf(a)
+		for t.addrs[j] != stampEmpty {
+			j = (j + 1) & mask
+		}
+		t.addrs[j] = a
+		t.stamps[j] = oldStamps[i]
+	}
+}
+
+// forEach visits every recorded stamp (slot order; snapshot capture
+// sorts, so simulation behaviour must never depend on it).
+func (t *stampTable) forEach(fn func(a cache.Addr, s sim.Time)) {
+	for i, a := range t.addrs {
+		if a != stampEmpty {
+			fn(a, t.stamps[i])
+		}
+	}
 }

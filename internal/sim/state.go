@@ -1,0 +1,63 @@
+package sim
+
+import "fmt"
+
+// This file provides the snapshot surface of the kernel and its random
+// source: pure-data state types that internal/snapshot captures at the
+// warmup/measure boundary and restores into a freshly built kernel.
+// The kernel queue must be quiescent (fully drained) at capture time:
+// pending events hold closures, which cannot be serialized, so a
+// non-empty queue is a capture error rather than a silent data loss.
+
+// RandState is the serializable state of a Rand stream.
+type RandState struct {
+	S0, S1 uint64
+}
+
+// State returns the generator's current state.
+func (r *Rand) State() RandState { return RandState{S0: r.s0, S1: r.s1} }
+
+// SetState overwrites the generator's state.
+func (r *Rand) SetState(st RandState) { r.s0, r.s1 = st.S0, st.S1 }
+
+// KernelState is the serializable state of a quiescent kernel: the
+// clock, the scheduling sequence and causal tag, the dispatch total and
+// the random stream. The timing wheel and overflow heap are empty by
+// the quiescence precondition, so they have no state to carry.
+type KernelState struct {
+	Now    Time
+	Seq    uint64
+	Tag    uint64
+	Events uint64
+	Rand   RandState
+}
+
+// State captures the kernel's state. It fails if events are pending:
+// event payloads are closures and cannot be serialized.
+func (k *Kernel) State() (KernelState, error) {
+	if n := k.Pending(); n > 0 {
+		return KernelState{}, fmt.Errorf("sim: kernel not quiescent: %d events pending", n)
+	}
+	return KernelState{
+		Now:    k.now,
+		Seq:    k.seq,
+		Tag:    k.tag,
+		Events: k.events,
+		Rand:   k.rng.State(),
+	}, nil
+}
+
+// RestoreState overwrites the kernel's clock, counters and random
+// stream with a captured state. The kernel must be empty (no pending
+// events): restoring over live events would corrupt their ordering.
+func (k *Kernel) RestoreState(st KernelState) error {
+	if n := k.Pending(); n > 0 {
+		return fmt.Errorf("sim: cannot restore into a kernel with %d pending events", n)
+	}
+	k.now = st.Now
+	k.seq = st.Seq
+	k.tag = st.Tag
+	k.events = st.Events
+	k.rng.SetState(st.Rand)
+	return nil
+}

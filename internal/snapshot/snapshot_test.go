@@ -1,0 +1,289 @@
+package snapshot
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// testConfig is the crosscheck-scale configuration: big enough to
+// exercise evictions, recalls and dedup, small enough for CI.
+func testConfig(protocol string) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Protocol = protocol
+	cfg.RefsPerCore = 400
+	cfg.WarmupRefs = 800
+	return cfg
+}
+
+// fingerprint reduces a Result to its deterministic architectural
+// content (wall-clock data excluded).
+func fingerprint(res *core.Result) map[string]uint64 {
+	fp := map[string]uint64{
+		"cycles":    uint64(res.Cycles),
+		"refs":      res.Refs,
+		"events":    res.Events,
+		"mem_reads": res.MemReads,
+	}
+	for _, name := range res.Counters.Names() {
+		fp["counter:"+name] = res.Counters.Value(name)
+	}
+	rv := reflect.ValueOf(res.Net)
+	for i := 0; i < rv.NumField(); i++ {
+		fp["net:"+rv.Type().Field(i).Name] = rv.Field(i).Uint()
+	}
+	pv := reflect.ValueOf(res.Profile)
+	for i := 0; i < pv.NumField(); i++ {
+		f := pv.Field(i)
+		name := pv.Type().Field(i).Name
+		if f.Kind() == reflect.Array {
+			for j := 0; j < f.Len(); j++ {
+				fp[fmt.Sprintf("profile:%s[%d]", name, j)] = f.Index(j).Uint()
+			}
+			continue
+		}
+		fp["profile:"+name] = f.Uint()
+	}
+	return fp
+}
+
+// runFork executes the warmup under the warmup-normalized config,
+// captures, round-trips the snapshot through gob, forks under the full
+// config and measures.
+func runFork(t *testing.T, cfg core.Config) *core.Result {
+	t.Helper()
+	warmCfg := WarmupConfig(cfg)
+	warmCfg.RefsPerCore = cfg.RefsPerCore // irrelevant to warmup, required by Validate
+	ws, err := core.NewSystem(warmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.RunWarmup(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Capture(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-trip through the wire format so serialization fidelity is
+	// part of every differential, not a separate hope.
+	raw, err := Bytes(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Fork(st2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fs.RunMeasure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func diffFingerprints(t *testing.T, label string, straight, forked map[string]uint64) {
+	t.Helper()
+	for k, v := range straight {
+		if fv, ok := forked[k]; !ok || fv != v {
+			t.Errorf("%s: %s = %d straight, %d forked", label, k, v, forked[k])
+		}
+	}
+	for k := range forked {
+		if _, ok := straight[k]; !ok {
+			t.Errorf("%s: forked-only key %s", label, k)
+		}
+	}
+}
+
+// TestForkMatchesStraight is the non-negotiable invariant of the
+// snapshot subsystem: a measure phase forked from a captured warmup
+// must be bit-identical to a straight-through run, for every engine.
+// Any divergence is a latent hidden-state bug.
+func TestForkMatchesStraight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("eight full protocol runs")
+	}
+	for _, p := range core.ProtocolNames {
+		p := p
+		t.Run(p, func(t *testing.T) {
+			cfg := testConfig(p)
+			straight, err := core.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			forked := runFork(t, cfg)
+			diffFingerprints(t, p, fingerprint(straight), fingerprint(forked))
+		})
+	}
+}
+
+// TestForkMatchesStraightObserved repeats the differential with the
+// observation subsystems on: the shadow checker + stall watchdog, the
+// telemetry sampler, and the transaction tracer. All are documented as
+// bit-identical observers, and a fork must preserve that.
+func TestForkMatchesStraightObserved(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full protocol runs")
+	}
+	for _, p := range core.ProtocolNames {
+		p := p
+		t.Run(p, func(t *testing.T) {
+			cfg := testConfig(p)
+			cfg.Check = true
+			cfg.Profile = true
+			cfg.Trace = true
+			cfg.SampleEvery = 500
+			straight, err := core.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			forked := runFork(t, cfg)
+			diffFingerprints(t, p, fingerprint(straight), fingerprint(forked))
+			if forked.Series == nil || len(forked.Series.Samples) == 0 {
+				t.Error("forked run with SampleEvery produced no telemetry series")
+			}
+		})
+	}
+}
+
+// TestOneWarmupManyForks shares one captured warmup across several
+// measure configurations, as the experiment runner does, and checks
+// each against its straight-through twin. Restoring must deep-copy:
+// an earlier fork's measure phase must not perturb a later fork.
+func TestOneWarmupManyForks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full protocol runs")
+	}
+	base := testConfig("providers")
+	warmCfg := WarmupConfig(base)
+	warmCfg.RefsPerCore = base.RefsPerCore
+	ws, err := core.NewSystem(warmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.RunWarmup(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Capture(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []func(*core.Config){
+		func(c *core.Config) {},
+		func(c *core.Config) { c.RefsPerCore = 200 },
+		func(c *core.Config) { c.Check = true },
+	}
+	for i, mutate := range variants {
+		cfg := base
+		mutate(&cfg)
+		straight, err := core.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, err := Fork(st, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		forked, err := fs.RunMeasure()
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffFingerprints(t, fmt.Sprintf("variant %d", i), fingerprint(straight), fingerprint(forked))
+	}
+}
+
+// TestCaptureRequiresQuiescence: capturing a system with events still
+// queued must fail, not silently drop them.
+func TestCaptureRequiresQuiescence(t *testing.T) {
+	cfg := testConfig("directory")
+	s, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Kernel.After(5, func() {})
+	if _, err := Capture(s); err == nil {
+		t.Fatal("capture of a non-quiescent kernel succeeded")
+	}
+}
+
+// TestForkRejectsForeignConfig: a fork whose warmup-relevant config
+// differs from the snapshot's must be refused.
+func TestForkRejectsForeignConfig(t *testing.T) {
+	cfg := testConfig("directory")
+	cfg.WarmupRefs = 50
+	cfg.RefsPerCore = 50
+	ws, err := core.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.RunWarmup(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Capture(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := cfg
+	bad.Seed = cfg.Seed + 1
+	if _, err := Fork(st, bad); err == nil {
+		t.Fatal("fork under a different seed succeeded")
+	}
+	bad = cfg
+	bad.Protocol = "dico"
+	if _, err := Fork(st, bad); err == nil {
+		t.Fatal("fork under a different protocol succeeded")
+	}
+	// Measure-phase knobs may differ.
+	ok := cfg
+	ok.RefsPerCore = 25
+	ok.Check = true
+	if _, err := Fork(st, ok); err != nil {
+		t.Fatalf("fork with different measure knobs failed: %v", err)
+	}
+}
+
+// TestWatchdogRearmsAfterFork: the stall watchdog must re-arm inside a
+// forked measure phase — a fork that silently lost its watchdog would
+// hang instead of failing loudly on a livelock.
+func TestWatchdogRearmsAfterFork(t *testing.T) {
+	cfg := testConfig("directory")
+	cfg.WarmupRefs = 50
+	cfg.RefsPerCore = 50
+	cfg.Check = true
+	ws, err := core.NewSystem(WarmupConfig(cfg))
+	if err == nil && ws.Dog != nil {
+		t.Fatal("warmup-normalized config unexpectedly built a watchdog")
+	}
+	ws, err = core.NewSystem(func() core.Config { c := WarmupConfig(cfg); c.RefsPerCore = cfg.RefsPerCore; return c }())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.RunWarmup(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Capture(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Fork(st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fs.Dog == nil {
+		t.Fatal("forked system with Check has no watchdog")
+	}
+	if _, err := fs.RunMeasure(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Dog.Err(); err != nil {
+		t.Fatalf("watchdog tripped on a healthy forked run: %v", err)
+	}
+}

@@ -1,0 +1,28 @@
+package stats
+
+// CounterState is one captured counter, in creation order.
+type CounterState struct {
+	Name  string
+	Value uint64
+}
+
+// State returns the counters in creation order. Order matters:
+// registration order determines report layout and telemetry column
+// alignment, so restore replays it.
+func (s *Set) State() []CounterState {
+	out := make([]CounterState, 0, len(s.order))
+	for _, name := range s.order {
+		out = append(out, CounterState{Name: name, Value: s.byName[name].Value})
+	}
+	return out
+}
+
+// RestoreState replays a captured counter list into the set. Counters
+// are created (in the captured order) if absent, so restoring into a
+// freshly built set reproduces both values and registration order;
+// handles already resolved against the set stay valid.
+func (s *Set) RestoreState(st []CounterState) {
+	for _, c := range st {
+		s.Get(c.Name).Value = c.Value
+	}
+}

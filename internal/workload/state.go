@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// This file provides the snapshot surface of the reference generator:
+// the per-core random streams and locality cursors. Everything else in
+// a Generator (zipf tables, thread indices, window sizes) is a pure
+// function of the workload and placement, so a freshly built generator
+// only needs the cursors restored to reproduce the stream exactly.
+
+// CoreCursor is the serializable locality cursor of one core.
+type CoreCursor struct {
+	Page   uint64
+	Class  int
+	Block  int
+	Burst  int
+	Repeat int
+	Write  bool
+}
+
+// GeneratorState is the serializable state of a Generator.
+type GeneratorState struct {
+	Rands []sim.RandState
+	Cores []CoreCursor
+}
+
+// State returns a deep copy of the generator's per-core cursors and
+// random streams.
+func (g *Generator) State() *GeneratorState {
+	st := &GeneratorState{
+		Rands: make([]sim.RandState, len(g.rng)),
+		Cores: make([]CoreCursor, len(g.cores)),
+	}
+	for i, r := range g.rng {
+		st.Rands[i] = r.State()
+	}
+	for i := range g.cores {
+		cs := &g.cores[i]
+		st.Cores[i] = CoreCursor{
+			Page: cs.page, Class: int(cs.class), Block: cs.block,
+			Burst: cs.burst, Repeat: cs.repeat, Write: cs.write,
+		}
+	}
+	return st
+}
+
+// RestoreState overwrites the generator's cursors and random streams.
+// The core count must match the generator's construction.
+func (g *Generator) RestoreState(st *GeneratorState) error {
+	if len(st.Rands) != len(g.rng) || len(st.Cores) != len(g.cores) {
+		return fmt.Errorf("workload: snapshot has %d cores, generator has %d", len(st.Cores), len(g.cores))
+	}
+	for i, rs := range st.Rands {
+		g.rng[i].SetState(rs)
+	}
+	for i, c := range st.Cores {
+		g.cores[i] = coreState{
+			page: c.Page, class: pageClass(c.Class), block: c.Block,
+			burst: c.Burst, repeat: c.Repeat, write: c.Write,
+		}
+	}
+	return nil
+}

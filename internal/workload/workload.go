@@ -418,7 +418,7 @@ func (g *Generator) Profile(tile topo.Tile) VMProfile {
 // Next produces the next reference of core tile.
 func (g *Generator) Next(tile topo.Tile) Access {
 	vm := g.placement.VMOf(tile)
-	p := g.workload.VMs[vm]
+	p := &g.workload.VMs[vm]
 	r := g.rng[tile]
 	cs := &g.cores[tile]
 
@@ -479,7 +479,7 @@ func (g *Generator) Next(tile topo.Tile) Access {
 // virtualPage lays the three classes out in disjoint regions of the
 // VM's virtual space. Dedup pages use the profile's content key so
 // only VMs running the same application share frames.
-func (g *Generator) virtualPage(vm int, tile topo.Tile, class pageClass, page uint64, p VMProfile) (uint64, memctrl.PageClass) {
+func (g *Generator) virtualPage(vm int, tile topo.Tile, class pageClass, page uint64, p *VMProfile) (uint64, memctrl.PageClass) {
 	switch class {
 	case classDedup:
 		return p.ContentKey<<20 | page, memctrl.PageDedup
