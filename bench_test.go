@@ -66,8 +66,8 @@ func matrix(b *testing.B) *exp.Matrix {
 	benchOnce.Do(func() {
 		opt := exp.DefaultOptions()
 		opt.Workloads = []string{"apache4x16p", "tomcatv4x16p"}
-		opt.RefsPerCore = 4000
-		opt.WarmupRefs = 12000
+		opt.Base.RefsPerCore = 4000
+		opt.Base.WarmupRefs = 12000
 		opt.Workers = 0 // fan the 2x4 matrix out across all CPUs
 		benchResult, benchErr = exp.Run(opt, nil)
 	})

@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -48,7 +49,8 @@ type EndToEnd struct {
 	RefsPerCore int                   `json:"refs_per_core"`
 	WarmupRefs  int                   `json:"warmup_refs"`
 	Tiles       int                   `json:"tiles"`
-	Reps        int                   `json:"reps"` // timed repetitions per protocol; best wall clock reported
+	Shards      int                   `json:"shards"` // conservative-PDES shard count (0 = single kernel)
+	Reps        int                   `json:"reps"`   // timed repetitions per protocol; best wall clock reported
 	Protocols   map[string]ProtoBench `json:"protocols"`
 	RefsPerSec  float64               `json:"total_refs_per_sec"`
 }
@@ -64,6 +66,8 @@ type Bench struct {
 }
 
 func main() {
+	benchCfg := core.DefaultConfig()
+	shared := cli.New(flag.CommandLine, &benchCfg).Shards()
 	smoke := flag.Bool("smoke", false, "reduced budget for CI (fast, noisier numbers)")
 	reps := flag.Int("reps", 0, "timed repetitions per protocol, best kept (0 = 3 full / 1 smoke)")
 	out := flag.String("out", "BENCH_7.json", "output file")
@@ -72,6 +76,7 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the end-to-end sweep to this file (analyze with `go tool pprof`)")
 	memprofile := flag.String("memprofile", "", "write an allocation profile (after the sweep) to this file")
 	flag.Parse()
+	shared.Finish()
 
 	mode, refs, warmup, kernelEvents := "full", 6000, 12000, uint64(8_000_000)
 	if *smoke {
@@ -101,7 +106,7 @@ func main() {
 		}
 		defer f.Close()
 	}
-	e2e, err := endToEnd(refs, warmup, *reps)
+	e2e, err := endToEnd(refs, warmup, *reps, benchCfg.Shards)
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()
 	}
@@ -160,9 +165,17 @@ func compareBench(path string, fresh *Bench, tolerance float64) error {
 		return fmt.Errorf("%s: not a bench file: %w", path, err)
 	}
 	fmt.Printf("vs %s (%s@%s):\n", path, base.Mode, base.Revision)
-	if base.Mode != fresh.Mode {
+	comparable := base.Mode == fresh.Mode
+	if !comparable {
 		fmt.Printf("  baseline mode %q != current mode %q — deltas reported, regression gate skipped\n",
 			base.Mode, fresh.Mode)
+	}
+	if base.EndToEnd.Shards != fresh.EndToEnd.Shards {
+		// Shard counts change wall clock, not results; numbers from
+		// different executors are apples to oranges.
+		comparable = false
+		fmt.Printf("  baseline shards %d != current shards %d — deltas reported, regression gate skipped\n",
+			base.EndToEnd.Shards, fresh.EndToEnd.Shards)
 	}
 	type row struct {
 		name      string
@@ -189,7 +202,7 @@ func compareBench(path string, fresh *Bench, tolerance float64) error {
 		}
 		fmt.Printf("  %-18s %12.0f -> %12.0f  %+6.1f%%%s\n", r.name, r.base, r.cur, delta*100, mark)
 	}
-	if len(regressed) > 0 && base.Mode == fresh.Mode {
+	if len(regressed) > 0 && comparable {
 		return fmt.Errorf("throughput regressed beyond %.0f%%: %s", tolerance*100, strings.Join(regressed, ", "))
 	}
 	return nil
@@ -225,15 +238,17 @@ func kernelBench(events uint64) KernelBench {
 // wall clock: a single timed run absorbs whatever garbage the previous
 // protocol left plus its own cold page faults, which showed up as
 // 10-20% run-to-run swings that have nothing to do with the simulator.
-func endToEnd(refs, warmup, reps int) (EndToEnd, error) {
+func endToEnd(refs, warmup, reps, shards int) (EndToEnd, error) {
 	base := core.DefaultConfig()
 	base.RefsPerCore = refs
 	base.WarmupRefs = warmup
+	base.Shards = shards
 	e := EndToEnd{
 		Workload:    base.Workload,
 		RefsPerCore: refs,
 		WarmupRefs:  warmup,
 		Tiles:       base.Tiles,
+		Shards:      shards,
 		Reps:        reps,
 		Protocols:   map[string]ProtoBench{},
 	}

@@ -10,55 +10,28 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/core"
 	"repro/internal/exp"
 	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/proto"
-	"repro/internal/sim"
 	"repro/internal/telemetry"
 )
 
 func main() {
 	cfg := core.DefaultConfig()
-	protocol := flag.String("protocol", cfg.Protocol, "coherence protocol: directory | dico | providers | arin")
+	cfg.WarmupRefs = 40000
+	shared := cli.New(flag.CommandLine, &cfg).Sim().Obs().Shards().Workers()
+	flag.StringVar(&cfg.Protocol, "protocol", cfg.Protocol, "coherence protocol: directory | dico | providers | arin")
 	protocols := flag.String("protocols", "", "comma-separated protocols to run concurrently and compare (overrides -protocol; 'all' = every protocol)")
-	workload := flag.String("workload", cfg.Workload, "Table IV workload (e.g. apache4x16p, jbb4x16p, mixed-sci)")
-	refs := flag.Int("refs", cfg.RefsPerCore, "measured references per core")
-	warmup := flag.Int("warmup", 40000, "warmup references per core (discarded)")
-	tiles := flag.Int("tiles", cfg.Tiles, "number of tiles")
-	areas := flag.Int("areas", cfg.Areas, "number of static areas")
-	alt := flag.Bool("alt", false, "use the Figure 6 alternative VM placement")
-	nodedup := flag.Bool("nodedup", false, "disable memory deduplication")
-	unicastBcast := flag.Bool("unicast-broadcast", false, "emulate a chip without hardware broadcast")
-	seed := flag.Uint64("seed", 1, "simulation seed")
-	workers := flag.Int("workers", 0, "parallel simulations in -protocols mode (0 = all CPUs)")
-	checkRun := flag.Bool("check", false, "attach the shadow-memory coherence checker and stalled-transaction watchdog (fails the run on any violation)")
-	profile := flag.Bool("profile", false, "collect kernel dispatch/queue-depth statistics, miss-latency histograms and phase timers (reported and exported with -json)")
+	flag.StringVar(&cfg.Workload, "workload", cfg.Workload, "Table IV workload (e.g. apache4x16p, jbb4x16p, mixed-sci)")
 	jsonOut := flag.String("json", "", "write an obs manifest (schema v2) with every run's full configuration and counters to this file")
-	traceOut := flag.String("trace-out", "", "trace every coherence transaction and write Chrome/Perfetto trace-event JSON to this file (open in ui.perfetto.dev)")
-	traceCap := flag.Int("trace-cap", 0, "max spans retained per run, drop-oldest (0 = default)")
-	sample := flag.Int64("sample", 0, "record a time-series sample of all counters every N cycles (0 = off; exported with -json)")
-	sampleCap := flag.Int("sample-cap", 0, "max time-series samples retained per run, drop-oldest (0 = default)")
 	httpAddr := flag.String("http", "", "serve live telemetry (Prometheus /metrics, mesh heatmap, pprof, expvar) on this address; a bare :port binds localhost only")
 	flag.Parse()
-
-	cfg.Protocol = *protocol
-	cfg.Workload = *workload
-	cfg.RefsPerCore = *refs
-	cfg.WarmupRefs = *warmup
-	cfg.Tiles = *tiles
-	cfg.Areas = *areas
-	cfg.AltPlacement = *alt
-	cfg.Dedup = !*nodedup
-	cfg.Proto.BroadcastUnicast = *unicastBcast
-	cfg.Seed = *seed
-	cfg.Check = *checkRun
-	cfg.Profile = *profile
-	cfg.Trace = *traceOut != ""
-	cfg.TraceCap = *traceCap
-	cfg.SampleEvery = sim.Time(*sample)
-	cfg.SampleCap = *sampleCap
+	shared.Finish()
+	workers := &shared.WorkersN
+	traceOut := &shared.TraceOut
 
 	var live *telemetry.Live
 	if *httpAddr != "" {

@@ -11,25 +11,22 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/cli"
 	"repro/internal/exp"
 	"repro/internal/obs"
-	"repro/internal/sim"
 )
 
 func main() {
+	opt := exp.DefaultOptions()
+	shared := cli.New(flag.CommandLine, &opt.Base).Sim().Obs().Shards().Workers()
 	fig := flag.String("fig", "all", "artifact: 5, 6, 7t (tables), 7, 8a, 8b, 9a, 9b, hops or all")
-	quick := flag.Bool("quick", false, "fast pass (fewer references per core)")
-	alt := flag.Bool("alt", false, "use the Figure 6 alternative VM placement")
-	nodedup := flag.Bool("nodedup", false, "disable memory deduplication")
+	quick := flag.Bool("quick", false, "fast pass (fewer references per core; explicit -refs/-warmup win)")
 	workloads := flag.String("workloads", "", "comma-separated workload subset (default: all)")
-	refs := flag.Int("refs", 0, "override measured references per core")
-	workers := flag.Int("workers", 0, "parallel simulations (0 = all CPUs, 1 = serial)")
 	out := flag.String("out", "", "write the sweep as an obs manifest (schema v2) to <dir>/matrix.json; cmd/tables -from regenerates every figure from it without re-simulating")
-	sample := flag.Int64("sample", 0, "record a time-series sample of every run's counters every N cycles (0 = off; exported with -out, plotted with tables -series)")
-	sampleCap := flag.Int("sample-cap", 0, "max time-series samples retained per run, drop-oldest (0 = default)")
 	cacheDir := flag.String("cache", "", "content-addressed run cache directory: completed runs are stored and repeated sweeps resolve unchanged cells from disk (invalidated by any config or git-revision change)")
 	resume := flag.Bool("resume", false, "shorthand for -cache .expcache: make the sweep incremental and resumable")
 	flag.Parse()
+	shared.Finish()
 
 	// Analytic artifacts need no simulation.
 	switch *fig {
@@ -47,22 +44,19 @@ func main() {
 		return
 	}
 
-	opt := exp.DefaultOptions()
-	opt.Base.AltPlacement = *alt
-	opt.Base.Dedup = !*nodedup
+	// -quick lowers the budget but yields to explicit -refs/-warmup.
 	if *quick {
-		opt.Base.RefsPerCore = 8000
-		opt.Base.WarmupRefs = 20000
-	}
-	if *refs > 0 {
-		opt.Base.RefsPerCore = *refs
+		if !cli.Changed(flag.CommandLine, "refs") {
+			opt.Base.RefsPerCore = 8000
+		}
+		if !cli.Changed(flag.CommandLine, "warmup") {
+			opt.Base.WarmupRefs = 20000
+		}
 	}
 	if *workloads != "" {
 		opt.Workloads = strings.Split(*workloads, ",")
 	}
-	opt.Base.SampleEvery = sim.Time(*sample)
-	opt.Base.SampleCap = *sampleCap
-	opt.Workers = *workers
+	opt.Workers = shared.WorkersN
 	if *resume && *cacheDir == "" {
 		*cacheDir = ".expcache"
 	}

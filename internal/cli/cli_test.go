@@ -1,0 +1,94 @@
+package cli
+
+import (
+	"flag"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func parse(t *testing.T, f *Flags, fs *flag.FlagSet, args ...string) {
+	t.Helper()
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	f.Finish()
+}
+
+func TestSimFlagsBindAndResolve(t *testing.T) {
+	cfg := core.DefaultConfig()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := New(fs, &cfg).Sim().Obs().Shards().Workers()
+	parse(t, f, fs,
+		"-tiles", "16", "-areas", "4", "-refs", "123", "-warmup", "456",
+		"-seed", "9", "-alt", "-nodedup", "-unicast-broadcast",
+		"-check", "-profile", "-trace-out", "t.json", "-trace-cap", "7",
+		"-sample", "1000", "-sample-cap", "8", "-shards", "3", "-workers", "2")
+	if cfg.Tiles != 16 || cfg.Areas != 4 || cfg.RefsPerCore != 123 || cfg.WarmupRefs != 456 || cfg.Seed != 9 {
+		t.Errorf("sim fields not bound: %+v", cfg)
+	}
+	if !cfg.AltPlacement || cfg.Dedup || !cfg.Proto.BroadcastUnicast {
+		t.Errorf("placement/dedup/broadcast flags not resolved: %+v", cfg)
+	}
+	if !cfg.Check || !cfg.Profile || !cfg.Trace || cfg.TraceCap != 7 {
+		t.Errorf("observer flags not resolved: %+v", cfg)
+	}
+	if cfg.SampleEvery != 1000 || cfg.SampleCap != 8 {
+		t.Errorf("sampling flags not resolved: %+v", cfg)
+	}
+	if cfg.Shards != 3 {
+		t.Errorf("Shards = %d, want 3", cfg.Shards)
+	}
+	if f.WorkersN != 2 {
+		t.Errorf("WorkersN = %d, want 2", f.WorkersN)
+	}
+	if f.TraceOut != "t.json" {
+		t.Errorf("TraceOut = %q", f.TraceOut)
+	}
+}
+
+func TestDefaultsComeFromConfig(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.WarmupRefs = 40000
+	cfg.Shards = 2
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := New(fs, &cfg).Sim().Obs().Shards()
+	parse(t, f, fs)
+	if cfg.WarmupRefs != 40000 || cfg.Shards != 2 {
+		t.Errorf("pre-seeded defaults lost: %+v", cfg)
+	}
+	if !cfg.Dedup {
+		t.Error("default dedup lost without -nodedup")
+	}
+	if cfg.Trace || cfg.SampleEvery != 0 {
+		t.Errorf("observers armed by default: %+v", cfg)
+	}
+}
+
+func TestFinishTouchesOnlyBoundGroups(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.Dedup = false
+	cfg.SampleEvery = 77
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := New(fs, &cfg).Shards()
+	parse(t, f, fs, "-shards", "4")
+	if cfg.Dedup || cfg.SampleEvery != 77 {
+		t.Errorf("unbound groups clobbered: %+v", cfg)
+	}
+	if cfg.Shards != 4 {
+		t.Errorf("Shards = %d, want 4", cfg.Shards)
+	}
+}
+
+func TestChanged(t *testing.T) {
+	cfg := core.DefaultConfig()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := New(fs, &cfg).Sim()
+	parse(t, f, fs, "-refs", "25000") // explicit, equal to default
+	if !Changed(fs, "refs") {
+		t.Error("explicit -refs not detected")
+	}
+	if Changed(fs, "warmup") {
+		t.Error("unset -warmup reported as changed")
+	}
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// runFingerprint builds and runs cfg and reduces the result to its
+// deterministic counters.
+func runFingerprint(t *testing.T, cfg Config) (protoFingerprint, *Result) {
+	t.Helper()
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("shards=%d: %v", cfg.Shards, err)
+	}
+	return fingerprintRun(res), res
+}
+
+// TestShardedMatchesSerialAllProtocols is the tentpole acceptance
+// gate: for every engine, a sharded run (any shard count, including
+// one lane per tile) must be bit-identical to the serial run — same
+// cycles, same events, same value in every architectural counter.
+func TestShardedMatchesSerialAllProtocols(t *testing.T) {
+	shardCounts := []int{1, 2, 4, 8}
+	if testing.Short() {
+		shardCounts = []int{2}
+	}
+	for _, p := range ProtocolNames {
+		p := p
+		t.Run(p, func(t *testing.T) {
+			cfg := smallCfg(p, "apache4x16p")
+			cfg.WarmupRefs = 100
+			want, _ := runFingerprint(t, cfg)
+			for _, n := range shardCounts {
+				cfg.Shards = n
+				got, _ := runFingerprint(t, cfg)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("shards=%d fingerprint diverges from serial", n)
+					diffMaps(t, fmt.Sprintf("shards=%d counter", n), got.Counters, want.Counters)
+					diffMaps(t, fmt.Sprintf("shards=%d net", n), got.Net, want.Net)
+					diffMaps(t, fmt.Sprintf("shards=%d miss_profile", n), got.Profile, want.Profile)
+					if got.Cycles != want.Cycles || got.Events != want.Events {
+						t.Errorf("shards=%d: cycles/events = %d/%d, want %d/%d",
+							n, got.Cycles, got.Events, want.Cycles, want.Events)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestShardedMatchesSerialWithObservers repeats the gate with every
+// observer armed — coherence checker, kernel/latency profiling,
+// telemetry sampling, causal tracing — in all on/off combinations.
+// The observers read global state (chip-wide queue depth, shadow
+// memory), so they are the part most likely to see a difference
+// between the executors.
+func TestShardedMatchesSerialWithObservers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many full runs")
+	}
+	combos := []struct {
+		name                  string
+		check, profile, trace bool
+		sample                bool
+	}{
+		{name: "check", check: true},
+		{name: "profile", profile: true},
+		{name: "sample", sample: true},
+		{name: "trace", trace: true},
+		{name: "all", check: true, profile: true, sample: true, trace: true},
+	}
+	for _, c := range combos {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			mk := func(shards int) Config {
+				cfg := smallCfg("providers", "apache4x16p")
+				cfg.WarmupRefs = 100
+				cfg.Shards = shards
+				cfg.Check = c.check
+				cfg.Profile = c.profile
+				cfg.Trace = c.trace
+				if c.sample {
+					cfg.SampleEvery = 500
+				}
+				return cfg
+			}
+			want, wres := runFingerprint(t, mk(0))
+			got, gres := runFingerprint(t, mk(3))
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("sharded fingerprint diverges from serial")
+				diffMaps(t, "counter", got.Counters, want.Counters)
+				diffMaps(t, "net", got.Net, want.Net)
+			}
+			if c.profile {
+				// The profile itself must match too: dispatch counts and
+				// the queue-depth histogram (observed chip-wide in both
+				// modes) are part of the deterministic surface.
+				if !reflect.DeepEqual(gres.Prof.Kernel, wres.Prof.Kernel) {
+					t.Errorf("kernel profile diverges:\nsharded %+v\nserial  %+v",
+						gres.Prof.Kernel, wres.Prof.Kernel)
+				}
+				if !reflect.DeepEqual(gres.Prof.MissLatency, wres.Prof.MissLatency) {
+					t.Errorf("miss-latency histogram diverges")
+				}
+				for i := range wres.Prof.Phases {
+					g, w := gres.Prof.Phases[i], wres.Prof.Phases[i]
+					if g.Cycles != w.Cycles || g.Events != w.Events || g.Refs != w.Refs {
+						t.Errorf("phase %s: cycles/events/refs = %d/%d/%d, want %d/%d/%d",
+							w.Name, g.Cycles, g.Events, g.Refs, w.Cycles, w.Events, w.Refs)
+					}
+				}
+			}
+			if c.sample {
+				gs, ws := gres.Series, wres.Series
+				if gs == nil || ws == nil {
+					t.Fatalf("missing series: sharded=%v serial=%v", gs != nil, ws != nil)
+				}
+				if !reflect.DeepEqual(gs, ws) {
+					t.Errorf("telemetry series diverges")
+				}
+			}
+		})
+	}
+}
+
+// TestShardedOtherWorkloadsAndPlacement spot-checks the gate off the
+// default workload: alternative placement, dedup off, a second trace.
+func TestShardedOtherWorkloadsAndPlacement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full runs")
+	}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"alt-placement", func(c *Config) { c.AltPlacement = true }},
+		{"dedup-off", func(c *Config) { c.Dedup = false }},
+		{"other-seed", func(c *Config) { c.Seed = 99 }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := smallCfg("arin", "apache4x16p")
+			tc.mut(&cfg)
+			want, _ := runFingerprint(t, cfg)
+			cfg.Shards = 4
+			got, _ := runFingerprint(t, cfg)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("sharded fingerprint diverges from serial")
+				diffMaps(t, "counter", got.Counters, want.Counters)
+			}
+		})
+	}
+}
+
+// TestShardedValidate pins the Shards bounds check.
+func TestShardedValidate(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shards = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("Shards=-1 validated")
+	}
+	cfg.Shards = cfg.Tiles + 1
+	if err := cfg.Validate(); err == nil {
+		t.Error("Shards=Tiles+1 validated")
+	}
+	cfg.Shards = cfg.Tiles
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("Shards=Tiles rejected: %v", err)
+	}
+}

@@ -39,6 +39,16 @@ type Config struct {
 	Proto        proto.Config
 	Net          mesh.Config
 
+	// Shards partitions the mesh into that many contiguous tile bands,
+	// each owning its tiles' reference drivers and mesh deliveries on
+	// its own sim.Kernel lane, coordinated by a sim.ShardedKernel
+	// (conservative PDES with the mesh hop latency as lookahead; see
+	// DESIGN.md §13). 0 runs the classic single kernel. Any value
+	// produces bit-identical results — sharding is an execution
+	// strategy, not a model change — which the crosscheck fingerprint
+	// gate enforces.
+	Shards int
+
 	// Check attaches the shadow-memory coherence checker and the
 	// stalled-transaction watchdog (internal/check) to the run. Off by
 	// default: with Check false the kernel event stream is bit-identical
@@ -211,6 +221,18 @@ func newEngine(name string, ctx *proto.Context) (proto.Engine, error) {
 	return nil, fmt.Errorf("core: unknown protocol %q", name)
 }
 
+// runner abstracts the executor driving a run: the single kernel, or
+// the sharded group's deterministic merge. Both dispatch the exact
+// same event order, so everything above this interface is
+// executor-agnostic.
+type runner interface {
+	Run(limit sim.Time) uint64
+	RunUntil(cond func() bool) uint64
+	Pending() int
+	Now() sim.Time
+	EventsRun() uint64
+}
+
 // System is a fully built chip ready to run.
 type System struct {
 	Cfg       Config
@@ -233,6 +255,16 @@ type System struct {
 	Tracer  *telemetry.Tracer
 	Sampler *telemetry.Sampler
 
+	// SK is non-nil only when Cfg.Shards > 0: the sharded executor.
+	// Kernel is then its hub lane (lane 0), which hosts the chip-global
+	// machinery (engine events, watchdog, sampler, tracer) and the
+	// run's primary random stream.
+	SK      *sim.ShardedKernel
+	shardOf []int // tile -> shard (Cfg.Shards > 0 only)
+
+	// run drives the event loop: Kernel when serial, SK when sharded.
+	run runner
+
 	// prof is non-nil only when Cfg.Profile is set.
 	prof *RunProfile
 
@@ -254,9 +286,12 @@ type System struct {
 }
 
 // tileDriver issues one core's references back to back, Gap cycles
-// apart, reusing itself as the completion continuation.
+// apart, reusing itself as the completion continuation. Its events
+// live on k — the tile's shard lane when sharded, the single kernel
+// otherwise — so driver work is owned by the tile's shard.
 type tileDriver struct {
 	s      *System
+	k      *sim.Kernel
 	tile   topo.Tile
 	addr   cache.Addr
 	write  bool
@@ -265,6 +300,38 @@ type tileDriver struct {
 	stepC  func() // allocated once; schedule the next reference
 	issueC func() // allocated once; issue the stored access
 	doneC  func() // allocated once; retire the stored access
+}
+
+// assertShard is the driver-level ownership assert of a sharded run:
+// the dispatching lane must be the tile's shard. It guards the two
+// driver events (step and issue) — retire continuations are excluded
+// because they ride the engine's events, which all live on the hub
+// until the engines' cross-tile shortcuts are messageized (DESIGN.md
+// §13).
+func (d *tileDriver) assertShard() {
+	s := d.s
+	if s.SK == nil {
+		return
+	}
+	if got, want := s.SK.ActiveShard(), s.shardOf[d.tile]; got != want {
+		panic(fmt.Sprintf("core: tile %d driver event dispatched on shard %d, owner is %d",
+			d.tile, got, want))
+	}
+}
+
+// stepWake and issueWake are the event entry points (the targets of
+// stepC/issueC): they dispatch on the tile's lane, so they carry the
+// ownership assert. step/issue themselves stay assert-free because
+// they are also reached inline from done(), which rides hub-lane
+// engine events.
+func (d *tileDriver) stepWake() {
+	d.assertShard()
+	d.step()
+}
+
+func (d *tileDriver) issueWake() {
+	d.assertShard()
+	d.issue()
 }
 
 func (d *tileDriver) step() {
@@ -276,7 +343,7 @@ func (d *tileDriver) step() {
 	acc := s.Gen.Next(d.tile)
 	d.addr, d.write = acc.Addr, acc.Write
 	if acc.Gap > 0 {
-		s.Kernel.After(acc.Gap, d.issueC)
+		d.k.After(acc.Gap, d.issueC)
 	} else {
 		d.issue()
 	}
@@ -288,7 +355,7 @@ func (d *tileDriver) issue() {
 		// Profiled variant: time issue-to-retire and histogram
 		// everything slower than an L1 hit. Reading the clock never
 		// schedules, so the event stream is unchanged.
-		d.issued = s.Kernel.Now()
+		d.issued = d.k.Now()
 	}
 	s.Engine.Access(d.tile, d.addr, d.write, d.doneC)
 }
@@ -296,14 +363,14 @@ func (d *tileDriver) issue() {
 func (d *tileDriver) done() {
 	s := d.s
 	if s.prof != nil {
-		if lat := s.Kernel.Now() - d.issued; lat > s.Cfg.Proto.L1HitLatency {
+		if lat := d.k.Now() - d.issued; lat > s.Cfg.Proto.L1HitLatency {
 			s.prof.MissLatency.Observe(uint64(lat))
 		}
 	}
 	s.retired[d.tile]++
 	s.phaseTotal++
 	s.refsTotal++
-	s.phaseLastRetire = s.Kernel.Now()
+	s.phaseLastRetire = d.k.Now()
 	d.step()
 }
 
@@ -313,7 +380,17 @@ func NewSystem(cfg Config) (*System, error) {
 	if err != nil {
 		return nil, err
 	}
-	kernel := sim.NewKernel(cfg.Seed)
+	// The sharded executor's hub lane is constructed exactly like the
+	// single kernel (same seed, same Fork order below), so every random
+	// stream the model draws is identical in both modes.
+	var sk *sim.ShardedKernel
+	var kernel *sim.Kernel
+	if cfg.Shards > 0 {
+		sk = sim.NewSharded(cfg.Seed, cfg.Shards, cfg.Net.HopLatency())
+		kernel = sk.Hub()
+	} else {
+		kernel = sim.NewKernel(cfg.Seed)
+	}
 	grid := topo.SquareGrid(cfg.Tiles)
 	areas, err := topo.NewAreas(grid, cfg.Areas)
 	if err != nil {
@@ -332,6 +409,15 @@ func NewSystem(cfg Config) (*System, error) {
 		placement = topo.AlternativePlacement(vmAreas)
 	}
 	net := mesh.New(kernel, grid, cfg.Net)
+	var shardOf []int
+	if sk != nil {
+		shardOf = topo.Partition(grid, cfg.Shards)
+		lanes := make([]*sim.Kernel, grid.Tiles())
+		for t := range lanes {
+			lanes[t] = sk.Shard(shardOf[t])
+		}
+		net.SetSharding(lanes, shardOf)
+	}
 	mem := memctrl.Default(grid, kernel.Rand().Fork())
 	mapper := memctrl.NewMapper(cfg.Dedup)
 	gen := workload.NewGenerator(w, placement, mapper, kernel.Rand().Fork())
@@ -343,7 +429,11 @@ func NewSystem(cfg Config) (*System, error) {
 	var prof *RunProfile
 	if cfg.Profile {
 		prof = &RunProfile{}
-		kernel.SetProfile(&prof.Kernel)
+		if sk != nil {
+			sk.SetProfile(&prof.Kernel)
+		} else {
+			kernel.SetProfile(&prof.Kernel)
+		}
 	}
 	var sh *check.Shadow
 	var dog *sim.Watchdog
@@ -369,8 +459,15 @@ func NewSystem(cfg Config) (*System, error) {
 		Ctx:       ctx,
 		Shadow:    sh,
 		Dog:       dog,
+		SK:        sk,
+		shardOf:   shardOf,
 		prof:      prof,
 		retired:   make([]int, cfg.Tiles),
+	}
+	if sk != nil {
+		s.run = sk
+	} else {
+		s.run = kernel
 	}
 	if cfg.Trace {
 		s.Tracer = telemetry.NewTracer(kernel, cfg.Protocol, cfg.Tiles, cfg.TraceCap)
@@ -415,14 +512,18 @@ func (s *System) runPhase(refs int) (sim.Time, uint64, error) {
 		for t := range s.drivers {
 			d := &s.drivers[t]
 			d.s = s
+			d.k = s.Kernel
+			if s.SK != nil {
+				d.k = s.SK.Shard(s.shardOf[t])
+			}
 			d.tile = topo.Tile(t)
-			d.stepC = d.step
-			d.issueC = d.issue
+			d.stepC = d.stepWake
+			d.issueC = d.issueWake
 			d.doneC = d.done
 		}
 	}
 	for t := 0; t < cfg.Tiles; t++ {
-		s.Kernel.After(sim.Time(t%7), s.drivers[t].stepC)
+		s.drivers[t].k.After(sim.Time(t%7), s.drivers[t].stepC)
 	}
 	// Watchdog: if no reference retires for a long stretch, the
 	// protocol has livelocked — fail loudly instead of spinning. With
@@ -439,9 +540,9 @@ func (s *System) runPhase(refs int) (sim.Time, uint64, error) {
 	const watchdogWindow sim.Time = 2_000_000
 	lastProgress := uint64(0)
 	for s.phaseDone < cfg.Tiles {
-		deadline := s.Kernel.Now() + watchdogWindow
-		s.Kernel.RunUntil(func() bool {
-			return s.phaseDone == cfg.Tiles || s.Kernel.Now() >= deadline ||
+		deadline := s.run.Now() + watchdogWindow
+		s.run.RunUntil(func() bool {
+			return s.phaseDone == cfg.Tiles || s.run.Now() >= deadline ||
 				(s.Dog != nil && s.Dog.Err() != nil)
 		})
 		if s.Dog != nil && s.Dog.Err() != nil {
@@ -450,9 +551,9 @@ func (s *System) runPhase(refs int) (sim.Time, uint64, error) {
 		if s.phaseDone == cfg.Tiles {
 			break
 		}
-		if s.Kernel.Pending() == 0 || s.phaseTotal == lastProgress {
+		if s.run.Pending() == 0 || s.phaseTotal == lastProgress {
 			return 0, 0, fmt.Errorf("core: simulation stalled at t=%d with %d/%d cores done (%d refs retired)",
-				s.Kernel.Now(), s.phaseDone, cfg.Tiles, s.phaseTotal)
+				s.run.Now(), s.phaseDone, cfg.Tiles, s.phaseTotal)
 		}
 		lastProgress = s.phaseTotal
 	}
@@ -460,7 +561,7 @@ func (s *System) runPhase(refs int) (sim.Time, uint64, error) {
 		s.Dog.Disarm()
 	}
 	// Drain residual traffic (writebacks, acks) so counters are final.
-	s.Kernel.Run(0)
+	s.run.Run(0)
 	// Fencepost sample: the phase's final state, so warmup-vs-steady
 	// curves always include the phase boundary.
 	if s.Sampler != nil {
@@ -475,13 +576,13 @@ func (s *System) timedPhase(name string, refs int) (sim.Time, uint64, error) {
 		return s.runPhase(refs)
 	}
 	wall := time.Now()
-	cycles0, events0 := s.Kernel.Now(), s.Kernel.EventsRun()
+	cycles0, events0 := s.run.Now(), s.run.EventsRun()
 	lastRetire, totalRefs, err := s.runPhase(refs)
 	s.prof.Phases = append(s.prof.Phases, PhaseStat{
 		Name:   name,
 		WallNS: time.Since(wall).Nanoseconds(),
-		Cycles: s.Kernel.Now() - cycles0,
-		Events: s.Kernel.EventsRun() - events0,
+		Cycles: s.run.Now() - cycles0,
+		Events: s.run.EventsRun() - events0,
 		Refs:   totalRefs,
 	})
 	return lastRetire, totalRefs, err
@@ -515,8 +616,8 @@ func (s *System) RunWarmup() error {
 // or restored) state and returns the collected result.
 func (s *System) RunMeasure() (*Result, error) {
 	cfg := s.Cfg
-	start := s.Kernel.Now()
-	events0 := s.Kernel.EventsRun()
+	start := s.run.Now()
+	events0 := s.run.EventsRun()
 	if s.Sampler != nil {
 		s.Sampler.SetPhase("measure")
 	}
@@ -541,7 +642,7 @@ func (s *System) RunMeasure() (*Result, error) {
 		Config:       cfg,
 		Cycles:       lastRetire,
 		Refs:         totalRefs,
-		Events:       s.Kernel.EventsRun() - events0,
+		Events:       s.run.EventsRun() - events0,
 		Counters:     s.Engine.Stats(),
 		Net:          s.Net.Stats(),
 		Profile:      s.Engine.MissProfile(),
@@ -588,3 +689,22 @@ func Run(cfg Config) (*Result, error) {
 
 // CheckInvariants re-exports the engine's quiescent checker.
 func (s *System) CheckInvariants() { s.Engine.CheckInvariants() }
+
+// KernelState captures the executor's quiescent scheduler state
+// (clock, sequence, tag, event count, rand), dispatching to whichever
+// executor drives this system. Snapshots taken in one mode restore
+// into the other: the state is executor-agnostic.
+func (s *System) KernelState() (sim.KernelState, error) {
+	if s.SK != nil {
+		return s.SK.State()
+	}
+	return s.Kernel.State()
+}
+
+// RestoreKernelState is the inverse of KernelState.
+func (s *System) RestoreKernelState(st sim.KernelState) error {
+	if s.SK != nil {
+		return s.SK.RestoreState(st)
+	}
+	return s.Kernel.RestoreState(st)
+}

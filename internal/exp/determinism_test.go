@@ -118,8 +118,8 @@ func TestProfilingNonPerturbing(t *testing.T) {
 func TestSerialParallelEquivalence(t *testing.T) {
 	opt := DefaultOptions()
 	opt.Workloads = []string{"apache4x16p", "tomcatv4x16p"}
-	opt.RefsPerCore = 1500
-	opt.WarmupRefs = 3000
+	opt.Base.RefsPerCore = 1500
+	opt.Base.WarmupRefs = 3000
 
 	opt.Workers = 1
 	var serialOrder []string

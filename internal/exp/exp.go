@@ -44,19 +44,11 @@ type Options struct {
 	Workloads []string
 	// Base is the configuration every matrix cell derives from
 	// (protocol and workload are overwritten per cell). Zero-value
-	// Base (Tiles == 0) falls back to core.DefaultConfig.
+	// Base (Tiles == 0) falls back to core.DefaultConfig. Base is the
+	// single source of simulation parameters: the old top-level
+	// pass-through fields (RefsPerCore, WarmupRefs, Seed, AltPlacement,
+	// Dedup) are gone, along with their override-precedence rules.
 	Base core.Config
-
-	// Deprecated: set the corresponding Base field instead. These
-	// pass-throughs survive for older callers: a non-zero RefsPerCore,
-	// WarmupRefs or Seed overrides Base, and a true AltPlacement or
-	// Dedup forces the Base flag on (false means "leave Base alone",
-	// so Base is the only way to force either off).
-	RefsPerCore  int
-	WarmupRefs   int
-	Seed         uint64
-	AltPlacement bool
-	Dedup        bool
 
 	// Workers bounds how many simulations run concurrently. Every
 	// (workload, protocol) run owns its kernel, chip and RNG, so the
@@ -86,7 +78,7 @@ func DefaultOptions() Options {
 
 // config builds the core.Config for one cell of the sweep matrix:
 // Base (or core.DefaultConfig when Base is zero) with the cell's
-// workload and protocol, plus the deprecated field overrides.
+// workload and protocol.
 func (opt Options) config(wl, protocol string) core.Config {
 	cfg := opt.Base
 	if cfg.Tiles == 0 {
@@ -94,21 +86,6 @@ func (opt Options) config(wl, protocol string) core.Config {
 	}
 	cfg.Protocol = protocol
 	cfg.Workload = wl
-	if opt.RefsPerCore != 0 {
-		cfg.RefsPerCore = opt.RefsPerCore
-	}
-	if opt.WarmupRefs != 0 {
-		cfg.WarmupRefs = opt.WarmupRefs
-	}
-	if opt.Seed != 0 {
-		cfg.Seed = opt.Seed
-	}
-	if opt.AltPlacement {
-		cfg.AltPlacement = true
-	}
-	if opt.Dedup {
-		cfg.Dedup = true
-	}
 	return cfg
 }
 

@@ -13,8 +13,8 @@ func smallMatrix(t *testing.T) *Matrix {
 	t.Helper()
 	opt := DefaultOptions()
 	opt.Workloads = []string{"apache4x16p", "tomcatv4x16p"}
-	opt.RefsPerCore = 5000
-	opt.WarmupRefs = 15000
+	opt.Base.RefsPerCore = 5000
+	opt.Base.WarmupRefs = 15000
 	m, err := Run(opt, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -156,9 +156,9 @@ func TestDedupSavingsSurfaceInResults(t *testing.T) {
 	}
 }
 
-// TestOptionsBaseDerivation checks the Base/deprecated-field contract
-// of Options.config: cells derive from Base, the deprecated
-// pass-throughs still override it, and a zero Base falls back to
+// TestOptionsBaseDerivation checks the Base contract of
+// Options.config: cells derive from Base verbatim (only workload and
+// protocol are overwritten), and a zero Base falls back to
 // core.DefaultConfig.
 func TestOptionsBaseDerivation(t *testing.T) {
 	// Base alone drives the cell.
@@ -167,27 +167,16 @@ func TestOptionsBaseDerivation(t *testing.T) {
 	opt.Base.WarmupRefs = 2222
 	opt.Base.Seed = 9
 	opt.Base.Dedup = false
+	opt.Base.AltPlacement = true
 	opt.Base.Areas = 16
+	opt.Base.Shards = 2
 	cfg := opt.config("jbb4x16p", "arin")
 	if cfg.Workload != "jbb4x16p" || cfg.Protocol != "arin" {
 		t.Errorf("cell identity wrong: %s/%s", cfg.Workload, cfg.Protocol)
 	}
-	if cfg.RefsPerCore != 1111 || cfg.WarmupRefs != 2222 || cfg.Seed != 9 || cfg.Dedup || cfg.Areas != 16 {
+	if cfg.RefsPerCore != 1111 || cfg.WarmupRefs != 2222 || cfg.Seed != 9 ||
+		cfg.Dedup || !cfg.AltPlacement || cfg.Areas != 16 || cfg.Shards != 2 {
 		t.Errorf("Base not honored: %+v", cfg)
-	}
-
-	// Deprecated pass-throughs override Base when set.
-	opt = DefaultOptions()
-	opt.RefsPerCore = 777
-	opt.WarmupRefs = 888
-	opt.Seed = 5
-	opt.AltPlacement = true
-	cfg = opt.config("apache4x16p", "dico")
-	if cfg.RefsPerCore != 777 || cfg.WarmupRefs != 888 || cfg.Seed != 5 || !cfg.AltPlacement {
-		t.Errorf("deprecated overrides not honored: %+v", cfg)
-	}
-	if !cfg.Dedup {
-		t.Error("default dedup lost")
 	}
 
 	// Zero-value Options still produce a runnable default config.

@@ -94,6 +94,12 @@ type Network struct {
 	stats     Stats
 	obs       Observer // nil = no tap
 
+	// Sharded delivery (SetSharding): each tile's arrivals are scheduled
+	// on its shard's kernel lane, and cross-shard deliveries are checked
+	// against the conservative lookahead. nil = all deliveries on kernel.
+	deliver []*sim.Kernel // [tile] delivery kernel
+	shardOf []int         // [tile] shard index
+
 	// Scratch buffer reused across calls to keep the broadcast hot
 	// path allocation-free. Fully rewritten before use and never live
 	// past the call that fills it (deliveries are scheduled through
@@ -115,6 +121,80 @@ func New(kernel *sim.Kernel, grid topo.Grid, cfg Config) *Network {
 
 // SetObserver attaches (or with nil detaches) the message tap.
 func (n *Network) SetObserver(o Observer) { n.obs = o }
+
+// SetSharding routes each tile's deliveries to its shard's kernel lane:
+// deliver[shardOf[t]] is the kernel that dispatches arrivals at tile t.
+// The mesh is the only cross-shard channel in the system, so this is
+// the single place conservative sharding touches message flow; the
+// per-delivery lookahead assert below is the ownership guarantee the
+// executors rely on. Pass (nil, nil) to revert to single-kernel mode.
+func (n *Network) SetSharding(deliver []*sim.Kernel, shardOf []int) {
+	if deliver == nil {
+		n.deliver, n.shardOf = nil, nil
+		return
+	}
+	if len(shardOf) != n.grid.Tiles() {
+		panic(fmt.Sprintf("mesh: shard map covers %d tiles, grid has %d", len(shardOf), n.grid.Tiles()))
+	}
+	kernels := make([]*sim.Kernel, n.grid.Tiles())
+	for t, s := range shardOf {
+		if s < 0 || s >= len(deliver) {
+			panic(fmt.Sprintf("mesh: tile %d mapped to shard %d of %d", t, s, len(deliver)))
+		}
+		kernels[t] = deliver[s]
+	}
+	n.deliver, n.shardOf = kernels, shardOf
+}
+
+// Lookahead returns the conservative synchronization horizon the mesh
+// guarantees: any message between distinct tiles takes at least one
+// full hop (link + switch + router), so a shard never receives work
+// less than Lookahead cycles in the future from another shard.
+func (n *Network) Lookahead() sim.Time { return n.hopLatency() }
+
+// BoundaryLinks counts the directed mesh links whose endpoints lie in
+// different shards under the tile->shard map — the communication
+// surface a partition exposes (fewer boundary links means less
+// cross-shard traffic to synchronize).
+func BoundaryLinks(grid topo.Grid, shardOf []int) int {
+	if len(shardOf) != grid.Tiles() {
+		panic("mesh: shard map does not cover the grid")
+	}
+	cross := 0
+	for t := 0; t < grid.Tiles(); t++ {
+		x, y := grid.Coord(topo.Tile(t))
+		if x+1 < grid.Cols && shardOf[t] != shardOf[grid.At(x+1, y)] {
+			cross += 2 // east + west
+		}
+		if y+1 < grid.Rows && shardOf[t] != shardOf[grid.At(x, y+1)] {
+			cross += 2 // south + north
+		}
+	}
+	return cross
+}
+
+// deliverKernel returns the kernel that dispatches arrivals at dst.
+func (n *Network) deliverKernel(dst topo.Tile) *sim.Kernel {
+	if n.deliver == nil {
+		return n.kernel
+	}
+	return n.deliver[dst]
+}
+
+// checkLookahead asserts the conservative-PDES ownership contract on a
+// cross-shard delivery: the arrival must lie at least one hop latency
+// past injection time. Unreachable for a correctly routed message (a
+// cross-shard message crosses >= 1 boundary link by construction), so
+// a hit means the partition or the timing model was broken.
+func (n *Network) checkLookahead(src, dst topo.Tile, now, at sim.Time) {
+	if n.shardOf == nil || n.shardOf[src] == n.shardOf[dst] {
+		return
+	}
+	if at < now+n.hopLatency() {
+		panic(fmt.Sprintf("mesh: cross-shard delivery %d->%d at +%d cycles, below lookahead %d",
+			src, dst, at-now, n.hopLatency()))
+	}
+}
 
 // LinkFlits copies the per-directed-link flit counters into dst
 // (allocating when dst is too small) and returns it. Index layout is
@@ -162,9 +242,14 @@ func (n *Network) Grid() topo.Grid { return n.grid }
 // Config returns the network configuration.
 func (n *Network) Config() Config { return n.cfg }
 
-func (n *Network) hopLatency() sim.Time {
-	return sim.Time(n.cfg.LinkCycles + n.cfg.SwitchCycles + n.cfg.RouterCycles)
+// HopLatency returns the head latency of one full mesh hop (link +
+// switch + router). It doubles as the conservative sharding lookahead:
+// no message between distinct tiles can arrive sooner.
+func (c Config) HopLatency() sim.Time {
+	return sim.Time(c.LinkCycles + c.SwitchCycles + c.RouterCycles)
 }
+
+func (n *Network) hopLatency() sim.Time { return n.cfg.HopLatency() }
 
 // reserveLink reserves the directed link (tile, dir) for flits cycles
 // starting no earlier than at; it returns the actual start time.
@@ -219,7 +304,7 @@ func (n *Network) send(src, dst topo.Tile, flits int, run func(), argFn func(any
 		lat := sim.Time(n.cfg.SwitchCycles + n.cfg.RouterCycles)
 		n.stats.RouterTraversals++
 		n.stats.TotalLatency += uint64(lat)
-		n.schedule(now+lat, run, argFn, arg)
+		n.schedule(dst, now+lat, run, argFn, arg)
 		if n.obs != nil {
 			n.obs.Message(src, dst, flits, now, now+lat, 0)
 		}
@@ -261,19 +346,22 @@ func (n *Network) send(src, dst topo.Tile, flits int, run func(), argFn func(any
 	n.stats.RouterTraversals += uint64(hops + 1)
 	n.stats.TotalHops += uint64(hops)
 	n.stats.TotalLatency += uint64(lat)
-	n.schedule(now+lat, run, argFn, arg)
+	n.checkLookahead(src, dst, now, now+lat)
+	n.schedule(dst, now+lat, run, argFn, arg)
 	if n.obs != nil {
 		n.obs.Message(src, dst, flits, now, now+lat, hops)
 	}
 	return Delivery{Latency: lat, Hops: hops, Routers: hops + 1}
 }
 
-// schedule dispatches to the kernel's closure or argument form.
-func (n *Network) schedule(at sim.Time, run func(), argFn func(any), arg any) {
+// schedule dispatches to the destination tile's kernel, through the
+// closure or argument form.
+func (n *Network) schedule(dst topo.Tile, at sim.Time, run func(), argFn func(any), arg any) {
+	k := n.deliverKernel(dst)
 	if argFn != nil {
-		n.kernel.AtArg(at, argFn, arg)
+		k.AtArg(at, argFn, arg)
 	} else {
-		n.kernel.At(at, run)
+		k.At(at, run)
 	}
 }
 
@@ -348,7 +436,8 @@ func (n *Network) Broadcast(src topo.Tile, flits int, deliver func(dst topo.Tile
 		if lat > maxLat {
 			maxLat = lat
 		}
-		n.kernel.AtArg(at+sim.Time(flits-1), deliverTo, t)
+		n.checkLookahead(src, t, now, at+sim.Time(flits-1))
+		n.deliverKernel(t).AtArg(at+sim.Time(flits-1), deliverTo, t)
 	}
 	routers := n.grid.Tiles() // every router forwards/ejects the message
 	n.stats.FlitLinkCrossing += uint64(links * flits)

@@ -1,0 +1,527 @@
+// Conservative parallel discrete-event simulation over a group of
+// kernels ("lanes"), one per mesh shard.
+//
+// A ShardedKernel coordinates N ordinary Kernels so that one simulation
+// can be partitioned across them while dispatching events in EXACTLY
+// the order a single serial kernel would. Two executors share the same
+// state and invariants:
+//
+//   - The sequential merge (Step/Run/RunUntil) picks, at every step,
+//     the globally earliest (time, seq) event across all lanes,
+//     advances every other lane's clock to that timestamp, and
+//     dispatches it. Because every schedule call is stamped with a
+//     global sequence number (Kernel.scheduleSharded) and the serial
+//     kernel's dispatch order is precisely (time, schedule order), the
+//     merge is provably bit-identical to a serial run — it is the
+//     correctness anchor the crosscheck fingerprint gate verifies, and
+//     the executor the full system runs on today (engine events still
+//     take synchronous cross-tile shortcuts, so they all live on the
+//     hub lane; see DESIGN.md §13).
+//
+//   - The parallel window executor (RunParallel) runs lanes
+//     concurrently in conservative lookahead windows: all lanes execute
+//     [H, H+lookahead) independently, where H is the global minimum
+//     next-event time and lookahead is the minimum cross-shard latency
+//     (one mesh hop). Cross-shard messages go through Send into
+//     per-window outboxes and are exchanged at the barrier. Stamps
+//     issued inside a window are provisional; the barrier replays the
+//     window's dispatch logs in merged (time, seq) order and assigns
+//     the exact sequence numbers the sequential merge would have,
+//     patching pending events in place. It requires shard-affine
+//     events (a lane's handlers touch only that lane's state), which
+//     the full system does not yet satisfy — it is exercised and
+//     race-proven at the kernel level.
+package sim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// provBit marks a provisional sequence stamp issued inside a parallel
+// window: bit 63 set, lane index in bits 48..62, a per-lane counter
+// below. Provisional stamps are unique within a window and numerically
+// larger than every final stamp, so a final-vs-provisional comparison
+// already orders correctly (the provisional event was scheduled later).
+const provBit = uint64(1) << 63
+
+// schedKind distinguishes window-logged schedule calls.
+type schedKind uint8
+
+const (
+	schedLocal   schedKind = iota // same-lane event (wheel or overflow; relabeled by scan)
+	schedChannel                  // cross-shard outbox; idx = outbox position
+)
+
+// schedEnt records one schedule call made during a parallel window.
+type schedEnt struct {
+	prov uint64
+	idx  int32
+	kind schedKind
+}
+
+// dispatchEnt records one dispatch during a parallel window: the event's
+// timestamp, its stamp at dispatch time (final if it was pending before
+// the window, provisional if scheduled inside it), and the length of
+// the schedule log when the handler started — entries from there to the
+// next dispatch's mark are the calls this handler made, in order.
+type dispatchEnt struct {
+	at         Time
+	seq        uint64
+	schedStart int32
+}
+
+// outMsg is one cross-shard message awaiting exchange at the barrier.
+type outMsg struct {
+	at  Time
+	to  int32
+	val evPayload
+}
+
+// windowLog is one lane's record of a parallel window.
+type windowLog struct {
+	sched    []schedEnt
+	dispatch []dispatchEnt
+	out      []outMsg
+	nprov    uint64 // provisional stamps issued this window
+}
+
+// ShardedKernel coordinates a group of kernels as one logical
+// discrete-event scheduler. Create one with NewSharded. Lane 0 is the
+// hub: it carries the run's primary random stream (so construction-time
+// Fork order matches a serial run) and hosts chip-global machinery.
+type ShardedKernel struct {
+	kernels   []*Kernel
+	lookahead Time
+
+	now    Time
+	seq    uint64 // next global schedule stamp
+	tag    uint64 // shared causal tag cell (see Kernel.Tag)
+	active int32  // lane currently dispatching (sequential merge), -1 idle
+
+	wlogs []windowLog // per-lane window logs, reused across windows
+}
+
+// NewSharded builds a group of shards kernels. The hub (lane 0) is
+// seeded with seed exactly as NewKernel(seed) would be, so code that
+// forks construction-time random streams off the hub sees the same
+// sequence as a serial run. Other lanes get derived seeds; their
+// streams are untouched by the simulator and exist only so a lane is a
+// complete Kernel. lookahead is the conservative horizon: the minimum
+// latency of any cross-shard event, in cycles (one mesh hop for the
+// CMP mesh). It must be >= 1.
+func NewSharded(seed uint64, shards int, lookahead Time) *ShardedKernel {
+	if shards < 1 {
+		panic(fmt.Sprintf("sim: NewSharded with %d shards", shards))
+	}
+	if lookahead < 1 {
+		panic(fmt.Sprintf("sim: NewSharded with lookahead %d (must be >= 1)", lookahead))
+	}
+	sk := &ShardedKernel{
+		kernels:   make([]*Kernel, shards),
+		lookahead: lookahead,
+		active:    -1,
+		wlogs:     make([]windowLog, shards),
+	}
+	for i := range sk.kernels {
+		s := seed
+		if i > 0 {
+			// splitmix-style derivation: distinct, deterministic, and never
+			// colliding with the hub seed in practice. These streams are
+			// never drawn from; any value would do.
+			s = (seed + uint64(i)*0x9e3779b97f4a7c15) ^ 0xd1b54a32d192ed03
+		}
+		k := NewKernel(s)
+		k.shard = sk
+		k.shardIdx = int32(i)
+		sk.kernels[i] = k
+	}
+	return sk
+}
+
+// stamp returns the next schedule stamp for a schedule call on lane k:
+// the global counter normally, a provisional per-lane stamp while a
+// parallel window is executing (the barrier assigns finals).
+func (sk *ShardedKernel) stamp(k *Kernel) uint64 {
+	if k.wlog != nil {
+		k.wlog.nprov++
+		return provBit | uint64(k.shardIdx)<<48 | k.wlog.nprov
+	}
+	s := sk.seq
+	sk.seq++
+	return s
+}
+
+// NumShards returns the number of lanes.
+func (sk *ShardedKernel) NumShards() int { return len(sk.kernels) }
+
+// Shard returns lane i's kernel. Events scheduled on it are stamped
+// into the group's global order.
+func (sk *ShardedKernel) Shard(i int) *Kernel { return sk.kernels[i] }
+
+// Hub returns lane 0, the kernel carrying chip-global machinery and the
+// run's primary random stream.
+func (sk *ShardedKernel) Hub() *Kernel { return sk.kernels[0] }
+
+// Lookahead returns the conservative horizon in cycles.
+func (sk *ShardedKernel) Lookahead() Time { return sk.lookahead }
+
+// Now returns the global simulation time: the timestamp of the last
+// dispatched event (every lane's clock is kept at this value between
+// dispatches, so lane Now() reads agree).
+func (sk *ShardedKernel) Now() Time { return sk.now }
+
+// Pending returns the number of events waiting across all lanes.
+func (sk *ShardedKernel) Pending() int {
+	n := 0
+	for _, k := range sk.kernels {
+		n += k.pendingLocal()
+	}
+	return n
+}
+
+// EventsRun returns the total events executed across all lanes.
+func (sk *ShardedKernel) EventsRun() uint64 {
+	var n uint64
+	for _, k := range sk.kernels {
+		n += k.events
+	}
+	return n
+}
+
+// ActiveShard returns the lane whose event is currently dispatching
+// under the sequential merge, or -1 between dispatches. Shard-affinity
+// asserts (e.g. a tile driver checking it woke on its own lane) read
+// it.
+func (sk *ShardedKernel) ActiveShard() int { return int(sk.active) }
+
+// SetProfile attaches (or detaches) one dispatch profiler to every
+// lane. Counts aggregate across lanes into the single Profile; under
+// the sequential merge the totals and the queue-depth histogram are
+// bit-identical to a serial run's (Kernel.Step observes the chip-wide
+// depth when sharded). Do not profile RunParallel — concurrent lanes
+// would race on the shared counters.
+func (sk *ShardedKernel) SetProfile(p *Profile) {
+	for _, k := range sk.kernels {
+		k.prof = p
+	}
+}
+
+// peekMin returns the lane holding the globally earliest (time, seq)
+// event and its key.
+func (sk *ShardedKernel) peekMin() (int, evKey, bool) {
+	best := -1
+	var bestKey evKey
+	for i, k := range sk.kernels {
+		key, ok := k.peekKey()
+		if !ok {
+			continue
+		}
+		if best < 0 || key.before(bestKey) {
+			best, bestKey = i, key
+		}
+	}
+	return best, bestKey, best >= 0
+}
+
+// stepLane advances every other lane's clock to the chosen event's
+// timestamp, then dispatches it. Advancing first means any Now() read
+// or schedule call the handler makes against another lane sees the
+// dispatch time, exactly as in a serial run.
+func (sk *ShardedKernel) stepLane(lane int, at Time) {
+	for i, k := range sk.kernels {
+		if i != lane {
+			k.advanceTo(at)
+		}
+	}
+	sk.active = int32(lane)
+	sk.kernels[lane].Step()
+	sk.active = -1
+	sk.now = at
+}
+
+// Step executes the globally earliest pending event under the
+// sequential merge, advancing all lanes' clocks to its timestamp. It
+// reports whether an event was executed.
+func (sk *ShardedKernel) Step() bool {
+	lane, key, ok := sk.peekMin()
+	if !ok {
+		return false
+	}
+	sk.stepLane(lane, key.at)
+	return true
+}
+
+// Run executes events under the sequential merge until the queues drain
+// or the clock passes limit (limit 0 means no limit). It returns the
+// number of events executed.
+func (sk *ShardedKernel) Run(limit Time) uint64 {
+	start := sk.EventsRun()
+	for {
+		lane, key, ok := sk.peekMin()
+		if !ok {
+			break
+		}
+		if limit != 0 && key.at > limit {
+			for _, k := range sk.kernels {
+				k.advanceTo(limit)
+			}
+			sk.now = limit
+			break
+		}
+		sk.stepLane(lane, key.at)
+	}
+	return sk.EventsRun() - start
+}
+
+// RunUntil executes events under the sequential merge while cond
+// returns false and events remain. It returns the number executed.
+func (sk *ShardedKernel) RunUntil(cond func() bool) uint64 {
+	start := sk.EventsRun()
+	for sk.Pending() > 0 && !cond() {
+		sk.Step()
+	}
+	return sk.EventsRun() - start
+}
+
+// State captures the group's merged kernel state for a snapshot. All
+// lanes must be quiescent. The merged view is what a serial run of the
+// same events would have recorded: the global clock, the global stamp
+// counter, the shared tag, the summed dispatch count, and the hub's
+// random stream (non-hub streams are never drawn). A snapshot captured
+// from a sharded run therefore restores into a serial kernel and vice
+// versa.
+func (sk *ShardedKernel) State() (KernelState, error) {
+	if n := sk.Pending(); n > 0 {
+		return KernelState{}, fmt.Errorf("sim: sharded kernel not quiescent: %d events pending", n)
+	}
+	return KernelState{
+		Now:    sk.now,
+		Seq:    sk.seq,
+		Tag:    sk.tag,
+		Events: sk.EventsRun(),
+		Rand:   sk.Hub().rng.State(),
+	}, nil
+}
+
+// RestoreState overwrites the group's clocks, counters and the hub
+// random stream with a captured state. All lanes must be empty. The
+// dispatch total lands on the hub so EventsRun sums correctly.
+func (sk *ShardedKernel) RestoreState(st KernelState) error {
+	if n := sk.Pending(); n > 0 {
+		return fmt.Errorf("sim: cannot restore into a sharded kernel with %d pending events", n)
+	}
+	for _, k := range sk.kernels {
+		k.now = st.Now
+		k.events = 0
+	}
+	hub := sk.Hub()
+	hub.events = st.Events
+	hub.rng.SetState(st.Rand)
+	sk.now = st.Now
+	sk.seq = st.Seq
+	sk.tag = st.Tag
+	return nil
+}
+
+// Send schedules fn(arg) delay cycles from now on lane to, from a
+// handler running on lane k. Same-lane sends are plain AfterArg calls.
+// Cross-lane sends must respect the conservative horizon (delay >=
+// lookahead) — under the sequential merge that is merely asserted, but
+// the parallel executor depends on it: the message is captured in the
+// sending lane's outbox and exchanged at the window barrier, and the
+// horizon guarantees it lands strictly after the window that sent it.
+func (k *Kernel) Send(to int, delay Time, fn func(any), arg any) {
+	sk := k.shard
+	if sk == nil || int32(to) == k.shardIdx {
+		k.AfterArg(delay, fn, arg)
+		return
+	}
+	if delay < sk.lookahead {
+		panic(fmt.Sprintf("sim: cross-shard send %d->%d with delay %d below lookahead %d",
+			k.shardIdx, to, delay, sk.lookahead))
+	}
+	at := k.now + delay
+	val := evPayload{tag: k.curTag(), argFn: fn, arg: arg}
+	if k.wlog != nil {
+		val.seq = sk.stamp(k)
+		k.wlog.out = append(k.wlog.out, outMsg{at: at, to: int32(to), val: val})
+		k.wlog.sched = append(k.wlog.sched,
+			schedEnt{prov: val.seq, kind: schedChannel, idx: int32(len(k.wlog.out) - 1)})
+		return
+	}
+	// Sequential merge: the target lane's clock equals this lane's, so a
+	// direct stamped schedule is exact.
+	sk.kernels[to].schedule(at, val)
+}
+
+// RunParallel executes events with lanes running concurrently in
+// conservative lookahead windows, until the queues drain or the clock
+// passes limit (limit 0 means no limit). After every barrier the
+// group's pending events carry exactly the sequence stamps the
+// sequential merge would have assigned, so the two executors are
+// interchangeable at window boundaries.
+//
+// It requires shard-affine events: a handler running on lane i may
+// touch only lane-i state and communicate with other lanes via Send.
+// The full coherence system does not yet satisfy that (engine handlers
+// take synchronous cross-tile shortcuts), so core runs use the
+// sequential merge; RunParallel is exercised by kernel-level workloads
+// and the race detector. Profiling must be detached.
+func (sk *ShardedKernel) RunParallel(limit Time) uint64 {
+	start := sk.EventsRun()
+	var wg sync.WaitGroup
+	for {
+		// H: the global safe horizon's base — no lane can produce work for
+		// another below H+lookahead, so [H, H+lookahead) is safe to run
+		// without hearing from anyone.
+		h := Time(0)
+		any := false
+		for _, k := range sk.kernels {
+			if t, ok := k.nextTime(); ok && (!any || t < h) {
+				h, any = t, true
+			}
+		}
+		if !any {
+			break
+		}
+		if limit != 0 && h > limit {
+			for _, k := range sk.kernels {
+				k.advanceTo(limit)
+			}
+			sk.now = limit
+			break
+		}
+		winEnd := h + sk.lookahead - 1
+		if limit != 0 && winEnd > limit {
+			winEnd = limit
+		}
+		for i, k := range sk.kernels {
+			wl := &sk.wlogs[i]
+			wl.sched = wl.sched[:0]
+			wl.dispatch = wl.dispatch[:0]
+			wl.out = wl.out[:0]
+			wl.nprov = 0
+			k.wlog = wl
+			wg.Add(1)
+			go func(k *Kernel) {
+				defer wg.Done()
+				k.runWindow(winEnd)
+			}(k)
+		}
+		wg.Wait()
+		for _, k := range sk.kernels {
+			k.wlog = nil
+		}
+		sk.barrier(winEnd)
+		sk.now = winEnd
+	}
+	return sk.EventsRun() - start
+}
+
+// barrier reconciles a finished parallel window: it replays the lanes'
+// dispatch logs in merged (time, seq) order, assigns every schedule
+// call the exact global stamp the sequential merge would have issued,
+// patches still-pending events in place, and exchanges the cross-shard
+// outboxes.
+func (sk *ShardedKernel) barrier(winEnd Time) {
+	n := len(sk.kernels)
+	heads := make([]int, n)
+	// provToFinal resolves a provisional stamp once its schedule call has
+	// been replayed. A dispatch whose stamp is still unresolvable cannot
+	// be the global minimum: its scheduling parent precedes it in merged
+	// order and has not been consumed yet.
+	provToFinal := make(map[uint64]uint64)
+	for {
+		best := -1
+		var bestKey evKey
+		for i := range sk.kernels {
+			wl := &sk.wlogs[i]
+			if heads[i] >= len(wl.dispatch) {
+				continue
+			}
+			d := wl.dispatch[heads[i]]
+			seq := d.seq
+			if seq >= provBit {
+				f, ok := provToFinal[seq]
+				if !ok {
+					continue
+				}
+				seq = f
+			}
+			key := evKey{at: d.at, seq: seq}
+			if best < 0 || key.before(bestKey) {
+				best, bestKey = i, key
+			}
+		}
+		if best < 0 {
+			break
+		}
+		wl := &sk.wlogs[best]
+		d := wl.dispatch[heads[best]]
+		end := int32(len(wl.sched))
+		if heads[best]+1 < len(wl.dispatch) {
+			end = wl.dispatch[heads[best]+1].schedStart
+		}
+		for j := d.schedStart; j < end; j++ {
+			se := wl.sched[j]
+			f := sk.seq
+			sk.seq++
+			provToFinal[se.prov] = f
+			if se.kind == schedChannel {
+				wl.out[se.idx].val.seq = f
+			}
+		}
+		heads[best]++
+	}
+	for i := range sk.kernels {
+		if heads[i] < len(sk.wlogs[i].dispatch) {
+			panic("sim: parallel barrier could not resolve dispatch order (non-shard-affine events?)")
+		}
+	}
+	// Relabel pending provisional stamps by scanning the lane's arena
+	// and overflow heap (a mid-window clock advance may have migrated a
+	// provisional entry into the wheel, so both structures are scanned;
+	// freed arena nodes carry a zeroed payload and are skipped). The
+	// relabeling is order-preserving — per-lane provisional order equals
+	// final-assignment order, and every new final exceeds every
+	// pre-window stamp — so slot FIFO lists stay sorted by stamp and the
+	// heap invariant survives a pure relabel.
+	for i, k := range sk.kernels {
+		if sk.wlogs[i].nprov == 0 {
+			k.advanceTo(winEnd)
+			continue
+		}
+		for j := range k.nodes {
+			if s := k.nodes[j].val.seq; s >= provBit {
+				f, ok := provToFinal[s]
+				if !ok {
+					panic("sim: unresolved provisional stamp in wheel")
+				}
+				k.nodes[j].val.seq = f
+			}
+		}
+		for j := range k.ofVals {
+			if s := k.ofVals[j].seq; s >= provBit {
+				f, ok := provToFinal[s]
+				if !ok {
+					panic("sim: unresolved provisional stamp in overflow heap")
+				}
+				k.ofVals[j].seq = f
+				k.ofKeys[j].seq = f
+			}
+		}
+		k.advanceTo(winEnd)
+	}
+	// Exchange outboxes. Conservative lookahead puts every arrival
+	// strictly past winEnd, and insertArrival splices by stamp, so
+	// arrival order across lanes is immaterial.
+	for i := range sk.kernels {
+		for _, m := range sk.wlogs[i].out {
+			if m.val.seq >= provBit {
+				panic("sim: unresolved provisional stamp in outbox")
+			}
+			sk.kernels[m.to].insertArrival(m.at, m.val)
+		}
+	}
+}

@@ -287,3 +287,60 @@ func TestWatchdogRearmsAfterFork(t *testing.T) {
 		t.Fatalf("watchdog tripped on a healthy forked run: %v", err)
 	}
 }
+
+// TestForkAcrossExecutors pins the executor-agnosticism of the
+// snapshot surface: one warmup forks into serial AND sharded measure
+// phases (and a sharded warmup forks into a serial measure), all
+// bit-identical to the straight-through serial run. WarmupConfig
+// normalizes Shards away, so the snapshots are interchangeable by
+// construction — this test proves the captured state really is.
+func TestForkAcrossExecutors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full protocol runs")
+	}
+	cfg := testConfig("dico")
+	straight, err := core.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fingerprint(straight)
+
+	// Serial warmup -> sharded measure (runFork warms up under the
+	// normalized config, which is serial; the fork config shards).
+	shardedCfg := cfg
+	shardedCfg.Shards = 3
+	diffFingerprints(t, "serial-warmup/sharded-measure", want, fingerprint(runFork(t, shardedCfg)))
+
+	// Sharded warmup -> serial measure.
+	warmCfg := WarmupConfig(cfg)
+	warmCfg.RefsPerCore = cfg.RefsPerCore
+	warmCfg.Shards = 2
+	ws, err := core.NewSystem(warmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.RunWarmup(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := Capture(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := Bytes(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, err := Fork(st2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := fs.RunMeasure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diffFingerprints(t, "sharded-warmup/serial-measure", want, fingerprint(res))
+}
