@@ -22,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // KernelBench reports the scheduler microbenchmark: steady-state
@@ -49,8 +50,9 @@ type EndToEnd struct {
 	RefsPerCore int                   `json:"refs_per_core"`
 	WarmupRefs  int                   `json:"warmup_refs"`
 	Tiles       int                   `json:"tiles"`
-	Shards      int                   `json:"shards"` // conservative-PDES shard count (0 = single kernel)
-	Reps        int                   `json:"reps"`   // timed repetitions per protocol; best wall clock reported
+	Shards      int                   `json:"shards"`       // conservative-PDES shard count (0 = single kernel)
+	Reps        int                   `json:"reps"`         // timed repetitions per protocol; best wall clock reported
+	Instrument  bool                  `json:"instrumented"` // census + per-VM attribution + sampling armed (-obs)
 	Protocols   map[string]ProtoBench `json:"protocols"`
 	RefsPerSec  float64               `json:"total_refs_per_sec"`
 }
@@ -75,8 +77,19 @@ func main() {
 	tolerance := flag.Float64("tolerance", 0.15, "with -compare: maximum fractional throughput regression per benchmark")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the end-to-end sweep to this file (analyze with `go tool pprof`)")
 	memprofile := flag.String("memprofile", "", "write an allocation profile (after the sweep) to this file")
+	obsOn := flag.Bool("obs", false, "arm the full observability surface during the end-to-end sweep (touch census, per-VM attribution, epoch sampling) — compare against an unarmed baseline to measure observability overhead")
+	lanetrace := flag.String("lanetrace", "", "run a kernel-level RunParallel workload, write its per-lane Perfetto trace to this file, and exit (uses -shards, default 4)")
+	httpAddr := flag.String("http", "", "with -lanetrace: serve the per-lane profile on this address (/ heatmap, /metrics) and block for inspection")
 	flag.Parse()
 	shared.Finish()
+
+	if *lanetrace != "" {
+		if err := laneTrace(*lanetrace, benchCfg.Shards, *httpAddr); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	mode, refs, warmup, kernelEvents := "full", 6000, 12000, uint64(8_000_000)
 	if *smoke {
@@ -106,7 +119,7 @@ func main() {
 		}
 		defer f.Close()
 	}
-	e2e, err := endToEnd(refs, warmup, *reps, benchCfg.Shards)
+	e2e, err := endToEnd(refs, warmup, *reps, benchCfg.Shards, *obsOn)
 	if *cpuprofile != "" {
 		pprof.StopCPUProfile()
 	}
@@ -151,6 +164,78 @@ func main() {
 	}
 }
 
+// laneTrace drives the parallel window executor on a synthetic
+// shard-affine workload — each lane runs a self-rescheduling event
+// chain that periodically Sends to its neighbor lane — with a
+// sim.LaneProfile attached, then exports the per-window lane tracks as
+// a Perfetto trace and re-validates the written file. The engines
+// still take synchronous cross-tile shortcuts, so this is the
+// kernel-level stand-in for a full-system RunParallel run (the touch
+// census ranks the work left to close that gap).
+func laneTrace(path string, shards int, httpAddr string) error {
+	if shards < 2 {
+		shards = 4
+	}
+	const (
+		lookahead = 3
+		limit     = 20_000
+	)
+	sk := sim.NewSharded(1, shards, lookahead)
+	lp := &sim.LaneProfile{}
+	sk.SetLaneProfile(lp)
+	counts := make([]uint64, shards) // each lane writes only its own slot
+	var hop func(any)
+	hop = func(a any) {
+		lane := a.(int)
+		counts[lane]++
+		k := sk.Shard(lane)
+		if counts[lane]%3 == 0 {
+			next := (lane + 1) % shards
+			k.Send(next, lookahead+sim.Time(counts[lane]%5), hop, next)
+			return
+		}
+		k.AfterArg(1+sim.Time(counts[lane]%4), hop, lane)
+	}
+	for i := 0; i < shards; i++ {
+		sk.Shard(i).AfterArg(sim.Time(i%7), hop, i)
+	}
+	events := sk.RunParallel(limit)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WritePerfettoLanes(f, lp); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	rf, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer rf.Close()
+	sum, err := telemetry.ValidatePerfetto(rf)
+	if err != nil {
+		return fmt.Errorf("%s failed validation: %w", path, err)
+	}
+	fmt.Fprintf(os.Stderr,
+		"lanetrace: %d lanes, %d windows (%d retained rows, %d stalls), %d events -> %s (%d trace events)\n",
+		lp.Lanes, lp.TotalWindows, len(lp.Windows), lp.Stalls(), events, path, sum.Events)
+	if httpAddr != "" {
+		live := telemetry.NewLive()
+		addr, err := telemetry.Serve(httpAddr, live)
+		if err != nil {
+			return err
+		}
+		live.UpdateLanes("lanetrace", lp)
+		fmt.Fprintf(os.Stderr, "lane profile live at http://%s/ and /metrics — ctrl-C to exit\n", addr)
+		select {}
+	}
+	return nil
+}
+
 // compareBench prints per-benchmark deltas of fresh against the saved
 // baseline and returns an error if any throughput regressed by more
 // than tolerance. Wall-clock numbers depend on the reference budget,
@@ -177,6 +262,13 @@ func compareBench(path string, fresh *Bench, tolerance float64) error {
 		fmt.Printf("  baseline shards %d != current shards %d — deltas reported, regression gate skipped\n",
 			base.EndToEnd.Shards, fresh.EndToEnd.Shards)
 	}
+	if base.EndToEnd.Instrument != fresh.EndToEnd.Instrument {
+		// The gate stays armed on purpose: comparing an instrumented run
+		// against an unarmed baseline of the same mode IS the
+		// observability-overhead gate.
+		fmt.Printf("  instrumented: baseline %v, current %v — delta is the observability overhead\n",
+			base.EndToEnd.Instrument, fresh.EndToEnd.Instrument)
+	}
 	type row struct {
 		name      string
 		base, cur float64 // higher is better (throughput)
@@ -193,14 +285,43 @@ func compareBench(path string, fresh *Bench, tolerance float64) error {
 	}
 	rows = append(rows, row{"total refs/s", base.EndToEnd.RefsPerSec, fresh.EndToEnd.RefsPerSec})
 	var regressed []string
+	deltas := map[string]float64{}
 	for _, r := range rows {
 		delta := r.cur/r.base - 1
+		deltas[r.name] = delta
 		mark := ""
 		if delta < -tolerance {
 			mark = "  << regression"
 			regressed = append(regressed, fmt.Sprintf("%s %.1f%%", r.name, -delta*100))
 		}
 		fmt.Printf("  %-18s %12.0f -> %12.0f  %+6.1f%%%s\n", r.name, r.base, r.cur, delta*100, mark)
+	}
+	// One machine-readable summary line per comparison, shard metadata
+	// included, so cross-shard comparisons are recorded rather than
+	// lost when the regression gate is disarmed.
+	summary := struct {
+		Tool           string             `json:"tool"`
+		Baseline       string             `json:"baseline"`
+		BaselineMode   string             `json:"baseline_mode"`
+		Mode           string             `json:"mode"`
+		BaselineShards int                `json:"baseline_shards"`
+		Shards         int                `json:"shards"`
+		BaselineObs    bool               `json:"baseline_instrumented"`
+		Obs            bool               `json:"instrumented"`
+		GateArmed      bool               `json:"gate_armed"`
+		Tolerance      float64            `json:"tolerance"`
+		Deltas         map[string]float64 `json:"deltas"`
+		Regressed      []string           `json:"regressed,omitempty"`
+	}{
+		Tool: "bench-compare", Baseline: path,
+		BaselineMode: base.Mode, Mode: fresh.Mode,
+		BaselineShards: base.EndToEnd.Shards, Shards: fresh.EndToEnd.Shards,
+		BaselineObs: base.EndToEnd.Instrument, Obs: fresh.EndToEnd.Instrument,
+		GateArmed: comparable, Tolerance: tolerance,
+		Deltas: deltas, Regressed: regressed,
+	}
+	if line, err := json.Marshal(&summary); err == nil {
+		fmt.Printf("compare-summary: %s\n", line)
 	}
 	if len(regressed) > 0 && comparable {
 		return fmt.Errorf("throughput regressed beyond %.0f%%: %s", tolerance*100, strings.Join(regressed, ", "))
@@ -238,11 +359,18 @@ func kernelBench(events uint64) KernelBench {
 // wall clock: a single timed run absorbs whatever garbage the previous
 // protocol left plus its own cold page faults, which showed up as
 // 10-20% run-to-run swings that have nothing to do with the simulator.
-func endToEnd(refs, warmup, reps, shards int) (EndToEnd, error) {
+func endToEnd(refs, warmup, reps, shards int, instrument bool) (EndToEnd, error) {
 	base := core.DefaultConfig()
 	base.RefsPerCore = refs
 	base.WarmupRefs = warmup
 	base.Shards = shards
+	if instrument {
+		// The full PR-9 observability surface, so -compare against an
+		// unarmed baseline of the same mode gates its overhead.
+		base.Census = true
+		base.PerVM = true
+		base.SampleEvery = 2000
+	}
 	e := EndToEnd{
 		Workload:    base.Workload,
 		RefsPerCore: refs,
@@ -250,6 +378,7 @@ func endToEnd(refs, warmup, reps, shards int) (EndToEnd, error) {
 		Tiles:       base.Tiles,
 		Shards:      shards,
 		Reps:        reps,
+		Instrument:  instrument,
 		Protocols:   map[string]ProtoBench{},
 	}
 	var totalRefs uint64

@@ -16,6 +16,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/proto"
+	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
 
@@ -26,7 +27,7 @@ func main() {
 	flag.StringVar(&cfg.Protocol, "protocol", cfg.Protocol, "coherence protocol: directory | dico | providers | arin")
 	protocols := flag.String("protocols", "", "comma-separated protocols to run concurrently and compare (overrides -protocol; 'all' = every protocol)")
 	flag.StringVar(&cfg.Workload, "workload", cfg.Workload, "Table IV workload (e.g. apache4x16p, jbb4x16p, mixed-sci)")
-	jsonOut := flag.String("json", "", "write an obs manifest (schema v2) with every run's full configuration and counters to this file")
+	jsonOut := flag.String("json", "", "write an obs manifest (schema v3) with every run's full configuration and counters to this file")
 	httpAddr := flag.String("http", "", "serve live telemetry (Prometheus /metrics, mesh heatmap, pprof, expvar) on this address; a bare :port binds localhost only")
 	flag.Parse()
 	shared.Finish()
@@ -217,5 +218,24 @@ func report(cfg core.Config, res *core.Result) {
 		if v := res.Counters.Value(name); v > 0 {
 			fmt.Printf("  %-16s %d\n", name, v)
 		}
+	}
+	if len(res.Census) > 0 {
+		fmt.Println()
+		fmt.Print(telemetry.CensusTable(
+			fmt.Sprintf("touch census: synchronous remote-tile accesses (%s, ranked by messageization cost)", cfg.Protocol),
+			res.Census))
+	}
+	if len(res.PerVM) > 0 {
+		fmt.Println()
+		t := stats.NewTable(fmt.Sprintf("per-VM attribution (%s)", cfg.Protocol),
+			"vm", "tiles", "refs", "cache pJ", "net pJ", "miss p50", "p99", "p999")
+		for i := range res.PerVM {
+			v := &res.PerVM[i]
+			t.AddRow(fmt.Sprint(v.VM), fmt.Sprint(v.Tiles), fmt.Sprint(v.Refs),
+				fmt.Sprintf("%.4g", v.Breakdown.CacheTotal()),
+				fmt.Sprintf("%.4g", v.Breakdown.Link+v.Breakdown.Routing),
+				fmt.Sprint(v.P50), fmt.Sprint(v.P99), fmt.Sprint(v.P999))
+		}
+		fmt.Print(t)
 	}
 }

@@ -18,13 +18,14 @@ import (
 
 	"repro/internal/exp"
 	"repro/internal/obs"
+	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
 
 func main() {
 	table := flag.String("table", "all", "analytic table to print: 5, 6, 7 or all")
 	from := flag.String("from", "", "obs manifest (file, or directory containing matrix.json) to regenerate figures from")
-	fig := flag.String("fig", "all", "with -from: figure to regenerate: 7, 8a, 8b, 9a, 9b, hops or all")
+	fig := flag.String("fig", "all", "with -from: figure to regenerate: 7, 8a, 8b, 9a, 9b, hops, census, pervm or all (census/pervm read per-run schema v3 fields and accept partial-matrix manifests)")
 	validate := flag.String("validate", "", "decode the given manifest, verify every run record round-trips (schema, counters, breakdown), and exit")
 	series := flag.String("series", "", "obs manifest to plot epoch time-series curves from (runs recorded with cmpsim -sample)")
 	validateTrace := flag.String("validate-trace", "", "validate the given Perfetto trace-event JSON (well-formed, monotonic timestamps, balanced async pairs, all spans closed) and exit")
@@ -85,6 +86,22 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tables:", err)
 			os.Exit(1)
 		}
+		// The per-run schema v3 views need no full matrix: a cmpsim
+		// single-run manifest renders too.
+		if *fig == "census" {
+			if !showCensus(m) {
+				fmt.Fprintln(os.Stderr, "tables: no run in the manifest carries a touch census (record one with cmpsim -census -json)")
+				os.Exit(1)
+			}
+			return
+		}
+		if *fig == "pervm" {
+			if !showPerVM(m) {
+				fmt.Fprintln(os.Stderr, "tables: no run in the manifest carries per-VM attribution (record one with cmpsim -pervm -json)")
+				os.Exit(1)
+			}
+			return
+		}
 		mx, err := m.Matrix()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "tables:", err)
@@ -130,6 +147,54 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown table %q (want 5, 6, 7 or all)\n", *table)
 		os.Exit(2)
 	}
+}
+
+// showCensus renders every run's ranked touch census. Returns false
+// if no run carries one.
+func showCensus(m *obs.Manifest) bool {
+	shown := false
+	for i := range m.Runs {
+		r := &m.Runs[i]
+		if len(r.Census) == 0 {
+			continue
+		}
+		shown = true
+		fmt.Print(telemetry.CensusTable(
+			fmt.Sprintf("touch census: %s / %s (ranked by messageization cost)", r.Workload, r.Protocol),
+			r.Census))
+		fmt.Println()
+	}
+	return shown
+}
+
+// showPerVM renders every run's per-VM attribution: energy split and
+// miss-latency percentiles per consolidated VM. Returns false if no
+// run carries one.
+func showPerVM(m *obs.Manifest) bool {
+	shown := false
+	for i := range m.Runs {
+		r := &m.Runs[i]
+		if len(r.PerVM) == 0 {
+			continue
+		}
+		shown = true
+		t := stats.NewTable(fmt.Sprintf("per-VM attribution: %s / %s", r.Workload, r.Protocol),
+			"vm", "tiles", "refs", "cache pJ", "net pJ", "miss p50", "p99", "p999")
+		for j := range r.PerVM {
+			v := &r.PerVM[j]
+			cache := 0.0
+			for _, ce := range v.Breakdown.Cache {
+				cache += ce.PJ
+			}
+			t.AddRow(fmt.Sprint(v.VM), fmt.Sprint(v.Tiles), fmt.Sprint(v.Refs),
+				fmt.Sprintf("%.4g", cache),
+				fmt.Sprintf("%.4g", v.Breakdown.Link+v.Breakdown.Routing),
+				fmt.Sprint(v.P50), fmt.Sprint(v.P99), fmt.Sprint(v.P999))
+		}
+		fmt.Print(t)
+		fmt.Println()
+	}
+	return shown
 }
 
 // sparkRunes is the 8-level vertical bar used by the ASCII curves.

@@ -122,6 +122,36 @@ func TestCrossCheckSeedFingerprint(t *testing.T) {
 		diffMaps(t, p+" net", g.Net, w.Net)
 		diffMaps(t, p+" miss_profile", g.Profile, w.Profile)
 	}
+
+	// The shard-aware observability instrumentation (touch census,
+	// per-VM attribution) is observation-only: replayed with both armed,
+	// every run must still match the pre-instrumentation golden
+	// bit-exactly (the per-VM banks fold back into the globals at
+	// measure end).
+	for _, p := range ProtocolNames {
+		cfg := DefaultConfig()
+		cfg.Protocol = p
+		cfg.RefsPerCore = 400
+		cfg.WarmupRefs = 800
+		cfg.Census = true
+		cfg.PerVM = true
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s instrumented: %v", p, err)
+		}
+		if len(res.Census) == 0 || len(res.PerVM) == 0 {
+			t.Fatalf("%s instrumented: census=%d per-VM=%d records — instrumentation did not arm",
+				p, len(res.Census), len(res.PerVM))
+		}
+		g, w := fingerprintRun(res), want[p]
+		if g.Cycles != w.Cycles || g.Refs != w.Refs || g.Events != w.Events || g.MemReads != w.MemReads {
+			t.Errorf("%s instrumented: cycles/refs/events/mem_reads = %d/%d/%d/%d, want %d/%d/%d/%d",
+				p, g.Cycles, g.Refs, g.Events, g.MemReads, w.Cycles, w.Refs, w.Events, w.MemReads)
+		}
+		diffMaps(t, p+" instrumented counter", g.Counters, w.Counters)
+		diffMaps(t, p+" instrumented net", g.Net, w.Net)
+		diffMaps(t, p+" instrumented miss_profile", g.Profile, w.Profile)
+	}
 }
 
 func diffMaps(t *testing.T, label string, got, want map[string]uint64) {

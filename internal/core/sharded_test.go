@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"reflect"
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 // runFingerprint builds and runs cfg and reduces the result to its
@@ -64,12 +66,15 @@ func TestShardedMatchesSerialWithObservers(t *testing.T) {
 		name                  string
 		check, profile, trace bool
 		sample                bool
+		census, pervm         bool
 	}{
 		{name: "check", check: true},
 		{name: "profile", profile: true},
 		{name: "sample", sample: true},
 		{name: "trace", trace: true},
-		{name: "all", check: true, profile: true, sample: true, trace: true},
+		{name: "census", census: true},
+		{name: "pervm", pervm: true},
+		{name: "all", check: true, profile: true, sample: true, trace: true, census: true, pervm: true},
 	}
 	for _, c := range combos {
 		c := c
@@ -81,6 +86,8 @@ func TestShardedMatchesSerialWithObservers(t *testing.T) {
 				cfg.Check = c.check
 				cfg.Profile = c.profile
 				cfg.Trace = c.trace
+				cfg.Census = c.census
+				cfg.PerVM = c.pervm
 				if c.sample {
 					cfg.SampleEvery = 500
 				}
@@ -119,6 +126,130 @@ func TestShardedMatchesSerialWithObservers(t *testing.T) {
 				}
 				if !reflect.DeepEqual(gs, ws) {
 					t.Errorf("telemetry series diverges")
+				}
+			}
+			if c.census {
+				if !reflect.DeepEqual(maskCrossShard(gres.Census), maskCrossShard(wres.Census)) {
+					t.Errorf("touch census diverges (CrossShard masked):\nsharded %+v\nserial  %+v",
+						gres.Census, wres.Census)
+				}
+			}
+			if c.pervm {
+				requireSamePerVM(t, gres.PerVM, wres.PerVM)
+			}
+		})
+	}
+}
+
+// maskCrossShard copies census records with the partition-dependent
+// CrossShard column zeroed: the tile-granular counts, remote subset
+// and estimated message cost are invariant across executors and shard
+// counts; only the shard classification legitimately depends on the
+// recording run's partition.
+func maskCrossShard(recs []telemetry.CensusRecord) []telemetry.CensusRecord {
+	out := append([]telemetry.CensusRecord(nil), recs...)
+	for i := range out {
+		out[i].CrossShard = 0
+	}
+	return out
+}
+
+// requireSamePerVM compares two per-VM attributions field by field
+// (counter banks by name, so a registration-order artifact cannot hide
+// a value difference).
+func requireSamePerVM(t *testing.T, got, want []VMStat) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Errorf("per-VM: %d VMs vs %d", len(got), len(want))
+		return
+	}
+	for v := range want {
+		g, w := &got[v], &want[v]
+		if g.VM != w.VM || g.Tiles != w.Tiles || g.Refs != w.Refs ||
+			g.Flits != w.Flits || g.Routers != w.Routers {
+			t.Errorf("VM %d: identity/refs/net = %d/%d/%d/%d/%d, want %d/%d/%d/%d/%d",
+				w.VM, g.VM, g.Tiles, g.Refs, g.Flits, g.Routers, w.VM, w.Tiles, w.Refs, w.Flits, w.Routers)
+		}
+		gn, wn := g.Counters.Names(), w.Counters.Names()
+		if !reflect.DeepEqual(gn, wn) {
+			t.Errorf("VM %d: counter name sets differ: %v vs %v", w.VM, gn, wn)
+			continue
+		}
+		for _, name := range wn {
+			if gv, wv := g.Counters.Value(name), w.Counters.Value(name); gv != wv {
+				t.Errorf("VM %d: counter %s = %d, want %d", w.VM, name, gv, wv)
+			}
+		}
+		if !reflect.DeepEqual(g.Breakdown, w.Breakdown) {
+			t.Errorf("VM %d: energy breakdown diverges", w.VM)
+		}
+		if g.MissLatency != w.MissLatency {
+			t.Errorf("VM %d: miss-latency histogram diverges", w.VM)
+		}
+		if g.P50 != w.P50 || g.P99 != w.P99 || g.P999 != w.P999 {
+			t.Errorf("VM %d: percentiles %d/%d/%d, want %d/%d/%d",
+				w.VM, g.P50, g.P99, g.P999, w.P50, w.P99, w.P999)
+		}
+	}
+}
+
+// TestShardedCensusInvariant pins the telemetry invariance claims
+// across shard counts 1, 2, 4 and 8 (and the serial executor) for
+// every engine: the touch census is recorded tile-granular and
+// classified only at export, so Count, Remote and EstCycles are
+// identical; the span trace and the epoch series observe only
+// simulation state, so both are deep-equal too.
+func TestShardedCensusInvariant(t *testing.T) {
+	if testing.Short() {
+		t.Skip("many full runs")
+	}
+	run := func(cfg Config) (*Result, *System, error) {
+		s, err := NewSystem(cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := s.Run()
+		return res, s, err
+	}
+	for _, p := range ProtocolNames {
+		p := p
+		t.Run(p, func(t *testing.T) {
+			cfg := smallCfg(p, "apache4x16p")
+			cfg.WarmupRefs = 100
+			cfg.Census = true
+			cfg.Trace = true
+			cfg.SampleEvery = 500
+			res, sys, err := run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := maskCrossShard(res.Census)
+			if len(want) == 0 {
+				t.Fatalf("%s: serial census recorded no touch sites", p)
+			}
+			wantSpans := sys.Tracer.Spans()
+			if len(wantSpans) == 0 {
+				t.Fatalf("%s: serial run traced no spans", p)
+			}
+			wantSeries := res.Series
+			if wantSeries == nil || len(wantSeries.Samples) == 0 {
+				t.Fatalf("%s: serial run sampled no series", p)
+			}
+			for _, n := range []int{1, 2, 4, 8} {
+				cfg.Shards = n
+				res, sys, err := run(cfg)
+				if err != nil {
+					t.Fatalf("shards=%d: %v", n, err)
+				}
+				if got := maskCrossShard(res.Census); !reflect.DeepEqual(got, want) {
+					t.Errorf("shards=%d: census diverges from serial (CrossShard masked)", n)
+				}
+				if got := sys.Tracer.Spans(); !reflect.DeepEqual(got, wantSpans) {
+					t.Errorf("shards=%d: span trace diverges from serial (%d spans vs %d)",
+						n, len(got), len(wantSpans))
+				}
+				if !reflect.DeepEqual(res.Series, wantSeries) {
+					t.Errorf("shards=%d: epoch series diverges from serial", n)
 				}
 			}
 		})

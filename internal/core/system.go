@@ -81,6 +81,24 @@ type Config struct {
 	// SampleCap bounds retained samples (0 = telemetry.DefaultSampleCap).
 	SampleEvery sim.Time
 	SampleCap   int
+
+	// Census arms the cross-shard touch census: every place a protocol
+	// handler synchronously reaches into another tile's structures is
+	// recorded as a (engine, handler, src-tile, dst-tile) count and
+	// aggregated into Result.Census — the ranked inventory of the
+	// accesses that must become scheduled messages before RunParallel
+	// can drive full-system runs (ROADMAP item 1). Observation-only:
+	// recording is tile-granular, so the counts are identical for any
+	// shard count and any executor, and every simulation result is
+	// bit-identical with the census on or off.
+	Census bool
+	// PerVM splits the power-event counters, the attributed mesh
+	// traffic and the miss-latency histogram by consolidated VM,
+	// collected into Result.PerVM. The split uses private per-VM
+	// counter banks that are folded back into the global set when the
+	// measured phase ends, so every global counter, and the whole event
+	// stream, is bit-identical with PerVM on or off.
+	PerVM bool
 }
 
 // DefaultConfig is the paper's evaluated system: 64 tiles, 4 areas,
@@ -143,6 +161,38 @@ type Result struct {
 	// Series is non-nil only when Config.SampleEvery was set: the epoch
 	// time series of the run (warmup and measured phases).
 	Series *telemetry.Series
+
+	// Census is non-nil only when Config.Census was set: the ranked
+	// cross-shard touch inventory of the measured phase.
+	Census []telemetry.CensusRecord
+
+	// PerVM is non-nil only when Config.PerVM was set: one entry per
+	// consolidated VM, in VM order.
+	PerVM []VMStat
+}
+
+// VMStat is one VM's slice of the measured phase (Config.PerVM).
+type VMStat struct {
+	VM    int
+	Tiles int
+	Refs  uint64
+	// Counters is the VM's private power-event bank. Its values are
+	// folded into the global Result.Counters at measure end, so summing
+	// a name across banks plus any unattributed global remainder equals
+	// the off-mode value exactly.
+	Counters *stats.Set
+	// Flits and Routers are the VM's attributed mesh activity
+	// (flit-link crossings and router traversals of its unicasts;
+	// broadcasts stay unattributed).
+	Flits   uint64
+	Routers uint64
+	// Breakdown prices the bank and the attributed mesh activity with
+	// the run's energy model.
+	Breakdown power.DynamicBreakdown
+	// MissLatency is the VM's issue-to-retire latency histogram with
+	// its bucket-derived percentiles (cycles).
+	MissLatency    sim.Hist
+	P50, P99, P999 uint64
 }
 
 // Performance returns the work rate (references per cycle), the
@@ -268,6 +318,11 @@ type System struct {
 	// prof is non-nil only when Cfg.Profile is set.
 	prof *RunProfile
 
+	// vmOf and vmHist are non-nil only when Cfg.PerVM is set: the
+	// tile-to-VM map and the per-VM miss-latency histograms.
+	vmOf   []int
+	vmHist []sim.Hist
+
 	retired   []int
 	refsTotal uint64
 
@@ -351,7 +406,7 @@ func (d *tileDriver) step() {
 
 func (d *tileDriver) issue() {
 	s := d.s
-	if s.prof != nil {
+	if s.prof != nil || s.vmHist != nil {
 		// Profiled variant: time issue-to-retire and histogram
 		// everything slower than an L1 hit. Reading the clock never
 		// schedules, so the event stream is unchanged.
@@ -362,9 +417,14 @@ func (d *tileDriver) issue() {
 
 func (d *tileDriver) done() {
 	s := d.s
-	if s.prof != nil {
+	if s.prof != nil || s.vmHist != nil {
 		if lat := d.k.Now() - d.issued; lat > s.Cfg.Proto.L1HitLatency {
-			s.prof.MissLatency.Observe(uint64(lat))
+			if s.prof != nil {
+				s.prof.MissLatency.Observe(uint64(lat))
+			}
+			if s.vmHist != nil {
+				s.vmHist[s.vmOf[d.tile]].Observe(uint64(lat))
+			}
 		}
 	}
 	s.retired[d.tile]++
@@ -422,6 +482,20 @@ func NewSystem(cfg Config) (*System, error) {
 	mapper := memctrl.NewMapper(cfg.Dedup)
 	gen := workload.NewGenerator(w, placement, mapper, kernel.Rand().Fork())
 	ctx := &proto.Context{Kernel: kernel, Net: net, Areas: areas, Mem: mem, Cfg: cfg.Proto}
+	// Census and per-VM attribution must be armed before the engine is
+	// built: the engines register their touch sites and resolve their
+	// power handles at construction.
+	if cfg.Census {
+		ctx.Census = telemetry.NewCensus(cfg.Tiles)
+	}
+	var vmOf []int
+	if cfg.PerVM {
+		vmOf = make([]int, cfg.Tiles)
+		for t := range vmOf {
+			vmOf[t] = placement.VMOf(topo.Tile(t))
+		}
+		ctx.EnablePerVM(vmOf, placement.NumVMs)
+	}
 	eng, err := newEngine(cfg.Protocol, ctx)
 	if err != nil {
 		return nil, err
@@ -462,7 +536,11 @@ func NewSystem(cfg Config) (*System, error) {
 		SK:        sk,
 		shardOf:   shardOf,
 		prof:      prof,
+		vmOf:      vmOf,
 		retired:   make([]int, cfg.Tiles),
+	}
+	if cfg.PerVM {
+		s.vmHist = make([]sim.Hist, placement.NumVMs)
 	}
 	if sk != nil {
 		s.run = sk
@@ -483,6 +561,11 @@ func NewSystem(cfg Config) (*System, error) {
 		s.Sampler = telemetry.NewSampler(kernel, cfg.SampleEvery, cfg.SampleCap,
 			eng.Stats(), net, energies,
 			func() uint64 { return s.refsTotal }, s.pendingMisses)
+		if cfg.PerVM {
+			// Mid-run counter reads must fold the per-VM banks back in to
+			// stay bit-identical to an unattributed run.
+			s.Sampler.SetBanks(s.Ctx.PerVMBanks(), s.Ctx.PerVMNet)
+		}
 	}
 	return s, nil
 }
@@ -609,6 +692,13 @@ func (s *System) RunWarmup() error {
 	s.Ctx.Profile = proto.MissProfile{}
 	s.Net.ResetStats()
 	s.Mem.Reads, s.Mem.Writes = 0, 0
+	if s.Ctx.Census != nil {
+		s.Ctx.Census.Reset()
+	}
+	s.Ctx.ResetPerVM()
+	for i := range s.vmHist {
+		s.vmHist[i] = sim.Hist{}
+	}
 	return nil
 }
 
@@ -637,6 +727,11 @@ func (s *System) RunMeasure() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Fold the per-VM banks into the global counters before anything
+	// reads them: Result.Counters and the energy breakdown below then
+	// hold exactly the off-mode values. The banks keep the split.
+	s.Ctx.FoldPerVM()
+
 	energies := power.Energies(sp, storage.DefaultConfig(cfg.Tiles, cfg.Areas), power.DefaultEnergy())
 	res := &Result{
 		Config:       cfg,
@@ -655,7 +750,47 @@ func (s *System) RunMeasure() (*Result, error) {
 		res.Series = s.Sampler.Series()
 	}
 	res.Breakdown = power.Dynamic(res.Counters, res.Net, energies)
+	if s.Ctx.Census != nil {
+		res.Census = s.CensusRecords()
+	}
+	if banks := s.Ctx.PerVMBanks(); banks != nil {
+		res.PerVM = make([]VMStat, len(banks))
+		for v := range banks {
+			flits, routers := s.Ctx.PerVMNet(v)
+			vs := &res.PerVM[v]
+			vs.VM = v
+			vs.Counters = banks[v]
+			vs.Flits, vs.Routers = flits, routers
+			// Price the VM's bank plus its attributed mesh traffic with
+			// the same model that prices the global breakdown.
+			vs.Breakdown = power.Dynamic(banks[v],
+				mesh.Stats{FlitLinkCrossing: flits, RouterTraversals: routers}, energies)
+			vs.MissLatency = s.vmHist[v]
+			vs.P50 = vs.MissLatency.Percentile(0.50)
+			vs.P99 = vs.MissLatency.Percentile(0.99)
+			vs.P999 = vs.MissLatency.Percentile(0.999)
+		}
+		for t, n := range s.retired {
+			vs := &res.PerVM[s.vmOf[t]]
+			vs.Refs += uint64(n)
+			vs.Tiles++
+		}
+	}
 	return res, nil
+}
+
+// CensusRecords exports the armed census as ranked records, classified
+// against this run's shard partition (serial runs have a single band,
+// so their cross-shard column is zero) and priced with the mesh hop
+// latency. Nil when Cfg.Census is off.
+func (s *System) CensusRecords() []telemetry.CensusRecord {
+	if s.Ctx.Census == nil {
+		return nil
+	}
+	grid := s.Net.Grid()
+	return s.Ctx.Census.Records(s.shardOf, func(src, dst int) int {
+		return grid.Hops(topo.Tile(src), topo.Tile(dst))
+	}, int(s.Cfg.Net.HopLatency()))
 }
 
 // Run executes the optional warmup phase followed by the measured

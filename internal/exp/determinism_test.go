@@ -219,5 +219,51 @@ func TestTelemetryNonPerturbing(t *testing.T) {
 		if plain.Series != nil {
 			t.Errorf("%s: unsampled run unexpectedly carries a series", p)
 		}
+
+		// The touch census schedules no events and touches no counters,
+		// so even the kernel event count must match the plain run.
+		cfg = detConfig(p)
+		cfg.Census = true
+		censused, err := core.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s census: %v", p, err)
+		}
+		if len(censused.Census) == 0 {
+			t.Fatalf("%s: census run recorded no touch sites", p)
+		}
+		requireSameResult(t, p+" census-vs-plain", plain, censused)
+
+		// Per-VM attribution routes hot-path charges through per-VM
+		// banks and folds them back at measure end: the globals — and
+		// every other observable, events included — must be bit-identical
+		// to the unattributed run.
+		cfg = detConfig(p)
+		cfg.PerVM = true
+		attributed, err := core.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s pervm: %v", p, err)
+		}
+		if len(attributed.PerVM) == 0 {
+			t.Fatalf("%s: per-VM run carries no attribution", p)
+		}
+		requireSameResult(t, p+" pervm-vs-plain", plain, attributed)
+		var vmRefs uint64
+		for i := range attributed.PerVM {
+			v := &attributed.PerVM[i]
+			vmRefs += v.Refs
+			// The attribution is a slice of the globals: no per-VM bank
+			// may exceed what the whole run counted.
+			for _, name := range v.Counters.Names() {
+				if bv, gv := v.Counters.Value(name), attributed.Counters.Value(name); bv > gv {
+					t.Errorf("%s: VM %d counter %s = %d exceeds run total %d", p, v.VM, name, bv, gv)
+				}
+			}
+		}
+		if vmRefs != attributed.Refs {
+			t.Errorf("%s: per-VM refs sum to %d, want %d (every tile belongs to a VM)", p, vmRefs, attributed.Refs)
+		}
+		if plain.Census != nil || plain.PerVM != nil {
+			t.Errorf("%s: plain run unexpectedly carries census/per-VM data", p)
+		}
 	}
 }

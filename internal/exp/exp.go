@@ -63,6 +63,13 @@ type Options struct {
 	// either way: a hit decodes through the same integrity-checked
 	// path as a saved manifest.
 	Cache ResultCache
+
+	// OnSystem, when non-nil, observes every freshly built system
+	// before its measure phase starts (cache hits build no system and
+	// get no call). Calls are serialized, so live telemetry hooks
+	// (sampler attachment) need no synchronization of their own. The
+	// system's own Cfg identifies the cell.
+	OnSystem func(s *core.System)
 }
 
 // DefaultOptions runs every Table IV workload at a laptop-scale budget.
@@ -118,7 +125,7 @@ func Run(opt Options, progress func(workload, protocol string)) (*Matrix, error)
 	if progress != nil {
 		onStart = func(i int) { progress(jobs[i].wl, jobs[i].protocol) }
 	}
-	results, cs, err := runShared(cfgs, opt.Cache, opt.Workers, onStart)
+	results, cs, err := runShared(cfgs, opt.Cache, opt.Workers, onStart, opt.OnSystem)
 	if err != nil {
 		return nil, err
 	}
@@ -153,7 +160,7 @@ func warmupKey(cfg core.Config) string {
 // take the plain core.Run path. Groups are claimed by a worker pool in
 // first-appearance order; within a group, members run in input order.
 // Freshly computed results are stored back into the cache.
-func runShared(cfgs []core.Config, cache ResultCache, workers int, progress func(i int)) ([]*core.Result, CacheStats, error) {
+func runShared(cfgs []core.Config, cache ResultCache, workers int, progress func(i int), onSystem func(s *core.System)) ([]*core.Result, CacheStats, error) {
 	results := make([]*core.Result, len(cfgs))
 	errs := make([]error, len(cfgs))
 	var cs CacheStats
@@ -213,10 +220,24 @@ func runShared(cfgs []core.Config, cache ResultCache, workers int, progress func
 				mu.Unlock()
 			}
 		}
+		// built serializes the OnSystem hook across worker goroutines.
+		built := func(s *core.System) {
+			if onSystem != nil {
+				mu.Lock()
+				onSystem(s)
+				mu.Unlock()
+			}
+		}
 		if len(members) == 1 || cfgs[members[0]].WarmupRefs == 0 {
 			for _, i := range members {
 				start(i)
-				results[i], errs[i] = core.Run(cfgs[i])
+				s, err := core.NewSystem(cfgs[i])
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				built(s)
+				results[i], errs[i] = s.Run()
 			}
 			return
 		}
@@ -252,6 +273,7 @@ func runShared(cfgs []core.Config, cache ResultCache, workers int, progress func
 				errs[i] = err
 				continue
 			}
+			built(fs)
 			results[i], errs[i] = fs.RunMeasure()
 		}
 	}
@@ -368,7 +390,7 @@ func RunSystems(cfgs []core.Config, workers int, onBuild func(i int, s *core.Sys
 // (optional) is called with the index of each run as it starts, never
 // concurrently. The first error in slice order wins.
 func RunConfigs(cfgs []core.Config, workers int, progress func(i int)) ([]*core.Result, error) {
-	results, _, err := runShared(cfgs, nil, workers, progress)
+	results, _, err := runShared(cfgs, nil, workers, progress, nil)
 	return results, err
 }
 
@@ -376,7 +398,7 @@ func RunConfigs(cfgs []core.Config, workers int, progress func(i int)) ([]*core.
 // disk reads, misses are computed (sharing warmups where possible) and
 // stored back.
 func RunConfigsCached(cfgs []core.Config, cache ResultCache, workers int, progress func(i int)) ([]*core.Result, CacheStats, error) {
-	return runShared(cfgs, cache, workers, progress)
+	return runShared(cfgs, cache, workers, progress, nil)
 }
 
 // Table5 renders the per-tile storage breakdown (Table V).

@@ -20,10 +20,13 @@ import (
 // structural change to the JSON layout must bump it.
 //
 // v2 added the optional per-run "series" field (epoch time-series
-// samples, see internal/telemetry). v1 manifests are still decodable:
-// every v1 field kept its name and meaning, so a v1 file reads as a v2
-// manifest with no series data.
-const SchemaVersion = 2
+// samples, see internal/telemetry). v3 added the optional "census"
+// (ranked remote-touch inventory) and "per_vm" (per-VM attribution:
+// counters, energy breakdown, miss-latency histogram and percentiles)
+// run fields. Older manifests are still decodable: every field kept
+// its name and meaning, so a v1/v2 file reads as a v3 manifest with
+// the newer data absent.
+const SchemaVersion = 3
 
 // minSchema is the oldest manifest format this build still reads.
 const minSchema = 1
@@ -66,6 +69,26 @@ type BreakdownRecord struct {
 	Routing float64             `json:"routing_pj"`
 }
 
+// VMRecord is one VM's attribution slice of a run (schema v3): the
+// counters, network activity and energy charged to transactions whose
+// requestor tile belonged to the VM, plus its miss-latency histogram
+// and percentiles. Summed across VMs the counters are bounded by the
+// run's global counters (unattributed cold paths make up the rest) —
+// Result enforces that bound on decode.
+type VMRecord struct {
+	VM          int             `json:"vm"`
+	Tiles       int             `json:"tiles"`
+	Refs        uint64          `json:"refs"`
+	Counters    []CounterRecord `json:"counters"`
+	Flits       uint64          `json:"flits"`
+	Routers     uint64          `json:"routers"`
+	Breakdown   BreakdownRecord `json:"breakdown"`
+	MissLatency sim.Hist        `json:"miss_latency"`
+	P50         uint64          `json:"p50"`
+	P99         uint64          `json:"p99"`
+	P999        uint64          `json:"p999"`
+}
+
 // RunRecord is everything one simulation run produced: the full input
 // configuration and every output counter, in a form that decodes back
 // to a bit-identical core.Result.
@@ -88,6 +111,12 @@ type RunRecord struct {
 	// Series is present only for runs with core.Config.SampleEvery set
 	// (schema v2+).
 	Series *telemetry.Series `json:"series,omitempty"`
+	// Census is present only for runs with core.Config.Census set
+	// (schema v3+): the ranked cross-shard remote-touch inventory.
+	Census []telemetry.CensusRecord `json:"census,omitempty"`
+	// PerVM is present only for runs with core.Config.PerVM set
+	// (schema v3+), one record per consolidated VM.
+	PerVM []VMRecord `json:"per_vm,omitempty"`
 }
 
 // Manifest is the versioned top-level export: a header identifying the
@@ -146,6 +175,25 @@ func FromResult(res *core.Result) RunRecord {
 	}
 	r.Breakdown.Link = res.Breakdown.Link
 	r.Breakdown.Routing = res.Breakdown.Routing
+	r.Census = res.Census
+	for i := range res.PerVM {
+		v := &res.PerVM[i]
+		vr := VMRecord{
+			VM: v.VM, Tiles: v.Tiles, Refs: v.Refs,
+			Flits: v.Flits, Routers: v.Routers,
+			MissLatency: v.MissLatency,
+			P50:         v.P50, P99: v.P99, P999: v.P999,
+		}
+		for _, name := range v.Counters.Names() {
+			vr.Counters = append(vr.Counters, CounterRecord{Name: name, Value: v.Counters.Value(name)})
+		}
+		for _, cls := range power.CacheClasses {
+			vr.Breakdown.Cache = append(vr.Breakdown.Cache, ClassEnergyRecord{Class: cls, PJ: v.Breakdown.Cache[cls]})
+		}
+		vr.Breakdown.Link = v.Breakdown.Link
+		vr.Breakdown.Routing = v.Breakdown.Routing
+		r.PerVM = append(r.PerVM, vr)
+	}
 	return r
 }
 
@@ -226,6 +274,47 @@ func (r *RunRecord) Result() (*core.Result, error) {
 	}
 	if res.Breakdown.Link != r.Breakdown.Link || res.Breakdown.Routing != r.Breakdown.Routing {
 		return nil, fmt.Errorf("obs: %s/%s: network breakdown does not match the counters", r.Workload, r.Protocol)
+	}
+	res.Census = r.Census
+	vmSum := map[string]uint64{}
+	for i := range r.PerVM {
+		vr := &r.PerVM[i]
+		v := core.VMStat{
+			VM: vr.VM, Tiles: vr.Tiles, Refs: vr.Refs,
+			Counters: &stats.Set{},
+			Flits:    vr.Flits, Routers: vr.Routers,
+			MissLatency: vr.MissLatency,
+			P50:         vr.P50, P99: vr.P99, P999: vr.P999,
+		}
+		for _, c := range vr.Counters {
+			v.Counters.Add(c.Name, c.Value)
+			vmSum[c.Name] += c.Value
+		}
+		v.Breakdown = power.Dynamic(v.Counters,
+			mesh.Stats{FlitLinkCrossing: vr.Flits, RouterTraversals: vr.Routers}, r.Energies)
+		for _, ce := range vr.Breakdown.Cache {
+			if got := v.Breakdown.Cache[ce.Class]; got != ce.PJ {
+				return nil, fmt.Errorf("obs: %s/%s: VM %d breakdown class %q = %g pJ does not match its counters (recomputed %g pJ)",
+					r.Workload, r.Protocol, vr.VM, ce.Class, ce.PJ, got)
+			}
+		}
+		if v.Breakdown.Link != vr.Breakdown.Link || v.Breakdown.Routing != vr.Breakdown.Routing {
+			return nil, fmt.Errorf("obs: %s/%s: VM %d network breakdown does not match its counters", r.Workload, r.Protocol, vr.VM)
+		}
+		if vr.MissLatency.Percentile(0.99) != vr.P99 {
+			return nil, fmt.Errorf("obs: %s/%s: VM %d p99 = %d does not match its histogram (recomputed %d)",
+				r.Workload, r.Protocol, vr.VM, vr.P99, vr.MissLatency.Percentile(0.99))
+		}
+		res.PerVM = append(res.PerVM, v)
+	}
+	// The attribution is a partition of a slice of the globals: summed
+	// across VMs no counter may exceed what the whole run counted (the
+	// remainder is the unattributed cold-path share).
+	for name, sum := range vmSum {
+		if sum > res.Counters.Value(name) {
+			return nil, fmt.Errorf("obs: %s/%s: per-VM counter %q sums to %d, exceeding the run total %d",
+				r.Workload, r.Protocol, name, sum, res.Counters.Value(name))
+		}
 	}
 	return res, nil
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/topo"
 )
 
@@ -43,6 +44,7 @@ func arIsOwner(s cache.State) bool {
 type Arin struct {
 	ctx   *Context
 	tiles []*tileState
+	cen   arCensus
 
 	// Long-lived adapters for the kernel/mesh argument fast path:
 	// protocol hops travel as (fn, *arMsg) pairs instead of
@@ -59,6 +61,21 @@ type Arin struct {
 	memFillFn func(any)
 
 	freeMsg *arMsg
+}
+
+// arCensus holds the engine's registered touch sites: every place a
+// DiCo-Arin handler synchronously pokes another tile's MSHR (miss
+// classification, link accounting, ack arming) or scans remote L1s.
+type arCensus struct {
+	l1Class, l1FwdHome            *telemetry.TouchSite
+	dissolveClass                 *telemetry.TouchSite
+	ownerWClass, ownerWAcks       *telemetry.TouchSite
+	homeFwd, homeMemFetch         *telemetry.TouchSite
+	homeInterClass                *telemetry.TouchSite
+	homeOwnedClass, homeOwnedAcks *telemetry.TouchSite
+	bcastClass, bcastAcks         *telemetry.TouchSite
+	deliver, memResp              *telemetry.TouchSite
+	recallScan                    *telemetry.TouchSite
 }
 
 // arMsg is the pooled argument node for DiCo-Arin's non-capturing
@@ -107,12 +124,14 @@ func (p *Arin) bindHandlers() {
 		m := a.(*arMsg)
 		tile, addr, requestor := m.tile, m.r.addr, m.r.requestor
 		p.putMsg(m)
+		p.ctx.chargeVM(requestor)
 		p.invalidateSharer(tile, addr, requestor)
 	}
 	p.shAckFn = func(a any) {
 		m := a.(*arMsg)
 		requestor, addr := m.tile, m.r.addr
 		p.putMsg(m)
+		p.ctx.chargeVM(requestor)
 		if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
 			e.SharerAcks--
 			p.maybeComplete(requestor, addr)
@@ -122,6 +141,7 @@ func (p *Arin) bindHandlers() {
 		m := a.(*arMsg)
 		r, state, dirty, supplier := m.r, m.state, m.dirty, m.supplier
 		p.putMsg(m)
+		p.ctx.chargeVM(r.requestor)
 		p.fillL1(r.requestor, r.addr, state, dirty, supplier)
 		if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
 			e.DataReceived = true
@@ -133,6 +153,7 @@ func (p *Arin) bindHandlers() {
 	p.coFn = func(a any) {
 		m := a.(*arMsg)
 		addr, newOwner, stamp := m.r.addr, m.tile, m.stamp
+		p.ctx.chargeVM(newOwner)
 		home := p.ctx.HomeOf(addr)
 		p.homeOwnerUpdate(home, addr, newOwner, stamp)
 		p.ctx.SendCtlArg(home, newOwner, p.coAckFn, m)
@@ -141,6 +162,7 @@ func (p *Arin) bindHandlers() {
 		m := a.(*arMsg)
 		requestor, addr := m.tile, m.r.addr
 		p.putMsg(m)
+		p.ctx.chargeVM(requestor)
 		if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
 			e.HomeAck = false
 			p.maybeComplete(requestor, addr)
@@ -154,15 +176,18 @@ func (p *Arin) bindHandlers() {
 	}
 	p.memRespFn = func(a any) {
 		m := a.(*arMsg)
+		p.ctx.chargeVM(m.r.requestor)
 		home := p.ctx.HomeOf(m.r.addr)
 		mc := p.ctx.Mem.For(m.r.addr)
 		d2 := p.ctx.SendDataArg(mc, home, p.memFillFn, m)
+		p.cen.memResp.Touch(int(mc), int(m.r.requestor))
 		p.addLinks(m.r.requestor, m.r.addr, d2.Hops)
 	}
 	p.memFillFn = func(a any) {
 		m := a.(*arMsg)
 		r := m.r
 		p.putMsg(m)
+		p.ctx.chargeVM(r.requestor)
 		home := p.ctx.HomeOf(r.addr)
 		state, dirty := arOwnerExclusive, false
 		if r.write {
@@ -185,6 +210,23 @@ func NewArin(ctx *Context) *Arin {
 		tiles: make([]*tileState, n),
 	}
 	p.bindHandlers()
+	p.cen = arCensus{
+		l1Class:        ctx.CensusSite("arin", "atL1.set-class", "mshr"),
+		l1FwdHome:      ctx.CensusSite("arin", "atL1.fwd-home", "mshr"),
+		dissolveClass:  ctx.CensusSite("arin", "dissolveOwnership.set-class", "mshr"),
+		ownerWClass:    ctx.CensusSite("arin", "ownerWriteSupply.set-class", "mshr"),
+		ownerWAcks:     ctx.CensusSite("arin", "ownerWriteSupply.acks", "mshr"),
+		homeFwd:        ctx.CensusSite("arin", "atHome.fwd-owner", "mshr"),
+		homeMemFetch:   ctx.CensusSite("arin", "atHome.mem-fetch", "mshr"),
+		homeInterClass: ctx.CensusSite("arin", "homeInter.set-class", "mshr"),
+		homeOwnedClass: ctx.CensusSite("arin", "homeOwned.set-class", "mshr"),
+		homeOwnedAcks:  ctx.CensusSite("arin", "homeOwned.acks", "mshr"),
+		bcastClass:     ctx.CensusSite("arin", "broadcastInv.set-class", "mshr"),
+		bcastAcks:      ctx.CensusSite("arin", "broadcastInv.acks", "mshr"),
+		deliver:        ctx.CensusSite("arin", "deliver", "mshr"),
+		memResp:        ctx.CensusSite("arin", "memResp", "mshr"),
+		recallScan:     ctx.CensusSite("arin", "recallOwnership.owner-scan", "l1"),
+	}
 	for i := range p.tiles {
 		p.tiles[i] = newTileState(ctx.Cfg, ctx.BankShift())
 	}
@@ -218,6 +260,7 @@ type arReq struct {
 // Access implements Engine.
 func (p *Arin) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()) {
 	ctx := p.ctx
+	ctx.chargeVM(tile)
 	t := p.tiles[tile]
 	if _, pending := t.mshr.Lookup(addr); pending {
 		t.stallL1(addr, func() { p.Access(tile, addr, write, onDone) })
@@ -331,6 +374,7 @@ func (p *Arin) invalidateSharer(tile topo.Tile, addr cache.Addr, requestor topo.
 // atL1 handles a request at an L1 cache.
 func (p *Arin) atL1(r arReq, tile topo.Tile) {
 	ctx := p.ctx
+	ctx.chargeVM(r.requestor)
 	t := p.tiles[tile]
 	if _, pending := t.mshr.Lookup(r.addr); pending {
 		// Pooled-arg stalls: a closure here would capture r and force
@@ -356,6 +400,7 @@ func (p *Arin) atL1(r arReq, tile topo.Tile) {
 		}
 		if p.areaOf(r.requestor) == p.areaOf(tile) {
 			// Local read: plain DiCo behaviour.
+			p.cen.l1Class.Touch(int(tile), int(r.requestor))
 			p.classifyMiss(r, byOwner)
 			line.Sharers |= areaBit(ctx.Areas, r.requestor)
 			if line.State != arOwnerShared {
@@ -374,6 +419,7 @@ func (p *Arin) atL1(r arReq, tile topo.Tile) {
 		}
 		// A provider supplies inside its area; the new copy is a
 		// provider too (Section IV-B's optimization).
+		p.cen.l1Class.Touch(int(tile), int(r.requestor))
 		p.classifyMiss(r, byProvider)
 		ctx.pw.L1DataRead.Inc()
 		p.deliver(r, tile, arProvider, false, int16(tile))
@@ -384,6 +430,7 @@ func (p *Arin) atL1(r arReq, tile topo.Tile) {
 		r.forwarder = tile
 		home := ctx.HomeOf(r.addr)
 		del := ctx.SendCtlArg(tile, home, p.atHomeFn, p.msg(r))
+		p.cen.l1FwdHome.Touch(int(tile), int(r.requestor))
 		p.addLinks(r.requestor, r.addr, del.Hops)
 	}
 }
@@ -397,6 +444,7 @@ func (p *Arin) dissolveOwnership(r arReq, owner topo.Tile, line *cache.Line) {
 	if ctx.tracing(r.addr) {
 		ctx.Trace(r.addr, "dissolve at owner %d for %d", owner, r.requestor)
 	}
+	p.cen.dissolveClass.Touch(int(owner), int(r.requestor))
 	p.classifyMiss(r, byOwner)
 	ownerArea := p.areaOf(owner)
 	dirty := line.Dirty
@@ -430,12 +478,14 @@ func (p *Arin) dissolveOwnership(r arReq, owner topo.Tile, line *cache.Line) {
 // ownerWriteSupply: intra-area ownership transfer, as in DiCo.
 func (p *Arin) ownerWriteSupply(r arReq, owner topo.Tile, line *cache.Line) {
 	ctx := p.ctx
+	p.cen.ownerWClass.Touch(int(owner), int(r.requestor))
 	p.classifyMiss(r, byOwner)
 	area := p.areaOf(owner)
 	sharers := line.Sharers &^ areaBit(ctx.Areas, owner)
 	if p.areaOf(r.requestor) == area {
 		sharers &^= areaBit(ctx.Areas, r.requestor)
 	}
+	p.cen.ownerWAcks.Touch(int(owner), int(r.requestor))
 	if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
 		e.SharerAcks += popcount(sharers)
 		e.HomeAck = true
@@ -462,6 +512,7 @@ func (p *Arin) ownerWriteSupply(r arReq, owner topo.Tile, line *cache.Line) {
 // atHome dispatches at the home bank.
 func (p *Arin) atHome(r arReq) {
 	ctx := p.ctx
+	ctx.chargeVM(r.requestor)
 	home := ctx.HomeOf(r.addr)
 	th := p.tiles[home]
 	if th.homeBusy(r.addr) || th.recallMarked(r.addr) {
@@ -483,6 +534,7 @@ func (p *Arin) atHome(r arReq) {
 		m := p.msg(r)
 		m.tile = ownerTile
 		del := ctx.SendCtlArg(home, ownerTile, p.atL1Fn, m)
+		p.cen.homeFwd.Touch(int(home), int(r.requestor))
 		p.addLinks(r.requestor, r.addr, del.Hops)
 		return
 	}
@@ -500,6 +552,7 @@ func (p *Arin) atHome(r arReq) {
 		p.updateL2C(home, r.addr, r.requestor)
 		mc := ctx.Mem.For(r.addr)
 		del := ctx.SendCtlArg(home, mc, p.memReqFn, p.msg(r))
+		p.cen.homeMemFetch.Touch(int(home), int(r.requestor))
 		p.addLinks(r.requestor, r.addr, del.Hops)
 		return
 	}
@@ -536,6 +589,7 @@ func (p *Arin) homeInter(r arReq, home topo.Tile, l2line *cache.Line) {
 			ctx.pw.L2TagWrite.Inc()
 		}
 	}
+	p.cen.homeInterClass.Touch(int(home), int(r.requestor))
 	p.classifyMiss(r, byHome)
 	ctx.pw.L2DataRead.Inc()
 	// The reply carries the identity of the area's provider so the
@@ -566,6 +620,7 @@ func (p *Arin) homeOwned(r arReq, home topo.Tile, l2line *cache.Line) {
 	if r.write {
 		// L2-owner write: invalidate the tracked sharers, transfer
 		// ownership to the writer.
+		p.cen.homeOwnedClass.Touch(int(home), int(r.requestor))
 		p.classifyMiss(r, byHome)
 		var sharers uint64
 		area := int(l2line.AreaTag)
@@ -575,6 +630,7 @@ func (p *Arin) homeOwned(r arReq, home topo.Tile, l2line *cache.Line) {
 				sharers &^= areaBit(ctx.Areas, r.requestor)
 			}
 		}
+		p.cen.homeOwnedAcks.Touch(int(home), int(r.requestor))
 		if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
 			e.SharerAcks += popcount(sharers)
 		}
@@ -593,6 +649,7 @@ func (p *Arin) homeOwned(r arReq, home topo.Tile, l2line *cache.Line) {
 	}
 	// Read with the L2 as owner.
 	if int(l2line.AreaTag) == reqArea || l2line.AreaTag < 0 {
+		p.cen.homeOwnedClass.Touch(int(home), int(r.requestor))
 		p.classifyMiss(r, byHome)
 		if l2line.AreaTag < 0 {
 			l2line.AreaTag = int8(reqArea)
@@ -606,6 +663,7 @@ func (p *Arin) homeOwned(r arReq, home topo.Tile, l2line *cache.Line) {
 	// A second area starts reading: the block becomes shared between
 	// areas. The previously tracked sharers silently become
 	// broadcast-covered copies.
+	p.cen.homeOwnedClass.Touch(int(home), int(r.requestor))
 	p.classifyMiss(r, byHome)
 	l2line.State = l2ArinInter
 	for a := range l2line.ProPos {
@@ -629,6 +687,7 @@ func (p *Arin) broadcastInvalidation(r arReq, home topo.Tile, l2line *cache.Line
 		ctx.Trace(r.addr, "broadcast inv from home %d for writer %d", home, r.requestor)
 	}
 	th := p.tiles[home]
+	p.cen.bcastClass.Touch(int(home), int(r.requestor))
 	p.classifyMiss(r, byHome)
 	th.setHomeBusy(r.addr)
 	dirty := l2line.Dirty
@@ -641,12 +700,14 @@ func (p *Arin) broadcastInvalidation(r arReq, home topo.Tile, l2line *cache.Line
 	if r.requestor != home {
 		expected-- // the requestor does not ack itself
 	}
+	p.cen.bcastAcks.Touch(int(home), int(r.requestor))
 	if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
 		e.SharerAcks += expected
 		e.HomeAck = true // released when the unblock phase finishes
 	}
 	deliverInv := func(dst topo.Tile) {
 		t := p.tiles[dst]
+		ctx.chargeVM(r.requestor)
 		ctx.pw.L1TagRead.Inc()
 		if _, ok := t.l1.Invalidate(r.addr); ok {
 			ctx.pw.L1TagWrite.Inc()
@@ -800,12 +861,14 @@ func (p *Arin) deliver(r arReq, from topo.Tile, state cache.State, dirty bool, s
 	m := p.msg(r)
 	m.state, m.dirty, m.supplier = state, dirty, supplier
 	del := p.ctx.SendDataArg(from, r.requestor, p.deliverFn, m)
+	p.cen.deliver.Touch(int(from), int(r.requestor))
 	p.addLinks(r.requestor, r.addr, del.Hops)
 }
 
 func (p *Arin) deliverWithHook(r arReq, from topo.Tile, state cache.State, dirty bool,
 	supplier int16, afterFill func()) {
 	del := p.ctx.SendData(from, r.requestor, func() {
+		p.ctx.chargeVM(r.requestor)
 		p.fillL1(r.requestor, r.addr, state, dirty, supplier)
 		if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
 			e.DataReceived = true
@@ -815,6 +878,7 @@ func (p *Arin) deliverWithHook(r arReq, from topo.Tile, state cache.State, dirty
 		}
 		p.maybeComplete(r.requestor, r.addr)
 	})
+	p.cen.deliver.Touch(int(from), int(r.requestor))
 	p.addLinks(r.requestor, r.addr, del.Hops)
 }
 
@@ -994,6 +1058,7 @@ func (p *Arin) recallOwnership(home topo.Tile, addr cache.Addr) {
 	p.tiles[home].markRecall(addr)
 	owner := topo.Tile(-1)
 	for i := range p.tiles {
+		p.cen.recallScan.Touch(int(home), i)
 		if l := p.tiles[i].l1.Peek(addr); l != nil && arIsOwner(l.State) {
 			owner = topo.Tile(i)
 			break

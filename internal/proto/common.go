@@ -195,6 +195,26 @@ type Context struct {
 	// schedules events, so arming it cannot perturb simulated timing.
 	Spans *telemetry.Tracer
 
+	// Census, when non-nil, is the cross-shard touch census: every
+	// engine registers its synchronous remote-tile access sites at
+	// construction (CensusSite) and counts them on the hot path. Pure
+	// observation — it never schedules events or mutates protocol
+	// state, so an armed census cannot perturb simulated timing.
+	Census *telemetry.Census
+
+	// Per-VM attribution state (EnablePerVM), all nil when off. The
+	// hot-path power sites charge ctx.pw unconditionally; chargeVM
+	// points pw at the requesting VM's bank, so the ~200 existing
+	// charge sites attribute per VM with no per-site change. The union
+	// of the banks plus the globals is exactly the off-mode counter
+	// set: FoldPerVM merges the banks back before results are built.
+	vmOf      []int          // tile -> VM
+	vmBanks   []*stats.Set   // one power-counter bank per VM
+	vmPW      []PowerHandles // pre-resolved handles into each bank
+	vmCur     int            // VM currently charged
+	vmFlits   []uint64       // per-VM flit x link crossings (unicast sends)
+	vmRouters []uint64       // per-VM router traversals (unicast sends)
+
 	// TraceEnabled arms the debug event log for block TraceAddr.
 	// An explicit flag, not the TraceAddr zero value: block 0 is a
 	// valid address and must be traceable.
@@ -290,8 +310,21 @@ func (c *Context) bindPower() {
 	if c.pw.L1TagRead != nil {
 		return
 	}
-	s := &c.Counters
-	c.pw = PowerHandles{
+	// Always register the 14 names on the global set first (fixes the
+	// export namespace even when every charge lands in a per-VM bank),
+	// then, with per-VM attribution armed, start charging VM 0's bank
+	// so no pre-first-chargeVM activity bypasses the split.
+	c.pw = bindBank(&c.Counters)
+	if c.vmPW != nil {
+		c.pw = c.vmPW[c.vmCur]
+	}
+}
+
+// bindBank resolves a PowerHandles set into an arbitrary counter set
+// (bindPower's body, reused for the per-VM banks so every bank
+// registers the same 14 names in the same order as the globals).
+func bindBank(s *stats.Set) PowerHandles {
+	return PowerHandles{
 		L1TagRead: s.Handle(power.EvL1TagRead), L1TagWrite: s.Handle(power.EvL1TagWrite),
 		L1DataRead: s.Handle(power.EvL1DataRead), L1DataWrite: s.Handle(power.EvL1DataWrite),
 		L2TagRead: s.Handle(power.EvL2TagRead), L2TagWrite: s.Handle(power.EvL2TagWrite),
@@ -300,6 +333,87 @@ func (c *Context) bindPower() {
 		L1CAccess: s.Handle(power.EvL1CAccess), L1CUpdate: s.Handle(power.EvL1CUpdate),
 		L2CAccess: s.Handle(power.EvL2CAccess), L2CUpdate: s.Handle(power.EvL2CUpdate),
 	}
+}
+
+// EnablePerVM arms per-VM attribution: one counter bank per VM, with
+// the hot-path handle set (ctx.pw) re-pointed at the requesting VM's
+// bank on every handler entry (chargeVM). Must be called before the
+// engine is constructed, so bindPower still resolves the global
+// handles first. Cold by-name charges (Ev/EvN) stay global — the
+// documented undercount of the per-VM split — and activity before the
+// first chargeVM of a run lands on VM 0.
+func (c *Context) EnablePerVM(vmOf []int, numVMs int) {
+	c.vmOf = vmOf
+	c.vmBanks = make([]*stats.Set, numVMs)
+	c.vmPW = make([]PowerHandles, numVMs)
+	for v := range c.vmBanks {
+		c.vmBanks[v] = &stats.Set{}
+		c.vmPW[v] = bindBank(c.vmBanks[v])
+	}
+	c.vmFlits = make([]uint64, numVMs)
+	c.vmRouters = make([]uint64, numVMs)
+	c.vmCur = 0
+}
+
+// chargeVM attributes subsequent power events and sends to the VM
+// owning tile t (the requestor of the transaction being handled).
+// One pointer test when per-VM attribution is off.
+func (c *Context) chargeVM(t topo.Tile) {
+	if c.vmPW == nil {
+		return
+	}
+	if vm := c.vmOf[t]; vm != c.vmCur {
+		c.vmCur = vm
+		c.pw = c.vmPW[vm]
+	}
+}
+
+// vmSend attributes one unicast's network activity to the charged VM,
+// mirroring the mesh's own accounting (hops x flits link crossings,
+// hops+1 router traversals).
+func (c *Context) vmSend(d mesh.Delivery, flits int) {
+	if c.vmFlits == nil {
+		return
+	}
+	c.vmFlits[c.vmCur] += uint64(d.Hops * flits)
+	c.vmRouters[c.vmCur] += uint64(d.Routers)
+}
+
+// PerVMBanks returns the per-VM counter banks (nil when off).
+func (c *Context) PerVMBanks() []*stats.Set { return c.vmBanks }
+
+// PerVMNet returns the charged VM's unicast network activity.
+func (c *Context) PerVMNet(vm int) (flits, routers uint64) {
+	return c.vmFlits[vm], c.vmRouters[vm]
+}
+
+// ResetPerVM discards per-VM attribution collected so far (the
+// warmup/measure boundary).
+func (c *Context) ResetPerVM() {
+	for v, b := range c.vmBanks {
+		b.Reset()
+		c.vmFlits[v] = 0
+		c.vmRouters[v] = 0
+	}
+}
+
+// FoldPerVM merges every VM bank back into the global counters. The
+// run loop calls it exactly once, when the measured phase ends:
+// afterwards the global set holds exactly the values an off-mode run
+// produces, and the banks still hold the per-VM split for the result.
+func (c *Context) FoldPerVM() {
+	for _, b := range c.vmBanks {
+		c.Counters.Merge(b)
+	}
+}
+
+// CensusSite registers a touch site with the armed census, or returns
+// nil (a nil TouchSite's Touch is one pointer test).
+func (c *Context) CensusSite(engine, handler, structure string) *telemetry.TouchSite {
+	if c.Census == nil {
+		return nil
+	}
+	return c.Census.Site(engine, handler, structure)
 }
 
 // Ev increments a power event counter by name (cold paths; hot sites
@@ -312,12 +426,16 @@ func (c *Context) EvN(name string, n uint64) { c.Counters.Add(name, n) }
 // SendCtl sends a 1-flit control message and runs fn on delivery,
 // returning the delivery metadata.
 func (c *Context) SendCtl(src, dst topo.Tile, fn func()) mesh.Delivery {
-	return c.Net.Send(src, dst, c.Net.Config().ControlFlits, fn)
+	d := c.Net.Send(src, dst, c.Net.Config().ControlFlits, fn)
+	c.vmSend(d, c.Net.Config().ControlFlits)
+	return d
 }
 
 // SendData sends a 5-flit data message and runs fn on delivery.
 func (c *Context) SendData(src, dst topo.Tile, fn func()) mesh.Delivery {
-	return c.Net.Send(src, dst, c.Net.Config().DataFlits, fn)
+	d := c.Net.Send(src, dst, c.Net.Config().DataFlits, fn)
+	c.vmSend(d, c.Net.Config().DataFlits)
+	return d
 }
 
 // SendCtlArg sends a 1-flit control message through the kernel's
@@ -325,14 +443,18 @@ func (c *Context) SendData(src, dst topo.Tile, fn func()) mesh.Delivery {
 // it with a long-lived handler adapter for their hottest sender — the
 // per-miss request to the home — so no closure is built per message.
 func (c *Context) SendCtlArg(src, dst topo.Tile, fn func(any), arg any) mesh.Delivery {
-	return c.Net.SendArg(src, dst, c.Net.Config().ControlFlits, fn, arg)
+	d := c.Net.SendArg(src, dst, c.Net.Config().ControlFlits, fn, arg)
+	c.vmSend(d, c.Net.Config().ControlFlits)
+	return d
 }
 
 // SendDataArg sends a 5-flit data message through the non-capturing
 // fast path: fn(arg) runs on delivery. With a pooled argument node the
 // send allocates nothing.
 func (c *Context) SendDataArg(src, dst topo.Tile, fn func(any), arg any) mesh.Delivery {
-	return c.Net.SendArg(src, dst, c.Net.Config().DataFlits, fn, arg)
+	d := c.Net.SendArg(src, dst, c.Net.Config().DataFlits, fn, arg)
+	c.vmSend(d, c.Net.Config().DataFlits)
+	return d
 }
 
 // tileState is the per-tile storage all protocols share (each uses the

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/topo"
 )
 
@@ -49,10 +50,25 @@ type DiCo struct {
 
 	freeMsg *dcMsg
 
+	cen dcCensus
+
 	// Recall marks and the Change_Owner ordering stamps live in the
 	// home tile's transaction table (tileState.markRecall /
 	// stampIfNewer): the paper gates transfers on the home's ack; the
 	// stamp realizes the same ordering against reordered messages.
+}
+
+// dcCensus holds DiCo's registered touch sites: the requestor-MSHR
+// pokes from remote handlers plus the recall path's chip-wide L1
+// owner scan (the engine's one whole-chip synchronous shortcut). All
+// sites are nil when the census is disarmed.
+type dcCensus struct {
+	l1PredFail, l1FwdHome, l1Class  *telemetry.TouchSite
+	ownerClass, ownerAcks           *telemetry.TouchSite
+	homeFwd, homeMemFetch           *telemetry.TouchSite
+	homeSupplyClass, homeSupplyAcks *telemetry.TouchSite
+	deliver, memResp                *telemetry.TouchSite
+	recallScan                      *telemetry.TouchSite
 }
 
 // dcMsg is DiCo's pooled argument node for the non-capturing message
@@ -102,12 +118,14 @@ func (p *DiCo) bindHandlers() {
 		m := a.(*dcMsg)
 		tile, addr, ackTo, newOwner := m.tile, m.r.addr, m.r.requestor, topo.Tile(m.supplier)
 		p.putMsg(m)
+		p.ctx.chargeVM(ackTo)
 		p.invalidateAtL1(tile, addr, ackTo, newOwner)
 	}
 	p.ackFn = func(a any) {
 		m := a.(*dcMsg)
 		ackTo, addr := m.tile, m.r.addr
 		p.putMsg(m)
+		p.ctx.chargeVM(ackTo)
 		e, ok := p.tiles[ackTo].mshr.Lookup(addr)
 		if !ok {
 			return
@@ -119,6 +137,7 @@ func (p *DiCo) bindHandlers() {
 		m := a.(*dcMsg)
 		requestor, addr, state, dirty, supplier := m.tile, m.r.addr, m.state, m.dirty, m.supplier
 		p.putMsg(m)
+		p.ctx.chargeVM(requestor)
 		p.fillL1(requestor, addr, state, dirty, supplier)
 		if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
 			e.DataReceived = true
@@ -130,6 +149,7 @@ func (p *DiCo) bindHandlers() {
 	p.coFn = func(a any) {
 		m := a.(*dcMsg)
 		addr, newOwner, stamp := m.r.addr, m.tile, m.stamp
+		p.ctx.chargeVM(newOwner)
 		home := p.ctx.HomeOf(addr)
 		p.homeOwnerUpdate(home, addr, newOwner, stamp)
 		p.ctx.SendCtlArg(home, newOwner, p.coAckFn, m)
@@ -138,6 +158,7 @@ func (p *DiCo) bindHandlers() {
 		m := a.(*dcMsg)
 		requestor, addr := m.tile, m.r.addr
 		p.putMsg(m)
+		p.ctx.chargeVM(requestor)
 		if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
 			e.HomeAck = false
 			p.maybeComplete(requestor, addr)
@@ -152,15 +173,18 @@ func (p *DiCo) bindHandlers() {
 	}
 	p.memRespFn = func(a any) {
 		m := a.(*dcMsg)
+		p.ctx.chargeVM(m.r.requestor)
 		home := p.ctx.HomeOf(m.r.addr)
 		mc := p.ctx.Mem.For(m.r.addr)
 		d2 := p.ctx.SendDataArg(mc, home, p.memFillFn, m)
+		p.cen.memResp.Touch(int(mc), int(m.r.requestor))
 		p.addLinks(m.r.requestor, m.r.addr, d2.Hops)
 	}
 	p.memFillFn = func(a any) {
 		m := a.(*dcMsg)
 		r := m.r
 		p.putMsg(m)
+		p.ctx.chargeVM(r.requestor)
 		home := p.ctx.HomeOf(r.addr)
 		state, dirty := dcOwnerExclusive, false
 		if r.write {
@@ -199,6 +223,20 @@ func NewDiCo(ctx *Context) *DiCo {
 		tiles: make([]*tileState, n),
 	}
 	p.bindHandlers()
+	p.cen = dcCensus{
+		l1PredFail:      ctx.CensusSite("dico", "atL1.pred-fail", "mshr"),
+		l1FwdHome:       ctx.CensusSite("dico", "atL1.fwd-home", "mshr"),
+		l1Class:         ctx.CensusSite("dico", "atL1.set-class", "mshr"),
+		ownerClass:      ctx.CensusSite("dico", "ownerWriteSupply.set-class", "mshr"),
+		ownerAcks:       ctx.CensusSite("dico", "ownerWriteSupply.acks", "mshr"),
+		homeFwd:         ctx.CensusSite("dico", "atHome.fwd-owner", "mshr"),
+		homeMemFetch:    ctx.CensusSite("dico", "atHome.mem-fetch", "mshr"),
+		homeSupplyClass: ctx.CensusSite("dico", "homeOwnerSupply.set-class", "mshr"),
+		homeSupplyAcks:  ctx.CensusSite("dico", "homeOwnerSupply.acks", "mshr"),
+		deliver:         ctx.CensusSite("dico", "deliverData", "mshr"),
+		memResp:         ctx.CensusSite("dico", "memResp", "mshr"),
+		recallScan:      ctx.CensusSite("dico", "recallOwnership.owner-scan", "l1"),
+	}
 	for i := range p.tiles {
 		p.tiles[i] = newTileState(ctx.Cfg, ctx.BankShift())
 	}
@@ -225,6 +263,7 @@ type dcReq struct {
 // Access implements Engine.
 func (p *DiCo) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()) {
 	ctx := p.ctx
+	ctx.chargeVM(tile)
 	t := p.tiles[tile]
 	if _, pending := t.mshr.Lookup(addr); pending {
 		t.stallL1(addr, func() { p.Access(tile, addr, write, onDone) })
@@ -323,6 +362,7 @@ func (p *DiCo) ownerWriteHit(tile topo.Tile, addr cache.Addr, line *cache.Line, 
 // from the home).
 func (p *DiCo) atL1(r dcReq, tile topo.Tile) {
 	ctx := p.ctx
+	ctx.chargeVM(r.requestor)
 	t := p.tiles[tile]
 	if _, pending := t.mshr.Lookup(r.addr); pending {
 		// Pooled-arg stall: a closure here would capture r and force it
@@ -337,11 +377,13 @@ func (p *DiCo) atL1(r dcReq, tile topo.Tile) {
 	if line == nil || !dcIsOwner(line.State) {
 		// Misprediction (or stale forward): to the home.
 		if r.predicted && r.forwards == 0 {
+			p.cen.l1PredFail.Touch(int(tile), int(r.requestor))
 			p.setClass(r.requestor, r.addr, MissPredFail)
 		}
 		r.forwards++
 		home := ctx.HomeOf(r.addr)
 		del := ctx.SendCtlArg(tile, home, p.atHomeFn, p.msg(r))
+		p.cen.l1FwdHome.Touch(int(tile), int(r.requestor))
 		p.addLinks(r.requestor, r.addr, del.Hops)
 		return
 	}
@@ -352,8 +394,10 @@ func (p *DiCo) atL1(r dcReq, tile topo.Tile) {
 	// Owner read supply: requestor becomes a sharer; two-hop miss when
 	// predicted.
 	if r.predicted && r.forwards == 0 {
+		p.cen.l1Class.Touch(int(tile), int(r.requestor))
 		p.setClass(r.requestor, r.addr, MissPredOwner)
 	} else if !r.predicted {
+		p.cen.l1Class.Touch(int(tile), int(r.requestor))
 		p.setClass(r.requestor, r.addr, MissUnpredOwner)
 	}
 	if ctx.tracing(r.addr) {
@@ -374,14 +418,17 @@ func (p *DiCo) atL1(r dcReq, tile topo.Tile) {
 func (p *DiCo) ownerWriteSupply(r dcReq, owner topo.Tile, line *cache.Line) {
 	ctx := p.ctx
 	if r.predicted && r.forwards == 0 {
+		p.cen.ownerClass.Touch(int(owner), int(r.requestor))
 		p.setClass(r.requestor, r.addr, MissPredOwner)
 	} else if !r.predicted {
+		p.cen.ownerClass.Touch(int(owner), int(r.requestor))
 		p.setClass(r.requestor, r.addr, MissUnpredOwner)
 	}
 	sharers := line.Sharers &^ bit(r.requestor) &^ bit(owner)
 	if ctx.tracing(r.addr) {
 		ctx.Trace(r.addr, "owner %d write-supplies %d, inv sharers %#x", owner, r.requestor, sharers)
 	}
+	p.cen.ownerAcks.Touch(int(owner), int(r.requestor))
 	if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
 		e.SharerAcks += popcount(sharers)
 		e.HomeAck = true
@@ -412,6 +459,7 @@ func (p *DiCo) ownerWriteSupply(r dcReq, owner topo.Tile, line *cache.Line) {
 // memory.
 func (p *DiCo) atHome(r dcReq) {
 	ctx := p.ctx
+	ctx.chargeVM(r.requestor)
 	home := ctx.HomeOf(r.addr)
 	th := p.tiles[home]
 	if th.homeBusy(r.addr) || th.recallMarked(r.addr) {
@@ -434,6 +482,7 @@ func (p *DiCo) atHome(r dcReq) {
 		m := p.msg(r)
 		m.tile = owner
 		del := ctx.SendCtlArg(home, owner, p.atL1Fn, m)
+		p.cen.homeFwd.Touch(int(home), int(r.requestor))
 		p.addLinks(r.requestor, r.addr, del.Hops)
 		return
 	}
@@ -450,6 +499,7 @@ func (p *DiCo) atHome(r dcReq) {
 	p.updateL2C(home, r.addr, r.requestor)
 	mc := ctx.Mem.For(r.addr)
 	del := ctx.SendCtlArg(home, mc, p.memReqFn, p.msg(r))
+	p.cen.homeMemFetch.Touch(int(home), int(r.requestor))
 	p.addLinks(r.requestor, r.addr, del.Hops)
 }
 
@@ -461,10 +511,12 @@ func (p *DiCo) homeOwnerSupply(r dcReq, home topo.Tile, l2line *cache.Line) {
 	}
 	th := p.tiles[home]
 	if !r.predicted || r.forwards > 0 {
+		p.cen.homeSupplyClass.Touch(int(home), int(r.requestor))
 		p.setClass(r.requestor, r.addr, MissUnpredHome)
 	}
 	if r.write {
 		sharers := l2line.Sharers &^ bit(r.requestor)
+		p.cen.homeSupplyAcks.Touch(int(home), int(r.requestor))
 		if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
 			e.SharerAcks += popcount(sharers)
 		}
@@ -557,6 +609,7 @@ func (p *DiCo) recallOwnership(home topo.Tile, addr cache.Addr) {
 	// for reading the pointer before eviction.
 	owner := topo.Tile(-1)
 	for i := range p.tiles {
+		p.cen.recallScan.Touch(int(home), i)
 		if l := p.tiles[i].l1.Peek(addr); l != nil && dcIsOwner(l.State) {
 			owner = topo.Tile(i)
 			break
@@ -621,6 +674,7 @@ func (p *DiCo) deliverData(requestor topo.Tile, addr cache.Addr, from topo.Tile,
 	m.dirty = dirty
 	m.supplier = supplier
 	del := p.ctx.SendDataArg(from, requestor, p.deliverFn, m)
+	p.cen.deliver.Touch(int(from), int(requestor))
 	p.addLinks(requestor, addr, del.Hops)
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/topo"
 )
 
@@ -55,6 +56,19 @@ type Directory struct {
 	flushFn     func(any)
 
 	freeMsg *dirMsg
+
+	cen dirCensus
+}
+
+// dirCensus holds the engine's registered touch sites: every place a
+// directory handler synchronously pokes another tile's MSHR — the
+// cross-tile shortcuts that must become scheduled messages before the
+// engines can leave the hub lane (ROADMAP item 1). All sites are nil
+// when the census is disarmed.
+type dirCensus struct {
+	fwdOwner, fwdSharer, sharerAcks, fetchMem *telemetry.TouchSite
+	ownerBounce, ownerClass, sharerRetry      *telemetry.TouchSite
+	deliver, memResp                          *telemetry.TouchSite
 }
 
 // NewDirectory builds the directory engine on ctx.
@@ -65,6 +79,17 @@ func NewDirectory(ctx *Context) *Directory {
 		tiles: make([]*tileState, ctx.NumTiles()),
 	}
 	d.bindHandlers()
+	d.cen = dirCensus{
+		fwdOwner:    ctx.CensusSite("directory", "atHome.fwd-owner", "mshr"),
+		fwdSharer:   ctx.CensusSite("directory", "homeRead.fwd-sharer", "mshr"),
+		sharerAcks:  ctx.CensusSite("directory", "homeWrite.sharer-acks", "mshr"),
+		fetchMem:    ctx.CensusSite("directory", "fetchFromMemory", "mshr"),
+		ownerBounce: ctx.CensusSite("directory", "atOwner.bounce", "mshr"),
+		ownerClass:  ctx.CensusSite("directory", "atOwner.set-class", "mshr"),
+		sharerRetry: ctx.CensusSite("directory", "atSharer.retry", "mshr"),
+		deliver:     ctx.CensusSite("directory", "deliverData", "mshr"),
+		memResp:     ctx.CensusSite("directory", "memResp", "mshr"),
+	}
 	for i := range d.tiles {
 		t := newTileState(ctx.Cfg, ctx.BankShift())
 		// Directory information lives with every L2 entry (a full-map
@@ -154,6 +179,7 @@ func (d *Directory) bindHandlers() {
 		m := a.(*dirMsg)
 		requestor, addr, state, dirty := m.tile, m.r.addr, m.state, m.dirty
 		d.putMsg(m)
+		d.ctx.chargeVM(requestor)
 		d.fillL1(requestor, addr, state, dirty)
 		if e, ok := d.tiles[requestor].mshr.Lookup(addr); ok {
 			e.DataReceived = true
@@ -164,12 +190,14 @@ func (d *Directory) bindHandlers() {
 		m := a.(*dirMsg)
 		sharer, addr, requestor := m.tile, m.r.addr, m.r.requestor
 		d.putMsg(m)
+		d.ctx.chargeVM(requestor)
 		d.invalidateAtL1(sharer, addr, requestor)
 	}
 	d.ackFn = func(a any) {
 		m := a.(*dirMsg)
 		requestor, addr := m.tile, m.r.addr
 		d.putMsg(m)
+		d.ctx.chargeVM(requestor)
 		d.ackAtRequestor(requestor, addr)
 	}
 	// handoverFn applies the write-handover directory update at the
@@ -178,6 +206,7 @@ func (d *Directory) bindHandlers() {
 		m := a.(*dirMsg)
 		addr, stamp, newOwner := m.r.addr, m.stamp, m.tile
 		d.putMsg(m)
+		d.ctx.chargeVM(newOwner)
 		home := d.ctx.HomeOf(addr)
 		th := d.tiles[home]
 		if !th.stampIfNewer(addr, stamp) {
@@ -204,6 +233,7 @@ func (d *Directory) bindHandlers() {
 		m := a.(*dirMsg)
 		addr, stamp, owner, requestor, dirty := m.r.addr, m.stamp, m.tile, m.r.requestor, m.dirty
 		d.putMsg(m)
+		d.ctx.chargeVM(requestor)
 		home := d.ctx.HomeOf(addr)
 		th := d.tiles[home]
 		if !th.stampIfNewer(addr, stamp) {
@@ -234,6 +264,7 @@ func (d *Directory) bindHandlers() {
 		m := a.(*dirMsg)
 		addr, stamp, tile, dirty := m.r.addr, m.stamp, m.tile, m.dirty
 		d.putMsg(m)
+		d.ctx.chargeVM(tile)
 		home := d.ctx.HomeOf(addr)
 		th := d.tiles[home]
 		if !th.stampIfNewer(addr, stamp) {
@@ -270,15 +301,18 @@ func (d *Directory) bindHandlers() {
 		// Memory data flows through the home: the directory keeps a
 		// copy of read data in the shared L2 (deduplicated data is
 		// stored once for all VMs), then forwards it on.
+		d.ctx.chargeVM(m.r.requestor)
 		home := d.ctx.HomeOf(m.r.addr)
 		mc := d.ctx.Mem.For(m.r.addr)
 		d2 := d.ctx.SendDataArg(mc, home, d.memFillFn, m)
+		d.cen.memResp.Touch(int(mc), int(m.r.requestor))
 		d.addLinks(m.r.requestor, m.r.addr, d2.Hops)
 	}
 	d.memFillFn = func(a any) {
 		m := a.(*dirMsg)
 		r := m.r
 		d.putMsg(m)
+		d.ctx.chargeVM(r.requestor)
 		home := d.ctx.HomeOf(r.addr)
 		state, dirty := dirExclusive, false
 		if r.write {
@@ -295,6 +329,7 @@ func (d *Directory) bindHandlers() {
 // Access implements Engine.
 func (d *Directory) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()) {
 	ctx := d.ctx
+	ctx.chargeVM(tile)
 	t := d.tiles[tile]
 	if _, pending := t.mshr.Lookup(addr); pending {
 		t.stallL1(addr, func() { d.Access(tile, addr, write, onDone) })
@@ -346,6 +381,7 @@ func (d *Directory) setClass(requestor topo.Tile, addr cache.Addr, c MissClass) 
 // atHome processes a request at the block's home bank.
 func (d *Directory) atHome(r dirReq) {
 	ctx := d.ctx
+	ctx.chargeVM(r.requestor)
 	home := ctx.HomeOf(r.addr)
 	th := d.tiles[home]
 	if th.homeBusy(r.addr) {
@@ -408,6 +444,7 @@ func (d *Directory) atHome(r dirReq) {
 		m := d.msg(r)
 		m.tile = owner
 		del := ctx.SendCtlArg(home, owner, d.atOwnerFn, m)
+		d.cen.fwdOwner.Touch(int(home), int(r.requestor))
 		d.addLinks(r.requestor, r.addr, del.Hops)
 		return
 	}
@@ -450,6 +487,7 @@ func (d *Directory) homeRead(r dirReq, dline *cache.DirEntry) {
 		m := d.msg(r)
 		m.tile = sharer
 		del := ctx.SendCtlArg(home, sharer, d.atSharerFn, m)
+		d.cen.fwdSharer.Touch(int(home), int(r.requestor))
 		d.addLinks(r.requestor, r.addr, del.Hops)
 		return
 	}
@@ -468,6 +506,7 @@ func (d *Directory) homeWrite(r dirReq, dline *cache.DirEntry) {
 	home := ctx.HomeOf(r.addr)
 	th := d.tiles[home]
 	sharers := dline.Sharers &^ bit(r.requestor)
+	d.cen.sharerAcks.Touch(int(home), int(r.requestor))
 	if e, ok := d.tiles[r.requestor].mshr.Lookup(r.addr); ok {
 		e.SharerAcks += popcount(sharers)
 	}
@@ -496,6 +535,7 @@ func (d *Directory) homeWrite(r dirReq, dline *cache.DirEntry) {
 // owner.
 func (d *Directory) atOwner(r dirReq, owner topo.Tile) {
 	ctx := d.ctx
+	ctx.chargeVM(r.requestor)
 	to := d.tiles[owner]
 	if _, pending := to.mshr.Lookup(r.addr); pending {
 		to.stallL1(r.addr, func() { d.atOwner(r, owner) })
@@ -510,10 +550,12 @@ func (d *Directory) atOwner(r dirReq, owner topo.Tile) {
 		}
 		home := ctx.HomeOf(r.addr)
 		del := ctx.SendCtlArg(owner, home, d.atHomeFn, d.msg(r))
+		d.cen.ownerBounce.Touch(int(owner), int(r.requestor))
 		d.addLinks(r.requestor, r.addr, del.Hops)
 		return
 	}
 	home := ctx.HomeOf(r.addr)
+	d.cen.ownerClass.Touch(int(owner), int(r.requestor))
 	d.setClass(r.requestor, r.addr, MissUnpredOwner)
 	dirty := line.Dirty
 	stamp := ctx.Kernel.Now()
@@ -552,6 +594,7 @@ func (d *Directory) atOwner(r dirReq, owner topo.Tile) {
 // atSharerSupply handles a read forwarded to a clean sharer.
 func (d *Directory) atSharerSupply(r dirReq, sharer topo.Tile) {
 	ctx := d.ctx
+	ctx.chargeVM(r.requestor)
 	ts := d.tiles[sharer]
 	ctx.pw.L1TagRead.Inc()
 	if line := ts.l1.Lookup(r.addr); line != nil && line.State == dirShared {
@@ -563,11 +606,13 @@ func (d *Directory) atSharerSupply(r dirReq, sharer topo.Tile) {
 	home := ctx.HomeOf(r.addr)
 	stamp := ctx.Kernel.Now()
 	del := ctx.SendCtl(sharer, home, func() {
+		d.ctx.chargeVM(r.requestor)
 		d.homeDirUpdate(home, r.addr, stamp, func(dl *cache.DirEntry) {
 			dl.Sharers &^= bit(sharer)
 		})
 		d.atHome(r)
 	})
+	d.cen.sharerRetry.Touch(int(sharer), int(r.requestor))
 	d.addLinks(r.requestor, r.addr, del.Hops)
 }
 
@@ -640,6 +685,7 @@ func (d *Directory) fetchFromMemory(r dirReq, home topo.Tile) {
 	ctx := d.ctx
 	mc := ctx.Mem.For(r.addr)
 	del := ctx.SendCtlArg(home, mc, d.memReqFn, d.msg(r))
+	d.cen.fetchMem.Touch(int(home), int(r.requestor))
 	d.addLinks(r.requestor, r.addr, del.Hops)
 }
 
@@ -651,6 +697,7 @@ func (d *Directory) deliverData(requestor topo.Tile, addr cache.Addr, from topo.
 	m.state = state
 	m.dirty = dirty
 	del := d.ctx.SendDataArg(from, requestor, d.deliverFn, m)
+	d.cen.deliver.Touch(int(from), int(requestor))
 	d.addLinks(requestor, addr, del.Hops)
 }
 

@@ -8,6 +8,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/topo"
 )
 
@@ -52,6 +53,23 @@ type Providers struct {
 	memFillFn func(any)
 
 	freeMsg *pvMsg
+
+	cen pvCensus
+}
+
+// pvCensus holds DiCo-Providers' registered touch sites: requestor-MSHR
+// pokes from remote handlers plus the recall path's chip-wide L1 owner
+// scan. All sites are nil when the census is disarmed.
+type pvCensus struct {
+	l1FwdHome, l1Class             *telemetry.TouchSite
+	ownerReadClass, ownerReadFwd   *telemetry.TouchSite
+	ownerWriteClass, ownerWriteAck *telemetry.TouchSite
+	invalAcks                      *telemetry.TouchSite
+	homeFwd, homeMemFetch          *telemetry.TouchSite
+	homeSupplyFwd, homeSupplyClass *telemetry.TouchSite
+	homeSupplyAcks                 *telemetry.TouchSite
+	deliver, memResp               *telemetry.TouchSite
+	recallScan                     *telemetry.TouchSite
 }
 
 // pvMsg is the pooled argument node for DiCo-Providers' non-capturing
@@ -103,18 +121,21 @@ func (p *Providers) bindHandlers() {
 		m := a.(*pvMsg)
 		tile, addr, requestor := m.tile, m.r.addr, m.r.requestor
 		p.putMsg(m)
+		p.ctx.chargeVM(requestor)
 		p.invalidateSharer(tile, addr, requestor)
 	}
 	p.invalPvFn = func(a any) {
 		m := a.(*pvMsg)
 		tile, addr, requestor := m.tile, m.r.addr, m.r.requestor
 		p.putMsg(m)
+		p.ctx.chargeVM(requestor)
 		p.invalidateProvider(tile, addr, requestor)
 	}
 	p.shAckFn = func(a any) {
 		m := a.(*pvMsg)
 		requestor, addr := m.tile, m.r.addr
 		p.putMsg(m)
+		p.ctx.chargeVM(requestor)
 		if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
 			e.SharerAcks--
 			p.maybeComplete(requestor, addr)
@@ -124,6 +145,7 @@ func (p *Providers) bindHandlers() {
 		m := a.(*pvMsg)
 		requestor, addr, count := m.tile, m.r.addr, m.count
 		p.putMsg(m)
+		p.ctx.chargeVM(requestor)
 		if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
 			e.ProviderAcks--
 			e.SharerAcks += count
@@ -133,6 +155,7 @@ func (p *Providers) bindHandlers() {
 	p.deliverFn = func(a any) {
 		m := a.(*pvMsg)
 		r := m.r
+		p.ctx.chargeVM(r.requestor)
 		var propos *[cache.MaxSimAreas]int8
 		if m.hasPro {
 			propos = &m.propos
@@ -151,6 +174,7 @@ func (p *Providers) bindHandlers() {
 	p.coFn = func(a any) {
 		m := a.(*pvMsg)
 		addr, newOwner, stamp := m.r.addr, m.tile, m.stamp
+		p.ctx.chargeVM(newOwner)
 		home := p.ctx.HomeOf(addr)
 		p.homeOwnerUpdate(home, addr, newOwner, stamp)
 		p.ctx.SendCtlArg(home, newOwner, p.coAckFn, m)
@@ -159,6 +183,7 @@ func (p *Providers) bindHandlers() {
 		m := a.(*pvMsg)
 		requestor, addr := m.tile, m.r.addr
 		p.putMsg(m)
+		p.ctx.chargeVM(requestor)
 		if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
 			e.HomeAck = false
 			p.maybeComplete(requestor, addr)
@@ -172,15 +197,18 @@ func (p *Providers) bindHandlers() {
 	}
 	p.memRespFn = func(a any) {
 		m := a.(*pvMsg)
+		p.ctx.chargeVM(m.r.requestor)
 		home := p.ctx.HomeOf(m.r.addr)
 		mc := p.ctx.Mem.For(m.r.addr)
 		d2 := p.ctx.SendDataArg(mc, home, p.memFillFn, m)
+		p.cen.memResp.Touch(int(mc), int(m.r.requestor))
 		p.addLinks(m.r.requestor, m.r.addr, d2.Hops)
 	}
 	p.memFillFn = func(a any) {
 		m := a.(*pvMsg)
 		r := m.r
 		p.putMsg(m)
+		p.ctx.chargeVM(r.requestor)
 		home := p.ctx.HomeOf(r.addr)
 		state, dirty := pvOwnerExclusive, false
 		if r.write {
@@ -203,6 +231,23 @@ func NewProviders(ctx *Context) *Providers {
 		tiles: make([]*tileState, n),
 	}
 	p.bindHandlers()
+	p.cen = pvCensus{
+		l1FwdHome:       ctx.CensusSite("providers", "atL1.fwd-home", "mshr"),
+		l1Class:         ctx.CensusSite("providers", "atL1.set-class", "mshr"),
+		ownerReadClass:  ctx.CensusSite("providers", "ownerReadSupply.set-class", "mshr"),
+		ownerReadFwd:    ctx.CensusSite("providers", "ownerReadSupply.fwd-provider", "mshr"),
+		ownerWriteClass: ctx.CensusSite("providers", "ownerWriteSupply.set-class", "mshr"),
+		ownerWriteAck:   ctx.CensusSite("providers", "ownerWriteSupply.home-ack", "mshr"),
+		invalAcks:       ctx.CensusSite("providers", "startInvalidation.acks", "mshr"),
+		homeFwd:         ctx.CensusSite("providers", "atHome.fwd-owner", "mshr"),
+		homeMemFetch:    ctx.CensusSite("providers", "atHome.mem-fetch", "mshr"),
+		homeSupplyFwd:   ctx.CensusSite("providers", "homeOwnerSupply.fwd-provider", "mshr"),
+		homeSupplyClass: ctx.CensusSite("providers", "homeOwnerSupply.set-class", "mshr"),
+		homeSupplyAcks:  ctx.CensusSite("providers", "homeOwnerSupply.acks", "mshr"),
+		deliver:         ctx.CensusSite("providers", "deliver", "mshr"),
+		memResp:         ctx.CensusSite("providers", "memResp", "mshr"),
+		recallScan:      ctx.CensusSite("providers", "recallOwnership.owner-scan", "l1"),
+	}
 	for i := range p.tiles {
 		p.tiles[i] = newTileState(ctx.Cfg, ctx.BankShift())
 	}
@@ -269,6 +314,7 @@ type pvReq struct {
 // Access implements Engine.
 func (p *Providers) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()) {
 	ctx := p.ctx
+	ctx.chargeVM(tile)
 	t := p.tiles[tile]
 	if _, pending := t.mshr.Lookup(addr); pending {
 		t.stallL1(addr, func() { p.Access(tile, addr, write, onDone) })
@@ -367,6 +413,7 @@ func (p *Providers) ownerWriteHit(tile topo.Tile, addr cache.Addr, line *cache.L
 func (p *Providers) startInvalidation(owner topo.Tile, addr cache.Addr, line *cache.Line,
 	requestor topo.Tile, localSharers uint64) {
 	ctx := p.ctx
+	p.cen.invalAcks.Touch(int(owner), int(requestor))
 	e, ok := p.tiles[requestor].mshr.Lookup(addr)
 	if !ok {
 		return
@@ -469,6 +516,7 @@ func (p *Providers) invalidateProvider(tile topo.Tile, addr cache.Addr, requesto
 // atL1 dispatches a request arriving at an L1 cache per Table I.
 func (p *Providers) atL1(r pvReq, tile topo.Tile) {
 	ctx := p.ctx
+	ctx.chargeVM(r.requestor)
 	t := p.tiles[tile]
 	if _, pending := t.mshr.Lookup(r.addr); pending {
 		// Pooled-arg stall: a closure here would capture r and force it
@@ -490,6 +538,7 @@ func (p *Providers) atL1(r pvReq, tile topo.Tile) {
 	case line != nil && line.State == pvProvider && !r.write:
 		if p.areaOf(r.requestor) == p.areaOf(tile) {
 			// Provider supplies inside the area: the shortened miss.
+			p.cen.l1Class.Touch(int(tile), int(r.requestor))
 			p.classify(r, byProvider)
 			line.Sharers |= areaBit(ctx.Areas, r.requestor)
 			ctx.pw.L1TagWrite.Inc()
@@ -510,6 +559,7 @@ func (p *Providers) atL1(r pvReq, tile topo.Tile) {
 		r.forwards++
 		home := ctx.HomeOf(r.addr)
 		del := ctx.SendCtlArg(tile, home, p.atHomeFn, p.msg(r))
+		p.cen.l1FwdHome.Touch(int(tile), int(r.requestor))
 		p.addLinks(r.requestor, r.addr, del.Hops)
 	}
 }
@@ -520,6 +570,7 @@ func (p *Providers) ownerReadSupply(r pvReq, owner topo.Tile, line *cache.Line) 
 	reqArea := p.areaOf(r.requestor)
 	if reqArea == p.areaOf(owner) {
 		// Local request: requestor becomes a sharer.
+		p.cen.ownerReadClass.Touch(int(owner), int(r.requestor))
 		p.classify(r, byOwner)
 		line.Sharers |= areaBit(ctx.Areas, r.requestor)
 		if line.State != pvOwnerShared {
@@ -538,10 +589,12 @@ func (p *Providers) ownerReadSupply(r pvReq, owner topo.Tile, line *cache.Line) 
 		m := p.msg(r)
 		m.tile = prov
 		del := ctx.SendCtlArg(owner, prov, p.atL1Fn, m)
+		p.cen.ownerReadFwd.Touch(int(owner), int(r.requestor))
 		p.addLinks(r.requestor, r.addr, del.Hops)
 		return
 	}
 	// No provider there: the requestor becomes its area's provider.
+	p.cen.ownerReadClass.Touch(int(owner), int(r.requestor))
 	p.classify(r, byOwner)
 	line.ProPos[reqArea] = p.areaIdx(r.requestor)
 	if line.State != pvOwnerShared {
@@ -555,7 +608,9 @@ func (p *Providers) ownerReadSupply(r pvReq, owner topo.Tile, line *cache.Line) 
 // ownerWriteSupply transfers ownership to the writer per Table I.
 func (p *Providers) ownerWriteSupply(r pvReq, owner topo.Tile, line *cache.Line) {
 	ctx := p.ctx
+	p.cen.ownerWriteClass.Touch(int(owner), int(r.requestor))
 	p.classify(r, byOwner)
+	p.cen.ownerWriteAck.Touch(int(owner), int(r.requestor))
 	if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
 		e.HomeAck = true
 	}
@@ -597,6 +652,7 @@ func (p *Providers) repairStaleProPo(notProvider topo.Tile, addr cache.Addr, sup
 // atHome dispatches at the home bank per the L2 rows of Table I.
 func (p *Providers) atHome(r pvReq) {
 	ctx := p.ctx
+	ctx.chargeVM(r.requestor)
 	home := ctx.HomeOf(r.addr)
 	th := p.tiles[home]
 	if th.homeBusy(r.addr) || th.recallMarked(r.addr) {
@@ -618,6 +674,7 @@ func (p *Providers) atHome(r pvReq) {
 		m := p.msg(r)
 		m.tile = ownerTile
 		del := ctx.SendCtlArg(home, ownerTile, p.atL1Fn, m)
+		p.cen.homeFwd.Touch(int(home), int(r.requestor))
 		p.addLinks(r.requestor, r.addr, del.Hops)
 		return
 	}
@@ -636,6 +693,7 @@ func (p *Providers) atHome(r pvReq) {
 	p.updateL2C(home, r.addr, r.requestor)
 	mc := ctx.Mem.For(r.addr)
 	del := ctx.SendCtlArg(home, mc, p.memReqFn, p.msg(r))
+	p.cen.homeMemFetch.Touch(int(home), int(r.requestor))
 	p.addLinks(r.requestor, r.addr, del.Hops)
 }
 
@@ -659,11 +717,13 @@ func (p *Providers) homeOwnerSupply(r pvReq, home topo.Tile, l2line *cache.Line)
 			m := p.msg(r)
 			m.tile = prov
 			del := ctx.SendCtlArg(home, prov, p.atL1Fn, m)
+			p.cen.homeSupplyFwd.Touch(int(home), int(r.requestor))
 			p.addLinks(r.requestor, r.addr, del.Hops)
 			return
 		}
 		// No supplier in the requestor's area: ownership moves to the
 		// requestor (event (3) of Section III-A).
+		p.cen.homeSupplyClass.Touch(int(home), int(r.requestor))
 		p.classify(r, byHome)
 		var propos [cache.MaxSimAreas]int8
 		copy(propos[:], l2line.ProPos[:])
@@ -677,7 +737,9 @@ func (p *Providers) homeOwnerSupply(r pvReq, home topo.Tile, l2line *cache.Line)
 	}
 	// Write with the L2 as owner: invalidate through the providers,
 	// hand ownership to the writer.
+	p.cen.homeSupplyClass.Touch(int(home), int(r.requestor))
 	p.classify(r, byHome)
+	p.cen.homeSupplyAcks.Touch(int(home), int(r.requestor))
 	if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
 		for a := 0; a < ctx.Areas.Count; a++ {
 			if l2line.ProPos[a] < 0 {
@@ -712,6 +774,7 @@ func (p *Providers) deliver(r pvReq, from topo.Tile, state cache.State, dirty bo
 		m.hasPro = false
 	}
 	del := p.ctx.SendDataArg(from, r.requestor, p.deliverFn, m)
+	p.cen.deliver.Touch(int(from), int(r.requestor))
 	p.addLinks(r.requestor, r.addr, del.Hops)
 }
 
@@ -1072,6 +1135,7 @@ func (p *Providers) recallOwnership(home topo.Tile, addr cache.Addr) {
 	p.tiles[home].markRecall(addr)
 	owner := topo.Tile(-1)
 	for i := range p.tiles {
+		p.cen.recallScan.Touch(int(home), i)
 		if l := p.tiles[i].l1.Peek(addr); l != nil && pvIsOwner(l.State) {
 			owner = topo.Tile(i)
 			break

@@ -1,0 +1,94 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestShardedLaneProfileObservation pins the lane profiler's
+// observation-only claim: RunParallel with a LaneProfile attached
+// dispatches the identical event stream as without one, while the
+// profile itself satisfies its structural invariants (window-major
+// rows, lanes in range, retained events summing to the run's total
+// when under the cap, stalls = zero-event rows).
+func TestShardedLaneProfileObservation(t *testing.T) {
+	const tiles, steps, shards = 8, 100, 4
+	const lookahead = Time(5)
+
+	ref := newWorkloadB(tiles, steps, shards, lookahead, 1)
+	ref.sk.RunParallel(0)
+
+	got := newWorkloadB(tiles, steps, shards, lookahead, 1)
+	lp := &LaneProfile{}
+	got.sk.SetLaneProfile(lp)
+	got.sk.RunParallel(0)
+
+	if !reflect.DeepEqual(got.trace, ref.trace) {
+		t.Fatal("lane profile perturbed the parallel event stream")
+	}
+	if got.sk.EventsRun() != ref.sk.EventsRun() {
+		t.Fatalf("events %d != %d with profile attached", got.sk.EventsRun(), ref.sk.EventsRun())
+	}
+
+	if lp.Lanes != shards || lp.Lookahead != lookahead {
+		t.Fatalf("profile header lanes/lookahead = %d/%d, want %d/%d",
+			lp.Lanes, lp.Lookahead, shards, lookahead)
+	}
+	if lp.TotalWindows == 0 || len(lp.Windows) == 0 {
+		t.Fatalf("profile empty: %d windows, %d rows", lp.TotalWindows, len(lp.Windows))
+	}
+	if lp.TotalWindows <= lp.Cap && len(lp.Windows) != lp.TotalWindows*shards {
+		t.Errorf("window-major shape: %d rows, want %d windows x %d lanes",
+			len(lp.Windows), lp.TotalWindows, shards)
+	}
+	var dispatched uint64
+	stalls := 0
+	for i := range lp.Windows {
+		lw := &lp.Windows[i]
+		if lw.Lane < 0 || lw.Lane >= shards {
+			t.Fatalf("row %d: lane %d out of range", i, lw.Lane)
+		}
+		if lw.End < lw.Start {
+			t.Fatalf("row %d: window [%d, %d] inverted", i, lw.Start, lw.End)
+		}
+		if lw.Out < 0 || lw.WaitNS < 0 {
+			t.Fatalf("row %d: negative outbox (%d) or wait (%d)", i, lw.Out, lw.WaitNS)
+		}
+		dispatched += lw.Events
+		if lw.Events == 0 {
+			stalls++
+		}
+	}
+	if lp.TotalWindows <= lp.Cap && dispatched != got.sk.EventsRun() {
+		t.Errorf("retained windows dispatch %d events, run dispatched %d", dispatched, got.sk.EventsRun())
+	}
+	if lp.Stalls() != stalls {
+		t.Errorf("Stalls() = %d, counted %d zero-event rows", lp.Stalls(), stalls)
+	}
+}
+
+// TestShardedLaneProfileCap pins the retention bound: TotalWindows
+// keeps counting past Cap while Windows retains only the earliest
+// Cap windows' rows.
+func TestShardedLaneProfileCap(t *testing.T) {
+	const tiles, steps, shards = 8, 200, 4
+	w := newWorkloadB(tiles, steps, shards, 2, 3)
+	lp := &LaneProfile{Cap: 5}
+	w.sk.SetLaneProfile(lp)
+	w.sk.RunParallel(0)
+	if lp.Cap != 5 {
+		t.Fatalf("Cap rewritten to %d", lp.Cap)
+	}
+	if lp.TotalWindows <= lp.Cap {
+		t.Skipf("run finished in %d windows, cap %d never hit", lp.TotalWindows, lp.Cap)
+	}
+	if len(lp.Windows) != lp.Cap*shards {
+		t.Errorf("retained %d rows, want cap %d x %d lanes", len(lp.Windows), lp.Cap, shards)
+	}
+	for i := range lp.Windows {
+		if want := lp.Windows[i%shards].Start; i >= shards && lp.Windows[i].Start < lp.Windows[i-shards].Start {
+			t.Fatalf("row %d: retained windows not the earliest prefix (start %d < %d, first %d)",
+				i, lp.Windows[i].Start, lp.Windows[i-shards].Start, want)
+		}
+	}
+}

@@ -36,6 +36,7 @@ package sim
 import (
 	"fmt"
 	"sync"
+	"time"
 )
 
 // provBit marks a provisional sequence stamp issued inside a parallel
@@ -100,6 +101,10 @@ type ShardedKernel struct {
 	active int32  // lane currently dispatching (sequential merge), -1 idle
 
 	wlogs []windowLog // per-lane window logs, reused across windows
+
+	// laneProf, when non-nil, records RunParallel's per-window lane
+	// profile (see laneprof.go). Never touched by the sequential merge.
+	laneProf *LaneProfile
 }
 
 // NewSharded builds a group of shards kernels. The hub (lane 0) is
@@ -371,6 +376,13 @@ func (k *Kernel) Send(to int, delay Time, fn func(any), arg any) {
 func (sk *ShardedKernel) RunParallel(limit Time) uint64 {
 	start := sk.EventsRun()
 	var wg sync.WaitGroup
+	lp := sk.laneProf
+	var evBase []uint64
+	var laneDone []time.Time
+	if lp != nil {
+		evBase = make([]uint64, len(sk.kernels))
+		laneDone = make([]time.Time, len(sk.kernels))
+	}
 	for {
 		// H: the global safe horizon's base — no lane can produce work for
 		// another below H+lookahead, so [H, H+lookahead) is safe to run
@@ -403,17 +415,40 @@ func (sk *ShardedKernel) RunParallel(limit Time) uint64 {
 			wl.out = wl.out[:0]
 			wl.nprov = 0
 			k.wlog = wl
+			if lp != nil {
+				evBase[i] = k.events
+			}
 			wg.Add(1)
-			go func(k *Kernel) {
+			go func(i int, k *Kernel) {
 				defer wg.Done()
 				k.runWindow(winEnd)
-			}(k)
+				if lp != nil {
+					// Each lane writes only its own slot: no race.
+					laneDone[i] = time.Now()
+				}
+			}(i, k)
 		}
 		wg.Wait()
 		for _, k := range sk.kernels {
 			k.wlog = nil
 		}
 		sk.barrier(winEnd)
+		if lp != nil {
+			barrierDone := time.Now()
+			lp.TotalWindows++
+			if lp.TotalWindows <= lp.Cap {
+				for i, k := range sk.kernels {
+					lp.Windows = append(lp.Windows, LaneWindow{
+						Lane:   i,
+						Start:  h,
+						End:    winEnd,
+						Events: k.events - evBase[i],
+						Out:    len(sk.wlogs[i].out),
+						WaitNS: barrierDone.Sub(laneDone[i]).Nanoseconds(),
+					})
+				}
+			}
+		}
 		sk.now = winEnd
 	}
 	return sk.EventsRun() - start

@@ -68,6 +68,11 @@ func WarmupConfig(cfg core.Config) core.Config {
 	cfg.TraceCap = 0
 	cfg.SampleEvery = 0
 	cfg.SampleCap = 0
+	// Census and per-VM attribution are observation-only and reset at
+	// the warmup/measure boundary, so a plain warmup serves instrumented
+	// forks (the fork's own config arms them at construction).
+	cfg.Census = false
+	cfg.PerVM = false
 	// Sharding is an execution strategy, not a model change: any shard
 	// count produces bit-identical state, so a serial warmup may fork
 	// into sharded measure phases and vice versa.

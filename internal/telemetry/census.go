@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// TouchSite counts the synchronous remote-tile accesses of one
+// protocol call site as a src x dst tile matrix. The engines register
+// one site per (handler, structure) pair at construction and call
+// Touch on the hot path; a nil site (census disarmed) costs one
+// pointer test. Recording is tile-granular — which shard a tile maps
+// to is resolved only at export — so the counts are identical for any
+// shard count and any executor by construction.
+type TouchSite struct {
+	Engine    string
+	Handler   string
+	Structure string
+
+	tiles  int
+	counts []uint64 // src*tiles + dst
+}
+
+// Touch records one access: the handler logically executing at tile
+// src read or wrote a structure owned by tile dst.
+func (s *TouchSite) Touch(src, dst int) {
+	if s == nil {
+		return
+	}
+	s.counts[src*s.tiles+dst]++
+}
+
+// Census is the cross-shard touch inventory of one run: every
+// registered call site where a protocol handler synchronously reaches
+// into another tile's structures — exactly the accesses that must
+// become scheduled messages before RunParallel can drive full-system
+// runs (ROADMAP item 1, DESIGN.md §13/§14).
+type Census struct {
+	tiles int
+	sites []*TouchSite
+}
+
+// NewCensus builds an empty census for a chip with the given tile
+// count.
+func NewCensus(tiles int) *Census {
+	return &Census{tiles: tiles}
+}
+
+// Site registers (or returns the existing) touch site for one
+// (engine, handler, structure) triple. Registration order is the
+// engine construction order, which is deterministic.
+func (c *Census) Site(engine, handler, structure string) *TouchSite {
+	for _, s := range c.sites {
+		if s.Engine == engine && s.Handler == handler && s.Structure == structure {
+			return s
+		}
+	}
+	s := &TouchSite{
+		Engine: engine, Handler: handler, Structure: structure,
+		tiles:  c.tiles,
+		counts: make([]uint64, c.tiles*c.tiles),
+	}
+	c.sites = append(c.sites, s)
+	return s
+}
+
+// Reset zeroes every site's counts but keeps the sites registered
+// (the warmup/measure boundary discards warmup touches the same way
+// it discards warmup counters).
+func (c *Census) Reset() {
+	for _, s := range c.sites {
+		for i := range s.counts {
+			s.counts[i] = 0
+		}
+	}
+}
+
+// CensusRecord is the manifest-facing aggregate of one touch site
+// (schema v3). Count, Remote and EstCycles depend only on the tile
+// matrix, so they are invariant across shard counts; CrossShard is
+// classified against the partition of the recording run (shards=0 or
+// 1 puts every tile in one band, so CrossShard is then zero).
+type CensusRecord struct {
+	Engine    string `json:"engine"`
+	Handler   string `json:"handler"`
+	Structure string `json:"structure"`
+	// Count is all recorded touches; Remote the subset where the acting
+	// tile differs from the touched tile; CrossShard the subset whose
+	// endpoints land in different shard bands.
+	Count      uint64 `json:"count"`
+	Remote     uint64 `json:"remote"`
+	CrossShard uint64 `json:"cross_shard"`
+	// EstCycles is the one-way mesh latency the remote touches would
+	// cost as scheduled messages: sum over remote touches of
+	// manhattan-hops(src, dst) x the per-hop latency. It is the ranking
+	// signal for the messageization work.
+	EstCycles uint64 `json:"est_cycles"`
+}
+
+// Records aggregates every site into ranked records: EstCycles
+// descending, then Count, then the (engine, handler, structure) name
+// — a deterministic total order. shardOf maps tile to shard band (nil
+// = single band) and hops gives the mesh distance between two tiles.
+func (c *Census) Records(shardOf []int, hops func(src, dst int) int, hopLatency int) []CensusRecord {
+	recs := make([]CensusRecord, 0, len(c.sites))
+	for _, s := range c.sites {
+		r := CensusRecord{Engine: s.Engine, Handler: s.Handler, Structure: s.Structure}
+		for src := 0; src < c.tiles; src++ {
+			row := s.counts[src*c.tiles : (src+1)*c.tiles]
+			for dst, n := range row {
+				if n == 0 {
+					continue
+				}
+				r.Count += n
+				if src != dst {
+					r.Remote += n
+					r.EstCycles += n * uint64(hops(src, dst)*hopLatency)
+				}
+				if shardOf != nil && shardOf[src] != shardOf[dst] {
+					r.CrossShard += n
+				}
+			}
+		}
+		if r.Count > 0 {
+			recs = append(recs, r)
+		}
+	}
+	sort.Slice(recs, func(i, j int) bool {
+		a, b := &recs[i], &recs[j]
+		if a.EstCycles != b.EstCycles {
+			return a.EstCycles > b.EstCycles
+		}
+		if a.Count != b.Count {
+			return a.Count > b.Count
+		}
+		if a.Engine != b.Engine {
+			return a.Engine < b.Engine
+		}
+		if a.Handler != b.Handler {
+			return a.Handler < b.Handler
+		}
+		return a.Structure < b.Structure
+	})
+	return recs
+}
+
+// CensusTable renders ranked census records as the standard aligned
+// table (shared by cmpsim's report and tables' manifest view).
+func CensusTable(title string, recs []CensusRecord) *stats.Table {
+	t := stats.NewTable(title,
+		"engine", "handler", "structure", "touches", "remote", "cross-shard", "est cycles")
+	for _, r := range recs {
+		t.AddRowf(r.Engine, r.Handler, r.Structure, r.Count, r.Remote, r.CrossShard, r.EstCycles)
+	}
+	return t
+}

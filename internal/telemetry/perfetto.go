@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"repro/internal/sim"
 )
 
 // traceEvent is one Chrome/Perfetto trace-event record. Timestamps
@@ -44,6 +46,16 @@ type perfettoFile struct {
 // exported — after a completed run there are none, and a partial
 // export must not contain unclosed slices.
 func WritePerfetto(w io.Writer, tracers ...*Tracer) error {
+	return WritePerfettoLanes(w, nil, tracers...)
+}
+
+// WritePerfettoLanes is WritePerfetto plus per-lane execution tracks:
+// when lp is non-nil, every retained RunParallel window becomes one
+// complete ("X") slice per lane on a dedicated "sharded kernel"
+// process, one thread per lane, annotated with the lane's events
+// dispatched, outbox depth and barrier wait. Lane tracks render next
+// to the span tracks, aligned on the same cycle axis.
+func WritePerfettoLanes(w io.Writer, lp *sim.LaneProfile, tracers ...*Tracer) error {
 	f := perfettoFile{
 		DisplayTimeUnit: "ns",
 		OtherData:       map[string]any{"tool": "cmpsim", "unit": "cycles"},
@@ -120,6 +132,38 @@ func WritePerfetto(w io.Writer, tracers ...*Tracer) error {
 		}
 		f.OtherData[t.Protocol+"_spans_dropped"] = t.Dropped()
 	}
+	if lp != nil {
+		pid := len(tracers) + 1
+		meta = append(meta, traceEvent{
+			Name: "process_name", Ph: "M", PID: pid,
+			Args: map[string]any{"name": fmt.Sprintf("sharded kernel (%d lanes)", lp.Lanes)},
+		})
+		for lane := 0; lane < lp.Lanes; lane++ {
+			meta = append(meta, traceEvent{
+				Name: "thread_name", Ph: "M", PID: pid, TID: lane,
+				Args: map[string]any{"name": fmt.Sprintf("lane %d", lane)},
+			})
+		}
+		for i := range lp.Windows {
+			lw := &lp.Windows[i]
+			dur := uint64(lw.End-lw.Start) + 1
+			name := "window"
+			if lw.Events == 0 {
+				name = "stall" // lookahead stall: the lane only waited
+			}
+			events = append(events, traceEvent{
+				Name: name, Cat: "lane", Ph: "X",
+				TS: uint64(lw.Start), Dur: &dur, PID: pid, TID: lw.Lane,
+				Args: map[string]any{
+					"events":  lw.Events,
+					"outbox":  lw.Out,
+					"wait_ns": lw.WaitNS,
+				},
+			})
+		}
+		f.OtherData["lane_windows_total"] = lp.TotalWindows
+		f.OtherData["lane_lookahead_cycles"] = uint64(lp.Lookahead)
+	}
 	sort.SliceStable(events, func(i, j int) bool { return events[i].TS < events[j].TS })
 	f.TraceEvents = append(meta, events...)
 	enc := json.NewEncoder(w)
@@ -128,10 +172,11 @@ func WritePerfetto(w io.Writer, tracers ...*Tracer) error {
 
 // TraceSummary is what ValidatePerfetto learned about a trace file.
 type TraceSummary struct {
-	Events int
-	Spans  int
-	Hops   int
-	ByPID  map[int]string // pid -> process (protocol) name
+	Events     int
+	Spans      int
+	Hops       int
+	LaneSlices int            // per-lane window slices (cat "lane")
+	ByPID      map[int]string // pid -> process (protocol) name
 }
 
 // ValidatePerfetto decodes a trace-event JSON file and verifies the
@@ -174,6 +219,12 @@ func ValidatePerfetto(r io.Reader) (TraceSummary, error) {
 					return sum, fmt.Errorf("telemetry: event %d: miss slice %q has no class (span not closed)", i, e.Name)
 				}
 			}
+			if e.Cat == "lane" {
+				sum.LaneSlices++
+				if e.Dur == nil {
+					return sum, fmt.Errorf("telemetry: event %d: lane slice %q has no duration", i, e.Name)
+				}
+			}
 		case "b":
 			openAsync[e.Cat+"\x00"+e.ID]++
 			if e.Cat == "hop" {
@@ -200,8 +251,8 @@ func ValidatePerfetto(r io.Reader) (TraceSummary, error) {
 			return sum, fmt.Errorf("telemetry: async pair %q unbalanced by %d", key, n)
 		}
 	}
-	if sum.Spans == 0 {
-		return sum, fmt.Errorf("telemetry: trace contains no miss spans")
+	if sum.Spans == 0 && sum.LaneSlices == 0 {
+		return sum, fmt.Errorf("telemetry: trace contains no miss spans and no lane slices")
 	}
 	return sum, nil
 }

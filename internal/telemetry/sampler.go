@@ -35,6 +35,12 @@ type Sample struct {
 	EnergyCachePJ   float64 `json:"energy_cache_pj"`
 	EnergyLinkPJ    float64 `json:"energy_link_pj"`
 	EnergyRoutingPJ float64 `json:"energy_routing_pj"`
+	// Per-VM cumulative energy split at the snapshot, indexed by VM id.
+	// Nil unless per-VM attribution is armed. Derived from the per-VM
+	// counter banks — pure simulation state, so the series stays
+	// bit-identical serial vs sharded.
+	PerVMCachePJ []float64 `json:"per_vm_cache_pj,omitempty"`
+	PerVMNetPJ   []float64 `json:"per_vm_net_pj,omitempty"`
 }
 
 // Series is a bounded ring of epoch samples plus the metadata needed
@@ -77,6 +83,9 @@ type Sampler struct {
 	armed   bool
 	tickFn  func()
 	ringOff int
+
+	banks []*stats.Set
+	vmNet func(vm int) (flits, routers uint64)
 }
 
 // NewSampler builds a sampler snapshotting counters, net occupancy
@@ -96,6 +105,17 @@ func NewSampler(k *sim.Kernel, every sim.Time, cap int, counters *stats.Set,
 	}
 	s.tickFn = s.tick
 	return s
+}
+
+// SetBanks attaches the per-VM counter banks (and a per-VM network
+// reader) of a per-VM-attributed run. Mid-run the global counters
+// lack the hot-path charges — those accumulate in the banks until the
+// measure-end fold — so every snapshot reconciles each counter as
+// global + Σ banks, keeping Sample.Counters and the energy split
+// bit-identical to an unattributed run. The banks also feed the
+// optional per-VM energy columns of each sample.
+func (s *Sampler) SetBanks(banks []*stats.Set, vmNet func(vm int) (flits, routers uint64)) {
+	s.banks, s.vmNet = banks, vmNet
 }
 
 // SetPhase labels subsequent samples ("warmup", "measure").
@@ -128,7 +148,19 @@ func (s *Sampler) tick() {
 // Snapshot records one sample immediately (ticks call it; phase ends
 // may call it for a final fencepost sample).
 func (s *Sampler) Snapshot() {
-	names := s.counters.Names()
+	counters := s.counters
+	if len(s.banks) > 0 {
+		// Reconcile per-VM banks into a scratch set so the sample sees
+		// exactly the totals an unattributed run would (the scratch
+		// mirrors the global set's name order; bank names are a subset).
+		scratch := &stats.Set{}
+		scratch.Merge(s.counters)
+		for _, b := range s.banks {
+			scratch.Merge(b)
+		}
+		counters = scratch
+	}
+	names := counters.Names()
 	smp := Sample{
 		Cycle:       s.k.Now(),
 		Phase:       s.phase,
@@ -140,12 +172,25 @@ func (s *Sampler) Snapshot() {
 		LinkFlits:   s.net.LinkFlits(nil),
 	}
 	for i, n := range names {
-		smp.Counters[i] = s.counters.Value(n)
+		smp.Counters[i] = counters.Value(n)
 	}
-	bd := power.Dynamic(s.counters, s.net.Stats(), s.energies)
+	bd := power.Dynamic(counters, s.net.Stats(), s.energies)
 	smp.EnergyCachePJ = bd.CacheTotal()
 	smp.EnergyLinkPJ = bd.Link
 	smp.EnergyRoutingPJ = bd.Routing
+	if len(s.banks) > 0 {
+		smp.PerVMCachePJ = make([]float64, len(s.banks))
+		smp.PerVMNetPJ = make([]float64, len(s.banks))
+		for v, b := range s.banks {
+			var flits, routers uint64
+			if s.vmNet != nil {
+				flits, routers = s.vmNet(v)
+			}
+			vbd := power.Dynamic(b, mesh.Stats{FlitLinkCrossing: flits, RouterTraversals: routers}, s.energies)
+			smp.PerVMCachePJ[v] = vbd.CacheTotal()
+			smp.PerVMNetPJ[v] = vbd.Link + vbd.Routing
+		}
+	}
 	if len(names) > len(s.series.CounterNames) {
 		s.series.CounterNames = names
 	}
