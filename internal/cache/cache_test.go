@@ -173,9 +173,9 @@ func TestPointerCacheEviction(t *testing.T) {
 	p.Update(1, 10)
 	p.Update(2, 20)
 	p.Lookup(1) // 1 MRU
-	ev, disp := p.Update(3, 30)
-	if !disp || ev != 2 {
-		t.Errorf("evicted %d (displaced %v), want 2 true", ev, disp)
+	ev, evPtr, disp := p.Update(3, 30)
+	if !disp || ev != 2 || evPtr != 20 {
+		t.Errorf("evicted %d ptr %d (displaced %v), want 2 20 true", ev, evPtr, disp)
 	}
 	if _, ok := p.Lookup(2); ok {
 		t.Error("evicted entry still present")
@@ -237,7 +237,7 @@ func TestMSHRDone(t *testing.T) {
 		t.Fatal("done with pending provider acks")
 	}
 	e.ProviderAcks = 0
-	e.HomeAck = true
+	e.HomeAck = 1
 	if e.Done() {
 		t.Fatal("done with pending home ack")
 	}
@@ -326,7 +326,7 @@ func TestPointerCacheSetIndexShift(t *testing.T) {
 	p := NewPointerCache("l2c", 2, 1)
 	p.SetIndexShift(6)
 	p.Update(0x1000, 1)
-	if ev, disp := p.Update(0x103f, 2); !disp || ev != 0x1000 {
+	if ev, _, disp := p.Update(0x103f, 2); !disp || ev != 0x1000 {
 		t.Errorf("same-set update did not displace: %v %v", ev, disp)
 	}
 }

@@ -28,7 +28,11 @@ type MSHREntry struct {
 	SharerAcks   int    // pending acknowledgements from sharers
 	ProviderAcks int    // pending acknowledgements from providers
 	DataReceived bool
-	HomeAck      bool // Change_Owner acknowledgement pending (false = received/not needed)
+	// HomeAck counts pending Change_Owner acknowledgements. It is a
+	// counter, not a flag: the expectation (+1) rides to the requestor
+	// with the data message while the ack itself travels directly, so
+	// an early ack legitimately drives it to -1 until the data arrives.
+	HomeAck int
 
 	// Deferred work to run when the miss completes.
 	OnComplete func()
@@ -122,5 +126,5 @@ func (m *MSHR) ForEach(fn func(*MSHREntry)) {
 // Done reports whether the entry's completion conditions are all met:
 // data arrived and no acknowledgement of any kind is pending.
 func (e *MSHREntry) Done() bool {
-	return e.DataReceived && e.SharerAcks == 0 && e.ProviderAcks == 0 && !e.HomeAck
+	return e.DataReceived && e.SharerAcks == 0 && e.ProviderAcks == 0 && e.HomeAck == 0
 }

@@ -72,9 +72,11 @@ func (p *PointerCache) Lookup(a Addr) (ptr int16, ok bool) {
 }
 
 // Update stores ptr for a, inserting (and possibly evicting LRU) if a
-// is absent. It returns the evicted address if an insertion displaced
-// a valid entry.
-func (p *PointerCache) Update(a Addr, ptr int16) (evicted Addr, displaced bool) {
+// is absent. It returns the evicted address and its stored pointer if
+// an insertion displaced a valid entry — the pointer identifies the
+// displaced block's owner, so the homes can send recalls directly
+// instead of scanning every tile's L1.
+func (p *PointerCache) Update(a Addr, ptr int16) (evicted Addr, evictedPtr int16, displaced bool) {
 	p.Updates++
 	base := p.setOf(a) * p.ways
 	freeIdx, victimIdx := -1, base
@@ -85,7 +87,7 @@ func (p *PointerCache) Update(a Addr, ptr int16) (evicted Addr, displaced bool) 
 			p.ptrs[i] = ptr
 			p.stamp++
 			p.lru[i] = p.stamp
-			return 0, false
+			return 0, 0, false
 		}
 		if !p.valid[i] {
 			if freeIdx < 0 {
@@ -100,6 +102,7 @@ func (p *PointerCache) Update(a Addr, ptr int16) (evicted Addr, displaced bool) 
 	if idx < 0 {
 		idx = victimIdx
 		evicted = p.addrs[idx]
+		evictedPtr = p.ptrs[idx]
 		displaced = true
 	}
 	p.addrs[idx] = a
@@ -107,7 +110,7 @@ func (p *PointerCache) Update(a Addr, ptr int16) (evicted Addr, displaced bool) 
 	p.valid[idx] = true
 	p.stamp++
 	p.lru[idx] = p.stamp
-	return evicted, displaced
+	return evicted, evictedPtr, displaced
 }
 
 // Invalidate removes a's entry, reporting whether it existed.

@@ -1,0 +1,147 @@
+package check
+
+import (
+	"fmt"
+
+	"repro/internal/memctrl"
+	"repro/internal/mesh"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// Fingerprint is the deterministic signature of one unchecked replay:
+// the clock at the last reference retirement and the mesh activity
+// counters. Two replays of the same stream on any executor must
+// produce the same fingerprint — the differential gate the parallel
+// stress legs use where the shadow checker (hub-resident) cannot
+// follow. The retirement clock is used rather than the drain clock
+// because RunParallel rests at its last window's end, which trails
+// the final event by up to lookahead-1 cycles by construction.
+type Fingerprint struct {
+	LastRetire sim.Time
+	Net        mesh.Stats
+}
+
+// replayWindow bounds one executor chunk between progress checks; a
+// chunk with pending events but no retirements is a stall (the
+// watchdog cannot arm on the parallel executor, so progress is
+// checked at window granularity instead).
+const replayWindow = 2_000_000
+
+// RunRecordSharded replays one stream on a sharded mini-chip with no
+// shadow checker attached, using either the sequential merge or the
+// concurrent RunParallel window executor, and returns the replay
+// fingerprint. Engine invariants are still checked at quiescence, and
+// livelock/deadlock still fail the run — this is the stress surface
+// for the messageized engine handlers, whose cross-tile work must be
+// shard-affine for the parallel executor to resolve at all.
+func RunRecordSharded(protocol string, recs []trace.Record, tiles, areas, shards int, seed uint64, parallel bool) (fp Fingerprint, err error) {
+	grid := topo.SquareGrid(tiles)
+	areasv, err := topo.NewAreas(grid, areas)
+	if err != nil {
+		return fp, err
+	}
+	netCfg := mesh.DefaultConfig()
+	sk := sim.NewSharded(seed, shards, netCfg.HopLatency())
+	hub := sk.Hub()
+	net := mesh.New(hub, grid, netCfg)
+	shardOf := topo.Partition(grid, shards)
+	lanes := make([]*sim.Kernel, shards)
+	for i := range lanes {
+		lanes[i] = sk.Shard(i)
+	}
+	net.SetSharding(lanes, shardOf)
+	mem := memctrl.Default(grid, hub.Rand().Fork())
+	ctx := &proto.Context{Kernel: hub, Net: net, Areas: areasv, Mem: mem, Cfg: TinyConfig()}
+	ctx.SetLanes(shardOf, lanes)
+	eng, err := newEngine(protocol, ctx)
+	if err != nil {
+		return fp, err
+	}
+
+	// Per-tile streams with single-writer cursors: each tile's step
+	// chain lives entirely on its own lane, so the replay driver itself
+	// is shard-affine.
+	perTile := make([][]trace.Record, grid.Tiles())
+	for _, r := range recs {
+		perTile[r.Tile] = append(perTile[r.Tile], r)
+	}
+	cursor := make([]int, grid.Tiles())
+	retired := make([]int, grid.Tiles())
+	lastRetire := make([]sim.Time, grid.Tiles())
+	var step func(tile topo.Tile)
+	step = func(tile topo.Tile) {
+		rs := perTile[tile]
+		i := cursor[tile]
+		if i >= len(rs) {
+			return
+		}
+		cursor[tile]++
+		r := rs[i]
+		k := lanes[shardOf[tile]]
+		issue := func() {
+			eng.Access(r.Tile, r.Addr, r.Write, func() {
+				retired[tile]++
+				lastRetire[tile] = k.Now()
+				step(tile)
+			})
+		}
+		if r.Gap > 0 {
+			k.After(r.Gap, issue)
+		} else {
+			issue()
+		}
+	}
+	for t := 0; t < grid.Tiles(); t++ {
+		if len(perTile[t]) == 0 {
+			continue
+		}
+		tile := topo.Tile(t)
+		lanes[shardOf[t]].After(sim.Time(t%7), func() { step(tile) })
+	}
+
+	sum := func() int {
+		n := 0
+		for _, r := range retired {
+			n += r
+		}
+		return n
+	}
+	if parallel {
+		ctx.ArmLanes()
+		defer ctx.FoldLanes()
+	}
+	for sk.Pending() > 0 {
+		before := sum()
+		if parallel {
+			sk.RunParallel(sk.Now() + replayWindow)
+		} else {
+			sk.Run(sk.Now() + replayWindow)
+		}
+		if sk.Pending() > 0 && sum() == before {
+			return fp, fmt.Errorf("check: %s stalled at t=%d with %d/%d refs retired, %d events pending\n%s",
+				eng.Name(), sk.Now(), sum(), len(recs), sk.Pending(), proto.FormatStalls(eng))
+		}
+	}
+	if done := sum(); done != len(recs) {
+		return fp, fmt.Errorf("check: %s retired %d of %d refs with no events pending (deadlock)\n%s",
+			eng.Name(), done, len(recs), proto.FormatStalls(eng))
+	}
+	defer func() {
+		if err == nil {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("check: invariant failure: %v", r)
+			}
+		}
+	}()
+	eng.CheckInvariants()
+	last := sim.Time(0)
+	for _, t := range lastRetire {
+		if t > last {
+			last = t
+		}
+	}
+	return Fingerprint{LastRetire: last, Net: net.Stats()}, nil
+}

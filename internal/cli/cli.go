@@ -89,6 +89,8 @@ func (f *Flags) Obs() *Flags {
 func (f *Flags) Shards() *Flags {
 	f.fs.IntVar(&f.cfg.Shards, "shards", f.cfg.Shards,
 		"partition the mesh into N contiguous tile shards, each on its own kernel lane (0 = single kernel; results are bit-identical)")
+	f.fs.BoolVar(&f.cfg.Parallel, "parallel", f.cfg.Parallel,
+		"run the sharded lanes concurrently in conservative lookahead windows (requires -shards N; results stay bit-identical; falls back to the sequential merge when hub-resident observability is armed)")
 	return f
 }
 

@@ -49,6 +49,18 @@ type Config struct {
 	// gate enforces.
 	Shards int
 
+	// Parallel runs the phases on the sharded group's parallel window
+	// executor (sim.ShardedKernel.RunParallel) instead of its
+	// sequential merge. Requires Shards > 0. The engines' messageized
+	// handlers are shard-affine, so the executor is bit-identical to
+	// the merge (and thus to a serial run) — the crosscheck fingerprint
+	// gate enforces it. Runs that arm hub-resident observability
+	// (Check, Profile, Trace, PerVM, SampleEvery) fall back to the
+	// sequential merge transparently; Result.Executor reports which
+	// executor actually ran. Census is lane-safe (diagonal-only
+	// recording) and stays available.
+	Parallel bool
+
 	// Check attaches the shadow-memory coherence checker and the
 	// stalled-transaction watchdog (internal/check) to the run. Off by
 	// default: with Check false the kernel event stream is bit-identical
@@ -142,7 +154,13 @@ type RunProfile struct {
 
 // Result carries everything the evaluation figures need from one run.
 type Result struct {
-	Config       Config
+	Config Config
+	// Executor names the event loop that drove the run: "serial"
+	// (single kernel), "merge" (sharded sequential merge) or
+	// "parallel" (sharded conservative windows). All three produce
+	// bit-identical simulation results; the name matters only for
+	// host-performance comparisons.
+	Executor     string
 	Cycles       sim.Time
 	Refs         uint64
 	Events       uint64 // kernel events dispatched by the measured phase
@@ -165,6 +183,11 @@ type Result struct {
 	// Census is non-nil only when Config.Census was set: the ranked
 	// cross-shard touch inventory of the measured phase.
 	Census []telemetry.CensusRecord
+
+	// LaneProf is non-nil only when the run executed on RunParallel:
+	// the per-window lane utilization profile (events per lane per
+	// window, outbox depths, barrier waits).
+	LaneProf *sim.LaneProfile
 
 	// PerVM is non-nil only when Config.PerVM was set: one entry per
 	// consolidated VM, in VM order.
@@ -307,13 +330,22 @@ type System struct {
 
 	// SK is non-nil only when Cfg.Shards > 0: the sharded executor.
 	// Kernel is then its hub lane (lane 0), which hosts the chip-global
-	// machinery (engine events, watchdog, sampler, tracer) and the
-	// run's primary random stream.
+	// machinery (watchdog, sampler, tracer) and the run's primary
+	// random stream.
 	SK      *sim.ShardedKernel
 	shardOf []int // tile -> shard (Cfg.Shards > 0 only)
 
 	// run drives the event loop: Kernel when serial, SK when sharded.
 	run runner
+
+	// parallel is true when the phases execute on RunParallel: the
+	// config asked for it, the run is sharded, and no hub-resident
+	// observability is armed (see Config.Parallel). Drivers consult it
+	// to keep phase bookkeeping per-tile — concurrent lanes must not
+	// share counters.
+	parallel bool
+	// laneProf collects per-window lane utilization (parallel only).
+	laneProf *sim.LaneProfile
 
 	// prof is non-nil only when Cfg.Profile is set.
 	prof *RunProfile
@@ -351,6 +383,11 @@ type tileDriver struct {
 	addr   cache.Addr
 	write  bool
 	issued sim.Time // issue timestamp (profiled runs only)
+	// lastRetire is this tile's most recent retirement time. Parallel
+	// phases derive the phase-global last-retire as the max over tiles
+	// after the queues drain, because concurrent lanes cannot share
+	// the serial path's phaseLastRetire cell.
+	lastRetire sim.Time
 
 	stepC  func() // allocated once; schedule the next reference
 	issueC func() // allocated once; issue the stored access
@@ -359,18 +396,24 @@ type tileDriver struct {
 
 // assertShard is the driver-level ownership assert of a sharded run:
 // the dispatching lane must be the tile's shard. It guards the two
-// driver events (step and issue) — retire continuations are excluded
-// because they ride the engine's events, which all live on the hub
-// until the engines' cross-tile shortcuts are messageized (DESIGN.md
-// §13).
+// driver events (step and issue). Under the sequential merge the
+// coordinator's ActiveShard names the dispatching lane; inside a
+// RunParallel window events run on the lane they were scheduled on by
+// construction, so the assert degrades to checking the lane kernel is
+// actually mid-window.
 func (d *tileDriver) assertShard() {
 	s := d.s
 	if s.SK == nil {
 		return
 	}
-	if got, want := s.SK.ActiveShard(), s.shardOf[d.tile]; got != want {
+	got, want := s.SK.ActiveShard(), s.shardOf[d.tile]
+	if got >= 0 && got != want {
 		panic(fmt.Sprintf("core: tile %d driver event dispatched on shard %d, owner is %d",
 			d.tile, got, want))
+	}
+	if got < 0 && !d.k.Deferring() {
+		panic(fmt.Sprintf("core: tile %d driver event dispatched outside merge and parallel window",
+			d.tile))
 	}
 }
 
@@ -392,7 +435,11 @@ func (d *tileDriver) issueWake() {
 func (d *tileDriver) step() {
 	s := d.s
 	if s.retired[d.tile] >= s.phaseRefs {
-		s.phaseDone++
+		// phaseDone is serial-only bookkeeping; parallel phases derive
+		// completion from retired[] between windows.
+		if !s.parallel {
+			s.phaseDone++
+		}
 		return
 	}
 	acc := s.Gen.Next(d.tile)
@@ -428,9 +475,15 @@ func (d *tileDriver) done() {
 		}
 	}
 	s.retired[d.tile]++
-	s.phaseTotal++
-	s.refsTotal++
-	s.phaseLastRetire = d.k.Now()
+	d.lastRetire = d.k.Now()
+	if !s.parallel {
+		// Shared phase counters stay serial-only: under RunParallel
+		// every lane retires concurrently, so the phase totals are
+		// derived from the per-tile state at window boundaries instead.
+		s.phaseTotal++
+		s.refsTotal++
+		s.phaseLastRetire = d.lastRetire
+	}
 	d.step()
 }
 
@@ -470,18 +523,33 @@ func NewSystem(cfg Config) (*System, error) {
 	}
 	net := mesh.New(kernel, grid, cfg.Net)
 	var shardOf []int
+	var laneKernels []*sim.Kernel
 	if sk != nil {
 		shardOf = topo.Partition(grid, cfg.Shards)
-		lanes := make([]*sim.Kernel, grid.Tiles())
-		for t := range lanes {
-			lanes[t] = sk.Shard(shardOf[t])
+		laneKernels = make([]*sim.Kernel, cfg.Shards)
+		for i := range laneKernels {
+			laneKernels[i] = sk.Shard(i)
 		}
-		net.SetSharding(lanes, shardOf)
+		net.SetSharding(laneKernels, shardOf)
 	}
 	mem := memctrl.Default(grid, kernel.Rand().Fork())
 	mapper := memctrl.NewMapper(cfg.Dedup)
 	gen := workload.NewGenerator(w, placement, mapper, kernel.Rand().Fork())
+	// Every executor shares one timing model: copy-on-write breaks
+	// become visible to readers one mesh hop later, which is the
+	// parallel executor's lookahead — within it no lane can observe
+	// another lane's same-window break anyway. Lane bindings follow:
+	// serial runs are a single lane on the only kernel.
+	mapper.SetCoWDelay(cfg.Net.HopLatency())
+	if sk != nil {
+		gen.SetLanes(shardOf, laneKernels)
+	} else {
+		gen.SetLanes(make([]int, grid.Tiles()), []*sim.Kernel{kernel})
+	}
 	ctx := &proto.Context{Kernel: kernel, Net: net, Areas: areas, Mem: mem, Cfg: cfg.Proto}
+	if sk != nil {
+		ctx.SetLanes(shardOf, laneKernels)
+	}
 	// Census and per-VM attribution must be armed before the engine is
 	// built: the engines register their touch sites and resolve their
 	// power handles at construction.
@@ -547,6 +615,17 @@ func NewSystem(cfg Config) (*System, error) {
 	} else {
 		s.run = kernel
 	}
+	// RunParallel eligibility: asked for, sharded, and no hub-resident
+	// observability. Check, Profile, Trace, PerVM and the sampler all
+	// run chip-global hooks on the hub lane (shared counters, span
+	// tables, tick chains), so they force the sequential merge; the
+	// census records diagonal-only and stays lane-safe.
+	s.parallel = cfg.Parallel && sk != nil && !cfg.Check && !cfg.Profile &&
+		!cfg.Trace && !cfg.PerVM && cfg.SampleEvery == 0
+	if s.parallel {
+		s.laneProf = &sim.LaneProfile{}
+		sk.SetLaneProfile(s.laneProf)
+	}
 	if cfg.Trace {
 		s.Tracer = telemetry.NewTracer(kernel, cfg.Protocol, cfg.Tiles, cfg.TraceCap)
 		ctx.Spans = s.Tracer
@@ -578,10 +657,22 @@ func (s *System) pendingMisses() int {
 	return n
 }
 
-// runPhase drives every core through refs references, starting each
-// reference Gap cycles after the previous one retires. It returns the
-// simulation time of the last retirement.
-func (s *System) runPhase(refs int) (sim.Time, uint64, error) {
+// Executor names the event loop driving this system's phases (see
+// Result.Executor).
+func (s *System) Executor() string {
+	switch {
+	case s.parallel:
+		return "parallel"
+	case s.SK != nil:
+		return "merge"
+	default:
+		return "serial"
+	}
+}
+
+// seedPhase resets the per-phase state, builds the drivers on first
+// use, and schedules every tile's first step event on its lane.
+func (s *System) seedPhase(refs int) {
 	cfg := s.Cfg
 	for t := range s.retired {
 		s.retired[t] = 0
@@ -606,8 +697,20 @@ func (s *System) runPhase(refs int) (sim.Time, uint64, error) {
 		}
 	}
 	for t := 0; t < cfg.Tiles; t++ {
+		s.drivers[t].lastRetire = 0
 		s.drivers[t].k.After(sim.Time(t%7), s.drivers[t].stepC)
 	}
+}
+
+// runPhase drives every core through refs references, starting each
+// reference Gap cycles after the previous one retires. It returns the
+// simulation time of the last retirement.
+func (s *System) runPhase(refs int) (sim.Time, uint64, error) {
+	if s.parallel {
+		return s.runPhaseParallel(refs)
+	}
+	cfg := s.Cfg
+	s.seedPhase(refs)
 	// Watchdog: if no reference retires for a long stretch, the
 	// protocol has livelocked — fail loudly instead of spinning. With
 	// Check set, the per-transaction watchdog additionally pinpoints the
@@ -651,6 +754,52 @@ func (s *System) runPhase(refs int) (sim.Time, uint64, error) {
 		s.Sampler.Snapshot()
 	}
 	return s.phaseLastRetire, s.phaseTotal, nil
+}
+
+// runPhaseParallel is runPhase on the conservative window executor.
+// The phase loop runs RunParallel in watchdog-window chunks and reads
+// only per-tile state between chunks (retired counts, per-driver
+// retire times): the lanes retire concurrently, so there is no shared
+// phase counter to consult. Lane counter views are armed for the
+// duration and folded back before anything reads the root set.
+func (s *System) runPhaseParallel(refs int) (sim.Time, uint64, error) {
+	cfg := s.Cfg
+	s.seedPhase(refs)
+	s.Ctx.ArmLanes()
+	defer s.Ctx.FoldLanes()
+	const watchdogWindow sim.Time = 2_000_000
+	lastProgress := uint64(0)
+	target := uint64(refs) * uint64(cfg.Tiles)
+	for {
+		s.SK.RunParallel(s.SK.Now() + watchdogWindow)
+		if s.SK.Pending() == 0 {
+			break
+		}
+		total := uint64(0)
+		for t := range s.retired {
+			total += uint64(s.retired[t])
+		}
+		if total == lastProgress {
+			return 0, 0, fmt.Errorf("core: parallel run stalled at t=%d with %d/%d refs retired",
+				s.SK.Now(), total, target)
+		}
+		lastProgress = total
+	}
+	var lastRetire sim.Time
+	total := uint64(0)
+	for t := range s.drivers {
+		if lr := s.drivers[t].lastRetire; lr > lastRetire {
+			lastRetire = lr
+		}
+		total += uint64(s.retired[t])
+	}
+	if total != target {
+		return 0, 0, fmt.Errorf("core: parallel run drained with %d/%d refs retired", total, target)
+	}
+	s.phaseTotal = total
+	s.phaseLastRetire = lastRetire
+	s.refsTotal += total
+	return lastRetire, total, nil
 }
 
 // timedPhase wraps runPhase with the optional per-phase timers.
@@ -735,6 +884,7 @@ func (s *System) RunMeasure() (*Result, error) {
 	energies := power.Energies(sp, storage.DefaultConfig(cfg.Tiles, cfg.Areas), power.DefaultEnergy())
 	res := &Result{
 		Config:       cfg,
+		Executor:     s.Executor(),
 		Cycles:       lastRetire,
 		Refs:         totalRefs,
 		Events:       s.run.EventsRun() - events0,
@@ -749,6 +899,7 @@ func (s *System) RunMeasure() (*Result, error) {
 	if s.Sampler != nil {
 		res.Series = s.Sampler.Series()
 	}
+	res.LaneProf = s.laneProf
 	res.Breakdown = power.Dynamic(res.Counters, res.Net, energies)
 	if s.Ctx.Census != nil {
 		res.Census = s.CensusRecords()

@@ -52,26 +52,27 @@ type SeenEntry struct {
 	VPage uint64
 }
 
-// TLBSlot is one valid entry of the direct-mapped translation cache,
-// tagged with its slot index (invalid slots are omitted).
-type TLBSlot struct {
-	Index     int
-	VM        int32
-	Class     int8
-	WriteSafe bool
+// CoWEntry is one broken deduplicated pair: its reserved frame and the
+// cycle the break became (or becomes) visible to readers.
+type CoWEntry struct {
+	VM        int
 	VPage     uint64
 	Phys      uint64
+	VisibleAt sim.Time
 }
 
-// MapperState is the serializable state of the Mapper.
+// MapperState is the serializable state of the Mapper. The CoW frame
+// reservations and the TLB contents are omitted: reservations are
+// reconstructed deterministically when the page table is rebuilt at
+// construction, and the TLBs are a pure performance cache with no
+// counters, so a restored mapper simply starts them cold.
 type MapperState struct {
 	Dedup    bool
 	NextPhys uint64
 	Private  []PageEntry
-	CoW      []PageEntry
+	CoW      []CoWEntry
 	Shared   []SharedEntry
 	Seen     []SeenEntry
-	TLB      []TLBSlot
 
 	PrivatePages uint64
 	SharedPages  uint64
@@ -102,8 +103,8 @@ func (m *Mapper) State() *MapperState {
 	for k, v := range m.private {
 		st.Private = append(st.Private, PageEntry{VM: k.vm, VPage: k.vpage, Phys: v})
 	}
-	for k, v := range m.cow {
-		st.CoW = append(st.CoW, PageEntry{VM: k.vm, VPage: k.vpage, Phys: v})
+	for k, v := range m.cowAt {
+		st.CoW = append(st.CoW, CoWEntry{VM: k.vm, VPage: k.vpage, Phys: m.cowRes[k], VisibleAt: v})
 	}
 	for k, v := range m.shared {
 		st.Shared = append(st.Shared, SharedEntry{Content: k, Phys: v})
@@ -112,7 +113,12 @@ func (m *Mapper) State() *MapperState {
 		st.Seen = append(st.Seen, SeenEntry{VM: k.vm, VPage: k.vpage})
 	}
 	sortPages(st.Private)
-	sortPages(st.CoW)
+	sort.Slice(st.CoW, func(i, j int) bool {
+		if st.CoW[i].VM != st.CoW[j].VM {
+			return st.CoW[i].VM < st.CoW[j].VM
+		}
+		return st.CoW[i].VPage < st.CoW[j].VPage
+	})
 	sort.Slice(st.Shared, func(i, j int) bool { return st.Shared[i].Content < st.Shared[j].Content })
 	sort.Slice(st.Seen, func(i, j int) bool {
 		if st.Seen[i].VM != st.Seen[j].VM {
@@ -120,16 +126,6 @@ func (m *Mapper) State() *MapperState {
 		}
 		return st.Seen[i].VPage < st.Seen[j].VPage
 	})
-	for i := range m.tlb {
-		e := &m.tlb[i]
-		if e.vm < 0 {
-			continue
-		}
-		st.TLB = append(st.TLB, TLBSlot{
-			Index: i, VM: e.vm, Class: e.class, WriteSafe: e.writeSafe,
-			VPage: e.vpage, Phys: e.phys,
-		})
-	}
 	return st
 }
 
@@ -145,9 +141,13 @@ func (m *Mapper) RestoreState(st *MapperState) error {
 	for _, e := range st.Private {
 		m.private[pageKey{e.VM, e.VPage}] = e.Phys
 	}
-	m.cow = make(map[pageKey]uint64, len(st.CoW))
+	m.cowAt = make(map[pageKey]sim.Time, len(st.CoW))
 	for _, e := range st.CoW {
-		m.cow[pageKey{e.VM, e.VPage}] = e.Phys
+		k := pageKey{e.VM, e.VPage}
+		if res, ok := m.cowRes[k]; !ok || res != e.Phys {
+			return fmt.Errorf("memctrl: snapshot CoW frame %d for (vm %d, page %#x) does not match the reservation (%d); workload mismatch?", e.Phys, e.VM, e.VPage, res)
+		}
+		m.cowAt[k] = e.VisibleAt
 	}
 	m.shared = make(map[uint64]uint64, len(st.Shared))
 	for _, e := range st.Shared {
@@ -157,16 +157,9 @@ func (m *Mapper) RestoreState(st *MapperState) error {
 	for _, e := range st.Seen {
 		m.sharedSeen[pageKey{e.VM, e.VPage}] = true
 	}
-	for i := range m.tlb {
-		m.tlb[i] = tlbEntry{vm: -1}
-	}
-	for _, s := range st.TLB {
-		if s.Index < 0 || s.Index >= len(m.tlb) {
-			return fmt.Errorf("memctrl: snapshot TLB slot %d out of range", s.Index)
-		}
-		m.tlb[s.Index] = tlbEntry{
-			vm: s.VM, class: s.Class, writeSafe: s.WriteSafe,
-			vpage: s.VPage, phys: s.Phys,
+	for _, t := range m.tlbs {
+		for i := range t {
+			t[i] = tlbEntry{vm: -1}
 		}
 	}
 	m.PrivatePages = st.PrivatePages

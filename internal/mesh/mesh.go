@@ -100,11 +100,47 @@ type Network struct {
 	deliver []*sim.Kernel // [tile] delivery kernel
 	shardOf []int         // [tile] shard index
 
+	// Parallel-window state (only used while a lane kernel reports
+	// Deferring). Cross-tile sends mutate link reservations and the
+	// shared counters, so inside a window they are logged as pooled
+	// barrier-deferred ops and replayed at the barrier in exact merged
+	// serial order. Same-tile sends touch no links; their counters go to
+	// the sender lane's private bank, folded in by Stats(). The pools
+	// are per sender lane: a lane's goroutine pops during its window,
+	// the single-threaded barrier pushes back.
+	laneStats []Stats      // [lane] same-tile counter bank
+	sendPool  [][]*sendOp  // [lane] free deferred-unicast ops
+	bcastPool [][]*bcastOp // [lane] free deferred-broadcast ops
+
 	// Scratch buffer reused across calls to keep the broadcast hot
 	// path allocation-free. Fully rewritten before use and never live
 	// past the call that fills it (deliveries are scheduled through
 	// the kernel, so Broadcast never re-enters).
 	arrival []sim.Time // per-tile broadcast arrival, indexed by tile id
+}
+
+// sendOp is one cross-tile unicast deferred to the window barrier.
+type sendOp struct {
+	n        *Network
+	src, dst topo.Tile
+	lane     int32
+	flits    int32
+	sendAt   sim.Time
+	tag      uint64
+	run      func()    // closure delivery form (nil when argFn used)
+	argFn    func(any) // argument delivery form
+	arg      any
+}
+
+// bcastOp is one spanning-tree broadcast deferred to the window barrier.
+type bcastOp struct {
+	n       *Network
+	src     topo.Tile
+	lane    int32
+	flits   int32
+	sendAt  sim.Time
+	tag     uint64
+	deliver func(dst topo.Tile)
 }
 
 // New returns a network over grid driven by kernel.
@@ -131,8 +167,18 @@ func (n *Network) SetObserver(o Observer) { n.obs = o }
 func (n *Network) SetSharding(deliver []*sim.Kernel, shardOf []int) {
 	if deliver == nil {
 		n.deliver, n.shardOf = nil, nil
+		n.laneStats, n.sendPool, n.bcastPool = nil, nil, nil
 		return
 	}
+	lanes := 0
+	for _, s := range shardOf {
+		if s+1 > lanes {
+			lanes = s + 1
+		}
+	}
+	n.laneStats = make([]Stats, lanes)
+	n.sendPool = make([][]*sendOp, lanes)
+	n.bcastPool = make([][]*bcastOp, lanes)
 	if len(shardOf) != n.grid.Tiles() {
 		panic(fmt.Sprintf("mesh: shard map covers %d tiles, grid has %d", len(shardOf), n.grid.Tiles()))
 	}
@@ -229,12 +275,32 @@ func DirectionName(d Direction) string {
 	return "?"
 }
 
-// Stats returns a copy of the accumulated counters.
-func (n *Network) Stats() Stats { return n.stats }
+// Stats returns a copy of the accumulated counters, with any per-lane
+// same-tile banks folded in. The banks hold plain sums, so the merged
+// value is identical to what a serial run accumulates in one struct.
+func (n *Network) Stats() Stats {
+	s := n.stats
+	for i := range n.laneStats {
+		b := &n.laneStats[i]
+		s.Messages += b.Messages
+		s.Broadcasts += b.Broadcasts
+		s.FlitLinkCrossing += b.FlitLinkCrossing
+		s.RouterTraversals += b.RouterTraversals
+		s.TotalHops += b.TotalHops
+		s.TotalLatency += b.TotalLatency
+		s.QueueingCycles += b.QueueingCycles
+	}
+	return s
+}
 
 // ResetStats zeroes the activity counters (used to discard a warmup
 // phase); link reservations are left intact.
-func (n *Network) ResetStats() { n.stats = Stats{} }
+func (n *Network) ResetStats() {
+	n.stats = Stats{}
+	for i := range n.laneStats {
+		n.laneStats[i] = Stats{}
+	}
+}
 
 // Grid returns the mesh dimensions.
 func (n *Network) Grid() topo.Grid { return n.grid }
@@ -297,24 +363,57 @@ func (n *Network) send(src, dst topo.Tile, flits int, run func(), argFn func(any
 	if flits <= 0 {
 		panic("mesh: message must have at least one flit")
 	}
-	now := n.kernel.Now()
-	n.stats.Messages++
+	// The clock is read from the sender tile's lane: every Send executes
+	// on the lane owning src (the engines schedule their handlers on the
+	// executing tile's kernel). Under the sequential executors all lane
+	// clocks agree at dispatch, so this equals the old hub read; inside
+	// a parallel window it is the only clock that exists.
+	k := n.deliverKernel(src)
+	now := k.Now()
 	if src == dst {
-		// Same-tile delivery through the local router/crossbar only.
+		// Same-tile delivery through the local router/crossbar only. No
+		// link is touched, so this path stays in-window under the parallel
+		// executor; its counters go to the sender lane's bank there.
+		st := &n.stats
+		if k.Deferring() {
+			st = &n.laneStats[n.shardOf[src]]
+		}
 		lat := sim.Time(n.cfg.SwitchCycles + n.cfg.RouterCycles)
-		n.stats.RouterTraversals++
-		n.stats.TotalLatency += uint64(lat)
+		st.Messages++
+		st.RouterTraversals++
+		st.TotalLatency += uint64(lat)
 		n.schedule(dst, now+lat, run, argFn, arg)
 		if n.obs != nil {
 			n.obs.Message(src, dst, flits, now, now+lat, 0)
 		}
 		return Delivery{Latency: lat, Hops: 0, Routers: 1}
 	}
-	// XY routing, walked in place: reserve each link crossing as the
-	// head flit reaches it (no materialized path).
+	if k.Deferring() {
+		return n.deferSend(k, src, dst, flits, run, argFn, arg, now)
+	}
+	n.stats.Messages++
+	t, hops := n.walkXY(src, dst, now, flits)
+	// Tail flit serialization at the destination.
+	lat := t - now + sim.Time(flits-1)
+	n.stats.FlitLinkCrossing += uint64(hops * flits)
+	n.stats.RouterTraversals += uint64(hops + 1)
+	n.stats.TotalHops += uint64(hops)
+	n.stats.TotalLatency += uint64(lat)
+	n.checkLookahead(src, dst, now, now+lat)
+	n.schedule(dst, now+lat, run, argFn, arg)
+	if n.obs != nil {
+		n.obs.Message(src, dst, flits, now, now+lat, hops)
+	}
+	return Delivery{Latency: lat, Hops: hops, Routers: hops + 1}
+}
+
+// walkXY walks the XY route from src to dst starting at cycle at,
+// reserving each link crossing as the head flit reaches it (no
+// materialized path). It returns the head arrival time and hop count.
+func (n *Network) walkXY(src, dst topo.Tile, at sim.Time, flits int) (sim.Time, int) {
 	x, y := n.grid.Coord(src)
 	dx, dy := n.grid.Coord(dst)
-	t := now
+	t := at
 	hops := 0
 	for x != dx {
 		dir := East
@@ -340,18 +439,64 @@ func (n *Network) send(src, dst topo.Tile, flits int, run func(), argFn func(any
 		hops++
 		y = ny
 	}
-	// Tail flit serialization at the destination.
-	lat := t - now + sim.Time(flits-1)
+	return t, hops
+}
+
+// deferSend logs a cross-tile unicast as a barrier-deferred op: link
+// reservations and the shared counters mutate only at the barrier, in
+// exact merged serial order. The returned Delivery carries the exact
+// hop count (a pure function of src/dst under XY routing — the only
+// field the engines read); Latency is not computable before the link
+// walk and reports zero.
+func (n *Network) deferSend(k *sim.Kernel, src, dst topo.Tile, flits int, run func(), argFn func(any), arg any, now sim.Time) Delivery {
+	if n.obs != nil {
+		panic("mesh: observer attached during a parallel window")
+	}
+	lane := n.shardOf[src]
+	var op *sendOp
+	if pool := n.sendPool[lane]; len(pool) > 0 {
+		op = pool[len(pool)-1]
+		n.sendPool[lane] = pool[:len(pool)-1]
+	} else {
+		op = &sendOp{}
+	}
+	*op = sendOp{
+		n: n, src: src, dst: dst, lane: int32(lane), flits: int32(flits),
+		sendAt: now, tag: k.Tag(), run: run, argFn: argFn, arg: arg,
+	}
+	k.Defer(1, resolveSend, op)
+	hops := n.grid.Hops(src, dst)
+	return Delivery{Latency: 0, Hops: hops, Routers: hops + 1}
+}
+
+// runClosure adapts the closure delivery form to InjectResolved's
+// argument form.
+func runClosure(a any) { a.(func())() }
+
+// resolveSend replays a deferred unicast at the window barrier: the
+// link walk, the counters, and the delivery injection with the op's
+// reserved final stamp.
+func resolveSend(a any, seqBase uint64) {
+	op := a.(*sendOp)
+	n := op.n
+	flits := int(op.flits)
+	n.stats.Messages++
+	t, hops := n.walkXY(op.src, op.dst, op.sendAt, flits)
+	lat := t - op.sendAt + sim.Time(flits-1)
 	n.stats.FlitLinkCrossing += uint64(hops * flits)
 	n.stats.RouterTraversals += uint64(hops + 1)
 	n.stats.TotalHops += uint64(hops)
 	n.stats.TotalLatency += uint64(lat)
-	n.checkLookahead(src, dst, now, now+lat)
-	n.schedule(dst, now+lat, run, argFn, arg)
-	if n.obs != nil {
-		n.obs.Message(src, dst, flits, now, now+lat, hops)
+	n.checkLookahead(op.src, op.dst, op.sendAt, op.sendAt+lat)
+	dk := n.deliverKernel(op.dst)
+	if op.argFn != nil {
+		dk.InjectResolved(op.sendAt+lat, seqBase, op.tag, op.argFn, op.arg)
+	} else {
+		dk.InjectResolved(op.sendAt+lat, seqBase, op.tag, runClosure, op.run)
 	}
-	return Delivery{Latency: lat, Hops: hops, Routers: hops + 1}
+	lane := op.lane
+	*op = sendOp{} // do not retain payloads in the pool
+	n.sendPool[lane] = append(n.sendPool[lane], op)
 }
 
 // schedule dispatches to the destination tile's kernel, through the
@@ -383,37 +528,13 @@ func (n *Network) Broadcast(src topo.Tile, flits int, deliver func(dst topo.Tile
 	if !n.grid.Contains(src) {
 		panic("mesh: Broadcast from invalid tile")
 	}
-	now := n.kernel.Now()
+	k := n.deliverKernel(src)
+	now := k.Now()
+	if k.Deferring() {
+		return n.deferBroadcast(k, src, flits, deliver, now)
+	}
 	n.stats.Broadcasts++
-	sx, sy := n.grid.Coord(src)
-	// The spanning tree reaches every tile, and each tile's arrival is
-	// written before any dependent read, so the scratch slice needs no
-	// clearing between broadcasts.
-	arrival := n.arrival
-	arrival[src] = now
-
-	links := 0
-	crossLink := func(from topo.Tile, dir Direction, to topo.Tile) {
-		start := n.reserveLink(from, dir, arrival[from], flits)
-		arrival[to] = start + n.hopLatency()
-		links++
-	}
-	// Phase 1: spread along the source row.
-	for x := sx + 1; x < n.grid.Cols; x++ {
-		crossLink(n.grid.At(x-1, sy), East, n.grid.At(x, sy))
-	}
-	for x := sx - 1; x >= 0; x-- {
-		crossLink(n.grid.At(x+1, sy), West, n.grid.At(x, sy))
-	}
-	// Phase 2: from every tile of the source row, spread along columns.
-	for x := 0; x < n.grid.Cols; x++ {
-		for y := sy + 1; y < n.grid.Rows; y++ {
-			crossLink(n.grid.At(x, y-1), South, n.grid.At(x, y))
-		}
-		for y := sy - 1; y >= 0; y-- {
-			crossLink(n.grid.At(x, y+1), North, n.grid.At(x, y))
-		}
-	}
+	links := n.walkTree(src, flits, now)
 
 	var maxLat sim.Time
 	dests := 0
@@ -425,6 +546,7 @@ func (n *Network) Broadcast(src topo.Tile, flits int, deliver func(dst topo.Tile
 	// Deliveries are scheduled in tile order: same-cycle events run in
 	// scheduling order, so iterating tiles in arbitrary order would
 	// make runs nondeterministic.
+	arrival := n.arrival
 	for i := 0; i < n.grid.Tiles(); i++ {
 		t := topo.Tile(i)
 		if t == src {
@@ -451,6 +573,101 @@ func (n *Network) Broadcast(src topo.Tile, flits int, deliver func(dst topo.Tile
 		Destinations: dests,
 		MaxLatency:   maxLat,
 	}
+}
+
+// walkTree reserves the dimension-order spanning tree for a broadcast
+// issued from src at the given cycle, filling n.arrival with each
+// tile's head arrival time. The spanning tree reaches every tile, and
+// each tile's arrival is written before any dependent read, so the
+// scratch slice needs no clearing between broadcasts. Returns the edge
+// count (always Tiles-1 on a full mesh).
+func (n *Network) walkTree(src topo.Tile, flits int, at sim.Time) int {
+	sx, sy := n.grid.Coord(src)
+	arrival := n.arrival
+	arrival[src] = at
+
+	links := 0
+	crossLink := func(from topo.Tile, dir Direction, to topo.Tile) {
+		start := n.reserveLink(from, dir, arrival[from], flits)
+		arrival[to] = start + n.hopLatency()
+		links++
+	}
+	// Phase 1: spread along the source row.
+	for x := sx + 1; x < n.grid.Cols; x++ {
+		crossLink(n.grid.At(x-1, sy), East, n.grid.At(x, sy))
+	}
+	for x := sx - 1; x >= 0; x-- {
+		crossLink(n.grid.At(x+1, sy), West, n.grid.At(x, sy))
+	}
+	// Phase 2: from every tile of the source row, spread along columns.
+	for x := 0; x < n.grid.Cols; x++ {
+		for y := sy + 1; y < n.grid.Rows; y++ {
+			crossLink(n.grid.At(x, y-1), South, n.grid.At(x, y))
+		}
+		for y := sy - 1; y >= 0; y-- {
+			crossLink(n.grid.At(x, y+1), North, n.grid.At(x, y))
+		}
+	}
+	return links
+}
+
+// deferBroadcast logs a broadcast as a single barrier-deferred op that
+// reserves Tiles-1 final stamps, one per destination in tile order —
+// the same order the in-window path schedules deliveries in. Tree
+// shape facts are reported exactly; MaxLatency is contention-dependent
+// and reports zero (no engine reads it).
+func (n *Network) deferBroadcast(k *sim.Kernel, src topo.Tile, flits int, deliver func(dst topo.Tile), now sim.Time) BroadcastDelivery {
+	if n.obs != nil {
+		panic("mesh: observer attached during a parallel window")
+	}
+	lane := n.shardOf[src]
+	var op *bcastOp
+	if pool := n.bcastPool[lane]; len(pool) > 0 {
+		op = pool[len(pool)-1]
+		n.bcastPool[lane] = pool[:len(pool)-1]
+	} else {
+		op = &bcastOp{}
+	}
+	*op = bcastOp{
+		n: n, src: src, lane: int32(lane), flits: int32(flits),
+		sendAt: now, tag: k.Tag(), deliver: deliver,
+	}
+	k.Defer(n.grid.Tiles()-1, resolveBroadcast, op)
+	return BroadcastDelivery{
+		Links:        n.grid.Tiles() - 1,
+		Routers:      n.grid.Tiles(),
+		Destinations: n.grid.Tiles() - 1,
+	}
+}
+
+// resolveBroadcast replays a deferred broadcast at the window barrier:
+// the spanning-tree walk, the counters, and one delivery injection per
+// destination in tile order consuming seqBase..seqBase+Tiles-2.
+func resolveBroadcast(a any, seqBase uint64) {
+	op := a.(*bcastOp)
+	n := op.n
+	flits := int(op.flits)
+	n.stats.Broadcasts++
+	links := n.walkTree(op.src, flits, op.sendAt)
+	deliver := op.deliver
+	deliverTo := func(a any) { deliver(a.(topo.Tile)) }
+	arrival := n.arrival
+	seq := seqBase
+	for i := 0; i < n.grid.Tiles(); i++ {
+		t := topo.Tile(i)
+		if t == op.src {
+			continue
+		}
+		at := arrival[t] + sim.Time(flits-1)
+		n.checkLookahead(op.src, t, op.sendAt, at)
+		n.deliverKernel(t).InjectResolved(at, seq, op.tag, deliverTo, t)
+		seq++
+	}
+	n.stats.FlitLinkCrossing += uint64(links * flits)
+	n.stats.RouterTraversals += uint64(n.grid.Tiles())
+	lane := op.lane
+	*op = bcastOp{}
+	n.bcastPool[lane] = append(n.bcastPool[lane], op)
 }
 
 // UnicastBroadcast emulates a chip without hardware broadcast support:

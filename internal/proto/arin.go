@@ -59,13 +59,18 @@ type Arin struct {
 	memReqFn  func(any)
 	memRespFn func(any)
 	memFillFn func(any)
+	flushFn   func(any)
 
-	freeMsg *arMsg
+	// free holds one message pool per tile, indexed by the executing
+	// tile (see Directory.free).
+	free []*arMsg
 }
 
-// arCensus holds the engine's registered touch sites: every place a
-// DiCo-Arin handler synchronously pokes another tile's MSHR (miss
-// classification, link accounting, ack arming) or scans remote L1s.
+// arCensus holds the engine's registered touch sites. After
+// messageization every site records on the executing tile's diagonal
+// (src == dst): the former cross-tile requestor-MSHR pokes now ride
+// the messages, and the recall path reads the displaced pointer
+// instead of scanning every tile's L1.
 type arCensus struct {
 	l1Class, l1FwdHome            *telemetry.TouchSite
 	dissolveClass                 *telemetry.TouchSite
@@ -88,12 +93,16 @@ type arMsg struct {
 	dirty    bool
 	supplier int16
 	stamp    sim.Time
+	bcast    bool // delivery completes a three-phase broadcast write
 }
 
-func (p *Arin) msg(r arReq) *arMsg {
-	m := p.freeMsg
+// msg takes a node from the executing lane's pool; at must be the
+// tile whose lane is running the caller.
+func (p *Arin) msg(at topo.Tile, r arReq) *arMsg {
+	lane := p.ctx.Lane(at)
+	m := p.free[lane]
 	if m != nil {
-		p.freeMsg = m.next
+		p.free[lane] = m.next
 	} else {
 		m = &arMsg{}
 	}
@@ -101,9 +110,11 @@ func (p *Arin) msg(r arReq) *arMsg {
 	return m
 }
 
-func (p *Arin) putMsg(m *arMsg) {
-	m.next = p.freeMsg
-	p.freeMsg = m
+// putMsg recycles a node into the executing lane's pool.
+func (p *Arin) putMsg(at topo.Tile, m *arMsg) {
+	lane := p.ctx.Lane(at)
+	m.next = p.free[lane]
+	p.free[lane] = m
 }
 
 // bindHandlers builds the long-lived adapter funcs once.
@@ -111,90 +122,111 @@ func (p *Arin) bindHandlers() {
 	p.atHomeFn = func(a any) {
 		m := a.(*arMsg)
 		r := m.r
-		p.putMsg(m)
+		p.putMsg(p.ctx.HomeOf(r.addr), m)
 		p.atHome(r)
 	}
 	p.atL1Fn = func(a any) {
 		m := a.(*arMsg)
 		r, tile := m.r, m.tile
-		p.putMsg(m)
+		p.putMsg(tile, m)
 		p.atL1(r, tile)
 	}
 	p.invalShFn = func(a any) {
 		m := a.(*arMsg)
 		tile, addr, requestor := m.tile, m.r.addr, m.r.requestor
-		p.putMsg(m)
-		p.ctx.chargeVM(requestor)
-		p.invalidateSharer(tile, addr, requestor)
+		p.putMsg(tile, m)
+		ctx := p.ctx.At(tile)
+		ctx.chargeVM(requestor)
+		p.invalidateSharer(ctx, tile, addr, requestor)
 	}
 	p.shAckFn = func(a any) {
 		m := a.(*arMsg)
 		requestor, addr := m.tile, m.r.addr
-		p.putMsg(m)
-		p.ctx.chargeVM(requestor)
+		p.putMsg(requestor, m)
+		ctx := p.ctx.At(requestor)
+		ctx.chargeVM(requestor)
 		if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
 			e.SharerAcks--
-			p.maybeComplete(requestor, addr)
+			p.maybeComplete(ctx, requestor, addr)
 		}
 	}
 	p.deliverFn = func(a any) {
 		m := a.(*arMsg)
-		r, state, dirty, supplier := m.r, m.state, m.dirty, m.supplier
-		p.putMsg(m)
-		p.ctx.chargeVM(r.requestor)
-		p.fillL1(r.requestor, r.addr, state, dirty, supplier)
+		r, state, dirty, supplier, bcast := m.r, m.state, m.dirty, m.supplier, m.bcast
+		p.putMsg(r.requestor, m)
+		ctx := p.ctx.At(r.requestor)
+		ctx.chargeVM(r.requestor)
+		p.cen.deliver.Touch(int(r.requestor), int(r.requestor))
+		p.fillL1(ctx, r.requestor, r.addr, state, dirty, supplier)
 		if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
 			e.DataReceived = true
+			e.Links += int(r.links)
+			e.SharerAcks += int(r.acks)
+			e.HomeAck += int(r.homeAck)
+			if r.clsPlus1 != 0 {
+				e.Tag = int(r.clsPlus1 - 1)
+			}
+			if bcast && e.SharerAcks == 0 {
+				// Every broadcast ack beat the data here: run phase
+				// three (the unblock) now.
+				p.unblockAfterWrite(ctx, r)
+			}
 		}
-		p.maybeComplete(r.requestor, r.addr)
+		p.maybeComplete(ctx, r.requestor, r.addr)
 	}
 	// coFn lands a Change_Owner at the home; the node travels on to
 	// carry the gating ack back to the new owner.
 	p.coFn = func(a any) {
 		m := a.(*arMsg)
 		addr, newOwner, stamp := m.r.addr, m.tile, m.stamp
-		p.ctx.chargeVM(newOwner)
 		home := p.ctx.HomeOf(addr)
-		p.homeOwnerUpdate(home, addr, newOwner, stamp)
-		p.ctx.SendCtlArg(home, newOwner, p.coAckFn, m)
+		ctx := p.ctx.At(home)
+		ctx.chargeVM(newOwner)
+		p.homeOwnerUpdate(ctx, home, addr, newOwner, stamp)
+		ctx.SendCtlArg(home, newOwner, p.coAckFn, m)
 	}
 	p.coAckFn = func(a any) {
 		m := a.(*arMsg)
 		requestor, addr := m.tile, m.r.addr
-		p.putMsg(m)
-		p.ctx.chargeVM(requestor)
+		p.putMsg(requestor, m)
+		ctx := p.ctx.At(requestor)
+		ctx.chargeVM(requestor)
 		if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
-			e.HomeAck = false
-			p.maybeComplete(requestor, addr)
+			e.HomeAck--
+			p.maybeComplete(ctx, requestor, addr)
 		}
 	}
 	// Memory fetch pipeline.
 	p.memReqFn = func(a any) {
 		m := a.(*arMsg)
-		lat := p.ctx.Mem.ReadLatency()
-		p.ctx.Kernel.AfterArg(lat, p.memRespFn, m)
+		ctx := p.ctx.At(p.ctx.Mem.For(m.r.addr))
+		ctx.MemFetch(p.memRespFn, m)
 	}
 	p.memRespFn = func(a any) {
 		m := a.(*arMsg)
-		p.ctx.chargeVM(m.r.requestor)
-		home := p.ctx.HomeOf(m.r.addr)
 		mc := p.ctx.Mem.For(m.r.addr)
-		d2 := p.ctx.SendDataArg(mc, home, p.memFillFn, m)
-		p.cen.memResp.Touch(int(mc), int(m.r.requestor))
-		p.addLinks(m.r.requestor, m.r.addr, d2.Hops)
+		ctx := p.ctx.At(mc)
+		ctx.chargeVM(m.r.requestor)
+		home := ctx.HomeOf(m.r.addr)
+		p.cen.memResp.Touch(int(mc), int(mc))
+		d2 := ctx.SendDataArg(mc, home, p.memFillFn, m)
+		m.r.links += int16(d2.Hops)
 	}
 	p.memFillFn = func(a any) {
 		m := a.(*arMsg)
 		r := m.r
-		p.putMsg(m)
-		p.ctx.chargeVM(r.requestor)
 		home := p.ctx.HomeOf(r.addr)
+		p.putMsg(home, m)
+		ctx := p.ctx.At(home)
+		ctx.chargeVM(r.requestor)
 		state, dirty := arOwnerExclusive, false
 		if r.write {
 			state, dirty = arOwnerModified, true
 		}
-		p.deliver(r, home, state, dirty, -1)
+		p.deliver(ctx, r, home, state, dirty, -1)
 	}
+	// flushFn runs at the memory controller tile boxed in the argument.
+	p.flushFn = func(a any) { p.ctx.At(a.(topo.Tile)).MemFlush() }
 }
 
 // NewArin builds the DiCo-Arin engine on ctx.
@@ -208,6 +240,7 @@ func NewArin(ctx *Context) *Arin {
 	p := &Arin{
 		ctx:   ctx,
 		tiles: make([]*tileState, n),
+		free:  make([]*arMsg, n),
 	}
 	p.bindHandlers()
 	p.cen = arCensus{
@@ -255,11 +288,17 @@ type arReq struct {
 	predicted bool
 	forwards  int
 	forwarder topo.Tile // -1 unless an L1 forwarded this request
+	// Ride-the-message fields (see dirReq): requestor-MSHR updates
+	// accumulated along the miss and applied at delivery.
+	links    int16 // mesh links traversed by the request legs
+	acks     int16 // sharer/broadcast acks the write must collect
+	homeAck  int8  // pending Change_Owner / unblock gates
+	clsPlus1 int8  // resolved MissClass + 1 (0 = not resolved yet)
 }
 
 // Access implements Engine.
 func (p *Arin) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()) {
-	ctx := p.ctx
+	ctx := p.ctx.At(tile)
 	ctx.chargeVM(tile)
 	t := p.tiles[tile]
 	if _, pending := t.mshr.Lookup(addr); pending {
@@ -306,7 +345,7 @@ func (p *Arin) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()
 		e.Tag = int(MissPredFail)
 		ctx.spanEvent("predict-supplier", tile)
 		pred := topo.Tile(ptr)
-		m := p.msg(r)
+		m := p.msg(tile, r)
 		m.tile = pred
 		del := ctx.SendCtlArg(tile, pred, p.atL1Fn, m)
 		e.Links += del.Hops
@@ -314,14 +353,14 @@ func (p *Arin) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()
 	}
 	e.Tag = int(MissUnpredHome)
 	home := ctx.HomeOf(addr)
-	del := ctx.SendCtlArg(tile, home, p.atHomeFn, p.msg(r))
+	del := ctx.SendCtlArg(tile, home, p.atHomeFn, p.msg(tile, r))
 	e.Links += del.Hops
 }
 
 // ownerWriteHit: an intra-area owner invalidates its sharers locally,
 // exactly like DiCo.
 func (p *Arin) ownerWriteHit(tile topo.Tile, addr cache.Addr, line *cache.Line, onDone func()) {
-	ctx := p.ctx
+	ctx := p.ctx.At(tile)
 	t := p.tiles[tile]
 	area := p.areaOf(tile)
 	sharers := line.Sharers &^ areaBit(ctx.Areas, tile)
@@ -343,7 +382,7 @@ func (p *Arin) ownerWriteHit(tile topo.Tile, addr cache.Addr, line *cache.Line, 
 	e.SharerAcks = popcount(sharers)
 	for v := sharers; v != 0; v &= v - 1 {
 		sharer := p.tileAt(area, int8(bits.TrailingZeros64(v)))
-		m := p.msg(arReq{addr: addr, requestor: tile})
+		m := p.msg(tile, arReq{addr: addr, requestor: tile})
 		m.tile = sharer
 		ctx.SendCtlArg(tile, sharer, p.invalShFn, m)
 	}
@@ -354,8 +393,7 @@ func (p *Arin) ownerWriteHit(tile topo.Tile, addr cache.Addr, line *cache.Line, 
 	ctx.pw.L1TagWrite.Inc()
 }
 
-func (p *Arin) invalidateSharer(tile topo.Tile, addr cache.Addr, requestor topo.Tile) {
-	ctx := p.ctx
+func (p *Arin) invalidateSharer(ctx *Context, tile topo.Tile, addr cache.Addr, requestor topo.Tile) {
 	t := p.tiles[tile]
 	ctx.pw.L1TagRead.Inc()
 	if _, ok := t.l1.Invalidate(addr); ok {
@@ -366,26 +404,26 @@ func (p *Arin) invalidateSharer(tile topo.Tile, addr cache.Addr, requestor topo.
 	}
 	t.l1c.Update(addr, int16(requestor))
 	ctx.pw.L1CUpdate.Inc()
-	m := p.msg(arReq{addr: addr})
+	m := p.msg(tile, arReq{addr: addr})
 	m.tile = requestor
 	ctx.SendCtlArg(tile, requestor, p.shAckFn, m)
 }
 
 // atL1 handles a request at an L1 cache.
 func (p *Arin) atL1(r arReq, tile topo.Tile) {
-	ctx := p.ctx
+	ctx := p.ctx.At(tile)
 	ctx.chargeVM(r.requestor)
 	t := p.tiles[tile]
 	if _, pending := t.mshr.Lookup(r.addr); pending {
 		// Pooled-arg stalls: a closure here would capture r and force
 		// it to the heap on every atL1 call, not just the stalled ones.
-		m := p.msg(r)
+		m := p.msg(tile, r)
 		m.tile = tile
 		t.stallL1Arg(r.addr, p.atL1Fn, m)
 		return
 	}
 	if t.blocked(r.addr) {
-		m := p.msg(r)
+		m := p.msg(tile, r)
 		m.tile = tile
 		t.stallL1Arg(r.addr, p.atL1Fn, m)
 		return
@@ -395,23 +433,23 @@ func (p *Arin) atL1(r arReq, tile topo.Tile) {
 	switch {
 	case line != nil && arIsOwner(line.State):
 		if r.write {
-			p.ownerWriteSupply(r, tile, line)
+			p.ownerWriteSupply(ctx, r, tile, line)
 			return
 		}
 		if p.areaOf(r.requestor) == p.areaOf(tile) {
 			// Local read: plain DiCo behaviour.
-			p.cen.l1Class.Touch(int(tile), int(r.requestor))
-			p.classifyMiss(r, byOwner)
+			p.cen.l1Class.Touch(int(tile), int(tile))
+			p.classifyMiss(&r, byOwner)
 			line.Sharers |= areaBit(ctx.Areas, r.requestor)
 			if line.State != arOwnerShared {
 				line.State = arOwnerShared
 			}
 			ctx.pw.L1TagWrite.Inc()
 			ctx.pw.L1DataRead.Inc()
-			p.deliver(r, tile, arShared, false, int16(tile))
+			p.deliver(ctx, r, tile, arShared, false, int16(tile))
 			return
 		}
-		p.dissolveOwnership(r, tile, line)
+		p.dissolveOwnership(ctx, r, tile, line)
 	case line != nil && line.State == arProvider && !r.write &&
 		p.areaOf(r.requestor) == p.areaOf(tile):
 		if ctx.tracing(r.addr) {
@@ -419,19 +457,20 @@ func (p *Arin) atL1(r arReq, tile topo.Tile) {
 		}
 		// A provider supplies inside its area; the new copy is a
 		// provider too (Section IV-B's optimization).
-		p.cen.l1Class.Touch(int(tile), int(r.requestor))
-		p.classifyMiss(r, byProvider)
+		p.cen.l1Class.Touch(int(tile), int(tile))
+		p.classifyMiss(&r, byProvider)
 		ctx.pw.L1DataRead.Inc()
-		p.deliver(r, tile, arProvider, false, int16(tile))
+		p.deliver(ctx, r, tile, arProvider, false, int16(tile))
 	default:
 		// Forward to the home, recording the forwarder so the home
 		// can refresh a stale provider pointer (Section IV-B).
 		r.forwards++
 		r.forwarder = tile
 		home := ctx.HomeOf(r.addr)
-		del := ctx.SendCtlArg(tile, home, p.atHomeFn, p.msg(r))
-		p.cen.l1FwdHome.Touch(int(tile), int(r.requestor))
-		p.addLinks(r.requestor, r.addr, del.Hops)
+		m := p.msg(tile, r)
+		del := ctx.SendCtlArg(tile, home, p.atHomeFn, m)
+		p.cen.l1FwdHome.Touch(int(tile), int(tile))
+		m.r.links += int16(del.Hops)
 	}
 }
 
@@ -439,13 +478,12 @@ func (p *Arin) atL1(r arReq, tile topo.Tile) {
 // from a remote area reaches the L1 owner; the ownership disappears,
 // the former owner becomes a provider, the home L2 receives the data
 // (and becomes a provider), and the requestor becomes a provider.
-func (p *Arin) dissolveOwnership(r arReq, owner topo.Tile, line *cache.Line) {
-	ctx := p.ctx
+func (p *Arin) dissolveOwnership(ctx *Context, r arReq, owner topo.Tile, line *cache.Line) {
 	if ctx.tracing(r.addr) {
 		ctx.Trace(r.addr, "dissolve at owner %d for %d", owner, r.requestor)
 	}
-	p.cen.dissolveClass.Touch(int(owner), int(r.requestor))
-	p.classifyMiss(r, byOwner)
+	p.cen.dissolveClass.Touch(int(owner), int(owner))
+	p.classifyMiss(&r, byOwner)
 	ownerArea := p.areaOf(owner)
 	dirty := line.Dirty
 	line.State = arProvider
@@ -454,45 +492,46 @@ func (p *Arin) dissolveOwnership(r arReq, owner topo.Tile, line *cache.Line) {
 	line.Owner = -1
 	ctx.pw.L1TagWrite.Inc()
 	ctx.pw.L1DataRead.Inc()
-	p.deliver(r, owner, arProvider, false, int16(owner))
+	p.deliver(ctx, r, owner, arProvider, false, int16(owner))
 	home := ctx.HomeOf(r.addr)
 	reqArea := p.areaOf(r.requestor)
 	ctx.SendData(owner, home, func() {
-		p.tiles[home].setStamp(r.addr, ctx.Kernel.Now())
+		hctx := p.ctx.At(home)
+		p.tiles[home].setStamp(r.addr, hctx.Kernel.Now())
 		var propos [cache.MaxSimAreas]int8
 		for a := range propos {
 			propos[a] = -1
 		}
 		propos[ownerArea] = p.areaIdx(owner)
 		propos[reqArea] = p.areaIdx(r.requestor)
-		p.insertL2Inter(home, r.addr, dirty, propos, func() {
+		p.insertL2Inter(hctx, home, r.addr, dirty, propos, func() {
 			if p.tiles[home].l2c.Invalidate(r.addr) {
-				ctx.pw.L2CUpdate.Inc()
+				hctx.pw.L2CUpdate.Inc()
 			}
 			p.tiles[home].clearRecall(r.addr)
-			p.tiles[home].wakeHome(ctx.Kernel, r.addr)
+			p.tiles[home].wakeHome(hctx.Kernel, r.addr)
 		})
 	})
 }
 
 // ownerWriteSupply: intra-area ownership transfer, as in DiCo.
-func (p *Arin) ownerWriteSupply(r arReq, owner topo.Tile, line *cache.Line) {
-	ctx := p.ctx
-	p.cen.ownerWClass.Touch(int(owner), int(r.requestor))
-	p.classifyMiss(r, byOwner)
+func (p *Arin) ownerWriteSupply(ctx *Context, r arReq, owner topo.Tile, line *cache.Line) {
+	p.cen.ownerWClass.Touch(int(owner), int(owner))
+	p.classifyMiss(&r, byOwner)
 	area := p.areaOf(owner)
 	sharers := line.Sharers &^ areaBit(ctx.Areas, owner)
 	if p.areaOf(r.requestor) == area {
 		sharers &^= areaBit(ctx.Areas, r.requestor)
 	}
-	p.cen.ownerWAcks.Touch(int(owner), int(r.requestor))
-	if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
-		e.SharerAcks += popcount(sharers)
-		e.HomeAck = true
-	}
+	// The ack expectations ride to the requestor with the data; an ack
+	// arriving first drives its MSHR counter transiently negative,
+	// which Done() tolerates.
+	p.cen.ownerWAcks.Touch(int(owner), int(owner))
+	r.acks += int16(popcount(sharers))
+	r.homeAck++
 	for v := sharers; v != 0; v &= v - 1 {
 		sharer := p.tileAt(area, int8(bits.TrailingZeros64(v)))
-		m := p.msg(arReq{addr: r.addr, requestor: r.requestor})
+		m := p.msg(owner, arReq{addr: r.addr, requestor: r.requestor})
 		m.tile = sharer
 		ctx.SendCtlArg(owner, sharer, p.invalShFn, m)
 	}
@@ -501,9 +540,9 @@ func (p *Arin) ownerWriteSupply(r arReq, owner topo.Tile, line *cache.Line) {
 	p.tiles[owner].l1.Invalidate(r.addr)
 	p.tiles[owner].l1c.Update(r.addr, int16(r.requestor))
 	ctx.pw.L1CUpdate.Inc()
-	p.deliver(r, owner, arOwnerModified, true, -1)
+	p.deliver(ctx, r, owner, arOwnerModified, true, -1)
 	home := ctx.HomeOf(r.addr)
-	m := p.msg(arReq{addr: r.addr})
+	m := p.msg(owner, arReq{addr: r.addr})
 	m.tile = r.requestor
 	m.stamp = ctx.Kernel.Now()
 	ctx.SendCtlArg(owner, home, p.coFn, m) // Change_Owner
@@ -511,12 +550,12 @@ func (p *Arin) ownerWriteSupply(r arReq, owner topo.Tile, line *cache.Line) {
 
 // atHome dispatches at the home bank.
 func (p *Arin) atHome(r arReq) {
-	ctx := p.ctx
+	home := p.ctx.HomeOf(r.addr)
+	ctx := p.ctx.At(home)
 	ctx.chargeVM(r.requestor)
-	home := ctx.HomeOf(r.addr)
 	th := p.tiles[home]
 	if th.homeBusy(r.addr) || th.recallMarked(r.addr) {
-		th.stallHomeArg(r.addr, p.atHomeFn, p.msg(r))
+		th.stallHomeArg(r.addr, p.atHomeFn, p.msg(home, r))
 		return
 	}
 	ctx.pw.L2TagRead.Inc()
@@ -525,17 +564,21 @@ func (p *Arin) atHome(r arReq) {
 		ownerTile := topo.Tile(ptr)
 		if ownerTile == r.requestor || r.forwards >= maxForwards {
 			ctx.spanRetry(r.requestor)
-			ctx.Kernel.AfterArg(retryBackoff, p.atHomeFn,
-				p.msg(arReq{r.addr, r.requestor, r.write, r.predicted, 0, -1}))
+			// The retry keeps the accumulated rides: those hops and ack
+			// expectations really happened.
+			nr := r
+			nr.forwards = 0
+			nr.forwarder = -1
+			ctx.Kernel.AfterArg(retryBackoff, p.atHomeFn, p.msg(home, nr))
 			return
 		}
 		r.forwards++
 		ctx.spanEvent("home-forward-owner", home)
-		m := p.msg(r)
+		m := p.msg(home, r)
 		m.tile = ownerTile
 		del := ctx.SendCtlArg(home, ownerTile, p.atL1Fn, m)
-		p.cen.homeFwd.Touch(int(home), int(r.requestor))
-		p.addLinks(r.requestor, r.addr, del.Hops)
+		p.cen.homeFwd.Touch(int(home), int(home))
+		m.r.links += int16(del.Hops)
 		return
 	}
 	l2line := th.l2.Lookup(r.addr)
@@ -549,32 +592,32 @@ func (p *Arin) atHome(r arReq) {
 	if l2line == nil {
 		// Not on chip: the pooled node rides the whole request ->
 		// latency -> data pipeline (memReqFn/memRespFn/memFillFn).
-		p.updateL2C(home, r.addr, r.requestor)
+		p.updateL2C(ctx, home, r.addr, r.requestor)
 		mc := ctx.Mem.For(r.addr)
-		del := ctx.SendCtlArg(home, mc, p.memReqFn, p.msg(r))
-		p.cen.homeMemFetch.Touch(int(home), int(r.requestor))
-		p.addLinks(r.requestor, r.addr, del.Hops)
+		m := p.msg(home, r)
+		del := ctx.SendCtlArg(home, mc, p.memReqFn, m)
+		p.cen.homeMemFetch.Touch(int(home), int(home))
+		m.r.links += int16(del.Hops)
 		return
 	}
 	if l2line.State == l2ArinInter {
-		p.homeInter(r, home, l2line)
+		p.homeInter(ctx, r, home, l2line)
 		return
 	}
-	p.homeOwned(r, home, l2line)
+	p.homeOwned(ctx, r, home, l2line)
 }
 
 // homeInter serves a request for a block shared between areas: the
 // block is always present in the home L2 (the design decision that
 // removes DiCo-Providers' 5-hop path).
-func (p *Arin) homeInter(r arReq, home topo.Tile, l2line *cache.Line) {
-	ctx := p.ctx
+func (p *Arin) homeInter(ctx *Context, r arReq, home topo.Tile, l2line *cache.Line) {
 	if ctx.tracing(r.addr) {
 		ctx.Trace(r.addr, "home-inter %d serves %d write=%v fwd=%d", home, r.requestor, r.write, r.forwarder)
 	}
 	th := p.tiles[home]
 	reqArea := p.areaOf(r.requestor)
 	if r.write {
-		p.broadcastInvalidation(r, home, l2line)
+		p.broadcastInvalidation(ctx, r, home, l2line)
 		return
 	}
 	// Stale-provider fixup: the forwarder is no longer a provider.
@@ -589,8 +632,8 @@ func (p *Arin) homeInter(r arReq, home topo.Tile, l2line *cache.Line) {
 			ctx.pw.L2TagWrite.Inc()
 		}
 	}
-	p.cen.homeInterClass.Touch(int(home), int(r.requestor))
-	p.classifyMiss(r, byHome)
+	p.cen.homeInterClass.Touch(int(home), int(home))
+	p.classifyMiss(&r, byHome)
 	ctx.pw.L2DataRead.Inc()
 	// The reply carries the identity of the area's provider so the
 	// requestor's L1C$ points at it for the next miss.
@@ -605,13 +648,12 @@ func (p *Arin) homeInter(r arReq, home topo.Tile, l2line *cache.Line) {
 		ctx.pw.L2TagWrite.Inc()
 	}
 	th.l2.Touch(l2line)
-	p.deliver(r, home, arProvider, false, hint)
+	p.deliver(ctx, r, home, arProvider, false, hint)
 }
 
 // homeOwned serves a request when the home L2 owns the block with
 // (at most) one area's sharers tracked precisely.
-func (p *Arin) homeOwned(r arReq, home topo.Tile, l2line *cache.Line) {
-	ctx := p.ctx
+func (p *Arin) homeOwned(ctx *Context, r arReq, home topo.Tile, l2line *cache.Line) {
 	if ctx.tracing(r.addr) {
 		ctx.Trace(r.addr, "home-owned %d serves %d write=%v areatag=%d sharers=%#x", home, r.requestor, r.write, l2line.AreaTag, l2line.Sharers)
 	}
@@ -619,9 +661,10 @@ func (p *Arin) homeOwned(r arReq, home topo.Tile, l2line *cache.Line) {
 	reqArea := p.areaOf(r.requestor)
 	if r.write {
 		// L2-owner write: invalidate the tracked sharers, transfer
-		// ownership to the writer.
-		p.cen.homeOwnedClass.Touch(int(home), int(r.requestor))
-		p.classifyMiss(r, byHome)
+		// ownership to the writer. The ack expectations ride on the
+		// data message.
+		p.cen.homeOwnedClass.Touch(int(home), int(home))
+		p.classifyMiss(&r, byHome)
 		var sharers uint64
 		area := int(l2line.AreaTag)
 		if area >= 0 {
@@ -630,41 +673,39 @@ func (p *Arin) homeOwned(r arReq, home topo.Tile, l2line *cache.Line) {
 				sharers &^= areaBit(ctx.Areas, r.requestor)
 			}
 		}
-		p.cen.homeOwnedAcks.Touch(int(home), int(r.requestor))
-		if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
-			e.SharerAcks += popcount(sharers)
-		}
+		p.cen.homeOwnedAcks.Touch(int(home), int(home))
+		r.acks += int16(popcount(sharers))
 		for v := sharers; v != 0; v &= v - 1 {
 			sharer := p.tileAt(area, int8(bits.TrailingZeros64(v)))
-			m := p.msg(arReq{addr: r.addr, requestor: r.requestor})
+			m := p.msg(home, arReq{addr: r.addr, requestor: r.requestor})
 			m.tile = sharer
 			ctx.SendCtlArg(home, sharer, p.invalShFn, m)
 		}
 		ctx.pw.L2DataRead.Inc()
 		th.l2.Invalidate(r.addr)
 		ctx.pw.L2TagWrite.Inc()
-		p.updateL2C(home, r.addr, r.requestor)
-		p.deliver(r, home, arOwnerModified, true, -1)
+		p.updateL2C(ctx, home, r.addr, r.requestor)
+		p.deliver(ctx, r, home, arOwnerModified, true, -1)
 		return
 	}
 	// Read with the L2 as owner.
 	if int(l2line.AreaTag) == reqArea || l2line.AreaTag < 0 {
-		p.cen.homeOwnedClass.Touch(int(home), int(r.requestor))
-		p.classifyMiss(r, byHome)
+		p.cen.homeOwnedClass.Touch(int(home), int(home))
+		p.classifyMiss(&r, byHome)
 		if l2line.AreaTag < 0 {
 			l2line.AreaTag = int8(reqArea)
 		}
 		l2line.Sharers |= areaBit(ctx.Areas, r.requestor)
 		ctx.pw.L2DataRead.Inc()
 		ctx.pw.L2TagWrite.Inc()
-		p.deliver(r, home, arShared, false, -1)
+		p.deliver(ctx, r, home, arShared, false, -1)
 		return
 	}
 	// A second area starts reading: the block becomes shared between
 	// areas. The previously tracked sharers silently become
 	// broadcast-covered copies.
-	p.cen.homeOwnedClass.Touch(int(home), int(r.requestor))
-	p.classifyMiss(r, byHome)
+	p.cen.homeOwnedClass.Touch(int(home), int(home))
+	p.classifyMiss(&r, byHome)
 	l2line.State = l2ArinInter
 	for a := range l2line.ProPos {
 		l2line.ProPos[a] = -1
@@ -674,58 +715,58 @@ func (p *Arin) homeOwned(r arReq, home topo.Tile, l2line *cache.Line) {
 	l2line.AreaTag = -1
 	ctx.pw.L2DataRead.Inc()
 	ctx.pw.L2TagWrite.Inc()
-	p.deliver(r, home, arProvider, false, -1)
+	p.deliver(ctx, r, home, arProvider, false, -1)
 }
 
 // broadcastInvalidation is the three-phase mechanism of Section IV-B1
 // for a write to an inter-area block: (1) the home broadcasts the
 // invalidation and every L1 blocks the address, (2) every L1 acks the
 // requestor, (3) the requestor broadcasts the unblock.
-func (p *Arin) broadcastInvalidation(r arReq, home topo.Tile, l2line *cache.Line) {
-	ctx := p.ctx
+func (p *Arin) broadcastInvalidation(ctx *Context, r arReq, home topo.Tile, l2line *cache.Line) {
 	if ctx.tracing(r.addr) {
 		ctx.Trace(r.addr, "broadcast inv from home %d for writer %d", home, r.requestor)
 	}
 	th := p.tiles[home]
-	p.cen.bcastClass.Touch(int(home), int(r.requestor))
-	p.classifyMiss(r, byHome)
+	p.cen.bcastClass.Touch(int(home), int(home))
+	p.classifyMiss(&r, byHome)
 	th.setHomeBusy(r.addr)
-	dirty := l2line.Dirty
 	th.l2.Invalidate(r.addr)
 	ctx.pw.L2TagWrite.Inc()
 	ctx.pw.L2DataRead.Inc()
-	p.updateL2C(home, r.addr, r.requestor)
+	p.updateL2C(ctx, home, r.addr, r.requestor)
 
 	expected := ctx.NumTiles() - 1 // broadcast destinations
 	if r.requestor != home {
 		expected-- // the requestor does not ack itself
 	}
-	p.cen.bcastAcks.Touch(int(home), int(r.requestor))
-	if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
-		e.SharerAcks += expected
-		e.HomeAck = true // released when the unblock phase finishes
-	}
+	// The ack expectations and the unblock gate ride to the requestor
+	// with the data; early acks drive the counter transiently negative.
+	p.cen.bcastAcks.Touch(int(home), int(home))
+	r.acks += int16(expected)
+	r.homeAck++ // released when the unblock phase finishes
 	deliverInv := func(dst topo.Tile) {
+		dctx := p.ctx.At(dst)
 		t := p.tiles[dst]
-		ctx.chargeVM(r.requestor)
-		ctx.pw.L1TagRead.Inc()
+		dctx.chargeVM(r.requestor)
+		dctx.pw.L1TagRead.Inc()
 		if _, ok := t.l1.Invalidate(r.addr); ok {
-			ctx.pw.L1TagWrite.Inc()
+			dctx.pw.L1TagWrite.Inc()
 		}
 		if e, ok := t.mshr.Lookup(r.addr); ok && dst != r.requestor {
 			e.InvalidatedWhilePending = true
 		}
 		t.l1c.Update(r.addr, int16(r.requestor))
-		ctx.pw.L1CUpdate.Inc()
+		dctx.pw.L1CUpdate.Inc()
 		if dst == r.requestor {
 			return
 		}
 		t.setBlocked(r.addr)
-		ctx.SendCtl(dst, r.requestor, func() {
+		dctx.SendCtl(dst, r.requestor, func() {
+			rctx := p.ctx.At(r.requestor)
 			if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
 				e.SharerAcks--
 				if e.SharerAcks == 0 && e.DataReceived {
-					p.unblockAfterWrite(r, home)
+					p.unblockAfterWrite(rctx, r)
 				}
 			}
 		})
@@ -745,33 +786,29 @@ func (p *Arin) broadcastInvalidation(r arReq, home topo.Tile, l2line *cache.Line
 	} else {
 		ctx.Net.Broadcast(home, ctx.Net.Config().ControlFlits, deliverInv)
 	}
-	p.deliverWithHook(r, home, arOwnerModified, dirty || true, -1, func() {
-		if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
-			if e.SharerAcks == 0 && e.DataReceived {
-				p.unblockAfterWrite(r, home)
-			}
-		}
-	})
+	p.deliverBcast(ctx, r, home)
 }
 
 // unblockAfterWrite is phase three: the requestor broadcasts the
-// unblock, every L1 resumes, and the home releases the block.
-func (p *Arin) unblockAfterWrite(r arReq, home topo.Tile) {
-	ctx := p.ctx
+// unblock, every L1 resumes, and the home releases the block. It runs
+// on the requestor's lane (from the delivery or the last ack).
+func (p *Arin) unblockAfterWrite(ctx *Context, r arReq) {
+	home := ctx.HomeOf(r.addr)
 	e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr)
-	if !ok || !e.HomeAck {
+	if !ok || e.HomeAck <= 0 {
 		return // already unblocked
 	}
 	deliverUnblock := func(dst topo.Tile) {
+		dctx := p.ctx.At(dst)
 		t := p.tiles[dst]
 		if t.blocked(r.addr) {
 			t.clearBlocked(r.addr)
-			t.wakeL1(ctx.Kernel, r.addr)
+			t.wakeL1(dctx.Kernel, r.addr)
 		}
 		if dst == home {
 			th := p.tiles[home]
 			th.clearHomeBusy(r.addr)
-			th.wakeHome(ctx.Kernel, r.addr)
+			th.wakeHome(dctx.Kernel, r.addr)
 		}
 	}
 	ctx.spanEvent("bcast-unblock", r.requestor)
@@ -785,55 +822,59 @@ func (p *Arin) unblockAfterWrite(r arReq, home topo.Tile) {
 		th.clearHomeBusy(r.addr)
 		th.wakeHome(ctx.Kernel, r.addr)
 	}
-	e.HomeAck = false
-	p.maybeComplete(r.requestor, r.addr)
+	e.HomeAck--
+	p.maybeComplete(ctx, r.requestor, r.addr)
 }
 
 // evictL2Inter invalidates every copy of an inter-area victim block
 // via broadcast, acks collected at the home (Section IV-B1's
 // replacement variant), then calls then.
-func (p *Arin) evictL2Inter(home topo.Tile, victim cache.Line, then func()) {
-	ctx := p.ctx
+func (p *Arin) evictL2Inter(ctx *Context, home topo.Tile, victim cache.Line, then func()) {
 	if ctx.tracing(victim.Addr) {
 		ctx.Trace(victim.Addr, "L2 inter eviction at %d", home)
 	}
 	th := p.tiles[home]
 	victimAddr := victim.Addr
 	th.setHomeBusy(victimAddr)
+	// pending lives at the home; the ack sends below run on the home's
+	// lane, so every mutation is single-lane.
 	pending := ctx.NumTiles() - 1
 	finishAcks := func() {
+		hctx := p.ctx.At(home)
 		// Phase three: home broadcasts the unblock.
 		deliverUnblock := func(dst topo.Tile) {
+			dctx := p.ctx.At(dst)
 			t := p.tiles[dst]
 			if t.blocked(victimAddr) {
 				t.clearBlocked(victimAddr)
-				t.wakeL1(ctx.Kernel, victimAddr)
+				t.wakeL1(dctx.Kernel, victimAddr)
 			}
 		}
-		if ctx.Cfg.BroadcastUnicast {
-			ctx.Net.UnicastBroadcast(home, ctx.Net.Config().ControlFlits, deliverUnblock)
+		if hctx.Cfg.BroadcastUnicast {
+			hctx.Net.UnicastBroadcast(home, hctx.Net.Config().ControlFlits, deliverUnblock)
 		} else {
-			ctx.Net.Broadcast(home, ctx.Net.Config().ControlFlits, deliverUnblock)
+			hctx.Net.Broadcast(home, hctx.Net.Config().ControlFlits, deliverUnblock)
 		}
 		if victim.Dirty {
-			mc := ctx.Mem.For(victimAddr)
-			ctx.SendData(home, mc, func() { ctx.Mem.WriteLatency() })
+			mc := hctx.Mem.For(victimAddr)
+			hctx.SendDataArg(home, mc, p.flushFn, mc)
 		}
 		th.clearHomeBusy(victimAddr)
-		th.wakeHome(ctx.Kernel, victimAddr)
+		th.wakeHome(hctx.Kernel, victimAddr)
 		then()
 	}
 	deliverInv := func(dst topo.Tile) {
+		dctx := p.ctx.At(dst)
 		t := p.tiles[dst]
-		ctx.pw.L1TagRead.Inc()
+		dctx.pw.L1TagRead.Inc()
 		if _, ok := t.l1.Invalidate(victimAddr); ok {
-			ctx.pw.L1TagWrite.Inc()
+			dctx.pw.L1TagWrite.Inc()
 		}
 		if e, ok := t.mshr.Lookup(victimAddr); ok {
 			e.InvalidatedWhilePending = true
 		}
 		t.setBlocked(victimAddr)
-		ctx.SendCtl(dst, home, func() {
+		dctx.SendCtl(dst, home, func() {
 			pending--
 			if pending == 0 {
 				finishAcks()
@@ -856,36 +897,28 @@ func (p *Arin) evictL2Inter(home topo.Tile, victim cache.Line, then func()) {
 	}
 }
 
-// deliver sends the block to the requestor and completes on arrival.
-func (p *Arin) deliver(r arReq, from topo.Tile, state cache.State, dirty bool, supplier int16) {
-	m := p.msg(r)
-	m.state, m.dirty, m.supplier = state, dirty, supplier
-	del := p.ctx.SendDataArg(from, r.requestor, p.deliverFn, m)
-	p.cen.deliver.Touch(int(from), int(r.requestor))
-	p.addLinks(r.requestor, r.addr, del.Hops)
+// deliver sends the block to the requestor and completes on arrival;
+// the census touch happens on the requestor's lane in deliverFn.
+func (p *Arin) deliver(ctx *Context, r arReq, from topo.Tile, state cache.State, dirty bool, supplier int16) {
+	m := p.msg(from, r)
+	m.state, m.dirty, m.supplier, m.bcast = state, dirty, supplier, false
+	del := ctx.SendDataArg(from, r.requestor, p.deliverFn, m)
+	m.r.links += int16(del.Hops)
 }
 
-func (p *Arin) deliverWithHook(r arReq, from topo.Tile, state cache.State, dirty bool,
-	supplier int16, afterFill func()) {
-	del := p.ctx.SendData(from, r.requestor, func() {
-		p.ctx.chargeVM(r.requestor)
-		p.fillL1(r.requestor, r.addr, state, dirty, supplier)
-		if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
-			e.DataReceived = true
-		}
-		if afterFill != nil {
-			afterFill()
-		}
-		p.maybeComplete(r.requestor, r.addr)
-	})
-	p.cen.deliver.Touch(int(from), int(r.requestor))
-	p.addLinks(r.requestor, r.addr, del.Hops)
+// deliverBcast is deliver for a three-phase broadcast write: the
+// delivery additionally checks whether every ack already arrived and,
+// if so, runs the unblock phase.
+func (p *Arin) deliverBcast(ctx *Context, r arReq, from topo.Tile) {
+	m := p.msg(from, r)
+	m.state, m.dirty, m.supplier, m.bcast = arOwnerModified, true, -1, true
+	del := ctx.SendDataArg(from, r.requestor, p.deliverFn, m)
+	m.r.links += int16(del.Hops)
 }
 
 // fillL1 installs the block; the supplier hint (provider or owner)
 // goes into the line for L1C$ retention on eviction.
-func (p *Arin) fillL1(tile topo.Tile, addr cache.Addr, state cache.State, dirty bool, supplier int16) {
-	ctx := p.ctx
+func (p *Arin) fillL1(ctx *Context, tile topo.Tile, addr cache.Addr, state cache.State, dirty bool, supplier int16) {
 	if ctx.tracing(addr) {
 		ctx.Trace(addr, "fill at %d state=%d", tile, state)
 	}
@@ -906,7 +939,7 @@ func (p *Arin) fillL1(tile topo.Tile, addr cache.Addr, state cache.State, dirty 
 	}
 	victim, valid := t.l1.Victim(addr)
 	if valid {
-		p.evictL1(tile, *victim)
+		p.evictL1(ctx, tile, *victim)
 		t.l1.Invalidate(victim.Addr)
 	}
 	nl := victim
@@ -921,8 +954,7 @@ func (p *Arin) fillL1(tile topo.Tile, addr cache.Addr, state cache.State, dirty 
 // evictL1: shared and provider copies leave silently (the provider
 // pointer at the home is refreshed lazily by the forwarder fixup);
 // owners transfer to a local sharer or write back to the home.
-func (p *Arin) evictL1(tile topo.Tile, victim cache.Line) {
-	ctx := p.ctx
+func (p *Arin) evictL1(ctx *Context, tile topo.Tile, victim cache.Line) {
 	if ctx.tracing(victim.Addr) {
 		ctx.Trace(victim.Addr, "L1 evict at %d state=%d", tile, victim.State)
 	}
@@ -937,17 +969,19 @@ func (p *Arin) evictL1(tile topo.Tile, victim cache.Line) {
 		area := p.areaOf(tile)
 		sharers := victim.Sharers &^ areaBit(ctx.Areas, tile)
 		if sharers != 0 {
-			p.transferOwnership(tile, victim.Addr, area, sharers, sharers, victim.Dirty, tile)
+			p.transferOwnership(ctx, tile, victim.Addr, area, sharers, sharers, victim.Dirty)
 		} else {
-			p.writebackToHome(tile, victim.Addr, victim.Dirty, area, 0)
+			p.writebackToHome(ctx, tile, victim.Addr, victim.Dirty, area, 0)
 		}
 	}
 }
 
 // transferOwnership passes ownership to a sharer in the owner's area.
-func (p *Arin) transferOwnership(from topo.Tile, addr cache.Addr, area int,
-	tryList, vector uint64, dirty bool, evictor topo.Tile) {
-	ctx := p.ctx
+// The data rides the offer chain, so when every candidate declines it
+// writes back from wherever the chain ends — each send's source is the
+// tile whose lane is executing.
+func (p *Arin) transferOwnership(ctx *Context, from topo.Tile, addr cache.Addr, area int,
+	tryList, vector uint64, dirty bool) {
 	idx := int8(-1)
 	forEachBit(tryList, func(i int) {
 		if idx < 0 {
@@ -955,46 +989,49 @@ func (p *Arin) transferOwnership(from topo.Tile, addr cache.Addr, area int,
 		}
 	})
 	if idx < 0 {
-		p.writebackToHome(evictor, addr, dirty, area, vector)
+		p.writebackToHome(ctx, from, addr, dirty, area, vector)
 		return
 	}
 	target := p.tileAt(area, idx)
 	rest := tryList &^ (uint64(1) << uint(idx))
 	ctx.SendCtl(from, target, func() {
+		tctx := p.ctx.At(target)
 		t := p.tiles[target]
 		if _, pending := t.mshr.Lookup(addr); pending {
 			// Skip (never stall behind) a candidate with a miss in
 			// flight; it stays in the vector so the next owner's code
 			// covers its fill.
-			p.transferOwnership(target, addr, area, rest, vector, dirty, evictor)
+			p.transferOwnership(tctx, target, addr, area, rest, vector, dirty)
 			return
 		}
-		ctx.pw.L1TagRead.Inc()
+		tctx.pw.L1TagRead.Inc()
 		line := t.l1.Peek(addr)
 		if line == nil || line.State != arShared {
-			p.transferOwnership(target, addr, area, rest, vector&^(uint64(1)<<uint(idx)), dirty, evictor)
+			p.transferOwnership(tctx, target, addr, area, rest, vector&^(uint64(1)<<uint(idx)), dirty)
 			return
 		}
 		line.State = arOwnerShared
 		line.Dirty = dirty
 		line.Sharers = vector &^ (uint64(1) << uint(idx))
 		line.Owner = -1
-		ctx.pw.L1TagWrite.Inc()
-		home := ctx.HomeOf(addr)
-		stamp := ctx.Kernel.Now()
-		ctx.SendCtl(target, home, func() {
-			p.homeOwnerUpdate(home, addr, target, stamp)
-			ctx.SendCtl(home, target, func() {}) // ack
+		tctx.pw.L1TagWrite.Inc()
+		home := tctx.HomeOf(addr)
+		stamp := tctx.Kernel.Now()
+		tctx.SendCtl(target, home, func() {
+			hctx := p.ctx.At(home)
+			p.homeOwnerUpdate(hctx, home, addr, target, stamp)
+			hctx.SendCtl(home, target, func() {}) // ack
 		})
 		forEachBit(vector&^(uint64(1)<<uint(idx)), func(i int) {
 			sharer := p.tileAt(area, int8(i))
-			ctx.SendCtl(target, sharer, func() {
+			tctx.SendCtl(target, sharer, func() {
+				sctx := p.ctx.At(sharer)
 				st := p.tiles[sharer]
 				if l := st.l1.Peek(addr); l != nil && l.State == arShared {
 					l.Owner = int16(target)
 				} else {
 					st.l1c.Update(addr, int16(target))
-					ctx.pw.L1CUpdate.Inc()
+					sctx.pw.L1CUpdate.Inc()
 				}
 			})
 		})
@@ -1004,8 +1041,7 @@ func (p *Arin) transferOwnership(from topo.Tile, addr cache.Addr, area int,
 // writebackToHome returns ownership to the home, which becomes an
 // owner-form L2 entry tracking any leftover sharers of the owner's
 // area (a conservative superset is safe).
-func (p *Arin) writebackToHome(tile topo.Tile, addr cache.Addr, dirty bool, area int, leftover uint64) {
-	ctx := p.ctx
+func (p *Arin) writebackToHome(ctx *Context, tile topo.Tile, addr cache.Addr, dirty bool, area int, leftover uint64) {
 	home := ctx.HomeOf(addr)
 	areaTag := int8(-1)
 	if leftover != 0 {
@@ -1013,73 +1049,59 @@ func (p *Arin) writebackToHome(tile topo.Tile, addr cache.Addr, dirty bool, area
 	}
 	ctx.pw.L1DataRead.Inc()
 	ctx.SendData(tile, home, func() {
-		p.tiles[home].setStamp(addr, ctx.Kernel.Now())
-		p.insertL2Owned(home, addr, dirty, areaTag, leftover, func() {
+		hctx := p.ctx.At(home)
+		p.tiles[home].setStamp(addr, hctx.Kernel.Now())
+		p.insertL2Owned(hctx, home, addr, dirty, areaTag, leftover, func() {
 			if p.tiles[home].l2c.Invalidate(addr) {
-				ctx.pw.L2CUpdate.Inc()
+				hctx.pw.L2CUpdate.Inc()
 			}
 			p.tiles[home].clearRecall(addr)
-			p.tiles[home].wakeHome(ctx.Kernel, addr)
+			p.tiles[home].wakeHome(hctx.Kernel, addr)
 		})
 	})
 }
 
-func (p *Arin) homeOwnerUpdate(home topo.Tile, addr cache.Addr, owner topo.Tile, stamp sim.Time) {
-	if p.ctx.tracing(addr) {
-		p.ctx.Trace(addr, "home owner update -> %d (stamp %d)", owner, stamp)
+func (p *Arin) homeOwnerUpdate(ctx *Context, home topo.Tile, addr cache.Addr, owner topo.Tile, stamp sim.Time) {
+	if ctx.tracing(addr) {
+		ctx.Trace(addr, "home owner update -> %d (stamp %d)", owner, stamp)
 	}
 	th := p.tiles[home]
 	if !th.stampIfNewer(addr, stamp) {
 		return
 	}
-	p.updateL2C(home, addr, owner)
+	p.updateL2C(ctx, home, addr, owner)
 	th.clearRecall(addr)
-	th.wakeHome(p.ctx.Kernel, addr)
+	th.wakeHome(ctx.Kernel, addr)
 }
 
-func (p *Arin) updateL2C(home topo.Tile, addr cache.Addr, owner topo.Tile) {
-	ctx := p.ctx
+func (p *Arin) updateL2C(ctx *Context, home topo.Tile, addr cache.Addr, owner topo.Tile) {
 	th := p.tiles[home]
-	evicted, displaced := th.l2c.Update(addr, int16(owner))
+	evicted, evictedPtr, displaced := th.l2c.Update(addr, int16(owner))
 	ctx.pw.L2CUpdate.Inc()
 	if displaced {
-		p.recallOwnership(home, evicted)
+		p.recallOwnership(ctx, home, evicted, topo.Tile(evictedPtr))
 	}
 }
 
 // recallOwnership returns an L1 owner's block to the home when its
 // L2C$ entry is displaced. The former owner stays on as a sharer of
-// an owner-form home entry.
-func (p *Arin) recallOwnership(home topo.Tile, addr cache.Addr) {
-	ctx := p.ctx
+// an owner-form home entry. The evicted pointer names the owner
+// directly, so the recall is a single message — no chip-wide L1 scan.
+// The pointer may be stale (ownership in motion); relinquish's guards
+// handle that: a pending miss stalls the recall behind it, a
+// non-owner drops it and the in-flight Change_Owner clears the marker
+// when it lands.
+func (p *Arin) recallOwnership(ctx *Context, home topo.Tile, addr cache.Addr, owner topo.Tile) {
 	if ctx.tracing(addr) {
 		ctx.Trace(addr, "recall issued from home %d", home)
 	}
 	p.tiles[home].markRecall(addr)
-	owner := topo.Tile(-1)
-	for i := range p.tiles {
-		p.cen.recallScan.Touch(int(home), i)
-		if l := p.tiles[i].l1.Peek(addr); l != nil && arIsOwner(l.State) {
-			owner = topo.Tile(i)
-			break
-		}
-	}
-	if owner < 0 {
-		// Ownership is in flight (e.g. a memory-fetch grant not yet
-		// filled): poll until the owner materializes or a home update
-		// clears the marker.
-		ctx.Kernel.After(4*retryBackoff, func() {
-			if p.tiles[home].recallMarked(addr) {
-				p.recallOwnership(home, addr)
-			}
-		})
-		return
-	}
+	p.cen.recallScan.Touch(int(home), int(home))
 	ctx.SendCtl(home, owner, func() { p.relinquish(home, owner, addr) })
 }
 
 func (p *Arin) relinquish(home, owner topo.Tile, addr cache.Addr) {
-	ctx := p.ctx
+	ctx := p.ctx.At(owner)
 	if ctx.tracing(addr) {
 		ctx.Trace(addr, "relinquish at %d", owner)
 	}
@@ -1091,6 +1113,8 @@ func (p *Arin) relinquish(home, owner topo.Tile, addr cache.Addr) {
 	ctx.pw.L1TagRead.Inc()
 	line := t.l1.Peek(addr)
 	if line == nil || !arIsOwner(line.State) {
+		// Stale recall: ownership moved on. The Change_Owner that moved
+		// it clears the recall marker at the home.
 		if ctx.tracing(addr) {
 			ctx.Trace(addr, "relinquish at %d found no owner line", owner)
 		}
@@ -1106,32 +1130,32 @@ func (p *Arin) relinquish(home, owner topo.Tile, addr cache.Addr) {
 	ctx.pw.L1TagWrite.Inc()
 	ctx.pw.L1DataRead.Inc()
 	ctx.SendData(owner, home, func() {
-		p.tiles[home].setStamp(addr, ctx.Kernel.Now())
-		p.insertL2Owned(home, addr, dirty, int8(area), sharers, func() {
+		hctx := p.ctx.At(home)
+		p.tiles[home].setStamp(addr, hctx.Kernel.Now())
+		p.insertL2Owned(hctx, home, addr, dirty, int8(area), sharers, func() {
 			if p.tiles[home].l2c.Invalidate(addr) {
-				ctx.pw.L2CUpdate.Inc()
+				hctx.pw.L2CUpdate.Inc()
 			}
 			p.tiles[home].clearRecall(addr)
-			p.tiles[home].wakeHome(ctx.Kernel, addr)
+			p.tiles[home].wakeHome(hctx.Kernel, addr)
 		})
 	})
 }
 
 // insertL2Owned installs an owner-form entry at the home.
-func (p *Arin) insertL2Owned(home topo.Tile, addr cache.Addr, dirty bool,
+func (p *Arin) insertL2Owned(ctx *Context, home topo.Tile, addr cache.Addr, dirty bool,
 	areaTag int8, sharers uint64, then func()) {
-	p.insertL2(home, addr, dirty, l2ArinOwned, areaTag, sharers, nil, then)
+	p.insertL2(ctx, home, addr, dirty, l2ArinOwned, areaTag, sharers, nil, then)
 }
 
 // insertL2Inter installs an inter-area entry at the home.
-func (p *Arin) insertL2Inter(home topo.Tile, addr cache.Addr, dirty bool,
+func (p *Arin) insertL2Inter(ctx *Context, home topo.Tile, addr cache.Addr, dirty bool,
 	propos [cache.MaxSimAreas]int8, then func()) {
-	p.insertL2(home, addr, dirty, l2ArinInter, -1, 0, &propos, then)
+	p.insertL2(ctx, home, addr, dirty, l2ArinInter, -1, 0, &propos, then)
 }
 
-func (p *Arin) insertL2(home topo.Tile, addr cache.Addr, dirty bool, state cache.State,
+func (p *Arin) insertL2(ctx *Context, home topo.Tile, addr cache.Addr, dirty bool, state cache.State,
 	areaTag int8, sharers uint64, propos *[cache.MaxSimAreas]int8, then func()) {
-	ctx := p.ctx
 	if ctx.tracing(addr) {
 		ctx.Trace(addr, "insert L2 at %d form=%d areatag=%d sharers=%#x", home, state, areaTag, sharers)
 	}
@@ -1170,11 +1194,11 @@ func (p *Arin) insertL2(home topo.Tile, addr cache.Addr, dirty bool, state cache
 		snapshot := *victim
 		th.l2.Invalidate(snapshot.Addr)
 		ctx.pw.L2TagWrite.Inc()
-		retry := func() { p.insertL2(home, addr, dirty, state, areaTag, sharers, propos, then) }
+		retry := func() { p.insertL2(ctx, home, addr, dirty, state, areaTag, sharers, propos, then) }
 		if snapshot.State == l2ArinInter {
-			p.evictL2Inter(home, snapshot, retry)
+			p.evictL2Inter(ctx, home, snapshot, retry)
 		} else {
-			p.evictL2OwnedVictim(home, snapshot, retry)
+			p.evictL2OwnedVictim(ctx, home, snapshot, retry)
 		}
 		return
 	}
@@ -1185,9 +1209,10 @@ func (p *Arin) insertL2(home topo.Tile, addr cache.Addr, dirty bool, state cache
 }
 
 // evictL2OwnedVictim invalidates an owner-form victim's tracked
-// sharers (a single area: cheap unicasts), then proceeds.
-func (p *Arin) evictL2OwnedVictim(home topo.Tile, victim cache.Line, then func()) {
-	ctx := p.ctx
+// sharers (a single area: cheap unicasts), then proceeds. The pending
+// counter is touched only on the home tile's lane: every ack closure
+// executes there.
+func (p *Arin) evictL2OwnedVictim(ctx *Context, home topo.Tile, victim cache.Line, then func()) {
 	if ctx.tracing(victim.Addr) {
 		ctx.Trace(victim.Addr, "L2 owned eviction at %d sharers=%#x", home, victim.Sharers)
 	}
@@ -1201,12 +1226,13 @@ func (p *Arin) evictL2OwnedVictim(home topo.Tile, victim cache.Line, then func()
 		pending = popcount(sharers)
 	}
 	finish := func() {
+		hctx := p.ctx.At(home)
 		if victim.Dirty {
-			mc := ctx.Mem.For(victimAddr)
-			ctx.SendData(home, mc, func() { ctx.Mem.WriteLatency() })
+			mc := hctx.Mem.For(victimAddr)
+			hctx.SendDataArg(home, mc, p.flushFn, mc)
 		}
 		th.clearHomeBusy(victimAddr)
-		th.wakeHome(ctx.Kernel, victimAddr)
+		th.wakeHome(hctx.Kernel, victimAddr)
 		then()
 	}
 	if pending == 0 {
@@ -1216,15 +1242,16 @@ func (p *Arin) evictL2OwnedVictim(home topo.Tile, victim cache.Line, then func()
 	forEachBit(sharers, func(i int) {
 		sharer := p.tileAt(area, int8(i))
 		ctx.SendCtl(home, sharer, func() {
+			sctx := p.ctx.At(sharer)
 			t := p.tiles[sharer]
-			ctx.pw.L1TagRead.Inc()
+			sctx.pw.L1TagRead.Inc()
 			if _, ok := t.l1.Invalidate(victimAddr); ok {
-				ctx.pw.L1TagWrite.Inc()
+				sctx.pw.L1TagWrite.Inc()
 			}
 			if e, ok := t.mshr.Lookup(victimAddr); ok {
 				e.InvalidatedWhilePending = true
 			}
-			ctx.SendCtl(sharer, home, func() {
+			sctx.SendCtl(sharer, home, func() {
 				pending--
 				if pending == 0 {
 					finish()
@@ -1234,24 +1261,13 @@ func (p *Arin) evictL2OwnedVictim(home topo.Tile, victim cache.Line, then func()
 	})
 }
 
-func (p *Arin) classifyMiss(r arReq, kind supplierKind) {
-	classify(p.setClass, r.requestor, r.addr, r.predicted, r.forwards, kind)
+// classifyMiss resolves the miss class and stores it on the request so
+// it rides to the requestor with the data message.
+func (p *Arin) classifyMiss(r *arReq, kind supplierKind) {
+	r.clsPlus1 = int8(classify(r.predicted, r.forwards, kind)) + 1
 }
 
-func (p *Arin) addLinks(requestor topo.Tile, addr cache.Addr, hops int) {
-	if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
-		e.Links += hops
-	}
-}
-
-func (p *Arin) setClass(requestor topo.Tile, addr cache.Addr, c MissClass) {
-	if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
-		e.Tag = int(c)
-	}
-}
-
-func (p *Arin) maybeComplete(tile topo.Tile, addr cache.Addr) {
-	ctx := p.ctx
+func (p *Arin) maybeComplete(ctx *Context, tile topo.Tile, addr cache.Addr) {
 	t := p.tiles[tile]
 	e, ok := t.mshr.Lookup(addr)
 	if !ok || !e.Done() {
@@ -1266,7 +1282,7 @@ func (p *Arin) maybeComplete(tile topo.Tile, addr cache.Addr) {
 		if line := t.l1.Peek(addr); line != nil {
 			snapshot := *line
 			t.l1.Invalidate(addr)
-			p.evictL1(tile, snapshot)
+			p.evictL1(ctx, tile, snapshot)
 		}
 	}
 	cls := MissClass(e.Tag)

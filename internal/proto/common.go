@@ -221,6 +221,22 @@ type Context struct {
 	TraceEnabled bool
 	TraceAddr    cache.Addr
 	TraceOut     func(string)
+
+	// Lane routing (SetLanes / ArmLanes / FoldLanes). When armed, At
+	// resolves the executing tile to a per-lane Context view whose
+	// Kernel is the tile's lane and whose Counters/Profile are private
+	// banks, so every handler's downstream increments and schedules are
+	// lane-local with no per-site change. Disarmed (serial and merge
+	// executors), At returns the root context and behavior is
+	// bit-for-bit the pre-lane engine.
+	laneOf    []int
+	lanes     []*sim.Kernel
+	laneCtx   []*Context // non-nil = armed; shared by root and views
+	laneViews []*Context // cached views, rebuilt only on SetLanes
+
+	// freeMemOp pools the deferred DRAM-access nodes (per context, so
+	// per lane when armed: each list is single-threaded).
+	freeMemOp *memOp
 }
 
 // SetTrace arms tracing for one block address.
@@ -414,6 +430,155 @@ func (c *Context) CensusSite(engine, handler, structure string) *telemetry.Touch
 		return nil
 	}
 	return c.Census.Site(engine, handler, structure)
+}
+
+// SetLanes registers the sharded lane kernels and the tile->lane map.
+// The system calls it once at construction whenever the run is
+// sharded; it only takes effect for a phase when ArmLanes is called.
+func (c *Context) SetLanes(laneOf []int, lanes []*sim.Kernel) {
+	c.laneOf = laneOf
+	c.lanes = lanes
+	c.laneViews = nil
+	c.laneCtx = nil
+}
+
+// ArmLanes switches At to per-lane context views for a RunParallel
+// phase. Views share the chip (Net, Areas, Mem, Cfg, Census) but own
+// their Kernel, Counters, Profile and power handles; tracing, spans,
+// the observer and per-VM attribution stay root-only, which is safe
+// because the parallel executor is only eligible when they are off.
+func (c *Context) ArmLanes() {
+	if c.lanes == nil || c.laneCtx != nil {
+		return
+	}
+	if c.laneViews == nil {
+		c.laneViews = make([]*Context, len(c.lanes))
+		for i, k := range c.lanes {
+			v := &Context{
+				Kernel: k,
+				Net:    c.Net,
+				Areas:  c.Areas,
+				Mem:    c.Mem,
+				Cfg:    c.Cfg,
+				Census: c.Census,
+				laneOf: c.laneOf,
+				lanes:  c.lanes,
+			}
+			v.pw = bindBank(&v.Counters)
+			c.laneViews[i] = v
+		}
+	}
+	c.laneCtx = c.laneViews
+	for _, v := range c.laneViews {
+		v.laneCtx = c.laneViews
+	}
+}
+
+// FoldLanes merges every lane view's counters and miss profile back
+// into the root context and disarms the views. The parallel run loop
+// calls it at each phase boundary, so results, snapshots and
+// crosscheck fingerprints always read the folded root set.
+func (c *Context) FoldLanes() {
+	if c.laneCtx == nil {
+		return
+	}
+	for _, v := range c.laneViews {
+		v.laneCtx = nil
+		c.Counters.Merge(&v.Counters)
+		v.Counters.Reset()
+		for i := range v.Profile.Count {
+			c.Profile.Count[i] += v.Profile.Count[i]
+			c.Profile.Links[i] += v.Profile.Links[i]
+		}
+		c.Profile.Hits += v.Profile.Hits
+		v.Profile = MissProfile{}
+	}
+	c.laneCtx = nil
+}
+
+// At resolves the context view for a handler executing at tile t:
+// the tile's lane view when lanes are armed, the root context
+// otherwise. Every engine handler binds its working context through
+// At at entry — that single line is what makes all its downstream
+// counter bumps, sends and schedules lane-local under RunParallel.
+func (c *Context) At(t topo.Tile) *Context {
+	if c.laneCtx == nil {
+		return c
+	}
+	return c.laneCtx[c.laneOf[t]]
+}
+
+// Lane returns the executor lane that runs tile t's handlers (0 when
+// the run is not sharded). The engines' message pools index by lane,
+// not tile: a pool is only ever touched by its own lane, and within a
+// lane takes and puts balance regardless of which tiles exchange the
+// nodes — per-tile pools would leak nodes toward sink tiles (homes)
+// and allocate forever at source tiles.
+func (c *Context) Lane(t topo.Tile) int {
+	if c.laneOf == nil {
+		return 0
+	}
+	return c.laneOf[t]
+}
+
+// memOp is one pooled deferred DRAM access (see MemFetch/MemFlush).
+type memOp struct {
+	next *memOp
+	c    *Context
+	fn   func(any)
+	arg  any
+	at   sim.Time
+	tag  uint64
+}
+
+// MemFetch models a DRAM read at the executing memory-controller
+// tile: fn(arg) runs on that tile's lane after the sampled read
+// latency. Inside a RunParallel window the latency draw itself is
+// deferred to the window barrier — the controllers' random stream and
+// read counter are chip-global, so sampling in merged event order is
+// what keeps them identical to the serial executor — and the response
+// is injected with its barrier-reserved sequence number.
+func (c *Context) MemFetch(fn func(any), arg any) {
+	k := c.Kernel
+	if !k.Deferring() {
+		k.AfterArg(c.Mem.ReadLatency(), fn, arg)
+		return
+	}
+	op := c.freeMemOp
+	if op == nil {
+		op = &memOp{}
+	} else {
+		c.freeMemOp = op.next
+	}
+	op.c, op.fn, op.arg, op.at, op.tag = c, fn, arg, k.Now(), k.Tag()
+	k.Defer(1, resolveMemFetch, op)
+}
+
+func resolveMemFetch(a any, seqBase uint64) {
+	op := a.(*memOp)
+	c := op.c
+	lat := c.Mem.ReadLatency()
+	c.Kernel.InjectResolved(op.at+lat, seqBase, op.tag, op.fn, op.arg)
+	op.fn, op.arg = nil, nil
+	op.next, c.freeMemOp = c.freeMemOp, op
+}
+
+// MemFlush models a DRAM writeback at the executing controller tile:
+// the write latency is drawn and discarded (no event depends on it),
+// but the draw still advances the chip-global random stream and write
+// counter, so inside a window it is deferred to the barrier to keep
+// the stream in merged order.
+func (c *Context) MemFlush() {
+	k := c.Kernel
+	if !k.Deferring() {
+		c.Mem.WriteLatency()
+		return
+	}
+	k.Defer(0, resolveMemFlush, c)
+}
+
+func resolveMemFlush(a any, _ uint64) {
+	a.(*Context).Mem.WriteLatency()
 }
 
 // Ev increments a power event counter by name (cold paths; hot sites

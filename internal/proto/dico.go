@@ -47,8 +47,11 @@ type DiCo struct {
 	memRespFn func(any)
 	memFillFn func(any)
 	wbFn      func(any)
+	flushFn   func(any)
 
-	freeMsg *dcMsg
+	// free holds one message pool per tile, indexed by the executing
+	// tile (see Directory.free).
+	free []*dcMsg
 
 	cen dcCensus
 
@@ -58,10 +61,11 @@ type DiCo struct {
 	// stamp realizes the same ordering against reordered messages.
 }
 
-// dcCensus holds DiCo's registered touch sites: the requestor-MSHR
-// pokes from remote handlers plus the recall path's chip-wide L1
-// owner scan (the engine's one whole-chip synchronous shortcut). All
-// sites are nil when the census is disarmed.
+// dcCensus holds DiCo's registered touch sites. After messageization
+// every site records on the executing tile's diagonal (src == dst):
+// the former cross-tile requestor-MSHR pokes now ride the messages,
+// and the recall path reads the displaced pointer instead of scanning
+// every tile's L1. All sites are nil when the census is disarmed.
 type dcCensus struct {
 	l1PredFail, l1FwdHome, l1Class  *telemetry.TouchSite
 	ownerClass, ownerAcks           *telemetry.TouchSite
@@ -84,10 +88,13 @@ type dcMsg struct {
 	vec      uint64   // sharer vector (writeback)
 }
 
-func (p *DiCo) msg(r dcReq) *dcMsg {
-	m := p.freeMsg
+// msg takes a node from the executing lane's pool; at must be the
+// tile whose lane is running the caller.
+func (p *DiCo) msg(at topo.Tile, r dcReq) *dcMsg {
+	lane := p.ctx.Lane(at)
+	m := p.free[lane]
 	if m != nil {
-		p.freeMsg = m.next
+		p.free[lane] = m.next
 	} else {
 		m = &dcMsg{}
 	}
@@ -95,9 +102,11 @@ func (p *DiCo) msg(r dcReq) *dcMsg {
 	return m
 }
 
-func (p *DiCo) putMsg(m *dcMsg) {
-	m.next = p.freeMsg
-	p.freeMsg = m
+// putMsg recycles a node into the executing lane's pool.
+func (p *DiCo) putMsg(at topo.Tile, m *dcMsg) {
+	lane := p.ctx.Lane(at)
+	m.next = p.free[lane]
+	p.free[lane] = m
 }
 
 // bindHandlers builds the long-lived adapter funcs once.
@@ -105,106 +114,120 @@ func (p *DiCo) bindHandlers() {
 	p.atHomeFn = func(a any) {
 		m := a.(*dcMsg)
 		r := m.r
-		p.putMsg(m)
+		p.putMsg(p.ctx.HomeOf(r.addr), m)
 		p.atHome(r)
 	}
 	p.atL1Fn = func(a any) {
 		m := a.(*dcMsg)
 		r, tile := m.r, m.tile
-		p.putMsg(m)
+		p.putMsg(tile, m)
 		p.atL1(r, tile)
 	}
 	p.invalFn = func(a any) {
 		m := a.(*dcMsg)
 		tile, addr, ackTo, newOwner := m.tile, m.r.addr, m.r.requestor, topo.Tile(m.supplier)
-		p.putMsg(m)
-		p.ctx.chargeVM(ackTo)
-		p.invalidateAtL1(tile, addr, ackTo, newOwner)
+		p.putMsg(tile, m)
+		ctx := p.ctx.At(tile)
+		ctx.chargeVM(ackTo)
+		p.invalidateAtL1(ctx, tile, addr, ackTo, newOwner)
 	}
 	p.ackFn = func(a any) {
 		m := a.(*dcMsg)
 		ackTo, addr := m.tile, m.r.addr
-		p.putMsg(m)
-		p.ctx.chargeVM(ackTo)
+		p.putMsg(ackTo, m)
+		ctx := p.ctx.At(ackTo)
+		ctx.chargeVM(ackTo)
 		e, ok := p.tiles[ackTo].mshr.Lookup(addr)
 		if !ok {
 			return
 		}
 		e.SharerAcks--
-		p.maybeComplete(ackTo, addr)
+		p.maybeComplete(ctx, ackTo, addr)
 	}
 	p.deliverFn = func(a any) {
 		m := a.(*dcMsg)
-		requestor, addr, state, dirty, supplier := m.tile, m.r.addr, m.state, m.dirty, m.supplier
-		p.putMsg(m)
-		p.ctx.chargeVM(requestor)
-		p.fillL1(requestor, addr, state, dirty, supplier)
-		if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
+		r, state, dirty, supplier := m.r, m.state, m.dirty, m.supplier
+		p.putMsg(r.requestor, m)
+		ctx := p.ctx.At(r.requestor)
+		ctx.chargeVM(r.requestor)
+		p.cen.deliver.Touch(int(r.requestor), int(r.requestor))
+		p.fillL1(ctx, r.requestor, r.addr, state, dirty, supplier)
+		if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
 			e.DataReceived = true
+			e.Links += int(r.links)
+			e.SharerAcks += int(r.acks)
+			e.HomeAck += int(r.homeAck)
+			if r.clsPlus1 != 0 {
+				e.Tag = int(r.clsPlus1 - 1)
+			}
 		}
-		p.maybeComplete(requestor, addr)
+		p.maybeComplete(ctx, r.requestor, r.addr)
 	}
 	// coFn lands a Change_Owner at the home; the node travels on to
 	// carry the gating ack back to the new owner.
 	p.coFn = func(a any) {
 		m := a.(*dcMsg)
 		addr, newOwner, stamp := m.r.addr, m.tile, m.stamp
-		p.ctx.chargeVM(newOwner)
 		home := p.ctx.HomeOf(addr)
-		p.homeOwnerUpdate(home, addr, newOwner, stamp)
-		p.ctx.SendCtlArg(home, newOwner, p.coAckFn, m)
+		ctx := p.ctx.At(home)
+		ctx.chargeVM(newOwner)
+		p.homeOwnerUpdate(ctx, home, addr, newOwner, stamp)
+		ctx.SendCtlArg(home, newOwner, p.coAckFn, m)
 	}
 	p.coAckFn = func(a any) {
 		m := a.(*dcMsg)
 		requestor, addr := m.tile, m.r.addr
-		p.putMsg(m)
-		p.ctx.chargeVM(requestor)
+		p.putMsg(requestor, m)
+		ctx := p.ctx.At(requestor)
+		ctx.chargeVM(requestor)
 		if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
-			e.HomeAck = false
-			p.maybeComplete(requestor, addr)
+			e.HomeAck--
+			p.maybeComplete(ctx, requestor, addr)
 		}
 	}
 	// Memory fetch pipeline (no L2 copy is kept: the L1 owner holds
 	// the block and its coherence information).
 	p.memReqFn = func(a any) {
 		m := a.(*dcMsg)
-		lat := p.ctx.Mem.ReadLatency()
-		p.ctx.Kernel.AfterArg(lat, p.memRespFn, m)
+		ctx := p.ctx.At(p.ctx.Mem.For(m.r.addr))
+		ctx.MemFetch(p.memRespFn, m)
 	}
 	p.memRespFn = func(a any) {
 		m := a.(*dcMsg)
-		p.ctx.chargeVM(m.r.requestor)
-		home := p.ctx.HomeOf(m.r.addr)
 		mc := p.ctx.Mem.For(m.r.addr)
-		d2 := p.ctx.SendDataArg(mc, home, p.memFillFn, m)
-		p.cen.memResp.Touch(int(mc), int(m.r.requestor))
-		p.addLinks(m.r.requestor, m.r.addr, d2.Hops)
+		ctx := p.ctx.At(mc)
+		ctx.chargeVM(m.r.requestor)
+		home := ctx.HomeOf(m.r.addr)
+		p.cen.memResp.Touch(int(mc), int(mc))
+		d2 := ctx.SendDataArg(mc, home, p.memFillFn, m)
+		m.r.links += int16(d2.Hops)
 	}
 	p.memFillFn = func(a any) {
 		m := a.(*dcMsg)
 		r := m.r
-		p.putMsg(m)
-		p.ctx.chargeVM(r.requestor)
 		home := p.ctx.HomeOf(r.addr)
+		p.putMsg(home, m)
+		ctx := p.ctx.At(home)
+		ctx.chargeVM(r.requestor)
 		state, dirty := dcOwnerExclusive, false
 		if r.write {
 			state, dirty = dcOwnerModified, true
 		}
-		p.deliverData(r.requestor, r.addr, home, state, dirty, -1)
+		p.deliverData(ctx, r, home, state, dirty, -1)
 	}
 	// wbFn lands an ownership writeback (data + sharing code) at the
 	// home L2.
 	p.wbFn = func(a any) {
 		m := a.(*dcMsg)
 		addr, dirty, sharers := m.r.addr, m.dirty, m.vec
-		p.putMsg(m)
-		ctx := p.ctx
-		home := ctx.HomeOf(addr)
+		home := p.ctx.HomeOf(addr)
+		p.putMsg(home, m)
+		ctx := p.ctx.At(home)
 		// Stamp the return of ownership so a Change_Owner that was
 		// sent earlier but arrives later cannot resurrect a stale
 		// pointer.
 		p.tiles[home].setStamp(addr, ctx.Kernel.Now())
-		p.insertL2Owned(home, addr, dirty, sharers, nil)
+		p.insertL2Owned(ctx, home, addr, dirty, sharers, nil)
 		// The home's pointer to the old L1 owner is obsolete.
 		if p.tiles[home].l2c.Invalidate(addr) {
 			ctx.pw.L2CUpdate.Inc()
@@ -212,6 +235,8 @@ func (p *DiCo) bindHandlers() {
 		p.tiles[home].clearRecall(addr)
 		p.tiles[home].wakeHome(ctx.Kernel, addr)
 	}
+	// flushFn runs at the memory controller tile boxed in the argument.
+	p.flushFn = func(a any) { p.ctx.At(a.(topo.Tile)).MemFlush() }
 }
 
 // NewDiCo builds the DiCo engine on ctx.
@@ -221,6 +246,7 @@ func NewDiCo(ctx *Context) *DiCo {
 	p := &DiCo{
 		ctx:   ctx,
 		tiles: make([]*tileState, n),
+		free:  make([]*dcMsg, n),
 	}
 	p.bindHandlers()
 	p.cen = dcCensus{
@@ -258,11 +284,17 @@ type dcReq struct {
 	write     bool
 	predicted bool
 	forwards  int
+	// Ride-the-message fields (see dirReq): requestor-MSHR updates
+	// accumulated along the miss and applied at delivery.
+	links    int16 // mesh links traversed by the request legs
+	acks     int16 // sharer acks the write must collect
+	homeAck  int8  // pending Change_Owner acks the write must collect
+	clsPlus1 int8  // resolved MissClass + 1 (0 = not resolved yet)
 }
 
 // Access implements Engine.
 func (p *DiCo) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()) {
-	ctx := p.ctx
+	ctx := p.ctx.At(tile)
 	ctx.chargeVM(tile)
 	t := p.tiles[tile]
 	if _, pending := t.mshr.Lookup(addr); pending {
@@ -309,7 +341,7 @@ func (p *DiCo) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()
 		e.Tag = int(MissPredOwner)
 		ctx.spanEvent("predict-supplier", tile)
 		pred := topo.Tile(ptr)
-		m := p.msg(r)
+		m := p.msg(tile, r)
 		m.tile = pred
 		del := ctx.SendCtlArg(tile, pred, p.atL1Fn, m)
 		e.Links += del.Hops
@@ -317,14 +349,14 @@ func (p *DiCo) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()
 	}
 	e.Tag = int(MissUnpredHome)
 	home := ctx.HomeOf(addr)
-	del := ctx.SendCtlArg(tile, home, p.atHomeFn, p.msg(r))
+	del := ctx.SendCtlArg(tile, home, p.atHomeFn, p.msg(tile, r))
 	e.Links += del.Hops
 }
 
 // ownerWriteHit invalidates the sharers from the owner itself (no home
 // involvement) and upgrades the line to modified.
 func (p *DiCo) ownerWriteHit(tile topo.Tile, addr cache.Addr, line *cache.Line, onDone func()) {
-	ctx := p.ctx
+	ctx := p.ctx.At(tile)
 	t := p.tiles[tile]
 	sharers := line.Sharers &^ bit(tile)
 	if sharers == 0 {
@@ -346,7 +378,7 @@ func (p *DiCo) ownerWriteHit(tile topo.Tile, addr cache.Addr, line *cache.Line, 
 	e.SharerAcks = popcount(sharers)
 	for v := sharers; v != 0; v &= v - 1 {
 		sharer := topo.Tile(bits.TrailingZeros64(v))
-		m := p.msg(dcReq{addr: addr, requestor: tile})
+		m := p.msg(tile, dcReq{addr: addr, requestor: tile})
 		m.tile = sharer
 		m.supplier = int16(tile)
 		ctx.SendCtlArg(tile, sharer, p.invalFn, m)
@@ -361,13 +393,13 @@ func (p *DiCo) ownerWriteHit(tile topo.Tile, addr cache.Addr, line *cache.Line, 
 // atL1 handles a request arriving at an L1 (by prediction or forwarded
 // from the home).
 func (p *DiCo) atL1(r dcReq, tile topo.Tile) {
-	ctx := p.ctx
+	ctx := p.ctx.At(tile)
 	ctx.chargeVM(r.requestor)
 	t := p.tiles[tile]
 	if _, pending := t.mshr.Lookup(r.addr); pending {
 		// Pooled-arg stall: a closure here would capture r and force it
 		// to the heap on every atL1 call, not just the stalled ones.
-		m := p.msg(r)
+		m := p.msg(tile, r)
 		m.tile = tile
 		t.stallL1Arg(r.addr, p.atL1Fn, m)
 		return
@@ -377,28 +409,29 @@ func (p *DiCo) atL1(r dcReq, tile topo.Tile) {
 	if line == nil || !dcIsOwner(line.State) {
 		// Misprediction (or stale forward): to the home.
 		if r.predicted && r.forwards == 0 {
-			p.cen.l1PredFail.Touch(int(tile), int(r.requestor))
-			p.setClass(r.requestor, r.addr, MissPredFail)
+			p.cen.l1PredFail.Touch(int(tile), int(tile))
+			r.clsPlus1 = int8(MissPredFail) + 1
 		}
 		r.forwards++
 		home := ctx.HomeOf(r.addr)
-		del := ctx.SendCtlArg(tile, home, p.atHomeFn, p.msg(r))
-		p.cen.l1FwdHome.Touch(int(tile), int(r.requestor))
-		p.addLinks(r.requestor, r.addr, del.Hops)
+		m := p.msg(tile, r)
+		del := ctx.SendCtlArg(tile, home, p.atHomeFn, m)
+		p.cen.l1FwdHome.Touch(int(tile), int(tile))
+		m.r.links += int16(del.Hops)
 		return
 	}
 	if r.write {
-		p.ownerWriteSupply(r, tile, line)
+		p.ownerWriteSupply(ctx, r, tile, line)
 		return
 	}
 	// Owner read supply: requestor becomes a sharer; two-hop miss when
 	// predicted.
 	if r.predicted && r.forwards == 0 {
-		p.cen.l1Class.Touch(int(tile), int(r.requestor))
-		p.setClass(r.requestor, r.addr, MissPredOwner)
+		p.cen.l1Class.Touch(int(tile), int(tile))
+		r.clsPlus1 = int8(MissPredOwner) + 1
 	} else if !r.predicted {
-		p.cen.l1Class.Touch(int(tile), int(r.requestor))
-		p.setClass(r.requestor, r.addr, MissUnpredOwner)
+		p.cen.l1Class.Touch(int(tile), int(tile))
+		r.clsPlus1 = int8(MissUnpredOwner) + 1
 	}
 	if ctx.tracing(r.addr) {
 		ctx.Trace(r.addr, "owner %d supplies read to %d (sharers %#x)", tile, r.requestor, line.Sharers)
@@ -409,33 +442,33 @@ func (p *DiCo) atL1(r dcReq, tile topo.Tile) {
 	}
 	ctx.pw.L1TagWrite.Inc()
 	ctx.pw.L1DataRead.Inc()
-	p.deliverData(r.requestor, r.addr, tile, dcShared, false, int16(tile))
+	p.deliverData(ctx, r, tile, dcShared, false, int16(tile))
 }
 
 // ownerWriteSupply transfers ownership to a writer: the owner
 // invalidates the sharers itself, sends the data, and notifies the
 // home with Change_Owner (acked before the transfer is final).
-func (p *DiCo) ownerWriteSupply(r dcReq, owner topo.Tile, line *cache.Line) {
-	ctx := p.ctx
+func (p *DiCo) ownerWriteSupply(ctx *Context, r dcReq, owner topo.Tile, line *cache.Line) {
 	if r.predicted && r.forwards == 0 {
-		p.cen.ownerClass.Touch(int(owner), int(r.requestor))
-		p.setClass(r.requestor, r.addr, MissPredOwner)
+		p.cen.ownerClass.Touch(int(owner), int(owner))
+		r.clsPlus1 = int8(MissPredOwner) + 1
 	} else if !r.predicted {
-		p.cen.ownerClass.Touch(int(owner), int(r.requestor))
-		p.setClass(r.requestor, r.addr, MissUnpredOwner)
+		p.cen.ownerClass.Touch(int(owner), int(owner))
+		r.clsPlus1 = int8(MissUnpredOwner) + 1
 	}
 	sharers := line.Sharers &^ bit(r.requestor) &^ bit(owner)
 	if ctx.tracing(r.addr) {
 		ctx.Trace(r.addr, "owner %d write-supplies %d, inv sharers %#x", owner, r.requestor, sharers)
 	}
-	p.cen.ownerAcks.Touch(int(owner), int(r.requestor))
-	if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
-		e.SharerAcks += popcount(sharers)
-		e.HomeAck = true
-	}
+	// The sharer-ack and Change_Owner-ack expectations ride to the
+	// requestor with the data; an ack arriving first drives its MSHR
+	// counter transiently negative, which Done() tolerates.
+	p.cen.ownerAcks.Touch(int(owner), int(owner))
+	r.acks += int16(popcount(sharers))
+	r.homeAck++
 	for v := sharers; v != 0; v &= v - 1 {
 		sharer := topo.Tile(bits.TrailingZeros64(v))
-		m := p.msg(dcReq{addr: r.addr, requestor: r.requestor})
+		m := p.msg(owner, dcReq{addr: r.addr, requestor: r.requestor})
 		m.tile = sharer
 		m.supplier = int16(r.requestor)
 		ctx.SendCtlArg(owner, sharer, p.invalFn, m)
@@ -446,9 +479,9 @@ func (p *DiCo) ownerWriteSupply(r dcReq, owner topo.Tile, line *cache.Line) {
 	// The former owner's prediction now points at the new owner.
 	p.tiles[owner].l1c.Update(r.addr, int16(r.requestor))
 	ctx.pw.L1CUpdate.Inc()
-	p.deliverData(r.requestor, r.addr, owner, dcOwnerModified, true, -1)
+	p.deliverData(ctx, r, owner, dcOwnerModified, true, -1)
 	home := ctx.HomeOf(r.addr)
-	m := p.msg(dcReq{addr: r.addr})
+	m := p.msg(owner, dcReq{addr: r.addr})
 	m.tile = r.requestor
 	m.stamp = ctx.Kernel.Now()
 	ctx.SendCtlArg(owner, home, p.coFn, m) // Change_Owner (+ gating ack)
@@ -458,12 +491,12 @@ func (p *DiCo) ownerWriteSupply(r dcReq, owner topo.Tile, line *cache.Line) {
 // precise owner, else serve from the L2 (home ownership), else fetch
 // memory.
 func (p *DiCo) atHome(r dcReq) {
-	ctx := p.ctx
+	home := p.ctx.HomeOf(r.addr)
+	ctx := p.ctx.At(home)
 	ctx.chargeVM(r.requestor)
-	home := ctx.HomeOf(r.addr)
 	th := p.tiles[home]
 	if th.homeBusy(r.addr) || th.recallMarked(r.addr) {
-		th.stallHomeArg(r.addr, p.atHomeFn, p.msg(r))
+		th.stallHomeArg(r.addr, p.atHomeFn, p.msg(home, r))
 		return
 	}
 	ctx.pw.L2TagRead.Inc()
@@ -472,18 +505,21 @@ func (p *DiCo) atHome(r dcReq) {
 		owner := topo.Tile(ptr)
 		if owner == r.requestor || r.forwards >= maxForwards {
 			// Our own transfer is settling, or forwarding keeps
-			// bouncing: back off and retry.
+			// bouncing: back off and retry, keeping the links already
+			// ridden (those hops really happened).
 			ctx.spanRetry(r.requestor)
-			ctx.Kernel.AfterArg(retryBackoff, p.atHomeFn, p.msg(dcReq{r.addr, r.requestor, r.write, r.predicted, 0}))
+			nr := r
+			nr.forwards = 0
+			ctx.Kernel.AfterArg(retryBackoff, p.atHomeFn, p.msg(home, nr))
 			return
 		}
 		r.forwards++
 		ctx.spanEvent("home-forward-owner", home)
-		m := p.msg(r)
+		m := p.msg(home, r)
 		m.tile = owner
 		del := ctx.SendCtlArg(home, owner, p.atL1Fn, m)
-		p.cen.homeFwd.Touch(int(home), int(r.requestor))
-		p.addLinks(r.requestor, r.addr, del.Hops)
+		p.cen.homeFwd.Touch(int(home), int(home))
+		m.r.links += int16(del.Hops)
 		return
 	}
 	if l2line := th.l2.Lookup(r.addr); l2line != nil {
@@ -492,37 +528,35 @@ func (p *DiCo) atHome(r dcReq) {
 		if th.l2c.Invalidate(r.addr) {
 			ctx.pw.L2CUpdate.Inc()
 		}
-		p.homeOwnerSupply(r, home, l2line)
+		p.homeOwnerSupply(ctx, r, home, l2line)
 		return
 	}
 	// Not on chip: requestor becomes owner; memory supplies.
-	p.updateL2C(home, r.addr, r.requestor)
+	p.updateL2C(ctx, home, r.addr, r.requestor)
 	mc := ctx.Mem.For(r.addr)
-	del := ctx.SendCtlArg(home, mc, p.memReqFn, p.msg(r))
-	p.cen.homeMemFetch.Touch(int(home), int(r.requestor))
-	p.addLinks(r.requestor, r.addr, del.Hops)
+	m := p.msg(home, r)
+	del := ctx.SendCtlArg(home, mc, p.memReqFn, m)
+	p.cen.homeMemFetch.Touch(int(home), int(home))
+	m.r.links += int16(del.Hops)
 }
 
 // homeOwnerSupply serves a request when the home L2 holds ownership.
-func (p *DiCo) homeOwnerSupply(r dcReq, home topo.Tile, l2line *cache.Line) {
-	ctx := p.ctx
+func (p *DiCo) homeOwnerSupply(ctx *Context, r dcReq, home topo.Tile, l2line *cache.Line) {
 	if ctx.tracing(r.addr) {
 		ctx.Trace(r.addr, "home %d supplies %d write=%v (l2 sharers %#x)", home, r.requestor, r.write, l2line.Sharers)
 	}
 	th := p.tiles[home]
 	if !r.predicted || r.forwards > 0 {
-		p.cen.homeSupplyClass.Touch(int(home), int(r.requestor))
-		p.setClass(r.requestor, r.addr, MissUnpredHome)
+		p.cen.homeSupplyClass.Touch(int(home), int(home))
+		r.clsPlus1 = int8(MissUnpredHome) + 1
 	}
 	if r.write {
 		sharers := l2line.Sharers &^ bit(r.requestor)
-		p.cen.homeSupplyAcks.Touch(int(home), int(r.requestor))
-		if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
-			e.SharerAcks += popcount(sharers)
-		}
+		p.cen.homeSupplyAcks.Touch(int(home), int(home))
+		r.acks += int16(popcount(sharers))
 		for v := sharers; v != 0; v &= v - 1 {
 			sharer := topo.Tile(bits.TrailingZeros64(v))
-			m := p.msg(dcReq{addr: r.addr, requestor: r.requestor})
+			m := p.msg(home, dcReq{addr: r.addr, requestor: r.requestor})
 			m.tile = sharer
 			m.supplier = int16(r.requestor)
 			ctx.SendCtlArg(home, sharer, p.invalFn, m)
@@ -532,19 +566,18 @@ func (p *DiCo) homeOwnerSupply(r dcReq, home topo.Tile, l2line *cache.Line) {
 		ctx.pw.L2TagWrite.Inc()
 		ctx.pw.L2DataRead.Inc()
 		_ = dirty // the new owner is modified regardless of the L2 copy's state
-		p.updateL2C(home, r.addr, r.requestor)
-		p.deliverData(r.requestor, r.addr, home, dcOwnerModified, true, -1)
+		p.updateL2C(ctx, home, r.addr, r.requestor)
+		p.deliverData(ctx, r, home, dcOwnerModified, true, -1)
 		return
 	}
 	l2line.Sharers |= bit(r.requestor)
 	ctx.pw.L2DataRead.Inc()
-	p.deliverData(r.requestor, r.addr, home, dcShared, false, -1)
+	p.deliverData(ctx, r, home, dcShared, false, -1)
 }
 
 // invalidateAtL1 drops a sharer's copy, updates its prediction to the
 // new owner (Figure 5), and acks the requestor.
-func (p *DiCo) invalidateAtL1(tile topo.Tile, addr cache.Addr, ackTo, newOwner topo.Tile) {
-	ctx := p.ctx
+func (p *DiCo) invalidateAtL1(ctx *Context, tile topo.Tile, addr cache.Addr, ackTo, newOwner topo.Tile) {
 	if ctx.tracing(addr) {
 		ctx.Trace(addr, "invalidate at %d (ack to %d)", tile, ackTo)
 	}
@@ -558,83 +591,57 @@ func (p *DiCo) invalidateAtL1(tile topo.Tile, addr cache.Addr, ackTo, newOwner t
 	}
 	t.l1c.Update(addr, int16(newOwner))
 	ctx.pw.L1CUpdate.Inc()
-	m := p.msg(dcReq{addr: addr})
+	m := p.msg(tile, dcReq{addr: addr})
 	m.tile = ackTo
 	ctx.SendCtlArg(tile, ackTo, p.ackFn, m)
 }
 
 // homeOwnerUpdate installs a new owner pointer in the home's L2C$,
 // guarded against reordered Change_Owner messages.
-func (p *DiCo) homeOwnerUpdate(home topo.Tile, addr cache.Addr, owner topo.Tile, stamp sim.Time) {
+func (p *DiCo) homeOwnerUpdate(ctx *Context, home topo.Tile, addr cache.Addr, owner topo.Tile, stamp sim.Time) {
 	th := p.tiles[home]
 	if !th.stampIfNewer(addr, stamp) {
 		return // a newer transfer already registered
 	}
-	p.updateL2C(home, addr, owner)
+	p.updateL2C(ctx, home, addr, owner)
 	th.clearRecall(addr)
-	th.wakeHome(p.ctx.Kernel, addr)
+	th.wakeHome(ctx.Kernel, addr)
 }
 
 // updateL2C writes an owner pointer, running the L2C$ replacement
 // protocol (ownership recall) when the insertion displaces a victim.
-func (p *DiCo) updateL2C(home topo.Tile, addr cache.Addr, owner topo.Tile) {
-	ctx := p.ctx
+func (p *DiCo) updateL2C(ctx *Context, home topo.Tile, addr cache.Addr, owner topo.Tile) {
 	th := p.tiles[home]
-	evicted, displaced := th.l2c.Update(addr, int16(owner))
+	evicted, evictedPtr, displaced := th.l2c.Update(addr, int16(owner))
 	ctx.pw.L2CUpdate.Inc()
 	if !displaced {
 		return
 	}
 	// The displaced entry loses the home's only pointer to its owner:
 	// recall that ownership to the home L2.
-	p.recallOwnership(home, evicted)
+	p.recallOwnership(ctx, home, evicted, topo.Tile(evictedPtr))
 }
 
 // recallOwnership implements the L2C$ information replacement of
 // Section IV-A1: the home asks the owner to relinquish ownership and
-// return the sharing code and the data.
-func (p *DiCo) recallOwnership(home topo.Tile, addr cache.Addr) {
-	ctx := p.ctx
-	// The owner's identity was in the evicted entry; it is carried by
-	// the recall transaction itself. Find it from the global state
-	// would be cheating — the L2C$ Update API returns only the
-	// address, so the recall message performs a chip search via the
-	// victim's stamp map... in hardware the pointer is read *before*
-	// eviction. We model that: the caller of updateL2C displaced an
-	// entry whose pointer was still valid, so we remember it here.
-	// (The pointer cache returns only the address; recover the owner
-	// by probing the L1s' state lazily when the recall "arrives".)
+// return the sharing code and the data. The victim's pointer is read
+// before the eviction overwrites it — as the hardware does — so the
+// recall travels straight to the owner; no chip-wide L1 scan. If the
+// pointer is stale (ownership moved or is still being granted), the
+// relinquish handler's guards resolve it at the owner's tile.
+func (p *DiCo) recallOwnership(ctx *Context, home topo.Tile, addr cache.Addr, owner topo.Tile) {
 	p.tiles[home].markRecall(addr)
-	// Resolve the owner at recall-issue time by scanning — stands in
-	// for reading the pointer before eviction.
-	owner := topo.Tile(-1)
-	for i := range p.tiles {
-		p.cen.recallScan.Touch(int(home), i)
-		if l := p.tiles[i].l1.Peek(addr); l != nil && dcIsOwner(l.State) {
-			owner = topo.Tile(i)
-			break
-		}
-	}
-	if owner < 0 {
-		// Ownership is in flight (e.g. a memory-fetch grant not yet
-		// filled): poll until the owner materializes or a home update
-		// clears the marker.
-		ctx.Kernel.After(4*retryBackoff, func() {
-			if p.tiles[home].recallMarked(addr) {
-				p.recallOwnership(home, addr)
-			}
-		})
-		return
-	}
+	p.cen.recallScan.Touch(int(home), int(home))
 	ctx.SendCtl(home, owner, func() { p.relinquishOwnership(home, owner, addr) })
 }
 
 // relinquishOwnership moves ownership from an L1 back to the home L2.
 // The former owner stays on as a sharer.
 func (p *DiCo) relinquishOwnership(home, owner topo.Tile, addr cache.Addr) {
-	ctx := p.ctx
+	ctx := p.ctx.At(owner)
 	t := p.tiles[owner]
 	if _, pending := t.mshr.Lookup(addr); pending {
+		// The recalled grant has not filled yet: wait for it.
 		t.stallL1(addr, func() { p.relinquishOwnership(home, owner, addr) })
 		return
 	}
@@ -657,31 +664,30 @@ func (p *DiCo) relinquishOwnership(home, owner topo.Tile, addr cache.Addr) {
 	ctx.pw.L1TagWrite.Inc()
 	ctx.pw.L1DataRead.Inc()
 	ctx.SendData(owner, home, func() {
-		p.tiles[home].setStamp(addr, ctx.Kernel.Now())
-		p.insertL2Owned(home, addr, dirty, sharers, func() {
+		hctx := p.ctx.At(home)
+		p.tiles[home].setStamp(addr, hctx.Kernel.Now())
+		p.insertL2Owned(hctx, home, addr, dirty, sharers, func() {
 			p.tiles[home].clearRecall(addr)
-			p.tiles[home].wakeHome(ctx.Kernel, addr)
+			p.tiles[home].wakeHome(hctx.Kernel, addr)
 		})
 	})
 }
 
-// deliverData sends the block to the requestor. supplier (when >= 0)
-// is retained as the line's prediction hint.
-func (p *DiCo) deliverData(requestor topo.Tile, addr cache.Addr, from topo.Tile, state cache.State, dirty bool, supplier int16) {
-	m := p.msg(dcReq{addr: addr})
-	m.tile = requestor
+// deliverData sends the block to the requestor, carrying the miss's
+// accumulated MSHR updates in r. supplier (when >= 0) is retained as
+// the line's prediction hint.
+func (p *DiCo) deliverData(ctx *Context, r dcReq, from topo.Tile, state cache.State, dirty bool, supplier int16) {
+	m := p.msg(from, r)
 	m.state = state
 	m.dirty = dirty
 	m.supplier = supplier
-	del := p.ctx.SendDataArg(from, requestor, p.deliverFn, m)
-	p.cen.deliver.Touch(int(from), int(requestor))
-	p.addLinks(requestor, addr, del.Hops)
+	del := ctx.SendDataArg(from, r.requestor, p.deliverFn, m)
+	m.r.links += int16(del.Hops)
 }
 
 // fillL1 installs the block and runs the Table-II-style replacement
 // protocol for the victim.
-func (p *DiCo) fillL1(tile topo.Tile, addr cache.Addr, state cache.State, dirty bool, supplier int16) {
-	ctx := p.ctx
+func (p *DiCo) fillL1(ctx *Context, tile topo.Tile, addr cache.Addr, state cache.State, dirty bool, supplier int16) {
 	if ctx.tracing(addr) {
 		ctx.Trace(addr, "fill at %d state=%d dirty=%v", tile, state, dirty)
 	}
@@ -699,7 +705,7 @@ func (p *DiCo) fillL1(tile topo.Tile, addr cache.Addr, state cache.State, dirty 
 	}
 	victim, valid := t.l1.Victim(addr)
 	if valid {
-		p.evictL1(tile, *victim)
+		p.evictL1(ctx, tile, *victim)
 		t.l1.Invalidate(victim.Addr)
 	}
 	nl := victim
@@ -715,8 +721,7 @@ func (p *DiCo) fillL1(tile topo.Tile, addr cache.Addr, state cache.State, dirty 
 // evictL1 is the DiCo block replacement: shared lines leave silently
 // (retaining the supplier hint in the L1C$); owned lines transfer
 // ownership to a sharer, or write back to the home when alone.
-func (p *DiCo) evictL1(tile topo.Tile, victim cache.Line) {
-	ctx := p.ctx
+func (p *DiCo) evictL1(ctx *Context, tile topo.Tile, victim cache.Line) {
 	if ctx.tracing(victim.Addr) {
 		ctx.Trace(victim.Addr, "evict at %d state=%d sharers=%#x", tile, victim.State, victim.Sharers)
 	}
@@ -730,16 +735,18 @@ func (p *DiCo) evictL1(tile topo.Tile, victim cache.Line) {
 	}
 	sharers := victim.Sharers &^ bit(tile)
 	if sharers != 0 {
-		p.transferOwnership(tile, victim.Addr, sharers, sharers, victim.Dirty, tile)
+		p.transferOwnership(tile, victim.Addr, sharers, sharers, victim.Dirty)
 		return
 	}
-	p.writebackToHome(tile, victim.Addr, victim.Dirty, 0)
+	p.writebackToHome(ctx, tile, victim.Addr, victim.Dirty, 0)
 }
 
 // transferOwnership offers ownership to the sharers in turn; whoever
 // still holds the block accepts, becomes owner, and sends Change_Owner
-// to the home. If nobody accepts, the data falls back to the home via
-// the original evictor.
+// to the home. If nobody accepts, the data falls back to the home from
+// the last tile probed: the data rides the offer chain, so a failed
+// chain writes back from where it ends instead of returning to the
+// evictor (which keeps every send's source on the executing tile).
 //
 // tryList shrinks as candidates are probed; vector keeps every tile
 // that may still (or will soon) hold a copy. A candidate with a miss
@@ -747,8 +754,8 @@ func (p *DiCo) evictL1(tile topo.Tile, victim cache.Line) {
 // deadlock, since the miss may itself be waiting for this ownership to
 // settle — but stays in the vector so its eventual fill is covered by
 // the next owner's sharing code (a superset is always safe).
-func (p *DiCo) transferOwnership(from topo.Tile, addr cache.Addr, tryList, vector uint64, dirty bool, evictor topo.Tile) {
-	ctx := p.ctx
+func (p *DiCo) transferOwnership(from topo.Tile, addr cache.Addr, tryList, vector uint64, dirty bool) {
+	ctx := p.ctx.At(from)
 	target := topo.Tile(-1)
 	forEachBit(tryList, func(i int) {
 		if target < 0 {
@@ -756,50 +763,53 @@ func (p *DiCo) transferOwnership(from topo.Tile, addr cache.Addr, tryList, vecto
 		}
 	})
 	if target < 0 {
-		p.writebackToHome(evictor, addr, dirty, vector)
+		p.writebackToHome(ctx, from, addr, dirty, vector)
 		return
 	}
 	rest := tryList &^ bit(target)
 	ctx.SendCtl(from, target, func() {
+		tctx := p.ctx.At(target)
 		t := p.tiles[target]
 		if _, pending := t.mshr.Lookup(addr); pending {
-			p.transferOwnership(target, addr, rest, vector, dirty, evictor)
+			p.transferOwnership(target, addr, rest, vector, dirty)
 			return
 		}
-		ctx.pw.L1TagRead.Inc()
+		tctx.pw.L1TagRead.Inc()
 		line := t.l1.Peek(addr)
 		if line == nil || line.State != dcShared {
-			if ctx.tracing(addr) {
-				ctx.Trace(addr, "transfer rejected at %d", target)
+			if tctx.tracing(addr) {
+				tctx.Trace(addr, "transfer rejected at %d", target)
 			}
 			// No longer a sharer: pass it on (Table II).
-			p.transferOwnership(target, addr, rest, vector&^bit(target), dirty, evictor)
+			p.transferOwnership(target, addr, rest, vector&^bit(target), dirty)
 			return
 		}
-		if ctx.tracing(addr) {
-			ctx.Trace(addr, "transfer accepted at %d (vector %#x)", target, vector)
+		if tctx.tracing(addr) {
+			tctx.Trace(addr, "transfer accepted at %d (vector %#x)", target, vector)
 		}
 		line.State = dcOwnerShared
 		line.Dirty = dirty
 		line.Sharers = vector &^ bit(target)
 		line.Owner = -1
-		ctx.pw.L1TagWrite.Inc()
-		home := ctx.HomeOf(addr)
-		stamp := ctx.Kernel.Now()
-		ctx.SendCtl(target, home, func() { // Change_Owner
-			p.homeOwnerUpdate(home, addr, target, stamp)
-			ctx.SendCtl(home, target, func() {}) // ack (gating message)
+		tctx.pw.L1TagWrite.Inc()
+		home := tctx.HomeOf(addr)
+		stamp := tctx.Kernel.Now()
+		tctx.SendCtl(target, home, func() { // Change_Owner
+			hctx := p.ctx.At(home)
+			p.homeOwnerUpdate(hctx, home, addr, target, stamp)
+			hctx.SendCtl(home, target, func() {}) // ack (gating message)
 		})
 		// Hint the remaining sharers about the new owner (Figure 5).
 		forEachBit(vector&^bit(target), func(i int) {
 			sharer := topo.Tile(i)
-			ctx.SendCtl(target, sharer, func() {
+			tctx.SendCtl(target, sharer, func() {
+				sctx := p.ctx.At(sharer)
 				st := p.tiles[sharer]
 				if l := st.l1.Peek(addr); l != nil && l.State == dcShared {
 					l.Owner = int16(target)
 				} else {
 					st.l1c.Update(addr, int16(target))
-					ctx.pw.L1CUpdate.Inc()
+					sctx.pw.L1CUpdate.Inc()
 				}
 			})
 		})
@@ -807,15 +817,14 @@ func (p *DiCo) transferOwnership(from topo.Tile, addr cache.Addr, tryList, vecto
 }
 
 // writebackToHome sends ownership (and the data) to the home L2, which
-// becomes the owner.
-func (p *DiCo) writebackToHome(tile topo.Tile, addr cache.Addr, dirty bool, sharers uint64) {
-	ctx := p.ctx
+// becomes the owner. tile must be the executing tile.
+func (p *DiCo) writebackToHome(ctx *Context, tile topo.Tile, addr cache.Addr, dirty bool, sharers uint64) {
 	if ctx.tracing(addr) {
 		ctx.Trace(addr, "writeback to home from %d sharers=%#x", tile, sharers)
 	}
 	home := ctx.HomeOf(addr)
 	ctx.pw.L1DataRead.Inc()
-	m := p.msg(dcReq{addr: addr})
+	m := p.msg(tile, dcReq{addr: addr})
 	m.dirty = dirty
 	m.vec = sharers
 	ctx.SendDataArg(tile, home, p.wbFn, m)
@@ -825,8 +834,7 @@ func (p *DiCo) writebackToHome(tile topo.Tile, addr cache.Addr, dirty bool, shar
 // L2 victim first (which requires invalidating the victim's sharers —
 // the same mechanism as a write, with the L2 as both owner and
 // requestor).
-func (p *DiCo) insertL2Owned(home topo.Tile, addr cache.Addr, dirty bool, sharers uint64, then func()) {
-	ctx := p.ctx
+func (p *DiCo) insertL2Owned(ctx *Context, home topo.Tile, addr cache.Addr, dirty bool, sharers uint64, then func()) {
 	if ctx.tracing(addr) {
 		ctx.Trace(addr, "insert L2-owned at %d sharers=%#x", home, sharers)
 	}
@@ -850,8 +858,8 @@ func (p *DiCo) insertL2Owned(home topo.Tile, addr cache.Addr, dirty bool, sharer
 		snapshot := *victim
 		th.l2.Invalidate(snapshot.Addr)
 		ctx.pw.L2TagWrite.Inc()
-		p.evictL2Owned(home, snapshot, func() {
-			p.insertL2Owned(home, addr, dirty, sharers, then)
+		p.evictL2Owned(ctx, home, snapshot, func() {
+			p.insertL2Owned(ctx, home, addr, dirty, sharers, then)
 		})
 		return
 	}
@@ -867,8 +875,7 @@ func (p *DiCo) insertL2Owned(home topo.Tile, addr cache.Addr, dirty bool, sharer
 
 // evictL2Owned invalidates every sharer of an L2-owned victim block,
 // writes dirty data back to memory, and then calls then.
-func (p *DiCo) evictL2Owned(home topo.Tile, victim cache.Line, then func()) {
-	ctx := p.ctx
+func (p *DiCo) evictL2Owned(ctx *Context, home topo.Tile, victim cache.Line, then func()) {
 	th := p.tiles[home]
 	victimAddr := victim.Addr
 	if ctx.tracing(victimAddr) {
@@ -880,7 +887,7 @@ func (p *DiCo) evictL2Owned(home topo.Tile, victim cache.Line, then func()) {
 	finish := func() {
 		if victim.Dirty {
 			mc := ctx.Mem.For(victimAddr)
-			ctx.SendData(home, mc, func() { ctx.Mem.WriteLatency() })
+			ctx.SendDataArg(home, mc, p.flushFn, mc)
 		}
 		th.clearHomeBusy(victimAddr)
 		th.wakeHome(ctx.Kernel, victimAddr)
@@ -893,15 +900,16 @@ func (p *DiCo) evictL2Owned(home topo.Tile, victim cache.Line, then func()) {
 	forEachBit(sharers, func(i int) {
 		sharer := topo.Tile(i)
 		ctx.SendCtl(home, sharer, func() {
+			sctx := p.ctx.At(sharer)
 			t := p.tiles[sharer]
-			ctx.pw.L1TagRead.Inc()
+			sctx.pw.L1TagRead.Inc()
 			if _, ok := t.l1.Invalidate(victimAddr); ok {
-				ctx.pw.L1TagWrite.Inc()
+				sctx.pw.L1TagWrite.Inc()
 			}
 			if e, ok := t.mshr.Lookup(victimAddr); ok {
 				e.InvalidatedWhilePending = true
 			}
-			ctx.SendCtl(sharer, home, func() {
+			sctx.SendCtl(sharer, home, func() {
 				pending--
 				if pending == 0 {
 					finish()
@@ -911,20 +919,7 @@ func (p *DiCo) evictL2Owned(home topo.Tile, victim cache.Line, then func()) {
 	})
 }
 
-func (p *DiCo) addLinks(requestor topo.Tile, addr cache.Addr, hops int) {
-	if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
-		e.Links += hops
-	}
-}
-
-func (p *DiCo) setClass(requestor topo.Tile, addr cache.Addr, c MissClass) {
-	if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
-		e.Tag = int(c)
-	}
-}
-
-func (p *DiCo) maybeComplete(tile topo.Tile, addr cache.Addr) {
-	ctx := p.ctx
+func (p *DiCo) maybeComplete(ctx *Context, tile topo.Tile, addr cache.Addr) {
 	t := p.tiles[tile]
 	e, ok := t.mshr.Lookup(addr)
 	if !ok || !e.Done() {
@@ -939,7 +934,7 @@ func (p *DiCo) maybeComplete(tile topo.Tile, addr cache.Addr) {
 		if line := t.l1.Peek(addr); line != nil {
 			snapshot := *line
 			t.l1.Invalidate(addr)
-			p.evictL1(tile, snapshot)
+			p.evictL1(ctx, tile, snapshot)
 		}
 	}
 	cls := MissClass(e.Tag)

@@ -41,21 +41,26 @@ type Directory struct {
 	// protocol hops travel as (fn, *dirMsg) pairs instead of
 	// per-message closures. Each adapter unpacks its pooled node,
 	// recycles it, and calls the value-typed handler.
-	atHomeFn    func(any)
-	atOwnerFn   func(any)
-	atSharerFn  func(any)
-	deliverFn   func(any)
-	invalFn     func(any)
-	ackFn       func(any)
-	handoverFn  func(any)
-	downgradeFn func(any)
-	evictWbFn   func(any)
-	memReqFn    func(any)
-	memRespFn   func(any)
-	memFillFn   func(any)
-	flushFn     func(any)
+	atHomeFn      func(any)
+	atOwnerFn     func(any)
+	atSharerFn    func(any)
+	sharerRetryFn func(any)
+	deliverFn     func(any)
+	invalFn       func(any)
+	ackFn         func(any)
+	handoverFn    func(any)
+	downgradeFn   func(any)
+	evictWbFn     func(any)
+	memReqFn      func(any)
+	memRespFn     func(any)
+	memFillFn     func(any)
+	flushFn       func(any)
 
-	freeMsg *dirMsg
+	// free holds one message pool per tile, indexed by the executing
+	// tile: senders take nodes from their own tile's list and delivery
+	// handlers recycle into theirs, so no list is ever touched by two
+	// lanes (an engine-global pool would race under RunParallel).
+	free []*dirMsg
 
 	cen dirCensus
 }
@@ -77,6 +82,7 @@ func NewDirectory(ctx *Context) *Directory {
 	d := &Directory{
 		ctx:   ctx,
 		tiles: make([]*tileState, ctx.NumTiles()),
+		free:  make([]*dirMsg, ctx.NumTiles()),
 	}
 	d.bindHandlers()
 	d.cen = dirCensus{
@@ -123,6 +129,22 @@ type dirReq struct {
 	requestor topo.Tile
 	write     bool
 	forwards  int
+
+	// Ride-along MSHR bookkeeping: instead of the home/owner/sharer
+	// synchronously poking the requestor's MSHR as the transaction
+	// hops the chip, each leg accumulates its contribution here and
+	// the delivery handler applies it on the requestor's own lane.
+	links    int16 // mesh links traversed by the request legs
+	acks     int16 // sharer acks the write must collect
+	clsPlus1 int8  // resolved MissClass + 1 (0 = not resolved yet)
+}
+
+// retryReq rebuilds a request for a NACK-and-retry round: the forward
+// budget resets, the ride-along bookkeeping accumulated so far stays
+// (those hops really happened and must reach the requestor's MSHR).
+func retryReq(r dirReq) dirReq {
+	r.forwards = 0
+	return r
 }
 
 // dirMsg is the pooled argument node for the non-capturing message
@@ -138,10 +160,13 @@ type dirMsg struct {
 	stamp sim.Time // ownership-update stamp
 }
 
-func (d *Directory) msg(r dirReq) *dirMsg {
-	m := d.freeMsg
+// msg takes a node from the executing lane's pool; at must be the
+// tile whose lane is running the caller.
+func (d *Directory) msg(at topo.Tile, r dirReq) *dirMsg {
+	lane := d.ctx.Lane(at)
+	m := d.free[lane]
 	if m != nil {
-		d.freeMsg = m.next
+		d.free[lane] = m.next
 	} else {
 		m = &dirMsg{}
 	}
@@ -149,9 +174,11 @@ func (d *Directory) msg(r dirReq) *dirMsg {
 	return m
 }
 
-func (d *Directory) putMsg(m *dirMsg) {
-	m.next = d.freeMsg
-	d.freeMsg = m
+// putMsg recycles a node into the executing lane's pool.
+func (d *Directory) putMsg(at topo.Tile, m *dirMsg) {
+	lane := d.ctx.Lane(at)
+	m.next = d.free[lane]
+	d.free[lane] = m
 }
 
 // bindHandlers builds the long-lived adapter funcs once; every
@@ -160,71 +187,95 @@ func (d *Directory) bindHandlers() {
 	d.atHomeFn = func(a any) {
 		m := a.(*dirMsg)
 		r := m.r
-		d.putMsg(m)
+		d.putMsg(d.ctx.HomeOf(r.addr), m)
 		d.atHome(r)
 	}
 	d.atOwnerFn = func(a any) {
 		m := a.(*dirMsg)
 		r, owner := m.r, m.tile
-		d.putMsg(m)
+		d.putMsg(owner, m)
 		d.atOwner(r, owner)
 	}
 	d.atSharerFn = func(a any) {
 		m := a.(*dirMsg)
 		r, sharer := m.r, m.tile
-		d.putMsg(m)
+		d.putMsg(sharer, m)
 		d.atSharerSupply(r, sharer)
+	}
+	// sharerRetryFn runs at the home after a forwarded read found the
+	// sharer's copy silently evicted: drop the stale sharer bit and
+	// restart the request.
+	d.sharerRetryFn = func(a any) {
+		m := a.(*dirMsg)
+		r, sharer, stamp := m.r, m.tile, m.stamp
+		home := d.ctx.HomeOf(r.addr)
+		d.putMsg(home, m)
+		ctx := d.ctx.At(home)
+		ctx.chargeVM(r.requestor)
+		d.homeDirUpdate(ctx, home, r.addr, stamp, func(dl *cache.DirEntry) {
+			dl.Sharers &^= bit(sharer)
+		})
+		d.atHome(r)
 	}
 	d.deliverFn = func(a any) {
 		m := a.(*dirMsg)
-		requestor, addr, state, dirty := m.tile, m.r.addr, m.state, m.dirty
-		d.putMsg(m)
-		d.ctx.chargeVM(requestor)
-		d.fillL1(requestor, addr, state, dirty)
-		if e, ok := d.tiles[requestor].mshr.Lookup(addr); ok {
+		r, state, dirty := m.r, m.state, m.dirty
+		d.putMsg(r.requestor, m)
+		ctx := d.ctx.At(r.requestor)
+		ctx.chargeVM(r.requestor)
+		d.cen.deliver.Touch(int(r.requestor), int(r.requestor))
+		d.fillL1(ctx, r.requestor, r.addr, state, dirty)
+		if e, ok := d.tiles[r.requestor].mshr.Lookup(r.addr); ok {
 			e.DataReceived = true
+			e.Links += int(r.links)
+			e.SharerAcks += int(r.acks)
+			if r.clsPlus1 != 0 {
+				e.Tag = int(r.clsPlus1 - 1)
+			}
 		}
-		d.maybeComplete(requestor, addr)
+		d.maybeComplete(ctx, r.requestor, r.addr)
 	}
 	d.invalFn = func(a any) {
 		m := a.(*dirMsg)
 		sharer, addr, requestor := m.tile, m.r.addr, m.r.requestor
-		d.putMsg(m)
-		d.ctx.chargeVM(requestor)
+		d.putMsg(sharer, m)
+		d.ctx.At(sharer).chargeVM(requestor)
 		d.invalidateAtL1(sharer, addr, requestor)
 	}
 	d.ackFn = func(a any) {
 		m := a.(*dirMsg)
 		requestor, addr := m.tile, m.r.addr
-		d.putMsg(m)
-		d.ctx.chargeVM(requestor)
-		d.ackAtRequestor(requestor, addr)
+		d.putMsg(requestor, m)
+		ctx := d.ctx.At(requestor)
+		ctx.chargeVM(requestor)
+		d.ackAtRequestor(ctx, requestor, addr)
 	}
 	// handoverFn applies the write-handover directory update at the
 	// home: the forwarded write made m.tile the new exclusive owner.
 	d.handoverFn = func(a any) {
 		m := a.(*dirMsg)
 		addr, stamp, newOwner := m.r.addr, m.stamp, m.tile
-		d.putMsg(m)
-		d.ctx.chargeVM(newOwner)
 		home := d.ctx.HomeOf(addr)
+		d.putMsg(home, m)
+		ctx := d.ctx.At(home)
+		ctx.chargeVM(newOwner)
 		th := d.tiles[home]
 		if !th.stampIfNewer(addr, stamp) {
-			if d.ctx.tracing(addr) {
-				d.ctx.Trace(addr, "stale dir update dropped (stamp %d)", stamp)
+			if ctx.tracing(addr) {
+				ctx.Trace(addr, "stale dir update dropped (stamp %d)", stamp)
 			}
-			th.wakeHome(d.ctx.Kernel, addr)
+			th.wakeHome(ctx.Kernel, addr)
 			return
 		}
 		if dl := th.dir.Peek(addr); dl != nil {
 			dl.Owner = int16(newOwner)
 			dl.Sharers = bit(newOwner)
-			d.ctx.pw.DirWrite.Inc()
-			if d.ctx.tracing(addr) {
-				d.ctx.Trace(addr, "homeDirUpdate -> owner=%d sharers=%#x (stamp %d)", dl.Owner, dl.Sharers, stamp)
+			ctx.pw.DirWrite.Inc()
+			if ctx.tracing(addr) {
+				ctx.Trace(addr, "homeDirUpdate -> owner=%d sharers=%#x (stamp %d)", dl.Owner, dl.Sharers, stamp)
 			}
 		}
-		th.wakeHome(d.ctx.Kernel, addr)
+		th.wakeHome(ctx.Kernel, addr)
 	}
 	// downgradeFn applies the read-downgrade update: the old owner
 	// (m.tile) became a sharer alongside the requestor, and its data
@@ -232,103 +283,108 @@ func (d *Directory) bindHandlers() {
 	d.downgradeFn = func(a any) {
 		m := a.(*dirMsg)
 		addr, stamp, owner, requestor, dirty := m.r.addr, m.stamp, m.tile, m.r.requestor, m.dirty
-		d.putMsg(m)
-		d.ctx.chargeVM(requestor)
 		home := d.ctx.HomeOf(addr)
+		d.putMsg(home, m)
+		ctx := d.ctx.At(home)
+		ctx.chargeVM(requestor)
 		th := d.tiles[home]
 		if !th.stampIfNewer(addr, stamp) {
-			if d.ctx.tracing(addr) {
-				d.ctx.Trace(addr, "stale dir update dropped (stamp %d)", stamp)
+			if ctx.tracing(addr) {
+				ctx.Trace(addr, "stale dir update dropped (stamp %d)", stamp)
 			}
-			th.wakeHome(d.ctx.Kernel, addr)
+			th.wakeHome(ctx.Kernel, addr)
 			if dirty {
-				mc := d.ctx.Mem.For(addr)
-				d.ctx.SendDataArg(home, mc, d.flushFn, nil)
+				mc := ctx.Mem.For(addr)
+				ctx.SendDataArg(home, mc, d.flushFn, mc)
 			}
 			return
 		}
 		if dl := th.dir.Peek(addr); dl != nil {
 			dl.Owner = -1
 			dl.Sharers |= bit(owner) | bit(requestor)
-			d.ctx.pw.DirWrite.Inc()
-			if d.ctx.tracing(addr) {
-				d.ctx.Trace(addr, "homeDirUpdate -> owner=%d sharers=%#x (stamp %d)", dl.Owner, dl.Sharers, stamp)
+			ctx.pw.DirWrite.Inc()
+			if ctx.tracing(addr) {
+				ctx.Trace(addr, "homeDirUpdate -> owner=%d sharers=%#x (stamp %d)", dl.Owner, dl.Sharers, stamp)
 			}
 		}
-		th.wakeHome(d.ctx.Kernel, addr)
-		d.insertL2Data(home, addr, dirty)
+		th.wakeHome(ctx.Kernel, addr)
+		d.insertL2Data(ctx, home, addr, dirty)
 	}
 	// evictWbFn applies an owned-eviction update: m.tile gave up the
 	// block entirely.
 	d.evictWbFn = func(a any) {
 		m := a.(*dirMsg)
 		addr, stamp, tile, dirty := m.r.addr, m.stamp, m.tile, m.dirty
-		d.putMsg(m)
-		d.ctx.chargeVM(tile)
 		home := d.ctx.HomeOf(addr)
+		d.putMsg(home, m)
+		ctx := d.ctx.At(home)
+		ctx.chargeVM(tile)
 		th := d.tiles[home]
 		if !th.stampIfNewer(addr, stamp) {
-			if d.ctx.tracing(addr) {
-				d.ctx.Trace(addr, "stale dir update dropped (stamp %d)", stamp)
+			if ctx.tracing(addr) {
+				ctx.Trace(addr, "stale dir update dropped (stamp %d)", stamp)
 			}
-			th.wakeHome(d.ctx.Kernel, addr)
+			th.wakeHome(ctx.Kernel, addr)
 			if dirty {
-				mc := d.ctx.Mem.For(addr)
-				d.ctx.SendDataArg(home, mc, d.flushFn, nil)
+				mc := ctx.Mem.For(addr)
+				ctx.SendDataArg(home, mc, d.flushFn, mc)
 			}
 			return
 		}
 		if dl := th.dir.Peek(addr); dl != nil {
 			dl.Owner = -1
 			dl.Sharers &^= bit(tile)
-			d.ctx.pw.DirWrite.Inc()
-			if d.ctx.tracing(addr) {
-				d.ctx.Trace(addr, "homeDirUpdate -> owner=%d sharers=%#x (stamp %d)", dl.Owner, dl.Sharers, stamp)
+			ctx.pw.DirWrite.Inc()
+			if ctx.tracing(addr) {
+				ctx.Trace(addr, "homeDirUpdate -> owner=%d sharers=%#x (stamp %d)", dl.Owner, dl.Sharers, stamp)
 			}
 		}
-		th.wakeHome(d.ctx.Kernel, addr)
-		d.insertL2Data(home, addr, dirty)
+		th.wakeHome(ctx.Kernel, addr)
+		d.insertL2Data(ctx, home, addr, dirty)
 	}
 	// Memory fetch pipeline: request at the controller, latency wait,
 	// data hop back through the home, fill + deliver.
 	d.memReqFn = func(a any) {
 		m := a.(*dirMsg)
-		lat := d.ctx.Mem.ReadLatency()
-		d.ctx.Kernel.AfterArg(lat, d.memRespFn, m)
+		ctx := d.ctx.At(d.ctx.Mem.For(m.r.addr))
+		ctx.MemFetch(d.memRespFn, m)
 	}
 	d.memRespFn = func(a any) {
 		m := a.(*dirMsg)
 		// Memory data flows through the home: the directory keeps a
 		// copy of read data in the shared L2 (deduplicated data is
 		// stored once for all VMs), then forwards it on.
-		d.ctx.chargeVM(m.r.requestor)
-		home := d.ctx.HomeOf(m.r.addr)
 		mc := d.ctx.Mem.For(m.r.addr)
-		d2 := d.ctx.SendDataArg(mc, home, d.memFillFn, m)
-		d.cen.memResp.Touch(int(mc), int(m.r.requestor))
-		d.addLinks(m.r.requestor, m.r.addr, d2.Hops)
+		ctx := d.ctx.At(mc)
+		ctx.chargeVM(m.r.requestor)
+		home := ctx.HomeOf(m.r.addr)
+		d.cen.memResp.Touch(int(mc), int(mc))
+		d2 := ctx.SendDataArg(mc, home, d.memFillFn, m)
+		m.r.links += int16(d2.Hops)
 	}
 	d.memFillFn = func(a any) {
 		m := a.(*dirMsg)
 		r := m.r
-		d.putMsg(m)
-		d.ctx.chargeVM(r.requestor)
 		home := d.ctx.HomeOf(r.addr)
+		d.putMsg(home, m)
+		ctx := d.ctx.At(home)
+		ctx.chargeVM(r.requestor)
 		state, dirty := dirExclusive, false
 		if r.write {
 			state, dirty = dirModified, true
 		}
 		if !r.write {
-			d.insertL2Data(home, r.addr, false)
+			d.insertL2Data(ctx, home, r.addr, false)
 		}
-		d.deliverData(r.requestor, r.addr, home, state, dirty)
+		d.deliverData(ctx, r, home, state, dirty)
 	}
-	d.flushFn = func(any) { d.ctx.Mem.WriteLatency() }
+	// flushFn runs at the memory controller tile boxed in the argument.
+	d.flushFn = func(a any) { d.ctx.At(a.(topo.Tile)).MemFlush() }
 }
 
 // Access implements Engine.
 func (d *Directory) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()) {
-	ctx := d.ctx
+	ctx := d.ctx.At(tile)
 	ctx.chargeVM(tile)
 	t := d.tiles[tile]
 	if _, pending := t.mshr.Lookup(addr); pending {
@@ -362,30 +418,18 @@ func (d *Directory) Access(tile topo.Tile, addr cache.Addr, write bool, onDone f
 	e.Tag = int(MissUnpredHome)
 	ctx.spanBegin(tile, addr, write)
 	home := ctx.HomeOf(addr)
-	del := ctx.SendCtlArg(tile, home, d.atHomeFn, d.msg(dirReq{addr, tile, write, 0}))
+	del := ctx.SendCtlArg(tile, home, d.atHomeFn, d.msg(tile, dirReq{addr: addr, requestor: tile, write: write}))
 	e.Links += del.Hops
-}
-
-func (d *Directory) addLinks(requestor topo.Tile, addr cache.Addr, hops int) {
-	if e, ok := d.tiles[requestor].mshr.Lookup(addr); ok {
-		e.Links += hops
-	}
-}
-
-func (d *Directory) setClass(requestor topo.Tile, addr cache.Addr, c MissClass) {
-	if e, ok := d.tiles[requestor].mshr.Lookup(addr); ok {
-		e.Tag = int(c)
-	}
 }
 
 // atHome processes a request at the block's home bank.
 func (d *Directory) atHome(r dirReq) {
-	ctx := d.ctx
+	home := d.ctx.HomeOf(r.addr)
+	ctx := d.ctx.At(home)
 	ctx.chargeVM(r.requestor)
-	home := ctx.HomeOf(r.addr)
 	th := d.tiles[home]
 	if th.homeBusy(r.addr) {
-		th.stallHomeArg(r.addr, d.atHomeFn, d.msg(r))
+		th.stallHomeArg(r.addr, d.atHomeFn, d.msg(home, r))
 		return
 	}
 	ctx.pw.L2TagRead.Inc()
@@ -415,12 +459,12 @@ func (d *Directory) atHome(r dirReq) {
 		// branch: capturing the parameter itself would force r to the
 		// heap on every atHome call, including the hot tracked paths.
 		req := r
-		d.allocDirEntry(home, r.addr, dline, dirVictimAddr, dirValid, func(nl *cache.DirEntry) {
+		d.allocDirEntry(ctx, home, r.addr, dline, dirVictimAddr, dirValid, func(nl *cache.DirEntry) {
 			nl.Owner = int16(req.requestor)
 			nl.Sharers = bit(req.requestor)
-			d.stampNow(home, req.addr)
+			d.stampNow(ctx, home, req.addr)
 			ctx.pw.DirWrite.Inc()
-			d.fetchFromMemory(req, home)
+			d.fetchFromMemory(ctx, req, home)
 		})
 		return
 	}
@@ -429,42 +473,41 @@ func (d *Directory) atHome(r dirReq) {
 		if owner == r.requestor {
 			// Our own writeback is still in flight; retry shortly.
 			ctx.spanRetry(r.requestor)
-			ctx.Kernel.AfterArg(retryBackoff, d.atHomeFn, d.msg(dirReq{r.addr, r.requestor, r.write, 0}))
+			ctx.Kernel.AfterArg(retryBackoff, d.atHomeFn, d.msg(home, retryReq(r)))
 			return
 		}
 		if r.forwards >= maxForwards {
 			// Forwarding keeps bouncing (transfer in flight): back off
 			// and retry from the home.
 			ctx.spanRetry(r.requestor)
-			ctx.Kernel.AfterArg(retryBackoff, d.atHomeFn, d.msg(dirReq{r.addr, r.requestor, r.write, 0}))
+			ctx.Kernel.AfterArg(retryBackoff, d.atHomeFn, d.msg(home, retryReq(r)))
 			return
 		}
 		r.forwards++
 		ctx.spanEvent("dir-forward-owner", home)
-		m := d.msg(r)
+		d.cen.fwdOwner.Touch(int(home), int(home))
+		m := d.msg(home, r)
 		m.tile = owner
 		del := ctx.SendCtlArg(home, owner, d.atOwnerFn, m)
-		d.cen.fwdOwner.Touch(int(home), int(r.requestor))
-		d.addLinks(r.requestor, r.addr, del.Hops)
+		m.r.links += int16(del.Hops)
 		return
 	}
 	if r.write {
-		d.homeWrite(r, dline)
+		d.homeWrite(ctx, r, dline)
 		return
 	}
-	d.homeRead(r, dline)
+	d.homeRead(ctx, r, dline)
 }
 
 // homeRead serves a read at the home when no exclusive L1 owner exists.
-func (d *Directory) homeRead(r dirReq, dline *cache.DirEntry) {
-	ctx := d.ctx
+func (d *Directory) homeRead(ctx *Context, r dirReq, dline *cache.DirEntry) {
 	home := ctx.HomeOf(r.addr)
 	th := d.tiles[home]
 	if th.l2.Lookup(r.addr) != nil {
 		ctx.pw.L2DataRead.Inc()
 		dline.Sharers |= bit(r.requestor)
 		ctx.pw.DirWrite.Inc()
-		d.deliverData(r.requestor, r.addr, home, dirShared, false)
+		d.deliverData(ctx, r, home, dirShared, false)
 		return
 	}
 	if others := dline.Sharers &^ bit(r.requestor); others != 0 {
@@ -479,66 +522,70 @@ func (d *Directory) homeRead(r dirReq, dline *cache.DirEntry) {
 		ctx.pw.DirWrite.Inc()
 		if r.forwards >= maxForwards {
 			ctx.spanRetry(r.requestor)
-			ctx.Kernel.AfterArg(retryBackoff, d.atHomeFn, d.msg(dirReq{r.addr, r.requestor, r.write, 0}))
+			ctx.Kernel.AfterArg(retryBackoff, d.atHomeFn, d.msg(home, retryReq(r)))
 			return
 		}
 		r.forwards++
 		ctx.spanEvent("dir-forward-sharer", home)
-		m := d.msg(r)
+		d.cen.fwdSharer.Touch(int(home), int(home))
+		m := d.msg(home, r)
 		m.tile = sharer
 		del := ctx.SendCtlArg(home, sharer, d.atSharerFn, m)
-		d.cen.fwdSharer.Touch(int(home), int(r.requestor))
-		d.addLinks(r.requestor, r.addr, del.Hops)
+		m.r.links += int16(del.Hops)
 		return
 	}
 	// Stale empty entry: treat as a fresh exclusive fetch.
 	dline.Owner = int16(r.requestor)
 	dline.Sharers = bit(r.requestor)
-	d.stampNow(home, r.addr)
+	d.stampNow(ctx, home, r.addr)
 	ctx.pw.DirWrite.Inc()
-	d.fetchFromMemory(r, home)
+	d.fetchFromMemory(ctx, r, home)
 }
 
 // homeWrite serves a write at the home when no exclusive L1 owner
 // exists: invalidate the sharers, supply data, hand over ownership.
-func (d *Directory) homeWrite(r dirReq, dline *cache.DirEntry) {
-	ctx := d.ctx
+// The expected ack count rides to the requestor with the data message
+// instead of being written into its MSHR from here, so the entry's
+// SharerAcks may go transiently negative when acks overtake the data —
+// which is why it is a counter compared against zero.
+func (d *Directory) homeWrite(ctx *Context, r dirReq, dline *cache.DirEntry) {
 	home := ctx.HomeOf(r.addr)
 	th := d.tiles[home]
 	sharers := dline.Sharers &^ bit(r.requestor)
-	d.cen.sharerAcks.Touch(int(home), int(r.requestor))
-	if e, ok := d.tiles[r.requestor].mshr.Lookup(r.addr); ok {
-		e.SharerAcks += popcount(sharers)
-	}
+	d.cen.sharerAcks.Touch(int(home), int(home))
+	r.acks += int16(popcount(sharers))
 	for v := sharers; v != 0; v &= v - 1 {
 		sharer := topo.Tile(bits.TrailingZeros64(v))
-		m := d.msg(dirReq{addr: r.addr, requestor: r.requestor})
+		m := d.msg(home, dirReq{addr: r.addr, requestor: r.requestor})
 		m.tile = sharer
 		ctx.SendCtlArg(home, sharer, d.invalFn, m)
 	}
 	dline.Owner = int16(r.requestor)
 	dline.Sharers = bit(r.requestor)
-	d.stampNow(home, r.addr)
+	d.stampNow(ctx, home, r.addr)
 	ctx.pw.DirWrite.Inc()
 	if l2line := th.l2.Lookup(r.addr); l2line != nil {
 		ctx.pw.L2DataRead.Inc()
 		// The L2 copy is stale once the new owner writes.
 		th.l2.InvalidateLine(l2line)
 		ctx.pw.L2TagWrite.Inc()
-		d.deliverData(r.requestor, r.addr, home, dirModified, true)
+		d.deliverData(ctx, r, home, dirModified, true)
 		return
 	}
-	d.fetchFromMemory(r, home)
+	d.fetchFromMemory(ctx, r, home)
 }
 
 // atOwner handles a forwarded request at the (supposed) exclusive L1
 // owner.
 func (d *Directory) atOwner(r dirReq, owner topo.Tile) {
-	ctx := d.ctx
+	ctx := d.ctx.At(owner)
 	ctx.chargeVM(r.requestor)
 	to := d.tiles[owner]
 	if _, pending := to.mshr.Lookup(r.addr); pending {
-		to.stallL1(r.addr, func() { d.atOwner(r, owner) })
+		// Capture a copy: r is mutated below, and capturing the
+		// parameter itself would force it to the heap on every call.
+		req := r
+		to.stallL1(r.addr, func() { d.atOwner(req, owner) })
 		return
 	}
 	ctx.pw.L1TagRead.Inc()
@@ -549,14 +596,15 @@ func (d *Directory) atOwner(r dirReq, owner topo.Tile) {
 			ctx.Trace(r.addr, "atOwner %d bounce (req=%d, line gone/demoted)", owner, r.requestor)
 		}
 		home := ctx.HomeOf(r.addr)
-		del := ctx.SendCtlArg(owner, home, d.atHomeFn, d.msg(r))
-		d.cen.ownerBounce.Touch(int(owner), int(r.requestor))
-		d.addLinks(r.requestor, r.addr, del.Hops)
+		d.cen.ownerBounce.Touch(int(owner), int(owner))
+		m := d.msg(owner, r)
+		del := ctx.SendCtlArg(owner, home, d.atHomeFn, m)
+		m.r.links += int16(del.Hops)
 		return
 	}
 	home := ctx.HomeOf(r.addr)
-	d.cen.ownerClass.Touch(int(owner), int(r.requestor))
-	d.setClass(r.requestor, r.addr, MissUnpredOwner)
+	d.cen.ownerClass.Touch(int(owner), int(owner))
+	r.clsPlus1 = int8(MissUnpredOwner) + 1
 	dirty := line.Dirty
 	stamp := ctx.Kernel.Now()
 	if r.write {
@@ -567,8 +615,8 @@ func (d *Directory) atOwner(r dirReq, owner topo.Tile) {
 		to.l1.Invalidate(r.addr)
 		ctx.pw.L1TagWrite.Inc()
 		ctx.pw.L1DataRead.Inc()
-		d.deliverData(r.requestor, r.addr, owner, dirModified, true)
-		m := d.msg(r)
+		d.deliverData(ctx, r, owner, dirModified, true)
+		m := d.msg(owner, r)
 		m.tile = r.requestor
 		m.stamp = stamp
 		ctx.SendCtlArg(owner, home, d.handoverFn, m)
@@ -583,8 +631,8 @@ func (d *Directory) atOwner(r dirReq, owner topo.Tile) {
 	line.Dirty = false
 	ctx.pw.L1TagWrite.Inc()
 	ctx.pw.L1DataRead.Inc()
-	d.deliverData(r.requestor, r.addr, owner, dirShared, false)
-	m := d.msg(r)
+	d.deliverData(ctx, r, owner, dirShared, false)
+	m := d.msg(owner, r)
 	m.tile = owner
 	m.stamp = stamp
 	m.dirty = dirty
@@ -593,27 +641,23 @@ func (d *Directory) atOwner(r dirReq, owner topo.Tile) {
 
 // atSharerSupply handles a read forwarded to a clean sharer.
 func (d *Directory) atSharerSupply(r dirReq, sharer topo.Tile) {
-	ctx := d.ctx
+	ctx := d.ctx.At(sharer)
 	ctx.chargeVM(r.requestor)
 	ts := d.tiles[sharer]
 	ctx.pw.L1TagRead.Inc()
 	if line := ts.l1.Lookup(r.addr); line != nil && line.State == dirShared {
 		ctx.pw.L1DataRead.Inc()
-		d.deliverData(r.requestor, r.addr, sharer, dirShared, false)
+		d.deliverData(ctx, r, sharer, dirShared, false)
 		return
 	}
 	// Silent eviction raced us; drop the stale bit and retry at home.
 	home := ctx.HomeOf(r.addr)
-	stamp := ctx.Kernel.Now()
-	del := ctx.SendCtl(sharer, home, func() {
-		d.ctx.chargeVM(r.requestor)
-		d.homeDirUpdate(home, r.addr, stamp, func(dl *cache.DirEntry) {
-			dl.Sharers &^= bit(sharer)
-		})
-		d.atHome(r)
-	})
-	d.cen.sharerRetry.Touch(int(sharer), int(r.requestor))
-	d.addLinks(r.requestor, r.addr, del.Hops)
+	d.cen.sharerRetry.Touch(int(sharer), int(sharer))
+	m := d.msg(sharer, r)
+	m.tile = sharer
+	m.stamp = ctx.Kernel.Now()
+	del := ctx.SendCtlArg(sharer, home, d.sharerRetryFn, m)
+	m.r.links += int16(del.Hops)
 }
 
 // homeDirUpdate applies fn to the home's directory entry for addr (if
@@ -623,36 +667,36 @@ func (d *Directory) atSharerSupply(r dirReq, sharer topo.Tile) {
 // different tiles are unordered, and applying a stale ownership update
 // over a fresh one leaves a permanently wrong owner pointer. Returns
 // whether the update was applied.
-func (d *Directory) homeDirUpdate(home topo.Tile, addr cache.Addr, stamp sim.Time, fn func(*cache.DirEntry)) bool {
+func (d *Directory) homeDirUpdate(ctx *Context, home topo.Tile, addr cache.Addr, stamp sim.Time, fn func(*cache.DirEntry)) bool {
 	th := d.tiles[home]
 	if !th.stampIfNewer(addr, stamp) {
-		if d.ctx.tracing(addr) {
-			d.ctx.Trace(addr, "stale dir update dropped (stamp %d)", stamp)
+		if ctx.tracing(addr) {
+			ctx.Trace(addr, "stale dir update dropped (stamp %d)", stamp)
 		}
-		th.wakeHome(d.ctx.Kernel, addr)
+		th.wakeHome(ctx.Kernel, addr)
 		return false
 	}
 	if dl := th.dir.Peek(addr); dl != nil {
 		fn(dl)
-		d.ctx.pw.DirWrite.Inc()
-		if d.ctx.tracing(addr) {
-			d.ctx.Trace(addr, "homeDirUpdate -> owner=%d sharers=%#x (stamp %d)", dl.Owner, dl.Sharers, stamp)
+		ctx.pw.DirWrite.Inc()
+		if ctx.tracing(addr) {
+			ctx.Trace(addr, "homeDirUpdate -> owner=%d sharers=%#x (stamp %d)", dl.Owner, dl.Sharers, stamp)
 		}
 	}
-	th.wakeHome(d.ctx.Kernel, addr)
+	th.wakeHome(ctx.Kernel, addr)
 	return true
 }
 
 // stampNow records a home-side synchronous ownership decision so any
 // older in-flight update cannot clobber it later.
-func (d *Directory) stampNow(home topo.Tile, addr cache.Addr) {
-	d.tiles[home].setStamp(addr, d.ctx.Kernel.Now())
+func (d *Directory) stampNow(ctx *Context, home topo.Tile, addr cache.Addr) {
+	d.tiles[home].setStamp(addr, ctx.Kernel.Now())
 }
 
 // invalidateAtL1 drops the block at a sharer and acknowledges the
 // requestor.
 func (d *Directory) invalidateAtL1(tile topo.Tile, addr cache.Addr, requestor topo.Tile) {
-	ctx := d.ctx
+	ctx := d.ctx.At(tile)
 	t := d.tiles[tile]
 	if ctx.tracing(addr) {
 		ctx.Trace(addr, "invalidate at %d (ack to %d)", tile, requestor)
@@ -664,47 +708,45 @@ func (d *Directory) invalidateAtL1(tile topo.Tile, addr cache.Addr, requestor to
 	if e, ok := t.mshr.Lookup(addr); ok {
 		e.InvalidatedWhilePending = true
 	}
-	m := d.msg(dirReq{addr: addr})
+	m := d.msg(tile, dirReq{addr: addr})
 	m.tile = requestor
 	ctx.SendCtlArg(tile, requestor, d.ackFn, m)
 }
 
-func (d *Directory) ackAtRequestor(requestor topo.Tile, addr cache.Addr) {
+func (d *Directory) ackAtRequestor(ctx *Context, requestor topo.Tile, addr cache.Addr) {
 	t := d.tiles[requestor]
 	e, ok := t.mshr.Lookup(addr)
 	if !ok {
 		return // transaction already completed (stale ack)
 	}
 	e.SharerAcks--
-	d.maybeComplete(requestor, addr)
+	d.maybeComplete(ctx, requestor, addr)
 }
 
 // fetchFromMemory asks the memory controller for the block; the data
 // goes straight to the requestor.
-func (d *Directory) fetchFromMemory(r dirReq, home topo.Tile) {
-	ctx := d.ctx
+func (d *Directory) fetchFromMemory(ctx *Context, r dirReq, home topo.Tile) {
 	mc := ctx.Mem.For(r.addr)
-	del := ctx.SendCtlArg(home, mc, d.memReqFn, d.msg(r))
-	d.cen.fetchMem.Touch(int(home), int(r.requestor))
-	d.addLinks(r.requestor, r.addr, del.Hops)
+	d.cen.fetchMem.Touch(int(home), int(home))
+	m := d.msg(home, r)
+	del := ctx.SendCtlArg(home, mc, d.memReqFn, m)
+	m.r.links += int16(del.Hops)
 }
 
 // deliverData sends the block to the requestor and completes the miss
-// on arrival.
-func (d *Directory) deliverData(requestor topo.Tile, addr cache.Addr, from topo.Tile, state cache.State, dirty bool) {
-	m := d.msg(dirReq{addr: addr})
-	m.tile = requestor
+// on arrival. The request's ride-along bookkeeping travels with it and
+// is applied at the requestor by deliverFn.
+func (d *Directory) deliverData(ctx *Context, r dirReq, from topo.Tile, state cache.State, dirty bool) {
+	m := d.msg(from, r)
 	m.state = state
 	m.dirty = dirty
-	del := d.ctx.SendDataArg(from, requestor, d.deliverFn, m)
-	d.cen.deliver.Touch(int(from), int(requestor))
-	d.addLinks(requestor, addr, del.Hops)
+	del := ctx.SendDataArg(from, r.requestor, d.deliverFn, m)
+	m.r.links += int16(del.Hops)
 }
 
 // fillL1 installs the block, running the eviction protocol for the
 // displaced victim if needed.
-func (d *Directory) fillL1(tile topo.Tile, addr cache.Addr, state cache.State, dirty bool) {
-	ctx := d.ctx
+func (d *Directory) fillL1(ctx *Context, tile topo.Tile, addr cache.Addr, state cache.State, dirty bool) {
 	t := d.tiles[tile]
 	if ctx.tracing(addr) {
 		ctx.Trace(addr, "fill at %d state=%d dirty=%v", tile, state, dirty)
@@ -719,7 +761,7 @@ func (d *Directory) fillL1(tile topo.Tile, addr cache.Addr, state cache.State, d
 		return
 	}
 	if valid {
-		d.evictL1(tile, *victim)
+		d.evictL1(ctx, tile, *victim)
 		t.l1.InvalidateLine(victim)
 	}
 	t.l1.Fill(victim, addr, state)
@@ -728,8 +770,7 @@ func (d *Directory) fillL1(tile topo.Tile, addr cache.Addr, state cache.State, d
 
 // evictL1 runs the replacement protocol for a victim line: shared
 // copies leave silently, owned copies write back to the home.
-func (d *Directory) evictL1(tile topo.Tile, victim cache.Line) {
-	ctx := d.ctx
+func (d *Directory) evictL1(ctx *Context, tile topo.Tile, victim cache.Line) {
 	if victim.State == dirShared {
 		if ctx.tracing(victim.Addr) {
 			ctx.Trace(victim.Addr, "silent evict at %d", tile)
@@ -743,7 +784,7 @@ func (d *Directory) evictL1(tile topo.Tile, victim cache.Line) {
 	dirty := victim.Dirty
 	stamp := ctx.Kernel.Now()
 	ctx.pw.L1DataRead.Inc()
-	m := d.msg(dirReq{addr: victim.Addr})
+	m := d.msg(tile, dirReq{addr: victim.Addr})
 	m.tile = tile
 	m.stamp = stamp
 	m.dirty = dirty
@@ -754,8 +795,7 @@ func (d *Directory) evictL1(tile topo.Tile, victim cache.Line) {
 // an L2 victim if needed. Directory info for the L2 victim survives in
 // the directory cache (NCID), so no chip-wide invalidation happens
 // here.
-func (d *Directory) insertL2Data(home topo.Tile, addr cache.Addr, dirty bool) {
-	ctx := d.ctx
+func (d *Directory) insertL2Data(ctx *Context, home topo.Tile, addr cache.Addr, dirty bool) {
 	th := d.tiles[home]
 	ctx.pw.L2TagWrite.Inc()
 	ctx.pw.L2DataWrite.Inc()
@@ -767,7 +807,7 @@ func (d *Directory) insertL2Data(home topo.Tile, addr cache.Addr, dirty bool) {
 	}
 	if valid && victim.Dirty {
 		mc := ctx.Mem.For(victim.Addr)
-		ctx.SendDataArg(home, mc, d.flushFn, nil)
+		ctx.SendDataArg(home, mc, d.flushFn, mc)
 	}
 	th.l2.Fill(victim, addr, l2Present)
 	victim.Dirty = dirty
@@ -778,8 +818,7 @@ func (d *Directory) insertL2Data(home topo.Tile, addr cache.Addr, dirty bool) {
 // holds a tracked block), evicting that entry first if necessary.
 // Evicting a directory entry invalidates every cached copy of its
 // block chip-wide (NCID rule).
-func (d *Directory) allocDirEntry(home topo.Tile, addr cache.Addr, victim *cache.DirEntry, victimAddr cache.Addr, valid bool, then func(*cache.DirEntry)) {
-	ctx := d.ctx
+func (d *Directory) allocDirEntry(ctx *Context, home topo.Tile, addr cache.Addr, victim *cache.DirEntry, victimAddr cache.Addr, valid bool, then func(*cache.DirEntry)) {
 	th := d.tiles[home]
 	if !valid {
 		th.dir.Fill(victim, addr)
@@ -805,7 +844,7 @@ func (d *Directory) allocDirEntry(home topo.Tile, addr cache.Addr, victim *cache
 	// The eviction is a fresh ownership decision for the victim block:
 	// stamp it so old-epoch updates in flight cannot touch a future
 	// entry re-allocated for the same address.
-	d.stampNow(home, victimAddr)
+	d.stampNow(ctx, home, victimAddr)
 	th.dir.Fill(victim, addr)
 	victim.Owner = -1
 	victim.Sharers = 0
@@ -818,7 +857,7 @@ func (d *Directory) allocDirEntry(home topo.Tile, addr cache.Addr, victim *cache
 		if l2line := th.l2.Peek(victimAddr); l2line != nil {
 			if l2line.Dirty {
 				mc := ctx.Mem.For(victimAddr)
-				ctx.SendDataArg(home, mc, d.flushFn, nil)
+				ctx.SendDataArg(home, mc, d.flushFn, mc)
 			}
 			th.l2.InvalidateLine(l2line)
 			ctx.pw.L2TagWrite.Inc()
@@ -836,16 +875,19 @@ func (d *Directory) allocDirEntry(home topo.Tile, addr cache.Addr, victim *cache
 	forEachBit(holders, func(i int) {
 		holder := topo.Tile(i)
 		ctx.SendCtl(home, holder, func() {
+			// Runs at the holder: rebind to its lane view before
+			// touching its L1 or charging counters.
+			hctx := d.ctx.At(holder)
 			t := d.tiles[holder]
-			ctx.pw.L1TagRead.Inc()
+			hctx.pw.L1TagRead.Inc()
 			if old, ok := t.l1.Invalidate(victimAddr); ok {
-				ctx.pw.L1TagWrite.Inc()
+				hctx.pw.L1TagWrite.Inc()
 				if old.Dirty {
 					// Dirty data rides back with the ack and is
 					// flushed to memory from the home.
-					ctx.SendData(holder, home, func() {
+					hctx.SendData(holder, home, func() {
 						mc := ctx.Mem.For(victimAddr)
-						ctx.SendDataArg(home, mc, d.flushFn, nil)
+						ctx.SendDataArg(home, mc, d.flushFn, mc)
 						pending--
 						if pending == 0 {
 							finish()
@@ -857,7 +899,7 @@ func (d *Directory) allocDirEntry(home topo.Tile, addr cache.Addr, victim *cache
 			if e, ok := t.mshr.Lookup(victimAddr); ok {
 				e.InvalidatedWhilePending = true
 			}
-			ctx.SendCtl(holder, home, func() {
+			hctx.SendCtl(holder, home, func() {
 				pending--
 				if pending == 0 {
 					finish()
@@ -868,8 +910,7 @@ func (d *Directory) allocDirEntry(home topo.Tile, addr cache.Addr, victim *cache
 }
 
 // maybeComplete retires the miss if all its conditions are met.
-func (d *Directory) maybeComplete(tile topo.Tile, addr cache.Addr) {
-	ctx := d.ctx
+func (d *Directory) maybeComplete(ctx *Context, tile topo.Tile, addr cache.Addr) {
 	t := d.tiles[tile]
 	e, ok := t.mshr.Lookup(addr)
 	if !ok || !e.Done() {
@@ -886,7 +927,7 @@ func (d *Directory) maybeComplete(tile topo.Tile, addr cache.Addr) {
 		// fill carried is handed back properly.
 		if line := t.l1.Peek(addr); line != nil {
 			snapshot := t.l1.InvalidateLine(line)
-			d.evictL1(tile, snapshot)
+			d.evictL1(ctx, tile, snapshot)
 		}
 	}
 	cls := MissClass(e.Tag)

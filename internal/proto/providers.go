@@ -51,15 +51,21 @@ type Providers struct {
 	memReqFn  func(any)
 	memRespFn func(any)
 	memFillFn func(any)
+	flushFn   func(any)
 
-	freeMsg *pvMsg
+	// free holds one message pool per tile, indexed by the executing
+	// tile (see Directory.free).
+	free []*pvMsg
 
 	cen pvCensus
 }
 
-// pvCensus holds DiCo-Providers' registered touch sites: requestor-MSHR
-// pokes from remote handlers plus the recall path's chip-wide L1 owner
-// scan. All sites are nil when the census is disarmed.
+// pvCensus holds DiCo-Providers' registered touch sites. After
+// messageization every site records on the executing tile's diagonal
+// (src == dst): the former cross-tile requestor-MSHR pokes now ride
+// the messages, and the recall path reads the displaced pointer
+// instead of scanning every tile's L1. All sites are nil when the
+// census is disarmed.
 type pvCensus struct {
 	l1FwdHome, l1Class             *telemetry.TouchSite
 	ownerReadClass, ownerReadFwd   *telemetry.TouchSite
@@ -87,10 +93,13 @@ type pvMsg struct {
 	hasPro   bool // propos is meaningful (deliver's *propos != nil)
 }
 
-func (p *Providers) msg(r pvReq) *pvMsg {
-	m := p.freeMsg
+// msg takes a node from the executing lane's pool; at must be the
+// tile whose lane is running the caller.
+func (p *Providers) msg(at topo.Tile, r pvReq) *pvMsg {
+	lane := p.ctx.Lane(at)
+	m := p.free[lane]
 	if m != nil {
-		p.freeMsg = m.next
+		p.free[lane] = m.next
 	} else {
 		m = &pvMsg{}
 	}
@@ -98,9 +107,11 @@ func (p *Providers) msg(r pvReq) *pvMsg {
 	return m
 }
 
-func (p *Providers) putMsg(m *pvMsg) {
-	m.next = p.freeMsg
-	p.freeMsg = m
+// putMsg recycles a node into the executing lane's pool.
+func (p *Providers) putMsg(at topo.Tile, m *pvMsg) {
+	lane := p.ctx.Lane(at)
+	m.next = p.free[lane]
+	p.free[lane] = m
 }
 
 // bindHandlers builds the long-lived adapter funcs once.
@@ -108,114 +119,133 @@ func (p *Providers) bindHandlers() {
 	p.atHomeFn = func(a any) {
 		m := a.(*pvMsg)
 		r := m.r
-		p.putMsg(m)
+		p.putMsg(p.ctx.HomeOf(r.addr), m)
 		p.atHome(r)
 	}
 	p.atL1Fn = func(a any) {
 		m := a.(*pvMsg)
 		r, tile := m.r, m.tile
-		p.putMsg(m)
+		p.putMsg(tile, m)
 		p.atL1(r, tile)
 	}
 	p.invalShFn = func(a any) {
 		m := a.(*pvMsg)
 		tile, addr, requestor := m.tile, m.r.addr, m.r.requestor
-		p.putMsg(m)
-		p.ctx.chargeVM(requestor)
-		p.invalidateSharer(tile, addr, requestor)
+		p.putMsg(tile, m)
+		ctx := p.ctx.At(tile)
+		ctx.chargeVM(requestor)
+		p.invalidateSharer(ctx, tile, addr, requestor)
 	}
 	p.invalPvFn = func(a any) {
 		m := a.(*pvMsg)
 		tile, addr, requestor := m.tile, m.r.addr, m.r.requestor
-		p.putMsg(m)
-		p.ctx.chargeVM(requestor)
-		p.invalidateProvider(tile, addr, requestor)
+		p.putMsg(tile, m)
+		ctx := p.ctx.At(tile)
+		ctx.chargeVM(requestor)
+		p.invalidateProvider(ctx, tile, addr, requestor)
 	}
 	p.shAckFn = func(a any) {
 		m := a.(*pvMsg)
 		requestor, addr := m.tile, m.r.addr
-		p.putMsg(m)
-		p.ctx.chargeVM(requestor)
+		p.putMsg(requestor, m)
+		ctx := p.ctx.At(requestor)
+		ctx.chargeVM(requestor)
 		if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
 			e.SharerAcks--
-			p.maybeComplete(requestor, addr)
+			p.maybeComplete(ctx, requestor, addr)
 		}
 	}
 	p.pvAckFn = func(a any) {
 		m := a.(*pvMsg)
 		requestor, addr, count := m.tile, m.r.addr, m.count
-		p.putMsg(m)
-		p.ctx.chargeVM(requestor)
+		p.putMsg(requestor, m)
+		ctx := p.ctx.At(requestor)
+		ctx.chargeVM(requestor)
 		if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
 			e.ProviderAcks--
 			e.SharerAcks += count
-			p.maybeComplete(requestor, addr)
+			p.maybeComplete(ctx, requestor, addr)
 		}
 	}
 	p.deliverFn = func(a any) {
 		m := a.(*pvMsg)
 		r := m.r
-		p.ctx.chargeVM(r.requestor)
+		ctx := p.ctx.At(r.requestor)
+		ctx.chargeVM(r.requestor)
+		p.cen.deliver.Touch(int(r.requestor), int(r.requestor))
 		var propos *[cache.MaxSimAreas]int8
 		if m.hasPro {
 			propos = &m.propos
 		}
 		// fillL1 may draw fresh nodes from the pool (self-sharer
 		// invalidations), so m is recycled only after it returns.
-		p.fillL1(r, m.state, m.dirty, m.supplier, propos)
-		p.putMsg(m)
+		p.fillL1(ctx, r, m.state, m.dirty, m.supplier, propos)
+		p.putMsg(r.requestor, m)
 		if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
 			e.DataReceived = true
+			e.Links += int(r.links)
+			e.SharerAcks += int(r.acks)
+			e.ProviderAcks += int(r.provAcks)
+			e.HomeAck += int(r.homeAck)
+			if r.clsPlus1 != 0 {
+				e.Tag = int(r.clsPlus1 - 1)
+			}
 		}
-		p.maybeComplete(r.requestor, r.addr)
+		p.maybeComplete(ctx, r.requestor, r.addr)
 	}
 	// coFn lands a Change_Owner at the home; the node travels on to
 	// carry the gating ack back to the new owner.
 	p.coFn = func(a any) {
 		m := a.(*pvMsg)
 		addr, newOwner, stamp := m.r.addr, m.tile, m.stamp
-		p.ctx.chargeVM(newOwner)
 		home := p.ctx.HomeOf(addr)
-		p.homeOwnerUpdate(home, addr, newOwner, stamp)
-		p.ctx.SendCtlArg(home, newOwner, p.coAckFn, m)
+		ctx := p.ctx.At(home)
+		ctx.chargeVM(newOwner)
+		p.homeOwnerUpdate(ctx, home, addr, newOwner, stamp)
+		ctx.SendCtlArg(home, newOwner, p.coAckFn, m)
 	}
 	p.coAckFn = func(a any) {
 		m := a.(*pvMsg)
 		requestor, addr := m.tile, m.r.addr
-		p.putMsg(m)
-		p.ctx.chargeVM(requestor)
+		p.putMsg(requestor, m)
+		ctx := p.ctx.At(requestor)
+		ctx.chargeVM(requestor)
 		if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
-			e.HomeAck = false
-			p.maybeComplete(requestor, addr)
+			e.HomeAck--
+			p.maybeComplete(ctx, requestor, addr)
 		}
 	}
 	// Memory fetch pipeline.
 	p.memReqFn = func(a any) {
 		m := a.(*pvMsg)
-		lat := p.ctx.Mem.ReadLatency()
-		p.ctx.Kernel.AfterArg(lat, p.memRespFn, m)
+		ctx := p.ctx.At(p.ctx.Mem.For(m.r.addr))
+		ctx.MemFetch(p.memRespFn, m)
 	}
 	p.memRespFn = func(a any) {
 		m := a.(*pvMsg)
-		p.ctx.chargeVM(m.r.requestor)
-		home := p.ctx.HomeOf(m.r.addr)
 		mc := p.ctx.Mem.For(m.r.addr)
-		d2 := p.ctx.SendDataArg(mc, home, p.memFillFn, m)
-		p.cen.memResp.Touch(int(mc), int(m.r.requestor))
-		p.addLinks(m.r.requestor, m.r.addr, d2.Hops)
+		ctx := p.ctx.At(mc)
+		ctx.chargeVM(m.r.requestor)
+		home := ctx.HomeOf(m.r.addr)
+		p.cen.memResp.Touch(int(mc), int(mc))
+		d2 := ctx.SendDataArg(mc, home, p.memFillFn, m)
+		m.r.links += int16(d2.Hops)
 	}
 	p.memFillFn = func(a any) {
 		m := a.(*pvMsg)
 		r := m.r
-		p.putMsg(m)
-		p.ctx.chargeVM(r.requestor)
 		home := p.ctx.HomeOf(r.addr)
+		p.putMsg(home, m)
+		ctx := p.ctx.At(home)
+		ctx.chargeVM(r.requestor)
 		state, dirty := pvOwnerExclusive, false
 		if r.write {
 			state, dirty = pvOwnerModified, true
 		}
-		p.deliver(r, home, state, dirty, -1, nil)
+		p.deliver(ctx, r, home, state, dirty, -1, nil)
 	}
+	// flushFn runs at the memory controller tile boxed in the argument.
+	p.flushFn = func(a any) { p.ctx.At(a.(topo.Tile)).MemFlush() }
 }
 
 // NewProviders builds the DiCo-Providers engine on ctx.
@@ -229,6 +259,7 @@ func NewProviders(ctx *Context) *Providers {
 	p := &Providers{
 		ctx:   ctx,
 		tiles: make([]*tileState, n),
+		free:  make([]*pvMsg, n),
 	}
 	p.bindHandlers()
 	p.cen = pvCensus{
@@ -278,25 +309,23 @@ const (
 	byHome
 )
 
-// classify records the Figure 9b category of a miss at supply time.
-func classify(profileSet func(topo.Tile, cache.Addr, MissClass),
-	requestor topo.Tile, addr cache.Addr, predicted bool, forwards int, kind supplierKind) {
-	var c MissClass
+// classify returns the Figure 9b category of a miss at supply time;
+// the supplier rides it to the requestor on the data message.
+func classify(predicted bool, forwards int, kind supplierKind) MissClass {
 	switch {
 	case predicted && forwards == 0 && kind == byOwner:
-		c = MissPredOwner
+		return MissPredOwner
 	case predicted && forwards == 0 && kind == byProvider:
-		c = MissPredProvider
+		return MissPredProvider
 	case predicted:
-		c = MissPredFail
+		return MissPredFail
 	case kind == byOwner:
-		c = MissUnpredOwner
+		return MissUnpredOwner
 	case kind == byProvider:
-		c = MissUnpredProvider
+		return MissUnpredProvider
 	default:
-		c = MissUnpredHome
+		return MissUnpredHome
 	}
-	profileSet(requestor, addr, c)
 }
 
 type pvReq struct {
@@ -309,11 +338,18 @@ type pvReq struct {
 	// provider, so a stale provider pointer can be repaired when the
 	// target turns out not to be a provider (-1 otherwise).
 	fromOwner topo.Tile
+	// Ride-the-message fields (see dirReq): requestor-MSHR updates
+	// accumulated along the miss and applied at delivery.
+	links    int16 // mesh links traversed by the request legs
+	acks     int16 // sharer acks the write must collect
+	provAcks int16 // provider acks the write must collect
+	homeAck  int8  // pending Change_Owner acks the write must collect
+	clsPlus1 int8  // resolved MissClass + 1 (0 = not resolved yet)
 }
 
 // Access implements Engine.
 func (p *Providers) Access(tile topo.Tile, addr cache.Addr, write bool, onDone func()) {
-	ctx := p.ctx
+	ctx := p.ctx.At(tile)
 	ctx.chargeVM(tile)
 	t := p.tiles[tile]
 	if _, pending := t.mshr.Lookup(addr); pending {
@@ -357,7 +393,7 @@ func (p *Providers) Access(tile topo.Tile, addr cache.Addr, write bool, onDone f
 		e.Tag = int(MissPredFail) // upgraded at supply time
 		ctx.spanEvent("predict-supplier", tile)
 		pred := topo.Tile(ptr)
-		m := p.msg(r)
+		m := p.msg(tile, r)
 		m.tile = pred
 		del := ctx.SendCtlArg(tile, pred, p.atL1Fn, m)
 		e.Links += del.Hops
@@ -365,14 +401,14 @@ func (p *Providers) Access(tile topo.Tile, addr cache.Addr, write bool, onDone f
 	}
 	e.Tag = int(MissUnpredHome)
 	home := ctx.HomeOf(addr)
-	del := ctx.SendCtlArg(tile, home, p.atHomeFn, p.msg(r))
+	del := ctx.SendCtlArg(tile, home, p.atHomeFn, p.msg(tile, r))
 	e.Links += del.Hops
 }
 
 // ownerWriteHit: the owner writes while holding sharers/providers —
 // invalidate them all from here.
 func (p *Providers) ownerWriteHit(tile topo.Tile, addr cache.Addr, line *cache.Line, onDone func()) {
-	ctx := p.ctx
+	ctx := p.ctx.At(tile)
 	t := p.tiles[tile]
 	localSharers := line.Sharers &^ areaBit(ctx.Areas, tile)
 	nProviders := 0
@@ -396,7 +432,9 @@ func (p *Providers) ownerWriteHit(tile topo.Tile, addr cache.Addr, line *cache.L
 	ctx.spanBegin(tile, addr, true)
 	ctx.spanEvent("owner-write-inv", tile)
 	e.DataReceived = true
-	p.startInvalidation(tile, addr, line, tile, localSharers)
+	shAcks, provAcks := p.startInvalidation(ctx, tile, addr, line, tile, localSharers)
+	e.SharerAcks += shAcks
+	e.ProviderAcks += provAcks
 	line.State = pvOwnerModified
 	line.Dirty = true
 	line.Sharers = 0
@@ -408,25 +446,23 @@ func (p *Providers) ownerWriteHit(tile topo.Tile, addr cache.Addr, line *cache.L
 }
 
 // startInvalidation sends invalidations for an owner's local sharers
-// and provider-invalidations for every provider; acknowledgements
-// flow to the requestor (two-counter scheme of Section IV-A).
-func (p *Providers) startInvalidation(owner topo.Tile, addr cache.Addr, line *cache.Line,
-	requestor topo.Tile, localSharers uint64) {
-	ctx := p.ctx
-	p.cen.invalAcks.Touch(int(owner), int(requestor))
-	e, ok := p.tiles[requestor].mshr.Lookup(addr)
-	if !ok {
-		return
-	}
+// and provider-invalidations for every provider, returning how many
+// sharer and provider acknowledgements will flow to the requestor
+// (two-counter scheme of Section IV-A). The caller applies the counts
+// locally (ownerWriteHit) or rides them to the requestor with the
+// data (ownerWriteSupply).
+func (p *Providers) startInvalidation(ctx *Context, owner topo.Tile, addr cache.Addr, line *cache.Line,
+	requestor topo.Tile, localSharers uint64) (shAcks, provAcks int) {
+	p.cen.invalAcks.Touch(int(owner), int(owner))
 	ownArea := p.areaOf(owner)
 	// Local sharers (excluding the requestor if it is one of them).
 	if p.areaOf(requestor) == ownArea {
 		localSharers &^= areaBit(ctx.Areas, requestor)
 	}
-	e.SharerAcks += popcount(localSharers)
+	shAcks = popcount(localSharers)
 	for v := localSharers; v != 0; v &= v - 1 {
 		sharer := p.tileAt(ownArea, int8(bits.TrailingZeros64(v)))
-		m := p.msg(pvReq{addr: addr, requestor: requestor})
+		m := p.msg(owner, pvReq{addr: addr, requestor: requestor})
 		m.tile = sharer
 		ctx.SendCtlArg(owner, sharer, p.invalShFn, m)
 	}
@@ -441,16 +477,16 @@ func (p *Providers) startInvalidation(owner topo.Tile, addr cache.Addr, line *ca
 			// own sharers when the ownership arrives (fill time).
 			continue
 		}
-		e.ProviderAcks++
-		m := p.msg(pvReq{addr: addr, requestor: requestor})
+		provAcks++
+		m := p.msg(owner, pvReq{addr: addr, requestor: requestor})
 		m.tile = prov
 		ctx.SendCtlArg(owner, prov, p.invalPvFn, m)
 	}
+	return shAcks, provAcks
 }
 
 // invalidateSharer drops a plain sharer's copy and acks the requestor.
-func (p *Providers) invalidateSharer(tile topo.Tile, addr cache.Addr, requestor topo.Tile) {
-	ctx := p.ctx
+func (p *Providers) invalidateSharer(ctx *Context, tile topo.Tile, addr cache.Addr, requestor topo.Tile) {
 	t := p.tiles[tile]
 	ctx.pw.L1TagRead.Inc()
 	if _, ok := t.l1.Invalidate(addr); ok {
@@ -461,7 +497,7 @@ func (p *Providers) invalidateSharer(tile topo.Tile, addr cache.Addr, requestor 
 	}
 	t.l1c.Update(addr, int16(requestor))
 	ctx.pw.L1CUpdate.Inc()
-	m := p.msg(pvReq{addr: addr})
+	m := p.msg(tile, pvReq{addr: addr})
 	m.tile = requestor
 	ctx.SendCtlArg(tile, requestor, p.shAckFn, m)
 }
@@ -469,8 +505,7 @@ func (p *Providers) invalidateSharer(tile topo.Tile, addr cache.Addr, requestor 
 // invalidateProvider drops a provider and its area's sharers; the
 // provider acks the requestor with its sharer count (incrementing the
 // requestor's sharer-ack counter) and the sharers ack directly.
-func (p *Providers) invalidateProvider(tile topo.Tile, addr cache.Addr, requestor topo.Tile) {
-	ctx := p.ctx
+func (p *Providers) invalidateProvider(ctx *Context, tile topo.Tile, addr cache.Addr, requestor topo.Tile) {
 	t := p.tiles[tile]
 	ctx.pw.L1TagRead.Inc()
 	area := p.areaOf(tile)
@@ -501,13 +536,13 @@ func (p *Providers) invalidateProvider(tile topo.Tile, addr cache.Addr, requesto
 	count := popcount(sharers)
 	for v := sharers; v != 0; v &= v - 1 {
 		sharer := p.tileAt(area, int8(bits.TrailingZeros64(v)))
-		m := p.msg(pvReq{addr: addr, requestor: requestor})
+		m := p.msg(tile, pvReq{addr: addr, requestor: requestor})
 		m.tile = sharer
 		ctx.SendCtlArg(tile, sharer, p.invalShFn, m)
 	}
 	t.l1c.Update(addr, int16(requestor))
 	ctx.pw.L1CUpdate.Inc()
-	m := p.msg(pvReq{addr: addr})
+	m := p.msg(tile, pvReq{addr: addr})
 	m.tile = requestor
 	m.count = count
 	ctx.SendCtlArg(tile, requestor, p.pvAckFn, m)
@@ -515,13 +550,13 @@ func (p *Providers) invalidateProvider(tile topo.Tile, addr cache.Addr, requesto
 
 // atL1 dispatches a request arriving at an L1 cache per Table I.
 func (p *Providers) atL1(r pvReq, tile topo.Tile) {
-	ctx := p.ctx
+	ctx := p.ctx.At(tile)
 	ctx.chargeVM(r.requestor)
 	t := p.tiles[tile]
 	if _, pending := t.mshr.Lookup(r.addr); pending {
 		// Pooled-arg stall: a closure here would capture r and force it
 		// to the heap on every atL1 call, not just the stalled ones.
-		m := p.msg(r)
+		m := p.msg(tile, r)
 		m.tile = tile
 		t.stallL1Arg(r.addr, p.atL1Fn, m)
 		return
@@ -531,19 +566,19 @@ func (p *Providers) atL1(r pvReq, tile topo.Tile) {
 	switch {
 	case line != nil && pvIsOwner(line.State):
 		if r.write {
-			p.ownerWriteSupply(r, tile, line)
+			p.ownerWriteSupply(ctx, r, tile, line)
 			return
 		}
-		p.ownerReadSupply(r, tile, line)
+		p.ownerReadSupply(ctx, r, tile, line)
 	case line != nil && line.State == pvProvider && !r.write:
 		if p.areaOf(r.requestor) == p.areaOf(tile) {
 			// Provider supplies inside the area: the shortened miss.
-			p.cen.l1Class.Touch(int(tile), int(r.requestor))
-			p.classify(r, byProvider)
+			p.cen.l1Class.Touch(int(tile), int(tile))
+			r.clsPlus1 = int8(classify(r.predicted, r.forwards, byProvider)) + 1
 			line.Sharers |= areaBit(ctx.Areas, r.requestor)
 			ctx.pw.L1TagWrite.Inc()
 			ctx.pw.L1DataRead.Inc()
-			p.deliver(r, tile, pvShared, false, int16(tile), nil)
+			p.deliver(ctx, r, tile, pvShared, false, int16(tile), nil)
 			return
 		}
 		fallthrough
@@ -553,32 +588,32 @@ func (p *Providers) atL1(r pvReq, tile topo.Tile) {
 		// pointer is stale — repair it, or reads from this area would
 		// loop owner -> stale provider -> home -> owner forever.
 		if r.fromOwner >= 0 {
-			p.repairStaleProPo(tile, r.addr, r.fromOwner)
+			p.repairStaleProPo(ctx, tile, r.addr, r.fromOwner)
 		}
 		r.fromOwner = -1
 		r.forwards++
 		home := ctx.HomeOf(r.addr)
-		del := ctx.SendCtlArg(tile, home, p.atHomeFn, p.msg(r))
-		p.cen.l1FwdHome.Touch(int(tile), int(r.requestor))
-		p.addLinks(r.requestor, r.addr, del.Hops)
+		m := p.msg(tile, r)
+		del := ctx.SendCtlArg(tile, home, p.atHomeFn, m)
+		p.cen.l1FwdHome.Touch(int(tile), int(tile))
+		m.r.links += int16(del.Hops)
 	}
 }
 
 // ownerReadSupply implements the owner rows of Table I for reads.
-func (p *Providers) ownerReadSupply(r pvReq, owner topo.Tile, line *cache.Line) {
-	ctx := p.ctx
+func (p *Providers) ownerReadSupply(ctx *Context, r pvReq, owner topo.Tile, line *cache.Line) {
 	reqArea := p.areaOf(r.requestor)
 	if reqArea == p.areaOf(owner) {
 		// Local request: requestor becomes a sharer.
-		p.cen.ownerReadClass.Touch(int(owner), int(r.requestor))
-		p.classify(r, byOwner)
+		p.cen.ownerReadClass.Touch(int(owner), int(owner))
+		r.clsPlus1 = int8(classify(r.predicted, r.forwards, byOwner)) + 1
 		line.Sharers |= areaBit(ctx.Areas, r.requestor)
 		if line.State != pvOwnerShared {
 			line.State = pvOwnerShared
 		}
 		ctx.pw.L1TagWrite.Inc()
 		ctx.pw.L1DataRead.Inc()
-		p.deliver(r, owner, pvShared, false, int16(owner), nil)
+		p.deliver(ctx, r, owner, pvShared, false, int16(owner), nil)
 		return
 	}
 	if line.ProPos[reqArea] >= 0 {
@@ -586,44 +621,46 @@ func (p *Providers) ownerReadSupply(r pvReq, owner topo.Tile, line *cache.Line) 
 		prov := p.tileAt(reqArea, line.ProPos[reqArea])
 		r.forwards++
 		r.fromOwner = owner
-		m := p.msg(r)
+		m := p.msg(owner, r)
 		m.tile = prov
 		del := ctx.SendCtlArg(owner, prov, p.atL1Fn, m)
-		p.cen.ownerReadFwd.Touch(int(owner), int(r.requestor))
-		p.addLinks(r.requestor, r.addr, del.Hops)
+		p.cen.ownerReadFwd.Touch(int(owner), int(owner))
+		m.r.links += int16(del.Hops)
 		return
 	}
 	// No provider there: the requestor becomes its area's provider.
-	p.cen.ownerReadClass.Touch(int(owner), int(r.requestor))
-	p.classify(r, byOwner)
+	p.cen.ownerReadClass.Touch(int(owner), int(owner))
+	r.clsPlus1 = int8(classify(r.predicted, r.forwards, byOwner)) + 1
 	line.ProPos[reqArea] = p.areaIdx(r.requestor)
 	if line.State != pvOwnerShared {
 		line.State = pvOwnerShared
 	}
 	ctx.pw.L1TagWrite.Inc()
 	ctx.pw.L1DataRead.Inc()
-	p.deliver(r, owner, pvProvider, false, int16(owner), nil)
+	p.deliver(ctx, r, owner, pvProvider, false, int16(owner), nil)
 }
 
 // ownerWriteSupply transfers ownership to the writer per Table I.
-func (p *Providers) ownerWriteSupply(r pvReq, owner topo.Tile, line *cache.Line) {
-	ctx := p.ctx
-	p.cen.ownerWriteClass.Touch(int(owner), int(r.requestor))
-	p.classify(r, byOwner)
-	p.cen.ownerWriteAck.Touch(int(owner), int(r.requestor))
-	if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
-		e.HomeAck = true
-	}
+func (p *Providers) ownerWriteSupply(ctx *Context, r pvReq, owner topo.Tile, line *cache.Line) {
+	p.cen.ownerWriteClass.Touch(int(owner), int(owner))
+	r.clsPlus1 = int8(classify(r.predicted, r.forwards, byOwner)) + 1
+	// The ack expectations ride to the requestor with the data; an ack
+	// arriving first drives its MSHR counter transiently negative,
+	// which Done() tolerates.
+	p.cen.ownerWriteAck.Touch(int(owner), int(owner))
+	r.homeAck++
 	localSharers := line.Sharers &^ areaBit(ctx.Areas, owner)
-	p.startInvalidation(owner, r.addr, line, r.requestor, localSharers)
+	shAcks, provAcks := p.startInvalidation(ctx, owner, r.addr, line, r.requestor, localSharers)
+	r.acks += int16(shAcks)
+	r.provAcks += int16(provAcks)
 	ctx.pw.L1DataRead.Inc()
 	ctx.pw.L1TagWrite.Inc()
 	p.tiles[owner].l1.Invalidate(r.addr)
 	p.tiles[owner].l1c.Update(r.addr, int16(r.requestor))
 	ctx.pw.L1CUpdate.Inc()
-	p.deliver(r, owner, pvOwnerModified, true, -1, nil)
+	p.deliver(ctx, r, owner, pvOwnerModified, true, -1, nil)
 	home := ctx.HomeOf(r.addr)
-	m := p.msg(pvReq{addr: r.addr})
+	m := p.msg(owner, pvReq{addr: r.addr})
 	m.tile = r.requestor
 	m.stamp = ctx.Kernel.Now()
 	ctx.SendCtlArg(owner, home, p.coFn, m) // Change_Owner
@@ -631,32 +668,32 @@ func (p *Providers) ownerWriteSupply(r pvReq, owner topo.Tile, line *cache.Line)
 
 // repairStaleProPo tells the node that forwarded a request (believing
 // the receiver was a provider) to drop its stale pointer.
-func (p *Providers) repairStaleProPo(notProvider topo.Tile, addr cache.Addr, supplier topo.Tile) {
-	ctx := p.ctx
+func (p *Providers) repairStaleProPo(ctx *Context, notProvider topo.Tile, addr cache.Addr, supplier topo.Tile) {
 	area := p.areaOf(notProvider)
 	idx := p.areaIdx(notProvider)
 	ctx.SendCtl(notProvider, supplier, func() {
+		sctx := p.ctx.At(supplier)
 		st := p.tiles[supplier]
 		if ol := st.l1.Peek(addr); ol != nil && pvIsOwner(ol.State) && ol.ProPos[area] == idx {
 			ol.ProPos[area] = -1
-			ctx.pw.L1TagWrite.Inc()
+			sctx.pw.L1TagWrite.Inc()
 			return
 		}
 		if l2line := st.l2.Peek(addr); l2line != nil && l2line.ProPos[area] == idx {
 			l2line.ProPos[area] = -1
-			ctx.pw.L2TagWrite.Inc()
+			sctx.pw.L2TagWrite.Inc()
 		}
 	})
 }
 
 // atHome dispatches at the home bank per the L2 rows of Table I.
 func (p *Providers) atHome(r pvReq) {
-	ctx := p.ctx
+	home := p.ctx.HomeOf(r.addr)
+	ctx := p.ctx.At(home)
 	ctx.chargeVM(r.requestor)
-	home := ctx.HomeOf(r.addr)
 	th := p.tiles[home]
 	if th.homeBusy(r.addr) || th.recallMarked(r.addr) {
-		th.stallHomeArg(r.addr, p.atHomeFn, p.msg(r))
+		th.stallHomeArg(r.addr, p.atHomeFn, p.msg(home, r))
 		return
 	}
 	ctx.pw.L2TagRead.Inc()
@@ -665,17 +702,21 @@ func (p *Providers) atHome(r pvReq) {
 		ownerTile := topo.Tile(ptr)
 		if ownerTile == r.requestor || r.forwards >= maxForwards {
 			ctx.spanRetry(r.requestor)
-			ctx.Kernel.AfterArg(retryBackoff, p.atHomeFn,
-				p.msg(pvReq{r.addr, r.requestor, r.write, r.predicted, 0, -1}))
+			// The retry keeps the accumulated rides: those hops and ack
+			// expectations really happened.
+			nr := r
+			nr.forwards = 0
+			nr.fromOwner = -1
+			ctx.Kernel.AfterArg(retryBackoff, p.atHomeFn, p.msg(home, nr))
 			return
 		}
 		r.forwards++
 		ctx.spanEvent("home-forward-owner", home)
-		m := p.msg(r)
+		m := p.msg(home, r)
 		m.tile = ownerTile
 		del := ctx.SendCtlArg(home, ownerTile, p.atL1Fn, m)
-		p.cen.homeFwd.Touch(int(home), int(r.requestor))
-		p.addLinks(r.requestor, r.addr, del.Hops)
+		p.cen.homeFwd.Touch(int(home), int(home))
+		m.r.links += int16(del.Hops)
 		return
 	}
 	if l2line := th.l2.Lookup(r.addr); l2line != nil {
@@ -684,22 +725,22 @@ func (p *Providers) atHome(r pvReq) {
 		if th.l2c.Invalidate(r.addr) {
 			ctx.pw.L2CUpdate.Inc()
 		}
-		p.homeOwnerSupply(r, home, l2line)
+		p.homeOwnerSupply(ctx, r, home, l2line)
 		return
 	}
 	// Not on chip: fetch memory; requestor becomes owner (exclusive
 	// for reads, modified for writes). The pooled node rides the whole
 	// request -> latency -> data pipeline (memReqFn/memRespFn/memFillFn).
-	p.updateL2C(home, r.addr, r.requestor)
+	p.updateL2C(ctx, home, r.addr, r.requestor)
 	mc := ctx.Mem.For(r.addr)
-	del := ctx.SendCtlArg(home, mc, p.memReqFn, p.msg(r))
-	p.cen.homeMemFetch.Touch(int(home), int(r.requestor))
-	p.addLinks(r.requestor, r.addr, del.Hops)
+	m := p.msg(home, r)
+	del := ctx.SendCtlArg(home, mc, p.memReqFn, m)
+	p.cen.homeMemFetch.Touch(int(home), int(home))
+	m.r.links += int16(del.Hops)
 }
 
 // homeOwnerSupply handles requests when the home L2 holds ownership.
-func (p *Providers) homeOwnerSupply(r pvReq, home topo.Tile, l2line *cache.Line) {
-	ctx := p.ctx
+func (p *Providers) homeOwnerSupply(ctx *Context, r pvReq, home topo.Tile, l2line *cache.Line) {
 	th := p.tiles[home]
 	reqArea := p.areaOf(r.requestor)
 	if !r.write {
@@ -707,65 +748,67 @@ func (p *Providers) homeOwnerSupply(r pvReq, home topo.Tile, l2line *cache.Line)
 			prov := p.tileAt(reqArea, l2line.ProPos[reqArea])
 			if r.forwards >= maxForwards {
 				ctx.spanRetry(r.requestor)
-				ctx.Kernel.AfterArg(retryBackoff, p.atHomeFn,
-					p.msg(pvReq{r.addr, r.requestor, r.write, r.predicted, 0, -1}))
+				nr := r
+				nr.forwards = 0
+				nr.fromOwner = -1
+				ctx.Kernel.AfterArg(retryBackoff, p.atHomeFn, p.msg(home, nr))
 				return
 			}
 			r.forwards++
 			r.fromOwner = home
 			ctx.spanEvent("home-forward-provider", home)
-			m := p.msg(r)
+			m := p.msg(home, r)
 			m.tile = prov
 			del := ctx.SendCtlArg(home, prov, p.atL1Fn, m)
-			p.cen.homeSupplyFwd.Touch(int(home), int(r.requestor))
-			p.addLinks(r.requestor, r.addr, del.Hops)
+			p.cen.homeSupplyFwd.Touch(int(home), int(home))
+			m.r.links += int16(del.Hops)
 			return
 		}
 		// No supplier in the requestor's area: ownership moves to the
 		// requestor (event (3) of Section III-A).
-		p.cen.homeSupplyClass.Touch(int(home), int(r.requestor))
-		p.classify(r, byHome)
+		p.cen.homeSupplyClass.Touch(int(home), int(home))
+		r.clsPlus1 = int8(classify(r.predicted, r.forwards, byHome)) + 1
 		var propos [cache.MaxSimAreas]int8
 		copy(propos[:], l2line.ProPos[:])
 		dirty := l2line.Dirty
 		ctx.pw.L2DataRead.Inc()
 		th.l2.Invalidate(r.addr)
 		ctx.pw.L2TagWrite.Inc()
-		p.updateL2C(home, r.addr, r.requestor)
-		p.deliver(r, home, pvOwnerShared, dirty, -1, &propos)
+		p.updateL2C(ctx, home, r.addr, r.requestor)
+		p.deliver(ctx, r, home, pvOwnerShared, dirty, -1, &propos)
 		return
 	}
 	// Write with the L2 as owner: invalidate through the providers,
-	// hand ownership to the writer.
-	p.cen.homeSupplyClass.Touch(int(home), int(r.requestor))
-	p.classify(r, byHome)
-	p.cen.homeSupplyAcks.Touch(int(home), int(r.requestor))
-	if e, ok := p.tiles[r.requestor].mshr.Lookup(r.addr); ok {
-		for a := 0; a < ctx.Areas.Count; a++ {
-			if l2line.ProPos[a] < 0 {
-				continue
-			}
-			prov := p.tileAt(a, l2line.ProPos[a])
-			if prov == r.requestor {
-				continue // self-provider handled at fill time
-			}
-			e.ProviderAcks++
-			m := p.msg(pvReq{addr: r.addr, requestor: r.requestor})
-			m.tile = prov
-			ctx.SendCtlArg(home, prov, p.invalPvFn, m)
+	// hand ownership to the writer. The provider-ack expectations ride
+	// to the requestor on the data message.
+	p.cen.homeSupplyClass.Touch(int(home), int(home))
+	r.clsPlus1 = int8(classify(r.predicted, r.forwards, byHome)) + 1
+	p.cen.homeSupplyAcks.Touch(int(home), int(home))
+	for a := 0; a < ctx.Areas.Count; a++ {
+		if l2line.ProPos[a] < 0 {
+			continue
 		}
+		prov := p.tileAt(a, l2line.ProPos[a])
+		if prov == r.requestor {
+			continue // self-provider handled at fill time
+		}
+		r.provAcks++
+		m := p.msg(home, pvReq{addr: r.addr, requestor: r.requestor})
+		m.tile = prov
+		ctx.SendCtlArg(home, prov, p.invalPvFn, m)
 	}
 	ctx.pw.L2DataRead.Inc()
 	th.l2.Invalidate(r.addr)
 	ctx.pw.L2TagWrite.Inc()
-	p.updateL2C(home, r.addr, r.requestor)
-	p.deliver(r, home, pvOwnerModified, true, -1, nil)
+	p.updateL2C(ctx, home, r.addr, r.requestor)
+	p.deliver(ctx, r, home, pvOwnerModified, true, -1, nil)
 }
 
-// deliver sends the data and installs it at the requestor.
-func (p *Providers) deliver(r pvReq, from topo.Tile, state cache.State, dirty bool,
+// deliver sends the data and installs it at the requestor; the census
+// touch happens on the requestor's lane in deliverFn.
+func (p *Providers) deliver(ctx *Context, r pvReq, from topo.Tile, state cache.State, dirty bool,
 	supplier int16, propos *[cache.MaxSimAreas]int8) {
-	m := p.msg(r)
+	m := p.msg(from, r)
 	m.state, m.dirty, m.supplier = state, dirty, supplier
 	if propos != nil {
 		m.propos = *propos
@@ -773,17 +816,15 @@ func (p *Providers) deliver(r pvReq, from topo.Tile, state cache.State, dirty bo
 	} else {
 		m.hasPro = false
 	}
-	del := p.ctx.SendDataArg(from, r.requestor, p.deliverFn, m)
-	p.cen.deliver.Touch(int(from), int(r.requestor))
-	p.addLinks(r.requestor, r.addr, del.Hops)
+	del := ctx.SendDataArg(from, r.requestor, p.deliverFn, m)
+	m.r.links += int16(del.Hops)
 }
 
 // fillL1 installs the block. A provider-requestor that just received
 // ownership invalidates its own area's sharers now (Section IV-A's
 // special case).
-func (p *Providers) fillL1(r pvReq, state cache.State, dirty bool,
+func (p *Providers) fillL1(ctx *Context, r pvReq, state cache.State, dirty bool,
 	supplier int16, propos *[cache.MaxSimAreas]int8) {
-	ctx := p.ctx
 	t := p.tiles[r.requestor]
 	ctx.pw.L1TagWrite.Inc()
 	ctx.pw.L1DataWrite.Inc()
@@ -811,7 +852,7 @@ func (p *Providers) fillL1(r pvReq, state cache.State, dirty bool,
 	} else {
 		victim, valid := t.l1.Victim(r.addr)
 		if valid {
-			p.evictL1(r.requestor, *victim)
+			p.evictL1(ctx, r.requestor, *victim)
 			t.l1.Invalidate(victim.Addr)
 		}
 		nl := victim
@@ -833,7 +874,7 @@ func (p *Providers) fillL1(r pvReq, state cache.State, dirty bool,
 		area := p.areaOf(r.requestor)
 		for v := selfSharers; v != 0; v &= v - 1 {
 			sharer := p.tileAt(area, int8(bits.TrailingZeros64(v)))
-			m := p.msg(pvReq{addr: r.addr, requestor: r.requestor})
+			m := p.msg(r.requestor, pvReq{addr: r.addr, requestor: r.requestor})
 			m.tile = sharer
 			ctx.SendCtlArg(r.requestor, sharer, p.invalShFn, m)
 		}
@@ -841,8 +882,7 @@ func (p *Providers) fillL1(r pvReq, state cache.State, dirty bool,
 }
 
 // evictL1 implements Table II.
-func (p *Providers) evictL1(tile topo.Tile, victim cache.Line) {
-	ctx := p.ctx
+func (p *Providers) evictL1(ctx *Context, tile topo.Tile, victim cache.Line) {
 	t := p.tiles[tile]
 	area := p.areaOf(tile)
 	switch {
@@ -855,32 +895,33 @@ func (p *Providers) evictL1(tile topo.Tile, victim cache.Line) {
 		sharers := victim.Sharers &^ areaBit(ctx.Areas, tile)
 		ownerHint := victim.Owner
 		if sharers != 0 {
-			p.transferProvidership(tile, victim.Addr, area, sharers, sharers, ownerHint)
+			p.transferProvidership(ctx, tile, victim.Addr, area, sharers, sharers, ownerHint)
 		} else {
-			// No_Provider to the owner.
-			p.notifyOwner(tile, victim.Addr, ownerHint, func(ownerTile topo.Tile, ol *cache.Line) {
+			// No_Provider to the owner. The callbacks receive the
+			// context of the lane that finds the owner.
+			p.notifyOwner(ctx, tile, victim.Addr, ownerHint, func(octx *Context, ownerTile topo.Tile, ol *cache.Line) {
 				ol.ProPos[area] = -1
-				ctx.pw.L1TagWrite.Inc()
-			}, func(l2line *cache.Line) {
+				octx.pw.L1TagWrite.Inc()
+			}, func(hctx *Context, l2line *cache.Line) {
 				l2line.ProPos[area] = -1
-				ctx.pw.L2TagWrite.Inc()
+				hctx.pw.L2TagWrite.Inc()
 			})
 		}
 	default: // owner states
 		localSharers := victim.Sharers &^ areaBit(ctx.Areas, tile)
 		if localSharers != 0 {
-			p.transferOwnership(tile, victim.Addr, area, localSharers, localSharers, victim.Dirty, victim.ProPos, tile)
+			p.transferOwnership(ctx, tile, victim.Addr, area, localSharers, localSharers, victim.Dirty, victim.ProPos)
 		} else {
-			p.writebackToHome(tile, victim.Addr, victim.Dirty, victim.ProPos, 0, area)
+			p.writebackToHome(ctx, tile, victim.Addr, victim.Dirty, victim.ProPos, 0, area)
 		}
 	}
 }
 
 // transferProvidership offers providership to the area's sharers in
-// turn; the acceptor notifies the owner with Change_Provider.
-func (p *Providers) transferProvidership(from topo.Tile, addr cache.Addr, area int,
+// turn; the acceptor notifies the owner with Change_Provider. ctx is
+// the lane of from; every hop rebinds to the receiving tile's lane.
+func (p *Providers) transferProvidership(ctx *Context, from topo.Tile, addr cache.Addr, area int,
 	tryList, vector uint64, ownerHint int16) {
-	ctx := p.ctx
 	idx := int8(-1)
 	forEachBit(tryList, func(i int) {
 		if idx < 0 {
@@ -891,28 +932,29 @@ func (p *Providers) transferProvidership(from topo.Tile, addr cache.Addr, area i
 		// Nobody left to take it: the area loses its provider. Any
 		// skipped in-flight readers would be unreachable for later
 		// invalidations, so they are conservatively dropped now.
-		p.invalidateStragglers(from, addr, area, vector)
-		p.notifyOwner(from, addr, ownerHint, func(ownerTile topo.Tile, ol *cache.Line) {
+		p.invalidateStragglers(ctx, from, addr, area, vector)
+		p.notifyOwner(ctx, from, addr, ownerHint, func(octx *Context, ownerTile topo.Tile, ol *cache.Line) {
 			ol.ProPos[area] = -1
-			ctx.pw.L1TagWrite.Inc()
-		}, func(l2line *cache.Line) {
+			octx.pw.L1TagWrite.Inc()
+		}, func(hctx *Context, l2line *cache.Line) {
 			l2line.ProPos[area] = -1
-			ctx.pw.L2TagWrite.Inc()
+			hctx.pw.L2TagWrite.Inc()
 		})
 		return
 	}
 	target := p.tileAt(area, idx)
 	rest := tryList &^ (uint64(1) << uint(idx))
 	ctx.SendCtl(from, target, func() {
+		tctx := p.ctx.At(target)
 		t := p.tiles[target]
 		if _, pending := t.mshr.Lookup(addr); pending {
-			p.transferProvidership(target, addr, area, rest, vector, ownerHint)
+			p.transferProvidership(tctx, target, addr, area, rest, vector, ownerHint)
 			return
 		}
-		ctx.pw.L1TagRead.Inc()
+		tctx.pw.L1TagRead.Inc()
 		line := t.l1.Peek(addr)
 		if line == nil || line.State != pvShared {
-			p.transferProvidership(target, addr, area, rest, vector&^(uint64(1)<<uint(idx)), ownerHint)
+			p.transferProvidership(tctx, target, addr, area, rest, vector&^(uint64(1)<<uint(idx)), ownerHint)
 			return
 		}
 		line.State = pvProvider
@@ -922,26 +964,27 @@ func (p *Providers) transferProvidership(from topo.Tile, addr cache.Addr, area i
 		// providership moves update predictions).
 		forEachBit(line.Sharers, func(i int) {
 			sharer := p.tileAt(area, int8(i))
-			ctx.SendCtl(target, sharer, func() {
+			tctx.SendCtl(target, sharer, func() {
+				sctx := p.ctx.At(sharer)
 				st := p.tiles[sharer]
 				if l := st.l1.Peek(addr); l != nil && l.State == pvShared {
 					l.Owner = int16(target)
 				} else {
 					st.l1c.Update(addr, int16(target))
-					ctx.pw.L1CUpdate.Inc()
+					sctx.pw.L1CUpdate.Inc()
 				}
 			})
 		})
-		ctx.pw.L1TagWrite.Inc()
+		tctx.pw.L1TagWrite.Inc()
 		// Change_Provider to the owner (acked; the ack gates further
 		// transfers, modelled by the ordering guard at the home).
 		tIdx := p.areaIdx(target)
-		p.notifyOwner(target, addr, ownerHint, func(ownerTile topo.Tile, ol *cache.Line) {
+		p.notifyOwner(tctx, target, addr, ownerHint, func(octx *Context, ownerTile topo.Tile, ol *cache.Line) {
 			ol.ProPos[area] = tIdx
-			ctx.pw.L1TagWrite.Inc()
-		}, func(l2line *cache.Line) {
+			octx.pw.L1TagWrite.Inc()
+		}, func(hctx *Context, l2line *cache.Line) {
 			l2line.ProPos[area] = tIdx
-			ctx.pw.L2TagWrite.Inc()
+			hctx.pw.L2TagWrite.Inc()
 		})
 	})
 }
@@ -949,23 +992,29 @@ func (p *Providers) transferProvidership(from topo.Tile, addr cache.Addr, area i
 // notifyOwner routes a coherence-info update (Change_Provider /
 // No_Provider) to the block's owner: first to the hinted L1 owner,
 // falling back through the home's L2C$, and finally to the home's own
-// L2 entry when the L2 is the owner.
-func (p *Providers) notifyOwner(from topo.Tile, addr cache.Addr, ownerHint int16,
-	onL1Owner func(topo.Tile, *cache.Line), onL2Owner func(*cache.Line)) {
-	ctx := p.ctx
+// L2 entry when the L2 is the owner. The callbacks run on the lane of
+// the tile that holds the owner and receive that lane's context.
+func (p *Providers) notifyOwner(ctx *Context, from topo.Tile, addr cache.Addr, ownerHint int16,
+	onL1Owner func(*Context, topo.Tile, *cache.Line), onL2Owner func(*Context, *cache.Line)) {
 	home := ctx.HomeOf(addr)
-	viaHome := func() {
-		ctx.SendCtl(from, home, func() {
+	// viaHome probes the home from at's lane. at is the tile whose lane
+	// runs the caller — a failed hint probe falls back from the probed
+	// tile, not from the original sender.
+	var viaHome func(at topo.Tile, actx *Context)
+	viaHome = func(at topo.Tile, actx *Context) {
+		actx.SendCtl(at, home, func() {
+			hctx := p.ctx.At(home)
 			th := p.tiles[home]
-			ctx.pw.L2CAccess.Inc()
+			hctx.pw.L2CAccess.Inc()
 			if ptr, ok := th.l2c.Lookup(addr); ok {
 				ownerTile := topo.Tile(ptr)
-				ctx.SendCtl(home, ownerTile, func() {
+				hctx.SendCtl(home, ownerTile, func() {
+					octx := p.ctx.At(ownerTile)
 					ot := p.tiles[ownerTile]
-					ctx.pw.L1TagRead.Inc()
+					octx.pw.L1TagRead.Inc()
 					if ol := ot.l1.Peek(addr); ol != nil && pvIsOwner(ol.State) {
-						onL1Owner(ownerTile, ol)
-						ctx.SendCtl(ownerTile, from, func() {}) // ack
+						onL1Owner(octx, ownerTile, ol)
+						octx.SendCtl(ownerTile, from, func() {}) // ack
 					}
 					// Owner in motion: the update is dropped; stale
 					// ProPos are tolerated (they miss and fall back
@@ -974,33 +1023,35 @@ func (p *Providers) notifyOwner(from topo.Tile, addr cache.Addr, ownerHint int16
 				return
 			}
 			if l2line := th.l2.Peek(addr); l2line != nil {
-				onL2Owner(l2line)
-				ctx.SendCtl(home, from, func() {}) // ack
+				onL2Owner(hctx, l2line)
+				hctx.SendCtl(home, from, func() {}) // ack
 			}
 		})
 	}
 	if ownerHint >= 0 {
 		ownerTile := topo.Tile(ownerHint)
 		ctx.SendCtl(from, ownerTile, func() {
+			octx := p.ctx.At(ownerTile)
 			ot := p.tiles[ownerTile]
-			ctx.pw.L1TagRead.Inc()
+			octx.pw.L1TagRead.Inc()
 			if ol := ot.l1.Peek(addr); ol != nil && pvIsOwner(ol.State) {
-				onL1Owner(ownerTile, ol)
-				ctx.SendCtl(ownerTile, from, func() {}) // ack
+				onL1Owner(octx, ownerTile, ol)
+				octx.SendCtl(ownerTile, from, func() {}) // ack
 				return
 			}
-			viaHome()
+			viaHome(ownerTile, octx)
 		})
 		return
 	}
-	viaHome()
+	viaHome(from, ctx)
 }
 
 // transferOwnership moves ownership (sharing code + provider pointers)
-// to a local sharer on replacement.
-func (p *Providers) transferOwnership(from topo.Tile, addr cache.Addr, area int,
-	tryList, vector uint64, dirty bool, propos [cache.MaxSimAreas]int8, evictor topo.Tile) {
-	ctx := p.ctx
+// to a local sharer on replacement. The data rides the offer chain, so
+// when every candidate declines it writes back from wherever the chain
+// ends — each send's source is the tile whose lane is executing.
+func (p *Providers) transferOwnership(ctx *Context, from topo.Tile, addr cache.Addr, area int,
+	tryList, vector uint64, dirty bool, propos [cache.MaxSimAreas]int8) {
 	idx := int8(-1)
 	forEachBit(tryList, func(i int) {
 		if idx < 0 {
@@ -1008,24 +1059,25 @@ func (p *Providers) transferOwnership(from topo.Tile, addr cache.Addr, area int,
 		}
 	})
 	if idx < 0 {
-		p.writebackToHome(evictor, addr, dirty, propos, vector, area)
+		p.writebackToHome(ctx, from, addr, dirty, propos, vector, area)
 		return
 	}
 	target := p.tileAt(area, idx)
 	rest := tryList &^ (uint64(1) << uint(idx))
 	ctx.SendCtl(from, target, func() {
+		tctx := p.ctx.At(target)
 		t := p.tiles[target]
 		if _, pending := t.mshr.Lookup(addr); pending {
 			// Skip (never stall behind) a candidate with a miss in
 			// flight; it stays in the vector so the next owner's code
 			// covers its fill.
-			p.transferOwnership(target, addr, area, rest, vector, dirty, propos, evictor)
+			p.transferOwnership(tctx, target, addr, area, rest, vector, dirty, propos)
 			return
 		}
-		ctx.pw.L1TagRead.Inc()
+		tctx.pw.L1TagRead.Inc()
 		line := t.l1.Peek(addr)
 		if line == nil || line.State != pvShared {
-			p.transferOwnership(target, addr, area, rest, vector&^(uint64(1)<<uint(idx)), dirty, propos, evictor)
+			p.transferOwnership(tctx, target, addr, area, rest, vector&^(uint64(1)<<uint(idx)), dirty, propos)
 			return
 		}
 		line.State = pvOwnerShared
@@ -1033,23 +1085,25 @@ func (p *Providers) transferOwnership(from topo.Tile, addr cache.Addr, area int,
 		line.Sharers = vector &^ (uint64(1) << uint(idx))
 		copy(line.ProPos[:], propos[:])
 		line.Owner = -1
-		ctx.pw.L1TagWrite.Inc()
-		home := ctx.HomeOf(addr)
-		stamp := ctx.Kernel.Now()
-		ctx.SendCtl(target, home, func() { // Change_Owner
-			p.homeOwnerUpdate(home, addr, target, stamp)
-			ctx.SendCtl(home, target, func() {}) // ack
+		tctx.pw.L1TagWrite.Inc()
+		home := tctx.HomeOf(addr)
+		stamp := tctx.Kernel.Now()
+		tctx.SendCtl(target, home, func() { // Change_Owner
+			hctx := p.ctx.At(home)
+			p.homeOwnerUpdate(hctx, home, addr, target, stamp)
+			hctx.SendCtl(home, target, func() {}) // ack
 		})
 		// Hint the remaining local sharers (Figure 5).
 		forEachBit(vector&^(uint64(1)<<uint(idx)), func(i int) {
 			sharer := p.tileAt(area, int8(i))
-			ctx.SendCtl(target, sharer, func() {
+			tctx.SendCtl(target, sharer, func() {
+				sctx := p.ctx.At(sharer)
 				st := p.tiles[sharer]
 				if l := st.l1.Peek(addr); l != nil && l.State == pvShared {
 					l.Owner = int16(target)
 				} else {
 					st.l1c.Update(addr, int16(target))
-					ctx.pw.L1CUpdate.Inc()
+					sctx.pw.L1CUpdate.Inc()
 				}
 			})
 		})
@@ -1058,43 +1112,43 @@ func (p *Providers) transferOwnership(from topo.Tile, addr cache.Addr, area int,
 
 // writebackToHome returns ownership to the home L2 (no sharers remain
 // in the owner's area, so no provider is needed there).
-func (p *Providers) writebackToHome(tile topo.Tile, addr cache.Addr, dirty bool,
+func (p *Providers) writebackToHome(ctx *Context, tile topo.Tile, addr cache.Addr, dirty bool,
 	propos [cache.MaxSimAreas]int8, leftover uint64, leftoverArea int) {
-	ctx := p.ctx
 	home := ctx.HomeOf(addr)
 	propos[p.areaOf(tile)] = -1
 	// The home L2-owner form keeps no sharer information (Table V), so
 	// any leftover in-flight readers of the evicted owner's area are
 	// conservatively invalidated: their fills drop on arrival and they
 	// re-miss against the home.
-	p.invalidateStragglers(tile, addr, leftoverArea, leftover)
+	p.invalidateStragglers(ctx, tile, addr, leftoverArea, leftover)
 	ctx.pw.L1DataRead.Inc()
 	ctx.SendData(tile, home, func() {
-		p.tiles[home].setStamp(addr, ctx.Kernel.Now())
-		p.insertL2Owned(home, addr, dirty, propos, func() {
+		hctx := p.ctx.At(home)
+		p.tiles[home].setStamp(addr, hctx.Kernel.Now())
+		p.insertL2Owned(hctx, home, addr, dirty, propos, func() {
 			if p.tiles[home].l2c.Invalidate(addr) {
-				ctx.pw.L2CUpdate.Inc()
+				hctx.pw.L2CUpdate.Inc()
 			}
 			p.tiles[home].clearRecall(addr)
-			p.tiles[home].wakeHome(ctx.Kernel, addr)
+			p.tiles[home].wakeHome(hctx.Kernel, addr)
 		})
 	})
 }
 
 // invalidateStragglers fire-and-forget invalidates leftover area
 // copies whose supplier went away before they could be handed over.
-func (p *Providers) invalidateStragglers(from topo.Tile, addr cache.Addr, area int, vector uint64) {
+func (p *Providers) invalidateStragglers(ctx *Context, from topo.Tile, addr cache.Addr, area int, vector uint64) {
 	if vector == 0 {
 		return
 	}
-	ctx := p.ctx
 	forEachBit(vector, func(i int) {
 		straggler := p.tileAt(area, int8(i))
 		ctx.SendCtl(from, straggler, func() {
+			sctx := p.ctx.At(straggler)
 			t := p.tiles[straggler]
-			ctx.pw.L1TagRead.Inc()
+			sctx.pw.L1TagRead.Inc()
 			if _, ok := t.l1.Invalidate(addr); ok {
-				ctx.pw.L1TagWrite.Inc()
+				sctx.pw.L1TagWrite.Inc()
 			}
 			if e, ok := t.mshr.Lookup(addr); ok {
 				e.InvalidatedWhilePending = true
@@ -1105,60 +1159,44 @@ func (p *Providers) invalidateStragglers(from topo.Tile, addr cache.Addr, area i
 
 // homeOwnerUpdate guards the L2C$ against reordered Change_Owner
 // messages, like DiCo.
-func (p *Providers) homeOwnerUpdate(home topo.Tile, addr cache.Addr, owner topo.Tile, stamp sim.Time) {
+func (p *Providers) homeOwnerUpdate(ctx *Context, home topo.Tile, addr cache.Addr, owner topo.Tile, stamp sim.Time) {
 	th := p.tiles[home]
 	if !th.stampIfNewer(addr, stamp) {
 		return
 	}
-	p.updateL2C(home, addr, owner)
+	p.updateL2C(ctx, home, addr, owner)
 	th.clearRecall(addr)
-	th.wakeHome(p.ctx.Kernel, addr)
+	th.wakeHome(ctx.Kernel, addr)
 }
 
 // updateL2C installs an owner pointer, recalling the displaced entry's
 // ownership when the insertion evicts one (Section IV-A1).
-func (p *Providers) updateL2C(home topo.Tile, addr cache.Addr, owner topo.Tile) {
-	ctx := p.ctx
+func (p *Providers) updateL2C(ctx *Context, home topo.Tile, addr cache.Addr, owner topo.Tile) {
 	th := p.tiles[home]
-	evicted, displaced := th.l2c.Update(addr, int16(owner))
+	evicted, evictedPtr, displaced := th.l2c.Update(addr, int16(owner))
 	ctx.pw.L2CUpdate.Inc()
 	if displaced {
-		p.recallOwnership(home, evicted)
+		p.recallOwnership(ctx, home, evicted, topo.Tile(evictedPtr))
 	}
 }
 
 // recallOwnership brings a block's ownership back to the home because
 // its L2C$ entry was evicted; the former owner becomes its area's
-// provider.
-func (p *Providers) recallOwnership(home topo.Tile, addr cache.Addr) {
-	ctx := p.ctx
+// provider. The evicted pointer names the owner directly, so the
+// recall is a single message — no chip-wide L1 scan. The pointer may
+// be stale (ownership in motion); relinquish's guards handle that: a
+// pending miss stalls the recall behind it, a non-owner drops it and
+// the in-flight Change_Owner clears the marker when it lands.
+func (p *Providers) recallOwnership(ctx *Context, home topo.Tile, addr cache.Addr, owner topo.Tile) {
 	p.tiles[home].markRecall(addr)
-	owner := topo.Tile(-1)
-	for i := range p.tiles {
-		p.cen.recallScan.Touch(int(home), i)
-		if l := p.tiles[i].l1.Peek(addr); l != nil && pvIsOwner(l.State) {
-			owner = topo.Tile(i)
-			break
-		}
-	}
-	if owner < 0 {
-		// Ownership is in flight (e.g. a memory-fetch grant not yet
-		// filled): poll until the owner materializes or a home update
-		// clears the marker.
-		ctx.Kernel.After(4*retryBackoff, func() {
-			if p.tiles[home].recallMarked(addr) {
-				p.recallOwnership(home, addr)
-			}
-		})
-		return
-	}
+	p.cen.recallScan.Touch(int(home), int(home))
 	ctx.SendCtl(home, owner, func() { p.relinquish(home, owner, addr) })
 }
 
 // relinquish converts an L1 owner into its area's provider, moving
 // ownership (data + provider pointers) to the home L2.
 func (p *Providers) relinquish(home, owner topo.Tile, addr cache.Addr) {
-	ctx := p.ctx
+	ctx := p.ctx.At(owner)
 	t := p.tiles[owner]
 	if _, pending := t.mshr.Lookup(addr); pending {
 		t.stallL1(addr, func() { p.relinquish(home, owner, addr) })
@@ -1167,6 +1205,8 @@ func (p *Providers) relinquish(home, owner topo.Tile, addr cache.Addr) {
 	ctx.pw.L1TagRead.Inc()
 	line := t.l1.Peek(addr)
 	if line == nil || !pvIsOwner(line.State) {
+		// Stale recall: ownership moved on. The Change_Owner that moved
+		// it clears the recall marker at the home.
 		return
 	}
 	area := p.areaOf(owner)
@@ -1185,13 +1225,14 @@ func (p *Providers) relinquish(home, owner topo.Tile, addr cache.Addr) {
 	ctx.pw.L1TagWrite.Inc()
 	ctx.pw.L1DataRead.Inc()
 	ctx.SendData(owner, home, func() {
-		p.tiles[home].setStamp(addr, ctx.Kernel.Now())
-		p.insertL2Owned(home, addr, dirty, propos, func() {
+		hctx := p.ctx.At(home)
+		p.tiles[home].setStamp(addr, hctx.Kernel.Now())
+		p.insertL2Owned(hctx, home, addr, dirty, propos, func() {
 			if p.tiles[home].l2c.Invalidate(addr) {
-				ctx.pw.L2CUpdate.Inc()
+				hctx.pw.L2CUpdate.Inc()
 			}
 			p.tiles[home].clearRecall(addr)
-			p.tiles[home].wakeHome(ctx.Kernel, addr)
+			p.tiles[home].wakeHome(hctx.Kernel, addr)
 		})
 	})
 }
@@ -1199,9 +1240,8 @@ func (p *Providers) relinquish(home, owner topo.Tile, addr cache.Addr) {
 // insertL2Owned installs a block in the home L2 as owner with the
 // given provider pointers, evicting a victim (chip-wide invalidation
 // through its providers) if needed.
-func (p *Providers) insertL2Owned(home topo.Tile, addr cache.Addr, dirty bool,
+func (p *Providers) insertL2Owned(ctx *Context, home topo.Tile, addr cache.Addr, dirty bool,
 	propos [cache.MaxSimAreas]int8, then func()) {
-	ctx := p.ctx
 	th := p.tiles[home]
 	if line := th.l2.Peek(addr); line != nil {
 		ctx.pw.L2TagWrite.Inc()
@@ -1226,8 +1266,8 @@ func (p *Providers) insertL2Owned(home topo.Tile, addr cache.Addr, dirty bool,
 		snapshot := *victim
 		th.l2.Invalidate(snapshot.Addr)
 		ctx.pw.L2TagWrite.Inc()
-		p.evictL2Owned(home, snapshot, func() {
-			p.insertL2Owned(home, addr, dirty, propos, then)
+		p.evictL2Owned(ctx, home, snapshot, func() {
+			p.insertL2Owned(ctx, home, addr, dirty, propos, then)
 		})
 		return
 	}
@@ -1243,9 +1283,11 @@ func (p *Providers) insertL2Owned(home topo.Tile, addr cache.Addr, dirty bool,
 
 // evictL2Owned invalidates an L2-owned victim block through its
 // providers (two-counter scheme, with the home as both owner and
-// requestor), writes dirty data to memory, then calls then.
-func (p *Providers) evictL2Owned(home topo.Tile, victim cache.Line, then func()) {
-	ctx := p.ctx
+// requestor), writes dirty data to memory, then calls then. The
+// pending counters live at the home and every mutation of them runs
+// on the home's lane (the ack sends below); provider- and sharer-side
+// work rebinds to the executing tile's lane.
+func (p *Providers) evictL2Owned(ctx *Context, home topo.Tile, victim cache.Line, then func()) {
 	th := p.tiles[home]
 	victimAddr := victim.Addr
 	th.setHomeBusy(victimAddr)
@@ -1258,12 +1300,13 @@ func (p *Providers) evictL2Owned(home topo.Tile, victim cache.Line, then func())
 		}
 	}
 	finish = func() {
+		hctx := p.ctx.At(home)
 		if victim.Dirty {
-			mc := ctx.Mem.For(victimAddr)
-			ctx.SendData(home, mc, func() { ctx.Mem.WriteLatency() })
+			mc := hctx.Mem.For(victimAddr)
+			hctx.SendDataArg(home, mc, p.flushFn, mc)
 		}
 		th.clearHomeBusy(victimAddr)
-		th.wakeHome(ctx.Kernel, victimAddr)
+		th.wakeHome(hctx.Kernel, victimAddr)
 		then()
 	}
 	for a := 0; a < ctx.Areas.Count; a++ {
@@ -1274,21 +1317,22 @@ func (p *Providers) evictL2Owned(home topo.Tile, victim cache.Line, then func())
 		prov := p.tileAt(a, victim.ProPos[a])
 		area := a
 		ctx.SendCtl(home, prov, func() {
+			pctx := p.ctx.At(prov)
 			t := p.tiles[prov]
-			ctx.pw.L1TagRead.Inc()
+			pctx.pw.L1TagRead.Inc()
 			var sharers uint64
 			wasProvider := false
 			if old, ok := t.l1.Invalidate(victimAddr); ok {
-				ctx.pw.L1TagWrite.Inc()
+				pctx.pw.L1TagWrite.Inc()
 				if old.State == pvProvider {
-					sharers = old.Sharers &^ areaBit(ctx.Areas, prov)
+					sharers = old.Sharers &^ areaBit(pctx.Areas, prov)
 					wasProvider = true
 				}
 			}
 			if !wasProvider {
-				for _, at := range ctx.Areas.TilesIn(area) {
+				for _, at := range pctx.Areas.TilesIn(area) {
 					if at != prov {
-						sharers |= areaBit(ctx.Areas, at)
+						sharers |= areaBit(pctx.Areas, at)
 					}
 				}
 			}
@@ -1298,22 +1342,23 @@ func (p *Providers) evictL2Owned(home topo.Tile, victim cache.Line, then func())
 			count := popcount(sharers)
 			forEachBit(sharers, func(i int) {
 				sharer := p.tileAt(area, int8(i))
-				ctx.SendCtl(prov, sharer, func() {
+				pctx.SendCtl(prov, sharer, func() {
+					sctx := p.ctx.At(sharer)
 					st := p.tiles[sharer]
-					ctx.pw.L1TagRead.Inc()
+					sctx.pw.L1TagRead.Inc()
 					if _, ok := st.l1.Invalidate(victimAddr); ok {
-						ctx.pw.L1TagWrite.Inc()
+						sctx.pw.L1TagWrite.Inc()
 					}
 					if e, ok := st.mshr.Lookup(victimAddr); ok {
 						e.InvalidatedWhilePending = true
 					}
-					ctx.SendCtl(sharer, home, func() {
+					sctx.SendCtl(sharer, home, func() {
 						pendingSharers--
 						checkDone()
 					})
 				})
 			})
-			ctx.SendCtl(prov, home, func() {
+			pctx.SendCtl(prov, home, func() {
 				pendingProv--
 				pendingSharers += count
 				checkDone()
@@ -1325,24 +1370,7 @@ func (p *Providers) evictL2Owned(home topo.Tile, victim cache.Line, then func())
 	}
 }
 
-func (p *Providers) classify(r pvReq, kind supplierKind) {
-	classify(p.setClass, r.requestor, r.addr, r.predicted, r.forwards, kind)
-}
-
-func (p *Providers) addLinks(requestor topo.Tile, addr cache.Addr, hops int) {
-	if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
-		e.Links += hops
-	}
-}
-
-func (p *Providers) setClass(requestor topo.Tile, addr cache.Addr, c MissClass) {
-	if e, ok := p.tiles[requestor].mshr.Lookup(addr); ok {
-		e.Tag = int(c)
-	}
-}
-
-func (p *Providers) maybeComplete(tile topo.Tile, addr cache.Addr) {
-	ctx := p.ctx
+func (p *Providers) maybeComplete(ctx *Context, tile topo.Tile, addr cache.Addr) {
 	t := p.tiles[tile]
 	e, ok := t.mshr.Lookup(addr)
 	if !ok || !e.Done() {
@@ -1357,7 +1385,7 @@ func (p *Providers) maybeComplete(tile topo.Tile, addr cache.Addr) {
 		if line := t.l1.Peek(addr); line != nil {
 			snapshot := *line
 			t.l1.Invalidate(addr)
-			p.evictL1(tile, snapshot)
+			p.evictL1(ctx, tile, snapshot)
 		}
 	}
 	cls := MissClass(e.Tag)

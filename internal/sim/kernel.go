@@ -456,6 +456,46 @@ func (k *Kernel) advanceTo(t Time) {
 	}
 }
 
+// Deferring reports whether a parallel window is currently executing
+// on this lane. Handlers that would touch state owned by another lane
+// (mesh link reservations, the memory controller's random stream) test
+// it and route the touch through Defer instead, so the mutation happens
+// at the barrier in exact merged serial order.
+func (k *Kernel) Deferring() bool { return k.wlog != nil }
+
+// Defer logs a barrier-deferred operation from inside a parallel
+// window. The operation reserves nseq sequence stamps at its position
+// in the lane's schedule order; at the barrier, after dispatch replay
+// has assigned final stamps, fn(arg, seqBase) runs on the coordinating
+// goroutine with seqBase the first of its nseq final stamps — exactly
+// the stamps a serial run would have assigned at this call site. The
+// resolver may mutate shared state and inject events with
+// InjectResolved; it must schedule nothing through the normal API.
+// Panics outside a parallel window: sequential executors run the
+// operation inline instead (test Deferring first).
+func (k *Kernel) Defer(nseq int, fn func(arg any, seqBase uint64), arg any) {
+	wl := k.wlog
+	if wl == nil {
+		panic("sim: Defer outside a parallel window")
+	}
+	wl.defers = append(wl.defers, deferEnt{fn: fn, arg: arg, nseq: int32(nseq)})
+	wl.sched = append(wl.sched,
+		schedEnt{kind: schedDefer, idx: int32(len(wl.defers) - 1)})
+}
+
+// InjectResolved splices fn(arg) into this lane's queue at absolute
+// time at, carrying an explicit final sequence stamp and causal tag.
+// Only barrier-deferred resolvers call it: the stamp was reserved by
+// Defer, so the payload lands in exact serial order without consuming a
+// new stamp. at must lie strictly past the lane's clock (the
+// conservative horizon guarantees this for any cross-tile latency).
+func (k *Kernel) InjectResolved(at Time, seq, tag uint64, fn func(any), arg any) {
+	if at <= k.now {
+		panic(fmt.Sprintf("sim: InjectResolved at %d, not past now=%d", at, k.now))
+	}
+	k.insertArrival(at, evPayload{tag: tag, seq: seq, argFn: fn, arg: arg})
+}
+
 // insertArrival splices an already-stamped payload (a cross-shard
 // channel message) into the queue in (at, seq) position rather than at
 // the slot tail: the message was scheduled mid-window on another lane,

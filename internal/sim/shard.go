@@ -52,6 +52,7 @@ type schedKind uint8
 const (
 	schedLocal   schedKind = iota // same-lane event (wheel or overflow; relabeled by scan)
 	schedChannel                  // cross-shard outbox; idx = outbox position
+	schedDefer                    // barrier-deferred operation; idx = defer-log position
 )
 
 // schedEnt records one schedule call made during a parallel window.
@@ -79,12 +80,31 @@ type outMsg struct {
 	val evPayload
 }
 
+// deferEnt is one barrier-deferred operation (see Kernel.Defer): its
+// resolver, argument, and how many sequence stamps it reserves.
+type deferEnt struct {
+	fn   func(arg any, seqBase uint64)
+	arg  any
+	nseq int32
+}
+
 // windowLog is one lane's record of a parallel window.
 type windowLog struct {
 	sched    []schedEnt
 	dispatch []dispatchEnt
 	out      []outMsg
+	defers   []deferEnt
 	nprov    uint64 // provisional stamps issued this window
+}
+
+// deferRes is one resolved defer op awaiting execution: which lane
+// logged it, its position in that lane's defer log, and the first of
+// its reserved final stamps. Collected in merged replay order, executed
+// in that order after relabeling.
+type deferRes struct {
+	lane    int32
+	idx     int32
+	seqBase uint64
 }
 
 // ShardedKernel coordinates a group of kernels as one logical
@@ -100,7 +120,8 @@ type ShardedKernel struct {
 	tag    uint64 // shared causal tag cell (see Kernel.Tag)
 	active int32  // lane currently dispatching (sequential merge), -1 idle
 
-	wlogs []windowLog // per-lane window logs, reused across windows
+	wlogs    []windowLog // per-lane window logs, reused across windows
+	deferRes []deferRes  // barrier scratch: resolved defers in merged order
 
 	// laneProf, when non-nil, records RunParallel's per-window lane
 	// profile (see laneprof.go). Never touched by the sequential merge.
@@ -413,6 +434,7 @@ func (sk *ShardedKernel) RunParallel(limit Time) uint64 {
 			wl.sched = wl.sched[:0]
 			wl.dispatch = wl.dispatch[:0]
 			wl.out = wl.out[:0]
+			wl.defers = wl.defers[:0]
 			wl.nprov = 0
 			k.wlog = wl
 			if lp != nil {
@@ -462,6 +484,7 @@ func (sk *ShardedKernel) RunParallel(limit Time) uint64 {
 func (sk *ShardedKernel) barrier(winEnd Time) {
 	n := len(sk.kernels)
 	heads := make([]int, n)
+	sk.deferRes = sk.deferRes[:0]
 	// provToFinal resolves a provisional stamp once its schedule call has
 	// been replayed. A dispatch whose stamp is still unresolvable cannot
 	// be the global minimum: its scheduling parent precedes it in merged
@@ -500,6 +523,17 @@ func (sk *ShardedKernel) barrier(winEnd Time) {
 		}
 		for j := d.schedStart; j < end; j++ {
 			se := wl.sched[j]
+			if se.kind == schedDefer {
+				// A deferred operation reserves its stamps here, at its exact
+				// position in merged schedule order, and executes after the
+				// relabel pass below (it may splice against final stamps and
+				// needs every lane's clock at the window end).
+				de := &wl.defers[se.idx]
+				sk.deferRes = append(sk.deferRes,
+					deferRes{lane: int32(best), idx: se.idx, seqBase: sk.seq})
+				sk.seq += uint64(de.nseq)
+				continue
+			}
 			f := sk.seq
 			sk.seq++
 			provToFinal[se.prov] = f
@@ -547,6 +581,20 @@ func (sk *ShardedKernel) barrier(winEnd Time) {
 			}
 		}
 		k.advanceTo(winEnd)
+	}
+	// Execute deferred operations in merged serial order. They run after
+	// the relabel pass — every lane's clock sits at the window end and
+	// all pending stamps are final, so a resolver's InjectResolved
+	// splices correctly — and on this single goroutine, so mutating
+	// shared state (link reservations, the memory random stream) is
+	// race-free and ordered exactly as the sequential merge would have
+	// ordered it. Order against the outbox exchange below is immaterial:
+	// both splice explicit final stamps.
+	for i := range sk.deferRes {
+		r := &sk.deferRes[i]
+		de := &sk.wlogs[r.lane].defers[r.idx]
+		de.fn(de.arg, r.seqBase)
+		de.fn, de.arg = nil, nil // do not retain across windows
 	}
 	// Exchange outboxes. Conservative lookahead puts every arrival
 	// strictly past winEnd, and insertArrival splices by stamp, so

@@ -74,9 +74,11 @@ func WarmupConfig(cfg core.Config) core.Config {
 	cfg.Census = false
 	cfg.PerVM = false
 	// Sharding is an execution strategy, not a model change: any shard
-	// count produces bit-identical state, so a serial warmup may fork
-	// into sharded measure phases and vice versa.
+	// count — and either window executor — produces bit-identical
+	// state, so a serial warmup may fork into sharded or RunParallel
+	// measure phases and vice versa.
 	cfg.Shards = 0
+	cfg.Parallel = false
 	return cfg
 }
 

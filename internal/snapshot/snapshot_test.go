@@ -311,36 +311,56 @@ func TestForkAcrossExecutors(t *testing.T) {
 	shardedCfg.Shards = 3
 	diffFingerprints(t, "serial-warmup/sharded-measure", want, fingerprint(runFork(t, shardedCfg)))
 
-	// Sharded warmup -> serial measure.
-	warmCfg := WarmupConfig(cfg)
-	warmCfg.RefsPerCore = cfg.RefsPerCore
-	warmCfg.Shards = 2
-	ws, err := core.NewSystem(warmCfg)
-	if err != nil {
-		t.Fatal(err)
+	// Serial warmup -> RunParallel measure (the fork config asks for
+	// the concurrent window executor; the snapshot must not care).
+	parCfg := cfg
+	parCfg.Shards = 4
+	parCfg.Parallel = true
+	parRes := runFork(t, parCfg)
+	if parRes.Executor != "parallel" {
+		t.Fatalf("serial-warmup/parallel-measure: executor = %q, want parallel", parRes.Executor)
 	}
-	if err := ws.RunWarmup(); err != nil {
-		t.Fatal(err)
+	diffFingerprints(t, "serial-warmup/parallel-measure", want, fingerprint(parRes))
+
+	// Sharded (and RunParallel) warmup -> serial measure: capture from
+	// a warmed-up system on the named executor, round-trip the wire
+	// format, fork into a plain serial measure phase.
+	warmInto := func(label string, warmMut func(*core.Config)) {
+		warmCfg := WarmupConfig(cfg)
+		warmCfg.RefsPerCore = cfg.RefsPerCore
+		warmMut(&warmCfg)
+		ws, err := core.NewSystem(warmCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ws.RunWarmup(); err != nil {
+			t.Fatal(err)
+		}
+		st, err := Capture(ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := Bytes(st)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st2, err := Decode(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs, err := Fork(st2, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := fs.RunMeasure()
+		if err != nil {
+			t.Fatal(err)
+		}
+		diffFingerprints(t, label, want, fingerprint(res))
 	}
-	st, err := Capture(ws)
-	if err != nil {
-		t.Fatal(err)
-	}
-	raw, err := Bytes(st)
-	if err != nil {
-		t.Fatal(err)
-	}
-	st2, err := Decode(bytes.NewReader(raw))
-	if err != nil {
-		t.Fatal(err)
-	}
-	fs, err := Fork(st2, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	res, err := fs.RunMeasure()
-	if err != nil {
-		t.Fatal(err)
-	}
-	diffFingerprints(t, "sharded-warmup/serial-measure", want, fingerprint(res))
+	warmInto("sharded-warmup/serial-measure", func(c *core.Config) { c.Shards = 2 })
+	warmInto("parallel-warmup/serial-measure", func(c *core.Config) {
+		c.Shards = 4
+		c.Parallel = true
+	})
 }

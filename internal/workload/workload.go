@@ -332,6 +332,20 @@ type Generator struct {
 	zipfHot  []*zipf // chip-hot dedup pages
 	zipfWin  []*zipf // per-thread dedup window
 	winSize  []int
+
+	laneOf []int         // tile -> executor lane (nil: single lane)
+	lanes  []*sim.Kernel // lane -> its kernel (clock source)
+}
+
+// SetLanes binds the generator and its mapper to the executor lanes:
+// laneOf maps each tile to the lane whose kernel runs it, and kernels
+// holds each lane's clock. Next then translates pages as seen by the
+// calling tile's lane at its current cycle, which is what makes
+// translation lane-safe under the parallel executor.
+func (g *Generator) SetLanes(laneOf []int, kernels []*sim.Kernel) {
+	g.laneOf = laneOf
+	g.lanes = kernels
+	g.mapper.SetLanes(kernels)
 }
 
 // NewGenerator builds a generator for workload w on the given VM
@@ -471,7 +485,12 @@ func (g *Generator) Next(tile topo.Tile) Access {
 	}
 
 	vpage, mclass := g.virtualPage(vm, tile, cs.class, cs.page, p)
-	phys, _ := g.mapper.Translate(vm, vpage, mclass, write)
+	slot, now := 0, sim.Time(0)
+	if g.laneOf != nil {
+		slot = g.laneOf[tile]
+		now = g.lanes[slot].Now()
+	}
+	phys, _ := g.mapper.TranslateAt(vm, vpage, mclass, write, slot, now)
 	gap := sim.Time(r.Intn(2*p.MeanGap + 1))
 	return Access{Addr: memctrl.BlockAddr(phys, cs.block), Write: write, Gap: gap}
 }
